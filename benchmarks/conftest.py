@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures (at a
+reduced scale so the whole suite completes in minutes) and attaches the
+headline numbers as ``extra_info`` so they appear in the pytest-benchmark
+report.  Each harness runs exactly once per benchmark (``rounds=1``) because
+the measured quantity is the experiment itself, not a micro-kernel.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,85 @@
+"""Ablation: effect of each control variable in isolation.
+
+Sweeps one control variable at a time around a reference schedule and
+records the throughput/latency direction, validating the trade-off table of
+Section 4.2 on the simulator that drives all scheduling decisions.
+"""
+
+from conftest import run_once
+
+from repro.core.config import ScheduleConfig, SchedulePolicy, TensorParallelConfig
+from repro.core.exegpt import ExeGPT
+
+
+def _sweep_controls():
+    engine = ExeGPT.for_task("OPT-13B", "S", max_encode_batch=64)
+    simulator = engine.simulator
+    out = {}
+
+    def series(configs):
+        estimates = [simulator.estimate(c) for c in configs]
+        return [
+            (e.throughput_seq_per_s, e.latency_s) for e in estimates if e.feasible
+        ]
+
+    out["encode_batch"] = series(
+        [ScheduleConfig(SchedulePolicy.RRA, b, decode_iterations=8) for b in (4, 8, 16, 32)]
+    )
+    out["encoding_frequency"] = series(
+        [ScheduleConfig(SchedulePolicy.RRA, 16, decode_iterations=n) for n in (32, 16, 8, 4)]
+    )
+    # WAA-M keeps the decoder-side memory balanced so every point of the
+    # micro-batch sweep stays feasible on the 4x A40 deployment.
+    out["micro_batches"] = series(
+        [ScheduleConfig(SchedulePolicy.WAA_M, 2, micro_batches=m) for m in (1, 2, 3)]
+    )
+    out["tensor_parallel_gpus"] = series(
+        [
+            ScheduleConfig(
+                SchedulePolicy.RRA,
+                16,
+                decode_iterations=8,
+                tensor_parallel=TensorParallelConfig(degree=2, num_gpus=n),
+            )
+            for n in (0, 2, 4)
+        ]
+    )
+    return out
+
+
+def _monotone(values, increasing: bool, tolerance: float = 0.02) -> bool:
+    for prev, cur in zip(values, values[1:]):
+        delta = cur - prev if increasing else prev - cur
+        if delta < -tolerance * max(abs(prev), 1e-9):
+            return False
+    return True
+
+
+def test_ablation_control_variables(benchmark):
+    sweeps = run_once(benchmark, _sweep_controls)
+    benchmark.extra_info["points_per_variable"] = {k: len(v) for k, v in sweeps.items()}
+
+    # Batch size: throughput and latency both increase.
+    tput = [p[0] for p in sweeps["encode_batch"]]
+    lat = [p[1] for p in sweeps["encode_batch"]]
+    assert _monotone(tput, increasing=True)
+    assert _monotone(lat, increasing=True)
+
+    # Encoding frequency (N_D decreasing): throughput and latency increase.
+    tput = [p[0] for p in sweeps["encoding_frequency"]]
+    lat = [p[1] for p in sweeps["encoding_frequency"]]
+    assert _monotone(tput, increasing=True)
+    assert _monotone(lat, increasing=True)
+
+    # Decoder micro-batches: throughput does not increase.
+    tput = [p[0] for p in sweeps["micro_batches"]]
+    assert tput, "micro-batch sweep produced no feasible points"
+    assert _monotone(tput, increasing=False, tolerance=0.05)
+
+    # Partial tensor parallelism: covering all GPUs with TP groups yields a
+    # lower latency than no TP at all (intermediate coverage may pay the
+    # all-reduce cost without shrinking the pipeline enough, so only the
+    # endpoints are compared strictly).
+    lat = [p[1] for p in sweeps["tensor_parallel_gpus"]]
+    assert lat[-1] < lat[0]
+    assert _monotone(lat, increasing=False, tolerance=0.10)

@@ -1,0 +1,50 @@
+"""Ablation: RRA vs WAA-C vs WAA-M across output-length regimes.
+
+The paper argues WAA wins for short-output tasks (smaller KV cache, so the
+replication overhead is cheap and pipeline bubbles dominate) while RRA wins
+for long-output tasks and very large models.  This ablation evaluates the
+best schedule of each policy on a short-output (S) and a long-output (G)
+task and records who wins where.
+"""
+
+from conftest import run_once
+
+from repro.core.config import LatencyConstraint, SchedulePolicy
+from repro.core.exegpt import ExeGPT
+from repro.workloads.tasks import get_task
+
+
+def _best_per_policy(task_id: str) -> dict[str, float]:
+    task = get_task(task_id)
+    engine = ExeGPT.for_task("OPT-13B", task, max_encode_batch=48)
+    constraint = LatencyConstraint(bound_s=float("inf"), target_length=task.output_p99)
+    throughputs = {}
+    for label, policies in (
+        ("rra", (SchedulePolicy.RRA,)),
+        ("waa-c", (SchedulePolicy.WAA_C,)),
+        ("waa-m", (SchedulePolicy.WAA_M,)),
+    ):
+        result = engine.schedule(constraint, policies=policies)
+        throughputs[label] = result.best.throughput_seq_per_s if result.best else 0.0
+    return throughputs
+
+
+def _run_ablation():
+    return {task_id: _best_per_policy(task_id) for task_id in ("S", "G")}
+
+
+def test_ablation_allocation_policies(benchmark):
+    results = run_once(benchmark, _run_ablation)
+    benchmark.extra_info["throughput_by_policy"] = {
+        task: {k: round(v, 2) for k, v in policies.items()}
+        for task, policies in results.items()
+    }
+    for task_id, throughputs in results.items():
+        # Every policy must produce a feasible schedule on OPT-13B.
+        assert all(v > 0 for v in throughputs.values()), (task_id, throughputs)
+    # The winning policy differs by at most a modest margin from the best of
+    # the other policies on the short-output task (they are competitive),
+    # while on the long-output task RRA is not worse than WAA (the paper's
+    # memory-overhead argument).
+    long_output = results["G"]
+    assert long_output["rra"] >= 0.9 * max(long_output["waa-c"], long_output["waa-m"])

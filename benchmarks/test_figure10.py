@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 10 (real-world datasets).
+
+WMT / Alpaca / CNN-like traces with the published length statistics, 10% of
+each used to estimate the distribution and the rest for evaluation; ExeGPT's
+gain over FT should be at least as large as on the synthetic workloads
+because of the long output tail.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import figure6_speedups
+from repro.experiments.figure10 import run_figure10
+
+
+def test_figure10_real_world_datasets(benchmark):
+    rows = run_once(
+        benchmark,
+        run_figure10,
+        scenarios=(("OPT-13B", "WMT"), ("OPT-13B", "Alpaca")),
+        num_requests=400,
+        bounds_subset=(1, 3),
+    )
+    speedups = figure6_speedups(rows)
+    assert speedups
+    mean = sum(speedups.values()) / len(speedups)
+    benchmark.extra_info["mean_speedup"] = round(mean, 2)
+    benchmark.extra_info["paper_mean_speedup"] = 4.4
+    assert max(speedups.values()) > 1.2, (
+        "ExeGPT should clearly beat FT on long-tailed real-world workloads"
+    )

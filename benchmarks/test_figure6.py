@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 6 (ExeGPT vs FT, small/mid LLMs).
+
+The full figure spans four models x three tasks x four bounds; the benchmark
+runs a representative subset (OPT-13B and GPT-3 39B on summarization and
+translation, tightest and unbounded constraints) and checks the paper's
+shape: ExeGPT's best schedule out-throughputs FT under the tight bound.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import figure6_speedups, run_figure6
+
+
+def test_figure6_small_mid_models(benchmark):
+    rows = run_once(
+        benchmark,
+        run_figure6,
+        models=("OPT-13B", "GPT3-39B"),
+        tasks=("S", "T"),
+        num_requests=320,
+        bounds_subset=(0, 3),
+    )
+    speedups = figure6_speedups(rows)
+    assert speedups, "no (scenario, bound) pairs were measured"
+    tight = {k: v for k, v in speedups.items() if k.endswith("@10%")}
+    mean_tight = sum(tight.values()) / len(tight)
+    benchmark.extra_info["mean_speedup_tight_bound"] = round(mean_tight, 2)
+    benchmark.extra_info["mean_speedup_all"] = round(
+        sum(speedups.values()) / len(speedups), 2
+    )
+    benchmark.extra_info["paper_mean_speedup"] = 2.0
+    assert mean_tight > 1.2, f"ExeGPT should beat FT at tight bounds, got {tight}"

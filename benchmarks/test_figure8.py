@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 8 (ExeGPT RRA vs FT on large LLMs).
+
+GPT-3 101B and 175B on code generation under a tight and the unbounded
+constraint; WAA is memory-infeasible at the largest scales (checked here),
+so ExeGPT runs RRA only, as in the paper.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import figure6_speedups
+from repro.experiments.figure8 import run_figure8, waa_is_infeasible
+
+
+def test_figure8_large_models(benchmark):
+    rows = run_once(
+        benchmark,
+        run_figure8,
+        models=("GPT3-101B", "GPT3-175B"),
+        tasks=("G",),
+        num_requests=160,
+        bounds_subset=(0, 3),
+    )
+    speedups = figure6_speedups(rows)
+    assert speedups
+    mean = sum(speedups.values()) / len(speedups)
+    benchmark.extra_info["mean_speedup"] = round(mean, 2)
+    benchmark.extra_info["paper_mean_speedup"] = 3.2
+    tight = [v for k, v in speedups.items() if k.endswith("@10%")]
+    assert max(tight) > 1.2, "ExeGPT should beat FT at the tight bound on large LLMs"
+
+
+def test_figure8_waa_infeasible_for_341b(benchmark):
+    infeasible = run_once(benchmark, waa_is_infeasible, "GPT3-341B", "C2")
+    benchmark.extra_info["waa_infeasible_341b"] = infeasible
+    assert infeasible, "WAA's weight replication should not fit GPT-3 341B (paper 7.4)"

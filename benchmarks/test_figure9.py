@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 9 (memory usage of FT vs WAA).
+
+Per-GPU weight and KV-cache memory for OPT-13B and GPT-3 101B under the
+unbounded constraint.  The qualitative claims checked: WAA uses more model
+memory than FT (it stores the decoder stack twice for decoder-only models)
+while its decoder GPUs carry the KV cache.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure9 import model_memory_overhead, run_figure9
+
+
+def test_figure9_memory_usage(benchmark):
+    rows = run_once(benchmark, run_figure9, models=("OPT-13B", "GPT3-101B"), tasks=("T", "G"))
+    scenarios = sorted({r.scenario for r in rows})
+    assert scenarios
+    overheads = {s: model_memory_overhead(rows, s) for s in scenarios}
+    benchmark.extra_info["model_memory_overhead"] = {
+        k: round(v, 2) for k, v in overheads.items()
+    }
+    benchmark.extra_info["paper_overhead"] = {"OPT-13B": 0.18, "GPT3-101B": 0.29}
+    # Every scenario where WAA fit must show a positive model-memory overhead.
+    waa_scenarios = {r.scenario for r in rows if r.system.startswith("waa")}
+    for scenario in waa_scenarios:
+        assert overheads[scenario] > 0.0
+    # GPU capacity is never exceeded.
+    assert all(r.total_gib <= 81.0 for r in rows)

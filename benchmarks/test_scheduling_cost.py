@@ -1,0 +1,42 @@
+"""Benchmark: Section 7.7 (profiling and scheduling cost).
+
+The reproducible quantity is the efficiency of branch-and-bound relative to
+exhaustive search (the paper: minutes versus five hours to a day), measured
+both in evaluated configuration points and wall time, plus the one-off
+profiling cost per model.
+"""
+
+from conftest import run_once
+
+from repro.experiments.scheduling_cost import (
+    profiling_cost,
+    run_scheduling_cost,
+    search_efficiency,
+)
+
+
+def test_scheduling_search_cost(benchmark):
+    rows = run_once(
+        benchmark,
+        run_scheduling_cost,
+        max_encode_batch=32,
+        methods=("branch_and_bound", "exhaustive", "random"),
+    )
+    efficiency = search_efficiency(rows)
+    bnb_time = sum(r.elapsed_s for r in rows if r.method == "branch_and_bound")
+    exhaustive_time = sum(r.elapsed_s for r in rows if r.method == "exhaustive")
+    benchmark.extra_info["evaluation_ratio_exhaustive_vs_bnb"] = round(efficiency, 1)
+    benchmark.extra_info["bnb_seconds"] = round(bnb_time, 2)
+    benchmark.extra_info["exhaustive_seconds"] = round(exhaustive_time, 2)
+    assert efficiency > 3.0, "branch-and-bound should prune most of the space"
+    # Branch-and-bound must not sacrifice solution quality for speed.
+    bnb_best = max(r.best_throughput for r in rows if r.method == "branch_and_bound")
+    exhaustive_best = max(r.best_throughput for r in rows if r.method == "exhaustive")
+    assert bnb_best >= 0.9 * exhaustive_best
+
+
+def test_profiling_cost(benchmark):
+    seconds = run_once(benchmark, profiling_cost, "OPT-13B")
+    benchmark.extra_info["profiling_seconds"] = round(seconds, 2)
+    benchmark.extra_info["paper_profiling_hours"] = "< 2 (on real GPUs)"
+    assert seconds < 120.0

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 4 (model deployment / re-deployment cost)."""
+
+from conftest import run_once
+
+from repro.experiments.table4 import PAPER_TABLE4, run_table4
+
+
+def test_table4_deployment_cost(benchmark):
+    rows = run_once(benchmark, run_table4)
+    by_model = {r["model"].replace("GPT-3 ", "GPT3-"): r for r in rows}
+    benchmark.extra_info["measured"] = {
+        k: {"dram_s": round(v["dram_s"], 1), "ssd_s": round(v["ssd_s"], 1)}
+        for k, v in by_model.items()
+    }
+    benchmark.extra_info["paper"] = PAPER_TABLE4
+    # Trend checks: DRAM < SSD everywhere, costs grow with model size, and
+    # every value stays within 3x of the published number.
+    dram = [r["dram_s"] for r in rows]
+    ssd = [r["ssd_s"] for r in rows]
+    assert dram == sorted(dram) and ssd == sorted(ssd)
+    for model, published in PAPER_TABLE4.items():
+        ours = by_model[model]
+        assert ours["dram_s"] < ours["ssd_s"]
+        assert 1 / 3 < ours["ssd_s"] / published["ssd_s"] < 3

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 5 (monotonicity of the control variables)."""
+
+from conftest import run_once
+
+from repro.experiments.table5 import overall_monotonic_fraction, run_table5
+
+
+def test_table5_monotonicity(benchmark):
+    rows = run_once(
+        benchmark, run_table5, model_name="GPT3-39B", tasks=("S", "T"),
+        tolerances_pct=(2.0, 5.0, 10.0),
+    )
+    assert rows
+    fraction_5pct = overall_monotonic_fraction(rows, 5.0)
+    fraction_10pct = overall_monotonic_fraction(rows, 10.0)
+    benchmark.extra_info["monotonic_fraction_5pct"] = round(fraction_5pct, 3)
+    benchmark.extra_info["paper_monotonic_fraction_5pct"] = 0.97
+    # The scheduler's premise: the space is overwhelmingly monotonic, and
+    # larger tolerances can only help.
+    assert fraction_5pct > 0.8
+    assert fraction_10pct >= fraction_5pct - 1e-9

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 6 (schedule case study, OPT-13B / task S)."""
+
+from conftest import run_once
+
+from repro.experiments.table6 import (
+    TABLE6_BOUNDS,
+    run_table6,
+    tightest_to_max_throughput_ratio,
+)
+
+
+def test_table6_selected_schedules(benchmark):
+    rows = run_once(benchmark, run_table6, bounds=TABLE6_BOUNDS)
+    assert len(rows) == 4
+    feasible = [r for r in rows if r.throughput_seq_per_s > 0]
+    assert len(feasible) == 4, "a schedule should exist for every Table 6 bound"
+    # Selected latencies respect their bounds and throughput grows as the
+    # bound relaxes.
+    for row in feasible:
+        assert row.latency_s <= row.bound_s * 1.001
+    tputs = [r.throughput_seq_per_s for r in feasible]
+    assert tputs == sorted(tputs)
+    ratio = tightest_to_max_throughput_ratio(rows)
+    benchmark.extra_info["schedules"] = [r.config for r in rows]
+    benchmark.extra_info["tightest_to_max_ratio"] = round(ratio, 2)
+    benchmark.extra_info["paper_ratio"] = 0.8
+    assert ratio > 0.3

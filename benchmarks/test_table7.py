@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 7 (encoder/decoder stage-time variance)."""
+
+from conftest import run_once
+
+from repro.experiments.table7 import run_table7
+
+
+def test_table7_workload_variance(benchmark):
+    rows = run_once(benchmark, run_table7, num_requests=384)
+    assert rows
+    by_key = {(r.schedule, r.phase): r for r in rows}
+    benchmark.extra_info["p99_range_pct"] = {
+        f"{k[0]}/{k[1]}": round(r.p99_range_pct, 1) for k, r in by_key.items()
+    }
+    benchmark.extra_info["paper_encoder_range_pct"] = {"RRA": 7.1, "WAA": 11.8}
+    # Decoder stage times vary less than encoder stage times under WAA (the
+    # paper's qualitative finding that justifies the dynamic adjustment).
+    if ("WAA", "encode") in by_key and ("WAA", "decode") in by_key:
+        assert by_key[("WAA", "decode")].p99_range_pct <= by_key[("WAA", "encode")].p99_range_pct
+    assert all(r.mean_s > 0 for r in rows)

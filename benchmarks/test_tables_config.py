@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Tables 1-3 (model / cluster / task configurations)."""
+
+from conftest import run_once
+
+from repro.experiments.tables_config import run_table1, run_table2, run_table3
+
+
+def test_table1_models(benchmark):
+    rows = run_once(benchmark, run_table1)
+    benchmark.extra_info["num_models"] = len(rows)
+    assert len(rows) == 6
+    assert {r["layers"] for r in rows} == {48, 40, 80, 96, 120}
+
+
+def test_table2_clusters(benchmark):
+    rows = run_once(benchmark, run_table2)
+    clusters = [r for r in rows if not str(r["gpu"]).startswith("deploy:")]
+    deployments = [r for r in rows if str(r["gpu"]).startswith("deploy:")]
+    benchmark.extra_info["num_deployments"] = len(deployments)
+    assert {c["size"] for c in clusters} == {48, 16}
+    assert len(deployments) == 6
+
+
+def test_table3_tasks(benchmark):
+    rows = run_once(benchmark, run_table3)
+    benchmark.extra_info["num_tasks"] = len(rows)
+    assert len(rows) == 5
+    assert {r["output_p99"] for r in rows} == {63, 292, 417, 137, 579}

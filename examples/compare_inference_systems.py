@@ -1,0 +1,48 @@
+"""Compare ExeGPT against FT, DSI, ORCA and vLLM on one scenario.
+
+Reproduces a single column of Figures 6/7: OPT-13B on the translation task
+under the paper's four latency bounds (derived from an FT batch sweep), with
+every system replaying the same synthetic trace on the same simulated
+cluster.
+
+Run with::
+
+    python examples/compare_inference_systems.py
+"""
+
+from __future__ import annotations
+
+from repro import ExeGPT
+from repro.experiments.common import format_measurements
+from repro.serving import (
+    default_baselines,
+    derive_latency_bounds,
+    measure_baseline,
+    measure_exegpt,
+    speedup_over,
+)
+from repro.workloads import generate_task_trace, get_task
+
+
+def main() -> None:
+    task = get_task("T")
+    engine = ExeGPT.for_task("OPT-13B", task)
+    trace = generate_task_trace(task, num_requests=384, seed=1)
+    ft, dsi, orca, vllm = default_baselines(engine, ("ft", "dsi", "orca", "vllm"))
+    bounds = derive_latency_bounds(ft, target_length=task.output_p99)
+
+    measurements = []
+    for constraint in bounds.as_list():
+        measurements.append(measure_exegpt(engine, trace, constraint))
+        for system in (ft, dsi, orca, vllm):
+            measurements.append(measure_baseline(system, trace, constraint))
+
+    print(format_measurements(measurements, title=f"OPT-13B / task {task.task_id}"))
+    speedups = speedup_over(measurements, reference_system="ft")
+    print("\nExeGPT speedup over FasterTransformer per bound:")
+    for bound, speedup in speedups.items():
+        print(f"  {bound:>6}: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

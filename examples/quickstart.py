@@ -1,0 +1,71 @@
+"""Quickstart: schedule and run constraint-aware inference with ExeGPT.
+
+Serves OPT-13B on the paper's 4xA40 deployment for a summarization workload
+(Table 3 task S).  The script:
+
+1. profiles the model on the (simulated) cluster,
+2. asks XScheduler for the throughput-optimal schedule under a 10-second
+   latency bound for the 99th-percentile output length,
+3. replays a synthetic trace under that schedule with XRunner, and
+4. compares the result against an unconstrained FasterTransformer run.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExeGPT, LatencyConstraint
+from repro.serving import default_baselines
+from repro.workloads import generate_task_trace, get_task
+
+
+def main() -> None:
+    task = get_task("S")
+    print(f"Task: {task.name} (input ~{task.input_mean}, output ~{task.output_mean} tokens)")
+
+    # 1. Build the engine for the paper's OPT-13B deployment (4x A40).
+    engine = ExeGPT.for_task("OPT-13B", task)
+    print(f"Model: {engine.model.name} on {engine.cluster.num_gpus}x {engine.cluster.gpu.name}")
+
+    # 2. Find the best schedule under a 10 s bound for a 99th-pctl sequence.
+    constraint = LatencyConstraint(bound_s=10.0, target_length=task.output_p99)
+    search = engine.schedule(constraint)
+    if search.best is None:
+        raise SystemExit("no schedule satisfies the bound")
+    best = search.best
+    print(
+        f"Selected schedule: {best.config.describe()}\n"
+        f"  estimated throughput: {best.throughput_seq_per_s:.2f} seq/s\n"
+        f"  estimated latency ({best.target_length} tokens): {best.latency_s:.2f} s\n"
+        f"  search evaluated {search.evaluations} of {search.space_size} points "
+        f"in {search.elapsed_s:.2f} s"
+    )
+
+    # 3. Execute a synthetic trace under the schedule.
+    trace = generate_task_trace(task, num_requests=512, seed=0)
+    result = engine.run(trace, best.config)
+    print(
+        f"Measured: {result.steady_state_throughput():.2f} seq/s, "
+        f"p99 latency {result.latency_percentile(99, skip_warmup=True):.2f} s "
+        f"(bound {constraint.bound_s:.1f} s)"
+    )
+
+    # 4. Compare against FasterTransformer configured for the same bound.
+    (ft,) = default_baselines(engine, ("ft",))
+    ft_batch = ft.configure_for_bound(constraint.bound_s)
+    ft_result = ft.run(trace, ft_batch)
+    print(
+        f"FasterTransformer (batch {ft_batch}): "
+        f"{ft_result.steady_state_throughput():.2f} seq/s, "
+        f"p99 latency {ft_result.latency_percentile(99, skip_warmup=True):.2f} s"
+    )
+    speedup = result.steady_state_throughput() / max(
+        ft_result.steady_state_throughput(), 1e-9
+    )
+    print(f"ExeGPT speedup over FT under this bound: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro: a reproduction of ExeGPT (ASPLOS 2024).
+
+ExeGPT is a distributed system for constraint-aware LLM inference: it finds
+and runs an execution schedule that maximises throughput subject to a
+latency bound, by exploiting the distribution of input and output sequence
+lengths.  This package re-implements the full system -- profiler, timeline
+simulator, branch-and-bound scheduler and distributed runner -- together
+with the hardware substrate, model catalog, workloads and baseline systems
+(FasterTransformer, DeepSpeed-Inference, ORCA, vLLM) needed to reproduce the
+paper's evaluation on a machine without GPUs.
+
+Quickstart::
+
+    from repro import ExeGPT, LatencyConstraint
+    from repro.workloads import generate_task_trace, get_task
+
+    engine = ExeGPT.for_task("OPT-13B", "S")
+    search = engine.schedule(LatencyConstraint(bound_s=10.0))
+    trace = generate_task_trace(get_task("S"), num_requests=256)
+    result = engine.run(trace, search.best.config)
+    print(result.throughput_seq_per_s, result.p99_latency_s)
+"""
+
+from repro.core import (
+    ExeGPT,
+    LatencyConstraint,
+    ScheduleConfig,
+    ScheduleEstimate,
+    SchedulePolicy,
+    SequenceDistribution,
+    TensorParallelConfig,
+    UNBOUNDED,
+    XProfiler,
+    XRunner,
+    XScheduler,
+    XSimulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExeGPT",
+    "LatencyConstraint",
+    "ScheduleConfig",
+    "ScheduleEstimate",
+    "SchedulePolicy",
+    "SequenceDistribution",
+    "TensorParallelConfig",
+    "UNBOUNDED",
+    "XProfiler",
+    "XRunner",
+    "XScheduler",
+    "XSimulator",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Baseline LLM inference systems re-implemented as scheduling policies."""
+
+from repro.baselines.base import BaselineSystem, kv_capacity_bytes, tp_maximized_placement
+from repro.baselines.deepspeed import DeepSpeedInference
+from repro.baselines.faster_transformer import FasterTransformer
+from repro.baselines.orca import Orca
+from repro.baselines.vllm import Vllm
+
+__all__ = [
+    "BaselineSystem",
+    "DeepSpeedInference",
+    "FasterTransformer",
+    "Orca",
+    "Vllm",
+    "kv_capacity_bytes",
+    "tp_maximized_placement",
+]

@@ -1,0 +1,182 @@
+"""ORCA baseline: iteration-level scheduling with continuous batching.
+
+ORCA keeps a running batch of at most ``max_batch`` requests.  At every
+decoding iteration, completed requests leave the batch (early termination)
+and new requests join it; the prefill of a joining request is executed in
+the *same* iteration as the other requests' decode steps, which keeps the
+batch full but makes that iteration much longer -- the pipeline-bubble and
+latency-variability problem the paper highlights (Figure 1, Section 2).
+
+The paper evaluates ORCA through vLLM's iteration-level mode (at most one
+prefill per iteration); this class follows the same policy but with the
+contiguous, reservation-based KV cache of the original ORCA design.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.baselines.base import BaselineSystem
+from repro.engine.batching import average_context
+from repro.engine.kv_manager import ContiguousKVCache, KVCacheError
+from repro.engine.metrics import RunResult, collect_result
+from repro.engine.request import RequestState
+from repro.engine.timeline import Timeline
+from repro.workloads.trace import WorkloadTrace
+
+
+@dataclass
+class Orca(BaselineSystem):
+    """Iteration-level scheduling with a reservation-based KV cache."""
+
+    iteration_overhead_s: float = 0.001
+    name: str = "orca"
+    max_prefills_per_iteration: int = 1
+
+    # -- parameter selection ----------------------------------------------------------
+
+    def worst_case_latency(self, batch_size: int) -> float:
+        """Latency of a 99th-percentile-length request at full batch.
+
+        Iteration-level schedulers early-terminate, so the bound applies to
+        the 99th-percentile output length; every iteration may additionally
+        carry one prefill of an average-length input, which is what inflates
+        ORCA's per-token latency.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        stages = self.placement.stages
+        target = float(self.output_distribution.percentile(99))
+        avg_in = self.input_distribution.mean
+        context = avg_in + self.output_distribution.mean / 2.0 if self.decoder_only else (
+            self.output_distribution.mean / 2.0
+        )
+        per_iter = 0.0
+        for stage in stages:
+            decode = self.decode_time(stage, batch_size, context)
+            prefill = self.encode_time(stage, 1.0, avg_in)
+            per_iter += decode + prefill
+        admission_wait = per_iter * self.input_distribution.mean / max(avg_in, 1.0)
+        return admission_wait + target * per_iter
+
+    # -- KV management -------------------------------------------------------------------
+
+    def _make_kv_cache(self) -> ContiguousKVCache:
+        return ContiguousKVCache(
+            model=self.model,
+            num_layers=self.model.num_decoder_layers,
+            capacity_bytes=self.kv_capacity(),
+        )
+
+    def _reserve(self, cache: ContiguousKVCache, request: RequestState) -> bool:
+        max_tokens = request.input_len + self.output_distribution.max_len
+        try:
+            cache.reserve(request.request_id, max_tokens)
+        except KVCacheError:
+            return False
+        return True
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run(self, trace: WorkloadTrace, batch_size: int) -> RunResult:
+        """Replay the trace with iteration-level continuous batching."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        stages = self.placement.stages
+        timeline = Timeline()
+        states = self._make_states(trace)
+        pending: deque[RequestState] = deque(states)
+        pool: list[RequestState] = []
+        cache = self._make_kv_cache()
+        stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
+        completions: list[tuple[RequestState, int]] = []
+        encode_starts: list[tuple[RequestState, int]] = []
+        prev_iteration_last: int | None = None
+        iterations = 0
+
+        while pending or pool:
+            # --- admission: up to `max_prefills_per_iteration` new requests -------
+            admitted: list[RequestState] = []
+            while (
+                pending
+                and len(pool) + len(admitted) < batch_size
+                and len(admitted) < self.max_prefills_per_iteration
+            ):
+                candidate = pending[0]
+                if not self._admit(cache, candidate):
+                    break
+                pending.popleft()
+                admitted.append(candidate)
+
+            if not pool and not admitted:
+                if not pending:
+                    break
+                raise RuntimeError(
+                    "ORCA cannot admit any request: KV cache too small for one query"
+                )
+
+            # --- one iteration: decodes of the pool + prefills of the admitted -----
+            alive = [r for r in pool if not r.done]
+            avg_ctx = average_context(alive, self.decoder_only) if alive else 0.0
+            prev = None
+            first = None
+            for stage in stages:
+                duration = 0.0
+                if alive:
+                    duration += self.decode_time(stage, len(alive), avg_ctx)
+                for request in admitted:
+                    duration += self.encode_time(stage, 1.0, request.input_len)
+                deps = []
+                if prev is not None:
+                    deps.append(prev)
+                elif prev_iteration_last is not None:
+                    deps.append(prev_iteration_last)
+                task = timeline.add_task(
+                    stage.stage_id, duration, tuple(deps), tag="iteration"
+                )
+                stage_times["decode" if alive else "encode"].append(duration)
+                if first is None:
+                    first = task
+                prev = task
+            prev_iteration_last = prev
+
+            for request in admitted:
+                request.encode_start_s = -2.0  # resolved below via task times
+                encode_starts.append((request, first))
+                pool.append(request)
+            for request in alive:
+                request.advance()
+                if request.done:
+                    completions.append((request, prev))
+                    self._release(cache, request)
+            pool = [r for r in pool if not r.done]
+            iterations += 1
+            if iterations > 500000:
+                raise RuntimeError("ORCA runner did not converge")
+
+        timeline.run()
+        for request, task in encode_starts:
+            request.encode_start_s = timeline.start_time(task)
+        for request, task in completions:
+            request.finish_s = timeline.finish_time(task)
+        return collect_result(
+            system=self.name,
+            requests=states,
+            makespan_s=timeline.makespan_s,
+            stage_utilization=timeline.stage_utilization(),
+            stage_times=stage_times,
+            extra={
+                "batch_size": float(batch_size),
+                "iterations": float(iterations),
+                "peak_kv_gib": cache.peak_bytes / (1024 ** 3),
+            },
+        )
+
+    # -- hooks overridden by the vLLM subclass ---------------------------------------
+
+    def _admit(self, cache, request: RequestState) -> bool:
+        return self._reserve(cache, request)
+
+    def _release(self, cache, request: RequestState) -> None:
+        cache.release(request.request_id)

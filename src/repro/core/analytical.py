@@ -1,0 +1,269 @@
+"""Analytical timeline building blocks shared by XSimulator and XRunner.
+
+These functions turn a :class:`~repro.core.allocation.Placement` plus a
+:class:`~repro.core.profiler.ProfileTable` into stage-level execution times
+and steady-state pipeline periods.  They encode the pipeline algebra that
+both the fast estimator (XSimulator) and the discrete-event runner share:
+
+* a stage's time is its layer count times the profiled per-layer time plus
+  the tensor-parallel synchronisation overhead,
+* a pipelined decode iteration over ``m`` micro-batches and ``P`` stages has
+  steady-state period ``max(m * t_bottleneck, sum_j t_j)`` -- the resource
+  constraint of the bottleneck stage versus the autoregressive traversal
+  constraint -- which is what makes decoder micro-batches (WAA) and the
+  choice of ``N_D`` (RRA) genuine latency/throughput trade-offs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.allocation import Placement, StagePlan, stage_weight_bytes
+from repro.core.profiler import ProfileTable
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-stage execution times for one (micro-)batch.
+
+    Attributes:
+        times: Stage times in pipeline order, seconds.
+    """
+
+    times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "times", tuple(float(t) for t in self.times))
+
+    @property
+    def bottleneck(self) -> float:
+        """Time of the slowest stage."""
+        return max(self.times) if self.times else 0.0
+
+    @property
+    def traversal(self) -> float:
+        """Sum of all stage times: time for one micro-batch to cross the pipeline."""
+        return float(sum(self.times))
+
+    @property
+    def num_stages(self) -> int:
+        """Pipeline depth."""
+        return len(self.times)
+
+
+def encode_stage_time(
+    profile: ProfileTable,
+    placement: Placement,
+    stage: StagePlan,
+    batch: float,
+    avg_input_len: float,
+) -> float:
+    """Time for ``stage`` to encode a (micro-)batch of ``batch`` sequences."""
+    if batch <= 0 or stage.encoder_layers == 0:
+        return 0.0
+    spans = placement.stage_spans_nodes(stage)
+    per_layer = profile.encode_layer_time(stage.tp_degree, batch, avg_input_len)
+    sync = profile.encode_sync_time(stage.tp_degree, batch, avg_input_len, spans)
+    return stage.encoder_layers * (per_layer + sync)
+
+
+def decode_stage_time(
+    profile: ProfileTable,
+    placement: Placement,
+    stage: StagePlan,
+    batch: float,
+    avg_context_len: float,
+) -> float:
+    """Time for ``stage`` to run one decode step for a (micro-)batch."""
+    if batch <= 0 or stage.decoder_layers == 0:
+        return 0.0
+    spans = placement.stage_spans_nodes(stage)
+    per_layer = profile.decode_layer_time(stage.tp_degree, batch, avg_context_len)
+    sync = profile.decode_sync_time(stage.tp_degree, batch, spans)
+    return stage.decoder_layers * (per_layer + sync)
+
+
+def encode_stage_times(
+    profile: ProfileTable,
+    placement: Placement,
+    batch: float,
+    avg_input_len: float,
+) -> StageTimes:
+    """Encode-phase times of all encode stages for one (micro-)batch."""
+    return StageTimes(
+        tuple(
+            encode_stage_time(profile, placement, stage, batch, avg_input_len)
+            for stage in placement.encode_stages
+        )
+    )
+
+
+def decode_stage_times(
+    profile: ProfileTable,
+    placement: Placement,
+    batch: float,
+    avg_context_len: float,
+) -> StageTimes:
+    """Decode-step times of all decode stages for one (micro-)batch."""
+    return StageTimes(
+        tuple(
+            decode_stage_time(profile, placement, stage, batch, avg_context_len)
+            for stage in placement.decode_stages
+        )
+    )
+
+
+# --- pipeline algebra -------------------------------------------------------------
+
+
+def pipelined_iteration_period(stage_times: StageTimes, micro_batches: int) -> float:
+    """Steady-state wall time of one decode iteration over ``micro_batches``.
+
+    ``stage_times`` are per-*micro-batch* stage times.  The period is the
+    larger of the bottleneck-stage occupancy (``m * t_max``) and the
+    autoregressive traversal (``sum_j t_j``): the next iteration of a
+    micro-batch can neither start before the bottleneck stage has drained all
+    micro-batches of the current iteration nor before the micro-batch's own
+    token has left the last stage.
+    """
+    if micro_batches < 1:
+        raise ValueError("micro_batches must be >= 1")
+    return max(micro_batches * stage_times.bottleneck, stage_times.traversal)
+
+
+def pipelined_batch_completion(stage_times: StageTimes, micro_batches: int) -> float:
+    """Wall time for ``micro_batches`` independent micro-batches to clear a pipeline.
+
+    Classic pipeline fill + steady state: ``sum_j t_j + (m - 1) * t_max``.
+    Used for the encoding phase, where micro-batches have no mutual
+    dependency.
+    """
+    if micro_batches < 1:
+        raise ValueError("micro_batches must be >= 1")
+    return stage_times.traversal + (micro_batches - 1) * stage_times.bottleneck
+
+
+def token_latency(stage_times: StageTimes) -> float:
+    """Latency contribution of generating one token: pipeline traversal time."""
+    return stage_times.traversal
+
+
+# --- memory estimation --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageMemory:
+    """Estimated memory footprint of one stage (per GPU of its TP group).
+
+    Attributes:
+        stage_id: The stage.
+        role: ``both`` / ``encode`` / ``decode``.
+        weights_gib: Weight bytes per GPU, in GiB.
+        kv_cache_gib: Steady-state KV-cache bytes per GPU, in GiB.
+        activation_gib: Peak activation bytes per GPU, in GiB.
+        capacity_gib: Usable device capacity in GiB.
+    """
+
+    stage_id: int
+    role: str
+    weights_gib: float
+    kv_cache_gib: float
+    activation_gib: float
+    capacity_gib: float
+
+    @property
+    def total_gib(self) -> float:
+        """Total used memory per GPU in GiB."""
+        return self.weights_gib + self.kv_cache_gib + self.activation_gib
+
+    @property
+    def fits(self) -> bool:
+        """Whether the stage fits in device memory."""
+        return self.total_gib <= self.capacity_gib
+
+
+GIB = 1024 ** 3
+_RESERVED_FRACTION = 0.08
+
+
+def estimate_stage_memory(
+    placement: Placement,
+    stage: StagePlan,
+    encode_batch: float,
+    decode_batch: float,
+    avg_input_len: float,
+    avg_context_len: float,
+) -> StageMemory:
+    """Estimate one stage's per-GPU memory use under a schedule.
+
+    Encoder-role stages hold their encoder layers' weights (for decoder-only
+    models these are decoder layers, i.e. the replicated copy) plus prefill
+    activations; decoder-role stages hold decoder weights plus the standing
+    KV cache of the in-flight decode batch; RRA stages hold both.
+    """
+    model = placement.model
+    tp = stage.tp_degree
+    weights = stage_weight_bytes(model, stage) / tp
+    kv = 0.0
+    act = 0.0
+    if stage.encoder_layers > 0:
+        act += (
+            4.0
+            * encode_batch
+            * avg_input_len
+            * model.hidden_size
+            * model.dtype_bytes
+            / tp
+        )
+        if model.is_encoder_decoder:
+            # Encoder output kept for cross-attention until handover.
+            kv += (
+                encode_batch
+                * avg_input_len
+                * model.hidden_size
+                * model.dtype_bytes
+                / tp
+            )
+    if stage.decoder_layers > 0:
+        kv += (
+            decode_batch
+            * avg_context_len
+            * stage.decoder_layers
+            * model.kv_bytes_per_token_per_layer()
+            / tp
+        )
+        act += 2.0 * decode_batch * model.hidden_size * model.dtype_bytes / tp
+    # Embedding / LM-head weights live on the first and last stages; spread the
+    # cost evenly as an approximation.
+    weights += model.embedding_parameters * model.dtype_bytes / placement.num_gpus
+    capacity = placement.cluster.gpu.memory_bytes * (1.0 - _RESERVED_FRACTION)
+    return StageMemory(
+        stage_id=stage.stage_id,
+        role=stage.role,
+        weights_gib=weights / GIB,
+        kv_cache_gib=kv / GIB,
+        activation_gib=act / GIB,
+        capacity_gib=capacity / GIB,
+    )
+
+
+def estimate_placement_memory(
+    placement: Placement,
+    encode_batch: float,
+    decode_batch: float,
+    avg_input_len: float,
+    avg_context_len: float,
+) -> list[StageMemory]:
+    """Memory estimate for every stage of a placement."""
+    return [
+        estimate_stage_memory(
+            placement, stage, encode_batch, decode_batch, avg_input_len, avg_context_len
+        )
+        for stage in placement.stages
+    ]
+
+
+def placement_fits_memory(stage_memory: list[StageMemory]) -> bool:
+    """Whether every stage of a placement fits on its GPUs."""
+    return all(m.fits for m in stage_memory)

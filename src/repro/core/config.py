@@ -1,0 +1,171 @@
+"""Schedule configuration: the control variables of ExeGPT.
+
+Section 4.2 of the paper defines four control mechanisms that trade
+throughput against latency:
+
+* **batch size** (encoder batch ``B_E``; the decoder batch ``B_D`` is derived
+  from it and the output-length distribution),
+* **decoder micro-batch** count ``B_m`` (WAA only),
+* **partial tensor parallelism** -- a fixed TP degree applied to a subset of
+  the GPUs,
+* **encoding frequency** ``N_D`` -- the number of decoding iterations between
+  encoding phases (RRA only).
+
+A :class:`ScheduleConfig` bundles concrete values of these variables plus the
+allocation policy; it is what XScheduler searches over, what XSimulator
+evaluates, and what XRunner enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+
+class SchedulePolicy(str, Enum):
+    """Resource allocation / scheduling policy (Section 4.1)."""
+
+    RRA = "rra"
+    WAA_C = "waa-c"
+    WAA_M = "waa-m"
+
+    @property
+    def is_waa(self) -> bool:
+        """True for either WAA variant."""
+        return self in (SchedulePolicy.WAA_C, SchedulePolicy.WAA_M)
+
+
+@dataclass(frozen=True)
+class TensorParallelConfig:
+    """Partial tensor parallelism: degree plus the number of GPUs it covers.
+
+    The scheduler fixes ``degree`` and varies ``num_gpus`` (the number of
+    GPUs grouped into TP groups of that degree); remaining GPUs form
+    single-GPU pipeline stages.  ``num_gpus`` must be a multiple of
+    ``degree``.
+
+    Attributes:
+        degree: Tensor-parallel group size (1 disables TP).
+        num_gpus: How many GPUs participate in TP groups.
+    """
+
+    degree: int = 1
+    num_gpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError("TP degree must be >= 1")
+        if self.num_gpus < 0:
+            raise ValueError("num_gpus must be non-negative")
+        if self.degree == 1 and self.num_gpus != 0:
+            object.__setattr__(self, "num_gpus", 0)
+        if self.degree > 1 and self.num_gpus % self.degree != 0:
+            raise ValueError(
+                f"num_gpus ({self.num_gpus}) must be a multiple of degree "
+                f"({self.degree})"
+            )
+
+    @property
+    def num_groups(self) -> int:
+        """Number of TP groups formed."""
+        if self.degree <= 1:
+            return 0
+        return self.num_gpus // self.degree
+
+    def stages_for(self, total_gpus: int) -> int:
+        """Pipeline depth when applied to ``total_gpus`` GPUs."""
+        if self.num_gpus > total_gpus:
+            raise ValueError("TP covers more GPUs than available")
+        return (total_gpus - self.num_gpus) + self.num_groups
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """A complete, executable schedule.
+
+    Attributes:
+        policy: RRA, WAA-C or WAA-M.
+        encode_batch: Encoder batch size ``B_E`` (new queries admitted per
+            encoding phase).
+        decode_iterations: ``N_D``, decoding iterations between encoding
+            phases.  Meaningful for RRA; WAA behaves as ``N_D = 1``.
+        micro_batches: Decoder micro-batch count ``B_m`` (WAA); RRA uses as
+            many micro-batches as pipeline stages internally.
+        tensor_parallel: Partial-TP configuration.
+        decode_batch_override: Explicit decoder batch size; when ``None`` the
+            steady-state value is derived from the output distribution.
+    """
+
+    policy: SchedulePolicy
+    encode_batch: int
+    decode_iterations: int = 1
+    micro_batches: int = 1
+    tensor_parallel: TensorParallelConfig = field(
+        default_factory=TensorParallelConfig
+    )
+    decode_batch_override: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.encode_batch < 1:
+            raise ValueError("encode_batch must be >= 1")
+        if self.decode_iterations < 1:
+            raise ValueError("decode_iterations must be >= 1")
+        if self.micro_batches < 1:
+            raise ValueError("micro_batches must be >= 1")
+        if self.decode_batch_override is not None and self.decode_batch_override < 1:
+            raise ValueError("decode_batch_override must be >= 1 when given")
+        if self.policy.is_waa and self.decode_iterations != 1:
+            raise ValueError("WAA scheduling runs encoding every iteration (N_D = 1)")
+
+    def with_(self, **changes) -> "ScheduleConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short human-readable description, e.g. for Table 6 rows."""
+        parts = [f"{self.policy.value.upper()}", f"B_E={self.encode_batch}"]
+        if self.policy is SchedulePolicy.RRA:
+            parts.append(f"N_D={self.decode_iterations}")
+        else:
+            parts.append(f"B_m={self.micro_batches}")
+        if self.tensor_parallel.degree > 1:
+            parts.append(
+                f"TP={self.tensor_parallel.degree}"
+                f"x{self.tensor_parallel.num_groups}"
+            )
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class LatencyConstraint:
+    """A latency bound for the scheduling problem.
+
+    The paper's bounds apply to generating a sequence of the 99th-percentile
+    output length (SLA-(b)); ``float("inf")`` means unconstrained.
+
+    Attributes:
+        bound_s: Maximum allowed latency in seconds.
+        target_length: The output length the bound applies to; ``None`` means
+            the 99th-percentile length of the scheduled distribution.
+        label: Optional display label ("10%", "30%", "70%", "Inf").
+    """
+
+    bound_s: float
+    target_length: int | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bound_s <= 0:
+            raise ValueError("bound_s must be positive")
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True when the constraint never binds."""
+        return self.bound_s == float("inf")
+
+    def satisfied_by(self, latency_s: float, tolerance: float = 0.0) -> bool:
+        """Whether ``latency_s`` satisfies the bound (with slack ``tolerance``)."""
+        return latency_s <= self.bound_s + tolerance
+
+
+UNBOUNDED = LatencyConstraint(bound_s=float("inf"), label="Inf")

@@ -1,0 +1,117 @@
+"""Dynamic workload adjustment (Section 5.2).
+
+Both RRA and WAA schedules are sized for *average* encoder/decoder batch
+sizes, but individual batches deviate because input and output lengths vary.
+The runtime therefore adjusts the encoder batch on every admission:
+
+* the encoder workload (sum of input lengths in the admitted batch) is kept
+  within a threshold of the scheduled average workload, and
+* the decoder batch is monitored -- when the standing pool drifts below or
+  above its target, the encoder batch is increased or decreased to steer it
+  back.
+
+:class:`DynamicWorkloadAdjuster` implements exactly this policy and is used
+by XRunner; it can be disabled to reproduce the ablation of running with the
+static schedule only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.request import RequestState
+
+
+@dataclass
+class DynamicWorkloadAdjuster:
+    """Keeps encoder/decoder workloads near their scheduled averages.
+
+    Attributes:
+        target_encode_batch: Scheduled ``B_E``.
+        target_decode_batch: Scheduled steady-state ``B_D``.
+        avg_input_len: Average input length the schedule assumed.
+        workload_threshold: Allowed relative deviation of the encoder
+            workload from its average before admission stops.
+        pool_threshold: Relative decoder-pool deviation that triggers an
+            encoder batch correction.
+        enabled: When False, always admit exactly ``target_encode_batch``.
+    """
+
+    target_encode_batch: int
+    target_decode_batch: float
+    avg_input_len: float
+    workload_threshold: float = 0.1
+    pool_threshold: float = 0.1
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.target_encode_batch < 1:
+            raise ValueError("target_encode_batch must be >= 1")
+        if self.target_decode_batch <= 0:
+            raise ValueError("target_decode_batch must be positive")
+        if self.avg_input_len <= 0:
+            raise ValueError("avg_input_len must be positive")
+        if not 0 <= self.workload_threshold <= 1:
+            raise ValueError("workload_threshold must be in [0, 1]")
+        if not 0 <= self.pool_threshold <= 1:
+            raise ValueError("pool_threshold must be in [0, 1]")
+
+    # -- encoder batch sizing -----------------------------------------------------
+
+    def target_batch_for_pool(self, pool_size: int, freed_slots: int) -> int:
+        """Encoder batch target given the current decoder pool occupancy.
+
+        The encoder refills the standing decode pool back to its scheduled
+        size ``B_D``: the admission target is the pool deficit, which at
+        steady state equals the number of queries freed by early termination
+        (i.e. roughly ``B_E``).  To keep the encoder workload predictable the
+        target is capped near the scheduled encoder batch, so an empty pool
+        (start-up) is filled over a few admissions rather than one giant
+        encoding batch.
+
+        ``freed_slots`` is the number of queries completed since the last
+        admission and is used as a fallback when the pool is already full but
+        slots were just freed.
+        """
+        if pool_size < 0 or freed_slots < 0:
+            raise ValueError("pool_size and freed_slots must be non-negative")
+        if not self.enabled:
+            return self.target_encode_batch
+        deficit = int(round(self.target_decode_batch)) - pool_size
+        if deficit <= 0:
+            return 0
+        cap = max(int(round((1.0 + self.pool_threshold) * 2 * self.target_encode_batch)), 1)
+        return min(deficit, cap)
+
+    def admit(
+        self,
+        pending: list[RequestState],
+        pool_size: int,
+        freed_slots: int,
+    ) -> list[RequestState]:
+        """Select the next encoder batch from ``pending`` (without removing).
+
+        The batch is grown request by request until either the target count
+        is reached or the encoder workload (sum of input lengths) exceeds the
+        scheduled average workload by the threshold.
+        """
+        if not pending:
+            return []
+        target_count = self.target_batch_for_pool(pool_size, freed_slots)
+        if target_count == 0:
+            return []
+        if not self.enabled:
+            return list(pending[: self.target_encode_batch])
+        max_workload = (
+            (1.0 + self.workload_threshold) * target_count * self.avg_input_len
+        )
+        batch: list[RequestState] = []
+        workload = 0.0
+        for request in pending:
+            if len(batch) >= target_count:
+                break
+            if batch and workload + request.input_len > max_workload:
+                break
+            batch.append(request)
+            workload += request.input_len
+        return batch

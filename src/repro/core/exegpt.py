@@ -1,0 +1,190 @@
+"""High-level ExeGPT facade.
+
+:class:`ExeGPT` wires the four system components together the way Figure 2
+describes: XProfiler measures per-layer times once per model/cluster,
+XSimulator estimates timelines from those measurements and the sequence
+distributions, XScheduler searches for the throughput-optimal schedule under
+a latency bound, and XRunner enforces the chosen schedule on the (simulated)
+cluster.  Most examples and experiments only need this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import LatencyConstraint, ScheduleConfig, SchedulePolicy
+from repro.core.distributions import SequenceDistribution
+from repro.core.profiler import ProfileTable, XProfiler
+from repro.core.runner import XRunner
+from repro.core.scheduler import SearchResult, XScheduler
+from repro.core.simulator import ScheduleEstimate, XSimulator
+from repro.engine.metrics import RunResult
+from repro.hardware.cluster import Cluster, a40_cluster, a100_cluster
+from repro.models.catalog import deployment_for, get_model
+from repro.models.spec import ModelSpec
+from repro.workloads.tasks import TaskSpec, get_task
+from repro.workloads.trace import WorkloadTrace
+
+
+@dataclass
+class ExeGPT:
+    """Constraint-aware LLM inference: profile, schedule and run.
+
+    Attributes:
+        model: The served model.
+        cluster: The (sub-)cluster it is deployed on.
+        input_distribution: Distribution of input sequence lengths.
+        output_distribution: Distribution of output sequence lengths.
+        max_encode_batch: Upper bound of the scheduler's ``B_E`` search range.
+    """
+
+    model: ModelSpec
+    cluster: Cluster
+    input_distribution: SequenceDistribution
+    output_distribution: SequenceDistribution
+    max_encode_batch: int = 128
+    _profile: ProfileTable | None = None
+    _simulator: XSimulator | None = None
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def for_task(
+        cls,
+        model_name: str,
+        task: TaskSpec | str,
+        num_gpus: int | None = None,
+        cluster: Cluster | None = None,
+        max_encode_batch: int = 128,
+    ) -> "ExeGPT":
+        """Build an instance for a catalog model and a Table 3 task.
+
+        The cluster defaults to the Table 2 deployment of the model (e.g.
+        OPT-13B on 4 A40 GPUs).
+        """
+        model = get_model(model_name)
+        task_spec = get_task(task) if isinstance(task, str) else task
+        if cluster is None:
+            cluster_name, default_gpus = deployment_for(model_name)
+            gpus = num_gpus or default_gpus
+            cluster = (
+                a100_cluster(gpus) if cluster_name == "A100" else a40_cluster(gpus)
+            )
+        elif num_gpus is not None and num_gpus != cluster.num_gpus:
+            cluster = cluster.subcluster(num_gpus)
+        return cls(
+            model=model,
+            cluster=cluster,
+            input_distribution=task_spec.input_distribution(),
+            output_distribution=task_spec.output_distribution(),
+            max_encode_batch=max_encode_batch,
+        )
+
+    @classmethod
+    def for_trace(
+        cls,
+        model_name: str,
+        trace: WorkloadTrace,
+        num_gpus: int | None = None,
+        cluster: Cluster | None = None,
+        max_encode_batch: int = 128,
+    ) -> "ExeGPT":
+        """Build an instance whose distributions are estimated from a trace."""
+        instance = cls.for_task(
+            model_name,
+            task="S",
+            num_gpus=num_gpus,
+            cluster=cluster,
+            max_encode_batch=max_encode_batch,
+        )
+        input_dist, output_dist = trace.estimate_distributions()
+        instance.input_distribution = input_dist
+        instance.output_distribution = output_dist
+        return instance
+
+    # -- components ----------------------------------------------------------------
+
+    @property
+    def profile(self) -> ProfileTable:
+        """The (cached) per-layer profile of the model on the cluster."""
+        if self._profile is None:
+            max_len = max(
+                self.input_distribution.max_len,
+                self.output_distribution.max_len + self.input_distribution.max_len,
+            )
+            self._profile = XProfiler(
+                self.model, self.cluster, max_seq_len=max(max_len, 64)
+            ).profile()
+        return self._profile
+
+    @property
+    def simulator(self) -> XSimulator:
+        """The (cached) XSimulator bound to the current distributions."""
+        if self._simulator is None:
+            self._simulator = XSimulator(
+                self.profile, self.input_distribution, self.output_distribution
+            )
+        return self._simulator
+
+    def scheduler(self) -> XScheduler:
+        """A fresh XScheduler over the current simulator."""
+        return XScheduler(self.simulator, max_encode_batch=self.max_encode_batch)
+
+    # -- workflow -------------------------------------------------------------------
+
+    def update_distributions(
+        self,
+        input_distribution: SequenceDistribution | None = None,
+        output_distribution: SequenceDistribution | None = None,
+    ) -> None:
+        """Swap in new sequence distributions (schedules must be re-searched)."""
+        if input_distribution is not None:
+            self.input_distribution = input_distribution
+        if output_distribution is not None:
+            self.output_distribution = output_distribution
+        self._simulator = None
+
+    def schedule(
+        self,
+        constraint: LatencyConstraint | float,
+        policies: tuple[SchedulePolicy, ...] = (
+            SchedulePolicy.RRA,
+            SchedulePolicy.WAA_C,
+            SchedulePolicy.WAA_M,
+        ),
+        method: str = "branch_and_bound",
+    ) -> SearchResult:
+        """Find the throughput-optimal schedule under ``constraint``."""
+        if not isinstance(constraint, LatencyConstraint):
+            constraint = LatencyConstraint(bound_s=float(constraint))
+        return self.scheduler().schedule(constraint, policies=policies, method=method)
+
+    def estimate(self, config: ScheduleConfig) -> ScheduleEstimate:
+        """Estimate throughput/latency of an explicit schedule."""
+        return self.simulator.estimate(config)
+
+    def run(
+        self,
+        trace: WorkloadTrace,
+        config: ScheduleConfig,
+        dynamic_adjustment: bool = True,
+    ) -> RunResult:
+        """Execute a trace under ``config`` on the simulated cluster."""
+        runner = XRunner(self.simulator, config, dynamic_adjustment=dynamic_adjustment)
+        return runner.run(trace)
+
+    def schedule_and_run(
+        self,
+        trace: WorkloadTrace,
+        constraint: LatencyConstraint | float,
+        policies: tuple[SchedulePolicy, ...] = (
+            SchedulePolicy.RRA,
+            SchedulePolicy.WAA_C,
+            SchedulePolicy.WAA_M,
+        ),
+    ) -> tuple[SearchResult, RunResult | None]:
+        """Convenience: search for a schedule and, if found, execute the trace."""
+        search = self.schedule(constraint, policies=policies)
+        if search.best is None:
+            return search, None
+        return search, self.run(trace, search.best.config)

@@ -1,0 +1,313 @@
+"""XProfiler: per-layer execution-time profiles (Section 3).
+
+The profiler measures, for a single encoding and decoding layer and for
+every feasible tensor-parallel degree, (a) the attention kernel time swept
+over batch sizes and sequence lengths and (b) the time of the rest of the
+layer swept over input sizes, plus the tensor-/pipeline-parallel
+synchronisation overheads.  On real hardware this takes up to two hours per
+model/cluster pair (Section 7.7); here the measurements come from the
+analytical kernel model, but the interface is identical: a
+:class:`ProfileTable` of gridded measurements that the simulator
+interpolates, so the scheduler never calls the kernel model directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.collectives import CollectiveModel
+from repro.hardware.kernels import FP16_BYTES, KernelModel
+from repro.models.spec import ModelSpec
+
+
+def _log_grid(max_value: int, points: int) -> np.ndarray:
+    """Geometrically spaced integer grid from 1 to ``max_value``."""
+    if max_value < 1:
+        raise ValueError("max_value must be >= 1")
+    grid = np.unique(
+        np.round(np.geomspace(1, max_value, num=min(points, max_value))).astype(int)
+    )
+    return grid
+
+
+@dataclass
+class MeasurementGrid:
+    """2-D measurement grid with bilinear interpolation.
+
+    Attributes:
+        rows: Grid of the first axis (e.g. batch sizes), increasing.
+        cols: Grid of the second axis (e.g. sequence lengths), increasing.
+        values: ``values[i, j]`` is the measurement at ``(rows[i], cols[j])``.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=float)
+        self.cols = np.asarray(self.cols, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.shape != (len(self.rows), len(self.cols)):
+            raise ValueError("values shape must be (len(rows), len(cols))")
+
+    def lookup(self, row: float, col: float) -> float:
+        """Bilinear interpolation, clamped to the grid boundary."""
+        row = float(np.clip(row, self.rows[0], self.rows[-1]))
+        col = float(np.clip(col, self.cols[0], self.cols[-1]))
+        i = int(np.searchsorted(self.rows, row) - 1)
+        j = int(np.searchsorted(self.cols, col) - 1)
+        i = max(0, min(i, len(self.rows) - 2)) if len(self.rows) > 1 else 0
+        j = max(0, min(j, len(self.cols) - 2)) if len(self.cols) > 1 else 0
+        if len(self.rows) == 1 and len(self.cols) == 1:
+            return float(self.values[0, 0])
+        if len(self.rows) == 1:
+            return float(np.interp(col, self.cols, self.values[0]))
+        if len(self.cols) == 1:
+            return float(np.interp(row, self.rows, self.values[:, 0]))
+        r0, r1 = self.rows[i], self.rows[i + 1]
+        c0, c1 = self.cols[j], self.cols[j + 1]
+        fr = 0.0 if r1 == r0 else (row - r0) / (r1 - r0)
+        fc = 0.0 if c1 == c0 else (col - c0) / (c1 - c0)
+        v00, v01 = self.values[i, j], self.values[i, j + 1]
+        v10, v11 = self.values[i + 1, j], self.values[i + 1, j + 1]
+        return float(
+            v00 * (1 - fr) * (1 - fc)
+            + v01 * (1 - fr) * fc
+            + v10 * fr * (1 - fc)
+            + v11 * fr * fc
+        )
+
+
+@dataclass
+class ProfileTable:
+    """Interpolating store of per-layer timings for one model on one cluster.
+
+    All times are in seconds for a *single* layer.  Keys of the grid
+    dictionaries are tensor-parallel degrees.
+
+    Attributes:
+        model: The profiled model.
+        cluster: The profiled cluster.
+        tp_degrees: TP degrees covered by the profile.
+        encode_grids: ``{tp: MeasurementGrid(batch, input_len)}`` for one
+            encoding-phase layer (attention + dense parts combined).
+        decode_grids: ``{tp: MeasurementGrid(batch, context_len)}`` for one
+            decoding step of one layer.
+    """
+
+    model: ModelSpec
+    cluster: Cluster
+    tp_degrees: tuple[int, ...]
+    encode_grids: dict[int, MeasurementGrid]
+    decode_grids: dict[int, MeasurementGrid]
+    _collectives: CollectiveModel = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._collectives = CollectiveModel(self.cluster)
+
+    # -- layer compute times ---------------------------------------------------
+
+    def _grid_for(self, grids: dict[int, MeasurementGrid], tp: int) -> MeasurementGrid:
+        if tp not in grids:
+            known = ", ".join(str(k) for k in sorted(grids))
+            raise KeyError(f"TP degree {tp} not profiled (available: {known})")
+        return grids[tp]
+
+    def encode_layer_time(self, tp: int, batch: float, input_len: float) -> float:
+        """Compute time of one encoding-phase layer (no sync)."""
+        if batch <= 0 or input_len <= 0:
+            return 0.0
+        return self._grid_for(self.encode_grids, tp).lookup(batch, input_len)
+
+    def decode_layer_time(self, tp: int, batch: float, context_len: float) -> float:
+        """Compute time of one decode step of one layer (no sync)."""
+        if batch <= 0:
+            return 0.0
+        context_len = max(context_len, 1.0)
+        return self._grid_for(self.decode_grids, tp).lookup(batch, context_len)
+
+    # -- synchronisation -----------------------------------------------------
+
+    def encode_sync_time(
+        self, tp: int, batch: float, input_len: float, spans_nodes: bool
+    ) -> float:
+        """Tensor-parallel all-reduce overhead of one encoding layer.
+
+        Megatron-style partitioning needs two all-reduces per encoder layer,
+        each over the activation tensor of the processed tokens.
+        """
+        if tp <= 1 or batch <= 0 or input_len <= 0:
+            return 0.0
+        tensor_bytes = batch * input_len * self.model.hidden_size * FP16_BYTES
+        one = self._collectives.allreduce_time(tensor_bytes, tp, spans_nodes)
+        return 2.0 * one
+
+    def decode_sync_time(self, tp: int, batch: float, spans_nodes: bool) -> float:
+        """Tensor-parallel all-reduce overhead of one decoding layer (3 syncs)."""
+        if tp <= 1 or batch <= 0:
+            return 0.0
+        tensor_bytes = batch * self.model.hidden_size * FP16_BYTES
+        one = self._collectives.allreduce_time(tensor_bytes, tp, spans_nodes)
+        syncs = 3.0 if self.model.decoder_has_cross_attention else 2.0
+        return syncs * one
+
+    # -- pipeline / KV-cache transfers -------------------------------------------
+
+    def activation_transfer_time(
+        self, batch: float, tokens_per_seq: float, src_gpu: int, dst_gpu: int
+    ) -> float:
+        """Time to ship a micro-batch's activations between pipeline stages."""
+        if batch <= 0 or tokens_per_seq <= 0:
+            return 0.0
+        num_bytes = batch * tokens_per_seq * self.model.hidden_size * FP16_BYTES
+        return self._collectives.pipeline_activation_time(num_bytes, src_gpu, dst_gpu)
+
+    def kv_transfer_time(self, batch: float, tokens_per_seq: float, num_layers: int) -> float:
+        """Time to hand a batch's KV-cache entries from encoder to decoder GPUs.
+
+        WAA stages the copy through host memory (Section 3, XRunner).
+        """
+        if batch <= 0 or tokens_per_seq <= 0 or num_layers <= 0:
+            return 0.0
+        num_bytes = (
+            batch
+            * tokens_per_seq
+            * num_layers
+            * self.model.kv_bytes_per_token_per_layer()
+        )
+        return self._collectives.staged_host_transfer_time(num_bytes)
+
+    def kv_compaction_time(self, batch: float, tokens_per_seq: float, num_layers: int) -> float:
+        """Device-local copy time to compact KV entries after early termination."""
+        if batch <= 0 or tokens_per_seq <= 0 or num_layers <= 0:
+            return 0.0
+        kernel = KernelModel(self.cluster.gpu)
+        num_bytes = (
+            batch
+            * tokens_per_seq
+            * num_layers
+            * self.model.kv_bytes_per_token_per_layer()
+        )
+        return kernel.memcpy(num_bytes).total_s
+
+
+class XProfiler:
+    """Builds a :class:`ProfileTable` by sweeping the kernel cost model.
+
+    Args:
+        model: Model to profile.
+        cluster: Cluster whose GPU/interconnect determines the timings.
+        max_batch: Largest batch size included in the sweeps.
+        max_seq_len: Largest sequence/context length included in the sweeps.
+        batch_points / length_points: Grid resolution of the sweeps.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        cluster: Cluster,
+        max_batch: int = 1024,
+        max_seq_len: int = 4096,
+        batch_points: int = 24,
+        length_points: int = 24,
+    ) -> None:
+        if max_batch < 1 or max_seq_len < 1:
+            raise ValueError("max_batch and max_seq_len must be >= 1")
+        self.model = model
+        self.cluster = cluster
+        self.max_batch = max_batch
+        self.max_seq_len = max_seq_len
+        self.batch_points = batch_points
+        self.length_points = length_points
+        self._kernel = KernelModel(cluster.gpu)
+
+    def feasible_tp_degrees(self) -> tuple[int, ...]:
+        """TP degrees to profile: powers of two up to one node's GPU count."""
+        degrees = []
+        degree = 1
+        limit = min(self.cluster.gpus_per_node, self.cluster.num_gpus, self.model.num_heads)
+        while degree <= limit:
+            degrees.append(degree)
+            degree *= 2
+        return tuple(degrees)
+
+    # -- single-point measurements (the "kernel launches") -----------------------
+
+    def measure_encode_layer(self, tp: int, batch: float, input_len: float) -> float:
+        """Time of one encoding-phase layer at one configuration point."""
+        model = self.model
+        attn = self._kernel.attention_layer_cost(
+            batch=batch,
+            query_len=input_len,
+            self_key_len=input_len,
+            num_heads=model.num_heads,
+            head_dim=model.head_dim,
+            tp_degree=tp,
+        )
+        dense = self._kernel.dense_layer_cost(
+            tokens=batch * input_len,
+            hidden_size=model.hidden_size,
+            ffn_size=model.ffn_size,
+            tp_degree=tp,
+            has_cross_attention=False,
+        )
+        return attn.total_s + dense.total_s
+
+    def measure_decode_layer(self, tp: int, batch: float, context_len: float) -> float:
+        """Time of one decode step of one layer at one configuration point."""
+        model = self.model
+        cross_len = 0.0
+        self_len = context_len
+        if model.decoder_has_cross_attention:
+            # T5-style decoders: self-attend to generated tokens only and
+            # cross-attend to the encoded input; split the context estimate.
+            self_len = max(context_len / 2.0, 1.0)
+            cross_len = max(context_len / 2.0, 1.0)
+        attn = self._kernel.attention_layer_cost(
+            batch=batch,
+            query_len=1.0,
+            self_key_len=self_len,
+            num_heads=model.num_heads,
+            head_dim=model.head_dim,
+            tp_degree=tp,
+            cross_key_len=cross_len,
+        )
+        dense = self._kernel.dense_layer_cost(
+            tokens=batch,
+            hidden_size=model.hidden_size,
+            ffn_size=model.ffn_size,
+            tp_degree=tp,
+            has_cross_attention=model.decoder_has_cross_attention,
+        )
+        return attn.total_s + dense.total_s
+
+    # -- sweeps ------------------------------------------------------------------
+
+    def profile(self) -> ProfileTable:
+        """Run all sweeps and assemble the profile table."""
+        batches = _log_grid(self.max_batch, self.batch_points)
+        lengths = _log_grid(self.max_seq_len, self.length_points)
+        tp_degrees = self.feasible_tp_degrees()
+        encode_grids: dict[int, MeasurementGrid] = {}
+        decode_grids: dict[int, MeasurementGrid] = {}
+        for tp in tp_degrees:
+            enc = np.empty((len(batches), len(lengths)))
+            dec = np.empty((len(batches), len(lengths)))
+            for i, batch in enumerate(batches):
+                for j, length in enumerate(lengths):
+                    enc[i, j] = self.measure_encode_layer(tp, float(batch), float(length))
+                    dec[i, j] = self.measure_decode_layer(tp, float(batch), float(length))
+            encode_grids[tp] = MeasurementGrid(batches, lengths, enc)
+            decode_grids[tp] = MeasurementGrid(batches, lengths, dec)
+        return ProfileTable(
+            model=self.model,
+            cluster=self.cluster,
+            tp_degrees=tp_degrees,
+            encode_grids=encode_grids,
+            decode_grids=decode_grids,
+        )

@@ -1,0 +1,433 @@
+"""XRunner: enforce an ExeGPT schedule on the simulated cluster.
+
+The runner takes the schedule XScheduler selected and replays a workload
+trace on the discrete-event engine, honouring the schedule's semantics:
+
+* **RRA** -- every pipeline stage alternates between encoding phases and
+  ``N_D`` decoding iterations; new queries are admitted once per cycle to
+  refill the slots freed by early-terminated queries.
+* **WAA** -- dedicated encoder stages continuously encode fresh batches of
+  ``B_E`` queries, hand their KV-cache entries to the decoder stages through
+  host memory, and the decoder stages run pipelined decode iterations over
+  ``B_m`` micro-batches of the standing pool.
+
+Early termination, KV-cache compaction, the encoder→decoder KV transfer and
+dynamic workload adjustment are all part of the replay, so the measured
+throughput/latency include their costs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.allocation import Placement, StagePlan, stage_weight_bytes
+from repro.core.analytical import decode_stage_time, encode_stage_time
+from repro.core.config import ScheduleConfig, SchedulePolicy
+from repro.core.dynamic import DynamicWorkloadAdjuster
+from repro.core.simulator import XSimulator
+from repro.engine.batching import (
+    average_context,
+    average_input_length,
+    split_into_micro_batches,
+)
+from repro.engine.metrics import RunResult, collect_result
+from repro.engine.request import RequestState
+from repro.engine.timeline import Timeline
+from repro.workloads.trace import WorkloadTrace
+
+GIB = 1024 ** 3
+
+
+@dataclass
+class _Bookkeeping:
+    """Deferred timestamp assignments resolved after the timeline runs."""
+
+    encode_starts: list[tuple[RequestState, int]]
+    completions: list[tuple[RequestState, int]]
+
+    def resolve(self, timeline: Timeline) -> None:
+        timeline.run()
+        for request, task_id in self.encode_starts:
+            request.encode_start_s = timeline.start_time(task_id)
+        for request, task_id in self.completions:
+            request.finish_s = timeline.finish_time(task_id)
+
+
+class XRunner:
+    """Executes a schedule on the simulated cluster.
+
+    Args:
+        simulator: The XSimulator holding the profile and distributions; the
+            runner reuses its placement construction so the executed layout
+            is exactly the scheduled one.
+        config: The schedule to enforce.
+        dynamic_adjustment: Enable the Section 5.2 runtime batch adjustment.
+    """
+
+    def __init__(
+        self,
+        simulator: XSimulator,
+        config: ScheduleConfig,
+        dynamic_adjustment: bool = True,
+    ) -> None:
+        self.simulator = simulator
+        self.config = config
+        self.profile = simulator.profile
+        self.model = simulator.model
+        self.placement: Placement = simulator.build_placement(config)
+        self.dynamic_adjustment = dynamic_adjustment
+        self.decoder_only = not self.model.is_encoder_decoder
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, trace: WorkloadTrace) -> RunResult:
+        """Replay ``trace`` under the configured schedule and collect metrics."""
+        if len(trace) == 0:
+            raise ValueError("trace must contain at least one request")
+        if self.config.policy is SchedulePolicy.RRA:
+            return self._run_rra(trace)
+        return self._run_waa(trace)
+
+    def _make_adjuster(self) -> DynamicWorkloadAdjuster:
+        decode_batch = self.simulator.derived_decode_batch(self.config)
+        return DynamicWorkloadAdjuster(
+            target_encode_batch=self.config.encode_batch,
+            target_decode_batch=max(decode_batch, 1.0),
+            avg_input_len=max(self.simulator.input_distribution.mean, 1.0),
+            enabled=self.dynamic_adjustment,
+        )
+
+    # -- RRA ------------------------------------------------------------------------
+
+    def _run_rra(self, trace: WorkloadTrace) -> RunResult:
+        placement = self.placement
+        stages = placement.stages
+        num_stages = len(stages)
+        micro_batches = max(num_stages, 1)
+        adjuster = self._make_adjuster()
+        decode_batch_target = max(int(round(adjuster.target_decode_batch)), 1)
+
+        timeline = Timeline()
+        books = _Bookkeeping(encode_starts=[], completions=[])
+        stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
+        peak_kv_tokens: dict[int, float] = {s.stage_id: 0.0 for s in stages}
+
+        all_requests = [RequestState(spec=spec) for spec in trace.requests]
+        pending: deque[RequestState] = deque(all_requests)
+        pool: list[RequestState] = []
+        cycle = 0
+        freed_last_cycle = 0
+        warmup_requests = min(decode_batch_target, len(all_requests))
+
+        while pending or pool:
+            # --- admission -----------------------------------------------------
+            if pending:
+                if cycle == 0:
+                    room = max(decode_batch_target - len(pool), 0)
+                    admitted = list(pending)[:room] if room else []
+                else:
+                    admitted = adjuster.admit(
+                        list(pending), len(pool), freed_last_cycle
+                    )
+                for request in admitted:
+                    pending.popleft()
+                    request.admitted_cycle = cycle
+            else:
+                admitted = []
+
+            # --- encoding phase -------------------------------------------------
+            encode_last_tasks: list[int] = []
+            if admitted:
+                groups = split_into_micro_batches(admitted, micro_batches)
+                for group in groups:
+                    avg_input = average_input_length(group)
+                    prev_task: int | None = None
+                    first_task: int | None = None
+                    for stage in stages:
+                        duration = encode_stage_time(
+                            self.profile, placement, stage, len(group), avg_input
+                        )
+                        deps = (prev_task,) if prev_task is not None else ()
+                        task_id = timeline.add_task(
+                            stage.stage_id, duration, deps, tag="encode"
+                        )
+                        stage_times["encode"].append(duration)
+                        if first_task is None:
+                            first_task = task_id
+                        prev_task = task_id
+                    for request in group:
+                        books.encode_starts.append((request, first_task))
+                    encode_last_tasks.append(prev_task)
+                pool.extend(admitted)
+
+            if not pool:
+                cycle += 1
+                freed_last_cycle = 0
+                continue
+
+            # --- decoding phase: N_D iterations ------------------------------------
+            groups = split_into_micro_batches(pool, micro_batches)
+            prev_iter_last: dict[int, int] = {}
+            freed_last_cycle = 0
+            for iteration in range(self.config.decode_iterations):
+                any_alive = False
+                for g_index, group in enumerate(groups):
+                    alive = [r for r in group if not r.done]
+                    if not alive:
+                        continue
+                    any_alive = True
+                    avg_ctx = average_context(alive, self.decoder_only)
+                    prev_task = None
+                    deps_first: list[int] = []
+                    if iteration == 0:
+                        deps_first.extend(encode_last_tasks)
+                    if g_index in prev_iter_last:
+                        deps_first.append(prev_iter_last[g_index])
+                    for stage in stages:
+                        duration = decode_stage_time(
+                            self.profile, placement, stage, len(alive), avg_ctx
+                        )
+                        deps = [prev_task] if prev_task is not None else list(deps_first)
+                        task_id = timeline.add_task(
+                            stage.stage_id, duration, tuple(deps), tag="decode"
+                        )
+                        stage_times["decode"].append(duration)
+                        kv_tokens = sum(r.context_length(self.decoder_only) for r in alive)
+                        peak_kv_tokens[stage.stage_id] = max(
+                            peak_kv_tokens[stage.stage_id], float(kv_tokens)
+                        )
+                        prev_task = task_id
+                    prev_iter_last[g_index] = prev_task
+                    completed_requests: list[RequestState] = []
+                    for request in alive:
+                        request.advance()
+                        if request.done:
+                            books.completions.append((request, prev_task))
+                            completed_requests.append(request)
+                            freed_last_cycle += 1
+                    if completed_requests:
+                        # Compaction copies the freed entries' worth of cache
+                        # to close the holes left by early termination.
+                        compaction = self.profile.kv_compaction_time(
+                            len(completed_requests),
+                            average_context(completed_requests, self.decoder_only),
+                            stages[-1].decoder_layers,
+                        )
+                        if compaction > 0:
+                            comp_task = timeline.add_task(
+                                stages[-1].stage_id,
+                                compaction,
+                                (prev_task,),
+                                tag="compaction",
+                            )
+                            prev_iter_last[g_index] = comp_task
+                if not any_alive:
+                    break
+            pool = [r for r in pool if not r.done]
+            cycle += 1
+            if cycle > 100000:
+                raise RuntimeError("RRA runner did not converge; check the schedule")
+
+        books.resolve(timeline)
+        return self._collect(
+            "exegpt-rra",
+            all_requests,
+            timeline,
+            stage_times,
+            peak_kv_tokens,
+            warmup_requests,
+        )
+
+    # -- WAA ---------------------------------------------------------------------------
+
+    def _run_waa(self, trace: WorkloadTrace) -> RunResult:
+        placement = self.placement
+        encode_stages = placement.encode_stages
+        decode_stages = placement.decode_stages
+        if not encode_stages or not decode_stages:
+            raise ValueError("WAA placement needs both encode and decode stages")
+        micro_batches = self.config.micro_batches
+        adjuster = self._make_adjuster()
+        decode_batch_target = max(int(round(adjuster.target_decode_batch)), 1)
+
+        timeline = Timeline()
+        books = _Bookkeeping(encode_starts=[], completions=[])
+        stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
+        peak_kv_tokens: dict[int, float] = {s.stage_id: 0.0 for s in placement.stages}
+        transfer_stage = "kv-transfer"
+
+        all_requests = [RequestState(spec=spec) for spec in trace.requests]
+        pending: deque[RequestState] = deque(all_requests)
+        pool: list[RequestState] = []
+        warmup_requests = min(decode_batch_target, len(all_requests))
+        # Requests whose encoding/KV transfer was issued in the previous
+        # iteration and that join the decode pool at the next one.
+        incoming: list[tuple[list[RequestState], int]] = []
+        prev_iter_last: dict[int, int] = {}
+        iteration = 0
+        freed_last_iteration = 0
+
+        while pending or pool or incoming:
+            # --- encoder side: admit and encode one batch per iteration ------------
+            transfer_task: int | None = None
+            admitted: list[RequestState] = []
+            if pending:
+                admitted = adjuster.admit(
+                    list(pending), len(pool), freed_last_iteration
+                )
+                if not admitted and len(pool) < decode_batch_target:
+                    admitted = list(pending)[: self.config.encode_batch]
+                for request in admitted:
+                    pending.popleft()
+                    request.admitted_cycle = iteration
+            if admitted:
+                avg_input = average_input_length(admitted)
+                prev_task: int | None = None
+                first_task: int | None = None
+                for stage in encode_stages:
+                    duration = encode_stage_time(
+                        self.profile, placement, stage, len(admitted), avg_input
+                    )
+                    deps = (prev_task,) if prev_task is not None else ()
+                    task_id = timeline.add_task(
+                        ("enc", stage.stage_id), duration, deps, tag="encode"
+                    )
+                    stage_times["encode"].append(duration)
+                    kv_tokens = len(admitted) * avg_input
+                    peak_kv_tokens[stage.stage_id] = max(
+                        peak_kv_tokens[stage.stage_id], float(kv_tokens)
+                    )
+                    if first_task is None:
+                        first_task = task_id
+                    prev_task = task_id
+                for request in admitted:
+                    books.encode_starts.append((request, first_task))
+                kv_layers = (
+                    self.model.num_decoder_layers if self.decoder_only else 1
+                )
+                transfer_duration = self.profile.kv_transfer_time(
+                    len(admitted), avg_input, kv_layers
+                )
+                transfer_task = timeline.add_task(
+                    transfer_stage, transfer_duration, (prev_task,), tag="kv-transfer"
+                )
+                incoming.append((admitted, transfer_task))
+
+            # --- merge the batch encoded in the previous iteration ------------------
+            merge_deps: list[int] = []
+            if incoming:
+                ready = incoming[0]
+                # Merge at most one encoded batch per iteration (the handover
+                # granularity of WAA).
+                if ready[1] != transfer_task or not pool:
+                    incoming.pop(0)
+                    pool.extend(ready[0])
+                    merge_deps.append(ready[1])
+
+            if not pool:
+                iteration += 1
+                freed_last_iteration = 0
+                if iteration > 200000:
+                    raise RuntimeError("WAA runner did not converge")
+                continue
+
+            # --- decoder side: one pipelined iteration over the pool ----------------
+            groups = split_into_micro_batches(pool, micro_batches)
+            freed_last_iteration = 0
+            for g_index, group in enumerate(groups):
+                alive = [r for r in group if not r.done]
+                if not alive:
+                    continue
+                avg_ctx = average_context(alive, self.decoder_only)
+                prev_task = None
+                deps_first: list[int] = list(merge_deps)
+                if g_index in prev_iter_last:
+                    deps_first.append(prev_iter_last[g_index])
+                for stage in decode_stages:
+                    duration = decode_stage_time(
+                        self.profile, placement, stage, len(alive), avg_ctx
+                    )
+                    deps = [prev_task] if prev_task is not None else deps_first
+                    task_id = timeline.add_task(
+                        ("dec", stage.stage_id), duration, tuple(deps), tag="decode"
+                    )
+                    stage_times["decode"].append(duration)
+                    kv_tokens = sum(r.context_length(self.decoder_only) for r in alive)
+                    peak_kv_tokens[stage.stage_id] = max(
+                        peak_kv_tokens[stage.stage_id], float(kv_tokens)
+                    )
+                    prev_task = task_id
+                prev_iter_last[g_index] = prev_task
+                completed_requests: list[RequestState] = []
+                for request in alive:
+                    request.advance()
+                    if request.done:
+                        books.completions.append((request, prev_task))
+                        completed_requests.append(request)
+                        freed_last_iteration += 1
+                if completed_requests:
+                    compaction = self.profile.kv_compaction_time(
+                        len(completed_requests),
+                        average_context(completed_requests, self.decoder_only),
+                        decode_stages[-1].decoder_layers,
+                    )
+                    if compaction > 0:
+                        comp_task = timeline.add_task(
+                            ("dec", decode_stages[-1].stage_id),
+                            compaction,
+                            (prev_task,),
+                            tag="compaction",
+                        )
+                        prev_iter_last[g_index] = comp_task
+            pool = [r for r in pool if not r.done]
+            iteration += 1
+            if iteration > 200000:
+                raise RuntimeError("WAA runner did not converge")
+
+        books.resolve(timeline)
+        name = "exegpt-waa-m" if self.config.policy is SchedulePolicy.WAA_M else "exegpt-waa-c"
+        return self._collect(
+            name, all_requests, timeline, stage_times, peak_kv_tokens, warmup_requests
+        )
+
+    # -- shared collection -------------------------------------------------------------
+
+    def _collect(
+        self,
+        system: str,
+        requests: list[RequestState],
+        timeline: Timeline,
+        stage_times: dict[str, list[float]],
+        peak_kv_tokens: dict[int, float],
+        warmup_requests: int = 0,
+    ) -> RunResult:
+        peak_memory = self._peak_memory_gib(peak_kv_tokens)
+        return collect_result(
+            system=system,
+            requests=requests,
+            makespan_s=timeline.makespan_s,
+            stage_utilization=timeline.stage_utilization(),
+            stage_times=stage_times,
+            peak_memory_gib=peak_memory,
+            extra={"num_tasks": float(timeline.num_tasks)},
+            warmup_requests=warmup_requests,
+        )
+
+    def _peak_memory_gib(self, peak_kv_tokens: dict[int, float]) -> dict[object, float]:
+        model = self.model
+        result: dict[object, float] = {}
+        for stage in self.placement.stages:
+            tp = stage.tp_degree
+            weights = stage_weight_bytes(model, stage) / tp
+            weights += model.embedding_parameters * model.dtype_bytes / self.placement.num_gpus
+            layers = stage.decoder_layers if stage.decoder_layers else 1
+            kv = (
+                peak_kv_tokens.get(stage.stage_id, 0.0)
+                * layers
+                * model.kv_bytes_per_token_per_layer()
+                / tp
+            )
+            result[stage.stage_id] = (weights + kv) / GIB
+        return result

@@ -1,0 +1,490 @@
+"""XScheduler: constraint-aware schedule search (Section 5, Algorithm 1).
+
+The optimisation problem is::
+
+    maximise   Throughput(B_E, B_D, B_m, TP, F_E, S)
+    subject to Latency(...) < L_Bound
+
+over the four control variables, for a given policy ``S`` and sequence
+distributions.  The objective and constraint are monotonic in each control
+variable (Table 5 verifies this empirically), which lets a branch-and-bound
+search over axis-aligned blocks prune most of the space: a block whose
+upper-right corner cannot beat the incumbent throughput, or whose lower-left
+corner already violates the latency bound, is discarded.
+
+The scheduler runs the 2-D search once per (policy, TP option) combination --
+the paper fixes the TP degree per run to preserve monotonicity -- and keeps
+the best feasible result.  Exhaustive grid search and random search are also
+provided as baselines for the Section 7.7 cost comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import (
+    LatencyConstraint,
+    ScheduleConfig,
+    SchedulePolicy,
+    TensorParallelConfig,
+)
+from repro.core.simulator import ScheduleEstimate, XSimulator
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """Evaluation of one configuration point.
+
+    Attributes:
+        latency_s: Estimated latency (``inf`` for infeasible configurations).
+        throughput: Estimated throughput in sequences per second (0 for
+            infeasible configurations).
+        estimate: The full simulator estimate, when the point was feasible.
+    """
+
+    latency_s: float
+    throughput: float
+    estimate: ScheduleEstimate | None
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the point produced a memory-feasible estimate."""
+        return self.estimate is not None
+
+    @property
+    def throughput_upper_bound(self) -> float:
+        """Throughput usable as a block upper bound.
+
+        A memory-infeasible corner tells us nothing about the throughput of
+        the feasible points inside the block, so it must not be used to prune
+        the block; treat it as an unbounded optimistic estimate instead.
+        """
+        return self.throughput if self.feasible else float("inf")
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Integer search box for one (policy, TP) combination.
+
+    The second coordinate is an *index* into ``second_values`` chosen so that
+    both throughput and latency increase with the coordinate, restoring the
+    monotonic orientation Algorithm 1 expects (``N_D`` and ``B_m`` are
+    naturally anti-monotonic, so their value lists are stored descending).
+
+    Attributes:
+        policy: Scheduling policy of this subspace.
+        tensor_parallel: Fixed partial-TP setting of this subspace.
+        encode_batch_range: Inclusive ``(min, max)`` for ``B_E``.
+        second_values: Values of the second control variable, ordered so that
+            a larger index means higher throughput and latency.
+        second_name: ``"N_D"`` or ``"B_m"`` (for reporting).
+    """
+
+    policy: SchedulePolicy
+    tensor_parallel: TensorParallelConfig
+    encode_batch_range: tuple[int, int]
+    second_values: tuple[int, ...]
+    second_name: str
+
+    def __post_init__(self) -> None:
+        lo, hi = self.encode_batch_range
+        if lo < 1 or hi < lo:
+            raise ValueError("encode_batch_range must satisfy 1 <= min <= max")
+        if not self.second_values:
+            raise ValueError("second_values must be non-empty")
+
+    def config_at(self, x1: int, x2: int) -> ScheduleConfig:
+        """Schedule configuration at integer coordinates ``(x1, x2)``."""
+        value = self.second_values[x2]
+        if self.policy is SchedulePolicy.RRA:
+            return ScheduleConfig(
+                policy=self.policy,
+                encode_batch=x1,
+                decode_iterations=value,
+                tensor_parallel=self.tensor_parallel,
+            )
+        return ScheduleConfig(
+            policy=self.policy,
+            encode_batch=x1,
+            micro_batches=value,
+            tensor_parallel=self.tensor_parallel,
+        )
+
+    @property
+    def bounds(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        """((x1_min, x1_max), (x2_min, x2_max)) of the search box."""
+        return self.encode_batch_range, (0, len(self.second_values) - 1)
+
+    @property
+    def num_points(self) -> int:
+        """Total configuration points in the box."""
+        lo, hi = self.encode_batch_range
+        return (hi - lo + 1) * len(self.second_values)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a schedule search.
+
+    Attributes:
+        best: The best feasible estimate found, or ``None`` if no schedule
+            satisfies the latency bound.
+        evaluations: Number of distinct configuration points evaluated.
+        elapsed_s: Wall-clock search time in seconds.
+        method: Search method name.
+        space_size: Total number of candidate points across all subspaces.
+    """
+
+    best: ScheduleEstimate | None
+    evaluations: int
+    elapsed_s: float
+    method: str
+    space_size: int
+
+    @property
+    def found(self) -> bool:
+        """Whether any feasible schedule was found."""
+        return self.best is not None
+
+
+class _Evaluator:
+    """Caches simulator evaluations at integer coordinates of one subspace."""
+
+    def __init__(
+        self,
+        simulator: XSimulator,
+        space: SearchSpace,
+        constraint: LatencyConstraint,
+    ) -> None:
+        self.simulator = simulator
+        self.space = space
+        self.constraint = constraint
+        self.cache: dict[tuple[int, int], PerfPoint] = {}
+        self.best: ScheduleEstimate | None = None
+
+    def perf(self, x1: int, x2: int) -> PerfPoint:
+        key = (x1, x2)
+        if key in self.cache:
+            return self.cache[key]
+        config = self.space.config_at(x1, x2)
+        try:
+            estimate = self.simulator.estimate(
+                config, target_length=self.constraint.target_length
+            )
+        except (ValueError, KeyError):
+            point = PerfPoint(float("inf"), 0.0, None)
+            self.cache[key] = point
+            return point
+        if not estimate.feasible:
+            point = PerfPoint(float("inf"), 0.0, None)
+        else:
+            point = PerfPoint(estimate.latency_s, estimate.throughput_seq_per_s, estimate)
+            if self.constraint.satisfied_by(estimate.latency_s) and (
+                self.best is None
+                or estimate.throughput_seq_per_s > self.best.throughput_seq_per_s
+            ):
+                self.best = estimate
+        self.cache[key] = point
+        return point
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.cache)
+
+
+@dataclass(order=True)
+class _Block:
+    """A search block ordered by (negated) upper-bound throughput."""
+
+    sort_key: float
+    lo: tuple[int, int] = field(compare=False)
+    hi: tuple[int, int] = field(compare=False)
+    upper: PerfPoint = field(compare=False)
+    lower: PerfPoint = field(compare=False)
+
+
+def branch_and_bound(
+    evaluator: _Evaluator,
+    constraint: LatencyConstraint,
+    throughput_tolerance: float = 0.02,
+    latency_tolerance: float = 0.05,
+    max_evaluations: int = 4096,
+) -> ScheduleEstimate | None:
+    """Algorithm 1: branch-and-bound over one monotonic 2-D search box.
+
+    Args:
+        evaluator: Cached point evaluator for the subspace.
+        constraint: Latency bound.
+        throughput_tolerance: ``epsilon_T`` as a fraction of the incumbent
+            throughput; blocks whose upper bound is below the incumbent by
+            more than this are pruned.
+        latency_tolerance: ``epsilon_L`` as a fraction of the latency bound;
+            blocks whose lower-left latency exceeds the bound by more than
+            this are pruned.
+        max_evaluations: Safety cap on simulator evaluations.
+    """
+    (x1_lo, x1_hi), (x2_lo, x2_hi) = evaluator.space.bounds
+    bound = constraint.bound_s
+    eps_l = latency_tolerance * bound if math.isfinite(bound) else float("inf")
+
+    # Fast path: if the most aggressive corner already satisfies the bound it
+    # is optimal by monotonicity.
+    top_right = evaluator.perf(x1_hi, x2_hi)
+    if top_right.estimate is not None and constraint.satisfied_by(top_right.latency_s):
+        return evaluator.best
+
+    queue: list[_Block] = []
+    lower = evaluator.perf(x1_lo, x2_lo)
+    upper = top_right
+    heapq.heappush(
+        queue,
+        _Block(
+            sort_key=-upper.throughput_upper_bound,
+            lo=(x1_lo, x2_lo),
+            hi=(x1_hi, x2_hi),
+            upper=upper,
+            lower=lower,
+        ),
+    )
+
+    while queue and evaluator.evaluations < max_evaluations:
+        block = heapq.heappop(queue)
+        incumbent = (
+            evaluator.best.throughput_seq_per_s if evaluator.best is not None else 0.0
+        )
+        upper_bound = block.upper.throughput_upper_bound
+        if upper_bound + throughput_tolerance * max(incumbent, 1e-12) < incumbent:
+            continue
+        (a1, a2), (b1, b2) = block.lo, block.hi
+        if a1 == b1 and a2 == b2:
+            continue
+
+        # Heuristic split direction: keep the corner with the higher feasible
+        # throughput intact by splitting across the other axis.
+        p_tl = evaluator.perf(a1, b2)
+        p_br = evaluator.perf(b1, a2)
+        tl_ok = constraint.satisfied_by(p_tl.latency_s) and p_tl.estimate is not None
+        br_ok = constraint.satisfied_by(p_br.latency_s) and p_br.estimate is not None
+        if tl_ok and (not br_ok or p_tl.throughput >= p_br.throughput):
+            split_vertical = True
+        elif br_ok:
+            split_vertical = False
+        else:
+            split_vertical = (b1 - a1) >= (b2 - a2)
+
+        children: list[tuple[tuple[int, int], tuple[int, int]]] = []
+        if split_vertical and b1 > a1:
+            mid = (a1 + b1) // 2
+            children = [((a1, a2), (mid, b2)), ((mid + 1, a2), (b1, b2))]
+        elif b2 > a2:
+            mid = (a2 + b2) // 2
+            children = [((a1, a2), (b1, mid)), ((a1, mid + 1), (b1, b2))]
+        elif b1 > a1:
+            mid = (a1 + b1) // 2
+            children = [((a1, a2), (mid, b2)), ((mid + 1, a2), (b1, b2))]
+        else:
+            continue
+
+        for lo, hi in children:
+            child_upper = evaluator.perf(*hi)
+            child_lower = evaluator.perf(*lo)
+            # Prune blocks whose cheapest corner already violates the bound.
+            if child_lower.latency_s > bound + eps_l:
+                continue
+            incumbent = (
+                evaluator.best.throughput_seq_per_s
+                if evaluator.best is not None
+                else 0.0
+            )
+            child_bound = child_upper.throughput_upper_bound
+            if child_bound + throughput_tolerance * max(incumbent, 1e-12) < incumbent:
+                continue
+            heapq.heappush(
+                queue,
+                _Block(
+                    sort_key=-child_bound,
+                    lo=lo,
+                    hi=hi,
+                    upper=child_upper,
+                    lower=child_lower,
+                ),
+            )
+    return evaluator.best
+
+
+def exhaustive_search(
+    evaluator: _Evaluator, constraint: LatencyConstraint
+) -> ScheduleEstimate | None:
+    """Evaluate every point of the subspace (the paper's slow baseline)."""
+    (x1_lo, x1_hi), (x2_lo, x2_hi) = evaluator.space.bounds
+    for x1 in range(x1_lo, x1_hi + 1):
+        for x2 in range(x2_lo, x2_hi + 1):
+            evaluator.perf(x1, x2)
+    return evaluator.best
+
+
+def random_search(
+    evaluator: _Evaluator,
+    constraint: LatencyConstraint,
+    num_samples: int = 64,
+    seed: int = 0,
+) -> ScheduleEstimate | None:
+    """Uniform random sampling of the subspace (black-box baseline)."""
+    rng = np.random.default_rng(seed)
+    (x1_lo, x1_hi), (x2_lo, x2_hi) = evaluator.space.bounds
+    for _ in range(num_samples):
+        x1 = int(rng.integers(x1_lo, x1_hi + 1))
+        x2 = int(rng.integers(x2_lo, x2_hi + 1))
+        evaluator.perf(x1, x2)
+    return evaluator.best
+
+
+class XScheduler:
+    """Finds the optimal schedule for a latency constraint.
+
+    Args:
+        simulator: XSimulator bound to the model, cluster and distributions.
+        max_encode_batch: Upper bound of the ``B_E`` search range.
+        max_decode_iterations: Upper bound of the ``N_D`` search range (RRA).
+        max_micro_batches: Upper bound of the ``B_m`` search range (WAA).
+    """
+
+    def __init__(
+        self,
+        simulator: XSimulator,
+        max_encode_batch: int = 128,
+        max_decode_iterations: int = 64,
+        max_micro_batches: int = 8,
+    ) -> None:
+        if max_encode_batch < 1:
+            raise ValueError("max_encode_batch must be >= 1")
+        self.simulator = simulator
+        self.max_encode_batch = max_encode_batch
+        self.max_decode_iterations = max_decode_iterations
+        self.max_micro_batches = max_micro_batches
+
+    # -- search space construction ------------------------------------------------
+
+    def tensor_parallel_options(
+        self, max_options_per_degree: int = 3
+    ) -> list[TensorParallelConfig]:
+        """Partial-TP settings to try: each profiled degree over a few GPU subsets."""
+        cluster = self.simulator.cluster
+        options: list[TensorParallelConfig] = [TensorParallelConfig()]
+        for degree in self.simulator.profile.tp_degrees:
+            if degree <= 1 or degree > cluster.num_gpus:
+                continue
+            max_groups = cluster.num_gpus // degree
+            group_counts = sorted(
+                {1, max(max_groups // 2, 1), max_groups}
+            )[:max_options_per_degree]
+            for groups in group_counts:
+                options.append(
+                    TensorParallelConfig(degree=degree, num_gpus=groups * degree)
+                )
+        return options
+
+    def search_spaces(
+        self,
+        policies: tuple[SchedulePolicy, ...] = (
+            SchedulePolicy.RRA,
+            SchedulePolicy.WAA_C,
+            SchedulePolicy.WAA_M,
+        ),
+        tensor_parallel_options: list[TensorParallelConfig] | None = None,
+    ) -> list[SearchSpace]:
+        """Enumerate the per-(policy, TP) subspaces to search."""
+        tp_options = tensor_parallel_options or self.tensor_parallel_options()
+        max_nd = min(
+            self.max_decode_iterations, self.simulator.output_distribution.max_len
+        )
+        spaces: list[SearchSpace] = []
+        for policy, tp in itertools.product(policies, tp_options):
+            if policy.is_waa:
+                num_stages = max(tp.stages_for(self.simulator.cluster.num_gpus), 1)
+                if num_stages < 2:
+                    continue  # WAA needs separate encode and decode stages
+                micro_values = tuple(
+                    range(min(self.max_micro_batches, max(num_stages, 1)), 0, -1)
+                )
+                spaces.append(
+                    SearchSpace(
+                        policy=policy,
+                        tensor_parallel=tp,
+                        encode_batch_range=(1, self.max_encode_batch),
+                        second_values=micro_values,
+                        second_name="B_m",
+                    )
+                )
+            else:
+                nd_values = tuple(range(max_nd, 0, -1))
+                spaces.append(
+                    SearchSpace(
+                        policy=policy,
+                        tensor_parallel=tp,
+                        encode_batch_range=(1, self.max_encode_batch),
+                        second_values=nd_values,
+                        second_name="N_D",
+                    )
+                )
+        return spaces
+
+    # -- top-level search ----------------------------------------------------------
+
+    def schedule(
+        self,
+        constraint: LatencyConstraint,
+        policies: tuple[SchedulePolicy, ...] = (
+            SchedulePolicy.RRA,
+            SchedulePolicy.WAA_C,
+            SchedulePolicy.WAA_M,
+        ),
+        method: str = "branch_and_bound",
+        tensor_parallel_options: list[TensorParallelConfig] | None = None,
+    ) -> SearchResult:
+        """Find the throughput-optimal schedule under ``constraint``.
+
+        Args:
+            constraint: The latency bound (SLA-(b) style: the latency of
+                generating the target-length sequence).
+            policies: Which policies to consider; the best across all is
+                returned (the paper runs RRA and WAA searches separately and
+                keeps the winner).
+            method: ``"branch_and_bound"``, ``"exhaustive"`` or ``"random"``.
+            tensor_parallel_options: Explicit partial-TP settings to search.
+        """
+        start = time.perf_counter()
+        best: ScheduleEstimate | None = None
+        evaluations = 0
+        space_size = 0
+        for space in self.search_spaces(policies, tensor_parallel_options):
+            evaluator = _Evaluator(self.simulator, space, constraint)
+            if method == "branch_and_bound":
+                candidate = branch_and_bound(evaluator, constraint)
+            elif method == "exhaustive":
+                candidate = exhaustive_search(evaluator, constraint)
+            elif method == "random":
+                candidate = random_search(evaluator, constraint)
+            else:
+                raise ValueError(f"unknown search method {method!r}")
+            evaluations += evaluator.evaluations
+            space_size += space.num_points
+            if candidate is not None and (
+                best is None
+                or candidate.throughput_seq_per_s > best.throughput_seq_per_s
+            ):
+                best = candidate
+        elapsed = time.perf_counter() - start
+        return SearchResult(
+            best=best,
+            evaluations=evaluations,
+            elapsed_s=elapsed,
+            method=method,
+            space_size=space_size,
+        )

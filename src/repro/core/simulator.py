@@ -1,0 +1,330 @@
+"""XSimulator: estimate throughput and latency of a schedule (Section 6).
+
+The simulator combines the profiled per-layer times, the allocation produced
+by the chosen policy and the input/output sequence-length distributions to
+construct the expected execution timeline of a schedule, without running any
+requests.  It returns a :class:`ScheduleEstimate` with the throughput, the
+latency of generating the target (99th-percentile) sequence length, and a
+per-stage memory estimate used to reject infeasible schedules -- which is
+what rules WAA out for the 175B/341B models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation import (
+    Placement,
+    build_placement,
+    waa_memory_weights,
+)
+from repro.core.analytical import (
+    StageMemory,
+    StageTimes,
+    decode_stage_times,
+    encode_stage_times,
+    estimate_placement_memory,
+    pipelined_batch_completion,
+    pipelined_iteration_period,
+    placement_fits_memory,
+    token_latency,
+)
+from repro.core.config import ScheduleConfig, SchedulePolicy
+from repro.core.distributions import (
+    SequenceDistribution,
+    average_context_length,
+    decode_batch_for_encode_batch,
+    expected_decode_batch_per_iteration,
+)
+from repro.core.profiler import ProfileTable
+
+
+@dataclass(frozen=True)
+class ScheduleEstimate:
+    """Simulator output for one schedule configuration.
+
+    Attributes:
+        config: The evaluated schedule.
+        throughput_seq_per_s: Completed sequences per second at steady state.
+        throughput_tokens_per_s: Generated tokens per second at steady state.
+        latency_s: Expected latency of generating ``target_length`` tokens,
+            measured from the start of the request's encoding phase.
+        target_length: Output length the latency refers to (99th percentile
+            by default).
+        decode_batch: Steady-state decoder batch size ``B_D``.
+        cycle_time_s: RRA cycle time (encode phase + ``N_D`` decode
+            iterations) or the WAA per-iteration period.
+        memory_feasible: Whether every stage fits in GPU memory.
+        stage_memory: Per-stage memory breakdown.
+        placement: The GPU/layer placement behind the estimate.
+    """
+
+    config: ScheduleConfig
+    throughput_seq_per_s: float
+    throughput_tokens_per_s: float
+    latency_s: float
+    target_length: int
+    decode_batch: float
+    cycle_time_s: float
+    memory_feasible: bool
+    stage_memory: tuple[StageMemory, ...]
+    placement: Placement
+
+    @property
+    def feasible(self) -> bool:
+        """Feasible means the schedule fits in memory."""
+        return self.memory_feasible
+
+    def satisfies(self, latency_bound_s: float, tolerance: float = 0.0) -> bool:
+        """Whether the estimate meets a latency bound (and is feasible)."""
+        return self.feasible and self.latency_s <= latency_bound_s + tolerance
+
+
+class XSimulator:
+    """Constructs execution timelines from profile results and distributions.
+
+    Args:
+        profile: Profiled per-layer execution times.
+        input_distribution: Distribution ``P_E(S)`` of input lengths.
+        output_distribution: Distribution ``P_D(S)`` of output lengths.
+    """
+
+    def __init__(
+        self,
+        profile: ProfileTable,
+        input_distribution: SequenceDistribution,
+        output_distribution: SequenceDistribution,
+    ) -> None:
+        self.profile = profile
+        self.model = profile.model
+        self.cluster = profile.cluster
+        self.input_distribution = input_distribution
+        self.output_distribution = output_distribution
+
+    # -- public API -----------------------------------------------------------
+
+    def estimate(
+        self,
+        config: ScheduleConfig,
+        target_length: int | None = None,
+    ) -> ScheduleEstimate:
+        """Estimate throughput/latency/memory of ``config``.
+
+        Args:
+            config: Schedule configuration to evaluate.
+            target_length: Output length whose generation latency is reported;
+                defaults to the 99th percentile of the output distribution.
+        """
+        target = target_length or self.output_distribution.percentile(99)
+        if config.policy is SchedulePolicy.RRA:
+            return self._estimate_rra(config, target)
+        return self._estimate_waa(config, target)
+
+    def build_placement(self, config: ScheduleConfig) -> Placement:
+        """The GPU/layer placement a config implies (exposed for the runner)."""
+        if config.policy is SchedulePolicy.RRA:
+            return build_placement(
+                SchedulePolicy.RRA, self.model, self.cluster, config.tensor_parallel
+            )
+        encode_w, decode_w = self._waa_weights(config)
+        return build_placement(
+            config.policy,
+            self.model,
+            self.cluster,
+            config.tensor_parallel,
+            encode_weight=encode_w,
+            decode_weight=decode_w,
+        )
+
+    def derived_decode_batch(self, config: ScheduleConfig) -> float:
+        """Steady-state decoder batch ``B_D`` implied by ``B_E`` (Section 6)."""
+        if config.decode_batch_override is not None:
+            return float(config.decode_batch_override)
+        if config.policy is SchedulePolicy.RRA:
+            return decode_batch_for_encode_batch(
+                config.encode_batch,
+                self.output_distribution,
+                config.decode_iterations,
+            )
+        return config.encode_batch * self.output_distribution.mean
+
+    # -- RRA ---------------------------------------------------------------------
+
+    def _estimate_rra(self, config: ScheduleConfig, target: int) -> ScheduleEstimate:
+        placement = self.build_placement(config)
+        avg_input = self.input_distribution.mean
+        avg_context = average_context_length(
+            self.input_distribution,
+            self.output_distribution,
+            decoder_only=not self.model.is_encoder_decoder,
+        )
+        decode_batch = self.derived_decode_batch(config)
+        num_stages = len(placement.decode_stages)
+        micro_batches = max(num_stages, 1)
+
+        # Encoding phase: B_E split into as many micro-batches as stages.
+        enc_micro = config.encode_batch / micro_batches
+        enc_times = encode_stage_times(self.profile, placement, enc_micro, avg_input)
+        encode_phase = pipelined_batch_completion(enc_times, micro_batches)
+
+        # Decoding phase: N_D iterations over a shrinking batch.
+        per_iter_batches = expected_decode_batch_per_iteration(
+            decode_batch, self.output_distribution, config.decode_iterations
+        )
+        decode_phase = 0.0
+        first_iter_period = 0.0
+        for u, alive in enumerate(per_iter_batches):
+            dec_times = decode_stage_times(
+                self.profile, placement, alive / micro_batches, avg_context
+            )
+            period = pipelined_iteration_period(dec_times, micro_batches)
+            decode_phase += period
+            if u == 0:
+                first_iter_period = period
+
+        cycle_time = encode_phase + decode_phase
+        completed_per_cycle = float(config.encode_batch)
+        throughput_seq = completed_per_cycle / cycle_time if cycle_time > 0 else 0.0
+        tokens_per_cycle = float(np.sum(per_iter_batches))
+        throughput_tok = tokens_per_cycle / cycle_time if cycle_time > 0 else 0.0
+
+        # Latency of generating `target` tokens: the query decodes N_D tokens
+        # per cycle, interleaved with the encoding phases of later cycles.
+        avg_iter = decode_phase / config.decode_iterations
+        full_cycles = max(math.ceil(target / config.decode_iterations) - 1, 0)
+        remaining = target - full_cycles * config.decode_iterations
+        latency = encode_phase + full_cycles * cycle_time + remaining * avg_iter
+
+        stage_memory = estimate_placement_memory(
+            placement,
+            encode_batch=config.encode_batch,
+            decode_batch=decode_batch,
+            avg_input_len=avg_input,
+            avg_context_len=avg_context,
+        )
+        return ScheduleEstimate(
+            config=config,
+            throughput_seq_per_s=throughput_seq,
+            throughput_tokens_per_s=throughput_tok,
+            latency_s=latency,
+            target_length=target,
+            decode_batch=decode_batch,
+            cycle_time_s=cycle_time,
+            memory_feasible=placement_fits_memory(stage_memory),
+            stage_memory=tuple(stage_memory),
+            placement=placement,
+        )
+
+    # -- WAA ---------------------------------------------------------------------
+
+    def _waa_weights(self, config: ScheduleConfig) -> tuple[float, float]:
+        """Encode/decode weights used to split GPUs for a WAA config."""
+        avg_input = self.input_distribution.mean
+        avg_output = self.output_distribution.mean
+        avg_context = average_context_length(
+            self.input_distribution,
+            self.output_distribution,
+            decoder_only=not self.model.is_encoder_decoder,
+        )
+        decode_batch = (
+            float(config.decode_batch_override)
+            if config.decode_batch_override is not None
+            else config.encode_batch * avg_output
+        )
+        if config.policy is SchedulePolicy.WAA_M:
+            return waa_memory_weights(
+                self.model,
+                avg_input_len=avg_input,
+                avg_output_len=avg_output,
+                decode_batch=decode_batch,
+                encode_batch=config.encode_batch,
+            )
+        # WAA-C: estimated per-iteration computation time of the full encoder
+        # stack (for B_E fresh queries) versus the full decoder stack (for
+        # the standing B_D batch), measured at TP=1 from the profile.
+        encode_time = (
+            self.profile.encode_layer_time(1, config.encode_batch, avg_input)
+            * self.model.num_encoder_layers
+        )
+        decode_time = (
+            self.profile.decode_layer_time(1, decode_batch, avg_context)
+            * self.model.num_decoder_layers
+        )
+        return max(encode_time, 1e-12), max(decode_time, 1e-12)
+
+    def _estimate_waa(self, config: ScheduleConfig, target: int) -> ScheduleEstimate:
+        placement = self.build_placement(config)
+        avg_input = self.input_distribution.mean
+        avg_output = self.output_distribution.mean
+        avg_context = average_context_length(
+            self.input_distribution,
+            self.output_distribution,
+            decoder_only=not self.model.is_encoder_decoder,
+        )
+        decode_batch = self.derived_decode_batch(config)
+        micro_batches = config.micro_batches
+
+        # Decode side: B_m micro-batches pipelined across the decode stages.
+        dec_times = decode_stage_times(
+            self.profile, placement, decode_batch / micro_batches, avg_context
+        )
+        decode_period = pipelined_iteration_period(dec_times, micro_batches)
+
+        # Encode side: the encoder pipeline must deliver B_E fresh queries per
+        # decode iteration; consecutive encode batches pipeline freely, so its
+        # period is the bottleneck encode stage time, and the handover adds a
+        # KV transfer for decoder-only models.
+        enc_times = encode_stage_times(
+            self.profile, placement, config.encode_batch, avg_input
+        )
+        encode_period = enc_times.bottleneck
+        kv_layers = self.model.num_decoder_layers
+        kv_transfer = self.profile.kv_transfer_time(
+            config.encode_batch, avg_input, kv_layers
+        ) if not self.model.is_encoder_decoder else self.profile.kv_transfer_time(
+            config.encode_batch, avg_input, 1
+        )
+
+        iteration_period = max(decode_period, encode_period)
+        throughput_seq = (
+            config.encode_batch / iteration_period if iteration_period > 0 else 0.0
+        )
+        throughput_tok = (
+            decode_batch / iteration_period if iteration_period > 0 else 0.0
+        )
+
+        # Latency: wait for admission into an encode batch (up to one encode
+        # period), traverse the encoder pipeline, hand over the KV cache, then
+        # generate `target` tokens at one iteration period each, with the last
+        # token's pipeline traversal exposed.
+        latency = (
+            encode_period
+            + enc_times.traversal
+            + kv_transfer
+            + max(target - 1, 0) * iteration_period
+            + token_latency(dec_times)
+        )
+
+        cycle_time = iteration_period
+        stage_memory = estimate_placement_memory(
+            placement,
+            encode_batch=config.encode_batch,
+            decode_batch=decode_batch,
+            avg_input_len=avg_input,
+            avg_context_len=avg_context,
+        )
+        return ScheduleEstimate(
+            config=config,
+            throughput_seq_per_s=throughput_seq,
+            throughput_tokens_per_s=throughput_tok,
+            latency_s=latency,
+            target_length=target,
+            decode_batch=decode_batch,
+            cycle_time_s=cycle_time,
+            memory_feasible=placement_fits_memory(stage_memory),
+            stage_memory=tuple(stage_memory),
+            placement=placement,
+        )

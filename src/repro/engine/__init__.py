@@ -1,0 +1,33 @@
+"""Discrete-event execution engine shared by XRunner and the baselines."""
+
+from repro.engine.batching import (
+    alive_requests,
+    average_context,
+    average_input_length,
+    split_into_micro_batches,
+    total_input_tokens,
+)
+from repro.engine.kv_manager import (
+    ContiguousKVCache,
+    KVCacheError,
+    PagedKVCache,
+)
+from repro.engine.metrics import RunResult, collect_result
+from repro.engine.request import RequestState
+from repro.engine.timeline import StageTask, Timeline
+
+__all__ = [
+    "ContiguousKVCache",
+    "KVCacheError",
+    "PagedKVCache",
+    "RequestState",
+    "RunResult",
+    "StageTask",
+    "Timeline",
+    "alive_requests",
+    "average_context",
+    "average_input_length",
+    "collect_result",
+    "split_into_micro_batches",
+    "total_input_tokens",
+]

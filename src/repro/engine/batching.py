@@ -1,0 +1,53 @@
+"""Micro-batch partitioning helpers shared by the runner and baselines."""
+
+from __future__ import annotations
+
+from repro.engine.request import RequestState
+
+
+def split_into_micro_batches(
+    requests: list[RequestState], num_micro_batches: int
+) -> list[list[RequestState]]:
+    """Partition requests into ``num_micro_batches`` contiguous groups.
+
+    Groups are as even as possible; empty groups are dropped, so the result
+    may contain fewer lists than requested when there are few requests.
+    """
+    if num_micro_batches < 1:
+        raise ValueError("num_micro_batches must be >= 1")
+    if not requests:
+        return []
+    base, rem = divmod(len(requests), num_micro_batches)
+    groups: list[list[RequestState]] = []
+    index = 0
+    for i in range(num_micro_batches):
+        size = base + (1 if i < rem else 0)
+        if size == 0:
+            continue
+        groups.append(requests[index : index + size])
+        index += size
+    return groups
+
+
+def alive_requests(requests: list[RequestState]) -> list[RequestState]:
+    """Requests that still have tokens to generate."""
+    return [r for r in requests if not r.done]
+
+
+def average_context(requests: list[RequestState], decoder_only: bool) -> float:
+    """Mean attention-context length of the next decode step for ``requests``."""
+    if not requests:
+        return 0.0
+    return sum(r.context_length(decoder_only) for r in requests) / len(requests)
+
+
+def average_input_length(requests: list[RequestState]) -> float:
+    """Mean input length of ``requests`` (0 for an empty list)."""
+    if not requests:
+        return 0.0
+    return sum(r.input_len for r in requests) / len(requests)
+
+
+def total_input_tokens(requests: list[RequestState]) -> int:
+    """Sum of input lengths (the encoder workload of a batch)."""
+    return sum(r.input_len for r in requests)

@@ -1,0 +1,197 @@
+"""Key/value cache managers.
+
+Two flavours are provided:
+
+* :class:`ContiguousKVCache` -- the FasterTransformer-style allocator that
+  reserves a contiguous slot of ``max_len`` tokens per sequence up front.
+  ExeGPT's runner extends it with early termination plus *compaction*: when
+  a query finishes, its slot is released and remaining entries are packed.
+* :class:`PagedKVCache` -- a vLLM-style block allocator that grows a
+  sequence's cache on demand in fixed-size blocks, eliminating reservation
+  waste.  The vLLM/ORCA baselines use it.
+
+Both track peak usage so Figure 9's memory comparison and the engine's
+feasibility checks can be reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.models.spec import ModelSpec
+
+
+class KVCacheError(RuntimeError):
+    """Raised when a cache allocation cannot be satisfied."""
+
+
+@dataclass
+class ContiguousKVCache:
+    """Reservation-based KV cache (FasterTransformer style).
+
+    Attributes:
+        model: Model whose per-token KV size is used.
+        num_layers: Decoder layers hosted by the GPU(s) this cache models.
+        capacity_bytes: Total bytes available for KV storage.
+    """
+
+    model: ModelSpec
+    num_layers: int
+    capacity_bytes: float
+    _reservations: dict[int, float] = field(default_factory=dict, init=False)
+    _peak_bytes: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_layers < 0:
+            raise ValueError("num_layers must be non-negative")
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+
+    def bytes_for_tokens(self, tokens: int) -> float:
+        """KV bytes needed to store ``tokens`` tokens across hosted layers."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        return tokens * self.num_layers * self.model.kv_bytes_per_token_per_layer()
+
+    @property
+    def used_bytes(self) -> float:
+        """Currently reserved bytes."""
+        return sum(self._reservations.values())
+
+    @property
+    def peak_bytes(self) -> float:
+        """High-water mark of reserved bytes."""
+        return self._peak_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        """Remaining capacity."""
+        return self.capacity_bytes - self.used_bytes
+
+    def reserve(self, request_id: int, max_tokens: int) -> None:
+        """Reserve a contiguous slot able to hold ``max_tokens`` tokens.
+
+        Raises:
+            KVCacheError: if the reservation does not fit or already exists.
+        """
+        if request_id in self._reservations:
+            raise KVCacheError(f"request {request_id} already has a reservation")
+        needed = self.bytes_for_tokens(max_tokens)
+        if needed > self.free_bytes + 1e-9:
+            raise KVCacheError(
+                f"KV reservation of {needed:.3e} B for request {request_id} exceeds "
+                f"free {self.free_bytes:.3e} B"
+            )
+        self._reservations[request_id] = needed
+        self._peak_bytes = max(self._peak_bytes, self.used_bytes)
+
+    def release(self, request_id: int) -> float:
+        """Release a request's slot (early termination); returns freed bytes."""
+        if request_id not in self._reservations:
+            raise KVCacheError(f"request {request_id} has no reservation")
+        return self._reservations.pop(request_id)
+
+    def compaction_bytes(self) -> float:
+        """Bytes that must be copied to compact the cache after releases.
+
+        Modelled as the currently live bytes (they are packed towards the
+        start of the buffer), which the runner converts to a copy time.
+        """
+        return self.used_bytes
+
+
+@dataclass
+class PagedKVCache:
+    """Block-based KV cache (vLLM's PagedAttention allocator).
+
+    Attributes:
+        model: Model whose per-token KV size is used.
+        num_layers: Decoder layers hosted.
+        capacity_bytes: Total bytes available.
+        block_tokens: Tokens per block (vLLM's default is 16).
+    """
+
+    model: ModelSpec
+    num_layers: int
+    capacity_bytes: float
+    block_tokens: int = 16
+    _blocks_per_request: dict[int, int] = field(default_factory=dict, init=False)
+    _peak_blocks: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        if self.num_layers < 0:
+            raise ValueError("num_layers must be non-negative")
+
+    @property
+    def block_bytes(self) -> float:
+        """Bytes of one block across hosted layers."""
+        return (
+            self.block_tokens
+            * self.num_layers
+            * self.model.kv_bytes_per_token_per_layer()
+        )
+
+    @property
+    def total_blocks(self) -> int:
+        """Number of blocks the capacity provides."""
+        if self.block_bytes <= 0:
+            return 0
+        return int(self.capacity_bytes // self.block_bytes)
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently allocated."""
+        return sum(self._blocks_per_request.values())
+
+    @property
+    def free_blocks(self) -> int:
+        """Blocks still available."""
+        return self.total_blocks - self.used_blocks
+
+    @property
+    def used_bytes(self) -> float:
+        """Bytes currently allocated (whole blocks)."""
+        return self.used_blocks * self.block_bytes
+
+    @property
+    def peak_bytes(self) -> float:
+        """High-water mark in bytes."""
+        return self._peak_blocks * self.block_bytes
+
+    def blocks_needed(self, tokens: int) -> int:
+        """Blocks required to hold ``tokens`` tokens."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        return math.ceil(tokens / self.block_tokens) if tokens else 0
+
+    def ensure(self, request_id: int, tokens: int) -> None:
+        """Grow a request's allocation to cover ``tokens`` tokens.
+
+        Raises:
+            KVCacheError: if the pool has no free blocks for the growth.
+        """
+        needed = self.blocks_needed(tokens)
+        current = self._blocks_per_request.get(request_id, 0)
+        if needed <= current:
+            return
+        growth = needed - current
+        if growth > self.free_blocks:
+            raise KVCacheError(
+                f"paged KV cache exhausted: need {growth} blocks, "
+                f"{self.free_blocks} free"
+            )
+        self._blocks_per_request[request_id] = needed
+        self._peak_blocks = max(self._peak_blocks, self.used_blocks)
+
+    def release(self, request_id: int) -> int:
+        """Free all blocks of a completed request; returns freed block count."""
+        if request_id not in self._blocks_per_request:
+            raise KVCacheError(f"request {request_id} has no allocation")
+        return self._blocks_per_request.pop(request_id)
+
+    def can_admit(self, tokens: int) -> bool:
+        """Whether a new request needing ``tokens`` tokens can be admitted."""
+        return self.blocks_needed(tokens) <= self.free_blocks

@@ -1,0 +1,85 @@
+"""Runtime request state used by the runner and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.trace import RequestSpec
+
+
+@dataclass
+class RequestState:
+    """Mutable execution state of one request.
+
+    Attributes:
+        spec: The underlying trace request (input/output lengths).
+        generated: Tokens generated so far.
+        encode_start_s / encode_finish_s: When encoding started / finished.
+        finish_s: When the last token was generated (completion time).
+        admitted_cycle: Scheduling cycle or iteration at which the request
+            was admitted (for diagnostics).
+    """
+
+    spec: RequestSpec
+    generated: int = 0
+    encode_start_s: float = -1.0
+    encode_finish_s: float = -1.0
+    finish_s: float = -1.0
+    admitted_cycle: int = -1
+
+    @property
+    def request_id(self) -> int:
+        """Trace id of the request."""
+        return self.spec.request_id
+
+    @property
+    def input_len(self) -> int:
+        """Prompt length."""
+        return self.spec.input_len
+
+    @property
+    def output_len(self) -> int:
+        """Forced generation length."""
+        return self.spec.output_len
+
+    @property
+    def remaining(self) -> int:
+        """Tokens still to generate."""
+        return max(self.spec.output_len - self.generated, 0)
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has generated all its tokens."""
+        return self.generated >= self.spec.output_len
+
+    @property
+    def started(self) -> bool:
+        """Whether encoding has started."""
+        return self.encode_start_s >= 0.0
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency (encode start to last token), -1 if unfinished."""
+        if self.finish_s < 0 or self.encode_start_s < 0:
+            return -1.0
+        return self.finish_s - self.encode_start_s
+
+    def advance(self, tokens: int = 1) -> None:
+        """Record ``tokens`` newly generated tokens.
+
+        Raises:
+            ValueError: if advancing past the forced output length.
+        """
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        if self.generated + tokens > self.spec.output_len:
+            raise ValueError(
+                f"request {self.request_id} would exceed its output length"
+            )
+        self.generated += tokens
+
+    def context_length(self, decoder_only: bool) -> int:
+        """Current attention context length for the next decode step."""
+        if decoder_only:
+            return self.spec.input_len + self.generated
+        return max(self.generated, 1)

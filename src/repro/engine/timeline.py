@@ -1,0 +1,157 @@
+"""Deterministic pipelined-execution timeline.
+
+The runner and every baseline express their schedule as a partially ordered
+set of *stage tasks*: "stage ``j`` spends ``d`` seconds processing micro-batch
+``m`` of iteration ``u``".  The :class:`Timeline` executor assigns start and
+finish times respecting two constraints:
+
+* a stage executes one task at a time, in the order the driver enqueued them
+  (FIFO per stage, which is how a real pipelined runner issues work), and
+* a task cannot start before all its dependencies have finished (pipeline
+  hand-offs, autoregressive token feedback, KV-cache transfers).
+
+Because every driver enqueues tasks in its own execution order, dependencies
+always point backwards and the timeline can be computed in a single linear
+pass, which keeps even large traces fast while still exposing pipeline
+bubbles, phase-boundary drains and communication stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageTask:
+    """One unit of work executed by one pipeline stage.
+
+    Attributes:
+        task_id: Index assigned by the timeline when the task is added.
+        stage: Identifier of the executing stage (any hashable, typically the
+            stage index or a ``("encode", i)`` tuple).
+        duration_s: Execution time in seconds.
+        deps: Task ids that must finish before this task starts.
+        tag: Free-form label used by metrics (e.g. ``"decode"``).
+        start_s / finish_s: Filled in by the timeline.
+    """
+
+    task_id: int
+    stage: object
+    duration_s: float
+    deps: tuple[int, ...] = ()
+    tag: str = ""
+    start_s: float = field(default=-1.0)
+    finish_s: float = field(default=-1.0)
+
+    @property
+    def scheduled(self) -> bool:
+        """Whether the timeline has assigned times to this task."""
+        return self.start_s >= 0.0
+
+
+class Timeline:
+    """Collects stage tasks and computes their start/finish times."""
+
+    def __init__(self) -> None:
+        self._tasks: list[StageTask] = []
+        self._stage_free_at: dict[object, float] = {}
+        self._stage_busy: dict[object, float] = {}
+        self._finalized = False
+
+    # -- construction ---------------------------------------------------------
+
+    def add_task(
+        self,
+        stage: object,
+        duration_s: float,
+        deps: tuple[int, ...] | list[int] = (),
+        tag: str = "",
+    ) -> int:
+        """Append a task and return its id.
+
+        Raises:
+            ValueError: for negative durations or forward dependencies.
+        """
+        if self._finalized:
+            raise RuntimeError("cannot add tasks after the timeline was run")
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        task_id = len(self._tasks)
+        dep_tuple = tuple(int(d) for d in deps)
+        for dep in dep_tuple:
+            if dep < 0 or dep >= task_id:
+                raise ValueError(
+                    f"dependency {dep} of task {task_id} must reference an "
+                    "earlier task"
+                )
+        self._tasks.append(
+            StageTask(task_id=task_id, stage=stage, duration_s=duration_s,
+                      deps=dep_tuple, tag=tag)
+        )
+        return task_id
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self) -> None:
+        """Assign start/finish times to every task (idempotent)."""
+        if self._finalized:
+            return
+        for task in self._tasks:
+            ready = 0.0
+            for dep in task.deps:
+                ready = max(ready, self._tasks[dep].finish_s)
+            stage_free = self._stage_free_at.get(task.stage, 0.0)
+            task.start_s = max(ready, stage_free)
+            task.finish_s = task.start_s + task.duration_s
+            self._stage_free_at[task.stage] = task.finish_s
+            self._stage_busy[task.stage] = (
+                self._stage_busy.get(task.stage, 0.0) + task.duration_s
+            )
+        self._finalized = True
+
+    # -- queries ------------------------------------------------------------------
+
+    def finish_time(self, task_id: int) -> float:
+        """Finish time of a task (runs the timeline if needed)."""
+        self.run()
+        return self._tasks[task_id].finish_s
+
+    def start_time(self, task_id: int) -> float:
+        """Start time of a task (runs the timeline if needed)."""
+        self.run()
+        return self._tasks[task_id].start_s
+
+    @property
+    def tasks(self) -> tuple[StageTask, ...]:
+        """All tasks, in insertion order."""
+        return tuple(self._tasks)
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks added so far."""
+        return len(self._tasks)
+
+    @property
+    def makespan_s(self) -> float:
+        """Finish time of the last-completing task (0 for an empty timeline)."""
+        self.run()
+        if not self._tasks:
+            return 0.0
+        return max(task.finish_s for task in self._tasks)
+
+    def stage_utilization(self) -> dict[object, float]:
+        """Busy-time fraction of each stage over the makespan."""
+        self.run()
+        makespan = self.makespan_s
+        if makespan <= 0:
+            return {stage: 0.0 for stage in self._stage_busy}
+        return {
+            stage: busy / makespan for stage, busy in sorted(
+                self._stage_busy.items(), key=lambda kv: str(kv[0])
+            )
+        }
+
+    def stage_busy_time(self) -> dict[object, float]:
+        """Total busy seconds per stage."""
+        self.run()
+        return dict(self._stage_busy)

@@ -1,0 +1,48 @@
+"""Experiment modules regenerating every table and figure of the paper."""
+
+from repro.experiments.common import Scenario, format_measurements, format_table
+from repro.experiments.figure6 import figure6_speedups, run_figure6
+from repro.experiments.figure7 import ft_wins, run_figure7
+from repro.experiments.figure8 import run_figure8, waa_is_infeasible
+from repro.experiments.figure9 import model_memory_overhead, run_figure9
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.figure11 import run_figure11
+from repro.experiments.scheduling_cost import (
+    profiling_cost,
+    run_scheduling_cost,
+    search_efficiency,
+)
+from repro.experiments.table4 import PAPER_TABLE4, run_table4
+from repro.experiments.table5 import overall_monotonic_fraction, run_table5
+from repro.experiments.table6 import run_table6, tightest_to_max_throughput_ratio
+from repro.experiments.table7 import run_table7
+from repro.experiments.tables_config import run_table1, run_table2, run_table3
+
+__all__ = [
+    "PAPER_TABLE4",
+    "Scenario",
+    "figure6_speedups",
+    "format_measurements",
+    "format_table",
+    "ft_wins",
+    "model_memory_overhead",
+    "overall_monotonic_fraction",
+    "profiling_cost",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "run_figure10",
+    "run_figure11",
+    "run_scheduling_cost",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "search_efficiency",
+    "tightest_to_max_throughput_ratio",
+    "waa_is_infeasible",
+]

@@ -1,0 +1,129 @@
+"""Shared helpers for the experiment (figure/table) reproduction modules.
+
+Every experiment module exposes a ``run_*`` function returning plain rows
+(lists of dataclasses or dicts) plus a ``format_rows`` helper that renders
+them as the text table the paper's figure would show.  The experiments are
+parameterised by trace size and model subset so the benchmark suite can run
+scaled-down versions quickly while the full configuration reproduces the
+complete figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.exegpt import ExeGPT
+from repro.serving.evaluation import SystemMeasurement, default_baselines
+from repro.serving.latency_bounds import LatencyBoundSet, derive_latency_bounds
+from repro.workloads.synthetic import generate_task_trace
+from repro.workloads.tasks import TaskSpec, get_task
+from repro.workloads.trace import WorkloadTrace
+
+
+@dataclass
+class Scenario:
+    """One (model, task) evaluation scenario.
+
+    Attributes:
+        model_name: Catalog model key ("OPT-13B", ...).
+        task: Task spec (Table 3).
+        num_requests: Trace length used for measured runs.
+        num_gpus: Override of the Table 2 GPU count (None = paper default).
+        seed: Trace random seed.
+    """
+
+    model_name: str
+    task: TaskSpec
+    num_requests: int = 512
+    num_gpus: int | None = None
+    seed: int = 0
+    max_encode_batch: int = 64
+    _engine: ExeGPT | None = field(default=None, repr=False)
+    _trace: WorkloadTrace | None = field(default=None, repr=False)
+
+    @classmethod
+    def create(
+        cls,
+        model_name: str,
+        task_id: str,
+        num_requests: int = 512,
+        num_gpus: int | None = None,
+        seed: int = 0,
+        max_encode_batch: int = 64,
+    ) -> "Scenario":
+        """Build a scenario from catalog keys."""
+        return cls(
+            model_name=model_name,
+            task=get_task(task_id),
+            num_requests=num_requests,
+            num_gpus=num_gpus,
+            seed=seed,
+            max_encode_batch=max_encode_batch,
+        )
+
+    @property
+    def engine(self) -> ExeGPT:
+        """The (cached) ExeGPT instance of the scenario."""
+        if self._engine is None:
+            self._engine = ExeGPT.for_task(
+                self.model_name,
+                self.task,
+                num_gpus=self.num_gpus,
+                max_encode_batch=self.max_encode_batch,
+            )
+        return self._engine
+
+    @property
+    def trace(self) -> WorkloadTrace:
+        """The (cached) synthetic trace of the scenario."""
+        if self._trace is None:
+            self._trace = generate_task_trace(
+                self.task, num_requests=self.num_requests, seed=self.seed
+            )
+        return self._trace
+
+    @property
+    def label(self) -> str:
+        """Short label, e.g. ``"OPT-13B/S"``."""
+        return f"{self.model_name}/{self.task.task_id}"
+
+    def latency_bounds(self) -> LatencyBoundSet:
+        """The paper's four latency bounds for this scenario."""
+        (ft,) = default_baselines(self.engine, ("ft",))
+        return derive_latency_bounds(ft, target_length=self.task.output_p99)
+
+
+def format_measurements(rows: list[SystemMeasurement], title: str = "") -> str:
+    """Render measurements as an aligned text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'bound':>8} {'system':>14} {'tput (seq/s)':>14} {'p99 lat (s)':>12} {'ok':>4}  config"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.bound_label:>8} {row.system:>14} {row.throughput_seq_per_s:>14.2f} "
+            f"{row.p99_latency_s:>12.2f} {'yes' if row.satisfied else 'no':>4}  "
+            f"{row.config_description}"
+        )
+    return "\n".join(lines)
+
+
+def format_table(rows: list[dict], columns: list[str], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    lines = []
+    if title:
+        lines.append(title)
+    widths = {c: max(len(c), *(len(_fmt(r.get(c, ""))) for r in rows)) for c in columns}
+    lines.append("  ".join(c.rjust(widths[c]) for c in columns))
+    lines.append("-" * (sum(widths.values()) + 2 * (len(columns) - 1)))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c, "")).rjust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

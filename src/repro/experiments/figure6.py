@@ -1,0 +1,110 @@
+"""Figure 6: ExeGPT vs FasterTransformer, small to mid-sized LLMs.
+
+The paper evaluates T5-11B, OPT-13B, GPT-3 39B and GPT-3 101B on tasks S
+(summarization), T (translation) and C1 (short conversational Q&A), each
+under four latency bounds (the bottom 10%, 30%, 70% of FT's latency range
+and infinity), and reports throughput in sequences per second.  ExeGPT's
+bar is the faster of its RRA and WAA schedules.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SchedulePolicy
+from repro.experiments.common import Scenario, format_measurements
+from repro.serving.evaluation import (
+    SystemMeasurement,
+    default_baselines,
+    measure_baseline,
+    measure_exegpt,
+)
+
+SMALL_MID_MODELS = ("T5-11B", "OPT-13B", "GPT3-39B", "GPT3-101B")
+SMALL_MID_TASKS = ("S", "T", "C1")
+
+
+def run_figure6(
+    models: tuple[str, ...] = SMALL_MID_MODELS,
+    tasks: tuple[str, ...] = SMALL_MID_TASKS,
+    num_requests: int = 512,
+    bounds_subset: tuple[int, ...] | None = None,
+) -> list[SystemMeasurement]:
+    """Regenerate the Figure 6 series.
+
+    Args:
+        models: Model subset (the full figure uses all four small/mid LLMs).
+        tasks: Task subset (the full figure uses S, T and C1).
+        num_requests: Requests per measured trace.
+        bounds_subset: Indices of the four bounds to evaluate (None = all).
+
+    Returns:
+        One measurement per (model, task, bound, system) with ExeGPT
+        (best of RRA/WAA-C/WAA-M) and FT.
+    """
+    measurements: list[SystemMeasurement] = []
+    for model_name in models:
+        for task_id in tasks:
+            scenario = Scenario.create(model_name, task_id, num_requests=num_requests)
+            (ft,) = default_baselines(scenario.engine, ("ft",))
+            bounds = scenario.latency_bounds().as_list()
+            if bounds_subset is not None:
+                bounds = [bounds[i] for i in bounds_subset]
+            for constraint in bounds:
+                exe = measure_exegpt(
+                    scenario.engine,
+                    scenario.trace,
+                    constraint,
+                    policies=(
+                        SchedulePolicy.RRA,
+                        SchedulePolicy.WAA_C,
+                        SchedulePolicy.WAA_M,
+                    ),
+                )
+                ft_row = measure_baseline(ft, scenario.trace, constraint)
+                exe = _tag(exe, scenario.label)
+                ft_row = _tag(ft_row, scenario.label)
+                measurements.extend([exe, ft_row])
+    return measurements
+
+
+def _tag(row: SystemMeasurement, label: str) -> SystemMeasurement:
+    return SystemMeasurement(
+        system=f"{label}:{row.system}",
+        bound_label=row.bound_label,
+        bound_s=row.bound_s,
+        throughput_seq_per_s=row.throughput_seq_per_s,
+        p99_latency_s=row.p99_latency_s,
+        max_latency_s=row.max_latency_s,
+        satisfied=row.satisfied,
+        config_description=row.config_description,
+    )
+
+
+def figure6_speedups(measurements: list[SystemMeasurement]) -> dict[str, float]:
+    """Per-(scenario, bound) throughput speedup of ExeGPT over FT."""
+    exe: dict[tuple[str, str], float] = {}
+    ft: dict[tuple[str, str], float] = {}
+    for row in measurements:
+        scenario, system = row.system.split(":", 1)
+        key = (scenario, row.bound_label)
+        if system.startswith("exegpt"):
+            exe[key] = max(exe.get(key, 0.0), row.throughput_seq_per_s)
+        elif system == "ft":
+            ft[key] = row.throughput_seq_per_s
+    return {
+        f"{scenario}@{bound}": exe[(scenario, bound)] / ft[(scenario, bound)]
+        for (scenario, bound) in exe
+        if ft.get((scenario, bound), 0.0) > 0
+    }
+
+
+def main() -> None:
+    """Run a scaled-down Figure 6 and print it."""
+    rows = run_figure6(models=("OPT-13B",), tasks=("S", "T"), num_requests=256)
+    print(format_measurements(rows, title="Figure 6 (subset): ExeGPT vs FT"))
+    speedups = figure6_speedups(rows)
+    mean = sum(speedups.values()) / max(len(speedups), 1)
+    print(f"\nMean ExeGPT/FT speedup: {mean:.2f}x (paper: ~2x for small/mid LLMs)")
+
+
+if __name__ == "__main__":
+    main()

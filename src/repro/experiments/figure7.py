@@ -1,0 +1,75 @@
+"""Figure 7: throughput comparison of the existing inference systems.
+
+FT, DSI, ORCA and vLLM on OPT-13B with four A40 GPUs, tasks S/T/C1, four
+latency bounds.  The paper's finding is that FT outperforms the others (DSI
+close behind, ORCA/vLLM limited by executor overhead and latency-bound
+compliance), which motivates using FT as the main baseline elsewhere.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Scenario, format_measurements
+from repro.serving.evaluation import (
+    SystemMeasurement,
+    default_baselines,
+    measure_baseline,
+)
+
+FIGURE7_SYSTEMS = ("ft", "dsi", "orca", "vllm")
+
+
+def run_figure7(
+    tasks: tuple[str, ...] = ("S", "T", "C1"),
+    num_requests: int = 512,
+    bounds_subset: tuple[int, ...] | None = None,
+) -> list[SystemMeasurement]:
+    """Regenerate the Figure 7 series (existing systems on OPT-13B)."""
+    measurements: list[SystemMeasurement] = []
+    for task_id in tasks:
+        scenario = Scenario.create("OPT-13B", task_id, num_requests=num_requests)
+        systems = default_baselines(scenario.engine, FIGURE7_SYSTEMS)
+        bounds = scenario.latency_bounds().as_list()
+        if bounds_subset is not None:
+            bounds = [bounds[i] for i in bounds_subset]
+        for constraint in bounds:
+            for system in systems:
+                row = measure_baseline(system, scenario.trace, constraint)
+                measurements.append(
+                    SystemMeasurement(
+                        system=f"{scenario.label}:{row.system}",
+                        bound_label=row.bound_label,
+                        bound_s=row.bound_s,
+                        throughput_seq_per_s=row.throughput_seq_per_s,
+                        p99_latency_s=row.p99_latency_s,
+                        max_latency_s=row.max_latency_s,
+                        satisfied=row.satisfied,
+                        config_description=row.config_description,
+                    )
+                )
+    return measurements
+
+
+def ft_wins(measurements: list[SystemMeasurement]) -> bool:
+    """Whether FT has the highest throughput in every (task, bound) group."""
+    groups: dict[tuple[str, str], dict[str, float]] = {}
+    for row in measurements:
+        scenario, system = row.system.split(":", 1)
+        groups.setdefault((scenario, row.bound_label), {})[system] = (
+            row.throughput_seq_per_s
+        )
+    for systems in groups.values():
+        ft = systems.get("ft", 0.0)
+        if any(v > ft * 1.02 for k, v in systems.items() if k != "ft"):
+            return False
+    return True
+
+
+def main() -> None:
+    """Run a scaled-down Figure 7 and print it."""
+    rows = run_figure7(tasks=("S",), num_requests=256)
+    print(format_measurements(rows, title="Figure 7 (subset): existing systems"))
+    print(f"\nFT is the strongest existing system: {ft_wins(rows)} (paper: yes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Figure 8: ExeGPT (RRA) vs FasterTransformer on large LLMs.
+
+GPT-3 101B, 175B and 341B on the code-generation and conversational tasks
+(G, C1, C2) under four latency bounds.  WAA is excluded because its weight
+replication does not fit for the 175B/341B models; ExeGPT therefore runs
+RRA only, and the paper reports an average 3.2x gain over FT (2.2x at the
+unbounded constraint).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SchedulePolicy
+from repro.experiments.common import Scenario, format_measurements
+from repro.experiments.figure6 import _tag, figure6_speedups
+from repro.serving.evaluation import (
+    SystemMeasurement,
+    default_baselines,
+    measure_baseline,
+    measure_exegpt,
+)
+
+LARGE_MODELS = ("GPT3-101B", "GPT3-175B", "GPT3-341B")
+LARGE_TASKS = ("G", "C1", "C2")
+
+
+def run_figure8(
+    models: tuple[str, ...] = LARGE_MODELS,
+    tasks: tuple[str, ...] = LARGE_TASKS,
+    num_requests: int = 384,
+    bounds_subset: tuple[int, ...] | None = None,
+) -> list[SystemMeasurement]:
+    """Regenerate the Figure 8 series (large LLMs, RRA only)."""
+    measurements: list[SystemMeasurement] = []
+    for model_name in models:
+        for task_id in tasks:
+            scenario = Scenario.create(model_name, task_id, num_requests=num_requests)
+            (ft,) = default_baselines(scenario.engine, ("ft",))
+            bounds = scenario.latency_bounds().as_list()
+            if bounds_subset is not None:
+                bounds = [bounds[i] for i in bounds_subset]
+            for constraint in bounds:
+                exe = measure_exegpt(
+                    scenario.engine,
+                    scenario.trace,
+                    constraint,
+                    policies=(SchedulePolicy.RRA,),
+                )
+                ft_row = measure_baseline(ft, scenario.trace, constraint)
+                measurements.append(_tag(exe, scenario.label))
+                measurements.append(_tag(ft_row, scenario.label))
+    return measurements
+
+
+def waa_is_infeasible(model_name: str, task_id: str) -> bool:
+    """Check the paper's claim that WAA cannot run the 175B/341B models.
+
+    Returns True when no memory-feasible WAA schedule exists for the model
+    and task at any encoder batch size.
+    """
+    scenario = Scenario.create(model_name, task_id, num_requests=8)
+    search = scenario.engine.schedule(
+        float("inf"), policies=(SchedulePolicy.WAA_C, SchedulePolicy.WAA_M)
+    )
+    return search.best is None
+
+
+def main() -> None:
+    """Run a scaled-down Figure 8 and print it."""
+    rows = run_figure8(models=("GPT3-101B",), tasks=("G",), num_requests=192)
+    print(format_measurements(rows, title="Figure 8 (subset): large LLMs"))
+    speedups = figure6_speedups(rows)
+    mean = sum(speedups.values()) / max(len(speedups), 1)
+    print(f"\nMean ExeGPT/FT speedup: {mean:.2f}x (paper: ~3.2x for large LLMs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Section 7.7: cost of profiling and scheduling.
+
+The paper reports that profiling a model takes under two hours (once per
+model/cluster), branch-and-bound scheduling takes seconds to minutes, and an
+exhaustive search would take five hours to a day.  The absolute numbers on
+this substrate are much smaller, but the *ratio* between branch-and-bound
+and exhaustive search -- both in evaluated points and in wall time -- is the
+reproducible quantity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.config import LatencyConstraint, SchedulePolicy
+from repro.core.profiler import XProfiler
+from repro.experiments.common import Scenario, format_table
+
+
+@dataclass(frozen=True)
+class SchedulingCostRow:
+    """Search cost of one method for one policy family.
+
+    Attributes:
+        method: Search method name.
+        policy: Policy family searched ("rra" or "waa").
+        evaluations: Simulator evaluations performed.
+        elapsed_s: Wall time of the search.
+        best_throughput: Throughput of the best schedule found.
+    """
+
+    method: str
+    policy: str
+    evaluations: int
+    elapsed_s: float
+    best_throughput: float
+
+
+def run_scheduling_cost(
+    model_name: str = "OPT-13B",
+    task_id: str = "S",
+    bound_s: float = 11.5,
+    max_encode_batch: int = 48,
+    methods: tuple[str, ...] = ("branch_and_bound", "exhaustive", "random"),
+) -> list[SchedulingCostRow]:
+    """Compare the search methods' cost and result quality."""
+    scenario = Scenario.create(
+        model_name, task_id, num_requests=8, max_encode_batch=max_encode_batch
+    )
+    engine = scenario.engine
+    constraint = LatencyConstraint(bound_s=bound_s, target_length=scenario.task.output_p99)
+    rows: list[SchedulingCostRow] = []
+    for method in methods:
+        for label, policies in (
+            ("rra", (SchedulePolicy.RRA,)),
+            ("waa", (SchedulePolicy.WAA_C,)),
+        ):
+            result = engine.schedule(constraint, policies=policies, method=method)
+            rows.append(
+                SchedulingCostRow(
+                    method=method,
+                    policy=label,
+                    evaluations=result.evaluations,
+                    elapsed_s=result.elapsed_s,
+                    best_throughput=(
+                        result.best.throughput_seq_per_s if result.best else 0.0
+                    ),
+                )
+            )
+    return rows
+
+
+def profiling_cost(model_name: str = "OPT-13B", num_gpus: int | None = None) -> float:
+    """Wall time of a full profiling sweep for one model."""
+    scenario = Scenario.create(model_name, "S", num_requests=8, num_gpus=num_gpus)
+    start = time.perf_counter()
+    XProfiler(scenario.engine.model, scenario.engine.cluster).profile()
+    return time.perf_counter() - start
+
+
+def search_efficiency(rows: list[SchedulingCostRow]) -> float:
+    """Evaluations of exhaustive search divided by branch-and-bound's."""
+    bnb = sum(r.evaluations for r in rows if r.method == "branch_and_bound")
+    exhaustive = sum(r.evaluations for r in rows if r.method == "exhaustive")
+    if bnb == 0:
+        return 0.0
+    return exhaustive / bnb
+
+
+def main() -> None:
+    """Print the scheduling-cost comparison."""
+    rows = run_scheduling_cost(max_encode_batch=32)
+    print(
+        format_table(
+            [r.__dict__ for r in rows],
+            ["method", "policy", "evaluations", "elapsed_s", "best_throughput"],
+            title="Section 7.7: scheduling cost",
+        )
+    )
+    print(f"\nExhaustive/BnB evaluation ratio: {search_efficiency(rows):.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Table 4: cost of (re-)deploying LLMs from SSD or CPU DRAM.
+
+The paper reports 2.1-15.1 s to load GPT-3 39B-341B from SSD and 0.9-3.5 s
+from DRAM, loading weight shards onto all GPUs in parallel.  This module
+regenerates the table from the storage bandwidth model.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.hardware.storage import DRAM, SSD, load_time_s
+from repro.models.catalog import get_model
+
+# Model -> GPU count used in the paper's Table 4 (its deployment column).
+TABLE4_DEPLOYMENTS: tuple[tuple[str, int], ...] = (
+    ("GPT3-39B", 16),
+    ("GPT3-101B", 32),
+    ("GPT3-175B", 32),
+    ("GPT3-341B", 48),
+)
+
+
+def run_table4(
+    deployments: tuple[tuple[str, int], ...] = TABLE4_DEPLOYMENTS,
+) -> list[dict]:
+    """Regenerate the Table 4 rows (seconds to load from DRAM / SSD)."""
+    rows = []
+    for model_key, num_gpus in deployments:
+        model = get_model(model_key)
+        rows.append(
+            {
+                "model": model.name,
+                "num_gpus": num_gpus,
+                "dram_s": load_time_s(model.total_bytes, num_gpus, DRAM),
+                "ssd_s": load_time_s(model.total_bytes, num_gpus, SSD),
+            }
+        )
+    return rows
+
+
+# The paper's published values, used by tests/benches to check the trend.
+PAPER_TABLE4 = {
+    "GPT3-39B": {"dram_s": 0.9, "ssd_s": 2.1},
+    "GPT3-101B": {"dram_s": 1.3, "ssd_s": 7.1},
+    "GPT3-175B": {"dram_s": 2.1, "ssd_s": 11.9},
+    "GPT3-341B": {"dram_s": 3.5, "ssd_s": 15.1},
+}
+
+
+def main() -> None:
+    """Print Table 4."""
+    print(
+        format_table(
+            run_table4(), ["model", "num_gpus", "dram_s", "ssd_s"], "Table 4: deployment cost"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,242 @@
+"""Table 5: monotonicity of the control variables.
+
+The scheduling algorithm assumes throughput and latency are monotonic in
+each control variable.  Table 5 quantifies how often that fails: for GPT-3
+39B and tasks S/T, each variable is swept with the others fixed, for all
+combinations of the other variables, and the percentage of non-monotonic
+points is reported at 2/5/10% tolerance (the paper finds ~97% of points
+monotonic at 5%).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import ScheduleConfig, SchedulePolicy, TensorParallelConfig
+from repro.core.simulator import XSimulator
+from repro.experiments.common import Scenario, format_table
+
+
+@dataclass(frozen=True)
+class MonotonicityRow:
+    """Non-monotonic point percentages for one (task, tolerance, variable).
+
+    Attributes:
+        task: Task id.
+        tolerance_pct: Tolerance as a percentage of the reference values.
+        policy: Scheduling policy of the swept variable.
+        variable: Control-variable name.
+        latency_violation_pct: % of swept points violating latency
+            monotonicity beyond the tolerance.
+        throughput_violation_pct: Same for throughput.
+    """
+
+    task: str
+    tolerance_pct: float
+    policy: str
+    variable: str
+    latency_violation_pct: float
+    throughput_violation_pct: float
+
+
+def _violations(values: list[float], increasing: bool, tolerance: float) -> int:
+    """Count adjacent pairs that move against the expected direction."""
+    count = 0
+    for prev, cur in zip(values, values[1:]):
+        if not np.isfinite(prev) or not np.isfinite(cur):
+            continue
+        delta = cur - prev if increasing else prev - cur
+        if delta < -tolerance:
+            count += 1
+    return count
+
+
+def _sweep(
+    simulator: XSimulator,
+    configs: list[ScheduleConfig],
+    tolerance_fraction: float,
+) -> tuple[int, int, int]:
+    """Evaluate a sweep; returns (points, latency violations, tput violations)."""
+    latencies: list[float] = []
+    throughputs: list[float] = []
+    for config in configs:
+        try:
+            estimate = simulator.estimate(config)
+        except (ValueError, KeyError):
+            latencies.append(float("nan"))
+            throughputs.append(float("nan"))
+            continue
+        if not estimate.feasible:
+            latencies.append(float("nan"))
+            throughputs.append(float("nan"))
+            continue
+        latencies.append(estimate.latency_s)
+        throughputs.append(estimate.throughput_seq_per_s)
+    finite_lat = [v for v in latencies if np.isfinite(v)]
+    finite_tput = [v for v in throughputs if np.isfinite(v)]
+    if len(finite_lat) < 2:
+        return 0, 0, 0
+    lat_tol = tolerance_fraction * float(np.mean(finite_lat))
+    tput_tol = tolerance_fraction * float(np.mean(finite_tput))
+    lat_viol = _violations(latencies, increasing=True, tolerance=lat_tol)
+    tput_viol = _violations(throughputs, increasing=True, tolerance=tput_tol)
+    return len(finite_lat) - 1, lat_viol, tput_viol
+
+
+def _rra_sweeps(variable: str, max_encode_batch: int) -> list[list[ScheduleConfig]]:
+    encode_batches = [4, 8, 16, 32, min(64, max_encode_batch)]
+    decode_iterations = [32, 16, 8, 4, 2, 1]  # increasing encode frequency
+    sweeps: list[list[ScheduleConfig]] = []
+    if variable == "B_E":
+        for n_d in (2, 8, 32):
+            sweeps.append(
+                [
+                    ScheduleConfig(SchedulePolicy.RRA, b, decode_iterations=n_d)
+                    for b in encode_batches
+                ]
+            )
+    elif variable == "N_D":
+        for b in (8, 32):
+            sweeps.append(
+                [
+                    ScheduleConfig(SchedulePolicy.RRA, b, decode_iterations=n_d)
+                    for n_d in decode_iterations
+                ]
+            )
+    else:
+        raise ValueError(f"unknown RRA variable {variable!r}")
+    return sweeps
+
+
+def _waa_sweeps(
+    variable: str, max_encode_batch: int, num_gpus: int
+) -> list[list[ScheduleConfig]]:
+    encode_batches = [1, 2, 4, 8, min(16, max_encode_batch)]
+    micro_batches = [4, 3, 2, 1]  # fewer micro-batches -> higher throughput
+    tp_gpu_counts = [
+        n for n in range(num_gpus, 0, -2) if n % 2 == 0
+    ] or [2]
+    sweeps: list[list[ScheduleConfig]] = []
+    if variable == "B_E":
+        for m in (1, 2):
+            sweeps.append(
+                [
+                    ScheduleConfig(SchedulePolicy.WAA_C, b, micro_batches=m)
+                    for b in encode_batches
+                ]
+            )
+    elif variable == "B_m":
+        for b in (2, 8):
+            sweeps.append(
+                [
+                    ScheduleConfig(SchedulePolicy.WAA_C, b, micro_batches=m)
+                    for m in micro_batches
+                ]
+            )
+    elif variable == "TP":
+        # More TP-covered GPUs -> shallower pipeline -> lower latency; the
+        # expected direction for throughput is downward, so sweep from many
+        # TP GPUs to few (throughput should increase along the sweep).
+        for b in (2, 8):
+            sweeps.append(
+                [
+                    ScheduleConfig(
+                        SchedulePolicy.WAA_C,
+                        b,
+                        micro_batches=1,
+                        tensor_parallel=TensorParallelConfig(degree=2, num_gpus=n),
+                    )
+                    for n in tp_gpu_counts
+                ]
+            )
+    else:
+        raise ValueError(f"unknown WAA variable {variable!r}")
+    return sweeps
+
+
+def run_table5(
+    model_name: str = "GPT3-39B",
+    tasks: tuple[str, ...] = ("S", "T"),
+    tolerances_pct: tuple[float, ...] = (2.0, 5.0, 10.0),
+    num_gpus: int | None = None,
+) -> list[MonotonicityRow]:
+    """Regenerate Table 5 (percentage of non-monotonic points)."""
+    rows: list[MonotonicityRow] = []
+    for task_id in tasks:
+        scenario = Scenario.create(model_name, task_id, num_requests=8, num_gpus=num_gpus)
+        simulator = scenario.engine.simulator
+        gpu_count = scenario.engine.cluster.num_gpus
+        variables = [
+            ("rra", "B_E", _rra_sweeps("B_E", scenario.max_encode_batch)),
+            ("rra", "N_D", _rra_sweeps("N_D", scenario.max_encode_batch)),
+            ("waa", "B_E", _waa_sweeps("B_E", scenario.max_encode_batch, gpu_count)),
+            ("waa", "TP", _waa_sweeps("TP", scenario.max_encode_batch, gpu_count)),
+            ("waa", "B_m", _waa_sweeps("B_m", scenario.max_encode_batch, gpu_count)),
+        ]
+        for tolerance in tolerances_pct:
+            for policy, variable, sweeps in variables:
+                total = 0
+                lat_viol = 0
+                tput_viol = 0
+                for sweep in sweeps:
+                    points, lat, tput = _sweep(simulator, sweep, tolerance / 100.0)
+                    total += points
+                    lat_viol += lat
+                    tput_viol += tput
+                if total == 0:
+                    continue
+                rows.append(
+                    MonotonicityRow(
+                        task=task_id,
+                        tolerance_pct=tolerance,
+                        policy=policy,
+                        variable=variable,
+                        latency_violation_pct=100.0 * lat_viol / total,
+                        throughput_violation_pct=100.0 * tput_viol / total,
+                    )
+                )
+    return rows
+
+
+def overall_monotonic_fraction(rows: list[MonotonicityRow], tolerance_pct: float) -> float:
+    """Fraction of points that are monotonic at a given tolerance (both metrics)."""
+    selected = [r for r in rows if r.tolerance_pct == tolerance_pct]
+    if not selected:
+        return 1.0
+    worst = max(
+        max(r.latency_violation_pct, r.throughput_violation_pct) for r in selected
+    )
+    mean = float(
+        np.mean([
+            (r.latency_violation_pct + r.throughput_violation_pct) / 2.0
+            for r in selected
+        ])
+    )
+    del worst
+    return 1.0 - mean / 100.0
+
+
+def main() -> None:
+    """Print Table 5."""
+    rows = run_table5(tasks=("S",), tolerances_pct=(5.0,))
+    print(
+        format_table(
+            [r.__dict__ for r in rows],
+            [
+                "task",
+                "tolerance_pct",
+                "policy",
+                "variable",
+                "latency_violation_pct",
+                "throughput_violation_pct",
+            ],
+            title="Table 5 (subset): non-monotonic points",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Tables 1-3: evaluated models, clusters and tasks.
+
+These tables are configuration inventories rather than measurements; the
+functions here regenerate their rows from the catalog so that the benchmark
+suite can assert the reproduction ships exactly the published configurations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.hardware.cluster import a40_cluster, a100_cluster
+from repro.models.catalog import DEPLOYMENTS, get_model, known_models
+from repro.workloads.tasks import ALL_TASKS
+
+
+def run_table1() -> list[dict]:
+    """Table 1: model configurations (params, layers, hidden size, heads)."""
+    rows = []
+    for key in known_models():
+        model = get_model(key)
+        rows.append(
+            {
+                "model": model.name,
+                "params_b": round(model.total_parameters / 1e9, 1),
+                "layers": model.num_layers,
+                "hidden": model.hidden_size,
+                "heads": model.num_heads,
+                "architecture": model.architecture.value,
+            }
+        )
+    return rows
+
+
+def run_table2() -> list[dict]:
+    """Table 2: GPU clusters and per-model deployments."""
+    clusters = {
+        "A40": a40_cluster(),
+        "A100": a100_cluster(),
+    }
+    rows = []
+    for cluster_name, cluster in clusters.items():
+        rows.append(
+            {
+                "cluster": cluster_name,
+                "gpu": cluster.gpu.name,
+                "memory_gb": cluster.gpu.memory_gb,
+                "size": cluster.num_gpus,
+                "intra_node": cluster.topology.intra_node.name,
+                "inter_node": cluster.topology.inter_node.name,
+            }
+        )
+    for model_key, (cluster_name, gpus) in sorted(DEPLOYMENTS.items()):
+        rows.append(
+            {
+                "cluster": cluster_name,
+                "gpu": f"deploy:{model_key}",
+                "memory_gb": "",
+                "size": gpus,
+                "intra_node": "",
+                "inter_node": "",
+            }
+        )
+    return rows
+
+
+def run_table3() -> list[dict]:
+    """Table 3: NLP tasks and their sequence-length statistics."""
+    rows = []
+    for task_id, task in sorted(ALL_TASKS.items()):
+        rows.append(
+            {
+                "task": task.name,
+                "id": task_id,
+                "input_avg": task.input_mean,
+                "input_std": task.input_std,
+                "input_max": task.input_max,
+                "output_avg": task.output_mean,
+                "output_std": task.output_std,
+                "output_p99": task.output_p99,
+                "output_max": task.output_max,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print Tables 1-3."""
+    print(format_table(run_table1(), ["model", "params_b", "layers", "hidden", "heads", "architecture"], "Table 1"))
+    print()
+    print(format_table(run_table2(), ["cluster", "gpu", "memory_gb", "size", "intra_node", "inter_node"], "Table 2"))
+    print()
+    print(
+        format_table(
+            run_table3(),
+            ["task", "id", "input_avg", "input_std", "input_max", "output_avg", "output_std", "output_p99", "output_max"],
+            "Table 3",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Simulated GPU hardware substrate.
+
+This package replaces the physical A40/A100 clusters the paper used with an
+analytical model: GPU device specs, interconnects, a roofline kernel cost
+model, collective-communication costs, per-GPU memory accounting, and a
+weight-loading cost model (Table 4).
+"""
+
+from repro.hardware.cluster import Cluster, a40_cluster, a100_cluster
+from repro.hardware.collectives import CollectiveModel
+from repro.hardware.gpu import A40, A100, GPUSpec, get_gpu, known_gpus, register_gpu
+from repro.hardware.interconnect import (
+    A40_TOPOLOGY,
+    A100_TOPOLOGY,
+    INFINIBAND_100G,
+    INFINIBAND_1600G,
+    LinkSpec,
+    NVLINK3,
+    PCIE4_X16,
+    Topology,
+    get_link,
+)
+from repro.hardware.kernels import FP16_BYTES, KernelCost, KernelModel, ZERO_COST
+from repro.hardware.memory import GIB, MemoryBudget, OutOfMemoryError
+from repro.hardware.storage import DRAM, SSD, StorageSpec, load_time_s
+
+__all__ = [
+    "A40",
+    "A100",
+    "A40_TOPOLOGY",
+    "A100_TOPOLOGY",
+    "Cluster",
+    "CollectiveModel",
+    "DRAM",
+    "FP16_BYTES",
+    "GIB",
+    "GPUSpec",
+    "INFINIBAND_100G",
+    "INFINIBAND_1600G",
+    "KernelCost",
+    "KernelModel",
+    "LinkSpec",
+    "MemoryBudget",
+    "NVLINK3",
+    "OutOfMemoryError",
+    "PCIE4_X16",
+    "SSD",
+    "StorageSpec",
+    "Topology",
+    "ZERO_COST",
+    "a40_cluster",
+    "a100_cluster",
+    "get_gpu",
+    "get_link",
+    "known_gpus",
+    "load_time_s",
+    "register_gpu",
+]

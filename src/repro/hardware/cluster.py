@@ -1,0 +1,119 @@
+"""Cluster and node topology descriptions.
+
+Table 2 of the paper lists the two clusters and the sub-clusters used per
+model (e.g. GPT-3 175B on 32 A40 GPUs across 4 nodes).  :class:`Cluster`
+captures the GPU type, node size and count, and the interconnect topology,
+and answers placement questions such as "are GPUs *i* and *j* on the same
+node" that the collective/pipeline cost models need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.gpu import GPUSpec, get_gpu
+from repro.hardware.interconnect import (
+    A40_TOPOLOGY,
+    A100_TOPOLOGY,
+    Topology,
+)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous multi-node GPU cluster.
+
+    Attributes:
+        gpu: The GPU device installed in every slot.
+        gpus_per_node: Number of GPUs in one machine.
+        num_nodes: Number of machines.
+        topology: Intra-/inter-node interconnect description.
+        name: Optional display name.
+    """
+
+    gpu: GPUSpec
+    gpus_per_node: int
+    num_nodes: int
+    topology: Topology
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+
+    @property
+    def num_gpus(self) -> int:
+        """Total number of GPUs in the cluster."""
+        return self.gpus_per_node * self.num_nodes
+
+    def node_of(self, gpu_index: int) -> int:
+        """Node index hosting GPU ``gpu_index``."""
+        self._check_index(gpu_index)
+        return gpu_index // self.gpus_per_node
+
+    def same_node(self, gpu_a: int, gpu_b: int) -> bool:
+        """Whether two GPUs are co-located on one machine."""
+        return self.node_of(gpu_a) == self.node_of(gpu_b)
+
+    def group_spans_nodes(self, gpu_indices: list[int]) -> bool:
+        """Whether a GPU group crosses a node boundary."""
+        if not gpu_indices:
+            return False
+        nodes = {self.node_of(i) for i in gpu_indices}
+        return len(nodes) > 1
+
+    def subcluster(self, num_gpus: int, name: str = "") -> "Cluster":
+        """A cluster restricted to the first ``num_gpus`` GPUs.
+
+        Used to reproduce Table 2's per-model sub-clusters (e.g. OPT-13B
+        runs on 4 of the 48 A40 GPUs).
+        """
+        if num_gpus <= 0 or num_gpus > self.num_gpus:
+            raise ValueError(
+                f"num_gpus must be in [1, {self.num_gpus}], got {num_gpus}"
+            )
+        per_node = min(num_gpus, self.gpus_per_node)
+        nodes = -(-num_gpus // self.gpus_per_node)  # ceiling division
+        return Cluster(
+            gpu=self.gpu,
+            gpus_per_node=per_node if nodes == 1 else self.gpus_per_node,
+            num_nodes=nodes,
+            topology=self.topology,
+            name=name or f"{self.name}[{num_gpus}]",
+        )
+
+    def _check_index(self, gpu_index: int) -> None:
+        if not 0 <= gpu_index < self.num_gpus:
+            raise IndexError(
+                f"GPU index {gpu_index} out of range for {self.num_gpus} GPUs"
+            )
+
+
+def a40_cluster(num_gpus: int = 48) -> Cluster:
+    """The paper's A40 cluster (6 nodes x 8 GPUs) or a sub-cluster of it."""
+    full = Cluster(
+        gpu=get_gpu("A40"),
+        gpus_per_node=8,
+        num_nodes=6,
+        topology=A40_TOPOLOGY,
+        name="A40-cluster",
+    )
+    if num_gpus == full.num_gpus:
+        return full
+    return full.subcluster(num_gpus, name=f"A40-cluster[{num_gpus}]")
+
+
+def a100_cluster(num_gpus: int = 16) -> Cluster:
+    """The paper's A100 cluster (2 nodes x 8 GPUs) or a sub-cluster of it."""
+    full = Cluster(
+        gpu=get_gpu("A100"),
+        gpus_per_node=8,
+        num_nodes=2,
+        topology=A100_TOPOLOGY,
+        name="A100-cluster",
+    )
+    if num_gpus == full.num_gpus:
+        return full
+    return full.subcluster(num_gpus, name=f"A100-cluster[{num_gpus}]")

@@ -1,0 +1,72 @@
+"""Cost models for collective and point-to-point GPU communication.
+
+Megatron-style tensor parallelism requires two all-reduces per encoder layer
+and three per decoder layer (Section 2 of the paper); pipeline parallelism
+requires point-to-point activation transfers between consecutive stages; and
+WAA scheduling transfers KV-cache entries from encoder GPUs to decoder GPUs,
+staged through host memory to avoid interfering with compute (Section 3,
+XRunner).  Each of these is modelled here against the cluster topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.interconnect import LinkSpec
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Communication cost model bound to a cluster topology.
+
+    Attributes:
+        cluster: The cluster whose links are used.
+    """
+
+    cluster: Cluster
+
+    def _group_link(self, group_size: int, spans_nodes: bool) -> LinkSpec:
+        return self.cluster.topology.link_between(same_node=not spans_nodes)
+
+    def allreduce_time(
+        self, num_bytes: float, group_size: int, spans_nodes: bool = False
+    ) -> float:
+        """Seconds for a ring all-reduce of ``num_bytes`` across a TP group.
+
+        Ring all-reduce moves ``2 * (g - 1) / g`` times the buffer over the
+        slowest link in the ring.
+        """
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if group_size == 1 or num_bytes == 0:
+            return 0.0
+        link = self._group_link(group_size, spans_nodes)
+        traffic = 2.0 * (group_size - 1) / group_size * num_bytes
+        # Each of the 2*(g-1) steps pays the link latency once.
+        steps = 2 * (group_size - 1)
+        return steps * link.latency_us * 1e-6 + traffic / link.bandwidth_bytes_per_s
+
+    def p2p_time(self, num_bytes: float, same_node: bool) -> float:
+        """Seconds for a point-to-point transfer between two GPUs."""
+        link = self.cluster.topology.link_between(same_node=same_node)
+        return link.transfer_time(num_bytes)
+
+    def staged_host_transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move data GPU -> host memory -> GPU (WAA KV handover).
+
+        The paper copies KV entries to CPU memory first and then to the
+        destination GPU so that the transfer does not contend with NCCL
+        traffic; the cost is two host-link crossings.
+        """
+        host = self.cluster.topology.host
+        return 2.0 * host.transfer_time(num_bytes)
+
+    def pipeline_activation_time(
+        self, num_bytes: float, src_gpu: int, dst_gpu: int
+    ) -> float:
+        """Seconds to ship activations from one pipeline stage to the next."""
+        same = self.cluster.same_node(src_gpu, dst_gpu)
+        return self.p2p_time(num_bytes, same_node=same)

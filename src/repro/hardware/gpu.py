@@ -1,0 +1,139 @@
+"""GPU device specifications used by the analytical hardware model.
+
+The paper evaluates ExeGPT on two clusters (Table 2): a private A40 cluster
+(48 GPUs, PCIe 4.0 intra-node, 100 Gb InfiniBand inter-node) and an Azure
+A100 cluster (16 GPUs, NVLink intra-node, 1.6 Tb InfiniBand inter-node).
+We reproduce those devices analytically: each :class:`GPUSpec` carries the
+published peak FP16 throughput, HBM bandwidth and memory capacity, plus a
+small set of empirical efficiency parameters that shape the roofline model
+in :mod:`repro.hardware.kernels`.
+
+The scheduler never sees a GPU directly -- it only consumes per-layer
+execution times -- so the fidelity requirement on this module is that the
+*relative* behaviour (compute-bound prefill, bandwidth-bound decode,
+efficiency dropping at small batch sizes) matches real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a single GPU device.
+
+    Attributes:
+        name: Human readable device name, e.g. ``"A100-80GB"``.
+        peak_fp16_tflops: Peak dense FP16 tensor-core throughput in TFLOP/s.
+        memory_gb: HBM capacity in GiB available to the inference engine.
+        memory_bandwidth_gbps: HBM bandwidth in GB/s.
+        kernel_launch_us: Fixed per-kernel launch overhead in microseconds.
+            This is what makes tiny decode batches inefficient.
+        max_efficiency: Fraction of peak FLOPs achievable by large GEMMs.
+        half_efficiency_tokens: Number of tokens in a GEMM at which the
+            achieved efficiency reaches half of ``max_efficiency``.  Encodes
+            the ramp of tensor-core utilisation with problem size.
+        sm_count: Number of streaming multiprocessors (used to model wave
+            quantisation for very small workloads).
+    """
+
+    name: str
+    peak_fp16_tflops: float
+    memory_gb: float
+    memory_bandwidth_gbps: float
+    kernel_launch_us: float = 6.0
+    max_efficiency: float = 0.62
+    half_efficiency_tokens: float = 192.0
+    sm_count: int = 108
+
+    def __post_init__(self) -> None:
+        if self.peak_fp16_tflops <= 0:
+            raise ValueError("peak_fp16_tflops must be positive")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        if self.memory_bandwidth_gbps <= 0:
+            raise ValueError("memory_bandwidth_gbps must be positive")
+        if not 0 < self.max_efficiency <= 1:
+            raise ValueError("max_efficiency must be in (0, 1]")
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP16 throughput in FLOP/s."""
+        return self.peak_fp16_tflops * 1e12
+
+    @property
+    def memory_bytes(self) -> float:
+        """HBM capacity in bytes."""
+        return self.memory_gb * (1024 ** 3)
+
+    @property
+    def memory_bandwidth_bytes_per_s(self) -> float:
+        """HBM bandwidth in bytes per second."""
+        return self.memory_bandwidth_gbps * 1e9
+
+    def efficiency(self, tokens: float) -> float:
+        """Achieved fraction of peak FLOPs for a GEMM over ``tokens`` rows.
+
+        A saturating curve ``max_eff * t / (t + t_half)`` which matches the
+        qualitative behaviour of tensor-core GEMMs: throughput grows roughly
+        linearly with the number of rows until the device saturates.
+        """
+        if tokens <= 0:
+            return 0.0
+        return self.max_efficiency * tokens / (tokens + self.half_efficiency_tokens)
+
+
+# --- Device registry -------------------------------------------------------
+
+A40 = GPUSpec(
+    name="A40-48GB",
+    peak_fp16_tflops=149.7,
+    memory_gb=48.0,
+    memory_bandwidth_gbps=696.0,
+    kernel_launch_us=7.0,
+    max_efficiency=0.58,
+    half_efficiency_tokens=224.0,
+    sm_count=84,
+)
+
+A100 = GPUSpec(
+    name="A100-80GB",
+    peak_fp16_tflops=312.0,
+    memory_gb=80.0,
+    memory_bandwidth_gbps=2039.0,
+    kernel_launch_us=5.0,
+    max_efficiency=0.65,
+    half_efficiency_tokens=192.0,
+    sm_count=108,
+)
+
+_REGISTRY: dict[str, GPUSpec] = {
+    "A40": A40,
+    "A40-48GB": A40,
+    "A100": A100,
+    "A100-80GB": A100,
+}
+
+
+def register_gpu(key: str, spec: GPUSpec) -> None:
+    """Add a custom GPU to the registry (e.g. for ablations)."""
+    _REGISTRY[key.upper()] = spec
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU spec by name (case-insensitive).
+
+    Raises:
+        KeyError: if the device is unknown.
+    """
+    key = name.upper()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(set(_REGISTRY)))
+        raise KeyError(f"unknown GPU {name!r}; known devices: {known}")
+    return _REGISTRY[key]
+
+
+def known_gpus() -> list[str]:
+    """Names of all registered GPU devices."""
+    return sorted({spec.name for spec in _REGISTRY.values()})

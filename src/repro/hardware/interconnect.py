@@ -1,0 +1,105 @@
+"""Interconnect models for intra-node and inter-node GPU communication.
+
+ExeGPT's schedules exercise three kinds of communication:
+
+* tensor-parallel all-reduce after attention / MLP blocks (Megatron style,
+  two per encoder layer and three per decoder layer),
+* pipeline-parallel point-to-point activation transfers between stages,
+* WAA's key/value-cache handover from encoder GPUs to decoder GPUs, which
+  the paper stages through CPU memory to avoid interfering with compute.
+
+Each :class:`LinkSpec` is a simple alpha-beta model: ``latency + bytes /
+bandwidth``.  The values for PCIe 4.0 x16, NVLink 3.0 and the two InfiniBand
+fabrics in Table 2 are taken from their published specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Alpha-beta cost model for a communication link.
+
+    Attributes:
+        name: Link name, e.g. ``"NVLink3"``.
+        bandwidth_gbps: Effective unidirectional bandwidth in GB/s.
+        latency_us: Per-message latency in microseconds.
+    """
+
+    name: str
+    bandwidth_gbps: float
+    latency_us: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if self.latency_us < 0:
+            raise ValueError("latency_us must be non-negative")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Bandwidth in bytes per second."""
+        return self.bandwidth_gbps * 1e9
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` over this link (single message)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_us * 1e-6 + num_bytes / self.bandwidth_bytes_per_s
+
+
+# Published effective bandwidths (unidirectional, per-GPU).
+PCIE4_X16 = LinkSpec(name="PCIe4x16", bandwidth_gbps=25.0, latency_us=8.0)
+NVLINK3 = LinkSpec(name="NVLink3", bandwidth_gbps=300.0, latency_us=3.0)
+INFINIBAND_100G = LinkSpec(name="IB-100Gb", bandwidth_gbps=12.0, latency_us=12.0)
+INFINIBAND_1600G = LinkSpec(name="IB-1.6Tb", bandwidth_gbps=180.0, latency_us=6.0)
+PCIE_HOST = LinkSpec(name="PCIe-host", bandwidth_gbps=20.0, latency_us=10.0)
+
+_REGISTRY: dict[str, LinkSpec] = {
+    "PCIE4": PCIE4_X16,
+    "PCIE4X16": PCIE4_X16,
+    "NVLINK": NVLINK3,
+    "NVLINK3": NVLINK3,
+    "IB100": INFINIBAND_100G,
+    "IB-100GB": INFINIBAND_100G,
+    "IB1600": INFINIBAND_1600G,
+    "IB-1.6TB": INFINIBAND_1600G,
+    "HOST": PCIE_HOST,
+}
+
+
+def get_link(name: str) -> LinkSpec:
+    """Look up a link spec by name (case-insensitive)."""
+    key = name.upper()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(set(_REGISTRY)))
+        raise KeyError(f"unknown link {name!r}; known links: {known}")
+    return _REGISTRY[key]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Intra-node and inter-node links for a homogeneous cluster.
+
+    Attributes:
+        intra_node: Link connecting GPUs within one machine.
+        inter_node: Link connecting GPUs on different machines.
+        host: Link between GPU memory and host (CPU) memory, used for the
+            staged KV-cache transfer in WAA scheduling.
+    """
+
+    intra_node: LinkSpec
+    inter_node: LinkSpec
+    host: LinkSpec = PCIE_HOST
+
+    def link_between(self, same_node: bool) -> LinkSpec:
+        """The link used between two GPUs, given node co-location."""
+        return self.intra_node if same_node else self.inter_node
+
+
+A40_TOPOLOGY = Topology(intra_node=PCIE4_X16, inter_node=INFINIBAND_100G)
+A100_TOPOLOGY = Topology(intra_node=NVLINK3, inter_node=INFINIBAND_1600G)

@@ -1,0 +1,224 @@
+"""Analytical (roofline) cost model for transformer kernels.
+
+This module is the stand-in for measuring CUDA kernels on real GPUs.  It
+exposes cost functions for the two kernel families XProfiler measures
+(Section 3 of the paper):
+
+* the attention kernel, whose cost depends on batch size and the sequence
+  lengths involved (context length for decode, input length for prefill),
+* "the rest of the encoding/decoding layer" -- the dense GEMMs of the
+  QKV/output projections and the feed-forward network -- whose cost depends
+  on the number of tokens processed (batch size x input length).
+
+Every cost is ``max(compute_time, memory_time) + launch_overhead`` where
+compute time uses the GPU's batch-size-dependent efficiency curve and
+memory time is bytes moved over HBM bandwidth.  Decode iterations process a
+single token per sequence and are therefore memory-bandwidth bound (weights
+must be streamed for every token), while prefill over hundreds of tokens is
+compute bound; this reproduces the encode/decode cost asymmetry that ExeGPT
+exploits (encoding is "orders of magnitude" more expensive per iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gpu import GPUSpec
+
+FP16_BYTES = 2
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Cost breakdown of one kernel invocation.
+
+    Attributes:
+        compute_s: Time limited by arithmetic throughput, in seconds.
+        memory_s: Time limited by HBM bandwidth, in seconds.
+        launch_s: Fixed launch overhead, in seconds.
+    """
+
+    compute_s: float
+    memory_s: float
+    launch_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Wall-clock estimate: roofline max plus launch overhead."""
+        return max(self.compute_s, self.memory_s) + self.launch_s
+
+    def __add__(self, other: "KernelCost") -> "KernelCost":
+        return KernelCost(
+            compute_s=self.compute_s + other.compute_s,
+            memory_s=self.memory_s + other.memory_s,
+            launch_s=self.launch_s + other.launch_s,
+        )
+
+
+ZERO_COST = KernelCost(0.0, 0.0, 0.0)
+
+
+class KernelModel:
+    """Roofline kernel cost model bound to a specific GPU.
+
+    Args:
+        gpu: The device executing the kernels.
+        num_kernels_per_layer: Number of distinct kernel launches issued for
+            one transformer layer (projections, attention, MLP, layernorms).
+            Only affects the fixed launch overhead term.
+    """
+
+    def __init__(self, gpu: GPUSpec, num_kernels_per_layer: int = 12) -> None:
+        if num_kernels_per_layer <= 0:
+            raise ValueError("num_kernels_per_layer must be positive")
+        self.gpu = gpu
+        self.num_kernels_per_layer = num_kernels_per_layer
+
+    # -- primitive costs ----------------------------------------------------
+
+    def gemm(self, m: float, k: float, n: float) -> KernelCost:
+        """Cost of a dense ``(m x k) @ (k x n)`` FP16 GEMM.
+
+        ``m`` is interpreted as the token dimension for the efficiency
+        curve: small-m GEMMs (decode) run far below peak.
+        """
+        if min(m, k, n) < 0:
+            raise ValueError("GEMM dimensions must be non-negative")
+        if m == 0 or k == 0 or n == 0:
+            return ZERO_COST
+        flops = 2.0 * m * k * n
+        eff = self.gpu.efficiency(m)
+        compute = flops / (self.gpu.peak_flops * max(eff, 1e-6))
+        bytes_moved = FP16_BYTES * (m * k + k * n + m * n)
+        memory = bytes_moved / self.gpu.memory_bandwidth_bytes_per_s
+        return KernelCost(compute, memory, self.gpu.kernel_launch_us * 1e-6)
+
+    def attention(
+        self,
+        batch: float,
+        query_len: float,
+        key_len: float,
+        num_heads: int,
+        head_dim: int,
+    ) -> KernelCost:
+        """Cost of a (batched) scaled-dot-product attention kernel.
+
+        Args:
+            batch: Number of sequences in the batch.
+            query_len: Number of query tokens per sequence (input length for
+                prefill, 1 for incremental decode).
+            key_len: Number of key/value tokens attended to (context length).
+            num_heads: Attention heads.
+            head_dim: Per-head dimension.
+        """
+        if min(batch, query_len, key_len) < 0:
+            raise ValueError("attention dimensions must be non-negative")
+        if batch == 0 or query_len == 0 or key_len == 0:
+            return ZERO_COST
+        hidden = num_heads * head_dim
+        # QK^T and attention-weighted V: 2 matmuls of (q_len x d) x (d x k_len).
+        flops = 2.0 * 2.0 * batch * num_heads * query_len * key_len * head_dim
+        eff = self.gpu.efficiency(batch * query_len)
+        compute = flops / (self.gpu.peak_flops * max(eff, 1e-6))
+        # Memory traffic: read the KV cache (dominant for decode) and Q,
+        # write the context vectors.
+        kv_bytes = FP16_BYTES * 2.0 * batch * key_len * hidden
+        qo_bytes = FP16_BYTES * 2.0 * batch * query_len * hidden
+        memory = (kv_bytes + qo_bytes) / self.gpu.memory_bandwidth_bytes_per_s
+        return KernelCost(compute, memory, self.gpu.kernel_launch_us * 1e-6)
+
+    def memcpy(self, num_bytes: float) -> KernelCost:
+        """Device-local copy cost (e.g. KV-cache compaction after early exit)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return ZERO_COST
+        # Copies read and write HBM.
+        memory = 2.0 * num_bytes / self.gpu.memory_bandwidth_bytes_per_s
+        return KernelCost(0.0, memory, self.gpu.kernel_launch_us * 1e-6)
+
+    # -- per-layer costs -----------------------------------------------------
+
+    def dense_layer_cost(
+        self,
+        tokens: float,
+        hidden_size: int,
+        ffn_size: int,
+        tp_degree: int = 1,
+        has_cross_attention: bool = False,
+    ) -> KernelCost:
+        """Cost of the non-attention part of one transformer layer.
+
+        Covers QKV projection, attention output projection and the two
+        feed-forward GEMMs, for ``tokens`` tokens.  Under tensor parallelism
+        of degree ``tp_degree`` the weight matrices are split column/row-wise
+        so each GPU performs ``1/tp`` of the FLOPs (Megatron partitioning).
+
+        Args:
+            tokens: batch size x sequence length processed by this call.
+            hidden_size: Model hidden dimension.
+            ffn_size: Feed-forward intermediate dimension.
+            tp_degree: Tensor-parallel degree (>= 1).
+            has_cross_attention: Encoder-decoder models add a cross-attention
+                block (its projections) to every decoder layer.
+        """
+        if tp_degree < 1:
+            raise ValueError("tp_degree must be >= 1")
+        if tokens <= 0:
+            return ZERO_COST
+        h = hidden_size
+        f = ffn_size
+        # Self-attention projections: QKV (h -> 3h) + output (h -> h).
+        cost = self.gemm(tokens, h, 4 * h / tp_degree)
+        if has_cross_attention:
+            # Cross-attention adds its own QKV + output projections.
+            cost = cost + self.gemm(tokens, h, 4 * h / tp_degree)
+        # Feed-forward network: h -> f and f -> h.
+        cost = cost + self.gemm(tokens, h, f / tp_degree)
+        cost = cost + self.gemm(tokens, f / tp_degree, h)
+        # Element-wise work (layernorm, residual, activation): bandwidth bound.
+        elementwise_bytes = 8.0 * tokens * h * FP16_BYTES
+        cost = cost + KernelCost(
+            0.0,
+            elementwise_bytes / self.gpu.memory_bandwidth_bytes_per_s,
+            0.0,
+        )
+        # Account for the remaining launches beyond the GEMMs counted above.
+        extra_launches = max(self.num_kernels_per_layer - 4, 0)
+        cost = cost + KernelCost(0.0, 0.0, extra_launches * self.gpu.kernel_launch_us * 1e-6)
+        return cost
+
+    def attention_layer_cost(
+        self,
+        batch: float,
+        query_len: float,
+        self_key_len: float,
+        num_heads: int,
+        head_dim: int,
+        tp_degree: int = 1,
+        cross_key_len: float = 0.0,
+    ) -> KernelCost:
+        """Cost of the attention kernels of one layer.
+
+        Tensor parallelism splits attention by heads, so each GPU computes
+        ``num_heads / tp`` heads.
+
+        Args:
+            batch: Sequences in the batch.
+            query_len: Query tokens per sequence.
+            self_key_len: Self-attention context length.
+            num_heads: Total attention heads of the model.
+            head_dim: Per-head dimension.
+            tp_degree: Tensor-parallel degree.
+            cross_key_len: If non-zero, adds a cross-attention kernel over a
+                memory of this length (encoder-decoder models).
+        """
+        if tp_degree < 1:
+            raise ValueError("tp_degree must be >= 1")
+        local_heads = max(num_heads / tp_degree, 1.0)
+        cost = self.attention(batch, query_len, self_key_len, int(round(local_heads)), head_dim)
+        if cross_key_len > 0:
+            cost = cost + self.attention(
+                batch, query_len, cross_key_len, int(round(local_heads)), head_dim
+            )
+        return cost

@@ -1,0 +1,112 @@
+"""Per-GPU memory accounting.
+
+Figure 9 of the paper compares the memory consumption of FasterTransformer
+and WAA scheduling, split into model weights and key/value cache, separately
+for encoder and decoder GPUs.  :class:`MemoryBudget` tracks those categories
+and enforces the device capacity, which is what makes WAA infeasible for the
+175B/341B models (Section 7.4) and what motivates the WAA-M allocation
+variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.gpu import GPUSpec
+
+GIB = 1024 ** 3
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds the GPU memory capacity."""
+
+
+@dataclass
+class MemoryBudget:
+    """Tracks weight / KV-cache / activation memory on one GPU.
+
+    Attributes:
+        gpu: The device whose capacity bounds the budget.
+        reserved_fraction: Fraction of capacity held back for the framework
+            (CUDA context, workspace buffers, fragmentation head-room).
+    """
+
+    gpu: GPUSpec
+    reserved_fraction: float = 0.08
+    weights_bytes: float = 0.0
+    kv_cache_bytes: float = 0.0
+    activation_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.reserved_fraction < 1:
+            raise ValueError("reserved_fraction must be in [0, 1)")
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Usable capacity after the framework reservation."""
+        return self.gpu.memory_bytes * (1.0 - self.reserved_fraction)
+
+    @property
+    def used_bytes(self) -> float:
+        """Total bytes currently allocated."""
+        return self.weights_bytes + self.kv_cache_bytes + self.activation_bytes
+
+    @property
+    def free_bytes(self) -> float:
+        """Bytes still available."""
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, category: str, num_bytes: float) -> None:
+        """Allocate ``num_bytes`` in one of ``weights|kv_cache|activation``.
+
+        Raises:
+            OutOfMemoryError: if the allocation does not fit.
+            ValueError: for an unknown category or negative size.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes > self.free_bytes:
+            raise OutOfMemoryError(
+                f"allocation of {num_bytes / GIB:.2f} GiB ({category}) exceeds free "
+                f"{self.free_bytes / GIB:.2f} GiB on {self.gpu.name}"
+            )
+        self._adjust(category, num_bytes)
+
+    def release(self, category: str, num_bytes: float) -> None:
+        """Release previously allocated bytes from a category."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self._adjust(category, -num_bytes)
+
+    def fits(self, num_bytes: float) -> bool:
+        """Whether an allocation of ``num_bytes`` would succeed."""
+        return num_bytes <= self.free_bytes
+
+    def _adjust(self, category: str, delta: float) -> None:
+        if category == "weights":
+            new = self.weights_bytes + delta
+            if new < -1e-6:
+                raise ValueError("weights_bytes would become negative")
+            self.weights_bytes = max(new, 0.0)
+        elif category == "kv_cache":
+            new = self.kv_cache_bytes + delta
+            if new < -1e-6:
+                raise ValueError("kv_cache_bytes would become negative")
+            self.kv_cache_bytes = max(new, 0.0)
+        elif category == "activation":
+            new = self.activation_bytes + delta
+            if new < -1e-6:
+                raise ValueError("activation_bytes would become negative")
+            self.activation_bytes = max(new, 0.0)
+        else:
+            raise ValueError(f"unknown memory category {category!r}")
+
+    def snapshot_gib(self) -> dict[str, float]:
+        """Current usage in GiB, broken down by category."""
+        return {
+            "weights": self.weights_bytes / GIB,
+            "kv_cache": self.kv_cache_bytes / GIB,
+            "activation": self.activation_bytes / GIB,
+            "free": self.free_bytes / GIB,
+            "capacity": self.capacity_bytes / GIB,
+        }

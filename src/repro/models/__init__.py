@@ -1,0 +1,48 @@
+"""Model catalog and analytical per-layer work calculators."""
+
+from repro.models.catalog import (
+    DEPLOYMENTS,
+    GPT3_39B,
+    GPT3_101B,
+    GPT3_175B,
+    GPT3_341B,
+    OPT_13B,
+    T5_11B,
+    deployment_for,
+    get_model,
+    known_models,
+)
+from repro.models.flops import (
+    LayerWork,
+    decoder_layer_work,
+    encoder_layer_work,
+    sequence_flops,
+)
+from repro.models.kvcache import (
+    kv_cache_bytes_for_batch,
+    kv_cache_bytes_per_request,
+    max_batch_for_memory,
+)
+from repro.models.spec import Architecture, ModelSpec
+
+__all__ = [
+    "Architecture",
+    "DEPLOYMENTS",
+    "GPT3_101B",
+    "GPT3_175B",
+    "GPT3_341B",
+    "GPT3_39B",
+    "LayerWork",
+    "ModelSpec",
+    "OPT_13B",
+    "T5_11B",
+    "decoder_layer_work",
+    "deployment_for",
+    "encoder_layer_work",
+    "get_model",
+    "known_models",
+    "kv_cache_bytes_for_batch",
+    "kv_cache_bytes_per_request",
+    "max_batch_for_memory",
+    "sequence_flops",
+]

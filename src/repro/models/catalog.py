@@ -1,0 +1,114 @@
+"""Catalog of the models evaluated in the paper (Table 1).
+
+| Model      | Params | Layers | Hidden | Heads |
+|------------|--------|--------|--------|-------|
+| T5         | 11B    | 48     | 1024   | 128   |
+| OPT        | 13B    | 40     | 5120   | 40    |
+| GPT-3      | 39B    | 48     | 8192   | 64    |
+| GPT-3      | 101B   | 80     | 10240  | 80    |
+| GPT-3      | 175B   | 96     | 12288  | 96    |
+| GPT-3      | 341B   | 120    | 15360  | 120   |
+
+The T5 row follows the paper's table (hidden 1024, 128 heads, FFN 65536 as
+in T5-11B); all other models use the standard ``ffn = 4 * hidden``.
+"""
+
+from __future__ import annotations
+
+from repro.models.spec import Architecture, ModelSpec
+
+T5_11B = ModelSpec(
+    name="T5 11B",
+    architecture=Architecture.ENCODER_DECODER,
+    num_layers=48,
+    hidden_size=1024,
+    num_heads=128,
+    ffn_size=65536,
+    vocab_size=32128,
+)
+
+OPT_13B = ModelSpec(
+    name="OPT 13B",
+    architecture=Architecture.DECODER_ONLY,
+    num_layers=40,
+    hidden_size=5120,
+    num_heads=40,
+    vocab_size=50272,
+)
+
+GPT3_39B = ModelSpec(
+    name="GPT-3 39B",
+    architecture=Architecture.DECODER_ONLY,
+    num_layers=48,
+    hidden_size=8192,
+    num_heads=64,
+)
+
+GPT3_101B = ModelSpec(
+    name="GPT-3 101B",
+    architecture=Architecture.DECODER_ONLY,
+    num_layers=80,
+    hidden_size=10240,
+    num_heads=80,
+)
+
+GPT3_175B = ModelSpec(
+    name="GPT-3 175B",
+    architecture=Architecture.DECODER_ONLY,
+    num_layers=96,
+    hidden_size=12288,
+    num_heads=96,
+)
+
+GPT3_341B = ModelSpec(
+    name="GPT-3 341B",
+    architecture=Architecture.DECODER_ONLY,
+    num_layers=120,
+    hidden_size=15360,
+    num_heads=120,
+)
+
+_CATALOG: dict[str, ModelSpec] = {
+    "T5-11B": T5_11B,
+    "OPT-13B": OPT_13B,
+    "GPT3-39B": GPT3_39B,
+    "GPT3-101B": GPT3_101B,
+    "GPT3-175B": GPT3_175B,
+    "GPT3-341B": GPT3_341B,
+}
+
+# Table 2: which cluster and how many GPUs each model runs on.
+DEPLOYMENTS: dict[str, tuple[str, int]] = {
+    "T5-11B": ("A40", 8),
+    "OPT-13B": ("A40", 4),
+    "GPT3-39B": ("A40", 16),
+    "GPT3-101B": ("A100", 16),
+    "GPT3-175B": ("A100", 16),
+    "GPT3-341B": ("A40", 48),
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec by catalog key (case-insensitive).
+
+    Accepts keys like ``"OPT-13B"`` or display names like ``"OPT 13B"``.
+    """
+    key = name.upper().replace(" ", "-").replace("GPT-3", "GPT3")
+    if key not in _CATALOG:
+        known = ", ".join(sorted(_CATALOG))
+        raise KeyError(f"unknown model {name!r}; known models: {known}")
+    return _CATALOG[key]
+
+
+def known_models() -> list[str]:
+    """Catalog keys of all registered models."""
+    return sorted(_CATALOG)
+
+
+def deployment_for(name: str) -> tuple[str, int]:
+    """The (cluster, GPU count) used for a model in Table 2."""
+    key = name.upper().replace(" ", "-").replace("GPT-3", "GPT3")
+    if key not in DEPLOYMENTS:
+        known = ", ".join(sorted(DEPLOYMENTS))
+        raise KeyError(f"no deployment recorded for {name!r}; known: {known}")
+    return DEPLOYMENTS[key]

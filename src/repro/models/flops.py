@@ -1,0 +1,117 @@
+"""FLOP and byte counts for transformer layers.
+
+These closed-form counts back up the roofline kernel model and are also
+used directly by the WAA-C allocation policy, which balances GPUs by the
+estimated *computation* of encoding versus decoding, and by tests that check
+the kernel model against first principles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.spec import ModelSpec
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """FLOPs and HBM bytes for one transformer layer invocation.
+
+    Attributes:
+        flops: Floating-point operations.
+        weight_bytes: Weight bytes that must be streamed from HBM.
+        activation_bytes: Activation / KV bytes read and written.
+    """
+
+    flops: float
+    weight_bytes: float
+    activation_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """All HBM traffic of the invocation."""
+        return self.weight_bytes + self.activation_bytes
+
+
+def encoder_layer_work(
+    model: ModelSpec, batch: float, input_len: float
+) -> LayerWork:
+    """Work of one encoding (prefill) layer over ``batch`` sequences.
+
+    Every token attends to every other input token, so attention FLOPs grow
+    quadratically with the input length while the dense GEMMs grow linearly
+    with the token count.
+    """
+    _validate(batch, input_len)
+    h = model.hidden_size
+    f = model.ffn_size
+    tokens = batch * input_len
+    dense_flops = 2.0 * tokens * (4 * h * h + 2 * h * f)
+    attn_flops = 4.0 * batch * input_len * input_len * h
+    weight_bytes = model.layer_bytes(with_cross_attention=False)
+    act_bytes = 2.0 * model.dtype_bytes * tokens * (8 * h + 2 * f)
+    return LayerWork(dense_flops + attn_flops, weight_bytes, act_bytes)
+
+
+def decoder_layer_work(
+    model: ModelSpec,
+    batch: float,
+    context_len: float,
+    input_len: float = 0.0,
+) -> LayerWork:
+    """Work of one decoding layer for a single incremental-decode step.
+
+    Args:
+        model: Model spec.
+        batch: Sequences decoded in this step.
+        context_len: Average number of cached tokens each query attends to
+            (input + already-generated tokens for decoder-only models;
+            generated tokens only for the self-attention of T5 decoders).
+        input_len: Cross-attention memory length for encoder-decoder models.
+    """
+    _validate(batch, context_len)
+    h = model.hidden_size
+    f = model.ffn_size
+    cross = model.decoder_has_cross_attention
+    dense_flops = 2.0 * batch * ((8 if cross else 4) * h * h + 2 * h * f)
+    attn_flops = 4.0 * batch * context_len * h
+    if cross and input_len > 0:
+        attn_flops += 4.0 * batch * input_len * h
+    weight_bytes = model.layer_bytes(with_cross_attention=cross)
+    kv_bytes = 2.0 * model.dtype_bytes * batch * context_len * h
+    act_bytes = 2.0 * model.dtype_bytes * batch * (8 * h + 2 * f) + kv_bytes
+    return LayerWork(dense_flops + attn_flops, weight_bytes, act_bytes)
+
+
+def sequence_flops(model: ModelSpec, input_len: float, output_len: float) -> float:
+    """Total FLOPs to serve one request end-to-end (all layers, all steps).
+
+    Used for sanity checks ("hundreds of billions of FLOPs per token") and
+    for normalising throughput into model-FLOP utilisation in reports.
+    """
+    _validate(1.0, input_len)
+    if output_len < 0:
+        raise ValueError("output_len must be non-negative")
+    enc = encoder_layer_work(model, 1.0, input_len).flops * model.num_encoder_layers
+    dec = 0.0
+    for step in range(int(output_len)):
+        if model.is_encoder_decoder:
+            context = step + 1
+            dec += (
+                decoder_layer_work(model, 1.0, context, input_len).flops
+                * model.num_decoder_layers
+            )
+        else:
+            context = input_len + step + 1
+            dec += (
+                decoder_layer_work(model, 1.0, context).flops
+                * model.num_decoder_layers
+            )
+    return enc + dec
+
+
+def _validate(batch: float, length: float) -> None:
+    if batch < 0:
+        raise ValueError("batch must be non-negative")
+    if length < 0:
+        raise ValueError("sequence length must be non-negative")

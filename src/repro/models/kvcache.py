@@ -1,0 +1,83 @@
+"""Key/value cache sizing.
+
+The KV cache is the memory term that differentiates the allocation policies:
+WAA-C balances compute and therefore concentrates cache on decoder GPUs,
+while WAA-M balances memory by shifting layers.  These helpers compute cache
+footprints for a batch of requests, per GPU, given how many layers that GPU
+hosts.
+"""
+
+from __future__ import annotations
+
+from repro.models.spec import ModelSpec
+
+
+def kv_cache_bytes_per_request(
+    model: ModelSpec,
+    input_len: float,
+    output_len: float,
+    num_layers: int | None = None,
+) -> float:
+    """KV-cache bytes one request occupies once fully decoded.
+
+    For decoder-only models the cache holds input plus generated tokens; for
+    encoder-decoder models the decoder's self-attention cache holds generated
+    tokens and the cross-attention cache holds the encoded input.
+
+    Args:
+        model: Model spec.
+        input_len: Input sequence length.
+        output_len: Generated sequence length.
+        num_layers: Layers hosted on the GPU of interest (defaults to the
+            model's full decoder stack).
+    """
+    if input_len < 0 or output_len < 0:
+        raise ValueError("sequence lengths must be non-negative")
+    layers = model.num_decoder_layers if num_layers is None else num_layers
+    if layers < 0:
+        raise ValueError("num_layers must be non-negative")
+    per_token = model.kv_bytes_per_token_per_layer()
+    if model.is_encoder_decoder:
+        tokens = output_len + input_len  # self-attention + cross-attention memory
+    else:
+        tokens = input_len + output_len
+    return layers * per_token * tokens
+
+
+def kv_cache_bytes_for_batch(
+    model: ModelSpec,
+    batch_size: float,
+    avg_input_len: float,
+    avg_cached_output_len: float,
+    num_layers: int | None = None,
+) -> float:
+    """Expected KV-cache bytes held by a decoding batch at steady state.
+
+    ``avg_cached_output_len`` is the average number of *already generated*
+    tokens per in-flight request, which at steady state is roughly half of
+    the average output length.
+    """
+    if batch_size < 0:
+        raise ValueError("batch_size must be non-negative")
+    per_request = kv_cache_bytes_per_request(
+        model, avg_input_len, avg_cached_output_len, num_layers
+    )
+    return batch_size * per_request
+
+
+def max_batch_for_memory(
+    model: ModelSpec,
+    free_bytes: float,
+    avg_input_len: float,
+    avg_output_len: float,
+    num_layers: int | None = None,
+) -> int:
+    """Largest batch whose steady-state KV cache fits in ``free_bytes``."""
+    if free_bytes < 0:
+        raise ValueError("free_bytes must be non-negative")
+    per_request = kv_cache_bytes_per_request(
+        model, avg_input_len, avg_output_len, num_layers
+    )
+    if per_request <= 0:
+        return 2 ** 31
+    return int(free_bytes // per_request)

@@ -1,0 +1,164 @@
+"""Transformer model specifications.
+
+Table 1 of the paper lists the evaluated models (T5-11B, OPT-13B and four
+GPT-3 variants from 39B to 341B parameters) by layer count, hidden size and
+attention-head count.  :class:`ModelSpec` captures those architectural
+parameters together with the structural distinction that drives ExeGPT's
+allocation policies: encoder-decoder models (T5) have separate encoder and
+decoder layer stacks and cross-attention in every decoder layer, while
+decoder-only models (OPT, GPT-3) use the same decoder layers for both the
+prefill ("encoding") and generation ("decoding") phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Architecture(str, Enum):
+    """Transformer architecture family."""
+
+    ENCODER_DECODER = "encoder_decoder"
+    DECODER_ONLY = "decoder_only"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architectural description of an LLM.
+
+    Attributes:
+        name: Display name, e.g. ``"GPT-3 175B"``.
+        architecture: Encoder-decoder or decoder-only.
+        num_layers: Total number of transformer layers.  For encoder-decoder
+            models this is split evenly between encoder and decoder stacks
+            (the T5 convention, and the convention of Table 1).
+        hidden_size: Model (embedding) dimension.
+        num_heads: Attention heads.
+        ffn_size: Feed-forward intermediate dimension.  Defaults to
+            ``4 * hidden_size`` when not given, which matches OPT/GPT-3.
+        vocab_size: Vocabulary size (used only for embedding weight size).
+        dtype_bytes: Bytes per parameter / activation element (2 for FP16).
+    """
+
+    name: str
+    architecture: Architecture
+    num_layers: int
+    hidden_size: int
+    num_heads: int
+    ffn_size: int = 0
+    vocab_size: int = 51200
+    dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.hidden_size <= 0:
+            raise ValueError("hidden_size must be positive")
+        if self.num_heads <= 0:
+            raise ValueError("num_heads must be positive")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} not divisible by "
+                f"num_heads {self.num_heads}"
+            )
+        if self.ffn_size == 0:
+            object.__setattr__(self, "ffn_size", 4 * self.hidden_size)
+        if self.ffn_size <= 0:
+            raise ValueError("ffn_size must be positive")
+        if self.dtype_bytes not in (1, 2, 4):
+            raise ValueError("dtype_bytes must be 1, 2 or 4")
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def is_encoder_decoder(self) -> bool:
+        """True for T5-style models with a separate encoder stack."""
+        return self.architecture is Architecture.ENCODER_DECODER
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def num_encoder_layers(self) -> int:
+        """Layers executed during the encoding (prefill) phase.
+
+        For decoder-only models the decoder layers themselves perform the
+        prefill, so this equals :attr:`num_decoder_layers`.
+        """
+        if self.is_encoder_decoder:
+            return self.num_layers // 2
+        return self.num_layers
+
+    @property
+    def num_decoder_layers(self) -> int:
+        """Layers executed during each decoding iteration."""
+        if self.is_encoder_decoder:
+            return self.num_layers - self.num_layers // 2
+        return self.num_layers
+
+    @property
+    def decoder_has_cross_attention(self) -> bool:
+        """Whether decoder layers include a cross-attention block."""
+        return self.is_encoder_decoder
+
+    # -- parameter counts ------------------------------------------------------
+
+    def layer_parameters(self, with_cross_attention: bool) -> int:
+        """Parameter count of one transformer layer."""
+        h = self.hidden_size
+        f = self.ffn_size
+        attention = 4 * h * h  # QKV + output projection
+        if with_cross_attention:
+            attention += 4 * h * h
+        ffn = 2 * h * f
+        norms = 4 * h
+        return attention + ffn + norms
+
+    @property
+    def encoder_parameters(self) -> int:
+        """Parameters of the encoder stack (prefill weights)."""
+        if self.is_encoder_decoder:
+            return self.num_encoder_layers * self.layer_parameters(False)
+        return self.num_layers * self.layer_parameters(False)
+
+    @property
+    def decoder_parameters(self) -> int:
+        """Parameters of the decoder stack (generation weights)."""
+        if self.is_encoder_decoder:
+            return self.num_decoder_layers * self.layer_parameters(True)
+        return self.num_layers * self.layer_parameters(False)
+
+    @property
+    def embedding_parameters(self) -> int:
+        """Token-embedding (and LM head, tied) parameters."""
+        return self.vocab_size * self.hidden_size
+
+    @property
+    def total_parameters(self) -> int:
+        """Total parameter count of the model."""
+        if self.is_encoder_decoder:
+            body = self.encoder_parameters + self.decoder_parameters
+        else:
+            body = self.decoder_parameters
+        return body + self.embedding_parameters
+
+    @property
+    def total_bytes(self) -> float:
+        """Size of all weights in bytes at the model's dtype."""
+        return self.total_parameters * self.dtype_bytes
+
+    def layer_bytes(self, with_cross_attention: bool) -> float:
+        """Size of one layer's weights in bytes."""
+        return self.layer_parameters(with_cross_attention) * self.dtype_bytes
+
+    def kv_bytes_per_token_per_layer(self) -> float:
+        """KV-cache bytes stored per token, per layer (keys plus values)."""
+        return 2 * self.hidden_size * self.dtype_bytes
+
+    def kv_bytes_per_token(self, num_layers: int | None = None) -> float:
+        """KV-cache bytes per generated/cached token across layers."""
+        layers = self.num_decoder_layers if num_layers is None else num_layers
+        return layers * self.kv_bytes_per_token_per_layer()

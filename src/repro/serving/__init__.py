@@ -1,0 +1,30 @@
+"""Serving-level helpers: SLAs, latency-bound derivation and scenario evaluation."""
+
+from repro.serving.evaluation import (
+    ScenarioEvaluation,
+    SystemMeasurement,
+    default_baselines,
+    measure_baseline,
+    measure_exegpt,
+    speedup_over,
+)
+from repro.serving.latency_bounds import (
+    LatencyBoundSet,
+    derive_latency_bounds,
+    ft_latency_range,
+)
+from repro.serving.sla import SLA, SLAKind
+
+__all__ = [
+    "LatencyBoundSet",
+    "SLA",
+    "SLAKind",
+    "ScenarioEvaluation",
+    "SystemMeasurement",
+    "default_baselines",
+    "derive_latency_bounds",
+    "ft_latency_range",
+    "measure_baseline",
+    "measure_exegpt",
+    "speedup_over",
+]

@@ -1,0 +1,86 @@
+"""Latency-bound selection (Section 7.1, Evaluation Scenarios).
+
+The paper derives four latency constraints per (model, task) scenario: it
+first runs FasterTransformer with batch sizes from the minimum to the
+maximum in multiples of four, collects the worst-case latencies of those
+runs, and uses the bottom 10%, 30% and 70% of that latency range plus
+infinity as the four bounds.  The bound always refers to generating the
+99th-percentile-length output sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.faster_transformer import FasterTransformer
+from repro.core.config import LatencyConstraint
+
+
+@dataclass(frozen=True)
+class LatencyBoundSet:
+    """The four bounds of one evaluation scenario.
+
+    Attributes:
+        tight / medium / relaxed: The bottom-10%, 30% and 70% bounds.
+        unbounded: The infinite bound.
+    """
+
+    tight: LatencyConstraint
+    medium: LatencyConstraint
+    relaxed: LatencyConstraint
+    unbounded: LatencyConstraint
+
+    def __iter__(self):
+        return iter((self.tight, self.medium, self.relaxed, self.unbounded))
+
+    def as_list(self) -> list[LatencyConstraint]:
+        """The four bounds, tightest first."""
+        return [self.tight, self.medium, self.relaxed, self.unbounded]
+
+
+def ft_latency_range(
+    system: FasterTransformer,
+    min_batch: int = 4,
+    max_batch: int = 128,
+    step: int = 4,
+) -> list[float]:
+    """Worst-case FT latencies for batch sizes ``min_batch..max_batch``."""
+    if min_batch < 1 or max_batch < min_batch or step < 1:
+        raise ValueError("invalid batch sweep parameters")
+    latencies = []
+    batch = min_batch
+    while batch <= max_batch:
+        latencies.append(system.worst_case_latency(batch))
+        batch += step
+    return latencies
+
+
+def derive_latency_bounds(
+    system: FasterTransformer,
+    target_length: int,
+    min_batch: int = 4,
+    max_batch: int = 128,
+    step: int = 4,
+) -> LatencyBoundSet:
+    """Derive the paper's four latency bounds from an FT batch sweep.
+
+    Args:
+        system: The FT baseline configured for the scenario's model/cluster.
+        target_length: The 99th-percentile output length the bounds refer to.
+        min_batch / max_batch / step: The batch sweep.
+    """
+    latencies = sorted(ft_latency_range(system, min_batch, max_batch, step))
+    lo, hi = latencies[0], latencies[-1]
+    span = hi - lo
+
+    def at(fraction: float) -> float:
+        return lo + fraction * span
+
+    return LatencyBoundSet(
+        tight=LatencyConstraint(at(0.10), target_length=target_length, label="10%"),
+        medium=LatencyConstraint(at(0.30), target_length=target_length, label="30%"),
+        relaxed=LatencyConstraint(at(0.70), target_length=target_length, label="70%"),
+        unbounded=LatencyConstraint(
+            float("inf"), target_length=target_length, label="Inf"
+        ),
+    )

@@ -1,0 +1,80 @@
+"""Service-level agreements for inference latency (Section 7.6).
+
+The paper introduces two SLA styles because no provider publishes explicit
+latency SLAs:
+
+* **SLA-(a)** -- 99% of all queries must complete within the bound.
+* **SLA-(b)** -- a query generating a pre-specified length (typically the
+  99th-percentile output length) must complete within the bound.
+
+Both are evaluated against a :class:`~repro.engine.metrics.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.engine.metrics import RunResult
+
+
+class SLAKind(str, Enum):
+    """Which latency statistic the SLA constrains."""
+
+    QUERY_PERCENTILE = "sla-a"
+    REFERENCE_LENGTH = "sla-b"
+
+
+@dataclass(frozen=True)
+class SLA:
+    """A latency service-level agreement.
+
+    Attributes:
+        kind: SLA-(a) (percentile of all queries) or SLA-(b) (latency of a
+            reference-length query).
+        bound_s: The latency bound in seconds.
+        percentile: Percentile used by SLA-(a).
+        reference_length: Output length used by SLA-(b); informational here
+            because the runner measures per-request latencies directly.
+    """
+
+    kind: SLAKind
+    bound_s: float
+    percentile: float = 99.0
+    reference_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.bound_s <= 0:
+            raise ValueError("bound_s must be positive")
+        if not 0 < self.percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+
+    def satisfied(self, result: RunResult) -> bool:
+        """Whether a measured run satisfies the SLA."""
+        return self.violation(result) <= 0.0
+
+    def violation(self, result: RunResult) -> float:
+        """Seconds by which the run misses the SLA (<= 0 means satisfied)."""
+        return self.observed_latency(result) - self.bound_s
+
+    def observed_latency(self, result: RunResult) -> float:
+        """The latency statistic the SLA is evaluated against."""
+        if self.kind is SLAKind.QUERY_PERCENTILE:
+            return result.latency_percentile(self.percentile)
+        if self.reference_length is None:
+            return result.latency_percentile(self.percentile)
+        # SLA-(b): latency of queries near the reference length; approximate
+        # with the max latency, which the forced-length evaluation makes the
+        # reference-length query's latency.
+        return result.max_latency_s
+
+    def required_margin(self, result: RunResult) -> float:
+        """Fraction by which the bound must tighten for the run to comply.
+
+        Used in Section 7.6 to report, e.g., "a 13% tighter latency
+        constraint is required when the average length grows by 15%".
+        """
+        observed = self.observed_latency(result)
+        if observed <= self.bound_s:
+            return 0.0
+        return (observed - self.bound_s) / observed

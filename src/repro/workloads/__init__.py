@@ -1,0 +1,54 @@
+"""Workload definitions: paper tasks, synthetic and real-world-like traces."""
+
+from repro.workloads.realworld import (
+    ALPACA,
+    CNN_DAILYMAIL,
+    REAL_DATASETS,
+    RealDatasetSpec,
+    WMT,
+    generate_realworld_trace,
+    get_dataset,
+    skewness,
+)
+from repro.workloads.synthetic import (
+    generate_task_trace,
+    generate_trace_from_distributions,
+    sample_correlated_lengths,
+)
+from repro.workloads.tasks import (
+    ALL_TASKS,
+    CODE_GENERATION,
+    CONVERSATIONAL_QA_LONG,
+    CONVERSATIONAL_QA_SHORT,
+    SUMMARIZATION,
+    TRANSLATION,
+    TaskSpec,
+    get_task,
+    known_tasks,
+)
+from repro.workloads.trace import RequestSpec, WorkloadTrace
+
+__all__ = [
+    "ALL_TASKS",
+    "ALPACA",
+    "CNN_DAILYMAIL",
+    "CODE_GENERATION",
+    "CONVERSATIONAL_QA_LONG",
+    "CONVERSATIONAL_QA_SHORT",
+    "REAL_DATASETS",
+    "RealDatasetSpec",
+    "RequestSpec",
+    "SUMMARIZATION",
+    "TRANSLATION",
+    "TaskSpec",
+    "WMT",
+    "WorkloadTrace",
+    "generate_realworld_trace",
+    "generate_task_trace",
+    "generate_trace_from_distributions",
+    "get_dataset",
+    "get_task",
+    "known_tasks",
+    "sample_correlated_lengths",
+    "skewness",
+]

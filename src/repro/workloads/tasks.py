@@ -1,0 +1,129 @@
+"""NLP task definitions (Table 3 of the paper).
+
+| Task                  | ID | Input (avg, std, max) | Output (avg, std, 99th, max) |
+|-----------------------|----|-----------------------|------------------------------|
+| Summarization         | S  | (256, 252, 512)       | (32, 13, 63, 80)             |
+| Translation           | T  | (128, 81, 256)        | (128, 68, 292, 320)          |
+| Code generation       | G  | (64, 23, 128)         | (192, 93, 417, 480)          |
+| Conversational Q&A    | C1 | (256, 115, 512)       | (64, 30, 137, 160)           |
+| Conversational Q&A    | C2 | (512, 252, 1024)      | (256, 134, 579, 640)         |
+
+Each task provides the truncated-normal input and output length
+distributions with those statistics, plus the input/output correlation the
+paper measured in the underlying datasets (low for everything except
+translation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.distributions import SequenceDistribution
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A benchmark NLP task with its sequence-length statistics.
+
+    Attributes:
+        task_id: Short identifier used in the paper's figures (S, T, G, C1, C2).
+        name: Human-readable task name.
+        input_mean / input_std / input_max: Input-length statistics.
+        output_mean / output_std / output_p99 / output_max: Output-length
+            statistics; ``output_p99`` is the 99th-percentile length used to
+            define latency bounds.
+        correlation: Pearson correlation between input and output lengths
+            observed in the source datasets.
+    """
+
+    task_id: str
+    name: str
+    input_mean: float
+    input_std: float
+    input_max: int
+    output_mean: float
+    output_std: float
+    output_p99: int
+    output_max: int
+    correlation: float = 0.15
+
+    def input_distribution(self) -> SequenceDistribution:
+        """Truncated-normal distribution of input lengths."""
+        return SequenceDistribution.truncated_normal(
+            self.input_mean,
+            self.input_std,
+            self.input_max,
+            name=f"{self.task_id}-input",
+        )
+
+    def output_distribution(self) -> SequenceDistribution:
+        """Truncated-normal distribution of output lengths."""
+        return SequenceDistribution.truncated_normal(
+            self.output_mean,
+            self.output_std,
+            self.output_max,
+            name=f"{self.task_id}-output",
+        )
+
+
+SUMMARIZATION = TaskSpec(
+    task_id="S",
+    name="Summarization",
+    input_mean=256, input_std=252, input_max=512,
+    output_mean=32, output_std=13, output_p99=63, output_max=80,
+    correlation=0.15,
+)
+
+TRANSLATION = TaskSpec(
+    task_id="T",
+    name="Translation",
+    input_mean=128, input_std=81, input_max=256,
+    output_mean=128, output_std=68, output_p99=292, output_max=320,
+    correlation=0.75,
+)
+
+CODE_GENERATION = TaskSpec(
+    task_id="G",
+    name="Code Generation",
+    input_mean=64, input_std=23, input_max=128,
+    output_mean=192, output_std=93, output_p99=417, output_max=480,
+    correlation=0.12,
+)
+
+CONVERSATIONAL_QA_SHORT = TaskSpec(
+    task_id="C1",
+    name="Conversational Q&A (short)",
+    input_mean=256, input_std=115, input_max=512,
+    output_mean=64, output_std=30, output_p99=137, output_max=160,
+    correlation=0.18,
+)
+
+CONVERSATIONAL_QA_LONG = TaskSpec(
+    task_id="C2",
+    name="Conversational Q&A (long)",
+    input_mean=512, input_std=252, input_max=1024,
+    output_mean=256, output_std=134, output_p99=579, output_max=640,
+    correlation=0.21,
+)
+
+ALL_TASKS: dict[str, TaskSpec] = {
+    "S": SUMMARIZATION,
+    "T": TRANSLATION,
+    "G": CODE_GENERATION,
+    "C1": CONVERSATIONAL_QA_SHORT,
+    "C2": CONVERSATIONAL_QA_LONG,
+}
+
+
+def get_task(task_id: str) -> TaskSpec:
+    """Look up a task by its paper identifier (case-insensitive)."""
+    key = task_id.upper()
+    if key not in ALL_TASKS:
+        known = ", ".join(sorted(ALL_TASKS))
+        raise KeyError(f"unknown task {task_id!r}; known tasks: {known}")
+    return ALL_TASKS[key]
+
+
+def known_tasks() -> list[str]:
+    """IDs of all defined tasks."""
+    return sorted(ALL_TASKS)

@@ -1,0 +1,67 @@
+"""Tests for baseline shared machinery (placement, memory caps, batch selection)."""
+
+import pytest
+
+from repro.baselines.base import kv_capacity_bytes, tp_maximized_placement
+from repro.baselines.faster_transformer import FasterTransformer
+from repro.models.catalog import GPT3_341B, OPT_13B
+from repro.hardware.cluster import a40_cluster
+
+
+class TestTPMaximizedPlacement:
+    def test_single_node_is_pure_tensor_parallel(self, tiny_model):
+        placement = tp_maximized_placement(tiny_model, a40_cluster(4))
+        assert len(placement.stages) == 1
+        assert placement.stages[0].tp_degree == 4
+
+    def test_multi_node_uses_pipeline_across_nodes(self):
+        placement = tp_maximized_placement(OPT_13B, a40_cluster(16))
+        assert len(placement.stages) == 2
+        assert all(s.tp_degree == 8 for s in placement.stages)
+        placement.validate_layer_totals()
+
+    def test_341b_spans_six_nodes(self):
+        placement = tp_maximized_placement(GPT3_341B, a40_cluster(48))
+        assert len(placement.stages) == 6
+
+
+class TestKVCapacity:
+    def test_capacity_positive_and_below_total_memory(self, tiny_model, tiny_cluster):
+        placement = tp_maximized_placement(tiny_model, tiny_cluster)
+        capacity = kv_capacity_bytes(placement)
+        total = tiny_cluster.num_gpus * tiny_cluster.gpu.memory_bytes
+        assert 0 < capacity < total
+
+    def test_larger_model_leaves_less_room(self):
+        cluster = a40_cluster(16)
+        small = kv_capacity_bytes(tp_maximized_placement(OPT_13B, cluster))
+        large = kv_capacity_bytes(tp_maximized_placement(GPT3_341B, cluster))
+        assert large < small
+
+
+class TestBatchSelection:
+    @pytest.fixture(scope="class")
+    def ft(self, tiny_profile, short_input_dist, short_output_dist) -> FasterTransformer:
+        return FasterTransformer(
+            profile=tiny_profile,
+            input_distribution=short_input_dist,
+            output_distribution=short_output_dist,
+        )
+
+    def test_worst_case_latency_grows_with_batch(self, ft):
+        assert ft.worst_case_latency(64) > ft.worst_case_latency(4)
+
+    def test_configure_for_bound_monotone(self, ft):
+        loose = ft.configure_for_bound(1e9)
+        tight = ft.configure_for_bound(ft.worst_case_latency(4) * 1.01)
+        assert loose >= tight >= 1
+
+    def test_configure_for_bound_respects_memory(self, ft):
+        assert ft.configure_for_bound(1e9) <= ft.memory_limited_batch()
+
+    def test_impossible_bound_returns_one(self, ft):
+        assert ft.configure_for_bound(1e-9) == 1
+
+    def test_invalid_bound_rejected(self, ft):
+        with pytest.raises(ValueError):
+            ft.configure_for_bound(0.0)

@@ -1,0 +1,74 @@
+"""Tests for the FasterTransformer and DeepSpeed-Inference baselines."""
+
+import pytest
+
+from repro.baselines.deepspeed import DeepSpeedInference
+from repro.baselines.faster_transformer import FasterTransformer
+from repro.workloads.synthetic import generate_trace_from_distributions
+
+
+@pytest.fixture(scope="module")
+def ft(tiny_profile, short_input_dist, short_output_dist) -> FasterTransformer:
+    return FasterTransformer(
+        profile=tiny_profile,
+        input_distribution=short_input_dist,
+        output_distribution=short_output_dist,
+    )
+
+
+@pytest.fixture(scope="module")
+def dsi(tiny_profile, short_input_dist, short_output_dist) -> DeepSpeedInference:
+    return DeepSpeedInference(
+        profile=tiny_profile,
+        input_distribution=short_input_dist,
+        output_distribution=short_output_dist,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace(short_input_dist, short_output_dist):
+    return generate_trace_from_distributions(
+        short_input_dist, short_output_dist, num_requests=64, seed=2
+    )
+
+
+class TestFasterTransformer:
+    def test_all_requests_complete(self, ft, trace):
+        result = ft.run(trace, batch_size=16)
+        assert result.num_requests == len(trace)
+        assert result.total_generated_tokens == trace.total_output_tokens
+        assert result.system == "ft"
+
+    def test_latency_uniform_within_batch(self, ft, trace):
+        """Without early termination, a batch's requests all finish near the
+        end of the batch; short requests finish earlier within it."""
+        result = ft.run(trace, batch_size=len(trace))
+        assert result.max_latency_s >= result.mean_latency_s
+
+    def test_larger_batch_higher_throughput_higher_latency(self, ft, trace):
+        small = ft.run(trace, batch_size=4)
+        large = ft.run(trace, batch_size=32)
+        assert large.throughput_seq_per_s > small.throughput_seq_per_s
+        assert large.max_latency_s > small.max_latency_s
+
+    def test_invalid_batch_rejected(self, ft, trace):
+        with pytest.raises(ValueError):
+            ft.run(trace, batch_size=0)
+        with pytest.raises(ValueError):
+            ft.worst_case_latency(0)
+
+
+class TestDeepSpeedInference:
+    def test_runs_and_reports_own_name(self, dsi, trace):
+        result = dsi.run(trace, batch_size=16)
+        assert result.system == "dsi"
+        assert result.num_requests == len(trace)
+
+    def test_hybrid_micro_batching_configured(self, dsi):
+        assert dsi.encode_micro_batches >= dsi.decode_micro_batches
+
+    def test_dsi_no_faster_than_ft(self, ft, dsi, trace):
+        """The Figure 7 ordering: FT >= DSI (DSI carries extra overhead)."""
+        ft_result = ft.run(trace, batch_size=16)
+        dsi_result = dsi.run(trace, batch_size=16)
+        assert dsi_result.throughput_seq_per_s <= ft_result.throughput_seq_per_s * 1.02

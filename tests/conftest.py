@@ -1,0 +1,121 @@
+"""Shared fixtures for the test suite.
+
+Most tests run against deliberately tiny models and short profiling sweeps so
+the whole suite stays fast; a handful of session-scoped fixtures provide the
+paper-scale OPT-13B setup for integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributions import SequenceDistribution
+from repro.core.exegpt import ExeGPT
+from repro.core.profiler import ProfileTable, XProfiler
+from repro.core.simulator import XSimulator
+from repro.hardware.cluster import Cluster, a40_cluster
+from repro.models.spec import Architecture, ModelSpec
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> ModelSpec:
+    """A small decoder-only model for fast tests."""
+    return ModelSpec(
+        name="Tiny-GPT",
+        architecture=Architecture.DECODER_ONLY,
+        num_layers=8,
+        hidden_size=512,
+        num_heads=8,
+        vocab_size=8192,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_encdec_model() -> ModelSpec:
+    """A small encoder-decoder model for fast tests."""
+    return ModelSpec(
+        name="Tiny-T5",
+        architecture=Architecture.ENCODER_DECODER,
+        num_layers=8,
+        hidden_size=512,
+        num_heads=8,
+        vocab_size=8192,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_cluster() -> Cluster:
+    """A four-GPU A40 sub-cluster."""
+    return a40_cluster(4)
+
+
+@pytest.fixture(scope="session")
+def tiny_profile(tiny_model, tiny_cluster) -> ProfileTable:
+    """Profile of the tiny decoder-only model on four GPUs."""
+    return XProfiler(
+        tiny_model,
+        tiny_cluster,
+        max_batch=128,
+        max_seq_len=512,
+        batch_points=10,
+        length_points=10,
+    ).profile()
+
+
+@pytest.fixture(scope="session")
+def tiny_encdec_profile(tiny_encdec_model, tiny_cluster) -> ProfileTable:
+    """Profile of the tiny encoder-decoder model on four GPUs."""
+    return XProfiler(
+        tiny_encdec_model,
+        tiny_cluster,
+        max_batch=128,
+        max_seq_len=512,
+        batch_points=10,
+        length_points=10,
+    ).profile()
+
+
+@pytest.fixture(scope="session")
+def short_input_dist() -> SequenceDistribution:
+    """Input-length distribution used by the tiny scenarios."""
+    return SequenceDistribution.truncated_normal(mean=48, std=16, max_len=96, name="in")
+
+
+@pytest.fixture(scope="session")
+def short_output_dist() -> SequenceDistribution:
+    """Output-length distribution used by the tiny scenarios."""
+    return SequenceDistribution.truncated_normal(mean=16, std=6, max_len=40, name="out")
+
+
+@pytest.fixture(scope="session")
+def tiny_simulator(tiny_profile, short_input_dist, short_output_dist) -> XSimulator:
+    """XSimulator over the tiny decoder-only model."""
+    return XSimulator(tiny_profile, short_input_dist, short_output_dist)
+
+
+@pytest.fixture(scope="session")
+def tiny_encdec_simulator(
+    tiny_encdec_profile, short_input_dist, short_output_dist
+) -> XSimulator:
+    """XSimulator over the tiny encoder-decoder model."""
+    return XSimulator(tiny_encdec_profile, short_input_dist, short_output_dist)
+
+
+@pytest.fixture(scope="session")
+def tiny_engine(
+    tiny_model, tiny_cluster, short_input_dist, short_output_dist
+) -> ExeGPT:
+    """An ExeGPT facade over the tiny model (profiles lazily, cached)."""
+    return ExeGPT(
+        model=tiny_model,
+        cluster=tiny_cluster,
+        input_distribution=short_input_dist,
+        output_distribution=short_output_dist,
+        max_encode_batch=32,
+    )
+
+
+@pytest.fixture(scope="session")
+def opt13b_engine() -> ExeGPT:
+    """The paper's OPT-13B / 4xA40 deployment (session-scoped: profiled once)."""
+    return ExeGPT.for_task("OPT-13B", "S", max_encode_batch=48)

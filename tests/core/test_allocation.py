@@ -1,0 +1,137 @@
+"""Tests for RRA / WAA-C / WAA-M layer allocation."""
+
+import pytest
+
+from repro.core.allocation import (
+    Placement,
+    StagePlan,
+    allocate_rra,
+    allocate_waa,
+    build_placement,
+    stage_weight_bytes,
+    waa_memory_weights,
+)
+from repro.core.config import SchedulePolicy, TensorParallelConfig
+from repro.hardware.cluster import a40_cluster
+
+
+class TestRRAAllocation:
+    def test_layers_split_evenly_across_gpus(self, tiny_model, tiny_cluster):
+        placement = allocate_rra(tiny_model, tiny_cluster)
+        placement.validate_layer_totals()
+        assert len(placement.stages) == tiny_cluster.num_gpus
+        encoder_counts = {s.encoder_layers for s in placement.stages}
+        assert max(encoder_counts) - min(encoder_counts) <= 1
+        assert all(s.role == "both" for s in placement.stages)
+
+    def test_partial_tensor_parallelism_reduces_stage_count(self, tiny_model, tiny_cluster):
+        tp = TensorParallelConfig(degree=2, num_gpus=2)
+        placement = allocate_rra(tiny_model, tiny_cluster, tp)
+        assert len(placement.stages) == 3  # one 2-GPU group + two single GPUs
+        assert placement.stages[0].tp_degree == 2
+        placement.validate_layer_totals()
+
+    def test_no_weight_replication(self, tiny_model, tiny_cluster):
+        assert allocate_rra(tiny_model, tiny_cluster).weight_replication == 1.0
+
+    def test_encoder_decoder_model(self, tiny_encdec_model, tiny_cluster):
+        placement = allocate_rra(tiny_encdec_model, tiny_cluster)
+        placement.validate_layer_totals()
+        total_enc = sum(s.encoder_layers for s in placement.stages)
+        assert total_enc == tiny_encdec_model.num_encoder_layers
+
+
+class TestWAAAllocation:
+    def test_stages_split_by_weight(self, tiny_model, tiny_cluster):
+        placement = allocate_waa(
+            tiny_model, tiny_cluster, encode_weight=3.0, decode_weight=1.0,
+            policy=SchedulePolicy.WAA_C,
+        )
+        placement.validate_layer_totals()
+        assert len(placement.encode_stages) == 3
+        assert len(placement.decode_stages) == 1
+
+    def test_minimum_one_stage_each_side(self, tiny_model, tiny_cluster):
+        placement = allocate_waa(
+            tiny_model, tiny_cluster, encode_weight=100.0, decode_weight=1.0,
+            policy=SchedulePolicy.WAA_M,
+        )
+        assert len(placement.decode_stages) >= 1
+        assert len(placement.encode_stages) >= 1
+
+    def test_decoder_only_models_replicate_weights(self, tiny_model, tiny_cluster):
+        placement = allocate_waa(
+            tiny_model, tiny_cluster, 1.0, 1.0, SchedulePolicy.WAA_C
+        )
+        assert placement.weight_replication == pytest.approx(2.0)
+
+    def test_encoder_decoder_models_do_not_replicate(self, tiny_encdec_model, tiny_cluster):
+        placement = allocate_waa(
+            tiny_encdec_model, tiny_cluster, 1.0, 1.0, SchedulePolicy.WAA_C
+        )
+        assert placement.weight_replication == pytest.approx(1.0)
+
+    def test_single_gpu_cluster_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            allocate_waa(tiny_model, a40_cluster(1), 1.0, 1.0, SchedulePolicy.WAA_C)
+
+    def test_non_waa_policy_rejected(self, tiny_model, tiny_cluster):
+        with pytest.raises(ValueError):
+            allocate_waa(tiny_model, tiny_cluster, 1.0, 1.0, SchedulePolicy.RRA)
+
+    def test_memory_weights_favour_decode_for_long_outputs(self, tiny_model):
+        enc_w, dec_w = waa_memory_weights(
+            tiny_model, avg_input_len=32, avg_output_len=256,
+            decode_batch=512, encode_batch=2,
+        )
+        assert dec_w > enc_w
+
+
+class TestPlacementValidation:
+    def test_duplicate_gpu_rejected(self, tiny_model, tiny_cluster):
+        stage_a = StagePlan(0, (0, 1), 4, 4)
+        stage_b = StagePlan(1, (1, 2), 4, 4)
+        with pytest.raises(ValueError):
+            Placement(
+                policy=SchedulePolicy.RRA,
+                stages=(stage_a, stage_b),
+                cluster=tiny_cluster,
+                model=tiny_model,
+            )
+
+    def test_layer_total_mismatch_detected(self, tiny_model, tiny_cluster):
+        stage = StagePlan(0, (0,), tiny_model.num_layers - 1, tiny_model.num_layers)
+        placement = Placement(
+            policy=SchedulePolicy.RRA,
+            stages=(stage,),
+            cluster=tiny_cluster,
+            model=tiny_model,
+        )
+        with pytest.raises(ValueError):
+            placement.validate_layer_totals()
+
+    def test_build_placement_dispatch(self, tiny_model, tiny_cluster):
+        rra = build_placement(SchedulePolicy.RRA, tiny_model, tiny_cluster)
+        waa = build_placement(
+            SchedulePolicy.WAA_C, tiny_model, tiny_cluster, encode_weight=1, decode_weight=1
+        )
+        assert rra.policy is SchedulePolicy.RRA
+        assert waa.policy is SchedulePolicy.WAA_C
+
+
+class TestStageWeightBytes:
+    def test_decoder_only_shared_stage_counts_once(self, tiny_model):
+        stage = StagePlan(0, (0,), encoder_layers=4, decoder_layers=4, role="both")
+        expected = 4 * tiny_model.layer_bytes(False)
+        assert stage_weight_bytes(tiny_model, stage) == pytest.approx(expected)
+
+    def test_decoder_only_dedicated_stages_count_separately(self, tiny_model):
+        enc = StagePlan(0, (0,), encoder_layers=8, decoder_layers=0, role="encode")
+        dec = StagePlan(1, (1,), encoder_layers=0, decoder_layers=8, role="decode")
+        total = stage_weight_bytes(tiny_model, enc) + stage_weight_bytes(tiny_model, dec)
+        assert total == pytest.approx(2 * 8 * tiny_model.layer_bytes(False))
+
+    def test_encoder_decoder_counts_cross_attention(self, tiny_encdec_model):
+        stage = StagePlan(0, (0,), encoder_layers=2, decoder_layers=2, role="both")
+        expected = 2 * tiny_encdec_model.layer_bytes(False) + 2 * tiny_encdec_model.layer_bytes(True)
+        assert stage_weight_bytes(tiny_encdec_model, stage) == pytest.approx(expected)

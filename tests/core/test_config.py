@@ -1,0 +1,89 @@
+"""Tests for schedule configuration and control variables."""
+
+import pytest
+
+from repro.core.config import (
+    LatencyConstraint,
+    ScheduleConfig,
+    SchedulePolicy,
+    TensorParallelConfig,
+    UNBOUNDED,
+)
+
+
+class TestTensorParallelConfig:
+    def test_degree_one_ignores_gpu_count(self):
+        tp = TensorParallelConfig(degree=1, num_gpus=4)
+        assert tp.num_gpus == 0
+        assert tp.num_groups == 0
+
+    def test_groups_and_stages(self):
+        tp = TensorParallelConfig(degree=2, num_gpus=4)
+        assert tp.num_groups == 2
+        assert tp.stages_for(8) == 6  # 4 single-GPU stages + 2 TP groups
+
+    def test_full_tp(self):
+        tp = TensorParallelConfig(degree=4, num_gpus=8)
+        assert tp.stages_for(8) == 2
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            TensorParallelConfig(degree=0)
+        with pytest.raises(ValueError):
+            TensorParallelConfig(degree=2, num_gpus=3)
+        with pytest.raises(ValueError):
+            TensorParallelConfig(degree=2, num_gpus=4).stages_for(2)
+
+
+class TestScheduleConfig:
+    def test_describe_rra(self):
+        config = ScheduleConfig(SchedulePolicy.RRA, encode_batch=8, decode_iterations=4)
+        text = config.describe()
+        assert "RRA" in text and "B_E=8" in text and "N_D=4" in text
+
+    def test_describe_waa_with_tp(self):
+        config = ScheduleConfig(
+            SchedulePolicy.WAA_C,
+            encode_batch=4,
+            micro_batches=2,
+            tensor_parallel=TensorParallelConfig(degree=2, num_gpus=4),
+        )
+        text = config.describe()
+        assert "WAA-C" in text and "B_m=2" in text and "TP=2" in text
+
+    def test_waa_requires_nd_one(self):
+        with pytest.raises(ValueError):
+            ScheduleConfig(SchedulePolicy.WAA_C, encode_batch=4, decode_iterations=2)
+
+    def test_invalid_batches_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleConfig(SchedulePolicy.RRA, encode_batch=0)
+        with pytest.raises(ValueError):
+            ScheduleConfig(SchedulePolicy.RRA, encode_batch=1, micro_batches=0)
+        with pytest.raises(ValueError):
+            ScheduleConfig(SchedulePolicy.RRA, encode_batch=1, decode_batch_override=0)
+
+    def test_with_creates_modified_copy(self):
+        config = ScheduleConfig(SchedulePolicy.RRA, encode_batch=8)
+        other = config.with_(encode_batch=16)
+        assert other.encode_batch == 16 and config.encode_batch == 8
+
+    def test_policy_is_waa(self):
+        assert SchedulePolicy.WAA_C.is_waa and SchedulePolicy.WAA_M.is_waa
+        assert not SchedulePolicy.RRA.is_waa
+
+
+class TestLatencyConstraint:
+    def test_satisfied_with_tolerance(self):
+        constraint = LatencyConstraint(bound_s=5.0)
+        assert constraint.satisfied_by(5.0)
+        assert not constraint.satisfied_by(5.2)
+        assert constraint.satisfied_by(5.2, tolerance=0.5)
+
+    def test_unbounded(self):
+        assert UNBOUNDED.is_unbounded
+        assert UNBOUNDED.satisfied_by(1e9)
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyConstraint(bound_s=0.0)

@@ -1,0 +1,95 @@
+"""Tests for the dynamic workload adjuster (Section 5.2)."""
+
+import pytest
+
+from repro.core.dynamic import DynamicWorkloadAdjuster
+from repro.engine.request import RequestState
+from repro.workloads.trace import RequestSpec
+
+
+def _pending(lengths: list[int]) -> list[RequestState]:
+    return [
+        RequestState(spec=RequestSpec(i, input_len=length, output_len=4))
+        for i, length in enumerate(lengths)
+    ]
+
+
+def _adjuster(**kwargs) -> DynamicWorkloadAdjuster:
+    defaults = dict(
+        target_encode_batch=4,
+        target_decode_batch=32.0,
+        avg_input_len=50.0,
+        workload_threshold=0.1,
+        pool_threshold=0.1,
+    )
+    defaults.update(kwargs)
+    return DynamicWorkloadAdjuster(**defaults)
+
+
+class TestTargetBatch:
+    def test_full_pool_admits_nothing(self):
+        assert _adjuster().target_batch_for_pool(pool_size=32, freed_slots=0) == 0
+
+    def test_deficit_refills_pool(self):
+        target = _adjuster().target_batch_for_pool(pool_size=28, freed_slots=4)
+        assert target == 4
+
+    def test_start_up_is_capped_not_one_shot(self):
+        adjuster = _adjuster()
+        target = adjuster.target_batch_for_pool(pool_size=0, freed_slots=0)
+        assert 0 < target <= 2 * adjuster.target_encode_batch * (1 + adjuster.pool_threshold) + 1
+        assert target < adjuster.target_decode_batch
+
+    def test_disabled_returns_static_batch(self):
+        adjuster = _adjuster(enabled=False)
+        assert adjuster.target_batch_for_pool(0, 0) == 4
+        assert adjuster.target_batch_for_pool(100, 0) == 4
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            _adjuster().target_batch_for_pool(-1, 0)
+
+
+class TestAdmission:
+    def test_admits_up_to_target_count(self):
+        adjuster = _adjuster()
+        pending = _pending([50] * 10)
+        batch = adjuster.admit(pending, pool_size=28, freed_slots=4)
+        assert len(batch) == 4
+
+    def test_workload_threshold_limits_long_inputs(self):
+        adjuster = _adjuster()
+        # Deficit of 4 slots, but each request is 3x the average input length,
+        # so the workload cap stops admission early.
+        pending = _pending([150] * 10)
+        batch = adjuster.admit(pending, pool_size=28, freed_slots=4)
+        assert 1 <= len(batch) < 4
+
+    def test_first_request_always_admitted(self):
+        adjuster = _adjuster()
+        pending = _pending([1000])
+        batch = adjuster.admit(pending, pool_size=0, freed_slots=0)
+        assert len(batch) == 1
+
+    def test_empty_pending(self):
+        assert _adjuster().admit([], 0, 0) == []
+
+    def test_full_pool_admits_nothing(self):
+        assert _adjuster().admit(_pending([50] * 4), pool_size=40, freed_slots=0) == []
+
+    def test_disabled_admits_static_batch(self):
+        adjuster = _adjuster(enabled=False)
+        batch = adjuster.admit(_pending([500] * 10), pool_size=0, freed_slots=0)
+        assert len(batch) == 4
+
+
+class TestValidation:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            _adjuster(target_encode_batch=0)
+        with pytest.raises(ValueError):
+            _adjuster(target_decode_batch=0)
+        with pytest.raises(ValueError):
+            _adjuster(avg_input_len=0)
+        with pytest.raises(ValueError):
+            _adjuster(workload_threshold=2.0)

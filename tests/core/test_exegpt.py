@@ -1,0 +1,64 @@
+"""Tests for the ExeGPT facade."""
+
+import pytest
+
+from repro.core.config import LatencyConstraint, SchedulePolicy
+from repro.core.exegpt import ExeGPT
+from repro.workloads.synthetic import generate_task_trace, generate_trace_from_distributions
+from repro.workloads.tasks import get_task
+
+
+class TestConstruction:
+    def test_for_task_uses_table2_deployment(self):
+        engine = ExeGPT.for_task("OPT-13B", "S")
+        assert engine.cluster.num_gpus == 4
+        assert engine.model.name == "OPT 13B"
+
+    def test_for_task_gpu_override(self):
+        engine = ExeGPT.for_task("OPT-13B", "S", num_gpus=8)
+        assert engine.cluster.num_gpus == 8
+
+    def test_for_trace_estimates_distributions(self):
+        trace = generate_task_trace(get_task("S"), 64, seed=0)
+        engine = ExeGPT.for_trace("OPT-13B", trace)
+        assert abs(engine.output_distribution.mean - trace.output_lengths().mean()) < 1e-6
+
+    def test_unknown_model_or_task_raises(self):
+        with pytest.raises(KeyError):
+            ExeGPT.for_task("GPT-5", "S")
+        with pytest.raises(KeyError):
+            ExeGPT.for_task("OPT-13B", "Z")
+
+
+class TestWorkflow:
+    def test_schedule_estimate_run_cycle(self, tiny_engine, short_input_dist, short_output_dist):
+        search = tiny_engine.schedule(LatencyConstraint(bound_s=float("inf")))
+        assert search.found
+        estimate = tiny_engine.estimate(search.best.config)
+        assert estimate.throughput_seq_per_s > 0
+        trace = generate_trace_from_distributions(
+            short_input_dist, short_output_dist, num_requests=48, seed=3
+        )
+        result = tiny_engine.run(trace, search.best.config)
+        assert result.num_requests == 48
+
+    def test_schedule_accepts_float_bound(self, tiny_engine):
+        result = tiny_engine.schedule(1000.0, policies=(SchedulePolicy.RRA,))
+        assert result.found
+
+    def test_schedule_and_run(self, tiny_engine, short_input_dist, short_output_dist):
+        trace = generate_trace_from_distributions(
+            short_input_dist, short_output_dist, num_requests=32, seed=5
+        )
+        search, result = tiny_engine.schedule_and_run(trace, float("inf"))
+        assert search.found and result is not None
+        assert result.num_requests == 32
+
+    def test_update_distributions_invalidates_simulator(self, tiny_engine, short_output_dist):
+        simulator_before = tiny_engine.simulator
+        tiny_engine.update_distributions(output_distribution=short_output_dist.scaled_mean(1.2))
+        assert tiny_engine.simulator is not simulator_before
+        tiny_engine.update_distributions(output_distribution=short_output_dist)
+
+    def test_profile_is_cached(self, tiny_engine):
+        assert tiny_engine.profile is tiny_engine.profile

@@ -1,0 +1,97 @@
+"""Tests for XProfiler and the profile table."""
+
+import pytest
+
+from repro.core.profiler import MeasurementGrid, XProfiler
+import numpy as np
+
+
+class TestMeasurementGrid:
+    def test_exact_lookup(self):
+        grid = MeasurementGrid(
+            rows=np.array([1.0, 2.0]), cols=np.array([1.0, 4.0]),
+            values=np.array([[1.0, 2.0], [3.0, 4.0]]),
+        )
+        assert grid.lookup(1, 1) == pytest.approx(1.0)
+        assert grid.lookup(2, 4) == pytest.approx(4.0)
+
+    def test_bilinear_interpolation(self):
+        grid = MeasurementGrid(
+            rows=np.array([0.0, 2.0]), cols=np.array([0.0, 2.0]),
+            values=np.array([[0.0, 2.0], [2.0, 4.0]]),
+        )
+        assert grid.lookup(1, 1) == pytest.approx(2.0)
+
+    def test_clamping_outside_grid(self):
+        grid = MeasurementGrid(
+            rows=np.array([1.0, 2.0]), cols=np.array([1.0, 2.0]),
+            values=np.array([[1.0, 1.0], [1.0, 5.0]]),
+        )
+        assert grid.lookup(100, 100) == pytest.approx(5.0)
+        assert grid.lookup(0, 0) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementGrid(np.array([1.0]), np.array([1.0, 2.0]), np.array([[1.0]]))
+
+
+class TestXProfiler:
+    def test_feasible_tp_degrees_are_powers_of_two(self, tiny_model, tiny_cluster):
+        profiler = XProfiler(tiny_model, tiny_cluster)
+        degrees = profiler.feasible_tp_degrees()
+        assert degrees[0] == 1
+        assert all(b == 2 * a for a, b in zip(degrees, degrees[1:]))
+        assert max(degrees) <= tiny_cluster.gpus_per_node
+
+    def test_profile_contains_all_degrees(self, tiny_profile):
+        assert set(tiny_profile.encode_grids) == set(tiny_profile.tp_degrees)
+        assert set(tiny_profile.decode_grids) == set(tiny_profile.tp_degrees)
+
+    def test_encode_layer_time_positive_and_monotone_in_batch(self, tiny_profile):
+        t_small = tiny_profile.encode_layer_time(1, 2, 64)
+        t_large = tiny_profile.encode_layer_time(1, 32, 64)
+        assert 0 < t_small < t_large
+
+    def test_decode_layer_time_monotone_in_context(self, tiny_profile):
+        short = tiny_profile.decode_layer_time(1, 16, 32)
+        long = tiny_profile.decode_layer_time(1, 16, 512)
+        assert long >= short
+
+    def test_tensor_parallelism_speeds_up_layers(self, tiny_profile):
+        single = tiny_profile.encode_layer_time(1, 16, 128)
+        split = tiny_profile.encode_layer_time(2, 16, 128)
+        assert split < single
+
+    def test_encode_step_costs_more_than_decode_step(self, tiny_profile):
+        """The paper's premise: prefill over a full input costs far more than
+        one incremental decode step for the same batch."""
+        encode = tiny_profile.encode_layer_time(1, 64, 256)
+        decode = tiny_profile.decode_layer_time(1, 64, 256)
+        assert encode > 5 * decode
+
+    def test_unknown_tp_degree_raises(self, tiny_profile):
+        with pytest.raises(KeyError):
+            tiny_profile.encode_layer_time(64, 8, 128)
+
+    def test_zero_batch_costs_nothing(self, tiny_profile):
+        assert tiny_profile.encode_layer_time(1, 0, 64) == 0.0
+        assert tiny_profile.decode_layer_time(1, 0, 64) == 0.0
+
+    def test_sync_times(self, tiny_profile):
+        assert tiny_profile.encode_sync_time(1, 8, 64, False) == 0.0
+        intra = tiny_profile.decode_sync_time(2, 8, False)
+        inter = tiny_profile.decode_sync_time(2, 8, True)
+        assert 0 < intra < inter
+
+    def test_kv_transfer_and_compaction_positive(self, tiny_profile):
+        assert tiny_profile.kv_transfer_time(4, 64, 8) > 0
+        assert tiny_profile.kv_compaction_time(4, 64, 8) > 0
+        assert tiny_profile.kv_transfer_time(0, 64, 8) == 0.0
+
+    def test_activation_transfer_uses_topology(self, tiny_profile):
+        same = tiny_profile.activation_transfer_time(8, 64, 0, 1)
+        assert same > 0
+
+    def test_invalid_profiler_args(self, tiny_model, tiny_cluster):
+        with pytest.raises(ValueError):
+            XProfiler(tiny_model, tiny_cluster, max_batch=0)

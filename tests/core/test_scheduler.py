@@ -1,0 +1,136 @@
+"""Tests for the branch-and-bound scheduler (Algorithm 1)."""
+
+import pytest
+
+from repro.core.config import LatencyConstraint, SchedulePolicy, TensorParallelConfig
+from repro.core.scheduler import (
+    SearchSpace,
+    XScheduler,
+    _Evaluator,
+    branch_and_bound,
+    exhaustive_search,
+    random_search,
+)
+
+
+@pytest.fixture(scope="module")
+def scheduler(tiny_simulator) -> XScheduler:
+    return XScheduler(tiny_simulator, max_encode_batch=24, max_decode_iterations=24)
+
+
+def _rra_space(scheduler) -> SearchSpace:
+    return [
+        s
+        for s in scheduler.search_spaces(policies=(SchedulePolicy.RRA,))
+        if s.tensor_parallel.degree == 1
+    ][0]
+
+
+class TestSearchSpace:
+    def test_rra_space_orientation(self, scheduler):
+        space = _rra_space(scheduler)
+        # Larger second index -> smaller N_D (more frequent encoding).
+        assert space.second_values[0] > space.second_values[-1]
+        assert space.second_values[-1] == 1
+        config = space.config_at(4, len(space.second_values) - 1)
+        assert config.decode_iterations == 1
+        assert config.encode_batch == 4
+
+    def test_waa_space_skipped_when_single_stage(self, tiny_simulator):
+        scheduler = XScheduler(tiny_simulator, max_encode_batch=8)
+        full_tp = TensorParallelConfig(degree=4, num_gpus=4)
+        spaces = scheduler.search_spaces(
+            policies=(SchedulePolicy.WAA_C,), tensor_parallel_options=[full_tp]
+        )
+        assert spaces == []
+
+    def test_num_points(self, scheduler):
+        space = _rra_space(scheduler)
+        (lo, hi), _ = space.bounds
+        assert space.num_points == (hi - lo + 1) * len(space.second_values)
+
+    def test_tp_options_include_plain_and_grouped(self, scheduler):
+        options = scheduler.tensor_parallel_options()
+        degrees = {o.degree for o in options}
+        assert 1 in degrees
+        assert any(d > 1 for d in degrees)
+
+
+class TestBranchAndBound:
+    def test_unbounded_constraint_returns_top_corner_region(self, tiny_simulator, scheduler):
+        space = _rra_space(scheduler)
+        constraint = LatencyConstraint(bound_s=float("inf"))
+        evaluator = _Evaluator(tiny_simulator, space, constraint)
+        best = branch_and_bound(evaluator, constraint)
+        assert best is not None
+        # With no bound the best schedule uses a large encoder batch.
+        assert best.config.encode_batch >= scheduler.max_encode_batch // 2
+
+    def test_respects_latency_bound(self, tiny_simulator, scheduler):
+        space = _rra_space(scheduler)
+        unbounded = _Evaluator(tiny_simulator, space, LatencyConstraint(float("inf")))
+        loose = branch_and_bound(unbounded, LatencyConstraint(float("inf")))
+        bound = loose.latency_s * 0.5
+        constraint = LatencyConstraint(bound_s=bound)
+        evaluator = _Evaluator(tiny_simulator, space, constraint)
+        best = branch_and_bound(evaluator, constraint)
+        assert best is not None
+        assert best.latency_s <= bound * 1.001
+
+    def test_matches_exhaustive_within_tolerance(self, tiny_simulator):
+        scheduler = XScheduler(tiny_simulator, max_encode_batch=12, max_decode_iterations=12)
+        space = [
+            s
+            for s in scheduler.search_spaces(policies=(SchedulePolicy.RRA,))
+            if s.tensor_parallel.degree == 1
+        ][0]
+        constraint = LatencyConstraint(bound_s=2.0)
+        bnb_eval = _Evaluator(tiny_simulator, space, constraint)
+        bnb = branch_and_bound(bnb_eval, constraint)
+        exh_eval = _Evaluator(tiny_simulator, space, constraint)
+        exhaustive = exhaustive_search(exh_eval, constraint)
+        if exhaustive is None:
+            assert bnb is None
+        else:
+            assert bnb is not None
+            assert bnb.throughput_seq_per_s >= 0.9 * exhaustive.throughput_seq_per_s
+            # And it must do so with far fewer evaluations.
+            assert bnb_eval.evaluations < exh_eval.evaluations
+
+    def test_random_search_finds_something(self, tiny_simulator, scheduler):
+        space = _rra_space(scheduler)
+        constraint = LatencyConstraint(bound_s=float("inf"))
+        evaluator = _Evaluator(tiny_simulator, space, constraint)
+        best = random_search(evaluator, constraint, num_samples=20)
+        assert best is not None
+
+
+class TestXScheduler:
+    def test_schedule_returns_feasible_result(self, scheduler):
+        result = scheduler.schedule(LatencyConstraint(bound_s=float("inf")))
+        assert result.found
+        assert result.evaluations > 0
+        assert result.space_size > result.evaluations
+        assert result.best.feasible
+
+    def test_throughput_increases_with_relaxed_bound(self, scheduler):
+        tight_bound = scheduler.schedule(LatencyConstraint(float("inf"))).best.latency_s * 0.3
+        tight = scheduler.schedule(LatencyConstraint(bound_s=max(tight_bound, 0.05)))
+        relaxed = scheduler.schedule(LatencyConstraint(bound_s=float("inf")))
+        if tight.found:
+            assert relaxed.best.throughput_seq_per_s >= tight.best.throughput_seq_per_s * 0.99
+
+    def test_impossible_bound_returns_not_found(self, scheduler):
+        result = scheduler.schedule(LatencyConstraint(bound_s=1e-6))
+        assert not result.found
+        assert result.best is None
+
+    def test_unknown_method_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.schedule(LatencyConstraint(bound_s=1.0), method="simulated-annealing")
+
+    def test_policy_restriction(self, scheduler):
+        result = scheduler.schedule(
+            LatencyConstraint(bound_s=float("inf")), policies=(SchedulePolicy.RRA,)
+        )
+        assert result.best.config.policy is SchedulePolicy.RRA

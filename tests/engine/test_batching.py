@@ -1,0 +1,72 @@
+"""Tests for micro-batch partitioning helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.batching import (
+    alive_requests,
+    average_context,
+    average_input_length,
+    split_into_micro_batches,
+    total_input_tokens,
+)
+from repro.engine.request import RequestState
+from repro.workloads.trace import RequestSpec
+
+
+def _requests(n: int) -> list[RequestState]:
+    return [
+        RequestState(spec=RequestSpec(i, input_len=10 + i, output_len=4))
+        for i in range(n)
+    ]
+
+
+class TestSplitting:
+    def test_even_split(self):
+        groups = split_into_micro_batches(_requests(8), 4)
+        assert [len(g) for g in groups] == [2, 2, 2, 2]
+
+    def test_uneven_split_front_loaded(self):
+        groups = split_into_micro_batches(_requests(7), 3)
+        assert [len(g) for g in groups] == [3, 2, 2]
+
+    def test_fewer_requests_than_groups(self):
+        groups = split_into_micro_batches(_requests(2), 5)
+        assert [len(g) for g in groups] == [1, 1]
+
+    def test_empty_input(self):
+        assert split_into_micro_batches([], 3) == []
+
+    def test_invalid_group_count(self):
+        with pytest.raises(ValueError):
+            split_into_micro_batches(_requests(2), 0)
+
+    @given(n=st.integers(min_value=0, max_value=50), m=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=50, deadline=None)
+    def test_split_preserves_all_requests(self, n, m):
+        requests = _requests(n)
+        groups = split_into_micro_batches(requests, m)
+        flattened = [r for g in groups for r in g]
+        assert flattened == requests
+        assert all(groups_len > 0 for groups_len in map(len, groups))
+
+
+class TestAggregates:
+    def test_alive_requests_filters_done(self):
+        requests = _requests(3)
+        requests[0].generated = requests[0].output_len
+        assert len(alive_requests(requests)) == 2
+
+    def test_average_input_length(self):
+        assert average_input_length(_requests(3)) == pytest.approx(11.0)
+        assert average_input_length([]) == 0.0
+
+    def test_total_input_tokens(self):
+        assert total_input_tokens(_requests(3)) == 10 + 11 + 12
+
+    def test_average_context_decoder_only(self):
+        requests = _requests(2)
+        requests[0].generated = 2
+        expected = ((10 + 2) + 11) / 2
+        assert average_context(requests, decoder_only=True) == pytest.approx(expected)
+        assert average_context([], True) == 0.0

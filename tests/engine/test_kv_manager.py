@@ -1,0 +1,119 @@
+"""Tests for the contiguous and paged KV-cache managers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.kv_manager import ContiguousKVCache, KVCacheError, PagedKVCache
+from repro.models.catalog import OPT_13B
+
+
+def _contiguous(capacity_tokens: int = 10000) -> ContiguousKVCache:
+    per_token = OPT_13B.kv_bytes_per_token_per_layer() * OPT_13B.num_decoder_layers
+    return ContiguousKVCache(
+        model=OPT_13B,
+        num_layers=OPT_13B.num_decoder_layers,
+        capacity_bytes=capacity_tokens * per_token,
+    )
+
+
+def _paged(capacity_tokens: int = 10000, block: int = 16) -> PagedKVCache:
+    per_token = OPT_13B.kv_bytes_per_token_per_layer() * OPT_13B.num_decoder_layers
+    return PagedKVCache(
+        model=OPT_13B,
+        num_layers=OPT_13B.num_decoder_layers,
+        capacity_bytes=capacity_tokens * per_token,
+        block_tokens=block,
+    )
+
+
+class TestContiguousCache:
+    def test_reserve_and_release(self):
+        cache = _contiguous()
+        cache.reserve(1, 512)
+        assert cache.used_bytes == pytest.approx(cache.bytes_for_tokens(512))
+        freed = cache.release(1)
+        assert freed == pytest.approx(cache.bytes_for_tokens(512))
+        assert cache.used_bytes == 0.0
+
+    def test_double_reservation_rejected(self):
+        cache = _contiguous()
+        cache.reserve(1, 10)
+        with pytest.raises(KVCacheError):
+            cache.reserve(1, 10)
+
+    def test_over_capacity_rejected(self):
+        cache = _contiguous(capacity_tokens=100)
+        with pytest.raises(KVCacheError):
+            cache.reserve(1, 101)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(KVCacheError):
+            _contiguous().release(42)
+
+    def test_peak_tracks_high_water_mark(self):
+        cache = _contiguous()
+        cache.reserve(1, 500)
+        cache.reserve(2, 500)
+        cache.release(1)
+        assert cache.peak_bytes == pytest.approx(cache.bytes_for_tokens(1000))
+
+    def test_compaction_bytes_equals_live_bytes(self):
+        cache = _contiguous()
+        cache.reserve(1, 100)
+        cache.reserve(2, 200)
+        cache.release(1)
+        assert cache.compaction_bytes() == pytest.approx(cache.bytes_for_tokens(200))
+
+
+class TestPagedCache:
+    def test_blocks_needed_rounds_up(self):
+        cache = _paged(block=16)
+        assert cache.blocks_needed(1) == 1
+        assert cache.blocks_needed(16) == 1
+        assert cache.blocks_needed(17) == 2
+        assert cache.blocks_needed(0) == 0
+
+    def test_ensure_grows_monotonically(self):
+        cache = _paged()
+        cache.ensure(1, 10)
+        used = cache.used_blocks
+        cache.ensure(1, 5)  # shrinking request is a no-op
+        assert cache.used_blocks == used
+        cache.ensure(1, 40)
+        assert cache.used_blocks > used
+
+    def test_exhaustion_raises(self):
+        cache = _paged(capacity_tokens=64, block=16)
+        cache.ensure(1, 64)
+        with pytest.raises(KVCacheError):
+            cache.ensure(2, 16)
+
+    def test_release_frees_blocks(self):
+        cache = _paged()
+        cache.ensure(1, 100)
+        cache.release(1)
+        assert cache.used_blocks == 0
+        with pytest.raises(KVCacheError):
+            cache.release(1)
+
+    def test_paged_wastes_less_than_reservation(self):
+        """The PagedAttention motivation: on-demand blocks beat max-length
+        reservations for the same workload."""
+        contiguous = _contiguous(capacity_tokens=4096)
+        paged = _paged(capacity_tokens=4096)
+        # 8 requests that will actually generate ~64 tokens but could reach 512.
+        for rid in range(8):
+            contiguous.reserve(rid, 512)
+            paged.ensure(rid, 64)
+        assert paged.used_bytes < contiguous.used_bytes
+
+    @given(
+        tokens=st.lists(st.integers(min_value=1, max_value=300), min_size=1, max_size=20)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_used_blocks_never_exceed_total(self, tokens):
+        cache = _paged(capacity_tokens=100000)
+        for rid, t in enumerate(tokens):
+            cache.ensure(rid, t)
+        assert 0 <= cache.used_blocks <= cache.total_blocks
+        assert cache.peak_bytes >= cache.used_bytes - 1e-9

@@ -1,0 +1,79 @@
+"""Tests for run-result metrics."""
+
+import pytest
+
+from repro.engine.metrics import RunResult, collect_result
+from repro.engine.request import RequestState
+from repro.workloads.trace import RequestSpec
+
+
+def _completed_request(rid: int, latency: float, output_len: int = 8) -> RequestState:
+    state = RequestState(spec=RequestSpec(rid, input_len=16, output_len=output_len))
+    state.encode_start_s = 1.0
+    state.generated = output_len
+    state.finish_s = 1.0 + latency
+    return state
+
+
+class TestCollectResult:
+    def test_throughput_and_latency(self):
+        requests = [_completed_request(i, latency=2.0 + i) for i in range(10)]
+        result = collect_result("test", requests, makespan_s=20.0)
+        assert result.throughput_seq_per_s == pytest.approx(0.5)
+        assert result.throughput_tokens_per_s == pytest.approx(80 / 20.0)
+        assert result.mean_latency_s == pytest.approx(6.5)
+        assert result.max_latency_s == pytest.approx(11.0)
+
+    def test_unfinished_request_rejected(self):
+        state = RequestState(spec=RequestSpec(0, input_len=4, output_len=4))
+        with pytest.raises(ValueError):
+            collect_result("test", [state], makespan_s=1.0)
+
+    def test_percentiles(self):
+        requests = [_completed_request(i, latency=float(i)) for i in range(100)]
+        result = collect_result("test", requests, makespan_s=100.0)
+        assert result.latency_percentile(50) == pytest.approx(49.5, abs=1.0)
+        assert result.p99_latency_s >= result.latency_percentile(90)
+        with pytest.raises(ValueError):
+            result.latency_percentile(101)
+
+    def test_skip_warmup_excludes_leading_requests(self):
+        slow = [_completed_request(i, latency=100.0) for i in range(5)]
+        fast = [_completed_request(5 + i, latency=1.0) for i in range(20)]
+        result = collect_result("test", slow + fast, makespan_s=10.0, warmup_requests=5)
+        assert result.latency_percentile(99, skip_warmup=True) == pytest.approx(1.0)
+        assert result.latency_percentile(99) > 50.0
+
+    def test_reference_length_latency_filters_long_outputs(self):
+        short = [_completed_request(i, latency=2.0, output_len=8) for i in range(10)]
+        long = [_completed_request(10 + i, latency=50.0, output_len=100) for i in range(2)]
+        result = collect_result("test", short + long, makespan_s=10.0)
+        assert result.reference_length_latency(16) == pytest.approx(2.0)
+        assert result.max_latency_s == pytest.approx(50.0)
+
+    def test_steady_state_throughput_fallback_for_small_traces(self):
+        requests = [_completed_request(i, latency=1.0) for i in range(5)]
+        result = collect_result("test", requests, makespan_s=5.0)
+        assert result.steady_state_throughput() == pytest.approx(result.throughput_seq_per_s)
+
+    def test_stage_time_stats(self):
+        requests = [_completed_request(0, latency=1.0)]
+        result = collect_result(
+            "test",
+            requests,
+            makespan_s=1.0,
+            stage_times={"decode": [1.0, 1.1, 0.9, 1.0]},
+        )
+        stats = result.stage_time_stats("decode")
+        assert stats["mean"] == pytest.approx(1.0)
+        assert stats["p99_range_pct"] > 0
+        assert result.stage_time_stats("encode")["mean"] == 0.0
+
+    def test_empty_result_is_safe(self):
+        result = RunResult(
+            system="x", makespan_s=0.0, num_requests=0,
+            total_generated_tokens=0, latencies_s=(),
+        )
+        assert result.throughput_seq_per_s == 0.0
+        assert result.p99_latency_s == 0.0
+        assert result.mean_latency_s == 0.0

@@ -1,0 +1,127 @@
+"""Tests for the pipelined-execution timeline, including property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.timeline import Timeline
+
+
+class TestBasicScheduling:
+    def test_single_task(self):
+        tl = Timeline()
+        t = tl.add_task("s0", 2.0)
+        assert tl.finish_time(t) == pytest.approx(2.0)
+        assert tl.makespan_s == pytest.approx(2.0)
+
+    def test_stage_serializes_tasks(self):
+        tl = Timeline()
+        a = tl.add_task("s0", 1.0)
+        b = tl.add_task("s0", 2.0)
+        assert tl.start_time(b) == pytest.approx(tl.finish_time(a))
+
+    def test_independent_stages_overlap(self):
+        tl = Timeline()
+        tl.add_task("s0", 3.0)
+        tl.add_task("s1", 3.0)
+        assert tl.makespan_s == pytest.approx(3.0)
+
+    def test_dependency_delays_start(self):
+        tl = Timeline()
+        a = tl.add_task("s0", 2.0)
+        b = tl.add_task("s1", 1.0, deps=(a,))
+        assert tl.start_time(b) == pytest.approx(2.0)
+
+    def test_forward_dependency_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.add_task("s0", 1.0, deps=(5,))
+
+    def test_negative_duration_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.add_task("s0", -1.0)
+
+    def test_cannot_add_after_run(self):
+        tl = Timeline()
+        tl.add_task("s0", 1.0)
+        tl.run()
+        with pytest.raises(RuntimeError):
+            tl.add_task("s0", 1.0)
+
+    def test_empty_timeline(self):
+        assert Timeline().makespan_s == 0.0
+
+
+class TestPipelineBehaviour:
+    def test_two_stage_pipeline_with_two_micro_batches(self):
+        """Classic pipeline: fill + steady state = sum + (m-1)*bottleneck."""
+        tl = Timeline()
+        last = {}
+        for mb in range(2):
+            prev = None
+            for stage in range(2):
+                deps = (prev,) if prev is not None else ()
+                prev = tl.add_task(f"s{stage}", 1.0, deps)
+            last[mb] = prev
+        assert tl.makespan_s == pytest.approx(3.0)
+
+    def test_autoregressive_dependency_creates_bubble(self):
+        """One batch on a 3-stage pipeline: iteration k+1 waits for k."""
+        tl = Timeline()
+        prev_iter_last = None
+        for _ in range(2):
+            prev = prev_iter_last
+            for stage in range(3):
+                deps = (prev,) if prev is not None else ()
+                prev = tl.add_task(f"s{stage}", 1.0, deps)
+            prev_iter_last = prev
+        assert tl.makespan_s == pytest.approx(6.0)
+
+    def test_utilization_sums_busy_time(self):
+        tl = Timeline()
+        tl.add_task("s0", 1.0)
+        tl.add_task("s1", 4.0)
+        util = tl.stage_utilization()
+        assert util["s1"] == pytest.approx(1.0)
+        assert util["s0"] == pytest.approx(0.25)
+        busy = tl.stage_busy_time()
+        assert busy["s0"] == pytest.approx(1.0)
+
+
+class TestTimelineProperties:
+    @given(
+        durations=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # stage
+                st.floats(min_value=0.0, max_value=5.0),  # duration
+                st.integers(min_value=0, max_value=4),  # dep offset
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_stage_overlap_and_deps_respected(self, durations):
+        tl = Timeline()
+        ids = []
+        for stage, duration, dep_offset in durations:
+            deps = ()
+            if ids and dep_offset > 0:
+                deps = (ids[max(len(ids) - dep_offset, 0)],)
+            ids.append(tl.add_task(f"s{stage}", duration, deps))
+        tl.run()
+        tasks = tl.tasks
+        # Dependencies respected.
+        for task in tasks:
+            for dep in task.deps:
+                assert task.start_s >= tasks[dep].finish_s - 1e-9
+        # No two tasks on the same stage overlap.
+        by_stage: dict[object, list] = {}
+        for task in tasks:
+            by_stage.setdefault(task.stage, []).append(task)
+        for stage_tasks in by_stage.values():
+            ordered = sorted(stage_tasks, key=lambda t: t.start_s)
+            for earlier, later in zip(ordered, ordered[1:]):
+                assert later.start_s >= earlier.finish_s - 1e-9
+        # Makespan is the max finish time.
+        assert tl.makespan_s == pytest.approx(max(t.finish_s for t in tasks))

@@ -1,0 +1,94 @@
+"""Tests for the experiment (figure/table) reproduction modules.
+
+These use heavily scaled-down configurations so they run quickly; the full
+configurations are exercised by the benchmark suite.
+"""
+
+import pytest
+
+import repro.experiments as ex
+
+
+class TestConfigTables:
+    def test_table1_rows(self):
+        rows = ex.run_table1()
+        assert len(rows) == 6
+        opt = next(r for r in rows if "OPT" in r["model"])
+        assert opt["layers"] == 40 and opt["hidden"] == 5120
+
+    def test_table2_contains_both_clusters_and_all_deployments(self):
+        rows = ex.run_table2()
+        clusters = {r["cluster"] for r in rows}
+        assert clusters == {"A40", "A100"}
+        deploy_rows = [r for r in rows if str(r["gpu"]).startswith("deploy:")]
+        assert len(deploy_rows) == 6
+
+    def test_table3_has_five_tasks(self):
+        rows = ex.run_table3()
+        assert len(rows) == 5
+        assert {r["id"] for r in rows} == {"S", "T", "G", "C1", "C2"}
+
+
+class TestTable4:
+    def test_trend_matches_paper(self):
+        rows = ex.run_table4()
+        dram = [r["dram_s"] for r in rows]
+        ssd = [r["ssd_s"] for r in rows]
+        assert all(s > d for s, d in zip(ssd, dram))
+        assert dram == sorted(dram)
+        assert ssd == sorted(ssd)
+
+    def test_magnitudes_within_factor_three_of_paper(self):
+        rows = {r["model"].replace("GPT-3 ", "GPT3-"): r for r in ex.run_table4()}
+        for model, published in ex.PAPER_TABLE4.items():
+            ours = rows[model]
+            assert ours["ssd_s"] / published["ssd_s"] < 3.0
+            assert published["ssd_s"] / ours["ssd_s"] < 3.0
+
+
+class TestFormatting:
+    def test_format_table_renders_all_rows(self):
+        text = ex.format_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}], ["a", "b"], title="T"
+        )
+        assert "T" in text and "10" in text and "0.25" in text
+
+
+@pytest.mark.slow
+class TestMeasuredExperiments:
+    """Scaled-down versions of the measured experiments (marked slow)."""
+
+    def test_figure7_subset_ft_strongest(self):
+        rows = ex.run_figure7(tasks=("S",), num_requests=160, bounds_subset=(1, 3))
+        assert rows
+        assert ex.ft_wins(rows)
+
+    def test_figure6_subset_exegpt_beats_ft(self):
+        rows = ex.run_figure6(
+            models=("OPT-13B",), tasks=("S",), num_requests=320, bounds_subset=(0, 3)
+        )
+        speedups = ex.figure6_speedups(rows)
+        assert speedups
+        assert max(speedups.values()) > 1.0
+
+    def test_figure9_subset_reports_both_systems(self):
+        rows = ex.run_figure9(models=("OPT-13B",), tasks=("T",))
+        systems = {r.system for r in rows}
+        assert "ft" in systems
+        assert any(s.startswith("waa") for s in systems)
+
+    def test_table5_mostly_monotonic(self):
+        rows = ex.run_table5(tasks=("S",), tolerances_pct=(5.0,))
+        assert ex.overall_monotonic_fraction(rows, 5.0) > 0.8
+
+    def test_table6_throughput_increases_with_relaxed_bounds(self):
+        rows = ex.run_table6()
+        feasible = [r for r in rows if r.throughput_seq_per_s > 0]
+        assert len(feasible) >= 3
+        tputs = [r.throughput_seq_per_s for r in feasible]
+        assert tputs == sorted(tputs)
+        assert ex.tightest_to_max_throughput_ratio(rows) > 0.3
+
+    def test_scheduling_cost_branch_and_bound_cheaper(self):
+        rows = ex.run_scheduling_cost(max_encode_batch=16, methods=("branch_and_bound", "exhaustive"))
+        assert ex.search_efficiency(rows) > 2.0

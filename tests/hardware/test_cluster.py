@@ -1,0 +1,57 @@
+"""Tests for cluster topology and sub-cluster derivation."""
+
+import pytest
+
+from repro.hardware.cluster import Cluster, a40_cluster, a100_cluster
+from repro.hardware.gpu import get_gpu
+from repro.hardware.interconnect import A40_TOPOLOGY
+
+
+class TestPaperClusters:
+    def test_a40_cluster_matches_table2(self):
+        cluster = a40_cluster()
+        assert cluster.num_gpus == 48
+        assert cluster.gpus_per_node == 8
+        assert cluster.num_nodes == 6
+        assert cluster.gpu.memory_gb == 48.0
+
+    def test_a100_cluster_matches_table2(self):
+        cluster = a100_cluster()
+        assert cluster.num_gpus == 16
+        assert cluster.num_nodes == 2
+        assert cluster.gpu.memory_gb == 80.0
+
+    def test_subcluster_sizes(self):
+        assert a40_cluster(4).num_gpus == 4
+        assert a40_cluster(16).num_gpus == 16
+        assert a100_cluster(16).num_gpus == 16
+
+
+class TestPlacementQueries:
+    def test_node_of_and_same_node(self):
+        cluster = a40_cluster()
+        assert cluster.node_of(0) == 0
+        assert cluster.node_of(8) == 1
+        assert cluster.same_node(0, 7)
+        assert not cluster.same_node(7, 8)
+
+    def test_group_spans_nodes(self):
+        cluster = a40_cluster()
+        assert not cluster.group_spans_nodes([0, 1, 2, 3])
+        assert cluster.group_spans_nodes([6, 7, 8])
+        assert not cluster.group_spans_nodes([])
+
+    def test_index_bounds_checked(self):
+        cluster = a40_cluster(4)
+        with pytest.raises(IndexError):
+            cluster.node_of(4)
+
+    def test_subcluster_invalid_size(self):
+        with pytest.raises(ValueError):
+            a40_cluster().subcluster(0)
+        with pytest.raises(ValueError):
+            a40_cluster().subcluster(100)
+
+    def test_invalid_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(gpu=get_gpu("A40"), gpus_per_node=0, num_nodes=1, topology=A40_TOPOLOGY)

@@ -1,0 +1,59 @@
+"""Tests for collective-communication cost models."""
+
+import pytest
+
+from repro.hardware.cluster import a40_cluster, a100_cluster
+from repro.hardware.collectives import CollectiveModel
+
+
+@pytest.fixture(scope="module")
+def a40_model() -> CollectiveModel:
+    return CollectiveModel(a40_cluster(8))
+
+
+@pytest.fixture(scope="module")
+def a100_model() -> CollectiveModel:
+    return CollectiveModel(a100_cluster(8))
+
+
+class TestAllReduce:
+    def test_single_gpu_is_free(self, a40_model):
+        assert a40_model.allreduce_time(1e9, group_size=1) == 0.0
+
+    def test_zero_bytes_is_free(self, a40_model):
+        assert a40_model.allreduce_time(0, group_size=4) == 0.0
+
+    def test_cost_grows_with_bytes(self, a40_model):
+        assert a40_model.allreduce_time(2e8, 4) > a40_model.allreduce_time(1e8, 4)
+
+    def test_cost_grows_with_group_size(self, a40_model):
+        assert a40_model.allreduce_time(1e8, 8) > a40_model.allreduce_time(1e8, 2)
+
+    def test_nvlink_cheaper_than_pcie(self, a40_model, a100_model):
+        assert a100_model.allreduce_time(1e8, 8) < a40_model.allreduce_time(1e8, 8)
+
+    def test_cross_node_more_expensive(self, a40_model):
+        intra = a40_model.allreduce_time(1e8, 8, spans_nodes=False)
+        inter = a40_model.allreduce_time(1e8, 8, spans_nodes=True)
+        assert inter > intra
+
+    def test_invalid_args_rejected(self, a40_model):
+        with pytest.raises(ValueError):
+            a40_model.allreduce_time(1e6, 0)
+        with pytest.raises(ValueError):
+            a40_model.allreduce_time(-1, 2)
+
+
+class TestPointToPoint:
+    def test_same_node_cheaper(self, a40_model):
+        assert a40_model.p2p_time(1e8, same_node=True) < a40_model.p2p_time(1e8, same_node=False)
+
+    def test_pipeline_activation_uses_topology(self, a40_model):
+        intra = a40_model.pipeline_activation_time(1e7, 0, 1)
+        inter = a40_model.pipeline_activation_time(1e7, 7, 8) if a40_model.cluster.num_gpus > 8 else None
+        assert intra > 0
+
+    def test_staged_host_transfer_pays_two_hops(self, a40_model):
+        single = a40_model.cluster.topology.host.transfer_time(1e8)
+        staged = a40_model.staged_host_transfer_time(1e8)
+        assert staged == pytest.approx(2 * single)

@@ -1,0 +1,68 @@
+"""Tests for GPU device specs and the device registry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.gpu import A40, A100, GPUSpec, get_gpu, known_gpus, register_gpu
+
+
+class TestGPUSpec:
+    def test_peak_flops_conversion(self):
+        assert A100.peak_flops == pytest.approx(312.0e12)
+
+    def test_memory_bytes_conversion(self):
+        assert A40.memory_bytes == pytest.approx(48 * 1024 ** 3)
+
+    def test_bandwidth_conversion(self):
+        assert A100.memory_bandwidth_bytes_per_s == pytest.approx(2039e9)
+
+    def test_a100_is_faster_than_a40(self):
+        assert A100.peak_fp16_tflops > A40.peak_fp16_tflops
+        assert A100.memory_bandwidth_gbps > A40.memory_bandwidth_gbps
+        assert A100.memory_gb > A40.memory_gb
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(name="bad", peak_fp16_tflops=0, memory_gb=1, memory_bandwidth_gbps=1)
+        with pytest.raises(ValueError):
+            GPUSpec(name="bad", peak_fp16_tflops=1, memory_gb=-1, memory_bandwidth_gbps=1)
+        with pytest.raises(ValueError):
+            GPUSpec(
+                name="bad",
+                peak_fp16_tflops=1,
+                memory_gb=1,
+                memory_bandwidth_gbps=1,
+                max_efficiency=1.5,
+            )
+
+    def test_efficiency_zero_at_zero_tokens(self):
+        assert A40.efficiency(0) == 0.0
+
+    def test_efficiency_bounded_by_max(self):
+        assert A40.efficiency(10 ** 9) <= A40.max_efficiency
+
+    @given(st.floats(min_value=1, max_value=1e6), st.floats(min_value=1, max_value=1e6))
+    def test_efficiency_monotonic_in_tokens(self, a, b):
+        lo, hi = sorted((a, b))
+        assert A100.efficiency(lo) <= A100.efficiency(hi) + 1e-12
+
+
+class TestRegistry:
+    def test_lookup_by_alias(self):
+        assert get_gpu("a40") is A40
+        assert get_gpu("A100-80GB") is A100
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_gpu("H100")
+
+    def test_known_gpus_lists_both(self):
+        names = known_gpus()
+        assert "A40-48GB" in names and "A100-80GB" in names
+
+    def test_register_custom_gpu(self):
+        custom = GPUSpec(
+            name="Test-GPU", peak_fp16_tflops=100, memory_gb=24, memory_bandwidth_gbps=900
+        )
+        register_gpu("TEST-GPU", custom)
+        assert get_gpu("test-gpu") is custom

@@ -1,0 +1,59 @@
+"""Tests for interconnect link models and topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.interconnect import (
+    A40_TOPOLOGY,
+    A100_TOPOLOGY,
+    INFINIBAND_100G,
+    LinkSpec,
+    NVLINK3,
+    PCIE4_X16,
+    get_link,
+)
+
+
+class TestLinkSpec:
+    def test_zero_bytes_costs_nothing(self):
+        assert NVLINK3.transfer_time(0) == 0.0
+
+    def test_transfer_time_includes_latency(self):
+        tiny = PCIE4_X16.transfer_time(1)
+        assert tiny >= PCIE4_X16.latency_us * 1e-6
+
+    def test_nvlink_faster_than_pcie(self):
+        payload = 100e6
+        assert NVLINK3.transfer_time(payload) < PCIE4_X16.transfer_time(payload)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NVLINK3.transfer_time(-1)
+
+    def test_invalid_link_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(name="bad", bandwidth_gbps=0, latency_us=1)
+
+    @given(st.floats(min_value=0, max_value=1e12), st.floats(min_value=0, max_value=1e12))
+    def test_transfer_time_monotonic(self, a, b):
+        lo, hi = sorted((a, b))
+        assert NVLINK3.transfer_time(lo) <= NVLINK3.transfer_time(hi) + 1e-12
+
+
+class TestTopology:
+    def test_registry_lookup(self):
+        assert get_link("nvlink") is NVLINK3
+        with pytest.raises(KeyError):
+            get_link("token-ring")
+
+    def test_a40_uses_pcie_intra_node(self):
+        assert A40_TOPOLOGY.intra_node is PCIE4_X16
+        assert A40_TOPOLOGY.inter_node is INFINIBAND_100G
+
+    def test_a100_intra_node_faster_than_a40(self):
+        payload = 10e6
+        assert A100_TOPOLOGY.intra_node.transfer_time(payload) < A40_TOPOLOGY.intra_node.transfer_time(payload)
+
+    def test_link_between_selects_by_locality(self):
+        assert A40_TOPOLOGY.link_between(same_node=True) is PCIE4_X16
+        assert A40_TOPOLOGY.link_between(same_node=False) is INFINIBAND_100G

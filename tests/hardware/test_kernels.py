@@ -1,0 +1,105 @@
+"""Tests for the roofline kernel cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.gpu import A40, A100
+from repro.hardware.kernels import KernelCost, KernelModel, ZERO_COST
+
+
+@pytest.fixture(scope="module")
+def model() -> KernelModel:
+    return KernelModel(A100)
+
+
+class TestKernelCost:
+    def test_total_is_roofline_plus_launch(self):
+        cost = KernelCost(compute_s=2.0, memory_s=1.0, launch_s=0.5)
+        assert cost.total_s == pytest.approx(2.5)
+
+    def test_addition(self):
+        total = KernelCost(1, 2, 3) + KernelCost(4, 5, 6)
+        assert (total.compute_s, total.memory_s, total.launch_s) == (5, 7, 9)
+
+
+class TestGemm:
+    def test_zero_dims_cost_nothing(self, model):
+        assert model.gemm(0, 128, 128) is ZERO_COST
+
+    def test_negative_dims_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.gemm(-1, 2, 3)
+
+    def test_large_gemm_is_compute_bound(self, model):
+        cost = model.gemm(4096, 4096, 4096)
+        assert cost.compute_s > cost.memory_s
+
+    def test_small_gemm_runs_far_below_peak(self, model):
+        """Single-row GEMMs (decode) achieve a tiny fraction of the effective
+        FLOP rate of large GEMMs (prefill) -- the asymmetry ExeGPT exploits."""
+        flops = lambda m: 2.0 * m * 8192 * 8192
+        small_rate = flops(1) / model.gemm(1, 8192, 8192).total_s
+        large_rate = flops(4096) / model.gemm(4096, 8192, 8192).total_s
+        assert large_rate > 20 * small_rate
+
+    def test_faster_gpu_is_faster(self):
+        a40 = KernelModel(A40).gemm(1024, 4096, 4096)
+        a100 = KernelModel(A100).gemm(1024, 4096, 4096)
+        assert a100.total_s < a40.total_s
+
+    @given(
+        m=st.integers(min_value=1, max_value=4096),
+        scale=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cost_monotonic_in_m(self, model, m, scale):
+        small = model.gemm(m, 1024, 1024).total_s
+        large = model.gemm(m * scale, 1024, 1024).total_s
+        assert large >= small - 1e-12
+
+
+class TestAttention:
+    def test_decode_attention_is_memory_bound(self, model):
+        cost = model.attention(batch=8, query_len=1, key_len=512, num_heads=32, head_dim=128)
+        assert cost.memory_s > cost.compute_s
+
+    def test_prefill_more_expensive_than_decode_step(self, model):
+        prefill = model.attention(8, 512, 512, 32, 128).total_s
+        decode = model.attention(8, 1, 512, 32, 128).total_s
+        assert prefill > decode
+
+    def test_cost_grows_with_context(self, model):
+        short = model.attention(8, 1, 128, 32, 128).total_s
+        long = model.attention(8, 1, 2048, 32, 128).total_s
+        assert long > short
+
+
+class TestLayerCosts:
+    def test_tensor_parallel_reduces_dense_cost(self, model):
+        single = model.dense_layer_cost(1024, 4096, 16384, tp_degree=1).total_s
+        split = model.dense_layer_cost(1024, 4096, 16384, tp_degree=4).total_s
+        assert split < single
+
+    def test_cross_attention_adds_cost(self, model):
+        without = model.dense_layer_cost(1024, 4096, 16384).total_s
+        with_cross = model.dense_layer_cost(1024, 4096, 16384, has_cross_attention=True).total_s
+        assert with_cross > without
+
+    def test_attention_layer_cross_term(self, model):
+        plain = model.attention_layer_cost(8, 1, 256, 32, 128).total_s
+        cross = model.attention_layer_cost(8, 1, 256, 32, 128, cross_key_len=256).total_s
+        assert cross > plain
+
+    def test_invalid_tp_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.dense_layer_cost(16, 512, 2048, tp_degree=0)
+
+    def test_memcpy_scales_with_bytes(self, model):
+        assert model.memcpy(2e9).total_s > model.memcpy(1e9).total_s
+        assert model.memcpy(0) is ZERO_COST
+
+    def test_encode_orders_of_magnitude_above_decode_step(self, model):
+        """The paper's premise: input encoding cost >> one decoding step."""
+        encode = model.dense_layer_cost(64 * 256, 5120, 20480).total_s
+        decode = model.dense_layer_cost(64, 5120, 20480).total_s
+        assert encode > 20 * decode

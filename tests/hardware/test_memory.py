@@ -1,0 +1,56 @@
+"""Tests for the per-GPU memory budget."""
+
+import pytest
+
+from repro.hardware.gpu import A40
+from repro.hardware.memory import GIB, MemoryBudget, OutOfMemoryError
+
+
+@pytest.fixture
+def budget() -> MemoryBudget:
+    return MemoryBudget(gpu=A40)
+
+
+class TestMemoryBudget:
+    def test_capacity_reserves_framework_memory(self, budget):
+        assert budget.capacity_bytes < A40.memory_bytes
+        assert budget.capacity_bytes == pytest.approx(A40.memory_bytes * 0.92)
+
+    def test_allocate_and_release(self, budget):
+        budget.allocate("weights", 10 * GIB)
+        budget.allocate("kv_cache", 5 * GIB)
+        assert budget.used_bytes == pytest.approx(15 * GIB)
+        budget.release("kv_cache", 5 * GIB)
+        assert budget.kv_cache_bytes == 0.0
+
+    def test_over_allocation_raises(self, budget):
+        with pytest.raises(OutOfMemoryError):
+            budget.allocate("weights", 100 * GIB)
+
+    def test_unknown_category_rejected(self, budget):
+        with pytest.raises(ValueError):
+            budget.allocate("scratch", 1.0)
+
+    def test_negative_allocation_rejected(self, budget):
+        with pytest.raises(ValueError):
+            budget.allocate("weights", -1.0)
+
+    def test_release_below_zero_rejected(self, budget):
+        with pytest.raises(ValueError):
+            budget.release("weights", 1 * GIB)
+
+    def test_fits_probe(self, budget):
+        assert budget.fits(10 * GIB)
+        assert not budget.fits(100 * GIB)
+
+    def test_snapshot_accounts_all_categories(self, budget):
+        budget.allocate("weights", 8 * GIB)
+        budget.allocate("activation", 2 * GIB)
+        snap = budget.snapshot_gib()
+        assert snap["weights"] == pytest.approx(8.0)
+        assert snap["activation"] == pytest.approx(2.0)
+        assert snap["free"] + snap["weights"] + snap["activation"] + snap["kv_cache"] == pytest.approx(snap["capacity"])
+
+    def test_invalid_reserved_fraction(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(gpu=A40, reserved_fraction=1.5)

@@ -1,0 +1,44 @@
+"""Tests for the model-loading (deployment) cost model."""
+
+import pytest
+
+from repro.hardware.storage import DRAM, SSD, StorageSpec, load_time_s
+from repro.models.catalog import GPT3_39B, GPT3_341B
+
+
+class TestLoadTime:
+    def test_dram_faster_than_ssd(self):
+        size = GPT3_39B.total_bytes
+        assert load_time_s(size, 16, DRAM) < load_time_s(size, 16, SSD)
+
+    def test_larger_model_takes_longer(self):
+        assert load_time_s(GPT3_341B.total_bytes, 48, SSD) > load_time_s(
+            GPT3_39B.total_bytes, 48, SSD
+        )
+
+    def test_more_gpus_load_faster(self):
+        size = GPT3_341B.total_bytes
+        assert load_time_s(size, 48, SSD) < load_time_s(size, 8, SSD)
+
+    def test_replication_increases_time(self):
+        size = GPT3_39B.total_bytes
+        assert load_time_s(size, 16, DRAM, replication_factor=2.0) > load_time_s(
+            size, 16, DRAM
+        )
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            load_time_s(-1, 4, SSD)
+        with pytest.raises(ValueError):
+            load_time_s(1e9, 0, SSD)
+        with pytest.raises(ValueError):
+            load_time_s(1e9, 4, SSD, replication_factor=0.5)
+        with pytest.raises(ValueError):
+            StorageSpec(name="bad", per_gpu_bandwidth_gbps=0, setup_s=0)
+
+    def test_table4_magnitudes(self):
+        """Redeploying from DRAM stays within a few seconds (Table 4)."""
+        dram = load_time_s(GPT3_341B.total_bytes, 48, DRAM)
+        ssd = load_time_s(GPT3_341B.total_bytes, 48, SSD)
+        assert 1.0 < dram < 8.0
+        assert 5.0 < ssd < 30.0

@@ -1,0 +1,90 @@
+"""Tests for the model catalog (Table 1) and deployments (Table 2)."""
+
+import pytest
+
+from repro.models.catalog import (
+    DEPLOYMENTS,
+    GPT3_39B,
+    GPT3_101B,
+    GPT3_175B,
+    GPT3_341B,
+    OPT_13B,
+    T5_11B,
+    deployment_for,
+    get_model,
+    known_models,
+)
+
+
+class TestTable1:
+    @pytest.mark.parametrize(
+        "model,layers,hidden,heads",
+        [
+            (T5_11B, 48, 1024, 128),
+            (OPT_13B, 40, 5120, 40),
+            (GPT3_39B, 48, 8192, 64),
+            (GPT3_101B, 80, 10240, 80),
+            (GPT3_175B, 96, 12288, 96),
+            (GPT3_341B, 120, 15360, 120),
+        ],
+    )
+    def test_architectural_parameters(self, model, layers, hidden, heads):
+        assert model.num_layers == layers
+        assert model.hidden_size == hidden
+        assert model.num_heads == heads
+
+    @pytest.mark.parametrize(
+        "model,params_b,tolerance",
+        [
+            (OPT_13B, 13, 0.15),
+            (GPT3_39B, 39, 0.15),
+            (GPT3_101B, 101, 0.15),
+            (GPT3_175B, 175, 0.15),
+            (GPT3_341B, 341, 0.15),
+        ],
+    )
+    def test_parameter_counts_near_nominal(self, model, params_b, tolerance):
+        actual = model.total_parameters / 1e9
+        assert abs(actual - params_b) / params_b < tolerance
+
+    def test_t5_is_encoder_decoder_others_not(self):
+        assert T5_11B.is_encoder_decoder
+        assert not OPT_13B.is_encoder_decoder
+        assert not GPT3_175B.is_encoder_decoder
+
+
+class TestLookup:
+    def test_get_model_aliases(self):
+        assert get_model("OPT-13B") is OPT_13B
+        assert get_model("opt 13b") is OPT_13B
+        assert get_model("GPT-3 175B") is GPT3_175B
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model("LLaMA-65B")
+
+    def test_known_models_count(self):
+        assert len(known_models()) == 6
+
+
+class TestTable2Deployments:
+    def test_all_models_have_a_deployment(self):
+        assert set(DEPLOYMENTS) == set(known_models())
+
+    @pytest.mark.parametrize(
+        "model,cluster,gpus",
+        [
+            ("T5-11B", "A40", 8),
+            ("OPT-13B", "A40", 4),
+            ("GPT3-39B", "A40", 16),
+            ("GPT3-101B", "A100", 16),
+            ("GPT3-175B", "A100", 16),
+            ("GPT3-341B", "A40", 48),
+        ],
+    )
+    def test_deployments_match_table2(self, model, cluster, gpus):
+        assert deployment_for(model) == (cluster, gpus)
+
+    def test_unknown_deployment_raises(self):
+        with pytest.raises(KeyError):
+            deployment_for("GPT-4")

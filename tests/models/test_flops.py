@@ -1,0 +1,69 @@
+"""Tests for per-layer FLOP/byte calculators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.catalog import GPT3_175B, OPT_13B, T5_11B
+from repro.models.flops import decoder_layer_work, encoder_layer_work, sequence_flops
+
+
+class TestEncoderLayerWork:
+    def test_flops_scale_with_tokens(self):
+        small = encoder_layer_work(OPT_13B, batch=1, input_len=128)
+        large = encoder_layer_work(OPT_13B, batch=4, input_len=128)
+        assert large.flops == pytest.approx(4 * small.flops, rel=0.05)
+
+    def test_attention_quadratic_in_length(self):
+        short = encoder_layer_work(OPT_13B, 1, 128).flops
+        long = encoder_layer_work(OPT_13B, 1, 256).flops
+        # Dense part doubles, attention part quadruples: ratio in (2, 4).
+        assert 2.0 < long / short < 4.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            encoder_layer_work(OPT_13B, -1, 10)
+
+
+class TestDecoderLayerWork:
+    def test_decode_step_much_cheaper_than_prefill(self):
+        prefill = encoder_layer_work(OPT_13B, 8, 256).flops
+        step = decoder_layer_work(OPT_13B, 8, 256).flops
+        assert prefill > 50 * step
+
+    def test_weight_bytes_independent_of_batch(self):
+        a = decoder_layer_work(OPT_13B, 1, 128).weight_bytes
+        b = decoder_layer_work(OPT_13B, 64, 128).weight_bytes
+        assert a == b
+
+    def test_cross_attention_models_have_heavier_layers(self):
+        t5 = decoder_layer_work(T5_11B, 4, 64, input_len=128)
+        assert t5.weight_bytes == T5_11B.layer_bytes(with_cross_attention=True)
+
+    @given(
+        batch=st.integers(min_value=1, max_value=64),
+        context=st.integers(min_value=1, max_value=1024),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_work_monotone_in_context(self, batch, context):
+        small = decoder_layer_work(OPT_13B, batch, context).flops
+        large = decoder_layer_work(OPT_13B, batch, context + 64).flops
+        assert large >= small
+
+
+class TestSequenceFlops:
+    def test_generating_one_token_costs_tens_of_gigaflops(self):
+        """The introduction's claim: hundreds of billions of FLOPs per token
+        for very large models; OPT-13B is ~26 GFLOPs/token (2x params)."""
+        flops = sequence_flops(OPT_13B, input_len=1, output_len=1)
+        assert flops > 2 * OPT_13B.total_parameters * 0.8
+
+    def test_gpt3_175b_token_cost(self):
+        flops = sequence_flops(GPT3_175B, input_len=1, output_len=1)
+        assert flops > 3e11  # hundreds of billions of FLOPs
+
+    def test_flops_increase_with_output_length(self):
+        assert sequence_flops(OPT_13B, 64, 16) > sequence_flops(OPT_13B, 64, 8)
+
+    def test_invalid_output_rejected(self):
+        with pytest.raises(ValueError):
+            sequence_flops(OPT_13B, 64, -1)

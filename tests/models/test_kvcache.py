@@ -1,0 +1,52 @@
+"""Tests for KV-cache sizing."""
+
+import pytest
+
+from repro.models.catalog import OPT_13B, T5_11B
+from repro.models.kvcache import (
+    kv_cache_bytes_for_batch,
+    kv_cache_bytes_per_request,
+    max_batch_for_memory,
+)
+
+
+class TestKVCacheSizing:
+    def test_per_request_scales_with_lengths(self):
+        short = kv_cache_bytes_per_request(OPT_13B, 128, 32)
+        long = kv_cache_bytes_per_request(OPT_13B, 256, 64)
+        assert long == pytest.approx(2 * short)
+
+    def test_per_request_scales_with_layers(self):
+        full = kv_cache_bytes_per_request(OPT_13B, 128, 32)
+        half = kv_cache_bytes_per_request(OPT_13B, 128, 32, num_layers=20)
+        assert half == pytest.approx(full / 2)
+
+    def test_batch_cache_is_linear_in_batch(self):
+        one = kv_cache_bytes_for_batch(OPT_13B, 1, 128, 32)
+        many = kv_cache_bytes_for_batch(OPT_13B, 64, 128, 32)
+        assert many == pytest.approx(64 * one)
+
+    def test_encoder_decoder_counts_cross_attention_memory(self):
+        t5 = kv_cache_bytes_per_request(T5_11B, input_len=128, output_len=0)
+        assert t5 > 0  # the encoded input is cached for cross-attention
+
+    def test_max_batch_inverse_of_per_request(self):
+        per_request = kv_cache_bytes_per_request(OPT_13B, 128, 64)
+        batch = max_batch_for_memory(OPT_13B, per_request * 10.5, 128, 64)
+        assert batch == 10
+
+    def test_max_batch_with_zero_memory(self):
+        assert max_batch_for_memory(OPT_13B, 0, 128, 64) == 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            kv_cache_bytes_per_request(OPT_13B, -1, 1)
+        with pytest.raises(ValueError):
+            kv_cache_bytes_for_batch(OPT_13B, -1, 1, 1)
+        with pytest.raises(ValueError):
+            max_batch_for_memory(OPT_13B, -1, 1, 1)
+
+    def test_opt13b_magnitude(self):
+        """One 600-token OPT-13B request occupies roughly 0.5 GiB of cache."""
+        size_gib = kv_cache_bytes_per_request(OPT_13B, 512, 80) / 1024 ** 3
+        assert 0.2 < size_gib < 1.5

@@ -1,0 +1,48 @@
+"""Tests for transformer model specifications."""
+
+import pytest
+
+from repro.models.spec import Architecture, ModelSpec
+
+
+class TestModelSpec:
+    def test_default_ffn_is_4x_hidden(self, tiny_model):
+        assert tiny_model.ffn_size == 4 * tiny_model.hidden_size
+
+    def test_head_dim(self, tiny_model):
+        assert tiny_model.head_dim == tiny_model.hidden_size // tiny_model.num_heads
+
+    def test_decoder_only_layer_split(self, tiny_model):
+        assert tiny_model.num_encoder_layers == tiny_model.num_layers
+        assert tiny_model.num_decoder_layers == tiny_model.num_layers
+        assert not tiny_model.decoder_has_cross_attention
+
+    def test_encoder_decoder_layer_split(self, tiny_encdec_model):
+        assert tiny_encdec_model.num_encoder_layers == tiny_encdec_model.num_layers // 2
+        assert (
+            tiny_encdec_model.num_encoder_layers + tiny_encdec_model.num_decoder_layers
+            == tiny_encdec_model.num_layers
+        )
+        assert tiny_encdec_model.decoder_has_cross_attention
+
+    def test_cross_attention_increases_layer_params(self, tiny_model):
+        assert tiny_model.layer_parameters(True) > tiny_model.layer_parameters(False)
+
+    def test_total_parameters_positive_and_consistent(self, tiny_model, tiny_encdec_model):
+        for model in (tiny_model, tiny_encdec_model):
+            assert model.total_parameters > 0
+            assert model.total_bytes == model.total_parameters * model.dtype_bytes
+
+    def test_kv_bytes_per_token(self, tiny_model):
+        per_layer = tiny_model.kv_bytes_per_token_per_layer()
+        assert per_layer == 2 * tiny_model.hidden_size * tiny_model.dtype_bytes
+        assert tiny_model.kv_bytes_per_token() == per_layer * tiny_model.num_decoder_layers
+        assert tiny_model.kv_bytes_per_token(num_layers=2) == 2 * per_layer
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", Architecture.DECODER_ONLY, 0, 512, 8)
+        with pytest.raises(ValueError):
+            ModelSpec("bad", Architecture.DECODER_ONLY, 4, 510, 8)  # not divisible
+        with pytest.raises(ValueError):
+            ModelSpec("bad", Architecture.DECODER_ONLY, 4, 512, 8, dtype_bytes=3)

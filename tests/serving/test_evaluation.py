@@ -1,0 +1,69 @@
+"""Tests for the scenario evaluation harness."""
+
+import pytest
+
+from repro.core.config import LatencyConstraint, SchedulePolicy
+from repro.serving.evaluation import (
+    ScenarioEvaluation,
+    default_baselines,
+    measure_baseline,
+    measure_exegpt,
+    speedup_over,
+)
+from repro.workloads.synthetic import generate_trace_from_distributions
+
+
+@pytest.fixture(scope="module")
+def trace(short_input_dist, short_output_dist):
+    return generate_trace_from_distributions(
+        short_input_dist, short_output_dist, num_requests=64, seed=9
+    )
+
+
+class TestDefaultBaselines:
+    def test_instantiates_requested_systems(self, tiny_engine):
+        systems = default_baselines(tiny_engine, ("ft", "dsi", "orca", "vllm"))
+        assert [s.name for s in systems] == ["ft", "dsi", "orca", "vllm"]
+
+    def test_unknown_baseline_rejected(self, tiny_engine):
+        with pytest.raises(KeyError):
+            default_baselines(tiny_engine, ("tensorrt",))
+
+
+class TestMeasurement:
+    def test_measure_baseline_reports_batch(self, tiny_engine, trace):
+        (ft,) = default_baselines(tiny_engine, ("ft",))
+        constraint = LatencyConstraint(bound_s=float("inf"), label="Inf")
+        row = measure_baseline(ft, trace, constraint)
+        assert row.system == "ft"
+        assert row.throughput_seq_per_s > 0
+        assert row.bound_label == "Inf"
+        assert row.config_description.startswith("batch=")
+
+    def test_measure_exegpt_reports_schedule(self, tiny_engine, trace):
+        constraint = LatencyConstraint(bound_s=float("inf"), label="Inf")
+        row = measure_exegpt(tiny_engine, trace, constraint, policies=(SchedulePolicy.RRA,))
+        assert row.system.startswith("exegpt")
+        assert row.throughput_seq_per_s > 0
+        assert "B_E=" in row.config_description
+
+    def test_measure_exegpt_infeasible_bound_reports_ns(self, tiny_engine, trace):
+        constraint = LatencyConstraint(bound_s=1e-6, label="tight")
+        row = measure_exegpt(tiny_engine, trace, constraint)
+        assert row.config_description == "NS"
+        assert row.throughput_seq_per_s == 0.0
+        assert not row.satisfied
+
+    def test_scenario_evaluation_collects_all_systems(self, tiny_engine, trace):
+        evaluation = ScenarioEvaluation(
+            engine=tiny_engine,
+            trace=trace,
+            baselines=default_baselines(tiny_engine, ("ft",)),
+        )
+        rows = evaluation.evaluate(
+            [LatencyConstraint(bound_s=float("inf"), label="Inf")],
+            policies=(SchedulePolicy.RRA,),
+        )
+        assert len(rows) == 2
+        speedups = speedup_over(rows)
+        assert "Inf" in speedups and speedups["Inf"] > 0

@@ -1,0 +1,46 @@
+"""Tests for the latency-bound derivation procedure."""
+
+import pytest
+
+from repro.baselines.faster_transformer import FasterTransformer
+from repro.serving.latency_bounds import derive_latency_bounds, ft_latency_range
+
+
+@pytest.fixture(scope="module")
+def ft(tiny_profile, short_input_dist, short_output_dist) -> FasterTransformer:
+    return FasterTransformer(
+        profile=tiny_profile,
+        input_distribution=short_input_dist,
+        output_distribution=short_output_dist,
+    )
+
+
+class TestLatencyBounds:
+    def test_latency_range_is_increasing_in_batch(self, ft):
+        latencies = ft_latency_range(ft, min_batch=4, max_batch=32, step=4)
+        assert len(latencies) == 8
+        assert latencies == sorted(latencies)
+
+    def test_four_bounds_ordered(self, ft):
+        bounds = derive_latency_bounds(ft, target_length=32, max_batch=32)
+        ordered = bounds.as_list()
+        assert len(ordered) == 4
+        assert ordered[0].bound_s < ordered[1].bound_s < ordered[2].bound_s
+        assert ordered[3].is_unbounded
+        assert [b.label for b in ordered] == ["10%", "30%", "70%", "Inf"]
+
+    def test_bounds_carry_target_length(self, ft):
+        bounds = derive_latency_bounds(ft, target_length=40, max_batch=16)
+        assert all(b.target_length == 40 for b in bounds)
+
+    def test_bounds_bracket_ft_latency_range(self, ft):
+        latencies = ft_latency_range(ft, min_batch=4, max_batch=32, step=4)
+        bounds = derive_latency_bounds(ft, target_length=32, max_batch=32)
+        assert latencies[0] <= bounds.tight.bound_s <= latencies[-1]
+        assert latencies[0] <= bounds.relaxed.bound_s <= latencies[-1]
+
+    def test_invalid_sweep_rejected(self, ft):
+        with pytest.raises(ValueError):
+            ft_latency_range(ft, min_batch=0, max_batch=8)
+        with pytest.raises(ValueError):
+            ft_latency_range(ft, min_batch=8, max_batch=4)

@@ -1,0 +1,45 @@
+"""Tests for SLA definitions."""
+
+import pytest
+
+from repro.engine.metrics import RunResult
+from repro.serving.sla import SLA, SLAKind
+
+
+def _result(latencies) -> RunResult:
+    return RunResult(
+        system="x",
+        makespan_s=10.0,
+        num_requests=len(latencies),
+        total_generated_tokens=10,
+        latencies_s=tuple(latencies),
+    )
+
+
+class TestSLA:
+    def test_percentile_sla_satisfied(self):
+        sla = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=5.0)
+        assert sla.satisfied(_result([1.0] * 99 + [4.9]))
+        assert not sla.satisfied(_result([1.0] * 50 + [6.0] * 50))
+
+    def test_reference_length_sla_uses_max(self):
+        sla = SLA(kind=SLAKind.REFERENCE_LENGTH, bound_s=5.0, reference_length=64)
+        assert not sla.satisfied(_result([1.0, 6.0]))
+        assert sla.satisfied(_result([1.0, 4.0]))
+
+    def test_violation_sign(self):
+        sla = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=2.0)
+        assert sla.violation(_result([1.0] * 100)) < 0
+        assert sla.violation(_result([3.0] * 100)) > 0
+
+    def test_required_margin(self):
+        sla = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=2.0)
+        assert sla.required_margin(_result([1.0] * 10)) == 0.0
+        margin = sla.required_margin(_result([4.0] * 10))
+        assert margin == pytest.approx(0.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=0.0)
+        with pytest.raises(ValueError):
+            SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=1.0, percentile=0.0)

@@ -1,0 +1,76 @@
+"""End-to-end integration tests on the paper's OPT-13B deployment.
+
+These exercise the full pipeline -- profile, schedule, run, compare against
+FasterTransformer -- at a reduced trace size and assert the qualitative
+claims of the paper hold on this substrate.
+"""
+
+import pytest
+
+from repro.core.config import LatencyConstraint, SchedulePolicy
+from repro.serving.evaluation import default_baselines, measure_baseline, measure_exegpt
+from repro.serving.latency_bounds import derive_latency_bounds
+from repro.workloads.synthetic import generate_task_trace
+from repro.workloads.tasks import get_task
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_task_trace(get_task("S"), num_requests=400, seed=3)
+
+
+@pytest.fixture(scope="module")
+def bounds(opt13b_engine):
+    (ft,) = default_baselines(opt13b_engine, ("ft",))
+    return derive_latency_bounds(ft, target_length=get_task("S").output_p99)
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    def test_scheduler_finds_schedules_for_all_bounds(self, opt13b_engine, bounds):
+        for constraint in bounds.as_list():
+            result = opt13b_engine.schedule(constraint, policies=(SchedulePolicy.RRA,))
+            assert result.found, f"no schedule for bound {constraint.bound_s}"
+            assert result.best.latency_s <= constraint.bound_s * 1.001
+
+    def test_exegpt_outperforms_ft_under_latency_constraints(self, opt13b_engine, bounds, trace):
+        """The headline claim: under latency bounds ExeGPT out-throughputs FT
+        (by 2.9x on average in the paper).  On this substrate the gain is
+        largest at tight bounds; at the unbounded constraint FT's single huge
+        static batch is more competitive than on the paper's hardware, so we
+        assert a clear win at the tight bound and overall parity or better on
+        average."""
+        (ft,) = default_baselines(opt13b_engine, ("ft",))
+        speedups = {}
+        for constraint in (bounds.tight, bounds.unbounded):
+            exe = measure_exegpt(opt13b_engine, trace, constraint)
+            ft_row = measure_baseline(ft, trace, constraint)
+            speedups[constraint.label] = (
+                exe.throughput_seq_per_s / ft_row.throughput_seq_per_s
+            )
+        assert speedups["10%"] > 1.3
+        assert speedups["Inf"] > 0.7
+        assert sum(speedups.values()) / len(speedups) > 1.1
+
+    def test_measured_latency_tracks_bound(self, opt13b_engine, bounds, trace):
+        constraint = bounds.medium
+        exe = measure_exegpt(opt13b_engine, trace, constraint)
+        assert exe.satisfied
+
+    def test_estimate_close_to_measurement(self, opt13b_engine, trace):
+        search = opt13b_engine.schedule(
+            LatencyConstraint(bound_s=6.0, target_length=63),
+            policies=(SchedulePolicy.RRA,),
+        )
+        assert search.found
+        result = opt13b_engine.run(trace, search.best.config)
+        measured = result.steady_state_throughput()
+        estimated = search.best.throughput_seq_per_s
+        assert 0.4 < estimated / measured < 2.5
+
+    def test_throughput_grows_as_bound_relaxes(self, opt13b_engine, bounds, trace):
+        throughputs = []
+        for constraint in bounds.as_list():
+            exe = measure_exegpt(opt13b_engine, trace, constraint, policies=(SchedulePolicy.RRA,))
+            throughputs.append(exe.throughput_seq_per_s)
+        assert throughputs[-1] >= throughputs[0]

@@ -1,0 +1,101 @@
+"""Tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import SequenceDistribution
+from repro.workloads.synthetic import (
+    generate_task_trace,
+    generate_trace_from_distributions,
+    sample_correlated_lengths,
+)
+from repro.workloads.tasks import get_task
+
+
+class TestCorrelatedSampling:
+    def test_marginals_preserved(self):
+        rng = np.random.default_rng(0)
+        task = get_task("T")
+        inputs, outputs = sample_correlated_lengths(
+            task.input_distribution(),
+            task.output_distribution(),
+            num_requests=4000,
+            correlation=0.8,
+            rng=rng,
+        )
+        assert abs(inputs.mean() - task.input_distribution().mean) < 8
+        assert abs(outputs.mean() - task.output_distribution().mean) < 8
+
+    def test_requested_correlation_achieved(self):
+        rng = np.random.default_rng(1)
+        task = get_task("T")
+        inputs, outputs = sample_correlated_lengths(
+            task.input_distribution(),
+            task.output_distribution(),
+            num_requests=4000,
+            correlation=0.8,
+            rng=rng,
+        )
+        observed = np.corrcoef(inputs.astype(float), outputs.astype(float))[0, 1]
+        assert observed > 0.6
+
+    def test_zero_correlation_near_independent(self):
+        rng = np.random.default_rng(2)
+        task = get_task("S")
+        inputs, outputs = sample_correlated_lengths(
+            task.input_distribution(),
+            task.output_distribution(),
+            num_requests=4000,
+            correlation=0.0,
+            rng=rng,
+        )
+        observed = np.corrcoef(inputs.astype(float), outputs.astype(float))[0, 1]
+        assert abs(observed) < 0.1
+
+    def test_zero_requests(self):
+        rng = np.random.default_rng(3)
+        task = get_task("S")
+        inputs, outputs = sample_correlated_lengths(
+            task.input_distribution(), task.output_distribution(), 0, 0.5, rng
+        )
+        assert len(inputs) == 0 and len(outputs) == 0
+
+    def test_invalid_correlation_rejected(self):
+        rng = np.random.default_rng(4)
+        task = get_task("S")
+        with pytest.raises(ValueError):
+            sample_correlated_lengths(
+                task.input_distribution(), task.output_distribution(), 10, 1.5, rng
+            )
+
+
+class TestTraceGeneration:
+    def test_trace_is_reproducible(self):
+        a = generate_task_trace(get_task("S"), 50, seed=7)
+        b = generate_task_trace(get_task("S"), 50, seed=7)
+        assert list(a.input_lengths()) == list(b.input_lengths())
+        assert list(a.output_lengths()) == list(b.output_lengths())
+
+    def test_different_seeds_differ(self):
+        a = generate_task_trace(get_task("S"), 50, seed=1)
+        b = generate_task_trace(get_task("S"), 50, seed=2)
+        assert list(a.output_lengths()) != list(b.output_lengths())
+
+    def test_lengths_within_task_bounds(self):
+        task = get_task("G")
+        trace = generate_task_trace(task, 200, seed=0)
+        assert trace.input_lengths().max() <= task.input_max
+        assert trace.output_lengths().max() <= task.output_max
+        assert trace.input_lengths().min() >= 1
+
+    def test_correlated_trace_with_randomized_inputs_decorrelates(self):
+        task = get_task("T")
+        trace = generate_task_trace(task, 1000, seed=0, correlated=True)
+        assert abs(trace.observed_correlation()) < 0.3
+
+    def test_generate_from_explicit_distributions(self):
+        dist_in = SequenceDistribution.constant(32)
+        dist_out = SequenceDistribution.constant(8)
+        trace = generate_trace_from_distributions(dist_in, dist_out, 10, name="const")
+        assert all(r.input_len == 32 and r.output_len == 8 for r in trace.requests)
+        assert trace.name == "const"

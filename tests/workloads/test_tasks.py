@@ -1,0 +1,56 @@
+"""Tests for the Table 3 task definitions."""
+
+import pytest
+
+from repro.workloads.tasks import ALL_TASKS, get_task, known_tasks
+
+
+class TestTable3:
+    @pytest.mark.parametrize(
+        "task_id,input_mean,output_mean,output_p99,output_max",
+        [
+            ("S", 256, 32, 63, 80),
+            ("T", 128, 128, 292, 320),
+            ("G", 64, 192, 417, 480),
+            ("C1", 256, 64, 137, 160),
+            ("C2", 512, 256, 579, 640),
+        ],
+    )
+    def test_statistics_match_table3(
+        self, task_id, input_mean, output_mean, output_p99, output_max
+    ):
+        task = get_task(task_id)
+        assert task.input_mean == input_mean
+        assert task.output_mean == output_mean
+        assert task.output_p99 == output_p99
+        assert task.output_max == output_max
+
+    def test_five_tasks_defined(self):
+        assert known_tasks() == ["C1", "C2", "G", "S", "T"]
+
+    def test_translation_is_the_correlated_task(self):
+        assert get_task("T").correlation > 0.5
+        assert all(
+            ALL_TASKS[t].correlation <= 0.25 for t in ("S", "G", "C1", "C2")
+        )
+
+    def test_lookup_case_insensitive_and_errors(self):
+        assert get_task("c1") is get_task("C1")
+        with pytest.raises(KeyError):
+            get_task("X")
+
+
+class TestTaskDistributions:
+    @pytest.mark.parametrize("task_id", ["S", "T", "G", "C1", "C2"])
+    def test_distribution_means_close_to_spec(self, task_id):
+        task = get_task(task_id)
+        out = task.output_distribution()
+        # Truncation shifts the mean; it must stay within ~20% of the target.
+        assert abs(out.mean - task.output_mean) / task.output_mean < 0.25
+        assert out.max_len == task.output_max
+
+    @pytest.mark.parametrize("task_id", ["S", "T", "G", "C1", "C2"])
+    def test_p99_of_distribution_near_table_value(self, task_id):
+        task = get_task(task_id)
+        p99 = task.output_distribution().percentile(99)
+        assert abs(p99 - task.output_p99) / task.output_p99 < 0.35

@@ -1,0 +1,73 @@
+"""Tests for workload traces."""
+
+import pytest
+
+from repro.core.distributions import SequenceDistribution
+from repro.workloads.trace import RequestSpec, WorkloadTrace
+
+
+def _make_trace(num: int = 20) -> WorkloadTrace:
+    requests = [
+        RequestSpec(request_id=i, input_len=10 + i, output_len=5 + (i % 7))
+        for i in range(num)
+    ]
+    return WorkloadTrace(
+        name="test",
+        requests=tuple(requests),
+        input_distribution=SequenceDistribution.constant(16),
+        output_distribution=SequenceDistribution.constant(8),
+    )
+
+
+class TestRequestSpec:
+    def test_total_tokens(self):
+        spec = RequestSpec(0, input_len=12, output_len=8)
+        assert spec.total_tokens == 20
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RequestSpec(0, input_len=0, output_len=4)
+        with pytest.raises(ValueError):
+            RequestSpec(0, input_len=4, output_len=0)
+        with pytest.raises(ValueError):
+            RequestSpec(0, input_len=4, output_len=4, arrival_s=-1)
+
+
+class TestWorkloadTrace:
+    def test_length_and_iteration(self):
+        trace = _make_trace(20)
+        assert len(trace) == 20
+        assert trace.num_requests == 20
+        assert len(list(trace)) == 20
+
+    def test_token_totals(self):
+        trace = _make_trace(5)
+        assert trace.total_input_tokens == sum(r.input_len for r in trace.requests)
+        assert trace.total_output_tokens == sum(r.output_len for r in trace.requests)
+
+    def test_length_arrays(self):
+        trace = _make_trace(5)
+        assert list(trace.input_lengths()) == [10, 11, 12, 13, 14]
+
+    def test_split_preserves_all_requests(self):
+        trace = _make_trace(30)
+        head, tail = trace.split(0.1)
+        assert len(head) + len(tail) == len(trace)
+        assert len(head) == 3
+
+    def test_split_requires_valid_fraction(self):
+        trace = _make_trace(10)
+        with pytest.raises(ValueError):
+            trace.split(0.0)
+        with pytest.raises(ValueError):
+            trace.split(1.0)
+
+    def test_estimate_distributions_reflect_lengths(self):
+        trace = _make_trace(40)
+        input_dist, output_dist = trace.estimate_distributions()
+        assert input_dist.mean == pytest.approx(float(trace.input_lengths().mean()))
+        assert output_dist.mean == pytest.approx(float(trace.output_lengths().mean()))
+
+    def test_observed_correlation_bounds(self):
+        trace = _make_trace(40)
+        assert -1.0 <= trace.observed_correlation() <= 1.0
