@@ -5,9 +5,25 @@ reduced scale so the whole suite completes in minutes) and attaches the
 headline numbers as ``extra_info`` so they appear in the pytest-benchmark
 report.  Each harness runs exactly once per benchmark (``rounds=1``) because
 the measured quantity is the experiment itself, not a micro-kernel.
+
+The whole directory is marked ``slow``: benchmarks dominate the full-suite
+wall clock, so the fast development loop (``pytest -m "not slow"``) skips
+them and the scheduled CI job runs them.
 """
 
 from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_BENCHMARK_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _BENCHMARK_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -6,14 +6,20 @@ set of *stage tasks*: "stage ``j`` spends ``d`` seconds processing micro-batch
 finish times respecting two constraints:
 
 * a stage executes one task at a time, in the order the driver enqueued them
-  (FIFO per stage, which is how a real pipelined runner issues work), and
+  (FIFO per stage, which is how a real pipelined runner issues work),
 * a task cannot start before all its dependencies have finished (pipeline
-  hand-offs, autoregressive token feedback, KV-cache transfers).
+  hand-offs, autoregressive token feedback, KV-cache transfers), and
+* a task cannot start before its *release time* (``earliest_start_s``),
+  which online drivers use to model request arrivals: work on a request
+  admitted at wall-clock ``t`` cannot begin before ``t``.
 
 Because every driver enqueues tasks in its own execution order, dependencies
 always point backwards and the timeline can be computed in a single linear
 pass, which keeps even large traces fast while still exposing pipeline
-bubbles, phase-boundary drains and communication stalls.
+bubbles, phase-boundary drains and communication stalls.  The pass can also
+run *incrementally* (:meth:`Timeline.schedule_pending`): an online driver
+alternates between appending an iteration's tasks and reading their assigned
+times to decide what the next iteration admits.
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ class StageTask:
         duration_s: Execution time in seconds.
         deps: Task ids that must finish before this task starts.
         tag: Free-form label used by metrics (e.g. ``"decode"``).
+        earliest_start_s: Release time; the task cannot start earlier even if
+            its stage and dependencies are ready (models request arrival).
         start_s / finish_s: Filled in by the timeline.
     """
 
@@ -40,6 +48,7 @@ class StageTask:
     duration_s: float
     deps: tuple[int, ...] = ()
     tag: str = ""
+    earliest_start_s: float = 0.0
     start_s: float = field(default=-1.0)
     finish_s: float = field(default=-1.0)
 
@@ -56,6 +65,7 @@ class Timeline:
         self._tasks: list[StageTask] = []
         self._stage_free_at: dict[object, float] = {}
         self._stage_busy: dict[object, float] = {}
+        self._next_unscheduled = 0
         self._finalized = False
 
     # -- construction ---------------------------------------------------------
@@ -66,16 +76,20 @@ class Timeline:
         duration_s: float,
         deps: tuple[int, ...] | list[int] = (),
         tag: str = "",
+        earliest_start_s: float = 0.0,
     ) -> int:
         """Append a task and return its id.
 
         Raises:
-            ValueError: for negative durations or forward dependencies.
+            ValueError: for negative durations, negative release times or
+                forward dependencies.
         """
         if self._finalized:
             raise RuntimeError("cannot add tasks after the timeline was run")
         if duration_s < 0:
             raise ValueError("duration_s must be non-negative")
+        if earliest_start_s < 0:
+            raise ValueError("earliest_start_s must be non-negative")
         task_id = len(self._tasks)
         dep_tuple = tuple(int(d) for d in deps)
         for dep in dep_tuple:
@@ -86,18 +100,21 @@ class Timeline:
                 )
         self._tasks.append(
             StageTask(task_id=task_id, stage=stage, duration_s=duration_s,
-                      deps=dep_tuple, tag=tag)
+                      deps=dep_tuple, tag=tag, earliest_start_s=earliest_start_s)
         )
         return task_id
 
     # -- execution --------------------------------------------------------------
 
-    def run(self) -> None:
-        """Assign start/finish times to every task (idempotent)."""
-        if self._finalized:
-            return
-        for task in self._tasks:
-            ready = 0.0
+    def schedule_pending(self) -> None:
+        """Assign start/finish times to tasks added since the last pass.
+
+        Unlike :meth:`run` this does not finalize the timeline: more tasks may
+        be added afterwards.  Online drivers interleave task construction with
+        time queries this way.
+        """
+        for task in self._tasks[self._next_unscheduled:]:
+            ready = task.earliest_start_s
             for dep in task.deps:
                 ready = max(ready, self._tasks[dep].finish_s)
             stage_free = self._stage_free_at.get(task.stage, 0.0)
@@ -107,19 +124,35 @@ class Timeline:
             self._stage_busy[task.stage] = (
                 self._stage_busy.get(task.stage, 0.0) + task.duration_s
             )
+        self._next_unscheduled = len(self._tasks)
+
+    def run(self) -> None:
+        """Assign start/finish times to every task and finalize (idempotent)."""
+        if self._finalized:
+            return
+        self.schedule_pending()
         self._finalized = True
 
     # -- queries ------------------------------------------------------------------
 
     def finish_time(self, task_id: int) -> float:
-        """Finish time of a task (runs the timeline if needed)."""
-        self.run()
+        """Finish time of a task (schedules pending tasks if needed)."""
+        self.schedule_pending()
         return self._tasks[task_id].finish_s
 
     def start_time(self, task_id: int) -> float:
-        """Start time of a task (runs the timeline if needed)."""
-        self.run()
+        """Start time of a task (schedules pending tasks if needed)."""
+        self.schedule_pending()
         return self._tasks[task_id].start_s
+
+    def stage_free_at(self, stage: object, default: float = 0.0) -> float:
+        """Time at which a stage finishes its last scheduled task.
+
+        Online drivers use this as the stage's wall clock when deciding what
+        the next iteration can admit.
+        """
+        self.schedule_pending()
+        return self._stage_free_at.get(stage, default)
 
     @property
     def tasks(self) -> tuple[StageTask, ...]:
@@ -134,14 +167,14 @@ class Timeline:
     @property
     def makespan_s(self) -> float:
         """Finish time of the last-completing task (0 for an empty timeline)."""
-        self.run()
+        self.schedule_pending()
         if not self._tasks:
             return 0.0
         return max(task.finish_s for task in self._tasks)
 
     def stage_utilization(self) -> dict[object, float]:
         """Busy-time fraction of each stage over the makespan."""
-        self.run()
+        self.schedule_pending()
         makespan = self.makespan_s
         if makespan <= 0:
             return {stage: 0.0 for stage in self._stage_busy}
@@ -153,5 +186,5 @@ class Timeline:
 
     def stage_busy_time(self) -> dict[object, float]:
         """Total busy seconds per stage."""
-        self.run()
+        self.schedule_pending()
         return dict(self._stage_busy)

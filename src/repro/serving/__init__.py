@@ -1,4 +1,4 @@
-"""Serving-level helpers: SLAs, latency-bound derivation and scenario evaluation."""
+"""Serving-level helpers: SLAs, latency bounds, offline and online evaluation."""
 
 from repro.serving.evaluation import (
     ScenarioEvaluation,
@@ -13,10 +13,26 @@ from repro.serving.latency_bounds import (
     derive_latency_bounds,
     ft_latency_range,
 )
+from repro.serving.online import (
+    ContinuousBatchingOnlineServer,
+    ExeGPTOnlineServer,
+    OnlineEvaluator,
+    OnlineRequestRecord,
+    OnlineResult,
+    OnlineServer,
+    RatePoint,
+)
 from repro.serving.sla import SLA, SLAKind
 
 __all__ = [
+    "ContinuousBatchingOnlineServer",
+    "ExeGPTOnlineServer",
     "LatencyBoundSet",
+    "OnlineEvaluator",
+    "OnlineRequestRecord",
+    "OnlineResult",
+    "OnlineServer",
+    "RatePoint",
     "SLA",
     "SLAKind",
     "ScenarioEvaluation",

@@ -1,0 +1,987 @@
+"""Online arrival-driven serving simulation.
+
+The offline runners replay a trace whose requests are all "already queued";
+this module simulates *serving*: requests arrive over time (see
+:mod:`repro.workloads.arrivals`), wait in a bounded admission queue, are
+admitted into the engine under the system's scheduling policy, and leave
+per-request records of
+
+* **queueing delay** -- admission time minus arrival time,
+* **TTFT** -- time to first generated token, measured from arrival, and
+* **end-to-end latency** -- completion time minus arrival time,
+
+from which SLO attainment is evaluated with the existing
+:class:`~repro.serving.sla.SLA` machinery (the SLA is applied to the
+*end-to-end* latency, so queueing at overload shows up as SLO violations).
+
+Two server drivers are provided:
+
+* :class:`ContinuousBatchingOnlineServer` wraps an ORCA-family baseline
+  (:class:`~repro.baselines.orca.Orca` or :class:`~repro.baselines.vllm.Vllm`)
+  and runs its iteration-level policy online: at every iteration boundary the
+  server admits arrived requests (at most one prefill per iteration) into the
+  running batch, subject to the batch cap and the KV cache
+  (:class:`~repro.engine.kv_manager.PagedKVCache` for vLLM, contiguous for
+  ORCA).
+* :class:`ExeGPTOnlineServer` enforces an ExeGPT
+  :class:`~repro.core.config.ScheduleConfig` online: RRA alternates encode
+  phases with ``N_D`` decode iterations, WAA encodes on dedicated stages
+  concurrently with decoding; admission follows the Section 5.2 dynamic
+  workload adjuster, gated by what has actually arrived.
+
+Both drivers build their schedules on the shared discrete-event
+:class:`~repro.engine.timeline.Timeline`, using its incremental scheduling
+(``schedule_pending``) to learn the simulated clock after each iteration and
+its release times (``earliest_start_s``) so work never starts before the
+requests it serves have arrived.
+
+:class:`OnlineEvaluator` sweeps offered request rates per traffic scenario
+and reports the maximum sustainable QPS: the highest offered rate at which a
+system completes every request (no admission-queue overflow) while meeting
+the latency SLO.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import BaselineSystem
+from repro.core.analytical import decode_stage_time, encode_stage_time
+from repro.core.config import LatencyConstraint, ScheduleConfig
+from repro.core.dynamic import DynamicWorkloadAdjuster
+from repro.core.simulator import XSimulator
+from repro.engine.batching import (
+    average_context,
+    average_input_length,
+    split_into_micro_batches,
+)
+from repro.engine.metrics import RunResult
+from repro.engine.request import RequestState
+from repro.engine.timeline import Timeline
+from repro.serving.sla import SLA
+from repro.workloads.arrivals import ArrivalProcess, attach_arrivals, make_scenario
+from repro.workloads.trace import WorkloadTrace
+
+_MAX_ITERATIONS = 500000
+
+
+# ---------------------------------------------------------------------------
+# Per-request records and aggregate result
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OnlineRequestRecord:
+    """Outcome of one request in an online run.
+
+    Attributes:
+        request_id / input_len / output_len: The request's static properties.
+        arrival_s: When the request arrived.
+        admitted_s: When its prefill was issued (-1 if never admitted).
+        first_token_s: When its first output token finished (-1 if none).
+        finish_s: When its last token finished (-1 if unfinished).
+        rejected: True when the admission queue overflowed at arrival.
+    """
+
+    request_id: int
+    input_len: int
+    output_len: int
+    arrival_s: float
+    admitted_s: float = -1.0
+    first_token_s: float = -1.0
+    finish_s: float = -1.0
+    rejected: bool = False
+
+    @property
+    def completed(self) -> bool:
+        """Whether the request generated all its tokens."""
+        return self.finish_s >= 0.0
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Arrival-to-admission delay (-1 if never admitted)."""
+        if self.admitted_s < 0:
+            return -1.0
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Arrival-to-first-token latency (-1 if no token was generated)."""
+        if self.first_token_s < 0:
+            return -1.0
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion latency (-1 if unfinished)."""
+        if self.finish_s < 0:
+            return -1.0
+        return self.finish_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Aggregate outcome of serving one arrival-stamped trace.
+
+    Conservation holds by construction: every offered request is either
+    completed or rejected (``offered == completed + rejected``), because the
+    serving loop drains the queue and pool before returning.
+
+    Attributes:
+        system: Serving system name.
+        scenario: Traffic scenario name ("" when the trace carried arrivals).
+        offered_rate_qps: Mean offered arrival rate (0 when unknown).
+        records: Per-request records, in request order.
+        makespan_s: Simulated time from 0 to the last completion.
+        extra: Free-form driver measurements (iterations, peak KV, ...).
+    """
+
+    system: str
+    scenario: str
+    offered_rate_qps: float
+    records: tuple[OnlineRequestRecord, ...]
+    makespan_s: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+    # -- counts ----------------------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        """Requests that arrived."""
+        return len(self.records)
+
+    @property
+    def completed(self) -> int:
+        """Requests that finished generation."""
+        return sum(1 for r in self.records if r.completed)
+
+    @property
+    def rejected(self) -> int:
+        """Requests dropped at arrival because the admission queue was full."""
+        return sum(1 for r in self.records if r.rejected)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered requests rejected."""
+        if not self.records:
+            return 0.0
+        return self.rejected / len(self.records)
+
+    @property
+    def achieved_qps(self) -> float:
+        """Completed requests per second of simulated time."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.completed / self.makespan_s
+
+    # -- latency statistics ------------------------------------------------------
+
+    def _completed_values(self, attribute: str) -> np.ndarray:
+        values = [getattr(r, attribute) for r in self.records if r.completed]
+        return np.asarray([v for v in values if v >= 0], dtype=float)
+
+    def latency_percentile(self, q: float) -> float:
+        """End-to-end latency percentile over completed requests."""
+        values = self._completed_values("latency_s")
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, q))
+
+    def ttft_percentile(self, q: float) -> float:
+        """TTFT percentile over completed requests."""
+        values = self._completed_values("ttft_s")
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, q))
+
+    def queue_delay_percentile(self, q: float) -> float:
+        """Queueing-delay percentile over completed requests."""
+        values = self._completed_values("queue_delay_s")
+        if values.size == 0:
+            return 0.0
+        return float(np.percentile(values, q))
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end latency of completed requests."""
+        values = self._completed_values("latency_s")
+        if values.size == 0:
+            return 0.0
+        return float(values.mean())
+
+    # -- SLO evaluation ------------------------------------------------------------
+
+    def to_run_result(self) -> RunResult:
+        """Completed requests as a :class:`RunResult` for the SLA machinery.
+
+        Latencies are *end-to-end* (arrival to completion, queueing included),
+        which is what an online SLO constrains.
+        """
+        done = [r for r in self.records if r.completed]
+        return RunResult(
+            system=self.system,
+            makespan_s=self.makespan_s,
+            num_requests=len(done),
+            total_generated_tokens=sum(r.output_len for r in done),
+            latencies_s=tuple(r.latency_s for r in done),
+            completion_times_s=tuple(r.finish_s for r in done),
+            output_lengths=tuple(r.output_len for r in done),
+            extra=dict(self.extra),
+        )
+
+    def attainment(self, sla: SLA) -> float:
+        """Fraction of *offered* requests completing within the SLA bound.
+
+        Rejected (and hypothetically unfinished) requests count as misses, so
+        attainment degrades monotonically as the offered load outgrows the
+        system.
+        """
+        if not self.records:
+            return 1.0
+        hits = sum(
+            1
+            for r in self.records
+            if r.completed and r.latency_s <= sla.bound_s
+        )
+        return hits / len(self.records)
+
+    def satisfies(self, sla: SLA, max_rejection_rate: float = 0.0) -> bool:
+        """Whether the run sustains the SLO.
+
+        Requires the SLA to hold on the completed requests' end-to-end
+        latencies *and* the rejection rate to stay within
+        ``max_rejection_rate``.
+        """
+        if self.completed == 0:
+            return False
+        if self.rejection_rate > max_rejection_rate:
+            return False
+        return sla.satisfied(self.to_run_result())
+
+
+# ---------------------------------------------------------------------------
+# Server base: admission queue + arrival-driven loop
+# ---------------------------------------------------------------------------
+
+
+class OnlineServer:
+    """Base class of the online serving drivers.
+
+    Owns the bounded admission queue and the arrival-driven event loop;
+    subclasses implement one engine iteration (admit, enqueue stage tasks,
+    advance request states) and report the next iteration's start clock.
+
+    Args:
+        name: System name used in results.
+        max_queue: Admission-queue capacity; arrivals beyond it are rejected.
+    """
+
+    def __init__(self, name: str, max_queue: int = 512) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.name = name
+        self.max_queue = max_queue
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    def _reset(self, timeline: Timeline) -> None:
+        """Prepare per-run state (pool, KV cache, ...)."""
+        raise NotImplementedError
+
+    def _busy(self) -> bool:
+        """Whether admitted-but-unfinished work remains."""
+        raise NotImplementedError
+
+    def _iterate(self, clock: float) -> float:
+        """Run one engine iteration starting at ``clock``; returns the next
+        iteration's start clock (must make progress whenever work was done)."""
+        raise NotImplementedError
+
+    # -- the serving loop ---------------------------------------------------------
+
+    def serve(
+        self,
+        trace: WorkloadTrace,
+        scenario: str = "",
+        offered_rate_qps: float = 0.0,
+    ) -> OnlineResult:
+        """Serve an arrival-stamped trace and collect per-request records."""
+        if len(trace) == 0:
+            raise ValueError("trace must contain at least one request")
+        states = [RequestState(spec=spec) for spec in trace.requests]
+        records = {
+            s.request_id: OnlineRequestRecord(
+                request_id=s.request_id,
+                input_len=s.input_len,
+                output_len=s.output_len,
+                arrival_s=s.spec.arrival_s,
+            )
+            for s in states
+        }
+        self._records = records
+        self._arrivals: deque[RequestState] = deque(
+            sorted(states, key=lambda s: (s.spec.arrival_s, s.request_id))
+        )
+        self._queue: deque[RequestState] = deque()
+        self._timeline = Timeline()
+        # Deferred timestamp assignments: (record field, request_id, task_id).
+        self._stamps: list[tuple[str, int, int]] = []
+        self._reset(self._timeline)
+
+        clock = 0.0
+        iterations = 0
+        while self._arrivals or self._queue or self._busy():
+            self._ingest(clock)
+            if not self._queue and not self._busy():
+                if not self._arrivals:
+                    break
+                # Event-driven idle skip to the next arrival.
+                clock = max(clock, self._arrivals[0].spec.arrival_s)
+                continue
+            next_clock = self._iterate(clock)
+            clock = max(next_clock, clock)
+            iterations += 1
+            if iterations > _MAX_ITERATIONS:
+                raise RuntimeError(f"online server {self.name} did not converge")
+
+        self._timeline.schedule_pending()
+        for attr, request_id, task_id in self._stamps:
+            record = records[request_id]
+            if attr == "admitted_s":
+                record.admitted_s = self._timeline.start_time(task_id)
+            elif attr == "first_token_s":
+                record.first_token_s = self._timeline.finish_time(task_id)
+            else:
+                record.finish_s = self._timeline.finish_time(task_id)
+        ordered = tuple(records[s.request_id] for s in states)
+        return OnlineResult(
+            system=self.name,
+            scenario=scenario,
+            offered_rate_qps=offered_rate_qps,
+            records=ordered,
+            makespan_s=self._timeline.makespan_s,
+            extra=self._extra(iterations),
+        )
+
+    def _extra(self, iterations: int) -> dict[str, float]:
+        return {"iterations": float(iterations)}
+
+    # -- shared helpers -------------------------------------------------------------
+
+    def _ingest(self, clock: float) -> None:
+        """Move arrivals with ``arrival_s <= clock`` into the admission queue,
+        rejecting those that find the queue full."""
+        while self._arrivals and self._arrivals[0].spec.arrival_s <= clock:
+            state = self._arrivals.popleft()
+            if len(self._queue) >= self.max_queue:
+                self._records[state.request_id].rejected = True
+                continue
+            self._queue.append(state)
+
+    def _stamp(self, attr: str, request_id: int, task_id: int) -> None:
+        self._stamps.append((attr, request_id, task_id))
+
+
+# ---------------------------------------------------------------------------
+# Driver 1: iteration-level continuous batching (ORCA / vLLM online)
+# ---------------------------------------------------------------------------
+
+
+class ContinuousBatchingOnlineServer(OnlineServer):
+    """Online driver for the ORCA-family baselines.
+
+    Replays the baseline's iteration-level policy against an arrival stream:
+    each iteration decodes the running batch and prefills at most
+    ``system.max_prefills_per_iteration`` newly admitted requests, subject to
+    the batch cap and the system's KV cache (contiguous for ORCA, paged for
+    vLLM).
+
+    Args:
+        system: The cost/KV model (an :class:`Orca` or :class:`Vllm`).
+        batch_size: Running-batch cap (typically from ``configure_for_bound``).
+        max_queue: Admission-queue capacity.
+    """
+
+    def __init__(
+        self,
+        system: BaselineSystem,
+        batch_size: int,
+        max_queue: int = 512,
+        name: str | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        super().__init__(name=name or f"{system.name}-online", max_queue=max_queue)
+        self.system = system
+        self.batch_size = batch_size
+
+    def _reset(self, timeline: Timeline) -> None:
+        self._pool: list[RequestState] = []
+        self._cache = self.system._make_kv_cache()
+        self._prev_last_task: int | None = None
+
+    def _busy(self) -> bool:
+        return bool(self._pool)
+
+    def _iterate(self, clock: float) -> float:
+        system = self.system
+        stages = system.placement.stages
+        timeline = self._timeline
+
+        admitted: list[RequestState] = []
+        while (
+            self._queue
+            and len(self._pool) + len(admitted) < self.batch_size
+            and len(admitted) < system.max_prefills_per_iteration
+        ):
+            candidate = self._queue[0]
+            if not system._admit(self._cache, candidate):
+                break
+            self._queue.popleft()
+            admitted.append(candidate)
+
+        alive = [r for r in self._pool if not r.done]
+        if not alive and not admitted:
+            # KV cache full but nothing decoding would be a deadlock; the
+            # pool is drained before this can happen, so only an impossible
+            # single request reaches here.
+            raise RuntimeError(
+                f"{self.name}: cannot admit any request; KV cache too small"
+            )
+
+        avg_ctx = average_context(alive, system.decoder_only) if alive else 0.0
+        prev: int | None = None
+        first: int | None = None
+        for stage in stages:
+            duration = 0.0
+            if alive:
+                duration += system.decode_time(stage, len(alive), avg_ctx)
+            for request in admitted:
+                duration += system.encode_time(stage, 1.0, request.input_len)
+            deps: list[int] = []
+            if prev is not None:
+                deps.append(prev)
+            elif self._prev_last_task is not None:
+                deps.append(self._prev_last_task)
+            task = timeline.add_task(
+                stage.stage_id,
+                duration,
+                tuple(deps),
+                tag="iteration",
+                earliest_start_s=clock if prev is None else 0.0,
+            )
+            if first is None:
+                first = task
+            prev = task
+        self._prev_last_task = prev
+
+        for request in admitted:
+            self._stamp("admitted_s", request.request_id, first)
+            self._pool.append(request)
+        for request in alive:
+            request.advance()
+            if request.generated == 1:
+                self._stamp("first_token_s", request.request_id, prev)
+            if request.done:
+                self._stamp("finish_s", request.request_id, prev)
+                system._release(self._cache, request)
+        self._pool = [r for r in self._pool if not r.done]
+
+        return timeline.finish_time(prev)
+
+    def _extra(self, iterations: int) -> dict[str, float]:
+        return {
+            "iterations": float(iterations),
+            "batch_size": float(self.batch_size),
+            "peak_kv_gib": self._cache.peak_bytes / (1024 ** 3),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Driver 2: ExeGPT schedules online (RRA and WAA)
+# ---------------------------------------------------------------------------
+
+
+class ExeGPTOnlineServer(OnlineServer):
+    """Enforces an ExeGPT schedule against an arrival stream.
+
+    RRA runs in cycles: an encode phase admits arrived requests (dynamic
+    workload adjustment, Section 5.2), then ``N_D`` pipelined decode
+    iterations run over the standing pool.  WAA encodes on its dedicated
+    stages concurrently with decoding (``N_D = 1``), handing batches to the
+    decode pool through the KV-transfer link.  Admission is gated by the
+    simulated clock: only requests that have actually arrived can join an
+    encode phase, and an idle server fast-forwards to the next arrival.
+
+    Args:
+        simulator: The XSimulator holding profile and distributions.
+        config: The schedule to enforce (typically ``XScheduler``'s best).
+        max_queue: Admission-queue capacity.
+        dynamic_adjustment: Enable the Section 5.2 admission adjuster.
+    """
+
+    def __init__(
+        self,
+        simulator: XSimulator,
+        config: ScheduleConfig,
+        max_queue: int = 512,
+        dynamic_adjustment: bool = True,
+        name: str | None = None,
+    ) -> None:
+        super().__init__(
+            name=name or f"exegpt-{config.policy.value}-online", max_queue=max_queue
+        )
+        self.simulator = simulator
+        self.config = config
+        self.profile = simulator.profile
+        self.model = simulator.model
+        self.placement = simulator.build_placement(config)
+        self.dynamic_adjustment = dynamic_adjustment
+        self.decoder_only = not self.model.is_encoder_decoder
+        self.is_waa = config.policy.is_waa
+
+    def _make_adjuster(self) -> DynamicWorkloadAdjuster:
+        decode_batch = self.simulator.derived_decode_batch(self.config)
+        return DynamicWorkloadAdjuster(
+            target_encode_batch=self.config.encode_batch,
+            target_decode_batch=max(decode_batch, 1.0),
+            avg_input_len=max(self.simulator.input_distribution.mean, 1.0),
+            enabled=self.dynamic_adjustment,
+        )
+
+    def _reset(self, timeline: Timeline) -> None:
+        self._pool: list[RequestState] = []
+        self._adjuster = self._make_adjuster()
+        self._decode_target = max(int(round(self._adjuster.target_decode_batch)), 1)
+        self._freed_last_cycle = 0
+        self._prev_iter_last: dict[int, int] = {}
+        self._cycles = 0
+        # WAA: batches encoded but not yet merged into the decode pool.
+        self._incoming: list[tuple[list[RequestState], int]] = []
+
+    def _busy(self) -> bool:
+        return bool(self._pool) or bool(self._incoming)
+
+    def _admit_from_queue(self) -> list[RequestState]:
+        admitted = self._adjuster.admit(
+            list(self._queue), len(self._pool), self._freed_last_cycle
+        )
+        for request in admitted:
+            self._queue.popleft()
+            request.admitted_cycle = self._cycles
+        return admitted
+
+    def _iterate(self, clock: float) -> float:
+        if self.is_waa:
+            return self._iterate_waa(clock)
+        return self._iterate_rra(clock)
+
+    # -- RRA: encode phase + N_D decode iterations per cycle ---------------------
+
+    def _iterate_rra(self, clock: float) -> float:
+        placement = self.placement
+        stages = placement.stages
+        micro_batches = max(len(stages), 1)
+        timeline = self._timeline
+
+        admitted = self._admit_from_queue()
+
+        encode_last_tasks: list[int] = []
+        if admitted:
+            for group in split_into_micro_batches(admitted, micro_batches):
+                avg_input = average_input_length(group)
+                prev_task: int | None = None
+                first_task: int | None = None
+                for stage in stages:
+                    duration = encode_stage_time(
+                        self.profile, placement, stage, len(group), avg_input
+                    )
+                    deps = (prev_task,) if prev_task is not None else ()
+                    task_id = timeline.add_task(
+                        stage.stage_id,
+                        duration,
+                        deps,
+                        tag="encode",
+                        earliest_start_s=clock if prev_task is None else 0.0,
+                    )
+                    if first_task is None:
+                        first_task = task_id
+                    prev_task = task_id
+                for request in group:
+                    self._stamp("admitted_s", request.request_id, first_task)
+                encode_last_tasks.append(prev_task)
+            self._pool.extend(admitted)
+
+        self._freed_last_cycle = 0
+        if self._pool:
+            groups = split_into_micro_batches(self._pool, micro_batches)
+            prev_iter_last: dict[int, int] = {}
+            for iteration in range(self.config.decode_iterations):
+                any_alive = False
+                for g_index, group in enumerate(groups):
+                    alive = [r for r in group if not r.done]
+                    if not alive:
+                        continue
+                    any_alive = True
+                    prev_task = self._decode_group(
+                        stages,
+                        alive,
+                        g_index,
+                        first_deps=encode_last_tasks if iteration == 0 else [],
+                        prev_iter_last=prev_iter_last,
+                        clock=clock,
+                        stage_key=lambda s: s.stage_id,
+                    )
+                    prev_iter_last[g_index] = prev_task
+                if not any_alive:
+                    break
+            self._pool = [r for r in self._pool if not r.done]
+
+        self._cycles += 1
+        # The next cycle's encode can begin once the first stage drains.
+        return timeline.stage_free_at(stages[0].stage_id, default=clock)
+
+    # -- WAA: concurrent encode + one pipelined decode iteration ------------------
+
+    def _iterate_waa(self, clock: float) -> float:
+        placement = self.placement
+        encode_stages = placement.encode_stages
+        decode_stages = placement.decode_stages
+        if not encode_stages or not decode_stages:
+            raise ValueError("WAA placement needs both encode and decode stages")
+        timeline = self._timeline
+
+        transfer_task: int | None = None
+        admitted = self._admit_from_queue() if self._queue else []
+        if admitted:
+            avg_input = average_input_length(admitted)
+            prev_task: int | None = None
+            first_task: int | None = None
+            for stage in encode_stages:
+                duration = encode_stage_time(
+                    self.profile, placement, stage, len(admitted), avg_input
+                )
+                deps = (prev_task,) if prev_task is not None else ()
+                task_id = timeline.add_task(
+                    ("enc", stage.stage_id),
+                    duration,
+                    deps,
+                    tag="encode",
+                    earliest_start_s=clock if prev_task is None else 0.0,
+                )
+                if first_task is None:
+                    first_task = task_id
+                prev_task = task_id
+            for request in admitted:
+                self._stamp("admitted_s", request.request_id, first_task)
+            kv_layers = self.model.num_decoder_layers if self.decoder_only else 1
+            transfer_duration = self.profile.kv_transfer_time(
+                len(admitted), avg_input, kv_layers
+            )
+            transfer_task = timeline.add_task(
+                "kv-transfer", transfer_duration, (prev_task,), tag="kv-transfer"
+            )
+            self._incoming.append((admitted, transfer_task))
+
+        # Merge at most one previously encoded batch into the decode pool.
+        merge_deps: list[int] = []
+        if self._incoming:
+            ready = self._incoming[0]
+            if ready[1] != transfer_task or not self._pool:
+                self._incoming.pop(0)
+                self._pool.extend(ready[0])
+                merge_deps.append(ready[1])
+
+        self._freed_last_cycle = 0
+        if self._pool:
+            groups = split_into_micro_batches(self._pool, self.config.micro_batches)
+            for g_index, group in enumerate(groups):
+                alive = [r for r in group if not r.done]
+                if not alive:
+                    continue
+                prev_task = self._decode_group(
+                    decode_stages,
+                    alive,
+                    g_index,
+                    first_deps=merge_deps,
+                    prev_iter_last=self._prev_iter_last,
+                    clock=clock,
+                    stage_key=lambda s: ("dec", s.stage_id),
+                )
+                self._prev_iter_last[g_index] = prev_task
+            self._pool = [r for r in self._pool if not r.done]
+
+        self._cycles += 1
+        # Advance to the next time an admission decision can change: the
+        # encoder freeing up or the decode iteration just built finishing.
+        # Only strictly-future times count -- a stale encoder free-time from
+        # an earlier batch must not freeze the clock (and with it arrival
+        # ingestion) while the decode side is still draining the pool.
+        candidates = [
+            timeline.stage_free_at(("enc", encode_stages[0].stage_id), default=-1.0),
+            timeline.stage_free_at(("dec", decode_stages[0].stage_id), default=-1.0),
+        ]
+        future = [c for c in candidates if c > clock]
+        return min(future) if future else clock
+
+    # -- shared decode-iteration construction -------------------------------------
+
+    def _decode_group(
+        self,
+        stages,
+        alive: list[RequestState],
+        g_index: int,
+        first_deps: list[int],
+        prev_iter_last: dict[int, int],
+        clock: float,
+        stage_key,
+    ) -> int:
+        """Enqueue one micro-batch's decode step across ``stages``; advances
+        the request states and records first-token/finish stamps."""
+        timeline = self._timeline
+        avg_ctx = average_context(alive, self.decoder_only)
+        prev_task: int | None = None
+        deps_first = list(first_deps)
+        if g_index in prev_iter_last:
+            deps_first.append(prev_iter_last[g_index])
+        for stage in stages:
+            duration = decode_stage_time(
+                self.profile, self.placement, stage, len(alive), avg_ctx
+            )
+            deps = [prev_task] if prev_task is not None else deps_first
+            task_id = timeline.add_task(
+                stage_key(stage),
+                duration,
+                tuple(deps),
+                tag="decode",
+                earliest_start_s=clock if prev_task is None else 0.0,
+            )
+            prev_task = task_id
+        completed: list[RequestState] = []
+        for request in alive:
+            request.advance()
+            if request.generated == 1:
+                self._stamp("first_token_s", request.request_id, prev_task)
+            if request.done:
+                self._stamp("finish_s", request.request_id, prev_task)
+                self._freed_last_cycle += 1
+                completed.append(request)
+        if completed:
+            # Early termination leaves holes in the KV cache; the runner packs
+            # them, and the copy occupies the last stage (as offline).
+            compaction = self.profile.kv_compaction_time(
+                len(completed),
+                average_context(completed, self.decoder_only),
+                stages[-1].decoder_layers,
+            )
+            if compaction > 0:
+                prev_task = timeline.add_task(
+                    stage_key(stages[-1]),
+                    compaction,
+                    (prev_task,),
+                    tag="compaction",
+                )
+        return prev_task
+
+    def _extra(self, iterations: int) -> dict[str, float]:
+        return {
+            "iterations": float(iterations),
+            "decode_batch_target": float(self._decode_target),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Rate sweeps: maximum sustainable QPS under an SLO
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """One (system, scenario, rate) measurement of a sweep.
+
+    Attributes:
+        system / scenario: What was measured.
+        rate_qps: Offered mean arrival rate.
+        sustainable: Whether the SLO held (and nothing was rejected).
+        result: The full online result.
+    """
+
+    system: str
+    scenario: str
+    rate_qps: float
+    sustainable: bool
+    result: OnlineResult
+
+
+class OnlineEvaluator:
+    """Sweeps offered request rates to find each system's capacity.
+
+    For every (system, scenario, rate) triple the evaluator stamps the shared
+    request trace with scenario arrivals at that rate, serves it online, and
+    checks the SLO; the *maximum sustainable QPS* is the highest offered rate
+    whose run completes every request within the SLO.
+
+    The SLO is an :class:`~repro.serving.sla.SLA` evaluated against
+    end-to-end latency (queueing included); ``max_rejection_rate`` relaxes
+    the no-drops requirement.
+
+    Args:
+        engine: The ExeGPT instance providing model, profile, distributions.
+        trace: The request trace (lengths only; arrivals are stamped per
+            sweep point).
+        slo: The latency SLO.
+        max_queue: Admission-queue capacity for every server.
+        schedule_headroom: Fraction of the SLO bound given to the schedule
+            search / batch configuration; the remainder absorbs queueing.
+        max_rejection_rate: Tolerated fraction of dropped requests.
+        seed: Seed for arrival sampling (one fixed stream per sweep point).
+    """
+
+    def __init__(
+        self,
+        engine,
+        trace: WorkloadTrace,
+        slo: SLA,
+        max_queue: int = 512,
+        schedule_headroom: float = 0.7,
+        max_rejection_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < schedule_headroom <= 1:
+            raise ValueError("schedule_headroom must be in (0, 1]")
+        self.engine = engine
+        self.trace = trace
+        self.slo = slo
+        self.max_queue = max_queue
+        self.schedule_headroom = schedule_headroom
+        self.max_rejection_rate = max_rejection_rate
+        self.seed = seed
+        self._servers: dict[str, OnlineServer] = {}
+
+    # -- server construction -------------------------------------------------------
+
+    def _target_length(self) -> int:
+        return max(int(self.engine.output_distribution.percentile(99)), 1)
+
+    def server(self, system: str) -> OnlineServer:
+        """Build (and cache) the online server for a system name.
+
+        ``"exegpt"`` searches RRA/WAA schedules under the headroom-scaled SLO
+        bound; ``"orca"`` / ``"vllm"`` configure the baseline's batch size
+        for the same bound.
+        """
+        key = system.lower()
+        if key in self._servers:
+            return self._servers[key]
+        bound = self.slo.bound_s * self.schedule_headroom
+        if key == "exegpt":
+            constraint = LatencyConstraint(
+                bound_s=bound, target_length=self._target_length()
+            )
+            search = self.engine.schedule(constraint)
+            if search.best is None:
+                search = self.engine.schedule(
+                    LatencyConstraint(
+                        bound_s=self.slo.bound_s,
+                        target_length=self._target_length(),
+                    )
+                )
+            if search.best is None:
+                raise ValueError(
+                    "no ExeGPT schedule satisfies the SLO bound "
+                    f"{self.slo.bound_s:g}s"
+                )
+            server: OnlineServer = ExeGPTOnlineServer(
+                simulator=self.engine.simulator,
+                config=search.best.config,
+                max_queue=self.max_queue,
+            )
+        elif key in ("orca", "vllm"):
+            from repro.serving.evaluation import default_baselines
+
+            (baseline,) = default_baselines(self.engine, (key,))
+            batch = baseline.configure_for_bound(bound)
+            server = ContinuousBatchingOnlineServer(
+                system=baseline,
+                batch_size=batch,
+                max_queue=self.max_queue,
+            )
+        else:
+            raise KeyError(
+                f"unknown online system {system!r}; known: exegpt, orca, vllm"
+            )
+        self._servers[key] = server
+        return server
+
+    # -- sweeping --------------------------------------------------------------------
+
+    def measure(
+        self, system: str, process: ArrivalProcess, scenario: str = ""
+    ) -> RatePoint:
+        """Serve the trace under one arrival process and check the SLO."""
+        online_trace = attach_arrivals(self.trace, process, seed=self.seed)
+        result = self.server(system).serve(
+            online_trace,
+            scenario=scenario or process.name,
+            offered_rate_qps=process.rate_qps,
+        )
+        return RatePoint(
+            system=result.system,
+            scenario=result.scenario,
+            rate_qps=process.rate_qps,
+            sustainable=result.satisfies(self.slo, self.max_rejection_rate),
+            result=result,
+        )
+
+    def sweep(
+        self,
+        system: str,
+        scenario: str,
+        rates: list[float] | tuple[float, ...],
+        stop_after_failure: bool = True,
+    ) -> list[RatePoint]:
+        """Measure one system over increasing offered rates of a scenario.
+
+        With ``stop_after_failure`` the sweep aborts once a rate misses the
+        SLO (capacity is monotone in practice, so higher rates only waste
+        simulation time).
+        """
+        points: list[RatePoint] = []
+        for rate in sorted(rates):
+            process = make_scenario(scenario, rate)
+            point = self.measure(system, process, scenario=scenario)
+            points.append(point)
+            if stop_after_failure and not point.sustainable:
+                break
+        return points
+
+    def max_sustainable_qps(
+        self,
+        system: str,
+        scenario: str,
+        rates: list[float] | tuple[float, ...],
+    ) -> float:
+        """Highest offered rate of ``rates`` the system sustains (0 if none)."""
+        best = 0.0
+        for point in self.sweep(system, scenario, rates):
+            if point.sustainable:
+                best = max(best, point.rate_qps)
+        return best
+
+    def evaluate(
+        self,
+        systems: tuple[str, ...] = ("exegpt", "orca", "vllm"),
+        scenarios: tuple[str, ...] = ("steady", "bursty", "diurnal"),
+        rates: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0),
+    ) -> dict[tuple[str, str], float]:
+        """Max sustainable QPS for every (system, scenario) pair."""
+        table: dict[tuple[str, str], float] = {}
+        for system in systems:
+            for scenario in scenarios:
+                table[(system, scenario)] = self.max_sustainable_qps(
+                    system, scenario, rates
+                )
+        return table

@@ -1,0 +1,278 @@
+"""Arrival processes: load generation for online (arrival-driven) serving.
+
+Offline replay treats every request as "already queued" (``arrival_s = 0``);
+online serving instead feeds the engine a *stream* of requests whose arrival
+times follow a stochastic process.  This module provides the three named
+traffic scenarios used by :mod:`repro.serving.online`:
+
+* ``steady``  -- a homogeneous Poisson process: independent exponential
+  inter-arrival times with coefficient of variation (CV) 1.  The classic
+  open-loop load model.
+* ``bursty``  -- a Markov-modulated Poisson process with two phases (calm
+  and burst).  Phase sojourn times are exponential; the burst phase arrives
+  ``burst_factor`` times faster than the calm phase and occupies
+  ``burst_fraction`` of wall-clock time, so the *time-averaged* rate equals
+  ``rate_qps`` while inter-arrival CV rises well above 1.
+* ``diurnal`` -- an inhomogeneous Poisson process whose intensity ramps
+  sinusoidally between ``rate_qps * (1 - amplitude)`` and
+  ``rate_qps * (1 + amplitude)`` over ``period_s`` seconds (a compressed
+  day/night cycle), sampled by thinning.  The period-averaged rate equals
+  ``rate_qps``.
+
+Every process is a frozen dataclass: construction is cheap, ``with_rate``
+re-targets the mean rate for rate sweeps, and all sampling goes through an
+explicit seed (or :class:`numpy.random.Generator`), so a (process, seed,
+num_requests) triple always yields the same arrival times.
+
+``attach_arrivals`` stamps the sampled times onto an existing
+:class:`~repro.workloads.trace.WorkloadTrace`, turning an offline trace into
+an online one without touching its length distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.workloads.trace import WorkloadTrace
+
+
+def _as_rng(seed: int | np.random.Generator) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Base class of arrival processes.
+
+    Attributes:
+        rate_qps: Time-averaged arrival rate in requests per second.
+    """
+
+    rate_qps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+
+    @property
+    def name(self) -> str:
+        """Scenario name of the process."""
+        raise NotImplementedError
+
+    def with_rate(self, rate_qps: float) -> "ArrivalProcess":
+        """A copy of the process re-targeted to a new mean rate."""
+        return replace(self, rate_qps=rate_qps)
+
+    def arrival_times(
+        self, num_requests: int, seed: int | np.random.Generator = 0
+    ) -> np.ndarray:
+        """Sample ``num_requests`` increasing arrival timestamps (seconds).
+
+        Deterministic for a given (process, seed, num_requests) triple.
+        """
+        if num_requests < 0:
+            raise ValueError("num_requests must be non-negative")
+        if num_requests == 0:
+            return np.array([], dtype=float)
+        return self._sample(num_requests, _as_rng(seed))
+
+    def _sample(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals (the ``steady`` scenario)."""
+
+    @property
+    def name(self) -> str:
+        return "steady"
+
+    def _sample(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        gaps = rng.exponential(1.0 / self.rate_qps, size=num_requests)
+        return np.cumsum(gaps)
+
+
+@dataclass(frozen=True)
+class BurstyProcess(ArrivalProcess):
+    """Two-phase Markov-modulated Poisson arrivals (the ``bursty`` scenario).
+
+    Attributes:
+        burst_factor: Ratio of the burst-phase rate to the calm-phase rate.
+        burst_fraction: Fraction of wall-clock time spent in the burst phase.
+        mean_burst_s: Mean sojourn time of one burst; the calm sojourn is
+            derived so the time fraction in bursts equals ``burst_fraction``.
+    """
+
+    burst_factor: float = 8.0
+    burst_fraction: float = 0.1
+    mean_burst_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if not 0 < self.burst_fraction < 1:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.mean_burst_s <= 0:
+            raise ValueError("mean_burst_s must be positive")
+
+    @property
+    def name(self) -> str:
+        return "bursty"
+
+    @property
+    def calm_rate_qps(self) -> float:
+        """Arrival rate of the calm phase."""
+        f = self.burst_fraction
+        return self.rate_qps / ((1.0 - f) + f * self.burst_factor)
+
+    @property
+    def burst_rate_qps(self) -> float:
+        """Arrival rate of the burst phase."""
+        return self.calm_rate_qps * self.burst_factor
+
+    @property
+    def mean_calm_s(self) -> float:
+        """Mean sojourn time of one calm phase."""
+        f = self.burst_fraction
+        return self.mean_burst_s * (1.0 - f) / f
+
+    def _sample(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        times: list[float] = []
+        t = 0.0
+        in_burst = bool(rng.random() < self.burst_fraction)
+        while len(times) < num_requests:
+            sojourn = rng.exponential(
+                self.mean_burst_s if in_burst else self.mean_calm_s
+            )
+            rate = self.burst_rate_qps if in_burst else self.calm_rate_qps
+            elapsed = 0.0
+            while len(times) < num_requests:
+                gap = rng.exponential(1.0 / rate)
+                if elapsed + gap > sojourn:
+                    break
+                elapsed += gap
+                times.append(t + elapsed)
+            t += sojourn
+            in_burst = not in_burst
+        return np.asarray(times, dtype=float)
+
+
+@dataclass(frozen=True)
+class DiurnalProcess(ArrivalProcess):
+    """Sinusoidally-ramping inhomogeneous Poisson arrivals (``diurnal``).
+
+    The intensity ``lambda(t) = rate_qps * (1 - amplitude*cos(2*pi*t/period))``
+    starts at its trough (night), peaks at half a period (midday) and averages
+    exactly ``rate_qps`` over a full period.  Sampling uses Lewis-Shedler
+    thinning against the peak intensity.
+
+    Attributes:
+        period_s: Length of one ramp cycle in seconds.
+        amplitude: Relative swing of the intensity, in [0, 1).
+    """
+
+    period_s: float = 120.0
+    amplitude: float = 0.6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if not 0 <= self.amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1)")
+
+    @property
+    def name(self) -> str:
+        return "diurnal"
+
+    def intensity(self, t: float) -> float:
+        """Instantaneous arrival rate at time ``t``."""
+        return self.rate_qps * (
+            1.0 - self.amplitude * np.cos(2.0 * np.pi * t / self.period_s)
+        )
+
+    def _sample(self, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+        peak = self.rate_qps * (1.0 + self.amplitude)
+        times: list[float] = []
+        t = 0.0
+        while len(times) < num_requests:
+            t += rng.exponential(1.0 / peak)
+            if rng.random() * peak <= self.intensity(t):
+                times.append(t)
+        return np.asarray(times, dtype=float)
+
+
+SCENARIOS: dict[str, type[ArrivalProcess]] = {
+    "steady": PoissonProcess,
+    "bursty": BurstyProcess,
+    "diurnal": DiurnalProcess,
+}
+
+
+def known_scenarios() -> tuple[str, ...]:
+    """Names of the registered traffic scenarios."""
+    return tuple(sorted(SCENARIOS))
+
+
+def make_scenario(name: str, rate_qps: float, **kwargs) -> ArrivalProcess:
+    """Instantiate a registered scenario at a mean rate.
+
+    Args:
+        name: One of :func:`known_scenarios`.
+        rate_qps: Time-averaged arrival rate.
+        **kwargs: Scenario-specific parameters (e.g. ``burst_factor``).
+    """
+    key = name.lower()
+    if key not in SCENARIOS:
+        known = ", ".join(known_scenarios())
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")
+    return SCENARIOS[key](rate_qps=rate_qps, **kwargs)
+
+
+def attach_arrivals(
+    trace: WorkloadTrace,
+    process: ArrivalProcess,
+    seed: int | np.random.Generator = 0,
+) -> WorkloadTrace:
+    """Stamp sampled arrival times onto a trace's requests.
+
+    Request order, ids and length distributions are preserved; arrival times
+    are increasing, so request order remains arrival order.
+    """
+    times = process.arrival_times(len(trace), seed)
+    requests = [
+        replace(spec, arrival_s=float(t))
+        for spec, t in zip(trace.requests, times)
+    ]
+    return WorkloadTrace(
+        name=f"{trace.name}@{process.name}-{process.rate_qps:g}qps",
+        requests=requests,
+        input_distribution=trace.input_distribution,
+        output_distribution=trace.output_distribution,
+    )
+
+
+def empirical_rate(arrival_times: np.ndarray) -> float:
+    """Observed mean arrival rate of a sampled arrival sequence."""
+    times = np.asarray(arrival_times, dtype=float)
+    if times.size < 2 or times[-1] <= 0:
+        return 0.0
+    return float(times.size / times[-1])
+
+
+def interarrival_cv(arrival_times: np.ndarray) -> float:
+    """Coefficient of variation of the inter-arrival gaps (1 for Poisson)."""
+    times = np.asarray(arrival_times, dtype=float)
+    if times.size < 2:
+        return 0.0
+    gaps = np.diff(np.concatenate(([0.0], times)))
+    mean = float(gaps.mean())
+    if mean <= 0:
+        return 0.0
+    return float(gaps.std() / mean)

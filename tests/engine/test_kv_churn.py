@@ -1,0 +1,178 @@
+"""Property-style tests for the KV caches under online churn.
+
+Online serving interleaves admissions (alloc), per-token growth and early
+terminations (free) across iterations; these tests drive both cache flavours
+through randomized churn sequences and assert the allocator invariants the
+online drivers rely on: no block/byte leaks, exact capacity enforcement, and
+consistent accounting.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.kv_manager import ContiguousKVCache, KVCacheError, PagedKVCache
+from repro.models.spec import Architecture, ModelSpec
+
+
+@pytest.fixture(scope="module")
+def kv_model() -> ModelSpec:
+    return ModelSpec(
+        name="KV-Tiny",
+        architecture=Architecture.DECODER_ONLY,
+        num_layers=4,
+        hidden_size=256,
+        num_heads=4,
+        vocab_size=1024,
+    )
+
+
+def paged_cache(model: ModelSpec, blocks: int, block_tokens: int = 16) -> PagedKVCache:
+    block_bytes = block_tokens * 2 * model.kv_bytes_per_token_per_layer()
+    return PagedKVCache(
+        model=model,
+        num_layers=2,
+        capacity_bytes=blocks * block_bytes,
+        block_tokens=block_tokens,
+    )
+
+
+def contiguous_cache(model: ModelSpec, tokens: int) -> ContiguousKVCache:
+    per_token = 2 * model.kv_bytes_per_token_per_layer()
+    return ContiguousKVCache(model=model, num_layers=2, capacity_bytes=tokens * per_token)
+
+
+# -- churn sequences ---------------------------------------------------------------
+
+churn_steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),      # request id
+        st.sampled_from(["admit", "grow", "free"]),  # action
+        st.integers(min_value=1, max_value=64),      # tokens
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestPagedChurn:
+    @given(steps=churn_steps)
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_alloc_free_never_leaks(self, steps):
+        model = ModelSpec(
+            name="KV-Tiny",
+            architecture=Architecture.DECODER_ONLY,
+            num_layers=4,
+            hidden_size=256,
+            num_heads=4,
+            vocab_size=1024,
+        )
+        cache = paged_cache(model, blocks=32)
+        live: dict[int, int] = {}  # request id -> tokens ensured
+        for request_id, action, tokens in steps:
+            if action == "admit" and request_id not in live:
+                if cache.can_admit(tokens):
+                    cache.ensure(request_id, tokens)
+                    live[request_id] = tokens
+                else:
+                    with pytest.raises(KVCacheError):
+                        cache.ensure(request_id, tokens)
+            elif action == "grow" and request_id in live:
+                target = live[request_id] + tokens
+                growth = cache.blocks_needed(target) - cache.blocks_needed(
+                    live[request_id]
+                )
+                if growth <= cache.free_blocks:
+                    cache.ensure(request_id, target)
+                    live[request_id] = target
+                else:
+                    with pytest.raises(KVCacheError):
+                        cache.ensure(request_id, target)
+            elif action == "free" and request_id in live:
+                freed = cache.release(request_id)
+                assert freed == cache.blocks_needed(live.pop(request_id))
+            # Accounting invariants hold after every step.
+            expected = sum(cache.blocks_needed(t) for t in live.values())
+            assert cache.used_blocks == expected
+            assert cache.free_blocks == cache.total_blocks - expected
+            assert 0 <= cache.used_blocks <= cache.total_blocks
+            assert cache.peak_bytes >= cache.used_bytes - 1e-9
+        # Draining every live request returns the cache to empty: no leaks.
+        for request_id in list(live):
+            cache.release(request_id)
+        assert cache.used_blocks == 0
+        assert cache.free_blocks == cache.total_blocks
+
+    def test_error_exactly_at_capacity(self, kv_model):
+        cache = paged_cache(kv_model, blocks=4, block_tokens=16)
+        cache.ensure(0, 64)  # exactly 4 blocks: fits
+        assert cache.free_blocks == 0
+        with pytest.raises(KVCacheError):
+            cache.ensure(1, 1)  # one more block: exact overflow point
+        assert cache.can_admit(0)
+        assert not cache.can_admit(1)
+        cache.release(0)
+        cache.ensure(1, 1)  # fits again after the free
+
+    def test_shrink_requests_are_noops(self, kv_model):
+        cache = paged_cache(kv_model, blocks=8)
+        cache.ensure(0, 40)
+        used = cache.used_blocks
+        cache.ensure(0, 10)  # ensure() never shrinks
+        assert cache.used_blocks == used
+
+    def test_release_unknown_request(self, kv_model):
+        with pytest.raises(KVCacheError):
+            paged_cache(kv_model, blocks=8).release(99)
+
+
+class TestContiguousChurn:
+    @given(steps=churn_steps)
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_reserve_release_never_leaks(self, steps):
+        model = ModelSpec(
+            name="KV-Tiny",
+            architecture=Architecture.DECODER_ONLY,
+            num_layers=4,
+            hidden_size=256,
+            num_heads=4,
+            vocab_size=1024,
+        )
+        cache = contiguous_cache(model, tokens=256)
+        live: set[int] = set()
+        for request_id, action, tokens in steps:
+            if action == "admit" and request_id not in live:
+                needed = cache.bytes_for_tokens(tokens)
+                if needed <= cache.free_bytes + 1e-9:
+                    cache.reserve(request_id, tokens)
+                    live.add(request_id)
+                else:
+                    with pytest.raises(KVCacheError):
+                        cache.reserve(request_id, tokens)
+            elif action == "grow" and request_id in live:
+                # Contiguous slots are fixed: re-reserving must fail.
+                with pytest.raises(KVCacheError):
+                    cache.reserve(request_id, tokens)
+            elif action == "free" and request_id in live:
+                assert cache.release(request_id) > 0
+                live.remove(request_id)
+            assert cache.used_bytes <= cache.capacity_bytes + 1e-9
+            assert cache.peak_bytes >= cache.used_bytes - 1e-9
+        for request_id in list(live):
+            cache.release(request_id)
+        assert cache.used_bytes == 0
+        assert cache.free_bytes == pytest.approx(cache.capacity_bytes)
+
+    def test_error_exactly_at_capacity(self, kv_model):
+        cache = contiguous_cache(kv_model, tokens=100)
+        cache.reserve(0, 100)
+        with pytest.raises(KVCacheError):
+            cache.reserve(1, 1)
+        cache.release(0)
+        cache.reserve(1, 100)
+
+    def test_compaction_tracks_live_bytes(self, kv_model):
+        cache = contiguous_cache(kv_model, tokens=100)
+        cache.reserve(0, 40)
+        cache.reserve(1, 40)
+        cache.release(0)
+        assert cache.compaction_bytes() == pytest.approx(cache.bytes_for_tokens(40))

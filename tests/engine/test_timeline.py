@@ -88,6 +88,69 @@ class TestPipelineBehaviour:
         assert busy["s0"] == pytest.approx(1.0)
 
 
+class TestReleaseTimes:
+    def test_earliest_start_delays_task(self):
+        tl = Timeline()
+        t = tl.add_task("s0", 1.0, earliest_start_s=5.0)
+        assert tl.start_time(t) == pytest.approx(5.0)
+        assert tl.finish_time(t) == pytest.approx(6.0)
+
+    def test_earliest_start_noop_when_stage_busy(self):
+        tl = Timeline()
+        tl.add_task("s0", 10.0)
+        t = tl.add_task("s0", 1.0, earliest_start_s=5.0)
+        assert tl.start_time(t) == pytest.approx(10.0)
+
+    def test_earliest_start_combines_with_deps(self):
+        tl = Timeline()
+        a = tl.add_task("s0", 2.0)
+        b = tl.add_task("s1", 1.0, deps=(a,), earliest_start_s=7.0)
+        assert tl.start_time(b) == pytest.approx(7.0)
+
+    def test_negative_release_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().add_task("s0", 1.0, earliest_start_s=-0.1)
+
+
+class TestIncrementalScheduling:
+    def test_queries_do_not_finalize(self):
+        """An online driver can query times and keep adding tasks."""
+        tl = Timeline()
+        a = tl.add_task("s0", 2.0)
+        assert tl.finish_time(a) == pytest.approx(2.0)
+        b = tl.add_task("s0", 1.0)  # still allowed after the query
+        assert tl.finish_time(b) == pytest.approx(3.0)
+
+    def test_incremental_matches_batch(self):
+        """Interleaving schedule_pending with adds changes nothing."""
+        batch = Timeline()
+        online = Timeline()
+        plan = [("s0", 1.0, ()), ("s1", 2.0, (0,)), ("s0", 3.0, (1,)), ("s1", 1.5, ())]
+        for stage, duration, deps in plan:
+            batch.add_task(stage, duration, deps)
+        for stage, duration, deps in plan:
+            online.add_task(stage, duration, deps)
+            online.schedule_pending()
+        batch.run()
+        for expected, actual in zip(batch.tasks, online.tasks):
+            assert actual.start_s == pytest.approx(expected.start_s)
+            assert actual.finish_s == pytest.approx(expected.finish_s)
+
+    def test_stage_free_at(self):
+        tl = Timeline()
+        tl.add_task("s0", 2.0)
+        tl.add_task("s0", 3.0)
+        assert tl.stage_free_at("s0") == pytest.approx(5.0)
+        assert tl.stage_free_at("unused", default=1.25) == 1.25
+
+    def test_run_still_finalizes(self):
+        tl = Timeline()
+        tl.add_task("s0", 1.0)
+        tl.run()
+        with pytest.raises(RuntimeError):
+            tl.add_task("s0", 1.0)
+
+
 class TestTimelineProperties:
     @given(
         durations=st.lists(

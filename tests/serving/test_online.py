@@ -1,0 +1,248 @@
+"""Integration tests for the online arrival-driven serving simulator."""
+
+import pytest
+
+from repro.baselines.orca import Orca
+from repro.baselines.vllm import Vllm
+from repro.core.config import ScheduleConfig, SchedulePolicy
+from repro.serving.online import (
+    ContinuousBatchingOnlineServer,
+    ExeGPTOnlineServer,
+    OnlineEvaluator,
+    OnlineResult,
+)
+from repro.serving.sla import SLA, SLAKind
+from repro.workloads.arrivals import PoissonProcess, attach_arrivals
+from repro.workloads.synthetic import generate_trace_from_distributions
+
+
+@pytest.fixture(scope="module")
+def base_trace(short_input_dist, short_output_dist):
+    return generate_trace_from_distributions(
+        short_input_dist, short_output_dist, num_requests=64, seed=9, name="online"
+    )
+
+
+def make_orca_server(profile, in_dist, out_dist, batch_size=16, max_queue=512):
+    system = Orca(
+        profile=profile, input_distribution=in_dist, output_distribution=out_dist
+    )
+    return ContinuousBatchingOnlineServer(
+        system=system, batch_size=batch_size, max_queue=max_queue
+    )
+
+
+class TestConservation:
+    @pytest.mark.parametrize("rate", [2.0, 50.0, 2000.0])
+    def test_offered_equals_completed_plus_rejected(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace, rate
+    ):
+        server = make_orca_server(
+            tiny_profile, short_input_dist, short_output_dist, max_queue=8
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(rate), seed=3)
+        result = server.serve(online, scenario="steady", offered_rate_qps=rate)
+        assert result.offered == len(base_trace)
+        assert result.completed + result.rejected == result.offered
+        # Every non-rejected request finished with ordered timestamps.
+        for record in result.records:
+            if record.rejected:
+                assert not record.completed
+                assert record.admitted_s < 0
+            else:
+                assert record.completed
+                assert record.arrival_s <= record.admitted_s + 1e-9
+                assert record.admitted_s <= record.first_token_s + 1e-9
+                assert record.first_token_s <= record.finish_s + 1e-9
+
+    def test_exegpt_rra_conserves(self, tiny_simulator, base_trace):
+        config = ScheduleConfig(
+            policy=SchedulePolicy.RRA, encode_batch=8, decode_iterations=4
+        )
+        server = ExeGPTOnlineServer(tiny_simulator, config)
+        online = attach_arrivals(base_trace, PoissonProcess(20.0), seed=5)
+        result = server.serve(online)
+        assert result.completed + result.rejected == result.offered
+        assert result.completed == result.offered  # ample queue: no drops
+
+    def test_exegpt_waa_conserves(self, tiny_simulator, base_trace):
+        config = ScheduleConfig(
+            policy=SchedulePolicy.WAA_C, encode_batch=8, micro_batches=2
+        )
+        server = ExeGPTOnlineServer(tiny_simulator, config)
+        online = attach_arrivals(base_trace, PoissonProcess(20.0), seed=5)
+        result = server.serve(online)
+        assert result.completed + result.rejected == result.offered
+        assert result.completed == result.offered
+
+    def test_waa_ingests_mid_run_arrivals(self, tiny_simulator):
+        """A straggler arriving while WAA decodes is admitted promptly.
+
+        Regression test: the WAA clock must keep advancing through
+        decode-only iterations, or arrivals sit unseen until the whole
+        standing pool drains.
+        """
+        from repro.workloads.trace import RequestSpec, WorkloadTrace
+
+        in_dist = tiny_simulator.input_distribution
+        out_dist = tiny_simulator.output_distribution
+        config = ScheduleConfig(
+            policy=SchedulePolicy.WAA_C, encode_batch=8, micro_batches=2
+        )
+        head = [RequestSpec(i, 48, 40, 0.0) for i in range(16)]
+        head_run = ExeGPTOnlineServer(tiny_simulator, config).serve(
+            WorkloadTrace("head", head, in_dist, out_dist)
+        )
+        mid = head_run.makespan_s / 2
+        trace = WorkloadTrace(
+            "late", head + [RequestSpec(16, 48, 8, mid)], in_dist, out_dist
+        )
+        result = ExeGPTOnlineServer(tiny_simulator, config).serve(trace)
+        late = result.records[16]
+        assert result.completed == 17
+        assert late.admitted_s >= late.arrival_s - 1e-9
+        # Admitted while the pool is still draining, not after it empties.
+        assert late.admitted_s < 0.75 * head_run.makespan_s
+
+
+class TestLatencySemantics:
+    def test_sparse_arrivals_have_no_queueing(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace
+    ):
+        """At a trickle rate each request is served alone on arrival."""
+        server = make_orca_server(tiny_profile, short_input_dist, short_output_dist)
+        online = attach_arrivals(base_trace, PoissonProcess(0.05), seed=2)
+        result = server.serve(online)
+        assert result.completed == result.offered
+        assert result.queue_delay_percentile(99) == pytest.approx(0.0, abs=1e-6)
+        # Makespan extends past the last arrival (requests arrive over time).
+        assert result.makespan_s > max(r.arrival_s for r in result.records)
+
+    def test_ttft_precedes_latency(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace
+    ):
+        server = make_orca_server(tiny_profile, short_input_dist, short_output_dist)
+        online = attach_arrivals(base_trace, PoissonProcess(20.0), seed=2)
+        result = server.serve(online)
+        assert 0 < result.ttft_percentile(99) <= result.latency_percentile(99)
+
+    def test_overload_inflates_latency(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace
+    ):
+        """E2E latency at heavy load dominates the uncontended latency."""
+        server = make_orca_server(
+            tiny_profile, short_input_dist, short_output_dist, batch_size=4
+        )
+        calm = server.serve(attach_arrivals(base_trace, PoissonProcess(0.05), seed=2))
+        busy = server.serve(attach_arrivals(base_trace, PoissonProcess(500.0), seed=2))
+        assert busy.mean_latency_s > calm.mean_latency_s
+
+
+class TestSLAIntegration:
+    def test_monotone_sla_degradation(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace
+    ):
+        """SLO attainment never improves as the offered rate rises."""
+        slo = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=0.5, percentile=99.0)
+        server = make_orca_server(
+            tiny_profile, short_input_dist, short_output_dist,
+            batch_size=8, max_queue=8,
+        )
+        attainments = []
+        for rate in (5.0, 50.0, 500.0, 5000.0):
+            online = attach_arrivals(base_trace, PoissonProcess(rate), seed=3)
+            attainments.append(server.serve(online).attainment(slo))
+        assert attainments[0] == pytest.approx(1.0)
+        for lower, higher in zip(attainments, attainments[1:]):
+            assert higher <= lower + 0.05
+        assert attainments[-1] < attainments[0]
+
+    def test_to_run_result_feeds_sla(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace
+    ):
+        server = make_orca_server(tiny_profile, short_input_dist, short_output_dist)
+        online = attach_arrivals(base_trace, PoissonProcess(5.0), seed=3)
+        result = server.serve(online)
+        run_result = result.to_run_result()
+        assert run_result.num_requests == result.completed
+        assert run_result.p99_latency_s == pytest.approx(
+            result.latency_percentile(99.0)
+        )
+        generous = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=1000.0)
+        harsh = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=1e-6)
+        assert result.satisfies(generous)
+        assert not result.satisfies(harsh)
+
+    def test_rejections_break_sustainability(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace
+    ):
+        server = make_orca_server(
+            tiny_profile, short_input_dist, short_output_dist,
+            batch_size=2, max_queue=2,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(5000.0), seed=3)
+        result = server.serve(online)
+        assert result.rejected > 0
+        generous = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=1000.0)
+        assert not result.satisfies(generous)
+        assert result.satisfies(generous, max_rejection_rate=1.0)
+        assert result.attainment(generous) < 1.0
+
+
+class TestPagedCacheDriver:
+    def test_vllm_driver_uses_paged_cache(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace
+    ):
+        system = Vllm(
+            profile=tiny_profile,
+            input_distribution=short_input_dist,
+            output_distribution=short_output_dist,
+        )
+        server = ContinuousBatchingOnlineServer(system=system, batch_size=8)
+        online = attach_arrivals(base_trace, PoissonProcess(50.0), seed=1)
+        result = server.serve(online)
+        assert result.completed == result.offered
+        assert result.extra["peak_kv_gib"] > 0
+
+
+class TestOnlineEvaluator:
+    @pytest.fixture(scope="class")
+    def evaluator(self, tiny_engine, base_trace):
+        slo = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=2.0, percentile=99.0)
+        return OnlineEvaluator(tiny_engine, base_trace, slo, max_queue=16, seed=3)
+
+    def test_servers_are_cached(self, evaluator):
+        assert evaluator.server("orca") is evaluator.server("orca")
+
+    def test_unknown_system_rejected(self, evaluator):
+        with pytest.raises(KeyError):
+            evaluator.server("triton")
+
+    def test_sweep_stops_after_failure(self, evaluator):
+        points = evaluator.sweep(
+            "orca", "steady", rates=(1.0, 10.0, 1e5, 1e6), stop_after_failure=True
+        )
+        # Once a rate fails, higher rates are not simulated.
+        failed = [p for p in points if not p.sustainable]
+        assert len(failed) <= 1
+        if failed:
+            assert points[-1] is failed[0]
+
+    def test_max_sustainable_qps_brackets_capacity(self, evaluator):
+        rates = (1.0, 1e6)
+        qps = evaluator.max_sustainable_qps("orca", "steady", rates)
+        assert qps == 1.0  # sustainable at a trickle, not at a million QPS
+
+    def test_exegpt_schedule_found(self, evaluator):
+        server = evaluator.server("exegpt")
+        point = evaluator.measure("exegpt", PoissonProcess(2.0), scenario="steady")
+        assert point.sustainable
+        assert point.result.system == server.name
+
+    def test_evaluate_builds_capacity_table(self, evaluator):
+        table = evaluator.evaluate(
+            systems=("exegpt", "orca"), scenarios=("steady",), rates=(1.0, 2.0)
+        )
+        assert set(table) == {("exegpt", "steady"), ("orca", "steady")}
+        for qps in table.values():
+            assert qps in (0.0, 1.0, 2.0)

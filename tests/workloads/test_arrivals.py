@@ -1,0 +1,163 @@
+"""Tests for the arrival processes behind online serving."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyProcess,
+    DiurnalProcess,
+    PoissonProcess,
+    attach_arrivals,
+    empirical_rate,
+    interarrival_cv,
+    known_scenarios,
+    make_scenario,
+)
+from repro.workloads.synthetic import generate_task_trace
+from repro.workloads.tasks import get_task
+
+ALL_PROCESSES = [
+    PoissonProcess(rate_qps=4.0),
+    BurstyProcess(rate_qps=4.0),
+    DiurnalProcess(rate_qps=4.0),
+]
+
+
+class TestSampling:
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_seeded_determinism(self, process):
+        a = process.arrival_times(500, seed=7)
+        b = process.arrival_times(500, seed=7)
+        np.testing.assert_array_equal(a, b)
+        c = process.arrival_times(500, seed=8)
+        assert not np.array_equal(a, c)
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_times_increasing_and_positive(self, process):
+        times = process.arrival_times(300, seed=1)
+        assert times.shape == (300,)
+        assert times[0] > 0
+        assert np.all(np.diff(times) > 0)
+
+    @pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.name)
+    def test_empty_sample(self, process):
+        assert process.arrival_times(0, seed=0).size == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(rate_qps=1.0).arrival_times(-1)
+
+    def test_generator_accepted_as_seed(self):
+        rng = np.random.default_rng(3)
+        times = PoissonProcess(rate_qps=2.0).arrival_times(10, seed=rng)
+        assert times.size == 10
+
+
+class TestStatistics:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            PoissonProcess(rate_qps=4.0),
+            # Short sojourns so the sample spans many calm/burst cycles.
+            BurstyProcess(rate_qps=4.0, mean_burst_s=1.0),
+            DiurnalProcess(rate_qps=4.0),
+        ],
+        ids=lambda p: p.name,
+    )
+    def test_mean_rate_within_tolerance(self, process):
+        """The time-averaged rate matches rate_qps within sampling noise."""
+        times = process.arrival_times(4000, seed=11)
+        assert empirical_rate(times) == pytest.approx(process.rate_qps, rel=0.15)
+
+    def test_poisson_cv_near_one(self):
+        times = PoissonProcess(rate_qps=4.0).arrival_times(4000, seed=5)
+        assert interarrival_cv(times) == pytest.approx(1.0, abs=0.15)
+
+    def test_bursty_cv_exceeds_poisson(self):
+        bursty = BurstyProcess(rate_qps=4.0).arrival_times(4000, seed=5)
+        steady = PoissonProcess(rate_qps=4.0).arrival_times(4000, seed=5)
+        assert interarrival_cv(bursty) > interarrival_cv(steady) + 0.1
+
+    def test_diurnal_intensity_ramps(self):
+        process = DiurnalProcess(rate_qps=4.0, period_s=100.0, amplitude=0.6)
+        assert process.intensity(0.0) == pytest.approx(4.0 * 0.4)
+        assert process.intensity(50.0) == pytest.approx(4.0 * 1.6)
+
+    def test_stats_edge_cases(self):
+        assert empirical_rate(np.array([])) == 0.0
+        assert empirical_rate(np.array([1.0])) == 0.0
+        assert interarrival_cv(np.array([1.0])) == 0.0
+
+
+class TestValidation:
+    def test_rate_must_be_positive(self):
+        for cls in (PoissonProcess, BurstyProcess, DiurnalProcess):
+            with pytest.raises(ValueError):
+                cls(rate_qps=0.0)
+
+    def test_bursty_parameters(self):
+        with pytest.raises(ValueError):
+            BurstyProcess(rate_qps=1.0, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            BurstyProcess(rate_qps=1.0, burst_fraction=1.0)
+        with pytest.raises(ValueError):
+            BurstyProcess(rate_qps=1.0, mean_burst_s=0.0)
+
+    def test_diurnal_parameters(self):
+        with pytest.raises(ValueError):
+            DiurnalProcess(rate_qps=1.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalProcess(rate_qps=1.0, period_s=0.0)
+
+    def test_bursty_mean_rate_identity(self):
+        """Calm/burst rates are derived to preserve the time-averaged rate."""
+        process = BurstyProcess(rate_qps=6.0, burst_factor=10.0, burst_fraction=0.2)
+        f = process.burst_fraction
+        averaged = (1 - f) * process.calm_rate_qps + f * process.burst_rate_qps
+        assert averaged == pytest.approx(6.0)
+
+
+class TestRegistryAndRetargeting:
+    def test_known_scenarios(self):
+        assert known_scenarios() == ("bursty", "diurnal", "steady")
+
+    def test_make_scenario(self):
+        process = make_scenario("bursty", 3.0, burst_factor=4.0)
+        assert isinstance(process, BurstyProcess)
+        assert process.rate_qps == 3.0
+        assert process.burst_factor == 4.0
+
+    def test_make_scenario_unknown(self):
+        with pytest.raises(KeyError):
+            make_scenario("weekend", 1.0)
+
+    def test_with_rate_preserves_shape_parameters(self):
+        process = BurstyProcess(rate_qps=2.0, burst_factor=5.0)
+        rescaled = process.with_rate(8.0)
+        assert isinstance(rescaled, BurstyProcess)
+        assert rescaled.rate_qps == 8.0
+        assert rescaled.burst_factor == 5.0
+        assert process.rate_qps == 2.0  # original untouched
+
+
+class TestAttachArrivals:
+    def test_attach_preserves_requests(self):
+        trace = generate_task_trace(get_task("S"), num_requests=50, seed=2)
+        online = attach_arrivals(trace, PoissonProcess(rate_qps=5.0), seed=4)
+        assert len(online) == len(trace)
+        for before, after in zip(trace.requests, online.requests):
+            assert after.request_id == before.request_id
+            assert after.input_len == before.input_len
+            assert after.output_len == before.output_len
+            assert after.arrival_s > 0
+        arrivals = [r.arrival_s for r in online.requests]
+        assert arrivals == sorted(arrivals)
+        assert online.input_distribution is trace.input_distribution
+        assert "steady" in online.name
+
+    def test_attach_is_deterministic(self):
+        trace = generate_task_trace(get_task("S"), num_requests=20, seed=2)
+        a = attach_arrivals(trace, PoissonProcess(rate_qps=5.0), seed=4)
+        b = attach_arrivals(trace, PoissonProcess(rate_qps=5.0), seed=4)
+        assert [r.arrival_s for r in a.requests] == [r.arrival_s for r in b.requests]
