@@ -1,0 +1,15 @@
+"""Helpers shared by the benchmark suite's conftest modules.
+
+Lives outside ``conftest.py`` because the benchmark test modules import the
+helper by the plain module name (``from conftest import run_once``) and
+there are two conftest files (``benchmarks/`` and ``benchmarks/perf/``);
+which one wins that import depends on collection order, so both re-export
+from here instead of defining anything import-order-sensitive themselves.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -17,6 +17,8 @@ import pathlib
 
 import pytest
 
+from bench_helpers import run_once  # noqa: F401  (re-export for test modules)
+
 _BENCHMARK_DIR = pathlib.Path(__file__).parent.resolve()
 
 
@@ -24,8 +26,3 @@ def pytest_collection_modifyitems(items):
     for item in items:
         if _BENCHMARK_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
             item.add_marker(pytest.mark.slow)
-
-
-def run_once(benchmark, func, *args, **kwargs):
-    """Run ``func`` exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

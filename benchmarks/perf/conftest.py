@@ -1,0 +1,27 @@
+"""Fixtures and markers for the perf-regression micro-benchmarks.
+
+Everything in this directory is marked ``perf`` (in addition to the ``slow``
+marker the parent ``benchmarks/`` conftest applies), so the harness can be
+run on its own with ``pytest benchmarks/perf -m perf``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from bench_helpers import run_once  # noqa: F401,E402  (re-export: sibling
+# benchmark modules import it via the ambiguous plain name `conftest`, and
+# either conftest module can win that import depending on collection order)
+
+_PERF_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _PERF_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.perf)

@@ -1,0 +1,81 @@
+"""Perf-regression tests: the vectorized engine must stay fast.
+
+One module-scoped harness run produces every measurement; the tests assert
+the same-run speedups of the vectorized engine over the scalar reference
+path (machine-independent, unlike absolute wall times) plus scalar/batched
+parity.  With ``BENCH_RECORD=1`` in the environment (set by the nightly CI
+perf job) the record is also appended to ``BENCH_search.json``, so the perf
+trajectory is tracked across PRs without plain test runs dirtying the
+committed file.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from harness import (
+    BENCH_PATH,
+    bench_estimate,
+    bench_runner,
+    bench_search,
+    build_search_engine,
+    make_record,
+    write_bench_record,
+)
+
+
+@pytest.fixture(scope="module")
+def bench_record():
+    engine = build_search_engine()
+    estimate = bench_estimate(engine)
+    search = bench_search(engine, estimate.scalar_ms_per_point)
+    runner = bench_runner()
+    if os.environ.get("BENCH_RECORD") == "1":
+        record = write_bench_record(estimate, search, runner)
+    else:
+        record = make_record(estimate, search, runner)
+    return {"estimate": estimate, "search": search, "runner": runner, "record": record}
+
+
+def test_estimate_batch_parity_and_speedup(bench_record):
+    estimate = bench_record["estimate"]
+    assert estimate.worst_rel_err < 1e-9
+    # Batched estimation amortizes per-point Python overhead; anything below
+    # ~10x means the vectorized path degenerated to per-point work.
+    assert estimate.speedup >= 10.0
+
+
+def test_exhaustive_search_speedup(bench_record):
+    search = bench_record["search"]
+    # Acceptance bar: the 65,536-point exhaustive grid must be >= 10x faster
+    # than evaluating it through the scalar reference path.
+    assert search.space_points >= 65536
+    assert search.exhaustive_speedup >= 10.0
+    assert search.best_throughput_matches
+
+
+def test_branch_and_bound_speedup(bench_record):
+    search = bench_record["search"]
+    # The batched evaluator must keep branch-and-bound well ahead of the
+    # scalar path (the pre-PR baseline was 8.2 s; batched runs in ~1 s).
+    assert search.bnb_speedup >= 3.0
+    assert search.bnb_batched_s < search.exhaustive_batched_s * 2.0
+
+
+def test_runner_replay_recorded(bench_record):
+    runner = bench_record["runner"]
+    assert runner.throughput_seq_per_s > 0
+    # Replaying 512 requests is milliseconds of work; a minute means the
+    # runner hot path regressed catastrophically.
+    assert runner.runner_s < 60.0
+
+
+def test_bench_record_complete(bench_record):
+    record = bench_record["record"]
+    assert record["search"]["space_points"] >= 65536
+    assert set(record) >= {"timestamp", "host", "search_space", "estimate", "search", "runner"}
+    # The committed trajectory file exists; it is only appended to when
+    # recording is explicitly enabled (BENCH_RECORD=1 or the harness CLI).
+    assert BENCH_PATH.exists()

@@ -20,6 +20,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.config import SchedulePolicy, TensorParallelConfig
 from repro.hardware.cluster import Cluster
 from repro.models.spec import ModelSpec
@@ -148,6 +150,34 @@ def _split_evenly(total: int, parts: int) -> list[int]:
     return [base + (1 if i < rem else 0) for i in range(parts)]
 
 
+def waa_stage_split(
+    num_stages: int,
+    encode_weight: float,
+    decode_weight: float,
+    min_encode_stages: int = 1,
+    min_decode_stages: int = 1,
+) -> int:
+    """Number of encoder stages a WAA placement assigns out of ``num_stages``.
+
+    This is the only way the (continuous) encode/decode weights influence the
+    shape of a WAA placement, so memoizing placements by the returned split
+    is exact.  Shared by :func:`allocate_waa` and the simulator's placement
+    cache to keep the two from diverging.
+    """
+    if encode_weight < 0 or decode_weight < 0:
+        raise ValueError("weights must be non-negative")
+    if encode_weight + decode_weight == 0:
+        raise ValueError("at least one weight must be positive")
+    if num_stages < min_encode_stages + min_decode_stages:
+        raise ValueError(
+            f"WAA needs at least {min_encode_stages + min_decode_stages} pipeline "
+            f"stages, got {num_stages}"
+        )
+    total = encode_weight + decode_weight
+    encode_stages = int(round(num_stages * encode_weight / total))
+    return min(max(encode_stages, min_encode_stages), num_stages - min_decode_stages)
+
+
 def _build_tp_groups(
     num_gpus: int, tensor_parallel: TensorParallelConfig
 ) -> list[tuple[int, ...]]:
@@ -239,22 +269,15 @@ def allocate_waa(
     """
     if not policy.is_waa:
         raise ValueError("allocate_waa requires a WAA policy")
-    if encode_weight < 0 or decode_weight < 0:
-        raise ValueError("weights must be non-negative")
-    if encode_weight + decode_weight == 0:
-        raise ValueError("at least one weight must be positive")
     tp = tensor_parallel or TensorParallelConfig()
     groups = _build_tp_groups(cluster.num_gpus, tp)
     num_stages = len(groups)
-    if num_stages < min_encode_stages + min_decode_stages:
-        raise ValueError(
-            f"WAA needs at least {min_encode_stages + min_decode_stages} pipeline "
-            f"stages, got {num_stages}"
-        )
-    total = encode_weight + decode_weight
-    encode_stages = int(round(num_stages * encode_weight / total))
-    encode_stages = min(
-        max(encode_stages, min_encode_stages), num_stages - min_decode_stages
+    encode_stages = waa_stage_split(
+        num_stages,
+        encode_weight,
+        decode_weight,
+        min_encode_stages=min_encode_stages,
+        min_decode_stages=min_decode_stages,
     )
     decode_stages = num_stages - encode_stages
 
@@ -329,8 +352,11 @@ def waa_memory_weights(
     Encoder GPUs hold the encoding weights plus transient activations;
     decoder GPUs hold the decoding weights plus the standing KV cache of the
     in-flight decode batch, which dominates for long outputs.
+
+    ``encode_batch`` / ``decode_batch`` may be numpy arrays (one entry per
+    candidate configuration); the returned weights then are arrays too.
     """
-    if decode_batch < 0 or encode_batch < 0:
+    if np.any(np.asarray(decode_batch) < 0) or np.any(np.asarray(encode_batch) < 0):
         raise ValueError("batch sizes must be non-negative")
     enc_weights = float(model.encoder_parameters * model.dtype_bytes)
     dec_weights = float(model.decoder_parameters * model.dtype_bytes)

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.allocation import Placement, StagePlan, stage_weight_bytes
 from repro.core.profiler import ProfileTable
 
@@ -84,6 +86,51 @@ def decode_stage_time(
     return stage.decoder_layers * (per_layer + sync)
 
 
+@dataclass(frozen=True)
+class StageTimesBatch:
+    """Per-stage execution times for many (micro-)batches at once.
+
+    The vectorized counterpart of :class:`StageTimes`: ``times[s, p]`` is the
+    time of stage ``s`` for evaluation point ``p``.  Column ``p`` holds
+    exactly the values ``StageTimes.times`` would hold for point ``p``.
+
+    Attributes:
+        times: Array of shape ``(num_stages, num_points)``, seconds.
+    """
+
+    times: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        if times.ndim != 2:
+            raise ValueError("times must be a (num_stages, num_points) array")
+        object.__setattr__(self, "times", times)
+
+    @property
+    def bottleneck(self) -> np.ndarray:
+        """Per-point time of the slowest stage."""
+        if self.times.shape[0] == 0:
+            return np.zeros(self.times.shape[1])
+        return np.max(self.times, axis=0)
+
+    @property
+    def traversal(self) -> np.ndarray:
+        """Per-point sum of all stage times (pipeline traversal)."""
+        if self.times.shape[0] == 0:
+            return np.zeros(self.times.shape[1])
+        return np.add.reduce(self.times, axis=0)
+
+    @property
+    def num_stages(self) -> int:
+        """Pipeline depth."""
+        return int(self.times.shape[0])
+
+    @property
+    def num_points(self) -> int:
+        """Number of evaluation points."""
+        return int(self.times.shape[1])
+
+
 def encode_stage_times(
     profile: ProfileTable,
     placement: Placement,
@@ -112,6 +159,66 @@ def decode_stage_times(
             for stage in placement.decode_stages
         )
     )
+
+
+def encode_stage_times_batch(
+    profile: ProfileTable,
+    placement: Placement,
+    batch: np.ndarray,
+    avg_input_len: float,
+) -> StageTimesBatch:
+    """Encode-phase times of all encode stages for many (micro-)batches.
+
+    ``batch`` is a 1-D array of micro-batch sizes (one per evaluation point).
+    Stages sharing a (TP degree, node-spanning) signature reuse one grid
+    lookup, so the cost is one vectorized interpolation per distinct TP
+    group rather than one scalar lookup per (stage, point).
+    """
+    batch = np.asarray(batch, dtype=float)
+    stages = placement.encode_stages
+    shared: dict[tuple[int, bool], np.ndarray] = {}
+    rows: list[np.ndarray] = []
+    for stage in stages:
+        if stage.encoder_layers == 0:
+            rows.append(np.zeros_like(batch))
+            continue
+        key = (stage.tp_degree, placement.stage_spans_nodes(stage))
+        if key not in shared:
+            tp, spans = key
+            per_layer = profile.encode_layer_time_batch(tp, batch, avg_input_len)
+            sync = profile.encode_sync_time_batch(tp, batch, avg_input_len, spans)
+            shared[key] = per_layer + sync
+        rows.append(stage.encoder_layers * shared[key])
+    if not rows:
+        return StageTimesBatch(np.zeros((0, batch.size)))
+    return StageTimesBatch(np.stack(rows))
+
+
+def decode_stage_times_batch(
+    profile: ProfileTable,
+    placement: Placement,
+    batch: np.ndarray,
+    avg_context_len: float,
+) -> StageTimesBatch:
+    """Decode-step times of all decode stages for many (micro-)batches."""
+    batch = np.asarray(batch, dtype=float)
+    stages = placement.decode_stages
+    shared: dict[tuple[int, bool], np.ndarray] = {}
+    rows: list[np.ndarray] = []
+    for stage in stages:
+        if stage.decoder_layers == 0:
+            rows.append(np.zeros_like(batch))
+            continue
+        key = (stage.tp_degree, placement.stage_spans_nodes(stage))
+        if key not in shared:
+            tp, spans = key
+            per_layer = profile.decode_layer_time_batch(tp, batch, avg_context_len)
+            sync = profile.decode_sync_time_batch(tp, batch, spans)
+            shared[key] = per_layer + sync
+        rows.append(stage.decoder_layers * shared[key])
+    if not rows:
+        return StageTimesBatch(np.zeros((0, batch.size)))
+    return StageTimesBatch(np.stack(rows))
 
 
 # --- pipeline algebra -------------------------------------------------------------
@@ -147,6 +254,30 @@ def pipelined_batch_completion(stage_times: StageTimes, micro_batches: int) -> f
 def token_latency(stage_times: StageTimes) -> float:
     """Latency contribution of generating one token: pipeline traversal time."""
     return stage_times.traversal
+
+
+def pipelined_iteration_period_batch(
+    stage_times: StageTimesBatch, micro_batches: int | np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`pipelined_iteration_period`.
+
+    ``micro_batches`` may be a scalar or a per-point array (WAA searches vary
+    ``B_m`` per configuration).
+    """
+    micro = np.asarray(micro_batches)
+    if np.any(micro < 1):
+        raise ValueError("micro_batches must be >= 1")
+    return np.maximum(micro * stage_times.bottleneck, stage_times.traversal)
+
+
+def pipelined_batch_completion_batch(
+    stage_times: StageTimesBatch, micro_batches: int | np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`pipelined_batch_completion`."""
+    micro = np.asarray(micro_batches)
+    if np.any(micro < 1):
+        raise ValueError("micro_batches must be >= 1")
+    return stage_times.traversal + (micro - 1) * stage_times.bottleneck
 
 
 # --- memory estimation --------------------------------------------------------------
@@ -267,3 +398,134 @@ def estimate_placement_memory(
 def placement_fits_memory(stage_memory: list[StageMemory]) -> bool:
     """Whether every stage of a placement fits on its GPUs."""
     return all(m.fits for m in stage_memory)
+
+
+@dataclass(frozen=True)
+class StageMemoryBatch:
+    """Per-GPU memory estimate of one stage across many configurations.
+
+    The vectorized counterpart of :class:`StageMemory`: ``kv_cache_gib[p]``
+    and ``activation_gib[p]`` vary with the evaluated configuration while the
+    weight and capacity terms are configuration-independent.
+
+    Attributes:
+        stage_id: The stage.
+        role: ``both`` / ``encode`` / ``decode``.
+        weights_gib: Weight bytes per GPU, in GiB (scalar).
+        kv_cache_gib: Per-point steady-state KV-cache GiB per GPU.
+        activation_gib: Per-point peak activation GiB per GPU.
+        capacity_gib: Usable device capacity in GiB (scalar).
+    """
+
+    stage_id: int
+    role: str
+    weights_gib: float
+    kv_cache_gib: np.ndarray
+    activation_gib: np.ndarray
+    capacity_gib: float
+
+    @property
+    def total_gib(self) -> np.ndarray:
+        """Per-point total used memory per GPU in GiB."""
+        return self.weights_gib + self.kv_cache_gib + self.activation_gib
+
+    @property
+    def fits(self) -> np.ndarray:
+        """Per-point boolean: does the stage fit in device memory?"""
+        return self.total_gib <= self.capacity_gib
+
+    def at(self, point: int) -> StageMemory:
+        """The scalar :class:`StageMemory` of one evaluation point."""
+        return StageMemory(
+            stage_id=self.stage_id,
+            role=self.role,
+            weights_gib=self.weights_gib,
+            kv_cache_gib=float(self.kv_cache_gib[point]),
+            activation_gib=float(self.activation_gib[point]),
+            capacity_gib=self.capacity_gib,
+        )
+
+
+def estimate_stage_memory_batch(
+    placement: Placement,
+    stage: StagePlan,
+    encode_batch: np.ndarray,
+    decode_batch: np.ndarray,
+    avg_input_len: float,
+    avg_context_len: float,
+) -> StageMemoryBatch:
+    """Vectorized :func:`estimate_stage_memory` over per-point batch sizes.
+
+    Element-wise identical to the scalar function (same arithmetic in the
+    same order), so feasibility verdicts cannot diverge between the scalar
+    and batched estimators.
+    """
+    encode_batch = np.asarray(encode_batch, dtype=float)
+    decode_batch = np.asarray(decode_batch, dtype=float)
+    model = placement.model
+    tp = stage.tp_degree
+    weights = stage_weight_bytes(model, stage) / tp
+    kv = np.zeros_like(encode_batch)
+    act = np.zeros_like(encode_batch)
+    if stage.encoder_layers > 0:
+        act = act + (
+            4.0
+            * encode_batch
+            * avg_input_len
+            * model.hidden_size
+            * model.dtype_bytes
+            / tp
+        )
+        if model.is_encoder_decoder:
+            kv = kv + (
+                encode_batch
+                * avg_input_len
+                * model.hidden_size
+                * model.dtype_bytes
+                / tp
+            )
+    if stage.decoder_layers > 0:
+        kv = kv + (
+            decode_batch
+            * avg_context_len
+            * stage.decoder_layers
+            * model.kv_bytes_per_token_per_layer()
+            / tp
+        )
+        act = act + 2.0 * decode_batch * model.hidden_size * model.dtype_bytes / tp
+    weights += model.embedding_parameters * model.dtype_bytes / placement.num_gpus
+    capacity = placement.cluster.gpu.memory_bytes * (1.0 - _RESERVED_FRACTION)
+    return StageMemoryBatch(
+        stage_id=stage.stage_id,
+        role=stage.role,
+        weights_gib=weights / GIB,
+        kv_cache_gib=kv / GIB,
+        activation_gib=act / GIB,
+        capacity_gib=capacity / GIB,
+    )
+
+
+def estimate_placement_memory_batch(
+    placement: Placement,
+    encode_batch: np.ndarray,
+    decode_batch: np.ndarray,
+    avg_input_len: float,
+    avg_context_len: float,
+) -> list[StageMemoryBatch]:
+    """Vectorized memory estimate for every stage of a placement."""
+    return [
+        estimate_stage_memory_batch(
+            placement, stage, encode_batch, decode_batch, avg_input_len, avg_context_len
+        )
+        for stage in placement.stages
+    ]
+
+
+def placement_fits_memory_batch(stage_memory: list[StageMemoryBatch]) -> np.ndarray:
+    """Per-point boolean: does every stage of the placement fit on its GPUs?"""
+    if not stage_memory:
+        raise ValueError("placement has no stages")
+    fits = stage_memory[0].fits
+    for mem in stage_memory[1:]:
+        fits = fits & mem.fits
+    return fits

@@ -18,6 +18,7 @@ Two things live here:
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -68,6 +69,11 @@ class SequenceDistribution:
             raise ValueError("probabilities must be non-negative")
         object.__setattr__(self, "lengths", lengths)
         object.__setattr__(self, "probabilities", _normalise(probs))
+        # Memo for percentile() lookups; the instance is immutable, so every
+        # statistic can be computed once (the scheduler's hot loop queries
+        # mean/percentile on every estimate otherwise).
+        object.__setattr__(self, "_percentile_memo", {})
+        object.__setattr__(self, "_cdf", None)
 
     # -- constructors ---------------------------------------------------------
 
@@ -168,25 +174,28 @@ class SequenceDistribution:
         )
 
     # -- statistics ------------------------------------------------------------
+    #
+    # All statistics are cached: instances are immutable, and the scheduler's
+    # hot loop reads mean/std/percentile on every single estimate.
 
-    @property
+    @functools.cached_property
     def mean(self) -> float:
         """Expected sequence length."""
         return float(np.dot(self.lengths, self.probabilities))
 
-    @property
+    @functools.cached_property
     def std(self) -> float:
         """Standard deviation of the sequence length."""
         mean = self.mean
         var = float(np.dot((self.lengths - mean) ** 2, self.probabilities))
         return math.sqrt(max(var, 0.0))
 
-    @property
+    @functools.cached_property
     def max_len(self) -> int:
         """Largest length in the support."""
         return int(self.lengths[-1])
 
-    @property
+    @functools.cached_property
     def min_len(self) -> int:
         """Smallest length in the support."""
         return int(self.lengths[0])
@@ -195,10 +204,16 @@ class SequenceDistribution:
         """Smallest length whose CDF reaches ``q`` (``q`` in [0, 100])."""
         if not 0 <= q <= 100:
             raise ValueError("q must be in [0, 100]")
-        cdf = np.cumsum(self.probabilities)
-        idx = int(np.searchsorted(cdf, q / 100.0, side="left"))
+        memo = self._percentile_memo
+        if q in memo:
+            return memo[q]
+        if self._cdf is None:
+            object.__setattr__(self, "_cdf", np.cumsum(self.probabilities))
+        idx = int(np.searchsorted(self._cdf, q / 100.0, side="left"))
         idx = min(idx, len(self.lengths) - 1)
-        return int(self.lengths[idx])
+        value = int(self.lengths[idx])
+        memo[q] = value
+        return value
 
     def pmf(self, length: int) -> float:
         """Probability of exactly ``length``."""

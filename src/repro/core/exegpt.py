@@ -163,6 +163,12 @@ class ExeGPT:
         """Estimate throughput/latency of an explicit schedule."""
         return self.simulator.estimate(config)
 
+    def estimate_batch(
+        self, configs: list[ScheduleConfig]
+    ) -> list[ScheduleEstimate | None]:
+        """Vectorized estimate of many explicit schedules (input order kept)."""
+        return self.simulator.estimate_batch(configs)
+
     def run(
         self,
         trace: WorkloadTrace,

@@ -82,6 +82,42 @@ class MeasurementGrid:
             + v11 * fr * fc
         )
 
+    def lookup_batch(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`lookup` over arrays of query points.
+
+        ``rows`` and ``cols`` broadcast against each other; the result has
+        the broadcast shape.  Every element is computed with the same
+        arithmetic (and the same operation order) as the scalar path, so
+        ``lookup_batch(r, c)[i] == lookup(r[i], c[i])`` bit-for-bit.
+        """
+        row_arr, col_arr = np.broadcast_arrays(
+            np.asarray(rows, dtype=float), np.asarray(cols, dtype=float)
+        )
+        row = np.clip(row_arr, self.rows[0], self.rows[-1])
+        col = np.clip(col_arr, self.cols[0], self.cols[-1])
+        if len(self.rows) == 1 and len(self.cols) == 1:
+            return np.full(row.shape, float(self.values[0, 0]))
+        if len(self.rows) == 1:
+            return np.interp(col, self.cols, self.values[0])
+        if len(self.cols) == 1:
+            return np.interp(row, self.rows, self.values[:, 0])
+        i = np.clip(np.searchsorted(self.rows, row) - 1, 0, len(self.rows) - 2)
+        j = np.clip(np.searchsorted(self.cols, col) - 1, 0, len(self.cols) - 2)
+        r0, r1 = self.rows[i], self.rows[i + 1]
+        c0, c1 = self.cols[j], self.cols[j + 1]
+        dr = r1 - r0
+        dc = c1 - c0
+        fr = np.where(dr == 0, 0.0, (row - r0) / np.where(dr == 0, 1.0, dr))
+        fc = np.where(dc == 0, 0.0, (col - c0) / np.where(dc == 0, 1.0, dc))
+        v00, v01 = self.values[i, j], self.values[i, j + 1]
+        v10, v11 = self.values[i + 1, j], self.values[i + 1, j + 1]
+        return (
+            v00 * (1 - fr) * (1 - fc)
+            + v01 * (1 - fr) * fc
+            + v10 * fr * (1 - fc)
+            + v11 * fr * fc
+        )
+
 
 @dataclass
 class ProfileTable:
@@ -131,6 +167,24 @@ class ProfileTable:
         context_len = max(context_len, 1.0)
         return self._grid_for(self.decode_grids, tp).lookup(batch, context_len)
 
+    def encode_layer_time_batch(
+        self, tp: int, batch: np.ndarray, input_len: np.ndarray
+    ) -> np.ndarray:
+        """Array version of :meth:`encode_layer_time` (element-wise identical)."""
+        batch = np.asarray(batch, dtype=float)
+        input_len = np.asarray(input_len, dtype=float)
+        values = self._grid_for(self.encode_grids, tp).lookup_batch(batch, input_len)
+        return np.where((batch > 0) & (input_len > 0), values, 0.0)
+
+    def decode_layer_time_batch(
+        self, tp: int, batch: np.ndarray, context_len: np.ndarray
+    ) -> np.ndarray:
+        """Array version of :meth:`decode_layer_time` (element-wise identical)."""
+        batch = np.asarray(batch, dtype=float)
+        context_len = np.maximum(np.asarray(context_len, dtype=float), 1.0)
+        values = self._grid_for(self.decode_grids, tp).lookup_batch(batch, context_len)
+        return np.where(batch > 0, values, 0.0)
+
     # -- synchronisation -----------------------------------------------------
 
     def encode_sync_time(
@@ -155,6 +209,35 @@ class ProfileTable:
         one = self._collectives.allreduce_time(tensor_bytes, tp, spans_nodes)
         syncs = 3.0 if self.model.decoder_has_cross_attention else 2.0
         return syncs * one
+
+    def encode_sync_time_batch(
+        self, tp: int, batch: np.ndarray, input_len: np.ndarray, spans_nodes: bool
+    ) -> np.ndarray:
+        """Array version of :meth:`encode_sync_time` (element-wise identical)."""
+        batch = np.asarray(batch, dtype=float)
+        input_len = np.asarray(input_len, dtype=float)
+        shape = np.broadcast_shapes(batch.shape, input_len.shape)
+        if tp <= 1:
+            return np.zeros(shape)
+        tensor_bytes = batch * input_len * self.model.hidden_size * FP16_BYTES
+        one = self._collectives.allreduce_time_batch(
+            np.maximum(tensor_bytes, 0.0), tp, spans_nodes
+        )
+        return np.where((batch > 0) & (input_len > 0), 2.0 * one, 0.0)
+
+    def decode_sync_time_batch(
+        self, tp: int, batch: np.ndarray, spans_nodes: bool
+    ) -> np.ndarray:
+        """Array version of :meth:`decode_sync_time` (element-wise identical)."""
+        batch = np.asarray(batch, dtype=float)
+        if tp <= 1:
+            return np.zeros(batch.shape)
+        tensor_bytes = batch * self.model.hidden_size * FP16_BYTES
+        one = self._collectives.allreduce_time_batch(
+            np.maximum(tensor_bytes, 0.0), tp, spans_nodes
+        )
+        syncs = 3.0 if self.model.decoder_has_cross_attention else 2.0
+        return np.where(batch > 0, syncs * one, 0.0)
 
     # -- pipeline / KV-cache transfers -------------------------------------------
 
@@ -181,6 +264,26 @@ class ProfileTable:
             * self.model.kv_bytes_per_token_per_layer()
         )
         return self._collectives.staged_host_transfer_time(num_bytes)
+
+    def kv_transfer_time_batch(
+        self, batch: np.ndarray, tokens_per_seq: np.ndarray, num_layers: int
+    ) -> np.ndarray:
+        """Array version of :meth:`kv_transfer_time` (element-wise identical)."""
+        batch = np.asarray(batch, dtype=float)
+        tokens_per_seq = np.asarray(tokens_per_seq, dtype=float)
+        shape = np.broadcast_shapes(batch.shape, tokens_per_seq.shape)
+        if num_layers <= 0:
+            return np.zeros(shape)
+        num_bytes = (
+            batch
+            * tokens_per_seq
+            * num_layers
+            * self.model.kv_bytes_per_token_per_layer()
+        )
+        times = self._collectives.staged_host_transfer_time_batch(
+            np.maximum(num_bytes, 0.0)
+        )
+        return np.where((batch > 0) & (tokens_per_seq > 0), times, 0.0)
 
     def kv_compaction_time(self, batch: float, tokens_per_seq: float, num_layers: int) -> float:
         """Device-local copy time to compact KV entries after early termination."""

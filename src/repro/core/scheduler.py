@@ -154,19 +154,44 @@ class SearchResult:
 
 
 class _Evaluator:
-    """Caches simulator evaluations at integer coordinates of one subspace."""
+    """Caches simulator evaluations at integer coordinates of one subspace.
+
+    Args:
+        simulator: The bound simulator.
+        space: The subspace whose integer coordinates are evaluated.
+        constraint: Latency bound (tracks the best satisfying estimate).
+        batched: Route point evaluations through the simulator's vectorized
+            ``estimate_batch`` engine (default).  ``False`` forces the scalar
+            reference path -- kept for the perf-regression harness, which
+            measures the speedup of one against the other.
+    """
 
     def __init__(
         self,
         simulator: XSimulator,
         space: SearchSpace,
         constraint: LatencyConstraint,
+        batched: bool = True,
     ) -> None:
         self.simulator = simulator
         self.space = space
         self.constraint = constraint
+        self.batched = batched
         self.cache: dict[tuple[int, int], PerfPoint] = {}
         self.best: ScheduleEstimate | None = None
+
+    def _store(self, key: tuple[int, int], estimate: ScheduleEstimate | None) -> PerfPoint:
+        if estimate is None or not estimate.feasible:
+            point = PerfPoint(float("inf"), 0.0, None)
+        else:
+            point = PerfPoint(estimate.latency_s, estimate.throughput_seq_per_s, estimate)
+            if self.constraint.satisfied_by(estimate.latency_s) and (
+                self.best is None
+                or estimate.throughput_seq_per_s > self.best.throughput_seq_per_s
+            ):
+                self.best = estimate
+        self.cache[key] = point
+        return point
 
     def perf(self, x1: int, x2: int) -> PerfPoint:
         key = (x1, x2)
@@ -178,20 +203,32 @@ class _Evaluator:
                 config, target_length=self.constraint.target_length
             )
         except (ValueError, KeyError):
-            point = PerfPoint(float("inf"), 0.0, None)
-            self.cache[key] = point
-            return point
-        if not estimate.feasible:
-            point = PerfPoint(float("inf"), 0.0, None)
-        else:
-            point = PerfPoint(estimate.latency_s, estimate.throughput_seq_per_s, estimate)
-            if self.constraint.satisfied_by(estimate.latency_s) and (
-                self.best is None
-                or estimate.throughput_seq_per_s > self.best.throughput_seq_per_s
-            ):
-                self.best = estimate
-        self.cache[key] = point
-        return point
+            estimate = None
+        return self._store(key, estimate)
+
+    def perf_batch(self, coords: list[tuple[int, int]]) -> list[PerfPoint]:
+        """Evaluate many coordinates at once through the vectorized engine.
+
+        Uncached coordinates are estimated in one ``estimate_batch`` call (in
+        input order, so incumbent tracking matches a scalar left-to-right
+        sweep); cached ones are returned as-is.
+        """
+        if not self.batched:
+            return [self.perf(x1, x2) for x1, x2 in coords]
+        missing: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for key in coords:
+            if key not in self.cache and key not in seen:
+                seen.add(key)
+                missing.append(key)
+        if missing:
+            configs = [self.space.config_at(x1, x2) for x1, x2 in missing]
+            estimates = self.simulator.estimate_batch(
+                configs, target_length=self.constraint.target_length, strict=False
+            )
+            for key, estimate in zip(missing, estimates):
+                self._store(key, estimate)
+        return [self.cache[key] for key in coords]
 
     @property
     def evaluations(self) -> int:
@@ -235,12 +272,11 @@ def branch_and_bound(
 
     # Fast path: if the most aggressive corner already satisfies the bound it
     # is optimal by monotonicity.
-    top_right = evaluator.perf(x1_hi, x2_hi)
+    top_right, lower = evaluator.perf_batch([(x1_hi, x2_hi), (x1_lo, x2_lo)])
     if top_right.estimate is not None and constraint.satisfied_by(top_right.latency_s):
         return evaluator.best
 
     queue: list[_Block] = []
-    lower = evaluator.perf(x1_lo, x2_lo)
     upper = top_right
     heapq.heappush(
         queue,
@@ -267,8 +303,7 @@ def branch_and_bound(
 
         # Heuristic split direction: keep the corner with the higher feasible
         # throughput intact by splitting across the other axis.
-        p_tl = evaluator.perf(a1, b2)
-        p_br = evaluator.perf(b1, a2)
+        p_tl, p_br = evaluator.perf_batch([(a1, b2), (b1, a2)])
         tl_ok = constraint.satisfied_by(p_tl.latency_s) and p_tl.estimate is not None
         br_ok = constraint.satisfied_by(p_br.latency_s) and p_br.estimate is not None
         if tl_ok and (not br_ok or p_tl.throughput >= p_br.throughput):
@@ -291,9 +326,12 @@ def branch_and_bound(
         else:
             continue
 
-        for lo, hi in children:
-            child_upper = evaluator.perf(*hi)
-            child_lower = evaluator.perf(*lo)
+        corner_points = evaluator.perf_batch(
+            [corner for lo, hi in children for corner in (hi, lo)]
+        )
+        for child, (lo, hi) in enumerate(children):
+            child_upper = corner_points[2 * child]
+            child_lower = corner_points[2 * child + 1]
             # Prune blocks whose cheapest corner already violates the bound.
             if child_lower.latency_s > bound + eps_l:
                 continue
@@ -321,11 +359,19 @@ def branch_and_bound(
 def exhaustive_search(
     evaluator: _Evaluator, constraint: LatencyConstraint
 ) -> ScheduleEstimate | None:
-    """Evaluate every point of the subspace (the paper's slow baseline)."""
+    """Evaluate every point of the subspace (the paper's slow baseline).
+
+    With a batched evaluator the whole grid becomes a single vectorized
+    evaluation (chunked internally), which is what makes the Section 7.7
+    cost comparison itself cheap to reproduce.
+    """
     (x1_lo, x1_hi), (x2_lo, x2_hi) = evaluator.space.bounds
-    for x1 in range(x1_lo, x1_hi + 1):
-        for x2 in range(x2_lo, x2_hi + 1):
-            evaluator.perf(x1, x2)
+    coords = [
+        (x1, x2)
+        for x1 in range(x1_lo, x1_hi + 1)
+        for x2 in range(x2_lo, x2_hi + 1)
+    ]
+    evaluator.perf_batch(coords)
     return evaluator.best
 
 
@@ -338,10 +384,11 @@ def random_search(
     """Uniform random sampling of the subspace (black-box baseline)."""
     rng = np.random.default_rng(seed)
     (x1_lo, x1_hi), (x2_lo, x2_hi) = evaluator.space.bounds
-    for _ in range(num_samples):
-        x1 = int(rng.integers(x1_lo, x1_hi + 1))
-        x2 = int(rng.integers(x2_lo, x2_hi + 1))
-        evaluator.perf(x1, x2)
+    coords = [
+        (int(rng.integers(x1_lo, x1_hi + 1)), int(rng.integers(x2_lo, x2_hi + 1)))
+        for _ in range(num_samples)
+    ]
+    evaluator.perf_batch(coords)
     return evaluator.best
 
 
@@ -447,6 +494,7 @@ class XScheduler:
         ),
         method: str = "branch_and_bound",
         tensor_parallel_options: list[TensorParallelConfig] | None = None,
+        batched: bool = True,
     ) -> SearchResult:
         """Find the throughput-optimal schedule under ``constraint``.
 
@@ -458,13 +506,16 @@ class XScheduler:
                 keeps the winner).
             method: ``"branch_and_bound"``, ``"exhaustive"`` or ``"random"``.
             tensor_parallel_options: Explicit partial-TP settings to search.
+            batched: Evaluate candidate points through the vectorized
+                ``estimate_batch`` engine (default); ``False`` forces the
+                scalar reference path, used by the perf-regression harness.
         """
         start = time.perf_counter()
         best: ScheduleEstimate | None = None
         evaluations = 0
         space_size = 0
         for space in self.search_spaces(policies, tensor_parallel_options):
-            evaluator = _Evaluator(self.simulator, space, constraint)
+            evaluator = _Evaluator(self.simulator, space, constraint, batched=batched)
             if method == "branch_and_bound":
                 candidate = branch_and_bound(evaluator, constraint)
             elif method == "exhaustive":

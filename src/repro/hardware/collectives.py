@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hardware.cluster import Cluster
 from repro.hardware.interconnect import LinkSpec
 
@@ -49,6 +51,28 @@ class CollectiveModel:
         steps = 2 * (group_size - 1)
         return steps * link.latency_us * 1e-6 + traffic / link.bandwidth_bytes_per_s
 
+    def allreduce_time_batch(
+        self, num_bytes: np.ndarray, group_size: int, spans_nodes: bool = False
+    ) -> np.ndarray:
+        """Vectorized :meth:`allreduce_time` over an array of buffer sizes.
+
+        Element-wise identical to the scalar method (same arithmetic, same
+        operation order), which is what the simulator's vectorized/scalar
+        parity guarantee rests on.
+        """
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        num_bytes = np.asarray(num_bytes, dtype=float)
+        if np.any(num_bytes < 0):
+            raise ValueError("num_bytes must be non-negative")
+        if group_size == 1:
+            return np.zeros_like(num_bytes)
+        link = self._group_link(group_size, spans_nodes)
+        traffic = 2.0 * (group_size - 1) / group_size * num_bytes
+        steps = 2 * (group_size - 1)
+        times = steps * link.latency_us * 1e-6 + traffic / link.bandwidth_bytes_per_s
+        return np.where(num_bytes == 0, 0.0, times)
+
     def p2p_time(self, num_bytes: float, same_node: bool) -> float:
         """Seconds for a point-to-point transfer between two GPUs."""
         link = self.cluster.topology.link_between(same_node=same_node)
@@ -63,6 +87,17 @@ class CollectiveModel:
         """
         host = self.cluster.topology.host
         return 2.0 * host.transfer_time(num_bytes)
+
+    def staged_host_transfer_time_batch(self, num_bytes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`staged_host_transfer_time` (element-wise identical)."""
+        num_bytes = np.asarray(num_bytes, dtype=float)
+        if np.any(num_bytes < 0):
+            raise ValueError("num_bytes must be non-negative")
+        host = self.cluster.topology.host
+        times = 2.0 * (
+            host.latency_us * 1e-6 + num_bytes / host.bandwidth_bytes_per_s
+        )
+        return np.where(num_bytes == 0, 0.0, times)
 
     def pipeline_activation_time(
         self, num_bytes: float, src_gpu: int, dst_gpu: int

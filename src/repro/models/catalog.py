@@ -88,12 +88,19 @@ DEPLOYMENTS: dict[str, tuple[str, int]] = {
 }
 
 
-def get_model(name: str) -> ModelSpec:
+def _catalog_key(model: ModelSpec | str) -> str:
+    """Normalise a catalog key, display name or :class:`ModelSpec` to a key."""
+    name = model.name if isinstance(model, ModelSpec) else model
+    return name.upper().replace(" ", "-").replace("GPT-3", "GPT3")
+
+
+def get_model(name: ModelSpec | str) -> ModelSpec:
     """Look up a model spec by catalog key (case-insensitive).
 
-    Accepts keys like ``"OPT-13B"`` or display names like ``"OPT 13B"``.
+    Accepts keys like ``"OPT-13B"``, display names like ``"OPT 13B"``, or a
+    :class:`ModelSpec` itself (resolved through its ``name``).
     """
-    key = name.upper().replace(" ", "-").replace("GPT-3", "GPT3")
+    key = _catalog_key(name)
     if key not in _CATALOG:
         known = ", ".join(sorted(_CATALOG))
         raise KeyError(f"unknown model {name!r}; known models: {known}")
@@ -105,9 +112,13 @@ def known_models() -> list[str]:
     return sorted(_CATALOG)
 
 
-def deployment_for(name: str) -> tuple[str, int]:
-    """The (cluster, GPU count) used for a model in Table 2."""
-    key = name.upper().replace(" ", "-").replace("GPT-3", "GPT3")
+def deployment_for(name: ModelSpec | str) -> tuple[str, int]:
+    """The (cluster, GPU count) used for a model in Table 2.
+
+    Accepts the same spellings as :func:`get_model`, including a
+    :class:`ModelSpec` instance.
+    """
+    key = _catalog_key(name)
     if key not in DEPLOYMENTS:
         known = ", ".join(sorted(DEPLOYMENTS))
         raise KeyError(f"no deployment recorded for {name!r}; known: {known}")

@@ -109,3 +109,78 @@ class TestMemoryEstimation:
         memory = estimate_placement_memory(placement, 4, 64, 48, 64)
         by_role = {m.role: m for m in memory}
         assert by_role["decode"].kv_cache_gib > by_role["encode"].kv_cache_gib
+
+
+class TestBatchedAlgebra:
+    """The vectorized stage-time/memory helpers must match the scalar ones."""
+
+    def test_stage_times_batch_matches_scalar(self, tiny_profile, tiny_model, tiny_cluster):
+        import numpy as np
+        from repro.core.analytical import (
+            decode_stage_times_batch,
+            encode_stage_times_batch,
+        )
+
+        placements = [
+            allocate_rra(tiny_model, tiny_cluster),
+            allocate_rra(
+                tiny_model, tiny_cluster, TensorParallelConfig(degree=2, num_gpus=4)
+            ),
+            allocate_waa(tiny_model, tiny_cluster, 1.0, 2.0, SchedulePolicy.WAA_C),
+        ]
+        batches = np.array([0.0, 0.25, 1.0, 6.5, 64.0])
+        for placement in placements:
+            enc = encode_stage_times_batch(tiny_profile, placement, batches, 48.0)
+            dec = decode_stage_times_batch(tiny_profile, placement, batches, 64.0)
+            for p, batch in enumerate(batches):
+                enc_scalar = encode_stage_times(tiny_profile, placement, batch, 48.0)
+                dec_scalar = decode_stage_times(tiny_profile, placement, batch, 64.0)
+                assert tuple(enc.times[:, p]) == enc_scalar.times
+                assert tuple(dec.times[:, p]) == dec_scalar.times
+                assert enc.bottleneck[p] == enc_scalar.bottleneck
+                assert dec.traversal[p] == dec_scalar.traversal
+
+    def test_pipeline_algebra_batch_matches_scalar(self):
+        import numpy as np
+        from repro.core.analytical import (
+            StageTimesBatch,
+            pipelined_batch_completion_batch,
+            pipelined_iteration_period_batch,
+        )
+
+        times = StageTimesBatch(np.array([[1.0, 0.5], [3.0, 0.5], [2.0, 4.0]]))
+        for p, column in enumerate(((1.0, 3.0, 2.0), (0.5, 0.5, 4.0))):
+            scalar = StageTimes(column)
+            for m in (1, 2, 5):
+                assert pipelined_iteration_period_batch(times, m)[p] == (
+                    pipelined_iteration_period(scalar, m)
+                )
+                assert pipelined_batch_completion_batch(times, m)[p] == (
+                    pipelined_batch_completion(scalar, m)
+                )
+        per_point_micro = np.array([2, 3])
+        period = pipelined_iteration_period_batch(times, per_point_micro)
+        assert period[0] == pipelined_iteration_period(StageTimes((1.0, 3.0, 2.0)), 2)
+        assert period[1] == pipelined_iteration_period(StageTimes((0.5, 0.5, 4.0)), 3)
+        with pytest.raises(ValueError):
+            pipelined_iteration_period_batch(times, 0)
+
+    def test_memory_batch_matches_scalar(self, tiny_model, tiny_cluster):
+        import numpy as np
+        from repro.core.analytical import (
+            estimate_placement_memory_batch,
+            placement_fits_memory_batch,
+        )
+
+        placement = allocate_waa(tiny_model, tiny_cluster, 1.0, 1.0, SchedulePolicy.WAA_M)
+        encode = np.array([1.0, 4.0, 64.0, 4.0])
+        decode = np.array([8.0, 64.0, 1024.0, 1e7])
+        batch = estimate_placement_memory_batch(placement, encode, decode, 48.0, 64.0)
+        fits = placement_fits_memory_batch(batch)
+        for p in range(len(encode)):
+            scalar = estimate_placement_memory(
+                placement, encode[p], decode[p], 48.0, 64.0
+            )
+            assert bool(fits[p]) == placement_fits_memory(scalar)
+            for sm, bm in zip(scalar, batch):
+                assert bm.at(p) == sm  # dataclass equality: bit-identical fields

@@ -85,6 +85,43 @@ class TestSequenceDistribution:
         assert wider.std > dist.std * 1.2
 
 
+class TestStatisticCaching:
+    """mean/std/max_len/percentile are cached (the scheduler's hot loop
+    reads them on every estimate); caching must not change any value."""
+
+    def test_cached_properties_are_stable(self):
+        dist = SequenceDistribution.truncated_normal(64, 16, 128)
+        expected_mean = float(np.dot(dist.lengths, dist.probabilities))
+        assert dist.mean == expected_mean
+        assert dist.mean == expected_mean  # second read hits the cache
+        assert dist.std == dist.std
+        assert dist.max_len == 128 and dist.max_len == 128
+
+    def test_mean_cached_in_instance_dict(self):
+        dist = SequenceDistribution.truncated_normal(64, 16, 128)
+        assert "mean" not in dist.__dict__
+        first = dist.mean
+        assert dist.__dict__["mean"] == first
+
+    def test_percentile_memo_returns_identical_values(self):
+        dist = SequenceDistribution.truncated_normal(64, 30, 256)
+        uncached = {q: dist_fresh.percentile(q) for q, dist_fresh in
+                    ((q, SequenceDistribution.truncated_normal(64, 30, 256))
+                     for q in (0, 25, 50, 90, 99, 100))}
+        for q, value in uncached.items():
+            assert dist.percentile(q) == value
+            assert dist.percentile(q) == value  # memoized second read
+        with pytest.raises(ValueError):
+            dist.percentile(101)
+
+    def test_instances_do_not_share_caches(self):
+        a = SequenceDistribution.constant(10)
+        b = SequenceDistribution.constant(20)
+        assert a.percentile(50) == 10
+        assert b.percentile(50) == 20
+        assert a.mean == 10 and b.mean == 20
+
+
 class TestCompletionProbability:
     def test_all_outputs_within_nd_complete_in_one_phase(self):
         dist = SequenceDistribution.constant(8)

@@ -34,6 +34,37 @@ class TestMeasurementGrid:
         with pytest.raises(ValueError):
             MeasurementGrid(np.array([1.0]), np.array([1.0, 2.0]), np.array([[1.0]]))
 
+    def test_lookup_batch_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        rows = np.array([1.0, 2.0, 5.0, 13.0])
+        cols = np.array([1.0, 8.0, 64.0])
+        grid = MeasurementGrid(rows, cols, rng.uniform(size=(4, 3)))
+        queries_r = rng.uniform(0.0, 20.0, size=200)
+        queries_c = rng.uniform(0.0, 100.0, size=200)
+        batch = grid.lookup_batch(queries_r, queries_c)
+        for r, c, v in zip(queries_r, queries_c, batch):
+            assert v == grid.lookup(r, c)  # bit-identical, not approx
+
+    def test_lookup_batch_on_grid_points(self):
+        grid = MeasurementGrid(
+            rows=np.array([0.0, 2.0]), cols=np.array([0.0, 2.0]),
+            values=np.array([[0.0, 2.0], [2.0, 4.0]]),
+        )
+        out = grid.lookup_batch(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 2.0]))
+        assert out == pytest.approx([0.0, 2.0, 4.0])
+
+    def test_lookup_batch_broadcasts_and_degenerate_grids(self):
+        line = MeasurementGrid(
+            rows=np.array([1.0]), cols=np.array([1.0, 3.0]),
+            values=np.array([[1.0, 5.0]]),
+        )
+        out = line.lookup_batch(np.array([1.0, 1.0]), np.array([2.0, 3.0]))
+        assert out == pytest.approx([3.0, 5.0])
+        point = MeasurementGrid(
+            rows=np.array([1.0]), cols=np.array([1.0]), values=np.array([[7.0]])
+        )
+        assert point.lookup_batch(np.array([0.0, 9.0]), 1.0) == pytest.approx([7.0, 7.0])
+
 
 class TestXProfiler:
     def test_feasible_tp_degrees_are_powers_of_two(self, tiny_model, tiny_cluster):
@@ -95,3 +126,36 @@ class TestXProfiler:
     def test_invalid_profiler_args(self, tiny_model, tiny_cluster):
         with pytest.raises(ValueError):
             XProfiler(tiny_model, tiny_cluster, max_batch=0)
+
+
+class TestProfileTableBatch:
+    """Array-valued profile lookups must match the scalar ones bit-for-bit."""
+
+    def test_layer_times_match_scalar(self, tiny_profile):
+        batches = np.array([0.0, 0.5, 1.0, 3.7, 16.0, 400.0])
+        lengths = np.array([1.0, 7.0, 32.0, 700.0, 64.0, 0.0])
+        for tp in tiny_profile.tp_degrees:
+            enc = tiny_profile.encode_layer_time_batch(tp, batches, lengths)
+            dec = tiny_profile.decode_layer_time_batch(tp, batches, lengths)
+            for i, (b, length) in enumerate(zip(batches, lengths)):
+                assert enc[i] == tiny_profile.encode_layer_time(tp, b, length)
+                assert dec[i] == tiny_profile.decode_layer_time(tp, b, length)
+
+    def test_sync_times_match_scalar(self, tiny_profile):
+        batches = np.array([0.0, 1.0, 8.0, 100.0])
+        lengths = np.array([64.0, 0.0, 32.0, 8.0])
+        for tp in (1, 2):
+            for spans in (False, True):
+                enc = tiny_profile.encode_sync_time_batch(tp, batches, lengths, spans)
+                dec = tiny_profile.decode_sync_time_batch(tp, batches, spans)
+                for i, (b, length) in enumerate(zip(batches, lengths)):
+                    assert enc[i] == tiny_profile.encode_sync_time(tp, b, length, spans)
+                    assert dec[i] == tiny_profile.decode_sync_time(tp, b, spans)
+
+    def test_kv_transfer_matches_scalar(self, tiny_profile):
+        batches = np.array([0.0, 2.0, 64.0])
+        tokens = np.array([16.0, 0.0, 48.0])
+        for layers in (0, 1, 8):
+            batch = tiny_profile.kv_transfer_time_batch(batches, tokens, layers)
+            for i, (b, t) in enumerate(zip(batches, tokens)):
+                assert batch[i] == tiny_profile.kv_transfer_time(b, t, layers)

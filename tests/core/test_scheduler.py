@@ -105,6 +105,53 @@ class TestBranchAndBound:
         assert best is not None
 
 
+class TestBatchedEvaluator:
+    def test_exhaustive_batched_matches_scalar(self, tiny_simulator, scheduler):
+        for space in scheduler.search_spaces()[:4]:
+            constraint = LatencyConstraint(bound_s=2.0)
+            batched_eval = _Evaluator(tiny_simulator, space, constraint, batched=True)
+            scalar_eval = _Evaluator(tiny_simulator, space, constraint, batched=False)
+            batched = exhaustive_search(batched_eval, constraint)
+            scalar = exhaustive_search(scalar_eval, constraint)
+            assert batched_eval.evaluations == scalar_eval.evaluations
+            if scalar is None:
+                assert batched is None
+                continue
+            assert batched is not None
+            assert batched.config == scalar.config
+            assert batched.throughput_seq_per_s == pytest.approx(
+                scalar.throughput_seq_per_s, rel=1e-9
+            )
+            # Cached per-point verdicts agree point by point.
+            for key, point in scalar_eval.cache.items():
+                assert batched_eval.cache[key].feasible == point.feasible
+
+    def test_perf_batch_deduplicates_and_caches(self, tiny_simulator, scheduler):
+        space = _rra_space(scheduler)
+        constraint = LatencyConstraint(bound_s=float("inf"))
+        evaluator = _Evaluator(tiny_simulator, space, constraint)
+        coords = [(1, 0), (2, 0), (1, 0), (2, 1)]
+        points = evaluator.perf_batch(coords)
+        assert len(points) == 4
+        assert points[0] is points[2]
+        assert evaluator.evaluations == 3
+        again = evaluator.perf_batch(coords)
+        assert evaluator.evaluations == 3
+        assert again[1] is points[1]
+
+    def test_branch_and_bound_batched_matches_scalar_result(
+        self, tiny_simulator, scheduler
+    ):
+        constraint = LatencyConstraint(bound_s=2.0)
+        batched = scheduler.schedule(constraint)
+        scalar = scheduler.schedule(constraint, batched=False)
+        assert batched.found == scalar.found
+        if batched.found:
+            assert batched.best.throughput_seq_per_s == pytest.approx(
+                scalar.best.throughput_seq_per_s, rel=1e-6
+            )
+
+
 class TestXScheduler:
     def test_schedule_returns_feasible_result(self, scheduler):
         result = scheduler.schedule(LatencyConstraint(bound_s=float("inf")))

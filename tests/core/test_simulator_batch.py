@@ -1,0 +1,238 @@
+"""Vectorized-vs-scalar parity tests for the batched estimation engine.
+
+``XSimulator.estimate_batch`` must agree with per-point ``estimate`` on
+throughput, latency and feasibility to 1e-9 (relative) across policies,
+partial-TP settings and sequence-length distributions -- that contract is
+what lets the scheduler treat the two engines as interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ScheduleConfig, SchedulePolicy, TensorParallelConfig
+from repro.core.distributions import SequenceDistribution
+from repro.core.simulator import XSimulator
+
+_REL_TOL = 1e-9
+_VALUE_FIELDS = (
+    "throughput_seq_per_s",
+    "throughput_tokens_per_s",
+    "latency_s",
+    "cycle_time_s",
+    "decode_batch",
+)
+
+
+def assert_estimates_match(scalar, batched) -> None:
+    """Batched estimate must match the scalar reference within 1e-9."""
+    assert batched is not None
+    assert batched.memory_feasible == scalar.memory_feasible
+    assert batched.target_length == scalar.target_length
+    for field in _VALUE_FIELDS:
+        sv = getattr(scalar, field)
+        bv = getattr(batched, field)
+        assert bv == pytest.approx(sv, rel=_REL_TOL, abs=1e-12), field
+    assert len(batched.stage_memory) == len(scalar.stage_memory)
+    for sm, bm in zip(scalar.stage_memory, batched.stage_memory):
+        assert bm.total_gib == pytest.approx(sm.total_gib, rel=_REL_TOL, abs=1e-12)
+        assert bm.fits == sm.fits
+
+
+def _rra_configs(max_encode_batch: int = 24, max_nd: int = 24) -> list[ScheduleConfig]:
+    return [
+        ScheduleConfig(
+            SchedulePolicy.RRA, encode_batch=be, decode_iterations=nd
+        )
+        for be in (1, 2, 5, 11, max_encode_batch)
+        for nd in (1, 2, 7, max_nd)
+    ]
+
+
+def _waa_configs(max_encode_batch: int = 24) -> list[ScheduleConfig]:
+    return [
+        ScheduleConfig(policy, encode_batch=be, micro_batches=bm)
+        for policy in (SchedulePolicy.WAA_C, SchedulePolicy.WAA_M)
+        for be in (1, 3, 9, max_encode_batch)
+        for bm in (1, 2, 3)
+    ]
+
+
+class TestBatchParity:
+    def test_rra_grid(self, tiny_simulator):
+        configs = _rra_configs()
+        batched = tiny_simulator.estimate_batch(configs)
+        for config, b in zip(configs, batched):
+            assert_estimates_match(tiny_simulator.estimate(config), b)
+
+    def test_waa_grid(self, tiny_simulator):
+        configs = _waa_configs()
+        batched = tiny_simulator.estimate_batch(configs)
+        for config, b in zip(configs, batched):
+            assert_estimates_match(tiny_simulator.estimate(config), b)
+
+    def test_mixed_policies_preserve_order(self, tiny_simulator):
+        configs = _rra_configs() + _waa_configs()
+        configs = configs[::2] + configs[1::2]  # interleave policies
+        batched = tiny_simulator.estimate_batch(configs)
+        for config, b in zip(configs, batched):
+            assert b.config == config
+            assert_estimates_match(tiny_simulator.estimate(config), b)
+
+    def test_partial_tensor_parallel(self, tiny_simulator):
+        tp_options = [
+            TensorParallelConfig(degree=2, num_gpus=2),
+            TensorParallelConfig(degree=2, num_gpus=4),
+            TensorParallelConfig(degree=4, num_gpus=4),
+        ]
+        configs = []
+        for tp in tp_options:
+            configs.append(
+                ScheduleConfig(
+                    SchedulePolicy.RRA,
+                    encode_batch=6,
+                    decode_iterations=9,
+                    tensor_parallel=tp,
+                )
+            )
+            if tp.stages_for(4) >= 2:
+                configs.append(
+                    ScheduleConfig(
+                        SchedulePolicy.WAA_C, encode_batch=6, tensor_parallel=tp
+                    )
+                )
+        batched = tiny_simulator.estimate_batch(configs, strict=False)
+        for config, b in zip(configs, batched):
+            assert_estimates_match(tiny_simulator.estimate(config), b)
+
+    def test_decode_batch_override(self, tiny_simulator):
+        configs = [
+            ScheduleConfig(
+                SchedulePolicy.RRA,
+                encode_batch=4,
+                decode_iterations=8,
+                decode_batch_override=override,
+            )
+            for override in (1, 16, 200)
+        ]
+        batched = tiny_simulator.estimate_batch(configs)
+        for config, b in zip(configs, batched):
+            assert_estimates_match(tiny_simulator.estimate(config), b)
+
+    def test_explicit_target_length(self, tiny_simulator):
+        configs = _rra_configs()[:6]
+        batched = tiny_simulator.estimate_batch(configs, target_length=17)
+        for config, b in zip(configs, batched):
+            assert_estimates_match(
+                tiny_simulator.estimate(config, target_length=17), b
+            )
+
+    def test_encoder_decoder_model(self, tiny_encdec_simulator):
+        configs = _rra_configs()[:8] + _waa_configs()[:8]
+        batched = tiny_encdec_simulator.estimate_batch(configs)
+        for config, b in zip(configs, batched):
+            assert_estimates_match(tiny_encdec_simulator.estimate(config), b)
+
+    def test_infeasible_points_flagged_identically(self, tiny_simulator):
+        configs = [
+            ScheduleConfig(
+                SchedulePolicy.RRA,
+                encode_batch=4,
+                decode_iterations=4,
+                decode_batch_override=10 ** 7,
+            ),
+            ScheduleConfig(SchedulePolicy.RRA, encode_batch=4, decode_iterations=4),
+        ]
+        batched = tiny_simulator.estimate_batch(configs)
+        assert batched[0].memory_feasible is False
+        assert batched[1].memory_feasible is True
+        for config, b in zip(configs, batched):
+            assert_estimates_match(tiny_simulator.estimate(config), b)
+
+    def test_strict_mode_raises_like_scalar(self, tiny_simulator):
+        # WAA on a fully tensor-parallel cluster has a single pipeline stage,
+        # which no WAA split can serve.
+        bad = ScheduleConfig(
+            SchedulePolicy.WAA_C,
+            encode_batch=2,
+            tensor_parallel=TensorParallelConfig(degree=4, num_gpus=4),
+        )
+        with pytest.raises(ValueError):
+            tiny_simulator.estimate(bad)
+        with pytest.raises(ValueError):
+            tiny_simulator.estimate_batch([bad], strict=True)
+        assert tiny_simulator.estimate_batch([bad], strict=False) == [None]
+
+
+class TestBatchParityHypothesis:
+    @given(
+        encode_batch=st.integers(min_value=1, max_value=48),
+        second=st.integers(min_value=1, max_value=32),
+        policy=st.sampled_from(
+            [SchedulePolicy.RRA, SchedulePolicy.WAA_C, SchedulePolicy.WAA_M]
+        ),
+        tp_degree=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_configs(
+        self, tiny_simulator, encode_batch, second, policy, tp_degree
+    ):
+        tp = (
+            TensorParallelConfig()
+            if tp_degree == 1
+            else TensorParallelConfig(degree=2, num_gpus=2)
+        )
+        if policy is SchedulePolicy.RRA:
+            config = ScheduleConfig(
+                policy,
+                encode_batch=encode_batch,
+                decode_iterations=second,
+                tensor_parallel=tp,
+            )
+        else:
+            config = ScheduleConfig(
+                policy,
+                encode_batch=encode_batch,
+                micro_batches=min(second, 4),
+                tensor_parallel=tp,
+            )
+        (batched,) = tiny_simulator.estimate_batch([config])
+        assert_estimates_match(tiny_simulator.estimate(config), batched)
+
+    @given(
+        mean_in=st.floats(min_value=4, max_value=80),
+        mean_out=st.floats(min_value=4, max_value=60),
+        std=st.floats(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_distributions(self, tiny_profile, mean_in, mean_out, std, seed):
+        input_dist = SequenceDistribution.truncated_normal(mean_in, std, max_len=128)
+        output_dist = SequenceDistribution.truncated_normal(mean_out, std, max_len=96)
+        simulator = XSimulator(tiny_profile, input_dist, output_dist)
+        rng = np.random.default_rng(seed)
+        configs = []
+        for _ in range(6):
+            if rng.integers(2) == 0:
+                configs.append(
+                    ScheduleConfig(
+                        SchedulePolicy.RRA,
+                        encode_batch=int(rng.integers(1, 33)),
+                        decode_iterations=int(rng.integers(1, 25)),
+                    )
+                )
+            else:
+                waa = [SchedulePolicy.WAA_C, SchedulePolicy.WAA_M]
+                configs.append(
+                    ScheduleConfig(
+                        waa[int(rng.integers(2))],
+                        encode_batch=int(rng.integers(1, 33)),
+                        micro_batches=int(rng.integers(1, 4)),
+                    )
+                )
+        batched = simulator.estimate_batch(configs)
+        for config, b in zip(configs, batched):
+            assert_estimates_match(simulator.estimate(config), b)

@@ -88,3 +88,13 @@ class TestTable2Deployments:
     def test_unknown_deployment_raises(self):
         with pytest.raises(KeyError):
             deployment_for("GPT-4")
+
+    def test_accepts_model_spec(self):
+        # Regression: deployment_for(ModelSpec) used to crash with
+        # AttributeError ('ModelSpec' object has no attribute 'upper').
+        assert deployment_for(GPT3_39B) == deployment_for("GPT3-39B")
+        assert deployment_for(T5_11B) == ("A40", 8)
+
+    def test_get_model_accepts_model_spec(self):
+        assert get_model(OPT_13B) is OPT_13B
+        assert get_model(GPT3_175B) is GPT3_175B
