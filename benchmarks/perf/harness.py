@@ -1,11 +1,12 @@
 """Perf-regression harness for the cost-model/search/runner hot paths.
 
-Times the three hot paths of the scheduling stack -- per-point estimation,
-schedule search (branch-and-bound and exhaustive), and trace replay -- and
-writes the measurements to ``BENCH_search.json`` at the repository root.
-The file is machine-readable and append-only: every harness run adds one
-record to the ``trajectory`` list, so successive PRs are held to the
-recorded numbers.
+Times the hot paths of the scheduling stack -- per-point estimation,
+schedule search (branch-and-bound and exhaustive), trace replay through the
+execution engine (batched versus scalar pricing), and the online
+rate sweep -- and writes the measurements to ``BENCH_search.json`` at the
+repository root.  The file is machine-readable and append-only: every
+harness run adds one record to the ``trajectory`` list, so successive PRs
+are held to the recorded numbers.
 
 Two kinds of comparisons are reported:
 
@@ -27,7 +28,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import LatencyConstraint, ScheduleConfig, SchedulePolicy
+from repro.core.config import (
+    LatencyConstraint,
+    ScheduleConfig,
+    SchedulePolicy,
+)
 from repro.core.exegpt import ExeGPT
 from repro.core.scheduler import XScheduler
 from repro.workloads.tasks import get_task
@@ -252,11 +257,148 @@ def bench_runner(num_requests: int = 512) -> RunnerBench:
     )
 
 
+@dataclass
+class ReplayBench:
+    """Trace replay through the execution engine, batched vs scalar pricing.
+
+    Attributes:
+        scalar_s: Replay wall time with per-task scalar profile lookups
+            (the historical reference path).
+        batched_s: Replay wall time with per-cycle batched pricing.
+        speedup: Scalar over batched replay time.
+        bit_identical: The two replays produced byte-for-byte equal results
+            (makespan, latencies, stage durations).
+        requests: Trace length.
+        policy: Policy of the replayed schedule.
+    """
+
+    scalar_s: float
+    batched_s: float
+    speedup: float
+    bit_identical: bool
+    requests: int
+    policy: str
+
+
+# Replay/online benchmarks run a pipeline-parallel RRA schedule (4 stages on
+# the 4-GPU OPT-13B deployment): with a multi-stage pipeline each cycle
+# carries stages x micro-batches work items, which is the regime the batched
+# pricing targets.  (Single-stage TP-maximized schedules spend their replay
+# time in pool management, not pricing.)
+REPLAY_CONFIG = ScheduleConfig(
+    policy=SchedulePolicy.RRA, encode_batch=16, decode_iterations=8
+)
+
+
+def bench_replay(num_requests: int = 512) -> ReplayBench:
+    """Time XRunner replays with batched versus scalar stage pricing."""
+    from repro.core.runner import XRunner
+
+    engine = ExeGPT.for_task("OPT-13B", "S", max_encode_batch=32)
+    task = get_task("S")
+    config = REPLAY_CONFIG
+    trace = generate_task_trace(task, num_requests=num_requests, seed=0)
+
+    # Warm the one-time costs (profile sweep, EstimateContext, placement
+    # memo) outside the timed regions so neither pricing path is charged
+    # for them.
+    XRunner(engine.simulator, config).run(trace)
+
+    start = time.perf_counter()
+    scalar_run = XRunner(engine.simulator, config, batched_pricing=False).run(trace)
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched_run = XRunner(engine.simulator, config, batched_pricing=True).run(trace)
+    batched_s = time.perf_counter() - start
+
+    bit_identical = (
+        scalar_run.makespan_s == batched_run.makespan_s
+        and scalar_run.latencies_s == batched_run.latencies_s
+        and scalar_run.stage_times == batched_run.stage_times
+    )
+    return ReplayBench(
+        scalar_s=scalar_s,
+        batched_s=batched_s,
+        speedup=scalar_s / batched_s if batched_s > 0 else float("inf"),
+        bit_identical=bit_identical,
+        requests=num_requests,
+        policy=config.policy.value,
+    )
+
+
+@dataclass
+class OnlineSweepBench:
+    """Online rate-sweep cost, batched vs scalar iteration pricing.
+
+    Attributes:
+        scalar_s: Wall time serving every rate with scalar per-task pricing.
+        batched_s: Same sweep with per-cycle batched pricing.
+        speedup: Scalar over batched sweep time.
+        rates: Offered rates swept.
+        requests: Requests served per rate point.
+        completions_match: Both pricings completed the same request counts
+            at every rate (the sweep's decisions are pricing-independent).
+    """
+
+    scalar_s: float
+    batched_s: float
+    speedup: float
+    rates: tuple[float, ...]
+    requests: int
+    completions_match: bool
+
+
+def bench_online_sweep(
+    num_requests: int = 192,
+    rates: tuple[float, ...] = (2.0, 8.0, 32.0),
+) -> OnlineSweepBench:
+    """Time an ExeGPT online rate sweep with batched vs scalar pricing."""
+    from repro.serving.online import ExeGPTOnlineServer
+    from repro.workloads.arrivals import PoissonProcess, attach_arrivals
+
+    engine = ExeGPT.for_task("OPT-13B", "S", max_encode_batch=32)
+    task = get_task("S")
+    config = REPLAY_CONFIG
+    trace = generate_task_trace(task, num_requests=num_requests, seed=0)
+    stamped = [
+        attach_arrivals(trace, PoissonProcess(rate), seed=1) for rate in rates
+    ]
+
+    def sweep(batched: bool) -> tuple[float, list[int]]:
+        start = time.perf_counter()
+        completed = []
+        for online_trace in stamped:
+            server = ExeGPTOnlineServer(
+                engine.simulator, config, batched_pricing=batched
+            )
+            completed.append(server.serve(online_trace).completed)
+        return time.perf_counter() - start, completed
+
+    # Warm the placement/context memos outside the timed sweeps.
+    ExeGPTOnlineServer(engine.simulator, config).serve(stamped[0])
+
+    scalar_s, scalar_done = sweep(batched=False)
+    batched_s, batched_done = sweep(batched=True)
+    return OnlineSweepBench(
+        scalar_s=scalar_s,
+        batched_s=batched_s,
+        speedup=scalar_s / batched_s if batched_s > 0 else float("inf"),
+        rates=tuple(rates),
+        requests=num_requests,
+        completions_match=scalar_done == batched_done,
+    )
+
+
 def make_record(
-    estimate: EstimateBench, search: SearchBench, runner: RunnerBench
+    estimate: EstimateBench,
+    search: SearchBench,
+    runner: RunnerBench,
+    replay: ReplayBench | None = None,
+    online: OnlineSweepBench | None = None,
 ) -> dict:
     """Assemble one machine-readable trajectory record."""
-    return {
+    record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "host": {
             "python": platform.python_version(),
@@ -274,17 +416,28 @@ def make_record(
         "search": search.__dict__,
         "runner": runner.__dict__,
     }
+    if replay is not None:
+        record["replay"] = dict(replay.__dict__)
+    if online is not None:
+        payload = dict(online.__dict__)
+        payload["rates"] = list(payload["rates"])
+        record["online_sweep"] = payload
+    return record
 
 
 def write_bench_record(
-    estimate: EstimateBench, search: SearchBench, runner: RunnerBench
+    estimate: EstimateBench,
+    search: SearchBench,
+    runner: RunnerBench,
+    replay: ReplayBench | None = None,
+    online: OnlineSweepBench | None = None,
 ) -> dict:
     """Append one record to ``BENCH_search.json`` and return it.
 
     Only the harness CLI and the CI perf job (``BENCH_RECORD=1``) call this;
     plain test runs measure without touching the committed trajectory file.
     """
-    record = make_record(estimate, search, runner)
+    record = make_record(estimate, search, runner, replay, online)
     doc = {
         "schema": 1,
         "benchmark": "search",
@@ -309,7 +462,9 @@ def main() -> None:
     estimate = bench_estimate(engine)
     search = bench_search(engine, estimate.scalar_ms_per_point)
     runner = bench_runner()
-    write_bench_record(estimate, search, runner)
+    replay = bench_replay()
+    online = bench_online_sweep()
+    write_bench_record(estimate, search, runner, replay, online)
     print(f"estimate: {estimate.scalar_ms_per_point:.2f} ms/pt scalar, "
           f"{estimate.batch_us_per_point:.1f} us/pt batched "
           f"({estimate.speedup:.1f}x, worst rel err {estimate.worst_rel_err:.2e})")
@@ -320,6 +475,12 @@ def main() -> None:
           f"{search.exhaustive_batched_s:.2f} s batched "
           f"({search.exhaustive_speedup:.1f}x)")
     print(f"runner: {runner.runner_s:.3f} s for {runner.requests} requests")
+    print(f"replay ({replay.policy}, {replay.requests} reqs): "
+          f"{replay.scalar_s:.3f} s scalar, {replay.batched_s:.3f} s batched "
+          f"({replay.speedup:.1f}x, bit-identical={replay.bit_identical})")
+    print(f"online sweep ({len(online.rates)} rates x {online.requests} reqs): "
+          f"{online.scalar_s:.3f} s scalar, {online.batched_s:.3f} s batched "
+          f"({online.speedup:.1f}x)")
     print(f"wrote {BENCH_PATH}")
 
 

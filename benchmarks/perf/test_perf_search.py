@@ -18,6 +18,8 @@ import pytest
 from harness import (
     BENCH_PATH,
     bench_estimate,
+    bench_online_sweep,
+    bench_replay,
     bench_runner,
     bench_search,
     build_search_engine,
@@ -32,11 +34,20 @@ def bench_record():
     estimate = bench_estimate(engine)
     search = bench_search(engine, estimate.scalar_ms_per_point)
     runner = bench_runner()
+    replay = bench_replay()
+    online = bench_online_sweep()
     if os.environ.get("BENCH_RECORD") == "1":
-        record = write_bench_record(estimate, search, runner)
+        record = write_bench_record(estimate, search, runner, replay, online)
     else:
-        record = make_record(estimate, search, runner)
-    return {"estimate": estimate, "search": search, "runner": runner, "record": record}
+        record = make_record(estimate, search, runner, replay, online)
+    return {
+        "estimate": estimate,
+        "search": search,
+        "runner": runner,
+        "replay": replay,
+        "online": online,
+        "record": record,
+    }
 
 
 def test_estimate_batch_parity_and_speedup(bench_record):
@@ -72,10 +83,33 @@ def test_runner_replay_recorded(bench_record):
     assert runner.runner_s < 60.0
 
 
+def test_replay_batched_pricing_speedup_and_parity(bench_record):
+    replay = bench_record["replay"]
+    # The execution engine must price replays through the batched profile
+    # lookups: bit-identical results, and on a pipeline-parallel schedule
+    # (stages x micro-batches work items per cycle) clearly faster than the
+    # per-task scalar path (~2x measured; 1.3x is the regression floor).
+    assert replay.bit_identical
+    assert replay.speedup >= 1.3
+
+
+def test_online_sweep_batched_pricing_speedup(bench_record):
+    online = bench_record["online"]
+    # The online rate sweep prices each cycle's iteration graph in batched
+    # lookups; the sweep's admission/completion decisions are
+    # pricing-independent, so both paths must serve identical request
+    # counts while the batched path stays well ahead.
+    assert online.completions_match
+    assert online.speedup >= 1.3
+
+
 def test_bench_record_complete(bench_record):
     record = bench_record["record"]
     assert record["search"]["space_points"] >= 65536
-    assert set(record) >= {"timestamp", "host", "search_space", "estimate", "search", "runner"}
+    assert set(record) >= {
+        "timestamp", "host", "search_space", "estimate", "search", "runner",
+        "replay", "online_sweep",
+    }
     # The committed trajectory file exists; it is only appended to when
     # recording is explicitly enabled (BENCH_RECORD=1 or the harness CLI).
     assert BENCH_PATH.exists()

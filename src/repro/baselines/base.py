@@ -23,12 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.allocation import Placement, StagePlan, stage_weight_bytes
-from repro.core.analytical import decode_stage_time, encode_stage_time
 from repro.core.config import SchedulePolicy
 from repro.core.distributions import SequenceDistribution
 from repro.core.profiler import ProfileTable
+from repro.engine.execution import (
+    ExecutionEngine,
+    decode_chain_times,
+    encode_chain_times,
+)
 from repro.engine.metrics import RunResult
 from repro.engine.request import RequestState
+from repro.engine.timeline import Timeline
 from repro.hardware.cluster import Cluster
 from repro.models.spec import ModelSpec
 from repro.workloads.trace import WorkloadTrace
@@ -117,15 +122,36 @@ class BaselineSystem:
 
     # -- stage-time helpers ------------------------------------------------------
 
-    def encode_time(self, stage: StagePlan, batch: float, input_len: float) -> float:
-        """Encode time of one stage, including the engine overhead."""
-        base = encode_stage_time(self.profile, self.placement, stage, batch, input_len)
-        return base + (self.iteration_overhead_s if base > 0 else 0.0)
+    def encode_times(
+        self, stages: tuple[StagePlan, ...], batch: float, input_len: float
+    ) -> list[float]:
+        """Encode time of each stage (one batched lookup), with overhead."""
+        return encode_chain_times(
+            self.profile, self.placement, stages, batch, input_len,
+            overhead_s=self.iteration_overhead_s,
+        )
 
-    def decode_time(self, stage: StagePlan, batch: float, context: float) -> float:
-        """Decode-step time of one stage, including the engine overhead."""
-        base = decode_stage_time(self.profile, self.placement, stage, batch, context)
-        return base + (self.iteration_overhead_s if base > 0 else 0.0)
+    def decode_times(
+        self, stages: tuple[StagePlan, ...], batch: float, context: float
+    ) -> list[float]:
+        """Decode-step time of each stage (one batched lookup), with overhead."""
+        return decode_chain_times(
+            self.profile, self.placement, stages, batch, context,
+            overhead_s=self.iteration_overhead_s,
+        )
+
+    def make_engine(
+        self, timeline: Timeline, batched_pricing: bool = True
+    ) -> ExecutionEngine:
+        """The shared iteration-graph engine, carrying this system's overhead."""
+        return ExecutionEngine(
+            timeline,
+            self.profile,
+            self.placement,
+            decoder_only=self.decoder_only,
+            overhead_s=self.iteration_overhead_s,
+            batched_pricing=batched_pricing,
+        )
 
     # -- parameter selection --------------------------------------------------------
 

@@ -13,13 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.base import BaselineSystem
-from repro.engine.batching import (
-    average_context,
-    average_input_length,
-    split_into_micro_batches,
-)
+from repro.engine.batching import split_into_micro_batches
 from repro.engine.metrics import RunResult, collect_result
-from repro.engine.request import RequestState
 from repro.engine.timeline import Timeline
 from repro.workloads.trace import WorkloadTrace
 
@@ -59,30 +54,31 @@ class FasterTransformer(BaselineSystem):
         max_in = float(self.input_distribution.max_len)
         max_out = float(self.output_distribution.max_len)
         enc_micro = min(self.encode_micro_batches, batch_size)
-        enc_times = [
-            self.encode_time(s, batch_size / enc_micro, max_in) for s in stages
-        ]
+        enc_times = self.encode_times(stages, batch_size / enc_micro, max_in)
         encode = sum(enc_times) + (enc_micro - 1) * max(enc_times)
         dec_micro = min(self.decode_micro_batches, batch_size)
         context = max_in + max_out / 2.0 if self.decoder_only else max_out / 2.0
-        dec_times = [
-            self.decode_time(s, batch_size / dec_micro, context) for s in stages
-        ]
+        dec_times = self.decode_times(stages, batch_size / dec_micro, context)
         per_iter = max(dec_micro * max(dec_times), sum(dec_times))
         return encode + max_out * per_iter
 
     # -- execution ----------------------------------------------------------------------
 
     def run(self, trace: WorkloadTrace, batch_size: int) -> RunResult:
-        """Replay the trace in consecutive fixed-size batches."""
+        """Replay the trace in consecutive fixed-size batches.
+
+        The whole replay (hybrid-micro-batched encode phases plus the
+        fixed-batch decode iterations of every batch, no early termination)
+        is one plan, so all stage durations resolve through a handful of
+        batched profile lookups at commit time.
+        """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         stages = self.placement.stages
         timeline = Timeline()
+        engine = self.make_engine(timeline)
+        plan = engine.plan()
         states = self._make_states(trace)
-        stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
-        completions: list[tuple[RequestState, int]] = []
-        encode_starts: list[tuple[RequestState, int]] = []
 
         for batch_start in range(0, len(states), batch_size):
             batch = states[batch_start : batch_start + batch_size]
@@ -90,63 +86,33 @@ class FasterTransformer(BaselineSystem):
             enc_groups = split_into_micro_batches(
                 batch, min(self.encode_micro_batches, len(batch))
             )
-            encode_last_tasks: list[int] = []
-            for group in enc_groups:
-                avg_input = average_input_length(group)
-                prev = None
-                first = None
-                for stage in stages:
-                    duration = self.encode_time(stage, len(group), avg_input)
-                    deps = (prev,) if prev is not None else ()
-                    task = timeline.add_task(stage.stage_id, duration, deps, tag="encode")
-                    stage_times["encode"].append(duration)
-                    if first is None:
-                        first = task
-                    prev = task
-                for request in group:
-                    encode_starts.append((request, first))
-                encode_last_tasks.append(prev)
+            encode_last_tasks = engine.encode_phase(plan, stages, enc_groups)
 
             # --- decoding: fixed batch until the longest request finishes --------------
             dec_groups = split_into_micro_batches(
                 batch, min(self.decode_micro_batches, len(batch))
             )
             max_out = max(r.output_len for r in batch)
-            prev_iter_last: dict[int, int] = {}
+            prev_iter_last: dict[int, object] = {}
             for iteration in range(max_out):
-                for g_index, group in enumerate(dec_groups):
-                    # No early termination: the full group is computed even
-                    # after some of its requests finished.
-                    avg_ctx = average_context(group, self.decoder_only)
-                    prev = None
-                    deps_first = list(encode_last_tasks) if iteration == 0 else []
-                    if g_index in prev_iter_last:
-                        deps_first.append(prev_iter_last[g_index])
-                    for stage in stages:
-                        duration = self.decode_time(stage, len(group), avg_ctx)
-                        deps = [prev] if prev is not None else deps_first
-                        task = timeline.add_task(
-                            stage.stage_id, duration, tuple(deps), tag="decode"
-                        )
-                        stage_times["decode"].append(duration)
-                        prev = task
-                    prev_iter_last[g_index] = prev
-                    for request in group:
-                        if not request.done:
-                            request.advance()
-                            if request.done:
-                                completions.append((request, prev))
+                # No early termination: the full group is computed even
+                # after some of its requests finished.
+                engine.decode_iteration(
+                    plan,
+                    stages,
+                    dec_groups,
+                    first_deps=encode_last_tasks if iteration == 0 else [],
+                    prev_last=prev_iter_last,
+                    early_termination=False,
+                )
 
-        timeline.run()
-        for request, task in encode_starts:
-            request.encode_start_s = timeline.start_time(task)
-        for request, task in completions:
-            request.finish_s = timeline.finish_time(task)
+        engine.commit(plan)
+        engine.bookkeeping.resolve(timeline)
         return collect_result(
             system=self.name,
             requests=states,
             makespan_s=timeline.makespan_s,
             stage_utilization=timeline.stage_utilization(),
-            stage_times=stage_times,
+            stage_times=engine.stage_times,
             extra={"batch_size": float(batch_size)},
         )

@@ -18,7 +18,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.baselines.base import BaselineSystem
-from repro.engine.batching import average_context
+from repro.engine.execution import TaskRef
 from repro.engine.kv_manager import ContiguousKVCache, KVCacheError
 from repro.engine.metrics import RunResult, collect_result
 from repro.engine.request import RequestState
@@ -52,10 +52,10 @@ class Orca(BaselineSystem):
         context = avg_in + self.output_distribution.mean / 2.0 if self.decoder_only else (
             self.output_distribution.mean / 2.0
         )
+        decodes = self.decode_times(stages, batch_size, context)
+        prefills = self.encode_times(stages, 1.0, avg_in)
         per_iter = 0.0
-        for stage in stages:
-            decode = self.decode_time(stage, batch_size, context)
-            prefill = self.encode_time(stage, 1.0, avg_in)
+        for decode, prefill in zip(decodes, prefills):
             per_iter += decode + prefill
         admission_wait = per_iter * self.input_distribution.mean / max(avg_in, 1.0)
         return admission_wait + target * per_iter
@@ -80,19 +80,25 @@ class Orca(BaselineSystem):
     # -- execution ----------------------------------------------------------------------
 
     def run(self, trace: WorkloadTrace, batch_size: int) -> RunResult:
-        """Replay the trace with iteration-level continuous batching."""
+        """Replay the trace with iteration-level continuous batching.
+
+        Every iteration is an :meth:`ExecutionEngine.mixed_iteration` (pool
+        decodes plus the admitted prefills) collected into one whole-replay
+        plan -- admission depends only on request/KV state, never on task
+        times -- so all stage durations resolve in a handful of batched
+        profile lookups at commit time.
+        """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         stages = self.placement.stages
         timeline = Timeline()
+        engine = self.make_engine(timeline)
+        plan = engine.plan()
         states = self._make_states(trace)
         pending: deque[RequestState] = deque(states)
         pool: list[RequestState] = []
         cache = self._make_kv_cache()
-        stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
-        completions: list[tuple[RequestState, int]] = []
-        encode_starts: list[tuple[RequestState, int]] = []
-        prev_iteration_last: int | None = None
+        prev_iteration_last: TaskRef | None = None
         iterations = 0
 
         while pending or pool:
@@ -118,54 +124,27 @@ class Orca(BaselineSystem):
 
             # --- one iteration: decodes of the pool + prefills of the admitted -----
             alive = [r for r in pool if not r.done]
-            avg_ctx = average_context(alive, self.decoder_only) if alive else 0.0
-            prev = None
-            first = None
-            for stage in stages:
-                duration = 0.0
-                if alive:
-                    duration += self.decode_time(stage, len(alive), avg_ctx)
-                for request in admitted:
-                    duration += self.encode_time(stage, 1.0, request.input_len)
-                deps = []
-                if prev is not None:
-                    deps.append(prev)
-                elif prev_iteration_last is not None:
-                    deps.append(prev_iteration_last)
-                task = timeline.add_task(
-                    stage.stage_id, duration, tuple(deps), tag="iteration"
-                )
-                stage_times["decode" if alive else "encode"].append(duration)
-                if first is None:
-                    first = task
-                prev = task
-            prev_iteration_last = prev
+            outcome = engine.mixed_iteration(
+                plan, stages, alive, admitted, prev_last=prev_iteration_last
+            )
+            prev_iteration_last = outcome.last
 
-            for request in admitted:
-                request.encode_start_s = -2.0  # resolved below via task times
-                encode_starts.append((request, first))
-                pool.append(request)
-            for request in alive:
-                request.advance()
-                if request.done:
-                    completions.append((request, prev))
-                    self._release(cache, request)
+            pool.extend(admitted)
+            for request in outcome.completed:
+                self._release(cache, request)
             pool = [r for r in pool if not r.done]
             iterations += 1
             if iterations > 500000:
                 raise RuntimeError("ORCA runner did not converge")
 
-        timeline.run()
-        for request, task in encode_starts:
-            request.encode_start_s = timeline.start_time(task)
-        for request, task in completions:
-            request.finish_s = timeline.finish_time(task)
+        engine.commit(plan)
+        engine.bookkeeping.resolve(timeline)
         return collect_result(
             system=self.name,
             requests=states,
             makespan_s=timeline.makespan_s,
             stage_utilization=timeline.stage_utilization(),
-            stage_times=stage_times,
+            stage_times=engine.stage_times,
             extra={
                 "batch_size": float(batch_size),
                 "iterations": float(iterations),

@@ -14,45 +14,33 @@ trace on the discrete-event engine, honouring the schedule's semantics:
 Early termination, KV-cache compaction, the encoder→decoder KV transfer and
 dynamic workload adjustment are all part of the replay, so the measured
 throughput/latency include their costs.
+
+Iteration construction and pricing live in
+:class:`~repro.engine.execution.ExecutionEngine`: the runner's loops only
+decide *what* each cycle does (admission, micro-batch membership, when to
+stop), describe it as an :class:`~repro.engine.execution.IterationPlan`, and
+commit it -- which resolves each cycle's stage durations through batched
+profile lookups instead of per-task scalar calls.  The same engine drives
+the baselines and the online servers, so the execution semantics cannot
+diverge between them.
 """
 
 from __future__ import annotations
 
-import math
 from collections import deque
-from dataclasses import dataclass
 
-from repro.core.allocation import Placement, StagePlan, stage_weight_bytes
-from repro.core.analytical import decode_stage_time, encode_stage_time
+from repro.core.allocation import Placement, stage_weight_bytes
 from repro.core.config import ScheduleConfig, SchedulePolicy
 from repro.core.dynamic import DynamicWorkloadAdjuster
 from repro.core.simulator import XSimulator
-from repro.engine.batching import (
-    average_context,
-    average_input_length,
-    split_into_micro_batches,
-)
+from repro.engine.batching import split_into_micro_batches
+from repro.engine.execution import ExecutionEngine, KVHandover, TaskRef
 from repro.engine.metrics import RunResult, collect_result
 from repro.engine.request import RequestState
 from repro.engine.timeline import Timeline
 from repro.workloads.trace import WorkloadTrace
 
 GIB = 1024 ** 3
-
-
-@dataclass
-class _Bookkeeping:
-    """Deferred timestamp assignments resolved after the timeline runs."""
-
-    encode_starts: list[tuple[RequestState, int]]
-    completions: list[tuple[RequestState, int]]
-
-    def resolve(self, timeline: Timeline) -> None:
-        timeline.run()
-        for request, task_id in self.encode_starts:
-            request.encode_start_s = timeline.start_time(task_id)
-        for request, task_id in self.completions:
-            request.finish_s = timeline.finish_time(task_id)
 
 
 class XRunner:
@@ -64,6 +52,9 @@ class XRunner:
             is exactly the scheduled one.
         config: The schedule to enforce.
         dynamic_adjustment: Enable the Section 5.2 runtime batch adjustment.
+        batched_pricing: Resolve stage durations through the vectorized
+            profile lookups (default); ``False`` keeps the scalar reference
+            path for the perf-regression harness.
     """
 
     def __init__(
@@ -71,6 +62,7 @@ class XRunner:
         simulator: XSimulator,
         config: ScheduleConfig,
         dynamic_adjustment: bool = True,
+        batched_pricing: bool = True,
     ) -> None:
         self.simulator = simulator
         self.config = config
@@ -78,7 +70,11 @@ class XRunner:
         self.model = simulator.model
         self.placement: Placement = simulator.build_placement(config)
         self.dynamic_adjustment = dynamic_adjustment
+        self.batched_pricing = batched_pricing
         self.decoder_only = not self.model.is_encoder_decoder
+        #: Timeline of the most recent :meth:`run`, kept for introspection
+        #: (cross-layer parity tests compare task graphs across drivers).
+        self.last_timeline: Timeline | None = None
 
     # -- public API ------------------------------------------------------------
 
@@ -99,20 +95,31 @@ class XRunner:
             enabled=self.dynamic_adjustment,
         )
 
+    def _make_engine(self, timeline: Timeline) -> ExecutionEngine:
+        return ExecutionEngine(
+            timeline,
+            self.profile,
+            self.placement,
+            decoder_only=self.decoder_only,
+            batched_pricing=self.batched_pricing,
+        )
+
     # -- RRA ------------------------------------------------------------------------
 
     def _run_rra(self, trace: WorkloadTrace) -> RunResult:
         placement = self.placement
         stages = placement.stages
-        num_stages = len(stages)
-        micro_batches = max(num_stages, 1)
+        micro_batches = max(len(stages), 1)
         adjuster = self._make_adjuster()
         decode_batch_target = max(int(round(adjuster.target_decode_batch)), 1)
 
         timeline = Timeline()
-        books = _Bookkeeping(encode_starts=[], completions=[])
-        stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
-        peak_kv_tokens: dict[int, float] = {s.stage_id: 0.0 for s in stages}
+        self.last_timeline = timeline
+        engine = self._make_engine(timeline)
+        # Offline construction never reads the clock, so the whole replay is
+        # one plan: every stage duration resolves in a handful of batched
+        # lookups at commit time.
+        plan = engine.plan()
 
         all_requests = [RequestState(spec=spec) for spec in trace.requests]
         pending: deque[RequestState] = deque(all_requests)
@@ -138,28 +145,10 @@ class XRunner:
                 admitted = []
 
             # --- encoding phase -------------------------------------------------
-            encode_last_tasks: list[int] = []
+            encode_last_tasks: list[TaskRef] = []
             if admitted:
                 groups = split_into_micro_batches(admitted, micro_batches)
-                for group in groups:
-                    avg_input = average_input_length(group)
-                    prev_task: int | None = None
-                    first_task: int | None = None
-                    for stage in stages:
-                        duration = encode_stage_time(
-                            self.profile, placement, stage, len(group), avg_input
-                        )
-                        deps = (prev_task,) if prev_task is not None else ()
-                        task_id = timeline.add_task(
-                            stage.stage_id, duration, deps, tag="encode"
-                        )
-                        stage_times["encode"].append(duration)
-                        if first_task is None:
-                            first_task = task_id
-                        prev_task = task_id
-                    for request in group:
-                        books.encode_starts.append((request, first_task))
-                    encode_last_tasks.append(prev_task)
+                encode_last_tasks = engine.encode_phase(plan, stages, groups)
                 pool.extend(admitted)
 
             if not pool:
@@ -169,74 +158,32 @@ class XRunner:
 
             # --- decoding phase: N_D iterations ------------------------------------
             groups = split_into_micro_batches(pool, micro_batches)
-            prev_iter_last: dict[int, int] = {}
+            prev_iter_last: dict[int, TaskRef] = {}
             freed_last_cycle = 0
             for iteration in range(self.config.decode_iterations):
-                any_alive = False
-                for g_index, group in enumerate(groups):
-                    alive = [r for r in group if not r.done]
-                    if not alive:
-                        continue
-                    any_alive = True
-                    avg_ctx = average_context(alive, self.decoder_only)
-                    prev_task = None
-                    deps_first: list[int] = []
-                    if iteration == 0:
-                        deps_first.extend(encode_last_tasks)
-                    if g_index in prev_iter_last:
-                        deps_first.append(prev_iter_last[g_index])
-                    for stage in stages:
-                        duration = decode_stage_time(
-                            self.profile, placement, stage, len(alive), avg_ctx
-                        )
-                        deps = [prev_task] if prev_task is not None else list(deps_first)
-                        task_id = timeline.add_task(
-                            stage.stage_id, duration, tuple(deps), tag="decode"
-                        )
-                        stage_times["decode"].append(duration)
-                        kv_tokens = sum(r.context_length(self.decoder_only) for r in alive)
-                        peak_kv_tokens[stage.stage_id] = max(
-                            peak_kv_tokens[stage.stage_id], float(kv_tokens)
-                        )
-                        prev_task = task_id
-                    prev_iter_last[g_index] = prev_task
-                    completed_requests: list[RequestState] = []
-                    for request in alive:
-                        request.advance()
-                        if request.done:
-                            books.completions.append((request, prev_task))
-                            completed_requests.append(request)
-                            freed_last_cycle += 1
-                    if completed_requests:
-                        # Compaction copies the freed entries' worth of cache
-                        # to close the holes left by early termination.
-                        compaction = self.profile.kv_compaction_time(
-                            len(completed_requests),
-                            average_context(completed_requests, self.decoder_only),
-                            stages[-1].decoder_layers,
-                        )
-                        if compaction > 0:
-                            comp_task = timeline.add_task(
-                                stages[-1].stage_id,
-                                compaction,
-                                (prev_task,),
-                                tag="compaction",
-                            )
-                            prev_iter_last[g_index] = comp_task
-                if not any_alive:
+                outcome = engine.decode_iteration(
+                    plan,
+                    stages,
+                    groups,
+                    first_deps=encode_last_tasks if iteration == 0 else [],
+                    prev_last=prev_iter_last,
+                    track_peak=True,
+                )
+                freed_last_cycle += outcome.freed
+                if not outcome.any_alive:
                     break
             pool = [r for r in pool if not r.done]
             cycle += 1
             if cycle > 100000:
                 raise RuntimeError("RRA runner did not converge; check the schedule")
 
-        books.resolve(timeline)
+        engine.commit(plan)
+        engine.bookkeeping.resolve(timeline)
         return self._collect(
             "exegpt-rra",
             all_requests,
             timeline,
-            stage_times,
-            peak_kv_tokens,
+            engine,
             warmup_requests,
         )
 
@@ -253,25 +200,25 @@ class XRunner:
         decode_batch_target = max(int(round(adjuster.target_decode_batch)), 1)
 
         timeline = Timeline()
-        books = _Bookkeeping(encode_starts=[], completions=[])
-        stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
-        peak_kv_tokens: dict[int, float] = {s.stage_id: 0.0 for s in placement.stages}
-        transfer_stage = "kv-transfer"
+        self.last_timeline = timeline
+        engine = self._make_engine(timeline)
+        handover = KVHandover()
+        kv_layers = self.model.num_decoder_layers if self.decoder_only else 1
+        # Offline construction never reads the clock: one plan, one batched
+        # pricing pass at commit time.
+        plan = engine.plan()
 
         all_requests = [RequestState(spec=spec) for spec in trace.requests]
         pending: deque[RequestState] = deque(all_requests)
         pool: list[RequestState] = []
         warmup_requests = min(decode_batch_target, len(all_requests))
-        # Requests whose encoding/KV transfer was issued in the previous
-        # iteration and that join the decode pool at the next one.
-        incoming: list[tuple[list[RequestState], int]] = []
-        prev_iter_last: dict[int, int] = {}
+        prev_iter_last: dict[int, TaskRef] = {}
         iteration = 0
         freed_last_iteration = 0
 
-        while pending or pool or incoming:
+        while pending or pool or handover:
             # --- encoder side: admit and encode one batch per iteration ------------
-            transfer_task: int | None = None
+            transfer_task: TaskRef | None = None
             admitted: list[RequestState] = []
             if pending:
                 admitted = adjuster.admit(
@@ -283,48 +230,19 @@ class XRunner:
                     pending.popleft()
                     request.admitted_cycle = iteration
             if admitted:
-                avg_input = average_input_length(admitted)
-                prev_task: int | None = None
-                first_task: int | None = None
-                for stage in encode_stages:
-                    duration = encode_stage_time(
-                        self.profile, placement, stage, len(admitted), avg_input
-                    )
-                    deps = (prev_task,) if prev_task is not None else ()
-                    task_id = timeline.add_task(
-                        ("enc", stage.stage_id), duration, deps, tag="encode"
-                    )
-                    stage_times["encode"].append(duration)
-                    kv_tokens = len(admitted) * avg_input
-                    peak_kv_tokens[stage.stage_id] = max(
-                        peak_kv_tokens[stage.stage_id], float(kv_tokens)
-                    )
-                    if first_task is None:
-                        first_task = task_id
-                    prev_task = task_id
-                for request in admitted:
-                    books.encode_starts.append((request, first_task))
-                kv_layers = (
-                    self.model.num_decoder_layers if self.decoder_only else 1
+                _, enc_last = engine.encode_chain(
+                    plan,
+                    encode_stages,
+                    admitted,
+                    stage_key=lambda s: ("enc", s.stage_id),
+                    track_peak=True,
                 )
-                transfer_duration = self.profile.kv_transfer_time(
-                    len(admitted), avg_input, kv_layers
+                transfer_task = engine.kv_transfer(
+                    plan, admitted, enc_last, kv_layers, handover=handover
                 )
-                transfer_task = timeline.add_task(
-                    transfer_stage, transfer_duration, (prev_task,), tag="kv-transfer"
-                )
-                incoming.append((admitted, transfer_task))
 
             # --- merge the batch encoded in the previous iteration ------------------
-            merge_deps: list[int] = []
-            if incoming:
-                ready = incoming[0]
-                # Merge at most one encoded batch per iteration (the handover
-                # granularity of WAA).
-                if ready[1] != transfer_task or not pool:
-                    incoming.pop(0)
-                    pool.extend(ready[0])
-                    merge_deps.append(ready[1])
+            merge_deps = handover.merge_one(pool, transfer_task)
 
             if not pool:
                 iteration += 1
@@ -335,61 +253,26 @@ class XRunner:
 
             # --- decoder side: one pipelined iteration over the pool ----------------
             groups = split_into_micro_batches(pool, micro_batches)
-            freed_last_iteration = 0
-            for g_index, group in enumerate(groups):
-                alive = [r for r in group if not r.done]
-                if not alive:
-                    continue
-                avg_ctx = average_context(alive, self.decoder_only)
-                prev_task = None
-                deps_first: list[int] = list(merge_deps)
-                if g_index in prev_iter_last:
-                    deps_first.append(prev_iter_last[g_index])
-                for stage in decode_stages:
-                    duration = decode_stage_time(
-                        self.profile, placement, stage, len(alive), avg_ctx
-                    )
-                    deps = [prev_task] if prev_task is not None else deps_first
-                    task_id = timeline.add_task(
-                        ("dec", stage.stage_id), duration, tuple(deps), tag="decode"
-                    )
-                    stage_times["decode"].append(duration)
-                    kv_tokens = sum(r.context_length(self.decoder_only) for r in alive)
-                    peak_kv_tokens[stage.stage_id] = max(
-                        peak_kv_tokens[stage.stage_id], float(kv_tokens)
-                    )
-                    prev_task = task_id
-                prev_iter_last[g_index] = prev_task
-                completed_requests: list[RequestState] = []
-                for request in alive:
-                    request.advance()
-                    if request.done:
-                        books.completions.append((request, prev_task))
-                        completed_requests.append(request)
-                        freed_last_iteration += 1
-                if completed_requests:
-                    compaction = self.profile.kv_compaction_time(
-                        len(completed_requests),
-                        average_context(completed_requests, self.decoder_only),
-                        decode_stages[-1].decoder_layers,
-                    )
-                    if compaction > 0:
-                        comp_task = timeline.add_task(
-                            ("dec", decode_stages[-1].stage_id),
-                            compaction,
-                            (prev_task,),
-                            tag="compaction",
-                        )
-                        prev_iter_last[g_index] = comp_task
+            outcome = engine.decode_iteration(
+                plan,
+                decode_stages,
+                groups,
+                first_deps=merge_deps,
+                prev_last=prev_iter_last,
+                stage_key=lambda s: ("dec", s.stage_id),
+                track_peak=True,
+            )
+            freed_last_iteration = outcome.freed
             pool = [r for r in pool if not r.done]
             iteration += 1
             if iteration > 200000:
                 raise RuntimeError("WAA runner did not converge")
 
-        books.resolve(timeline)
+        engine.commit(plan)
+        engine.bookkeeping.resolve(timeline)
         name = "exegpt-waa-m" if self.config.policy is SchedulePolicy.WAA_M else "exegpt-waa-c"
         return self._collect(
-            name, all_requests, timeline, stage_times, peak_kv_tokens, warmup_requests
+            name, all_requests, timeline, engine, warmup_requests
         )
 
     # -- shared collection -------------------------------------------------------------
@@ -399,17 +282,16 @@ class XRunner:
         system: str,
         requests: list[RequestState],
         timeline: Timeline,
-        stage_times: dict[str, list[float]],
-        peak_kv_tokens: dict[int, float],
+        engine: ExecutionEngine,
         warmup_requests: int = 0,
     ) -> RunResult:
-        peak_memory = self._peak_memory_gib(peak_kv_tokens)
+        peak_memory = self._peak_memory_gib(engine.peak_kv_tokens)
         return collect_result(
             system=system,
             requests=requests,
             makespan_s=timeline.makespan_s,
             stage_utilization=timeline.stage_utilization(),
-            stage_times=stage_times,
+            stage_times=engine.stage_times,
             peak_memory_gib=peak_memory,
             extra={"num_tasks": float(timeline.num_tasks)},
             warmup_requests=warmup_requests,

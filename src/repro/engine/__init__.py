@@ -7,6 +7,19 @@ from repro.engine.batching import (
     split_into_micro_batches,
     total_input_tokens,
 )
+from repro.engine.execution import (
+    Bookkeeping,
+    DecodeOutcome,
+    ExecutionEngine,
+    IterationPlan,
+    KVHandover,
+    MixedOutcome,
+    StageWork,
+    TaskRef,
+    decode_chain_times,
+    encode_chain_times,
+    price_work,
+)
 from repro.engine.kv_manager import (
     ContiguousKVCache,
     KVCacheError,
@@ -17,17 +30,28 @@ from repro.engine.request import RequestState
 from repro.engine.timeline import StageTask, Timeline
 
 __all__ = [
+    "Bookkeeping",
     "ContiguousKVCache",
+    "DecodeOutcome",
+    "ExecutionEngine",
+    "IterationPlan",
     "KVCacheError",
+    "KVHandover",
+    "MixedOutcome",
     "PagedKVCache",
     "RequestState",
     "RunResult",
     "StageTask",
+    "StageWork",
+    "TaskRef",
     "Timeline",
     "alive_requests",
     "average_context",
     "average_input_length",
     "collect_result",
+    "decode_chain_times",
+    "encode_chain_times",
+    "price_work",
     "split_into_micro_batches",
     "total_input_tokens",
 ]

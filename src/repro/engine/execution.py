@@ -1,0 +1,753 @@
+"""Unified iteration-graph execution engine.
+
+Every driver in this repository -- the offline :class:`~repro.core.runner.XRunner`
+replaying RRA/WAA schedules, the continuous-batching baselines
+(ORCA/vLLM/FasterTransformer/DSI) and the online arrival-driven servers --
+expresses its schedule as the same kind of structure: chains of per-stage
+tasks on the discrete-event :class:`~repro.engine.timeline.Timeline`, with
+micro-batch splitting, early-termination compaction, WAA encoder→decoder
+KV handover and deferred timestamp bookkeeping.  Before this module each
+driver hand-rolled that construction, so the offline and online simulators
+(and the baselines) could silently diverge on the same cost model.
+
+:class:`ExecutionEngine` is the one implementation of those semantics.
+Drivers describe one scheduling cycle declaratively as an
+:class:`IterationPlan` -- encode chains, pipelined decode iterations, mixed
+continuous-batching iterations, KV transfers -- and ``commit()`` prices and
+emits the cycle's tasks:
+
+* **Construction** is shared: per-stage task chaining, dependency wiring
+  (pipeline hand-offs, autoregressive feedback, merge/transfer edges),
+  micro-batch iteration, compaction after early termination, and the
+  first-token/completion bookkeeping all live here.
+* **Pricing** is batched: a plan collects every (stage, batch, length)
+  tuple of the cycle and resolves the durations with one vectorized grid
+  interpolation per (phase, TP-signature) group -- the same batched profile
+  lookups that power :meth:`~repro.core.simulator.XSimulator.estimate_batch`
+  -- instead of one scalar ``encode_stage_time``/``decode_stage_time`` call
+  per task.  The batched lookups are element-wise bit-identical to the
+  scalar ones (see :meth:`MeasurementGrid.lookup_batch`), and tasks are
+  emitted in plan order, so replays are bit-identical to the historical
+  per-task scalar path (pinned by ``tests/core/test_runner_parity.py``).
+  ``batched_pricing=False`` keeps the scalar reference path for the
+  perf-regression harness.
+
+Timestamp decisions never feed back into construction *within* a cycle
+(admission and completion depend only on request state), which is what
+makes the collect-then-price design exact; online drivers query the clock
+only between committed cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation import Placement, StagePlan
+from repro.core.profiler import ProfileTable
+from repro.engine.batching import average_context, average_input_length
+from repro.engine.request import RequestState
+from repro.engine.timeline import Timeline
+
+ENCODE = "encode"
+DECODE = "decode"
+
+
+# ---------------------------------------------------------------------------
+# Priced work items
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageWork:
+    """One priced component of a stage task.
+
+    Attributes:
+        kind: ``"encode"`` or ``"decode"`` -- which profile grid prices it.
+        layers: Layers the stage hosts for this phase.
+        tp_degree: Tensor-parallel degree of the stage.
+        spans_nodes: Whether the stage's TP group crosses a node boundary.
+        batch: (Micro-)batch size of the work.
+        length: Average input length (encode) or attention-context length
+            (decode) of the batch.
+    """
+
+    kind: str
+    layers: int
+    tp_degree: int
+    spans_nodes: bool
+    batch: float
+    length: float
+
+
+# Below this many work items a vectorized lookup costs more than it saves
+# (array construction and the wider lookup_batch kernel dominate), so tiny
+# plans -- e.g. single-stage online cycles -- price through the scalar path.
+# Both paths are element-wise bit-identical, so the choice is invisible in
+# the results.
+_SMALL_PLAN_ITEMS = 8
+
+
+def price_work(
+    profile: ProfileTable,
+    items: list[StageWork],
+    overhead_s: float = 0.0,
+    batched: bool = True,
+) -> np.ndarray:
+    """Durations of ``items``, one vectorized lookup per (kind, TP) group.
+
+    Replicates the scalar :func:`~repro.core.analytical.encode_stage_time` /
+    :func:`~repro.core.analytical.decode_stage_time` arithmetic exactly:
+    ``layers * (per_layer + sync)``, plus ``overhead_s`` on components with a
+    positive base time (the baselines' per-iteration engine overhead).  With
+    ``batched=False`` every item is priced through the scalar profile
+    lookups instead -- the historical reference path, kept measurable by the
+    perf harness.
+    """
+    out = np.zeros(len(items))
+    if not items:
+        return out
+    if not batched or len(items) < _SMALL_PLAN_ITEMS:
+        for pos, item in enumerate(items):
+            if item.batch <= 0 or item.layers == 0:
+                continue
+            if item.kind == ENCODE:
+                per = profile.encode_layer_time(item.tp_degree, item.batch, item.length)
+                sync = profile.encode_sync_time(
+                    item.tp_degree, item.batch, item.length, item.spans_nodes
+                )
+            else:
+                per = profile.decode_layer_time(item.tp_degree, item.batch, item.length)
+                sync = profile.decode_sync_time(
+                    item.tp_degree, item.batch, item.spans_nodes
+                )
+            base = item.layers * (per + sync)
+            out[pos] = base + (overhead_s if base > 0 else 0.0)
+        return out
+    groups: dict[tuple[str, int, bool], list[int]] = {}
+    for pos, item in enumerate(items):
+        groups.setdefault((item.kind, item.tp_degree, item.spans_nodes), []).append(pos)
+    for (kind, tp, spans), positions in groups.items():
+        batch = np.array([items[p].batch for p in positions], dtype=float)
+        length = np.array([items[p].length for p in positions], dtype=float)
+        layers = np.array([items[p].layers for p in positions], dtype=float)
+        if kind == ENCODE:
+            per = profile.encode_layer_time_batch(tp, batch, length)
+            sync = profile.encode_sync_time_batch(tp, batch, length, spans)
+        else:
+            per = profile.decode_layer_time_batch(tp, batch, length)
+            sync = profile.decode_sync_time_batch(tp, batch, spans)
+        base = layers * (per + sync)
+        if overhead_s:
+            base = np.where(base > 0, base + overhead_s, base)
+        out[positions] = base
+    return out
+
+
+def encode_chain_times(
+    profile: ProfileTable,
+    placement: Placement,
+    stages: tuple[StagePlan, ...],
+    batch: float,
+    input_len: float,
+    overhead_s: float = 0.0,
+    batched: bool = True,
+) -> list[float]:
+    """Encode time of each stage of a chain, priced in one batched lookup."""
+    items = [
+        StageWork(
+            ENCODE, s.encoder_layers, s.tp_degree,
+            placement.stage_spans_nodes(s), batch, input_len,
+        )
+        for s in stages
+    ]
+    return [float(v) for v in price_work(profile, items, overhead_s, batched)]
+
+
+def decode_chain_times(
+    profile: ProfileTable,
+    placement: Placement,
+    stages: tuple[StagePlan, ...],
+    batch: float,
+    context_len: float,
+    overhead_s: float = 0.0,
+    batched: bool = True,
+) -> list[float]:
+    """Decode-step time of each stage of a chain, one batched lookup."""
+    items = [
+        StageWork(
+            DECODE, s.decoder_layers, s.tp_degree,
+            placement.stage_spans_nodes(s), batch, context_len,
+        )
+        for s in stages
+    ]
+    return [float(v) for v in price_work(profile, items, overhead_s, batched)]
+
+
+# ---------------------------------------------------------------------------
+# Declarative iteration plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TaskRef:
+    """Handle for a planned task; its timeline id is assigned at commit."""
+
+    task_id: int = -1
+
+    @property
+    def committed(self) -> bool:
+        """Whether the owning plan has been committed."""
+        return self.task_id >= 0
+
+
+@dataclass
+class _PlannedTask:
+    """One task of an iteration plan, before pricing/emission."""
+
+    stage: object
+    work: list[StageWork]
+    fixed_s: float
+    deps: list[object]
+    tag: str
+    bucket: str | None
+    release_s: float
+    ref: TaskRef = field(default_factory=TaskRef)
+
+
+class IterationPlan:
+    """Declarative description of one scheduling cycle's task graph.
+
+    Tasks are appended through the engine's chain/iteration helpers (or
+    :meth:`add_task` directly) and hold :class:`TaskRef` placeholders;
+    :meth:`ExecutionEngine.commit` prices every collected
+    :class:`StageWork` item in batched profile lookups and emits the tasks
+    onto the timeline in plan order.
+    """
+
+    def __init__(self) -> None:
+        self.tasks: list[_PlannedTask] = []
+        self.committed = False
+
+    def add_task(
+        self,
+        stage: object,
+        work: list[StageWork] | tuple[StageWork, ...] = (),
+        fixed_s: float = 0.0,
+        deps: list[object] | tuple[object, ...] = (),
+        tag: str = "",
+        bucket: str | None = None,
+        release_s: float = 0.0,
+    ) -> TaskRef:
+        """Append one planned task; ``deps`` may mix TaskRefs and task ids."""
+        if self.committed:
+            raise RuntimeError("cannot add tasks to a committed plan")
+        task = _PlannedTask(
+            stage=stage,
+            work=list(work),
+            fixed_s=fixed_s,
+            deps=list(deps),
+            tag=tag,
+            bucket=bucket,
+            release_s=release_s,
+        )
+        self.tasks.append(task)
+        return task.ref
+
+    @property
+    def num_tasks(self) -> int:
+        """Planned tasks so far."""
+        return len(self.tasks)
+
+
+def _dep_id(dep: object) -> int:
+    if isinstance(dep, TaskRef):
+        if not dep.committed:
+            raise ValueError("dependency TaskRef belongs to an uncommitted plan")
+        return dep.task_id
+    return int(dep)
+
+
+# ---------------------------------------------------------------------------
+# Bookkeeping and WAA handover
+# ---------------------------------------------------------------------------
+
+
+class Bookkeeping:
+    """Deferred timestamp assignments resolved after the timeline runs.
+
+    Construction-time decisions never depend on task times, so drivers
+    record (request, task) pairs while building and resolve them once at
+    the end: encode starts map to task *start* times, first tokens and
+    completions to task *finish* times.
+    """
+
+    def __init__(self) -> None:
+        self.encode_starts: list[tuple[RequestState, TaskRef]] = []
+        self.first_tokens: list[tuple[RequestState, TaskRef]] = []
+        self.completions: list[tuple[RequestState, TaskRef]] = []
+
+    def resolve(self, timeline: Timeline) -> None:
+        """Offline semantics: stamp the request states themselves."""
+        timeline.run()
+        for request, ref in self.encode_starts:
+            request.encode_start_s = timeline.start_time(ref.task_id)
+        for request, ref in self.completions:
+            request.finish_s = timeline.finish_time(ref.task_id)
+
+    def resolve_events(self, timeline: Timeline):
+        """Online semantics: yield ``(event, request, time)`` triples.
+
+        Events are ``"admitted"`` (task start), ``"first_token"`` and
+        ``"finish"`` (task finishes); the serving layer maps them onto its
+        per-request records.
+        """
+        timeline.schedule_pending()
+        for request, ref in self.encode_starts:
+            yield "admitted", request, timeline.start_time(ref.task_id)
+        for request, ref in self.first_tokens:
+            yield "first_token", request, timeline.finish_time(ref.task_id)
+        for request, ref in self.completions:
+            yield "finish", request, timeline.finish_time(ref.task_id)
+
+
+class KVHandover:
+    """WAA encoder→decoder handover queue.
+
+    Encoded batches wait here until their KV transfer may merge into the
+    decode pool; at most one batch merges per decode iteration (the
+    handover granularity of WAA), and a batch whose transfer was issued in
+    the *current* iteration only merges early when the pool is empty.
+    """
+
+    def __init__(self) -> None:
+        self._incoming: list[tuple[list[RequestState], TaskRef]] = []
+
+    def push(self, requests: list[RequestState], transfer: TaskRef) -> None:
+        """Queue an encoded batch behind its KV-transfer task."""
+        self._incoming.append((list(requests), transfer))
+
+    def merge_one(
+        self,
+        pool: list[RequestState],
+        latest_transfer: TaskRef | None,
+    ) -> list[TaskRef]:
+        """Merge at most one ready batch into ``pool``.
+
+        Returns the merge dependencies (the batch's transfer task) the next
+        decode iteration must wait on; empty when nothing merged.
+        """
+        if not self._incoming:
+            return []
+        requests, transfer = self._incoming[0]
+        if transfer is latest_transfer and pool:
+            return []
+        self._incoming.pop(0)
+        pool.extend(requests)
+        return [transfer]
+
+    def __bool__(self) -> bool:
+        return bool(self._incoming)
+
+    def __len__(self) -> int:
+        return len(self._incoming)
+
+
+# ---------------------------------------------------------------------------
+# Outcomes of the iteration helpers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DecodeOutcome:
+    """Result of planning one pipelined decode iteration.
+
+    Attributes:
+        any_alive: Whether any micro-batch still had live requests.
+        freed: Requests that completed (slots freed for admission).
+        completed: The completed requests, in completion order.
+    """
+
+    any_alive: bool
+    freed: int
+    completed: list[RequestState]
+
+
+@dataclass
+class MixedOutcome:
+    """Result of planning one continuous-batching iteration.
+
+    Attributes:
+        first: First stage task of the iteration (admission timestamps).
+        last: Last stage task (first-token/completion timestamps).
+        completed: Requests that finished in this iteration.
+    """
+
+    first: TaskRef | None
+    last: TaskRef | None
+    completed: list[RequestState]
+
+
+def _identity_key(stage: StagePlan) -> object:
+    return stage.stage_id
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class ExecutionEngine:
+    """Builds iteration graphs on a timeline for one driver run.
+
+    Args:
+        timeline: The discrete-event timeline tasks are emitted onto.
+        profile: Profiled per-layer times pricing the stage tasks.
+        placement: The GPU/layer placement whose stages execute the tasks.
+        decoder_only: Whether attention contexts include the prompt.
+        overhead_s: Fixed per-component engine overhead (baselines).
+        batched_pricing: Price plans through the vectorized profile lookups
+            (default); ``False`` forces the scalar reference path, kept for
+            the perf-regression harness.
+    """
+
+    def __init__(
+        self,
+        timeline: Timeline,
+        profile: ProfileTable,
+        placement: Placement,
+        decoder_only: bool,
+        overhead_s: float = 0.0,
+        batched_pricing: bool = True,
+    ) -> None:
+        self.timeline = timeline
+        self.profile = profile
+        self.placement = placement
+        self.decoder_only = decoder_only
+        self.overhead_s = overhead_s
+        self.batched_pricing = batched_pricing
+        self.bookkeeping = Bookkeeping()
+        self.stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
+        self.peak_kv_tokens: dict[int, float] = {
+            s.stage_id: 0.0 for s in placement.stages
+        }
+
+    # -- plan lifecycle ---------------------------------------------------------
+
+    def plan(self) -> IterationPlan:
+        """Start a new (empty) iteration plan."""
+        return IterationPlan()
+
+    def commit(self, plan: IterationPlan) -> None:
+        """Price the plan's work in batched lookups and emit its tasks.
+
+        Durations are resolved with one vectorized grid interpolation per
+        (phase, TP-signature) group over *all* of the cycle's work items;
+        tasks are then added to the timeline in plan order (preserving the
+        per-stage FIFO semantics of the scalar construction), their
+        :class:`TaskRef` handles are filled in, and per-phase stage times
+        are recorded for the Table 7 variance analysis.
+        """
+        if plan.committed:
+            raise RuntimeError("plan was already committed")
+        items = [work for task in plan.tasks for work in task.work]
+        priced = price_work(
+            self.profile, items, self.overhead_s, self.batched_pricing
+        )
+        pos = 0
+        for task in plan.tasks:
+            duration = task.fixed_s
+            for _ in task.work:
+                duration += float(priced[pos])
+                pos += 1
+            self._emit(task, duration)
+        plan.committed = True
+
+    def _emit(self, task: _PlannedTask, duration: float) -> None:
+        task.ref.task_id = self.timeline.add_task(
+            task.stage,
+            duration,
+            tuple(_dep_id(d) for d in task.deps),
+            tag=task.tag,
+            earliest_start_s=task.release_s,
+        )
+        if task.bucket is not None:
+            self.stage_times[task.bucket].append(duration)
+
+    # -- encode construction -----------------------------------------------------
+
+    def encode_chain(
+        self,
+        plan: IterationPlan,
+        stages: tuple[StagePlan, ...],
+        group: list[RequestState],
+        stage_key=None,
+        release_s: float = 0.0,
+        track_peak: bool = False,
+    ) -> tuple[TaskRef, TaskRef]:
+        """Chain one encode (micro-)batch across ``stages``.
+
+        Tasks depend on their predecessor in the chain; the first task
+        carries the release time (online admission clock).  Encode-start
+        bookkeeping is recorded for every request of the group against the
+        first task.  Returns ``(first, last)`` refs.
+        """
+        if not group:
+            raise ValueError("encode_chain needs a non-empty group")
+        key = stage_key or _identity_key
+        avg_input = average_input_length(group)
+        prev: TaskRef | None = None
+        first: TaskRef | None = None
+        for stage in stages:
+            ref = plan.add_task(
+                key(stage),
+                work=[
+                    StageWork(
+                        ENCODE,
+                        stage.encoder_layers,
+                        stage.tp_degree,
+                        self.placement.stage_spans_nodes(stage),
+                        len(group),
+                        avg_input,
+                    )
+                ],
+                deps=[prev] if prev is not None else [],
+                tag="encode",
+                bucket="encode",
+                release_s=release_s if prev is None else 0.0,
+            )
+            if track_peak:
+                kv_tokens = len(group) * avg_input
+                self.peak_kv_tokens[stage.stage_id] = max(
+                    self.peak_kv_tokens.get(stage.stage_id, 0.0), float(kv_tokens)
+                )
+            if first is None:
+                first = ref
+            prev = ref
+        for request in group:
+            self.bookkeeping.encode_starts.append((request, first))
+        return first, prev
+
+    def encode_phase(
+        self,
+        plan: IterationPlan,
+        stages: tuple[StagePlan, ...],
+        groups: list[list[RequestState]],
+        stage_key=None,
+        release_s: float = 0.0,
+        track_peak: bool = False,
+    ) -> list[TaskRef]:
+        """Encode several micro-batches; returns each chain's last task."""
+        last_tasks: list[TaskRef] = []
+        for group in groups:
+            _, last = self.encode_chain(
+                plan,
+                stages,
+                group,
+                stage_key=stage_key,
+                release_s=release_s,
+                track_peak=track_peak,
+            )
+            last_tasks.append(last)
+        return last_tasks
+
+    def kv_transfer(
+        self,
+        plan: IterationPlan,
+        group: list[RequestState],
+        dep: TaskRef,
+        kv_layers: int,
+        handover: KVHandover | None = None,
+        stage: object = "kv-transfer",
+    ) -> TaskRef:
+        """WAA encoder→decoder KV-cache transfer of one encoded batch.
+
+        The transfer is a fixed-duration task on the host-staging link,
+        dependent on the encode chain's last task; when ``handover`` is
+        given the batch is queued for a later :meth:`KVHandover.merge_one`.
+        """
+        duration = self.profile.kv_transfer_time(
+            len(group), average_input_length(group), kv_layers
+        )
+        ref = plan.add_task(
+            stage, fixed_s=duration, deps=[dep], tag="kv-transfer"
+        )
+        if handover is not None:
+            handover.push(group, ref)
+        return ref
+
+    # -- decode construction -------------------------------------------------------
+
+    def decode_iteration(
+        self,
+        plan: IterationPlan,
+        stages: tuple[StagePlan, ...],
+        groups: list[list[RequestState]],
+        first_deps: list[object] = (),
+        prev_last: dict[int, object] | None = None,
+        stage_key=None,
+        release_s: float = 0.0,
+        track_peak: bool = False,
+        early_termination: bool = True,
+    ) -> DecodeOutcome:
+        """One pipelined decode iteration over micro-batch ``groups``.
+
+        Each group's chain depends on ``first_deps`` (encode hand-offs or
+        WAA merges) plus the group's previous-iteration tail from
+        ``prev_last`` (autoregressive feedback; updated in place).  Request
+        states advance one token; with ``early_termination`` finished
+        requests leave the batch and a KV-compaction task closes the holes
+        they leave (appended to the group's chain tail).  Without it --
+        FasterTransformer/DSI semantics -- completed requests keep occupying
+        their slots and no compaction runs.
+        """
+        key = stage_key or _identity_key
+        prev_last = prev_last if prev_last is not None else {}
+        freed = 0
+        any_alive = False
+        completed_all: list[RequestState] = []
+        for g_index, group in enumerate(groups):
+            if early_termination:
+                alive = [r for r in group if not r.done]
+                if not alive:
+                    continue
+            else:
+                alive = list(group)
+                if not alive:
+                    continue
+            any_alive = True
+            avg_ctx = average_context(alive, self.decoder_only)
+            if track_peak:
+                kv_tokens = float(
+                    sum(r.context_length(self.decoder_only) for r in alive)
+                )
+            deps_first: list[object] = list(first_deps)
+            if g_index in prev_last:
+                deps_first.append(prev_last[g_index])
+            prev: TaskRef | None = None
+            for stage in stages:
+                ref = plan.add_task(
+                    key(stage),
+                    work=[
+                        StageWork(
+                            DECODE,
+                            stage.decoder_layers,
+                            stage.tp_degree,
+                            self.placement.stage_spans_nodes(stage),
+                            len(alive),
+                            avg_ctx,
+                        )
+                    ],
+                    deps=[prev] if prev is not None else deps_first,
+                    tag="decode",
+                    bucket="decode",
+                    release_s=release_s if prev is None else 0.0,
+                )
+                if track_peak and kv_tokens > self.peak_kv_tokens.get(
+                    stage.stage_id, 0.0
+                ):
+                    self.peak_kv_tokens[stage.stage_id] = kv_tokens
+                prev = ref
+            last_decode = prev
+            completed: list[RequestState] = []
+            for request in alive:
+                if request.done:
+                    continue
+                request.advance()
+                if request.generated == 1:
+                    self.bookkeeping.first_tokens.append((request, last_decode))
+                if request.done:
+                    self.bookkeeping.completions.append((request, last_decode))
+                    completed.append(request)
+                    freed += 1
+            if completed and early_termination:
+                # Compaction copies the freed entries' worth of cache to
+                # close the holes left by early termination; it occupies the
+                # chain's last stage.
+                compaction = self.profile.kv_compaction_time(
+                    len(completed),
+                    average_context(completed, self.decoder_only),
+                    stages[-1].decoder_layers,
+                )
+                if compaction > 0:
+                    prev = plan.add_task(
+                        key(stages[-1]),
+                        fixed_s=compaction,
+                        deps=[prev],
+                        tag="compaction",
+                    )
+            prev_last[g_index] = prev
+            completed_all.extend(completed)
+        return DecodeOutcome(
+            any_alive=any_alive, freed=freed, completed=completed_all
+        )
+
+    # -- continuous batching ----------------------------------------------------------
+
+    def mixed_iteration(
+        self,
+        plan: IterationPlan,
+        stages: tuple[StagePlan, ...],
+        alive: list[RequestState],
+        admitted: list[RequestState],
+        prev_last: object | None = None,
+        release_s: float = 0.0,
+    ) -> MixedOutcome:
+        """One ORCA-style iteration: pool decodes + admitted prefills.
+
+        Every stage task's duration sums the decode step of the running
+        batch and one single-request prefill per admitted request (each
+        component carrying the engine overhead), which is exactly what makes
+        prefill-carrying iterations long -- the latency-variability effect
+        the paper highlights.  Admission bookkeeping binds to the first
+        stage task, first-token/completion bookkeeping to the last.
+        """
+        key = _identity_key
+        avg_ctx = average_context(alive, self.decoder_only) if alive else 0.0
+        prev: TaskRef | None = None
+        first: TaskRef | None = None
+        for stage in stages:
+            work: list[StageWork] = []
+            spans = self.placement.stage_spans_nodes(stage)
+            if alive:
+                work.append(
+                    StageWork(
+                        DECODE, stage.decoder_layers, stage.tp_degree,
+                        spans, len(alive), avg_ctx,
+                    )
+                )
+            for request in admitted:
+                work.append(
+                    StageWork(
+                        ENCODE, stage.encoder_layers, stage.tp_degree,
+                        spans, 1.0, request.input_len,
+                    )
+                )
+            deps: list[object] = []
+            if prev is not None:
+                deps.append(prev)
+            elif prev_last is not None:
+                deps.append(prev_last)
+            ref = plan.add_task(
+                key(stage),
+                work=work,
+                deps=deps,
+                tag="iteration",
+                bucket="decode" if alive else "encode",
+                release_s=release_s if prev is None else 0.0,
+            )
+            if first is None:
+                first = ref
+            prev = ref
+        for request in admitted:
+            self.bookkeeping.encode_starts.append((request, first))
+        completed: list[RequestState] = []
+        for request in alive:
+            request.advance()
+            if request.generated == 1:
+                self.bookkeeping.first_tokens.append((request, prev))
+            if request.done:
+                self.bookkeeping.completions.append((request, prev))
+                completed.append(request)
+        return MixedOutcome(first=first, last=prev, completed=completed)

@@ -33,7 +33,13 @@ Both drivers build their schedules on the shared discrete-event
 :class:`~repro.engine.timeline.Timeline`, using its incremental scheduling
 (``schedule_pending``) to learn the simulated clock after each iteration and
 its release times (``earliest_start_s``) so work never starts before the
-requests it serves have arrived.
+requests it serves have arrived.  Iteration construction itself -- stage
+chaining, micro-batching, WAA KV handover, compaction, timestamp
+bookkeeping -- goes through the same
+:class:`~repro.engine.execution.ExecutionEngine` as the offline runner and
+baselines, so the online and offline simulators share one implementation of
+execution semantics, and each iteration's stage durations are resolved
+through batched profile lookups rather than per-task scalar calls.
 
 :class:`OnlineEvaluator` sweeps offered request rates per traffic scenario
 and reports the maximum sustainable QPS: the highest offered rate at which a
@@ -49,15 +55,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.baselines.base import BaselineSystem
-from repro.core.analytical import decode_stage_time, encode_stage_time
 from repro.core.config import LatencyConstraint, ScheduleConfig
 from repro.core.dynamic import DynamicWorkloadAdjuster
 from repro.core.simulator import XSimulator
-from repro.engine.batching import (
-    average_context,
-    average_input_length,
-    split_into_micro_batches,
-)
+from repro.engine.batching import split_into_micro_batches
+from repro.engine.execution import ExecutionEngine, KVHandover, TaskRef
 from repro.engine.metrics import RunResult
 from repro.engine.request import RequestState
 from repro.engine.timeline import Timeline
@@ -271,8 +273,11 @@ class OnlineServer:
     """Base class of the online serving drivers.
 
     Owns the bounded admission queue and the arrival-driven event loop;
-    subclasses implement one engine iteration (admit, enqueue stage tasks,
-    advance request states) and report the next iteration's start clock.
+    subclasses implement one engine iteration (admit, plan the iteration's
+    stage tasks through the shared :class:`ExecutionEngine`, advance request
+    states) and report the next iteration's start clock.  The engine's
+    deferred bookkeeping is resolved once, after the loop drains, into the
+    per-request records.
 
     Args:
         name: System name used in results.
@@ -284,6 +289,7 @@ class OnlineServer:
             raise ValueError("max_queue must be >= 1")
         self.name = name
         self.max_queue = max_queue
+        self._engine: ExecutionEngine | None = None
 
     # -- subclass hooks ----------------------------------------------------------
 
@@ -327,8 +333,6 @@ class OnlineServer:
         )
         self._queue: deque[RequestState] = deque()
         self._timeline = Timeline()
-        # Deferred timestamp assignments: (record field, request_id, task_id).
-        self._stamps: list[tuple[str, int, int]] = []
         self._reset(self._timeline)
 
         clock = 0.0
@@ -348,14 +352,15 @@ class OnlineServer:
                 raise RuntimeError(f"online server {self.name} did not converge")
 
         self._timeline.schedule_pending()
-        for attr, request_id, task_id in self._stamps:
-            record = records[request_id]
-            if attr == "admitted_s":
-                record.admitted_s = self._timeline.start_time(task_id)
-            elif attr == "first_token_s":
-                record.first_token_s = self._timeline.finish_time(task_id)
+        bookkeeping = self._engine.bookkeeping
+        for event, request, when in bookkeeping.resolve_events(self._timeline):
+            record = records[request.request_id]
+            if event == "admitted":
+                record.admitted_s = when
+            elif event == "first_token":
+                record.first_token_s = when
             else:
-                record.finish_s = self._timeline.finish_time(task_id)
+                record.finish_s = when
         ordered = tuple(records[s.request_id] for s in states)
         return OnlineResult(
             system=self.name,
@@ -381,9 +386,6 @@ class OnlineServer:
                 continue
             self._queue.append(state)
 
-    def _stamp(self, attr: str, request_id: int, task_id: int) -> None:
-        self._stamps.append((attr, request_id, task_id))
-
 
 # ---------------------------------------------------------------------------
 # Driver 1: iteration-level continuous batching (ORCA / vLLM online)
@@ -403,6 +405,9 @@ class ContinuousBatchingOnlineServer(OnlineServer):
         system: The cost/KV model (an :class:`Orca` or :class:`Vllm`).
         batch_size: Running-batch cap (typically from ``configure_for_bound``).
         max_queue: Admission-queue capacity.
+        batched_pricing: Resolve stage durations through the vectorized
+            profile lookups (default); ``False`` keeps the scalar reference
+            path for the perf-regression harness.
     """
 
     def __init__(
@@ -411,17 +416,22 @@ class ContinuousBatchingOnlineServer(OnlineServer):
         batch_size: int,
         max_queue: int = 512,
         name: str | None = None,
+        batched_pricing: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         super().__init__(name=name or f"{system.name}-online", max_queue=max_queue)
         self.system = system
         self.batch_size = batch_size
+        self.batched_pricing = batched_pricing
 
     def _reset(self, timeline: Timeline) -> None:
         self._pool: list[RequestState] = []
         self._cache = self.system._make_kv_cache()
-        self._prev_last_task: int | None = None
+        self._prev_last_task: TaskRef | None = None
+        self._engine = self.system.make_engine(
+            timeline, batched_pricing=self.batched_pricing
+        )
 
     def _busy(self) -> bool:
         return bool(self._pool)
@@ -429,7 +439,7 @@ class ContinuousBatchingOnlineServer(OnlineServer):
     def _iterate(self, clock: float) -> float:
         system = self.system
         stages = system.placement.stages
-        timeline = self._timeline
+        engine = self._engine
 
         admitted: list[RequestState] = []
         while (
@@ -452,45 +462,20 @@ class ContinuousBatchingOnlineServer(OnlineServer):
                 f"{self.name}: cannot admit any request; KV cache too small"
             )
 
-        avg_ctx = average_context(alive, system.decoder_only) if alive else 0.0
-        prev: int | None = None
-        first: int | None = None
-        for stage in stages:
-            duration = 0.0
-            if alive:
-                duration += system.decode_time(stage, len(alive), avg_ctx)
-            for request in admitted:
-                duration += system.encode_time(stage, 1.0, request.input_len)
-            deps: list[int] = []
-            if prev is not None:
-                deps.append(prev)
-            elif self._prev_last_task is not None:
-                deps.append(self._prev_last_task)
-            task = timeline.add_task(
-                stage.stage_id,
-                duration,
-                tuple(deps),
-                tag="iteration",
-                earliest_start_s=clock if prev is None else 0.0,
-            )
-            if first is None:
-                first = task
-            prev = task
-        self._prev_last_task = prev
+        plan = engine.plan()
+        outcome = engine.mixed_iteration(
+            plan, stages, alive, admitted,
+            prev_last=self._prev_last_task, release_s=clock,
+        )
+        engine.commit(plan)
+        self._prev_last_task = outcome.last
 
-        for request in admitted:
-            self._stamp("admitted_s", request.request_id, first)
-            self._pool.append(request)
-        for request in alive:
-            request.advance()
-            if request.generated == 1:
-                self._stamp("first_token_s", request.request_id, prev)
-            if request.done:
-                self._stamp("finish_s", request.request_id, prev)
-                system._release(self._cache, request)
+        self._pool.extend(admitted)
+        for request in outcome.completed:
+            system._release(self._cache, request)
         self._pool = [r for r in self._pool if not r.done]
 
-        return timeline.finish_time(prev)
+        return self._timeline.finish_time(outcome.last.task_id)
 
     def _extra(self, iterations: int) -> dict[str, float]:
         return {
@@ -521,6 +506,9 @@ class ExeGPTOnlineServer(OnlineServer):
         config: The schedule to enforce (typically ``XScheduler``'s best).
         max_queue: Admission-queue capacity.
         dynamic_adjustment: Enable the Section 5.2 admission adjuster.
+        batched_pricing: Resolve stage durations through the vectorized
+            profile lookups (default); ``False`` keeps the scalar reference
+            path for the perf-regression harness.
     """
 
     def __init__(
@@ -530,6 +518,7 @@ class ExeGPTOnlineServer(OnlineServer):
         max_queue: int = 512,
         dynamic_adjustment: bool = True,
         name: str | None = None,
+        batched_pricing: bool = True,
     ) -> None:
         super().__init__(
             name=name or f"exegpt-{config.policy.value}-online", max_queue=max_queue
@@ -540,6 +529,7 @@ class ExeGPTOnlineServer(OnlineServer):
         self.model = simulator.model
         self.placement = simulator.build_placement(config)
         self.dynamic_adjustment = dynamic_adjustment
+        self.batched_pricing = batched_pricing
         self.decoder_only = not self.model.is_encoder_decoder
         self.is_waa = config.policy.is_waa
 
@@ -557,13 +547,20 @@ class ExeGPTOnlineServer(OnlineServer):
         self._adjuster = self._make_adjuster()
         self._decode_target = max(int(round(self._adjuster.target_decode_batch)), 1)
         self._freed_last_cycle = 0
-        self._prev_iter_last: dict[int, int] = {}
+        self._prev_iter_last: dict[int, TaskRef] = {}
         self._cycles = 0
         # WAA: batches encoded but not yet merged into the decode pool.
-        self._incoming: list[tuple[list[RequestState], int]] = []
+        self._handover = KVHandover()
+        self._engine = ExecutionEngine(
+            timeline,
+            self.profile,
+            self.placement,
+            decoder_only=self.decoder_only,
+            batched_pricing=self.batched_pricing,
+        )
 
     def _busy(self) -> bool:
-        return bool(self._pool) or bool(self._incoming)
+        return bool(self._pool) or bool(self._handover)
 
     def _admit_from_queue(self) -> list[RequestState]:
         admitted = self._adjuster.admit(
@@ -585,64 +582,41 @@ class ExeGPTOnlineServer(OnlineServer):
         placement = self.placement
         stages = placement.stages
         micro_batches = max(len(stages), 1)
-        timeline = self._timeline
+        engine = self._engine
 
         admitted = self._admit_from_queue()
 
-        encode_last_tasks: list[int] = []
+        plan = engine.plan()
+        encode_last_tasks: list[TaskRef] = []
         if admitted:
-            for group in split_into_micro_batches(admitted, micro_batches):
-                avg_input = average_input_length(group)
-                prev_task: int | None = None
-                first_task: int | None = None
-                for stage in stages:
-                    duration = encode_stage_time(
-                        self.profile, placement, stage, len(group), avg_input
-                    )
-                    deps = (prev_task,) if prev_task is not None else ()
-                    task_id = timeline.add_task(
-                        stage.stage_id,
-                        duration,
-                        deps,
-                        tag="encode",
-                        earliest_start_s=clock if prev_task is None else 0.0,
-                    )
-                    if first_task is None:
-                        first_task = task_id
-                    prev_task = task_id
-                for request in group:
-                    self._stamp("admitted_s", request.request_id, first_task)
-                encode_last_tasks.append(prev_task)
+            groups = split_into_micro_batches(admitted, micro_batches)
+            encode_last_tasks = engine.encode_phase(
+                plan, stages, groups, release_s=clock
+            )
             self._pool.extend(admitted)
 
         self._freed_last_cycle = 0
         if self._pool:
             groups = split_into_micro_batches(self._pool, micro_batches)
-            prev_iter_last: dict[int, int] = {}
+            prev_iter_last: dict[int, TaskRef] = {}
             for iteration in range(self.config.decode_iterations):
-                any_alive = False
-                for g_index, group in enumerate(groups):
-                    alive = [r for r in group if not r.done]
-                    if not alive:
-                        continue
-                    any_alive = True
-                    prev_task = self._decode_group(
-                        stages,
-                        alive,
-                        g_index,
-                        first_deps=encode_last_tasks if iteration == 0 else [],
-                        prev_iter_last=prev_iter_last,
-                        clock=clock,
-                        stage_key=lambda s: s.stage_id,
-                    )
-                    prev_iter_last[g_index] = prev_task
-                if not any_alive:
+                outcome = engine.decode_iteration(
+                    plan,
+                    stages,
+                    groups,
+                    first_deps=encode_last_tasks if iteration == 0 else [],
+                    prev_last=prev_iter_last,
+                    release_s=clock,
+                )
+                self._freed_last_cycle += outcome.freed
+                if not outcome.any_alive:
                     break
             self._pool = [r for r in self._pool if not r.done]
+        engine.commit(plan)
 
         self._cycles += 1
         # The next cycle's encode can begin once the first stage drains.
-        return timeline.stage_free_at(stages[0].stage_id, default=clock)
+        return self._timeline.stage_free_at(stages[0].stage_id, default=clock)
 
     # -- WAA: concurrent encode + one pipelined decode iteration ------------------
 
@@ -652,67 +626,42 @@ class ExeGPTOnlineServer(OnlineServer):
         decode_stages = placement.decode_stages
         if not encode_stages or not decode_stages:
             raise ValueError("WAA placement needs both encode and decode stages")
-        timeline = self._timeline
+        engine = self._engine
 
-        transfer_task: int | None = None
+        plan = engine.plan()
+        transfer_task: TaskRef | None = None
         admitted = self._admit_from_queue() if self._queue else []
         if admitted:
-            avg_input = average_input_length(admitted)
-            prev_task: int | None = None
-            first_task: int | None = None
-            for stage in encode_stages:
-                duration = encode_stage_time(
-                    self.profile, placement, stage, len(admitted), avg_input
-                )
-                deps = (prev_task,) if prev_task is not None else ()
-                task_id = timeline.add_task(
-                    ("enc", stage.stage_id),
-                    duration,
-                    deps,
-                    tag="encode",
-                    earliest_start_s=clock if prev_task is None else 0.0,
-                )
-                if first_task is None:
-                    first_task = task_id
-                prev_task = task_id
-            for request in admitted:
-                self._stamp("admitted_s", request.request_id, first_task)
+            _, enc_last = engine.encode_chain(
+                plan,
+                encode_stages,
+                admitted,
+                stage_key=lambda s: ("enc", s.stage_id),
+                release_s=clock,
+            )
             kv_layers = self.model.num_decoder_layers if self.decoder_only else 1
-            transfer_duration = self.profile.kv_transfer_time(
-                len(admitted), avg_input, kv_layers
+            transfer_task = engine.kv_transfer(
+                plan, admitted, enc_last, kv_layers, handover=self._handover
             )
-            transfer_task = timeline.add_task(
-                "kv-transfer", transfer_duration, (prev_task,), tag="kv-transfer"
-            )
-            self._incoming.append((admitted, transfer_task))
 
         # Merge at most one previously encoded batch into the decode pool.
-        merge_deps: list[int] = []
-        if self._incoming:
-            ready = self._incoming[0]
-            if ready[1] != transfer_task or not self._pool:
-                self._incoming.pop(0)
-                self._pool.extend(ready[0])
-                merge_deps.append(ready[1])
+        merge_deps = self._handover.merge_one(self._pool, transfer_task)
 
         self._freed_last_cycle = 0
         if self._pool:
             groups = split_into_micro_batches(self._pool, self.config.micro_batches)
-            for g_index, group in enumerate(groups):
-                alive = [r for r in group if not r.done]
-                if not alive:
-                    continue
-                prev_task = self._decode_group(
-                    decode_stages,
-                    alive,
-                    g_index,
-                    first_deps=merge_deps,
-                    prev_iter_last=self._prev_iter_last,
-                    clock=clock,
-                    stage_key=lambda s: ("dec", s.stage_id),
-                )
-                self._prev_iter_last[g_index] = prev_task
+            outcome = engine.decode_iteration(
+                plan,
+                decode_stages,
+                groups,
+                first_deps=merge_deps,
+                prev_last=self._prev_iter_last,
+                stage_key=lambda s: ("dec", s.stage_id),
+                release_s=clock,
+            )
+            self._freed_last_cycle = outcome.freed
             self._pool = [r for r in self._pool if not r.done]
+        engine.commit(plan)
 
         self._cycles += 1
         # Advance to the next time an admission decision can change: the
@@ -721,70 +670,15 @@ class ExeGPTOnlineServer(OnlineServer):
         # an earlier batch must not freeze the clock (and with it arrival
         # ingestion) while the decode side is still draining the pool.
         candidates = [
-            timeline.stage_free_at(("enc", encode_stages[0].stage_id), default=-1.0),
-            timeline.stage_free_at(("dec", decode_stages[0].stage_id), default=-1.0),
+            self._timeline.stage_free_at(
+                ("enc", encode_stages[0].stage_id), default=-1.0
+            ),
+            self._timeline.stage_free_at(
+                ("dec", decode_stages[0].stage_id), default=-1.0
+            ),
         ]
         future = [c for c in candidates if c > clock]
         return min(future) if future else clock
-
-    # -- shared decode-iteration construction -------------------------------------
-
-    def _decode_group(
-        self,
-        stages,
-        alive: list[RequestState],
-        g_index: int,
-        first_deps: list[int],
-        prev_iter_last: dict[int, int],
-        clock: float,
-        stage_key,
-    ) -> int:
-        """Enqueue one micro-batch's decode step across ``stages``; advances
-        the request states and records first-token/finish stamps."""
-        timeline = self._timeline
-        avg_ctx = average_context(alive, self.decoder_only)
-        prev_task: int | None = None
-        deps_first = list(first_deps)
-        if g_index in prev_iter_last:
-            deps_first.append(prev_iter_last[g_index])
-        for stage in stages:
-            duration = decode_stage_time(
-                self.profile, self.placement, stage, len(alive), avg_ctx
-            )
-            deps = [prev_task] if prev_task is not None else deps_first
-            task_id = timeline.add_task(
-                stage_key(stage),
-                duration,
-                tuple(deps),
-                tag="decode",
-                earliest_start_s=clock if prev_task is None else 0.0,
-            )
-            prev_task = task_id
-        completed: list[RequestState] = []
-        for request in alive:
-            request.advance()
-            if request.generated == 1:
-                self._stamp("first_token_s", request.request_id, prev_task)
-            if request.done:
-                self._stamp("finish_s", request.request_id, prev_task)
-                self._freed_last_cycle += 1
-                completed.append(request)
-        if completed:
-            # Early termination leaves holes in the KV cache; the runner packs
-            # them, and the copy occupies the last stage (as offline).
-            compaction = self.profile.kv_compaction_time(
-                len(completed),
-                average_context(completed, self.decoder_only),
-                stages[-1].decoder_layers,
-            )
-            if compaction > 0:
-                prev_task = timeline.add_task(
-                    stage_key(stages[-1]),
-                    compaction,
-                    (prev_task,),
-                    tag="compaction",
-                )
-        return prev_task
 
     def _extra(self, iterations: int) -> dict[str, float]:
         return {
@@ -828,6 +722,16 @@ class OnlineEvaluator:
     end-to-end latency (queueing included); ``max_rejection_rate`` relaxes
     the no-drops requirement.
 
+    One :class:`~repro.core.simulator.EstimateContext` backs the whole
+    sweep.  The memoization itself lives on the simulator (``context`` is
+    its lazily built, cached property); the evaluator forces and pins that
+    context at construction and exposes it as :attr:`context`, so even if
+    the engine's distributions are swapped mid-sweep the servers built here
+    keep pricing against one consistent set of memoized placements,
+    distribution statistics and RRA completion arrays.  The schedule search
+    runs once per *system* -- when its server is first built, cached in
+    ``_servers`` -- never per offered rate.
+
     Args:
         engine: The ExeGPT instance providing model, profile, distributions.
         trace: The request trace (lengths only; arrivals are stamped per
@@ -860,6 +764,9 @@ class OnlineEvaluator:
         self.max_rejection_rate = max_rejection_rate
         self.seed = seed
         self._servers: dict[str, OnlineServer] = {}
+        # Force the simulator's lazily built memoized context now and pin it
+        # for the evaluator's lifetime (see the class docstring).
+        self.context = engine.simulator.context
 
     # -- server construction -------------------------------------------------------
 

@@ -1,0 +1,275 @@
+"""Property tests for the unified iteration-graph execution engine.
+
+The engine owns micro-batch splitting, per-stage task chaining, compaction
+and pricing for every driver in the repo, so its invariants are load-bearing:
+
+* micro-batch splits partition the pool (nothing lost, nothing duplicated),
+* task dependency graphs are acyclic and chains traverse stages in pipeline
+  order,
+* early-termination compaction never resurrects finished requests, and
+* batched pricing is bit-identical to the scalar reference path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ScheduleConfig, SchedulePolicy
+from repro.engine.batching import split_into_micro_batches
+from repro.engine.execution import (
+    DECODE,
+    ENCODE,
+    ExecutionEngine,
+    StageWork,
+    price_work,
+)
+from repro.engine.request import RequestState
+from repro.engine.timeline import Timeline
+from repro.workloads.trace import RequestSpec
+
+
+def make_requests(output_lens, input_len=32):
+    return [
+        RequestState(spec=RequestSpec(i, input_len, out, 0.0))
+        for i, out in enumerate(output_lens)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Micro-batch splitting partitions the pool
+# ---------------------------------------------------------------------------
+
+
+class TestMicroBatchPartition:
+    @given(
+        num_requests=st.integers(min_value=0, max_value=200),
+        num_micro_batches=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_partitions_the_pool(self, num_requests, num_micro_batches):
+        pool = make_requests([1] * num_requests)
+        groups = split_into_micro_batches(pool, num_micro_batches)
+        # Concatenation restores the pool exactly: order kept, no request
+        # lost or duplicated, no empty groups emitted.
+        flattened = [r for group in groups for r in group]
+        assert flattened == pool
+        assert len({id(r) for r in flattened}) == len(pool)
+        assert all(group for group in groups)
+        assert len(groups) <= num_micro_batches
+        # Near-even: group sizes differ by at most one.
+        if groups:
+            sizes = [len(g) for g in groups]
+            assert max(sizes) - min(sizes) <= 1
+
+
+# ---------------------------------------------------------------------------
+# Planned graphs: acyclic, stage-ordered chains
+# ---------------------------------------------------------------------------
+
+
+def _run_plan(simulator, output_lens, micro_batches, decode_iterations):
+    """Build one encode phase + decode iterations and return the timeline."""
+    config = ScheduleConfig(SchedulePolicy.RRA, encode_batch=4)
+    placement = simulator.build_placement(config)
+    timeline = Timeline()
+    engine = ExecutionEngine(
+        timeline, simulator.profile, placement, decoder_only=True
+    )
+    requests = make_requests(output_lens)
+    plan = engine.plan()
+    groups = split_into_micro_batches(requests, micro_batches)
+    encode_last = engine.encode_phase(plan, placement.stages, groups)
+    prev_last: dict[int, object] = {}
+    for iteration in range(decode_iterations):
+        outcome = engine.decode_iteration(
+            plan,
+            placement.stages,
+            groups,
+            first_deps=encode_last if iteration == 0 else [],
+            prev_last=prev_last,
+        )
+        if not outcome.any_alive:
+            break
+    engine.commit(plan)
+    return timeline, placement, engine, requests
+
+
+class TestGraphShape:
+    @given(
+        output_lens=st.lists(
+            st.integers(min_value=1, max_value=12), min_size=1, max_size=24
+        ),
+        micro_batches=st.integers(min_value=1, max_value=6),
+        decode_iterations=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dependencies_acyclic_and_chains_stage_ordered(
+        self, tiny_simulator, output_lens, micro_batches, decode_iterations
+    ):
+        timeline, placement, _, _ = _run_plan(
+            tiny_simulator, output_lens, micro_batches, decode_iterations
+        )
+        stage_order = {s.stage_id: i for i, s in enumerate(placement.stages)}
+        tasks = timeline.tasks
+        for task in tasks:
+            # Acyclic by construction: every dependency points backwards.
+            assert all(0 <= dep < task.task_id for dep in task.deps)
+            # A single-dep task of the same phase either continues its chain
+            # (the pipeline's next stage) or starts a new chain at stage 0
+            # (its dep being the previous iteration's tail) -- never a
+            # mid-pipeline jump.
+            if len(task.deps) == 1:
+                prev = tasks[task.deps[0]]
+                if prev.tag == task.tag and task.tag in ("encode", "decode"):
+                    order = stage_order[task.stage]
+                    assert order in (stage_order[prev.stage] + 1, 0)
+        # The timeline schedules without error (a cycle would deadlock).
+        timeline.run()
+        assert all(t.finish_s >= t.start_s >= 0 for t in tasks)
+
+    @given(
+        output_lens=st.lists(
+            st.integers(min_value=1, max_value=10), min_size=1, max_size=20
+        ),
+        micro_batches=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_compaction_never_resurrects_finished_requests(
+        self, tiny_simulator, output_lens, micro_batches
+    ):
+        timeline, _, engine, requests = _run_plan(
+            tiny_simulator, output_lens, micro_batches, decode_iterations=64
+        )
+        # Every request generated exactly its output length: nothing kept
+        # decoding after completion, nothing stopped short.
+        for request in requests:
+            assert request.generated == request.output_len
+        # Each request completes exactly once in the bookkeeping.
+        completed_ids = [r.request_id for r, _ in engine.bookkeeping.completions]
+        assert sorted(completed_ids) == sorted(r.request_id for r in requests)
+        # Compaction tasks always extend a decode chain, never precede one.
+        tasks = timeline.tasks
+        for task in tasks:
+            if task.tag == "compaction":
+                assert len(task.deps) == 1
+                assert tasks[task.deps[0]].tag in ("decode", "compaction")
+
+
+# ---------------------------------------------------------------------------
+# Pricing parity: batched == scalar, bit for bit
+# ---------------------------------------------------------------------------
+
+
+class TestPricingParity:
+    @given(
+        batch=st.floats(min_value=0.0, max_value=128.0),
+        length=st.floats(min_value=1.0, max_value=512.0),
+        overhead=st.sampled_from([0.0, 0.001]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_price_work_matches_analytical_stage_times(
+        self, tiny_simulator, batch, length, overhead
+    ):
+        """The engine's pricing is the analytical cost model, bit for bit.
+
+        ``price_work`` must never drift from
+        :func:`repro.core.analytical.encode_stage_time` /
+        :func:`~repro.core.analytical.decode_stage_time` -- that shared
+        formula is exactly what makes the simulator's estimates and the
+        engine's replays one cost model.
+        """
+        from repro.core.analytical import decode_stage_time, encode_stage_time
+
+        config = ScheduleConfig(SchedulePolicy.RRA, encode_batch=4)
+        placement = tiny_simulator.build_placement(config)
+        profile = tiny_simulator.profile
+        work = []
+        expected = []
+        for stage in placement.stages:
+            spans = placement.stage_spans_nodes(stage)
+            work.append(
+                StageWork(ENCODE, stage.encoder_layers, stage.tp_degree,
+                          spans, batch, length)
+            )
+            base = encode_stage_time(profile, placement, stage, batch, length)
+            expected.append(base + (overhead if base > 0 else 0.0))
+            work.append(
+                StageWork(DECODE, stage.decoder_layers, stage.tp_degree,
+                          spans, batch, length)
+            )
+            base = decode_stage_time(profile, placement, stage, batch, length)
+            expected.append(base + (overhead if base > 0 else 0.0))
+        # Replicate past the small-plan threshold so the batched call truly
+        # exercises the vectorized lookups.
+        work = work * 4
+        expected = expected * 4
+        for batched in (False, True):
+            priced = price_work(profile, work, overhead, batched=batched)
+            assert priced.tolist() == expected
+
+    @given(
+        items=st.lists(
+            st.tuples(
+                st.sampled_from([ENCODE, DECODE]),
+                st.integers(min_value=0, max_value=8),     # layers
+                st.sampled_from([1, 2, 4]),                # tp degree
+                st.booleans(),                             # spans nodes
+                st.floats(min_value=0.0, max_value=128.0), # batch
+                st.floats(min_value=1.0, max_value=512.0), # length
+            ),
+            min_size=1,
+            max_size=64,
+        ),
+        overhead=st.sampled_from([0.0, 0.0015]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batched_pricing_bit_identical_to_scalar(
+        self, tiny_profile, items, overhead
+    ):
+        work = [StageWork(*item) for item in items]
+        scalar = price_work(tiny_profile, work, overhead, batched=False)
+        batched = price_work(tiny_profile, work, overhead, batched=True)
+        assert scalar.tolist() == batched.tolist()
+
+    def test_mixed_iteration_duration_sums_components(self, tiny_simulator):
+        """A mixed iteration's stage duration is the ordered component sum."""
+        config = ScheduleConfig(SchedulePolicy.RRA, encode_batch=4)
+        placement = tiny_simulator.build_placement(config)
+        timeline = Timeline()
+        engine = ExecutionEngine(
+            timeline, tiny_simulator.profile, placement,
+            decoder_only=True, overhead_s=0.001,
+        )
+        alive = make_requests([4, 4])
+        for request in alive:
+            request.advance()  # mid-generation pool
+        admitted = make_requests([3])
+        plan = engine.plan()
+        outcome = engine.mixed_iteration(plan, placement.stages, alive, admitted)
+        engine.commit(plan)
+        task = timeline.tasks[0]
+        items = [
+            StageWork(
+                DECODE,
+                placement.stages[0].decoder_layers,
+                placement.stages[0].tp_degree,
+                placement.stage_spans_nodes(placement.stages[0]),
+                2,
+                sum(r.context_length(True) for r in alive) / 2
+                # context advanced by mixed_iteration itself:
+                - 1.0,
+            ),
+            StageWork(
+                ENCODE,
+                placement.stages[0].encoder_layers,
+                placement.stages[0].tp_degree,
+                placement.stage_spans_nodes(placement.stages[0]),
+                1.0,
+                admitted[0].input_len,
+            ),
+        ]
+        expected = price_work(tiny_simulator.profile, items, 0.001)
+        assert task.duration_s == pytest.approx(float(expected.sum()), rel=1e-12)
+        assert outcome.completed == []

@@ -246,3 +246,23 @@ class TestOnlineEvaluator:
         assert set(table) == {("exegpt", "steady"), ("orca", "steady")}
         for qps in table.values():
             assert qps in (0.0, 1.0, 2.0)
+
+    def test_estimate_context_shared_across_sweep(self, evaluator, tiny_engine):
+        """One EstimateContext backs the whole sweep.
+
+        The memoization lives on the simulator; the evaluator forces and
+        pins that context at construction, and rate sweeps and server
+        builds must keep hitting the same memo (placements included) --
+        nothing may rebuild the context or re-search per offered rate.
+        """
+        context_before = evaluator.context
+        assert context_before is tiny_engine.simulator.context
+        server = evaluator.server("exegpt")
+        # The server's placement is the context's memoized one, not a rebuild.
+        assert server.placement is context_before.placement_for(server.config)
+        evaluator.sweep("exegpt", "steady", rates=(0.5, 1.0))
+        assert evaluator.context is context_before
+        assert tiny_engine.simulator.context is context_before
+        # Sweeping again reuses the cached server (one schedule search per
+        # system for the evaluator's lifetime).
+        assert evaluator.server("exegpt") is server
