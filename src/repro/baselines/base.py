@@ -32,7 +32,7 @@ from repro.engine.execution import (
     encode_chain_times,
 )
 from repro.engine.metrics import RunResult
-from repro.engine.request import RequestState
+from repro.engine.pool import make_pool
 from repro.engine.timeline import Timeline
 from repro.hardware.cluster import Cluster
 from repro.models.spec import ModelSpec
@@ -141,13 +141,14 @@ class BaselineSystem:
         )
 
     def make_engine(
-        self, timeline: Timeline, batched_pricing: bool = True
+        self, timeline: Timeline, pool, batched_pricing: bool = True
     ) -> ExecutionEngine:
         """The shared iteration-graph engine, carrying this system's overhead."""
         return ExecutionEngine(
             timeline,
             self.profile,
             self.placement,
+            pool,
             decoder_only=self.decoder_only,
             overhead_s=self.iteration_overhead_s,
             batched_pricing=batched_pricing,
@@ -215,10 +216,17 @@ class BaselineSystem:
 
     # -- execution -------------------------------------------------------------------
 
-    def run(self, trace: WorkloadTrace, batch_size: int) -> RunResult:
-        """Replay ``trace`` with the system's scheduling policy."""
+    def run(
+        self, trace: WorkloadTrace, batch_size: int, columnar: bool = True
+    ) -> RunResult:
+        """Replay ``trace`` with the system's scheduling policy.
+
+        ``columnar=False`` swaps the request pool for the per-object list
+        reference backend (perf harness / parity tests).
+        """
         raise NotImplementedError
 
     @staticmethod
-    def _make_states(trace: WorkloadTrace) -> list[RequestState]:
-        return [RequestState(spec=spec) for spec in trace.requests]
+    def _make_pool(trace: WorkloadTrace, columnar: bool = True):
+        """Columnar request pool of the trace (list backend on request)."""
+        return make_pool(trace, columnar)

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.base import BaselineSystem
-from repro.engine.batching import split_into_micro_batches
-from repro.engine.metrics import RunResult, collect_result
+from repro.engine.batching import split_ids
+from repro.engine.metrics import RunResult, collect_pool_result
 from repro.engine.timeline import Timeline
 from repro.workloads.trace import WorkloadTrace
 
@@ -64,7 +64,9 @@ class FasterTransformer(BaselineSystem):
 
     # -- execution ----------------------------------------------------------------------
 
-    def run(self, trace: WorkloadTrace, batch_size: int) -> RunResult:
+    def run(
+        self, trace: WorkloadTrace, batch_size: int, columnar: bool = True
+    ) -> RunResult:
         """Replay the trace in consecutive fixed-size batches.
 
         The whole replay (hybrid-micro-batched encode phases plus the
@@ -76,23 +78,24 @@ class FasterTransformer(BaselineSystem):
             raise ValueError("batch_size must be >= 1")
         stages = self.placement.stages
         timeline = Timeline()
-        engine = self.make_engine(timeline)
+        pool = self._make_pool(trace, columnar)
+        engine = self.make_engine(timeline, pool)
         plan = engine.plan()
-        states = self._make_states(trace)
+        all_ids = pool.ids()
 
-        for batch_start in range(0, len(states), batch_size):
-            batch = states[batch_start : batch_start + batch_size]
+        for batch_start in range(0, all_ids.size, batch_size):
+            batch = all_ids[batch_start : batch_start + batch_size]
             # --- encoding: hybrid micro-batching ---------------------------------
-            enc_groups = split_into_micro_batches(
-                batch, min(self.encode_micro_batches, len(batch))
+            enc_groups = split_ids(
+                batch, min(self.encode_micro_batches, batch.size)
             )
             encode_last_tasks = engine.encode_phase(plan, stages, enc_groups)
 
             # --- decoding: fixed batch until the longest request finishes --------------
-            dec_groups = split_into_micro_batches(
-                batch, min(self.decode_micro_batches, len(batch))
+            dec_groups = split_ids(
+                batch, min(self.decode_micro_batches, batch.size)
             )
-            max_out = max(r.output_len for r in batch)
+            max_out = pool.max_output_len(batch)
             prev_iter_last: dict[int, object] = {}
             for iteration in range(max_out):
                 # No early termination: the full group is computed even
@@ -108,9 +111,10 @@ class FasterTransformer(BaselineSystem):
 
         engine.commit(plan)
         engine.bookkeeping.resolve(timeline)
-        return collect_result(
+        return collect_pool_result(
             system=self.name,
-            requests=states,
+            pool=pool,
+            ids=all_ids,
             makespan_s=timeline.makespan_s,
             stage_utilization=timeline.stage_utilization(),
             stage_times=engine.stage_times,

@@ -14,14 +14,15 @@ contiguous, reservation-based KV cache of the original ORCA design.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.baselines.base import BaselineSystem
 from repro.engine.execution import TaskRef
 from repro.engine.kv_manager import ContiguousKVCache, KVCacheError
-from repro.engine.metrics import RunResult, collect_result
-from repro.engine.request import RequestState
+from repro.engine.metrics import RunResult, collect_pool_result
+from repro.engine.pool import EMPTY_IDS
 from repro.engine.timeline import Timeline
 from repro.workloads.trace import WorkloadTrace
 
@@ -69,79 +70,85 @@ class Orca(BaselineSystem):
             capacity_bytes=self.kv_capacity(),
         )
 
-    def _reserve(self, cache: ContiguousKVCache, request: RequestState) -> bool:
-        max_tokens = request.input_len + self.output_distribution.max_len
+    def _reserve(self, cache: ContiguousKVCache, pool, rid: int) -> bool:
+        max_tokens = pool.input_len_of(rid) + self.output_distribution.max_len
         try:
-            cache.reserve(request.request_id, max_tokens)
+            cache.reserve(pool.request_id_of(rid), max_tokens)
         except KVCacheError:
             return False
         return True
 
     # -- execution ----------------------------------------------------------------------
 
-    def run(self, trace: WorkloadTrace, batch_size: int) -> RunResult:
+    def run(
+        self, trace: WorkloadTrace, batch_size: int, columnar: bool = True
+    ) -> RunResult:
         """Replay the trace with iteration-level continuous batching.
 
         Every iteration is an :meth:`ExecutionEngine.mixed_iteration` (pool
         decodes plus the admitted prefills) collected into one whole-replay
         plan -- admission depends only on request/KV state, never on task
         times -- so all stage durations resolve in a handful of batched
-        profile lookups at commit time.
+        profile lookups at commit time.  The running batch is an id array
+        over the columnar request pool, compacted through the done mask
+        once per iteration.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         stages = self.placement.stages
         timeline = Timeline()
-        engine = self.make_engine(timeline)
+        pool = self._make_pool(trace, columnar)
+        engine = self.make_engine(timeline, pool)
         plan = engine.plan()
-        states = self._make_states(trace)
-        pending: deque[RequestState] = deque(states)
-        pool: list[RequestState] = []
+        all_ids = pool.ids()
+        total = all_ids.size
+        pos = 0  # pending requests are all_ids[pos:], in trace order
+        active = EMPTY_IDS
         cache = self._make_kv_cache()
         prev_iteration_last: TaskRef | None = None
         iterations = 0
 
-        while pending or pool:
+        while pos < total or active.size:
             # --- admission: up to `max_prefills_per_iteration` new requests -------
-            admitted: list[RequestState] = []
+            admitted: list[int] = []
             while (
-                pending
-                and len(pool) + len(admitted) < batch_size
+                pos < total
+                and active.size + len(admitted) < batch_size
                 and len(admitted) < self.max_prefills_per_iteration
             ):
-                candidate = pending[0]
-                if not self._admit(cache, candidate):
+                candidate = int(all_ids[pos])
+                if not self._admit(cache, pool, candidate):
                     break
-                pending.popleft()
+                pos += 1
                 admitted.append(candidate)
 
-            if not pool and not admitted:
-                if not pending:
+            if not active.size and not admitted:
+                if pos >= total:
                     break
                 raise RuntimeError(
                     "ORCA cannot admit any request: KV cache too small for one query"
                 )
 
             # --- one iteration: decodes of the pool + prefills of the admitted -----
-            alive = [r for r in pool if not r.done]
+            admitted_ids = np.asarray(admitted, dtype=np.int64)
             outcome = engine.mixed_iteration(
-                plan, stages, alive, admitted, prev_last=prev_iteration_last
+                plan, stages, active, admitted_ids, prev_last=prev_iteration_last
             )
             prev_iteration_last = outcome.last
 
-            pool.extend(admitted)
-            for request in outcome.completed:
-                self._release(cache, request)
-            pool = [r for r in pool if not r.done]
+            for rid in outcome.completed.tolist():
+                self._release(cache, pool, rid)
+            active = pool.compact(np.concatenate([active, admitted_ids]))
             iterations += 1
             if iterations > 500000:
                 raise RuntimeError("ORCA runner did not converge")
 
         engine.commit(plan)
         engine.bookkeeping.resolve(timeline)
-        return collect_result(
+        return collect_pool_result(
             system=self.name,
-            requests=states,
+            pool=pool,
+            ids=all_ids,
             makespan_s=timeline.makespan_s,
             stage_utilization=timeline.stage_utilization(),
             stage_times=engine.stage_times,
@@ -154,8 +161,8 @@ class Orca(BaselineSystem):
 
     # -- hooks overridden by the vLLM subclass ---------------------------------------
 
-    def _admit(self, cache, request: RequestState) -> bool:
-        return self._reserve(cache, request)
+    def _admit(self, cache, pool, rid: int) -> bool:
+        return self._reserve(cache, pool, rid)
 
-    def _release(self, cache, request: RequestState) -> None:
-        cache.release(request.request_id)
+    def _release(self, cache, pool, rid: int) -> None:
+        cache.release(pool.request_id_of(rid))

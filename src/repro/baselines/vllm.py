@@ -14,7 +14,6 @@ from dataclasses import dataclass
 
 from repro.baselines.orca import Orca
 from repro.engine.kv_manager import KVCacheError, PagedKVCache
-from repro.engine.request import RequestState
 
 
 @dataclass
@@ -39,12 +38,12 @@ class Vllm(Orca):
             block_tokens=self.block_tokens,
         )
 
-    def _admit(self, cache: PagedKVCache, request: RequestState) -> bool:
+    def _admit(self, cache: PagedKVCache, pool, rid: int) -> bool:
         try:
-            cache.ensure(request.request_id, request.input_len + 1)
+            cache.ensure(pool.request_id_of(rid), pool.input_len_of(rid) + 1)
         except KVCacheError:
             return False
         return True
 
-    def _release(self, cache: PagedKVCache, request: RequestState) -> None:
-        cache.release(request.request_id)
+    def _release(self, cache: PagedKVCache, pool, rid: int) -> None:
+        cache.release(pool.request_id_of(rid))

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.engine.request import RequestState
 
 
@@ -80,8 +82,59 @@ class DynamicWorkloadAdjuster:
         deficit = int(round(self.target_decode_batch)) - pool_size
         if deficit <= 0:
             return 0
-        cap = max(int(round((1.0 + self.pool_threshold) * 2 * self.target_encode_batch)), 1)
-        return min(deficit, cap)
+        return min(deficit, self._admission_cap())
+
+    def _admission_cap(self) -> int:
+        """Near-``B_E`` cap on one admission's target count (see above)."""
+        return max(
+            int(round((1.0 + self.pool_threshold) * 2 * self.target_encode_batch)),
+            1,
+        )
+
+    @property
+    def max_admit(self) -> int:
+        """Upper bound on the requests one admission can ever select.
+
+        Callers feed :meth:`admit_count` a pending window of at most this
+        many input lengths instead of materializing the whole queue; derived
+        from the same cap :meth:`target_batch_for_pool` applies, so the
+        window can never be shorter than the target count.
+        """
+        return max(self._admission_cap(), self.target_encode_batch)
+
+    def admit_count(
+        self,
+        input_lens: np.ndarray,
+        pool_size: int,
+        freed_slots: int,
+    ) -> int:
+        """How many of the next pending requests join the encoder batch.
+
+        ``input_lens`` holds the input lengths of the queue's head (at
+        least :attr:`max_admit` entries, or the whole queue if shorter), in
+        admission order.  The batch grows until either the target count is
+        reached or the encoder workload (cumulative input length) exceeds
+        the scheduled average workload by the threshold -- evaluated as one
+        vectorized cumulative sum rather than a per-request loop.
+        """
+        available = len(input_lens)
+        if available == 0:
+            return 0
+        target_count = self.target_batch_for_pool(pool_size, freed_slots)
+        if target_count == 0:
+            return 0
+        if not self.enabled:
+            return min(available, self.target_encode_batch)
+        max_workload = (
+            (1.0 + self.workload_threshold) * target_count * self.avg_input_len
+        )
+        window = np.asarray(input_lens[:target_count])
+        cumulative = np.cumsum(window)
+        over = cumulative > max_workload
+        over[0] = False  # the first request is always admitted
+        if over.any():
+            return int(np.argmax(over))
+        return int(window.size)
 
     def admit(
         self,
@@ -91,27 +144,15 @@ class DynamicWorkloadAdjuster:
     ) -> list[RequestState]:
         """Select the next encoder batch from ``pending`` (without removing).
 
-        The batch is grown request by request until either the target count
-        is reached or the encoder workload (sum of input lengths) exceeds the
-        scheduled average workload by the threshold.
+        Per-object convenience wrapper over :meth:`admit_count` for callers
+        holding request lists; the pool-backed drivers call
+        :meth:`admit_count` on a column slice directly.
         """
         if not pending:
             return []
-        target_count = self.target_batch_for_pool(pool_size, freed_slots)
-        if target_count == 0:
-            return []
-        if not self.enabled:
-            return list(pending[: self.target_encode_batch])
-        max_workload = (
-            (1.0 + self.workload_threshold) * target_count * self.avg_input_len
+        window = np.array(
+            [request.input_len for request in pending[: self.max_admit]],
+            dtype=np.int64,
         )
-        batch: list[RequestState] = []
-        workload = 0.0
-        for request in pending:
-            if len(batch) >= target_count:
-                break
-            if batch and workload + request.input_len > max_workload:
-                break
-            batch.append(request)
-            workload += request.input_len
-        return batch
+        count = self.admit_count(window, pool_size, freed_slots)
+        return list(pending[:count])

@@ -23,20 +23,30 @@ commit it -- which resolves each cycle's stage durations through batched
 profile lookups instead of per-task scalar calls.  The same engine drives
 the baselines and the online servers, so the execution semantics cannot
 diverge between them.
+
+Request lifecycle state lives in a columnar
+:class:`~repro.engine.pool.RequestPool`: the runner holds *id arrays* (the
+pending window is a column slice, the standing pool an id array compacted
+through the pool's done mask once per cycle), so no per-request ``done``
+scans or Python context-length sums remain on the replay hot path.
+``columnar=False`` swaps in the per-object
+:class:`~repro.engine.pool.ListPool` reference backend -- the historical
+list-of-``RequestState`` path, kept measurable by the perf harness
+(``BENCH_search.json`` series ``replay_pool``).
 """
 
 from __future__ import annotations
 
-from collections import deque
+import numpy as np
 
 from repro.core.allocation import Placement, stage_weight_bytes
 from repro.core.config import ScheduleConfig, SchedulePolicy
 from repro.core.dynamic import DynamicWorkloadAdjuster
 from repro.core.simulator import XSimulator
-from repro.engine.batching import split_into_micro_batches
+from repro.engine.batching import split_ids
 from repro.engine.execution import ExecutionEngine, KVHandover, TaskRef
-from repro.engine.metrics import RunResult, collect_result
-from repro.engine.request import RequestState
+from repro.engine.metrics import RunResult, collect_pool_result
+from repro.engine.pool import EMPTY_IDS, make_pool
 from repro.engine.timeline import Timeline
 from repro.workloads.trace import WorkloadTrace
 
@@ -55,6 +65,9 @@ class XRunner:
         batched_pricing: Resolve stage durations through the vectorized
             profile lookups (default); ``False`` keeps the scalar reference
             path for the perf-regression harness.
+        columnar: Back the replay with the columnar request pool (default);
+            ``False`` keeps the per-object list reference backend for the
+            perf-regression harness.
     """
 
     def __init__(
@@ -63,6 +76,7 @@ class XRunner:
         config: ScheduleConfig,
         dynamic_adjustment: bool = True,
         batched_pricing: bool = True,
+        columnar: bool = True,
     ) -> None:
         self.simulator = simulator
         self.config = config
@@ -71,6 +85,7 @@ class XRunner:
         self.placement: Placement = simulator.build_placement(config)
         self.dynamic_adjustment = dynamic_adjustment
         self.batched_pricing = batched_pricing
+        self.columnar = columnar
         self.decoder_only = not self.model.is_encoder_decoder
         #: Timeline of the most recent :meth:`run`, kept for introspection
         #: (cross-layer parity tests compare task graphs across drivers).
@@ -95,11 +110,12 @@ class XRunner:
             enabled=self.dynamic_adjustment,
         )
 
-    def _make_engine(self, timeline: Timeline) -> ExecutionEngine:
+    def _make_engine(self, timeline: Timeline, pool) -> ExecutionEngine:
         return ExecutionEngine(
             timeline,
             self.profile,
             self.placement,
+            pool,
             decoder_only=self.decoder_only,
             batched_pricing=self.batched_pricing,
         )
@@ -115,49 +131,53 @@ class XRunner:
 
         timeline = Timeline()
         self.last_timeline = timeline
-        engine = self._make_engine(timeline)
+        pool = make_pool(trace, self.columnar)
+        engine = self._make_engine(timeline, pool)
         # Offline construction never reads the clock, so the whole replay is
         # one plan: every stage duration resolves in a handful of batched
         # lookups at commit time.
         plan = engine.plan()
 
-        all_requests = [RequestState(spec=spec) for spec in trace.requests]
-        pending: deque[RequestState] = deque(all_requests)
-        pool: list[RequestState] = []
+        all_ids = pool.ids()
+        total = all_ids.size
+        pos = 0  # pending requests are all_ids[pos:], a contiguous window
+        active = EMPTY_IDS
         cycle = 0
         freed_last_cycle = 0
-        warmup_requests = min(decode_batch_target, len(all_requests))
+        warmup_requests = min(decode_batch_target, total)
 
-        while pending or pool:
+        while pos < total or active.size:
             # --- admission -----------------------------------------------------
-            if pending:
+            if pos < total:
                 if cycle == 0:
-                    room = max(decode_batch_target - len(pool), 0)
-                    admitted = list(pending)[:room] if room else []
+                    take = min(max(decode_batch_target - active.size, 0), total - pos)
                 else:
-                    admitted = adjuster.admit(
-                        list(pending), len(pool), freed_last_cycle
+                    window = pool.input_lens_range(
+                        pos, min(total, pos + adjuster.max_admit)
                     )
-                for request in admitted:
-                    pending.popleft()
-                    request.admitted_cycle = cycle
+                    take = adjuster.admit_count(
+                        window, active.size, freed_last_cycle
+                    )
+                admitted = all_ids[pos : pos + take]
+                pos += take
+                pool.set_admitted_cycle(admitted, cycle)
             else:
-                admitted = []
+                admitted = EMPTY_IDS
 
             # --- encoding phase -------------------------------------------------
             encode_last_tasks: list[TaskRef] = []
-            if admitted:
-                groups = split_into_micro_batches(admitted, micro_batches)
+            if admitted.size:
+                groups = split_ids(admitted, micro_batches)
                 encode_last_tasks = engine.encode_phase(plan, stages, groups)
-                pool.extend(admitted)
+                active = np.concatenate([active, admitted])
 
-            if not pool:
+            if active.size == 0:
                 cycle += 1
                 freed_last_cycle = 0
                 continue
 
             # --- decoding phase: N_D iterations ------------------------------------
-            groups = split_into_micro_batches(pool, micro_batches)
+            groups = split_ids(active, micro_batches)
             prev_iter_last: dict[int, TaskRef] = {}
             freed_last_cycle = 0
             for iteration in range(self.config.decode_iterations):
@@ -172,7 +192,7 @@ class XRunner:
                 freed_last_cycle += outcome.freed
                 if not outcome.any_alive:
                     break
-            pool = [r for r in pool if not r.done]
+            active = pool.compact(active)
             cycle += 1
             if cycle > 100000:
                 raise RuntimeError("RRA runner did not converge; check the schedule")
@@ -181,7 +201,8 @@ class XRunner:
         engine.bookkeeping.resolve(timeline)
         return self._collect(
             "exegpt-rra",
-            all_requests,
+            pool,
+            all_ids,
             timeline,
             engine,
             warmup_requests,
@@ -201,35 +222,41 @@ class XRunner:
 
         timeline = Timeline()
         self.last_timeline = timeline
-        engine = self._make_engine(timeline)
+        pool = make_pool(trace, self.columnar)
+        engine = self._make_engine(timeline, pool)
         handover = KVHandover()
         kv_layers = self.model.num_decoder_layers if self.decoder_only else 1
         # Offline construction never reads the clock: one plan, one batched
         # pricing pass at commit time.
         plan = engine.plan()
 
-        all_requests = [RequestState(spec=spec) for spec in trace.requests]
-        pending: deque[RequestState] = deque(all_requests)
-        pool: list[RequestState] = []
-        warmup_requests = min(decode_batch_target, len(all_requests))
+        all_ids = pool.ids()
+        total = all_ids.size
+        pos = 0
+        active = EMPTY_IDS
+        warmup_requests = min(decode_batch_target, total)
         prev_iter_last: dict[int, TaskRef] = {}
         iteration = 0
         freed_last_iteration = 0
 
-        while pending or pool or handover:
+        while pos < total or active.size or handover:
             # --- encoder side: admit and encode one batch per iteration ------------
             transfer_task: TaskRef | None = None
-            admitted: list[RequestState] = []
-            if pending:
-                admitted = adjuster.admit(
-                    list(pending), len(pool), freed_last_iteration
+            if pos < total:
+                window = pool.input_lens_range(
+                    pos, min(total, pos + adjuster.max_admit)
                 )
-                if not admitted and len(pool) < decode_batch_target:
-                    admitted = list(pending)[: self.config.encode_batch]
-                for request in admitted:
-                    pending.popleft()
-                    request.admitted_cycle = iteration
-            if admitted:
+                take = adjuster.admit_count(
+                    window, active.size, freed_last_iteration
+                )
+                if not take and active.size < decode_batch_target:
+                    take = min(self.config.encode_batch, total - pos)
+                admitted = all_ids[pos : pos + take]
+                pos += take
+                pool.set_admitted_cycle(admitted, iteration)
+            else:
+                admitted = EMPTY_IDS
+            if admitted.size:
                 _, enc_last = engine.encode_chain(
                     plan,
                     encode_stages,
@@ -242,9 +269,9 @@ class XRunner:
                 )
 
             # --- merge the batch encoded in the previous iteration ------------------
-            merge_deps = handover.merge_one(pool, transfer_task)
+            active, merge_deps = handover.merge_one(active, transfer_task)
 
-            if not pool:
+            if active.size == 0:
                 iteration += 1
                 freed_last_iteration = 0
                 if iteration > 200000:
@@ -252,7 +279,7 @@ class XRunner:
                 continue
 
             # --- decoder side: one pipelined iteration over the pool ----------------
-            groups = split_into_micro_batches(pool, micro_batches)
+            groups = split_ids(active, micro_batches)
             outcome = engine.decode_iteration(
                 plan,
                 decode_stages,
@@ -263,7 +290,7 @@ class XRunner:
                 track_peak=True,
             )
             freed_last_iteration = outcome.freed
-            pool = [r for r in pool if not r.done]
+            active = pool.compact(active)
             iteration += 1
             if iteration > 200000:
                 raise RuntimeError("WAA runner did not converge")
@@ -272,7 +299,7 @@ class XRunner:
         engine.bookkeeping.resolve(timeline)
         name = "exegpt-waa-m" if self.config.policy is SchedulePolicy.WAA_M else "exegpt-waa-c"
         return self._collect(
-            name, all_requests, timeline, engine, warmup_requests
+            name, pool, all_ids, timeline, engine, warmup_requests
         )
 
     # -- shared collection -------------------------------------------------------------
@@ -280,15 +307,17 @@ class XRunner:
     def _collect(
         self,
         system: str,
-        requests: list[RequestState],
+        pool,
+        ids: np.ndarray,
         timeline: Timeline,
         engine: ExecutionEngine,
         warmup_requests: int = 0,
     ) -> RunResult:
         peak_memory = self._peak_memory_gib(engine.peak_kv_tokens)
-        return collect_result(
+        return collect_pool_result(
             system=system,
-            requests=requests,
+            pool=pool,
+            ids=ids,
             makespan_s=timeline.makespan_s,
             stage_utilization=timeline.stage_utilization(),
             stage_times=engine.stage_times,

@@ -4,6 +4,7 @@ from repro.engine.batching import (
     alive_requests,
     average_context,
     average_input_length,
+    split_ids,
     split_into_micro_batches,
     total_input_tokens,
 )
@@ -25,7 +26,14 @@ from repro.engine.kv_manager import (
     KVCacheError,
     PagedKVCache,
 )
-from repro.engine.metrics import RunResult, collect_result
+from repro.engine.metrics import RunResult, collect_pool_result, collect_result
+from repro.engine.pool import (
+    EMPTY_IDS,
+    ListPool,
+    RequestPool,
+    RequestView,
+    make_pool,
+)
 from repro.engine.request import RequestState
 from repro.engine.timeline import StageTask, Timeline
 
@@ -33,13 +41,17 @@ __all__ = [
     "Bookkeeping",
     "ContiguousKVCache",
     "DecodeOutcome",
+    "EMPTY_IDS",
     "ExecutionEngine",
     "IterationPlan",
     "KVCacheError",
     "KVHandover",
+    "ListPool",
     "MixedOutcome",
     "PagedKVCache",
+    "RequestPool",
     "RequestState",
+    "RequestView",
     "RunResult",
     "StageTask",
     "StageWork",
@@ -48,10 +60,13 @@ __all__ = [
     "alive_requests",
     "average_context",
     "average_input_length",
+    "collect_pool_result",
     "collect_result",
     "decode_chain_times",
     "encode_chain_times",
+    "make_pool",
     "price_work",
+    "split_ids",
     "split_into_micro_batches",
     "total_input_tokens",
 ]

@@ -1,8 +1,39 @@
-"""Micro-batch partitioning helpers shared by the runner and baselines."""
+"""Micro-batch partitioning helpers shared by the runner and baselines.
+
+The drivers hold request-pool *id arrays* and partition them with
+:func:`split_ids`; the :class:`RequestState`-list variants below implement
+the same contiguous partition for per-object request lists (the reference
+pool backend and a few external callers).
+"""
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.engine.request import RequestState
+
+
+def split_ids(ids: np.ndarray, num_micro_batches: int) -> list[np.ndarray]:
+    """Partition an id array into contiguous, near-even groups.
+
+    Mirrors :func:`split_into_micro_batches` exactly -- same sizes, same
+    order, empty groups dropped -- but returns zero-copy views into
+    ``ids``.
+    """
+    if num_micro_batches < 1:
+        raise ValueError("num_micro_batches must be >= 1")
+    if ids.size == 0:
+        return []
+    base, rem = divmod(ids.size, num_micro_batches)
+    groups: list[np.ndarray] = []
+    index = 0
+    for i in range(num_micro_batches):
+        size = base + (1 if i < rem else 0)
+        if size == 0:
+            continue
+        groups.append(ids[index : index + size])
+        index += size
+    return groups
 
 
 def split_into_micro_batches(

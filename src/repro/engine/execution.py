@@ -36,6 +36,15 @@ Timestamp decisions never feed back into construction *within* a cycle
 (admission and completion depend only on request state), which is what
 makes the collect-then-price design exact; online drivers query the clock
 only between committed cycles.
+
+Request lifecycle state lives in a :mod:`~repro.engine.pool` request pool:
+the engine's helpers take *id arrays* (micro-batch groups, admitted
+batches, alive sets) and resolve batch sizes, context sums and
+advancement through the pool's vectorized columns; bookkeeping stamps
+timestamps straight into the pool's timestamp columns at resolve time.
+The same engine runs against the columnar :class:`~repro.engine.pool.
+RequestPool` (production) or the per-object :class:`~repro.engine.pool.
+ListPool` reference backend (perf harness), byte-for-byte identically.
 """
 
 from __future__ import annotations
@@ -46,8 +55,7 @@ import numpy as np
 
 from repro.core.allocation import Placement, StagePlan
 from repro.core.profiler import ProfileTable
-from repro.engine.batching import average_context, average_input_length
-from repro.engine.request import RequestState
+from repro.engine.pool import EMPTY_IDS
 from repro.engine.timeline import Timeline
 
 ENCODE = "encode"
@@ -59,7 +67,7 @@ DECODE = "decode"
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StageWork:
     """One priced component of a stage task.
 
@@ -190,7 +198,7 @@ def decode_chain_times(
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskRef:
     """Handle for a planned task; its timeline id is assigned at commit."""
 
@@ -202,7 +210,7 @@ class TaskRef:
         return self.task_id >= 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PlannedTask:
     """One task of an iteration plan, before pricing/emission."""
 
@@ -278,74 +286,80 @@ class Bookkeeping:
     """Deferred timestamp assignments resolved after the timeline runs.
 
     Construction-time decisions never depend on task times, so drivers
-    record (request, task) pairs while building and resolve them once at
+    record (id-batch, task) pairs while building and resolve them once at
     the end: encode starts map to task *start* times, first tokens and
-    completions to task *finish* times.
+    completions to task *finish* times.  Offline resolution stamps the
+    times straight into the pool's timestamp columns, one vectorized
+    assignment per recorded batch.
     """
 
-    def __init__(self) -> None:
-        self.encode_starts: list[tuple[RequestState, TaskRef]] = []
-        self.first_tokens: list[tuple[RequestState, TaskRef]] = []
-        self.completions: list[tuple[RequestState, TaskRef]] = []
+    def __init__(self, pool) -> None:
+        self.pool = pool
+        self.encode_starts: list[tuple[np.ndarray, TaskRef]] = []
+        self.first_tokens: list[tuple[np.ndarray, TaskRef]] = []
+        self.completions: list[tuple[np.ndarray, TaskRef]] = []
 
     def resolve(self, timeline: Timeline) -> None:
-        """Offline semantics: stamp the request states themselves."""
+        """Offline semantics: stamp the pool's timestamp columns."""
         timeline.run()
-        for request, ref in self.encode_starts:
-            request.encode_start_s = timeline.start_time(ref.task_id)
-        for request, ref in self.completions:
-            request.finish_s = timeline.finish_time(ref.task_id)
+        pool = self.pool
+        for ids, ref in self.encode_starts:
+            pool.stamp_encode_start(ids, timeline.start_time(ref.task_id))
+        for ids, ref in self.completions:
+            pool.stamp_finish(ids, timeline.finish_time(ref.task_id))
 
     def resolve_events(self, timeline: Timeline):
-        """Online semantics: yield ``(event, request, time)`` triples.
+        """Online semantics: yield ``(event, ids, time)`` triples.
 
         Events are ``"admitted"`` (task start), ``"first_token"`` and
-        ``"finish"`` (task finishes); the serving layer maps them onto its
-        per-request records.
+        ``"finish"`` (task finishes); ``ids`` is the id batch the event
+        applies to.  The serving layer maps them onto its per-request
+        records.
         """
         timeline.schedule_pending()
-        for request, ref in self.encode_starts:
-            yield "admitted", request, timeline.start_time(ref.task_id)
-        for request, ref in self.first_tokens:
-            yield "first_token", request, timeline.finish_time(ref.task_id)
-        for request, ref in self.completions:
-            yield "finish", request, timeline.finish_time(ref.task_id)
+        for ids, ref in self.encode_starts:
+            yield "admitted", ids, timeline.start_time(ref.task_id)
+        for ids, ref in self.first_tokens:
+            yield "first_token", ids, timeline.finish_time(ref.task_id)
+        for ids, ref in self.completions:
+            yield "finish", ids, timeline.finish_time(ref.task_id)
 
 
 class KVHandover:
     """WAA encoder→decoder handover queue.
 
-    Encoded batches wait here until their KV transfer may merge into the
-    decode pool; at most one batch merges per decode iteration (the
-    handover granularity of WAA), and a batch whose transfer was issued in
-    the *current* iteration only merges early when the pool is empty.
+    Encoded batches (id arrays) wait here until their KV transfer may
+    merge into the decode pool; at most one batch merges per decode
+    iteration (the handover granularity of WAA), and a batch whose
+    transfer was issued in the *current* iteration only merges early when
+    the pool is empty.
     """
 
     def __init__(self) -> None:
-        self._incoming: list[tuple[list[RequestState], TaskRef]] = []
+        self._incoming: list[tuple[np.ndarray, TaskRef]] = []
 
-    def push(self, requests: list[RequestState], transfer: TaskRef) -> None:
-        """Queue an encoded batch behind its KV-transfer task."""
-        self._incoming.append((list(requests), transfer))
+    def push(self, ids: np.ndarray, transfer: TaskRef) -> None:
+        """Queue an encoded id batch behind its KV-transfer task."""
+        self._incoming.append((ids, transfer))
 
     def merge_one(
         self,
-        pool: list[RequestState],
+        pool_ids: np.ndarray,
         latest_transfer: TaskRef | None,
-    ) -> list[TaskRef]:
-        """Merge at most one ready batch into ``pool``.
+    ) -> tuple[np.ndarray, list[TaskRef]]:
+        """Merge at most one ready batch into the alive set ``pool_ids``.
 
-        Returns the merge dependencies (the batch's transfer task) the next
-        decode iteration must wait on; empty when nothing merged.
+        Returns ``(new_pool_ids, deps)`` where ``deps`` is the merge
+        dependency (the batch's transfer task) the next decode iteration
+        must wait on; ``deps`` is empty when nothing merged.
         """
         if not self._incoming:
-            return []
-        requests, transfer = self._incoming[0]
-        if transfer is latest_transfer and pool:
-            return []
+            return pool_ids, []
+        ids, transfer = self._incoming[0]
+        if transfer is latest_transfer and pool_ids.size:
+            return pool_ids, []
         self._incoming.pop(0)
-        pool.extend(requests)
-        return [transfer]
+        return np.concatenate([pool_ids, ids]), [transfer]
 
     def __bool__(self) -> bool:
         return bool(self._incoming)
@@ -366,12 +380,12 @@ class DecodeOutcome:
     Attributes:
         any_alive: Whether any micro-batch still had live requests.
         freed: Requests that completed (slots freed for admission).
-        completed: The completed requests, in completion order.
+        completed: Ids of the completed requests, in completion order.
     """
 
     any_alive: bool
     freed: int
-    completed: list[RequestState]
+    completed: np.ndarray
 
 
 @dataclass
@@ -381,12 +395,12 @@ class MixedOutcome:
     Attributes:
         first: First stage task of the iteration (admission timestamps).
         last: Last stage task (first-token/completion timestamps).
-        completed: Requests that finished in this iteration.
+        completed: Ids of requests that finished in this iteration.
     """
 
     first: TaskRef | None
     last: TaskRef | None
-    completed: list[RequestState]
+    completed: np.ndarray
 
 
 def _identity_key(stage: StagePlan) -> object:
@@ -405,6 +419,9 @@ class ExecutionEngine:
         timeline: The discrete-event timeline tasks are emitted onto.
         profile: Profiled per-layer times pricing the stage tasks.
         placement: The GPU/layer placement whose stages execute the tasks.
+        pool: The request pool holding the run's lifecycle columns; every
+            group/batch argument of the iteration helpers is an array of
+            this pool's ids.
         decoder_only: Whether attention contexts include the prompt.
         overhead_s: Fixed per-component engine overhead (baselines).
         batched_pricing: Price plans through the vectorized profile lookups
@@ -417,6 +434,7 @@ class ExecutionEngine:
         timeline: Timeline,
         profile: ProfileTable,
         placement: Placement,
+        pool,
         decoder_only: bool,
         overhead_s: float = 0.0,
         batched_pricing: bool = True,
@@ -424,14 +442,26 @@ class ExecutionEngine:
         self.timeline = timeline
         self.profile = profile
         self.placement = placement
+        self.pool = pool
         self.decoder_only = decoder_only
         self.overhead_s = overhead_s
         self.batched_pricing = batched_pricing
-        self.bookkeeping = Bookkeeping()
+        self.bookkeeping = Bookkeeping(pool)
         self.stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
         self.peak_kv_tokens: dict[int, float] = {
             s.stage_id: 0.0 for s in placement.stages
         }
+        # The placement is fixed for the engine's lifetime, so whether a
+        # stage's TP group crosses a node boundary is too -- cache it
+        # instead of re-deriving it for every planned task.
+        self._spans_nodes: dict[StagePlan, bool] = {}
+
+    def _stage_spans_nodes(self, stage: StagePlan) -> bool:
+        spans = self._spans_nodes.get(stage)
+        if spans is None:
+            spans = self.placement.stage_spans_nodes(stage)
+            self._spans_nodes[stage] = spans
+        return spans
 
     # -- plan lifecycle ---------------------------------------------------------
 
@@ -481,22 +511,22 @@ class ExecutionEngine:
         self,
         plan: IterationPlan,
         stages: tuple[StagePlan, ...],
-        group: list[RequestState],
+        group: np.ndarray,
         stage_key=None,
         release_s: float = 0.0,
         track_peak: bool = False,
     ) -> tuple[TaskRef, TaskRef]:
-        """Chain one encode (micro-)batch across ``stages``.
+        """Chain one encode (micro-)batch of pool ids across ``stages``.
 
         Tasks depend on their predecessor in the chain; the first task
         carries the release time (online admission clock).  Encode-start
-        bookkeeping is recorded for every request of the group against the
-        first task.  Returns ``(first, last)`` refs.
+        bookkeeping is recorded for the whole id batch against the first
+        task.  Returns ``(first, last)`` refs.
         """
-        if not group:
+        if group.size == 0:
             raise ValueError("encode_chain needs a non-empty group")
         key = stage_key or _identity_key
-        avg_input = average_input_length(group)
+        avg_input = self.pool.average_input(group)
         prev: TaskRef | None = None
         first: TaskRef | None = None
         for stage in stages:
@@ -507,8 +537,8 @@ class ExecutionEngine:
                         ENCODE,
                         stage.encoder_layers,
                         stage.tp_degree,
-                        self.placement.stage_spans_nodes(stage),
-                        len(group),
+                        self._stage_spans_nodes(stage),
+                        group.size,
                         avg_input,
                     )
                 ],
@@ -518,22 +548,21 @@ class ExecutionEngine:
                 release_s=release_s if prev is None else 0.0,
             )
             if track_peak:
-                kv_tokens = len(group) * avg_input
+                kv_tokens = group.size * avg_input
                 self.peak_kv_tokens[stage.stage_id] = max(
                     self.peak_kv_tokens.get(stage.stage_id, 0.0), float(kv_tokens)
                 )
             if first is None:
                 first = ref
             prev = ref
-        for request in group:
-            self.bookkeeping.encode_starts.append((request, first))
+        self.bookkeeping.encode_starts.append((group, first))
         return first, prev
 
     def encode_phase(
         self,
         plan: IterationPlan,
         stages: tuple[StagePlan, ...],
-        groups: list[list[RequestState]],
+        groups: list[np.ndarray],
         stage_key=None,
         release_s: float = 0.0,
         track_peak: bool = False,
@@ -555,7 +584,7 @@ class ExecutionEngine:
     def kv_transfer(
         self,
         plan: IterationPlan,
-        group: list[RequestState],
+        group: np.ndarray,
         dep: TaskRef,
         kv_layers: int,
         handover: KVHandover | None = None,
@@ -565,10 +594,10 @@ class ExecutionEngine:
 
         The transfer is a fixed-duration task on the host-staging link,
         dependent on the encode chain's last task; when ``handover`` is
-        given the batch is queued for a later :meth:`KVHandover.merge_one`.
+        given the id batch is queued for a later :meth:`KVHandover.merge_one`.
         """
         duration = self.profile.kv_transfer_time(
-            len(group), average_input_length(group), kv_layers
+            group.size, self.pool.average_input(group), kv_layers
         )
         ref = plan.add_task(
             stage, fixed_s=duration, deps=[dep], tag="kv-transfer"
@@ -583,7 +612,7 @@ class ExecutionEngine:
         self,
         plan: IterationPlan,
         stages: tuple[StagePlan, ...],
-        groups: list[list[RequestState]],
+        groups: list[np.ndarray],
         first_deps: list[object] = (),
         prev_last: dict[int, object] | None = None,
         stage_key=None,
@@ -591,37 +620,34 @@ class ExecutionEngine:
         track_peak: bool = False,
         early_termination: bool = True,
     ) -> DecodeOutcome:
-        """One pipelined decode iteration over micro-batch ``groups``.
+        """One pipelined decode iteration over micro-batch id ``groups``.
 
         Each group's chain depends on ``first_deps`` (encode hand-offs or
         WAA merges) plus the group's previous-iteration tail from
-        ``prev_last`` (autoregressive feedback; updated in place).  Request
-        states advance one token; with ``early_termination`` finished
-        requests leave the batch and a KV-compaction task closes the holes
-        they leave (appended to the group's chain tail).  Without it --
-        FasterTransformer/DSI semantics -- completed requests keep occupying
-        their slots and no compaction runs.
+        ``prev_last`` (autoregressive feedback; updated in place).  The
+        pool advances every live member one token; with
+        ``early_termination`` finished requests leave the batch (mask
+        compaction, no per-request scans) and a KV-compaction task closes
+        the holes they leave (appended to the group's chain tail).
+        Without it -- FasterTransformer/DSI semantics -- completed requests
+        keep occupying their slots and no compaction runs.
         """
         key = stage_key or _identity_key
+        pool = self.pool
         prev_last = prev_last if prev_last is not None else {}
         freed = 0
         any_alive = False
-        completed_all: list[RequestState] = []
+        completed_all: list[np.ndarray] = []
         for g_index, group in enumerate(groups):
-            if early_termination:
-                alive = [r for r in group if not r.done]
-                if not alive:
-                    continue
-            else:
-                alive = list(group)
-                if not alive:
-                    continue
+            # One fused pool pass per group: alive filtering, context sums
+            # and the one-token advance with first/completion detection.
+            step = pool.decode_step(group, self.decoder_only, early_termination)
+            if step is None:
+                continue
             any_alive = True
-            avg_ctx = average_context(alive, self.decoder_only)
+            avg_ctx = step.avg_context
             if track_peak:
-                kv_tokens = float(
-                    sum(r.context_length(self.decoder_only) for r in alive)
-                )
+                kv_tokens = float(step.context_tokens)
             deps_first: list[object] = list(first_deps)
             if g_index in prev_last:
                 deps_first.append(prev_last[g_index])
@@ -634,8 +660,8 @@ class ExecutionEngine:
                             DECODE,
                             stage.decoder_layers,
                             stage.tp_degree,
-                            self.placement.stage_spans_nodes(stage),
-                            len(alive),
+                            self._stage_spans_nodes(stage),
+                            step.batch,
                             avg_ctx,
                         )
                     ],
@@ -650,24 +676,20 @@ class ExecutionEngine:
                     self.peak_kv_tokens[stage.stage_id] = kv_tokens
                 prev = ref
             last_decode = prev
-            completed: list[RequestState] = []
-            for request in alive:
-                if request.done:
-                    continue
-                request.advance()
-                if request.generated == 1:
-                    self.bookkeeping.first_tokens.append((request, last_decode))
-                if request.done:
-                    self.bookkeeping.completions.append((request, last_decode))
-                    completed.append(request)
-                    freed += 1
-            if completed and early_termination:
+            first_ids, completed = step.first_ids, step.completed_ids
+            if first_ids.size:
+                self.bookkeeping.first_tokens.append((first_ids, last_decode))
+            if completed.size:
+                self.bookkeeping.completions.append((completed, last_decode))
+                freed += int(completed.size)
+                completed_all.append(completed)
+            if completed.size and early_termination:
                 # Compaction copies the freed entries' worth of cache to
                 # close the holes left by early termination; it occupies the
                 # chain's last stage.
                 compaction = self.profile.kv_compaction_time(
-                    len(completed),
-                    average_context(completed, self.decoder_only),
+                    completed.size,
+                    pool.average_context(completed, self.decoder_only),
                     stages[-1].decoder_layers,
                 )
                 if compaction > 0:
@@ -678,9 +700,12 @@ class ExecutionEngine:
                         tag="compaction",
                     )
             prev_last[g_index] = prev
-            completed_all.extend(completed)
         return DecodeOutcome(
-            any_alive=any_alive, freed=freed, completed=completed_all
+            any_alive=any_alive,
+            freed=freed,
+            completed=(
+                np.concatenate(completed_all) if completed_all else EMPTY_IDS
+            ),
         )
 
     # -- continuous batching ----------------------------------------------------------
@@ -689,39 +714,46 @@ class ExecutionEngine:
         self,
         plan: IterationPlan,
         stages: tuple[StagePlan, ...],
-        alive: list[RequestState],
-        admitted: list[RequestState],
+        alive: np.ndarray,
+        admitted: np.ndarray,
         prev_last: object | None = None,
         release_s: float = 0.0,
     ) -> MixedOutcome:
         """One ORCA-style iteration: pool decodes + admitted prefills.
 
-        Every stage task's duration sums the decode step of the running
-        batch and one single-request prefill per admitted request (each
-        component carrying the engine overhead), which is exactly what makes
-        prefill-carrying iterations long -- the latency-variability effect
-        the paper highlights.  Admission bookkeeping binds to the first
-        stage task, first-token/completion bookkeeping to the last.
+        ``alive`` and ``admitted`` are id batches; every member of
+        ``alive`` must still owe tokens (callers keep their alive sets
+        compacted).  Every stage task's duration sums the decode step of
+        the running batch and one single-request prefill per admitted
+        request (each component carrying the engine overhead), which is
+        exactly what makes prefill-carrying iterations long -- the
+        latency-variability effect the paper highlights.  Admission
+        bookkeeping binds to the first stage task, first-token/completion
+        bookkeeping to the last.
         """
         key = _identity_key
-        avg_ctx = average_context(alive, self.decoder_only) if alive else 0.0
+        pool = self.pool
+        avg_ctx = (
+            pool.average_context(alive, self.decoder_only) if alive.size else 0.0
+        )
+        prefill_lens = pool.input_lens(admitted) if admitted.size else ()
         prev: TaskRef | None = None
         first: TaskRef | None = None
         for stage in stages:
             work: list[StageWork] = []
-            spans = self.placement.stage_spans_nodes(stage)
-            if alive:
+            spans = self._stage_spans_nodes(stage)
+            if alive.size:
                 work.append(
                     StageWork(
                         DECODE, stage.decoder_layers, stage.tp_degree,
-                        spans, len(alive), avg_ctx,
+                        spans, alive.size, avg_ctx,
                     )
                 )
-            for request in admitted:
+            for input_len in prefill_lens:
                 work.append(
                     StageWork(
                         ENCODE, stage.encoder_layers, stage.tp_degree,
-                        spans, 1.0, request.input_len,
+                        spans, 1.0, input_len,
                     )
                 )
             deps: list[object] = []
@@ -734,20 +766,17 @@ class ExecutionEngine:
                 work=work,
                 deps=deps,
                 tag="iteration",
-                bucket="decode" if alive else "encode",
+                bucket="decode" if alive.size else "encode",
                 release_s=release_s if prev is None else 0.0,
             )
             if first is None:
                 first = ref
             prev = ref
-        for request in admitted:
-            self.bookkeeping.encode_starts.append((request, first))
-        completed: list[RequestState] = []
-        for request in alive:
-            request.advance()
-            if request.generated == 1:
-                self.bookkeeping.first_tokens.append((request, prev))
-            if request.done:
-                self.bookkeeping.completions.append((request, prev))
-                completed.append(request)
+        if admitted.size:
+            self.bookkeeping.encode_starts.append((admitted, first))
+        first_ids, completed = pool.advance(alive)
+        if first_ids.size:
+            self.bookkeeping.first_tokens.append((first_ids, prev))
+        if completed.size:
+            self.bookkeeping.completions.append((completed, prev))
         return MixedOutcome(first=first, last=prev, completed=completed)

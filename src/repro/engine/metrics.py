@@ -177,6 +177,43 @@ class RunResult:
         return {"mean": mean, "p99_range": half_range, "p99_range_pct": pct}
 
 
+def collect_pool_result(
+    system: str,
+    pool,
+    ids,
+    makespan_s: float,
+    stage_utilization: dict[object, float] | None = None,
+    stage_times: dict[str, list[float]] | None = None,
+    peak_memory_gib: dict[object, float] | None = None,
+    extra: dict[str, float] | None = None,
+    warmup_requests: int = 0,
+) -> RunResult:
+    """Assemble a :class:`RunResult` from a request pool's columns.
+
+    The columnar twin of :func:`collect_result`: latencies, completion
+    times and output lengths come out of the pool in one vectorized pass
+    (``pool.completion_arrays``) instead of per-request attribute reads.
+
+    Raises:
+        ValueError: if any request is unfinished or missing timestamps.
+    """
+    latencies, completions, lengths, tokens = pool.completion_arrays(ids)
+    return RunResult(
+        system=system,
+        makespan_s=makespan_s,
+        num_requests=int(ids.size),
+        total_generated_tokens=tokens,
+        latencies_s=tuple(latencies.tolist()),
+        completion_times_s=tuple(completions.tolist()),
+        output_lengths=tuple(lengths.tolist()),
+        warmup_requests=max(int(warmup_requests), 0),
+        stage_utilization=dict(stage_utilization or {}),
+        stage_times={k: tuple(v) for k, v in (stage_times or {}).items()},
+        peak_memory_gib=dict(peak_memory_gib or {}),
+        extra=dict(extra or {}),
+    )
+
+
 def collect_result(
     system: str,
     requests: list[RequestState],

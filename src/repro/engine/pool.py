@@ -1,0 +1,758 @@
+"""Columnar array-backed request pool.
+
+Request lifecycle state used to live in per-request
+:class:`~repro.engine.request.RequestState` dataclasses that every driver
+held in Python lists: each scheduling cycle re-scanned those lists for
+``done`` flags, summed context lengths request by request, and stamped
+timestamps attribute by attribute.  After PR 2/3 vectorized pricing and
+iteration construction, exactly those per-object scans dominated replay
+profiles.
+
+:class:`RequestPool` is the structure-of-arrays replacement: one numpy
+column per lifecycle field (``input_len``, ``output_len``, ``generated``,
+``encode_start_s``, ``encode_finish_s``, ``finish_s``, ``admitted_cycle``,
+``arrival_s``) plus a ``done`` mask, all indexed by a *stable* request id
+(the row index, assigned at admission and never reused or moved).  Every
+hot operation is one vectorized pass:
+
+* **batch admission** -- :meth:`from_trace` loads a whole trace at once;
+* **advance** -- ``generated[ids] += tokens`` with first-token/completion
+  detection as mask reductions;
+* **compaction** -- :meth:`compact` filters an id array through the done
+  mask (no per-request ``done`` scans, ids keep their identity);
+* **grouped sums** -- :meth:`average_context` / :meth:`average_input` /
+  :meth:`context_token_sum` reduce whole micro-batches in one call;
+* **counts** -- :attr:`alive_count` / :attr:`done_count` are O(1),
+  maintained incrementally by :meth:`advance`.
+
+:class:`ListPool` implements the same interface over a plain list of
+:class:`RequestState` objects with the historical per-object scans.  It is
+the *reference model*: the hypothesis parity suite
+(``tests/engine/test_pool.py``) drives both backends through random
+schedules and asserts identical behaviour, and the perf harness replays
+the same trace on both to record the list-vs-columnar speedup
+(``BENCH_search.json`` series ``replay_pool``).
+
+External callers that want one request's state use :meth:`RequestPool.view`,
+which returns a :class:`RequestView` -- a thin per-request window with the
+same attributes and properties :class:`RequestState` exposes, reading and
+writing the pool's columns.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.engine.request import RequestState
+from repro.workloads.trace import RequestSpec, WorkloadTrace
+
+#: Shared empty id array; drivers use it as the initial alive set.
+EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+class DecodeStep(NamedTuple):
+    """Result of one micro-batch's fused decode step (see ``decode_step``).
+
+    Attributes:
+        batch: Members the step computes over (prices the stage tasks).
+        avg_context: Mean attention-context length of those members,
+            *before* the advance.
+        context_tokens: Total context tokens (peak-KV accounting).
+        first_ids: Members that produced their first token this step.
+        completed_ids: Members that finished this step (order preserved).
+    """
+
+    batch: int
+    avg_context: float
+    context_tokens: int
+    first_ids: np.ndarray
+    completed_ids: np.ndarray
+
+
+class RequestView:
+    """Thin per-request view over one :class:`RequestPool` row.
+
+    Exposes the same attributes and derived properties as
+    :class:`~repro.engine.request.RequestState`; reads and writes go
+    straight to the pool's columns, so a view is always current and
+    mutating it mutates the pool.
+    """
+
+    __slots__ = ("_pool", "_rid")
+
+    def __init__(self, pool: "RequestPool", rid: int) -> None:
+        self._pool = pool
+        self._rid = int(rid)
+
+    # -- static fields -----------------------------------------------------------
+
+    @property
+    def rid(self) -> int:
+        """Stable pool id of the request (row index)."""
+        return self._rid
+
+    @property
+    def request_id(self) -> int:
+        """Trace id of the request."""
+        return int(self._pool.request_id[self._rid])
+
+    @property
+    def input_len(self) -> int:
+        """Prompt length."""
+        return int(self._pool.input_len[self._rid])
+
+    @property
+    def output_len(self) -> int:
+        """Forced generation length."""
+        return int(self._pool.output_len[self._rid])
+
+    @property
+    def arrival_s(self) -> float:
+        """Arrival time of the request."""
+        return float(self._pool.arrival_s[self._rid])
+
+    # -- mutable lifecycle fields ----------------------------------------------------
+
+    @property
+    def generated(self) -> int:
+        """Tokens generated so far."""
+        return int(self._pool.generated[self._rid])
+
+    @property
+    def encode_start_s(self) -> float:
+        """When encoding started (-1 if not yet)."""
+        return float(self._pool.encode_start_s[self._rid])
+
+    @encode_start_s.setter
+    def encode_start_s(self, value: float) -> None:
+        self._pool.encode_start_s[self._rid] = value
+
+    @property
+    def encode_finish_s(self) -> float:
+        """When encoding finished (-1 if not yet)."""
+        return float(self._pool.encode_finish_s[self._rid])
+
+    @encode_finish_s.setter
+    def encode_finish_s(self, value: float) -> None:
+        self._pool.encode_finish_s[self._rid] = value
+
+    @property
+    def finish_s(self) -> float:
+        """When the last token was generated (-1 if unfinished)."""
+        return float(self._pool.finish_s[self._rid])
+
+    @finish_s.setter
+    def finish_s(self, value: float) -> None:
+        self._pool.finish_s[self._rid] = value
+
+    @property
+    def admitted_cycle(self) -> int:
+        """Cycle/iteration at which the request was admitted (-1 if never)."""
+        return int(self._pool.admitted_cycle[self._rid])
+
+    @admitted_cycle.setter
+    def admitted_cycle(self, value: int) -> None:
+        self._pool.admitted_cycle[self._rid] = value
+
+    # -- derived properties (same semantics as RequestState) ---------------------------
+
+    @property
+    def remaining(self) -> int:
+        """Tokens still to generate."""
+        return max(self.output_len - self.generated, 0)
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has generated all its tokens."""
+        return bool(self._pool.done[self._rid])
+
+    @property
+    def started(self) -> bool:
+        """Whether encoding has started."""
+        return self.encode_start_s >= 0.0
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency (encode start to last token), -1 if unfinished."""
+        if self.finish_s < 0 or self.encode_start_s < 0:
+            return -1.0
+        return self.finish_s - self.encode_start_s
+
+    def advance(self, tokens: int = 1) -> None:
+        """Record ``tokens`` newly generated tokens for this request."""
+        self._pool.advance(np.array([self._rid], dtype=np.int64), tokens)
+
+    def context_length(self, decoder_only: bool) -> int:
+        """Current attention context length for the next decode step."""
+        if decoder_only:
+            return self.input_len + self.generated
+        return max(self.generated, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestView(rid={self._rid}, request_id={self.request_id}, "
+            f"generated={self.generated}/{self.output_len})"
+        )
+
+
+class RequestPool:
+    """Columnar store of request lifecycle state.
+
+    Rows are append-only: a request's id (row index) is assigned at
+    admission and stays valid forever -- compaction filters *id arrays*,
+    never moves rows -- so ids can be handed across cycles, KV handover
+    queues and bookkeeping without invalidation.
+
+    Columns (all numpy arrays of length :attr:`size`):
+
+    ``request_id``, ``input_len``, ``output_len``, ``arrival_s``
+        Static per-request properties loaded at admission.
+    ``generated``
+        Tokens generated so far (int64).
+    ``encode_start_s``, ``encode_finish_s``, ``finish_s``
+        Timestamps (-1 until stamped by the engine's bookkeeping).
+    ``admitted_cycle``
+        Scheduling cycle of admission (-1 until admitted).
+    ``done``
+        Boolean mask, ``generated >= output_len``; maintained by
+        :meth:`advance` so compaction and counts never recompute it.
+    """
+
+    def __init__(self) -> None:
+        self.request_id = EMPTY_IDS
+        self.input_len = EMPTY_IDS
+        self.output_len = EMPTY_IDS
+        self.arrival_s = np.empty(0, dtype=float)
+        self.generated = EMPTY_IDS
+        self.encode_start_s = np.empty(0, dtype=float)
+        self.encode_finish_s = np.empty(0, dtype=float)
+        self.finish_s = np.empty(0, dtype=float)
+        self.admitted_cycle = EMPTY_IDS
+        self.done = np.empty(0, dtype=bool)
+        self._done_count = 0
+
+    # -- construction / admission -------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: WorkloadTrace) -> "RequestPool":
+        """Load a whole trace in one batch admission (ids in trace order)."""
+        pool = cls()
+        pool.admit_specs(trace.requests)
+        return pool
+
+    def admit_specs(self, specs) -> np.ndarray:
+        """Append a batch of :class:`RequestSpec`; returns the new ids."""
+        specs = list(specs)
+        if not specs:
+            return EMPTY_IDS
+        start = self.size
+        n = len(specs)
+        self.request_id = np.concatenate(
+            [self.request_id, np.array([s.request_id for s in specs], dtype=np.int64)]
+        )
+        self.input_len = np.concatenate(
+            [self.input_len, np.array([s.input_len for s in specs], dtype=np.int64)]
+        )
+        self.output_len = np.concatenate(
+            [self.output_len, np.array([s.output_len for s in specs], dtype=np.int64)]
+        )
+        self.arrival_s = np.concatenate(
+            [self.arrival_s, np.array([s.arrival_s for s in specs], dtype=float)]
+        )
+        self.generated = np.concatenate(
+            [self.generated, np.zeros(n, dtype=np.int64)]
+        )
+        self.encode_start_s = np.concatenate(
+            [self.encode_start_s, np.full(n, -1.0)]
+        )
+        self.encode_finish_s = np.concatenate(
+            [self.encode_finish_s, np.full(n, -1.0)]
+        )
+        self.finish_s = np.concatenate([self.finish_s, np.full(n, -1.0)])
+        self.admitted_cycle = np.concatenate(
+            [self.admitted_cycle, np.full(n, -1, dtype=np.int64)]
+        )
+        self.done = np.concatenate([self.done, np.zeros(n, dtype=bool)])
+        return np.arange(start, start + n, dtype=np.int64)
+
+    # -- sizes and counts (O(1)) ---------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total requests ever admitted to the pool."""
+        return int(self.request_id.shape[0])
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def done_count(self) -> int:
+        """Requests that finished generation (O(1))."""
+        return self._done_count
+
+    @property
+    def alive_count(self) -> int:
+        """Requests still owing tokens (O(1))."""
+        return self.size - self._done_count
+
+    # -- id sets ------------------------------------------------------------------------
+
+    def ids(self) -> np.ndarray:
+        """All ids, in admission (trace) order."""
+        return np.arange(self.size, dtype=np.int64)
+
+    def compact(self, ids: np.ndarray) -> np.ndarray:
+        """Ids of ``ids`` that are still alive, order preserved.
+
+        This is the mask-based replacement for the per-object
+        ``[r for r in pool if not r.done]`` scans; ids keep their identity,
+        finished ids simply drop out and can never re-enter (the done mask
+        is monotone).
+        """
+        if ids.size == 0:
+            return ids
+        return ids[~self.done[ids]]
+
+    #: Alias: filtering an id array for alive members IS the compaction.
+    alive = compact
+
+    def done_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean done flags of ``ids``."""
+        return self.done[ids]
+
+    # -- vectorized lifecycle operations -------------------------------------------------
+
+    def advance(
+        self, ids: np.ndarray, tokens: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance every request of ``ids`` by ``tokens`` generated tokens.
+
+        Returns ``(first_token_ids, completed_ids)`` -- the subsets (order
+        preserved) that crossed the first-token and completion thresholds
+        in this call.
+
+        Raises:
+            ValueError: if any request would exceed its output length.
+        """
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        if ids.size == 0 or tokens == 0:
+            return EMPTY_IDS, EMPTY_IDS
+        new = self.generated[ids] + tokens
+        over = new > self.output_len[ids]
+        if np.any(over):
+            culprit = int(self.request_id[ids[over][0]])
+            raise ValueError(
+                f"request {culprit} would exceed its output length"
+            )
+        self.generated[ids] = new
+        completed = ids[new == self.output_len[ids]]
+        if completed.size:
+            self.done[completed] = True
+            self._done_count += int(completed.size)
+        # First tokens: requests whose count was 0 before this call and >= 1
+        # after.  (With per-iteration single-token advances this is exactly
+        # ``new == 1``; the general form keeps multi-token advances honest.)
+        first = ids[(new - tokens) == 0]
+        return first, completed
+
+    def decode_step(
+        self, group: np.ndarray, decoder_only: bool, early_termination: bool = True
+    ) -> DecodeStep | None:
+        """One micro-batch decode step, fused into a single gather pass.
+
+        Combines what one decode iteration needs from its group -- alive
+        filtering, batch size, average/total context length, the one-token
+        advance with first-token/completion detection -- so the hot loop
+        touches each column once instead of once per query.  With
+        ``early_termination`` finished members leave the batch before the
+        step; without it (FasterTransformer/DSI) they keep occupying their
+        slots but still do not advance.  Returns ``None`` when the step has
+        no members.
+        """
+        if group.size == 0:
+            return None
+        done = self.done[group]
+        if early_termination:
+            members = group[~done] if done.any() else group
+            if members.size == 0:
+                return None
+            advancing = members
+            generated = self.generated[members]
+        else:
+            members = group
+            advancing = group[~done] if done.any() else group
+            generated = self.generated[members]
+        if decoder_only:
+            context_tokens = int((self.input_len[members] + generated).sum())
+        else:
+            context_tokens = int(np.maximum(generated, 1).sum())
+        avg_context = context_tokens / members.size
+        if advancing.size == 0:
+            return DecodeStep(
+                int(members.size), avg_context, context_tokens, EMPTY_IDS, EMPTY_IDS
+            )
+        before = generated if advancing is members else self.generated[advancing]
+        new = before + 1
+        self.generated[advancing] = new
+        first = advancing[before == 0]
+        completed = advancing[new == self.output_len[advancing]]
+        if completed.size:
+            self.done[completed] = True
+            self._done_count += int(completed.size)
+        return DecodeStep(
+            int(members.size), avg_context, context_tokens, first, completed
+        )
+
+    def set_admitted_cycle(self, ids: np.ndarray, cycle: int) -> None:
+        """Record the admission cycle of a batch."""
+        if ids.size:
+            self.admitted_cycle[ids] = cycle
+
+    def stamp_encode_start(self, ids: np.ndarray, when: float) -> None:
+        """Stamp encode-start timestamps of a batch."""
+        if ids.size:
+            self.encode_start_s[ids] = when
+
+    def stamp_finish(self, ids: np.ndarray, when: float) -> None:
+        """Stamp completion timestamps of a batch."""
+        if ids.size:
+            self.finish_s[ids] = when
+
+    # -- grouped reductions --------------------------------------------------------------
+
+    def average_input(self, ids: np.ndarray) -> float:
+        """Mean input length of a batch (0 for an empty batch)."""
+        if ids.size == 0:
+            return 0.0
+        return self.input_len[ids].sum() / ids.size
+
+    def total_input(self, ids: np.ndarray) -> int:
+        """Sum of input lengths (the encoder workload of a batch)."""
+        return int(self.input_len[ids].sum())
+
+    def context_token_sum(self, ids: np.ndarray, decoder_only: bool) -> int:
+        """Total attention-context tokens of the batch's next decode step."""
+        if ids.size == 0:
+            return 0
+        if decoder_only:
+            return int((self.input_len[ids] + self.generated[ids]).sum())
+        return int(np.maximum(self.generated[ids], 1).sum())
+
+    def average_context(self, ids: np.ndarray, decoder_only: bool) -> float:
+        """Mean attention-context length of the next decode step."""
+        if ids.size == 0:
+            return 0.0
+        if decoder_only:
+            return (self.input_len[ids] + self.generated[ids]).sum() / ids.size
+        return np.maximum(self.generated[ids], 1).sum() / ids.size
+
+    def max_output_len(self, ids: np.ndarray) -> int:
+        """Largest forced output length in the batch."""
+        if ids.size == 0:
+            return 0
+        return int(self.output_len[ids].max())
+
+    def input_lens_range(self, start: int, stop: int) -> np.ndarray:
+        """Input-length window of admission-ordered ids ``[start, stop)``.
+
+        A zero-copy column slice -- the admission paths feed this to the
+        dynamic workload adjuster without materializing pending lists.
+        """
+        return self.input_len[start:stop]
+
+    def input_lens(self, ids: np.ndarray) -> np.ndarray:
+        """Input lengths of an id batch (one gather)."""
+        return self.input_len[ids]
+
+    # -- scalar accessors ---------------------------------------------------------------
+
+    def request_id_of(self, rid: int) -> int:
+        """Trace id of one request."""
+        return int(self.request_id[rid])
+
+    def input_len_of(self, rid: int) -> int:
+        """Prompt length of one request."""
+        return int(self.input_len[rid])
+
+    def output_len_of(self, rid: int) -> int:
+        """Forced generation length of one request."""
+        return int(self.output_len[rid])
+
+    def arrival_of(self, rid: int) -> float:
+        """Arrival time of one request."""
+        return float(self.arrival_s[rid])
+
+    def view(self, rid: int) -> RequestView:
+        """Thin :class:`RequestState`-compatible view of one request."""
+        return RequestView(self, rid)
+
+    def views(self) -> list[RequestView]:
+        """Views of every request, in admission order."""
+        return [RequestView(self, rid) for rid in range(self.size)]
+
+    # -- collection ---------------------------------------------------------------------
+
+    def completion_arrays(
+        self, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """``(latencies, completion_times, output_lens, tokens)`` of ``ids``.
+
+        One vectorized pass over the batch; used by
+        :func:`~repro.engine.metrics.collect_pool_result`.
+
+        Raises:
+            ValueError: if any request is unfinished or missing timestamps.
+        """
+        finish = self.finish_s[ids]
+        start = self.encode_start_s[ids]
+        bad = ~self.done[ids] | (finish < 0)
+        if np.any(bad):
+            culprit = int(self.request_id[ids[bad][0]])
+            raise ValueError(
+                f"request {culprit} did not complete; cannot collect metrics"
+            )
+        latencies = finish - start
+        invalid = (start < 0) | np.isnan(latencies)
+        if np.any(invalid):
+            culprit = int(self.request_id[ids[invalid][0]])
+            raise ValueError(f"request {culprit} has invalid latency")
+        return (
+            latencies,
+            finish,
+            self.output_len[ids],
+            int(self.generated[ids].sum()),
+        )
+
+
+class ListPool:
+    """Reference pool backend: a list of per-request objects.
+
+    Implements the exact :class:`RequestPool` interface over
+    :class:`~repro.engine.request.RequestState` dataclasses using the
+    historical per-object idioms -- ``done`` list comprehensions, Python
+    ``sum`` loops, attribute stamping -- that the columnar pool replaces.
+
+    Two consumers keep it alive:
+
+    * the hypothesis parity suite (``tests/engine/test_pool.py``) uses it
+      as the executable specification the columnar pool must match, and
+    * the perf harness replays traces through it (``XRunner(...,
+      columnar=False)``) to measure the list-vs-columnar speedup recorded
+      in ``BENCH_search.json`` (series ``replay_pool``).
+    """
+
+    def __init__(self) -> None:
+        self.states: list[RequestState] = []
+
+    @classmethod
+    def from_trace(cls, trace: WorkloadTrace) -> "ListPool":
+        pool = cls()
+        pool.admit_specs(trace.requests)
+        return pool
+
+    def admit_specs(self, specs) -> np.ndarray:
+        start = len(self.states)
+        self.states.extend(RequestState(spec=spec) for spec in specs)
+        return np.arange(start, len(self.states), dtype=np.int64)
+
+    # -- sizes and counts ----------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.states)
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def done_count(self) -> int:
+        return sum(1 for s in self.states if s.done)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for s in self.states if not s.done)
+
+    # -- id sets ------------------------------------------------------------------------
+
+    def ids(self) -> np.ndarray:
+        return np.arange(len(self.states), dtype=np.int64)
+
+    def compact(self, ids: np.ndarray) -> np.ndarray:
+        # The historical per-object scan: `[r for r in pool if not r.done]`.
+        return np.array(
+            [rid for rid in ids.tolist() if not self.states[rid].done],
+            dtype=np.int64,
+        )
+
+    alive = compact
+
+    def done_mask(self, ids: np.ndarray) -> np.ndarray:
+        return np.array([self.states[rid].done for rid in ids.tolist()], dtype=bool)
+
+    # -- lifecycle operations ------------------------------------------------------------
+
+    def advance(
+        self, ids: np.ndarray, tokens: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        first: list[int] = []
+        completed: list[int] = []
+        if tokens == 0:
+            return EMPTY_IDS, EMPTY_IDS
+        for rid in ids.tolist():
+            state = self.states[rid]
+            before = state.generated
+            state.advance(tokens)
+            if before == 0:
+                first.append(rid)
+            if state.done:
+                completed.append(rid)
+        return (
+            np.array(first, dtype=np.int64),
+            np.array(completed, dtype=np.int64),
+        )
+
+    def decode_step(
+        self, group: np.ndarray, decoder_only: bool, early_termination: bool = True
+    ) -> DecodeStep | None:
+        # The historical per-object decode loop, verbatim: filter done,
+        # Python-sum contexts, advance one by one.
+        pairs = [(rid, self.states[rid]) for rid in group.tolist()]
+        if early_termination:
+            pairs = [(rid, state) for rid, state in pairs if not state.done]
+        if not pairs:
+            return None
+        context_tokens = sum(
+            state.context_length(decoder_only) for _, state in pairs
+        )
+        avg_context = context_tokens / len(pairs)
+        first: list[int] = []
+        completed: list[int] = []
+        for rid, state in pairs:
+            if state.done:
+                continue
+            state.advance()
+            if state.generated == 1:
+                first.append(rid)
+            if state.done:
+                completed.append(rid)
+        return DecodeStep(
+            len(pairs),
+            avg_context,
+            context_tokens,
+            np.array(first, dtype=np.int64),
+            np.array(completed, dtype=np.int64),
+        )
+
+    def set_admitted_cycle(self, ids: np.ndarray, cycle: int) -> None:
+        for rid in ids.tolist():
+            self.states[rid].admitted_cycle = cycle
+
+    def stamp_encode_start(self, ids: np.ndarray, when: float) -> None:
+        for rid in ids.tolist():
+            self.states[rid].encode_start_s = when
+
+    def stamp_finish(self, ids: np.ndarray, when: float) -> None:
+        for rid in ids.tolist():
+            self.states[rid].finish_s = when
+
+    # -- grouped reductions --------------------------------------------------------------
+
+    def average_input(self, ids: np.ndarray) -> float:
+        if ids.size == 0:
+            return 0.0
+        return sum(self.states[rid].input_len for rid in ids.tolist()) / ids.size
+
+    def total_input(self, ids: np.ndarray) -> int:
+        return sum(self.states[rid].input_len for rid in ids.tolist())
+
+    def context_token_sum(self, ids: np.ndarray, decoder_only: bool) -> int:
+        return sum(
+            self.states[rid].context_length(decoder_only) for rid in ids.tolist()
+        )
+
+    def average_context(self, ids: np.ndarray, decoder_only: bool) -> float:
+        if ids.size == 0:
+            return 0.0
+        return (
+            sum(self.states[rid].context_length(decoder_only) for rid in ids.tolist())
+            / ids.size
+        )
+
+    def max_output_len(self, ids: np.ndarray) -> int:
+        if ids.size == 0:
+            return 0
+        return max(self.states[rid].output_len for rid in ids.tolist())
+
+    def input_lens_range(self, start: int, stop: int) -> np.ndarray:
+        return np.array(
+            [s.input_len for s in self.states[start:stop]], dtype=np.int64
+        )
+
+    def input_lens(self, ids: np.ndarray) -> np.ndarray:
+        return np.array(
+            [self.states[rid].input_len for rid in ids.tolist()], dtype=np.int64
+        )
+
+    # -- scalar accessors ---------------------------------------------------------------
+
+    def request_id_of(self, rid: int) -> int:
+        return self.states[rid].request_id
+
+    def input_len_of(self, rid: int) -> int:
+        return self.states[rid].input_len
+
+    def output_len_of(self, rid: int) -> int:
+        return self.states[rid].output_len
+
+    def arrival_of(self, rid: int) -> float:
+        return self.states[rid].spec.arrival_s
+
+    def view(self, rid: int) -> RequestState:
+        """The backing state itself is already a per-request view."""
+        return self.states[rid]
+
+    def views(self) -> list[RequestState]:
+        return list(self.states)
+
+    # -- collection ---------------------------------------------------------------------
+
+    def completion_arrays(
+        self, ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        latencies: list[float] = []
+        completions: list[float] = []
+        lengths: list[int] = []
+        tokens = 0
+        for rid in ids.tolist():
+            state = self.states[rid]
+            if not state.done or state.finish_s < 0:
+                raise ValueError(
+                    f"request {state.request_id} did not complete; "
+                    "cannot collect metrics"
+                )
+            latency = state.latency_s
+            if latency < 0 or np.isnan(latency):
+                raise ValueError(
+                    f"request {state.request_id} has invalid latency"
+                )
+            latencies.append(latency)
+            completions.append(state.finish_s)
+            lengths.append(state.output_len)
+            tokens += state.generated
+        return (
+            np.array(latencies, dtype=float),
+            np.array(completions, dtype=float),
+            np.array(lengths, dtype=np.int64),
+            tokens,
+        )
+
+
+def make_pool(trace: WorkloadTrace, columnar: bool = True):
+    """Build the requested pool backend for a trace."""
+    backend = RequestPool if columnar else ListPool
+    return backend.from_trace(trace)

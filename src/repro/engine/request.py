@@ -1,4 +1,12 @@
-"""Runtime request state used by the runner and baselines."""
+"""Per-request runtime state.
+
+Bulk request lifecycle state lives in the columnar
+:class:`~repro.engine.pool.RequestPool`; drivers hold pool ids, not
+``RequestState`` lists.  This class remains as the *per-object* model: the
+:class:`~repro.engine.pool.ListPool` reference backend is a list of these,
+and :meth:`RequestPool.view` returns an attribute-compatible per-request
+window over the pool's columns for external callers.
+"""
 
 from __future__ import annotations
 

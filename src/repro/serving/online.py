@@ -51,6 +51,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from functools import cached_property
+from itertools import islice
 
 import numpy as np
 
@@ -58,10 +60,10 @@ from repro.baselines.base import BaselineSystem
 from repro.core.config import LatencyConstraint, ScheduleConfig
 from repro.core.dynamic import DynamicWorkloadAdjuster
 from repro.core.simulator import XSimulator
-from repro.engine.batching import split_into_micro_batches
+from repro.engine.batching import split_ids
 from repro.engine.execution import ExecutionEngine, KVHandover, TaskRef
 from repro.engine.metrics import RunResult
-from repro.engine.request import RequestState
+from repro.engine.pool import EMPTY_IDS, RequestPool
 from repro.engine.timeline import Timeline
 from repro.serving.sla import SLA
 from repro.workloads.arrivals import ArrivalProcess, attach_arrivals, make_scenario
@@ -132,6 +134,13 @@ class OnlineResult:
     completed or rejected (``offered == completed + rejected``), because the
     serving loop drains the queue and pool before returning.
 
+    Aggregates (counts, latency arrays) are computed **once**, on first
+    access, from a single pass over the records (:attr:`_columns`) and
+    cached -- rate sweeps touch ``completed``/``rejected``/percentiles many
+    times per run, and the historical per-access record scans were O(n)
+    each.  The records are snapshotted by that first access; they are not
+    meant to change after construction.
+
     Attributes:
         system: Serving system name.
         scenario: Traffic scenario name ("" when the trace carried arrivals).
@@ -148,6 +157,46 @@ class OnlineResult:
     makespan_s: float
     extra: dict[str, float] = field(default_factory=dict)
 
+    # -- cached summary columns ---------------------------------------------------
+
+    @cached_property
+    def _columns(self) -> dict[str, np.ndarray]:
+        """One pass over the records; every aggregate derives from these."""
+        records = self.records
+        return {
+            "arrival": np.array([r.arrival_s for r in records], dtype=float),
+            "admitted": np.array([r.admitted_s for r in records], dtype=float),
+            "first_token": np.array(
+                [r.first_token_s for r in records], dtype=float
+            ),
+            "finish": np.array([r.finish_s for r in records], dtype=float),
+            "rejected": np.array([r.rejected for r in records], dtype=bool),
+            "output_len": np.array(
+                [r.output_len for r in records], dtype=np.int64
+            ),
+        }
+
+    @cached_property
+    def _completed_mask(self) -> np.ndarray:
+        return self._columns["finish"] >= 0.0
+
+    @cached_property
+    def _latency_values(self) -> dict[str, np.ndarray]:
+        """Non-negative per-metric latencies of completed requests."""
+        cols = self._columns
+        mask = self._completed_mask
+        arrival = cols["arrival"][mask]
+        values: dict[str, np.ndarray] = {}
+        for name, column in (
+            ("latency_s", cols["finish"]),
+            ("ttft_s", cols["first_token"]),
+            ("queue_delay_s", cols["admitted"]),
+        ):
+            raw = column[mask]
+            deltas = np.where(raw < 0, -1.0, raw - arrival)
+            values[name] = deltas[deltas >= 0]
+        return values
+
     # -- counts ----------------------------------------------------------------
 
     @property
@@ -158,12 +207,12 @@ class OnlineResult:
     @property
     def completed(self) -> int:
         """Requests that finished generation."""
-        return sum(1 for r in self.records if r.completed)
+        return int(np.count_nonzero(self._completed_mask))
 
     @property
     def rejected(self) -> int:
         """Requests dropped at arrival because the admission queue was full."""
-        return sum(1 for r in self.records if r.rejected)
+        return int(np.count_nonzero(self._columns["rejected"]))
 
     @property
     def rejection_rate(self) -> float:
@@ -182,8 +231,7 @@ class OnlineResult:
     # -- latency statistics ------------------------------------------------------
 
     def _completed_values(self, attribute: str) -> np.ndarray:
-        values = [getattr(r, attribute) for r in self.records if r.completed]
-        return np.asarray([v for v in values if v >= 0], dtype=float)
+        return self._latency_values[attribute]
 
     def latency_percentile(self, q: float) -> float:
         """End-to-end latency percentile over completed requests."""
@@ -222,15 +270,19 @@ class OnlineResult:
         Latencies are *end-to-end* (arrival to completion, queueing included),
         which is what an online SLO constrains.
         """
-        done = [r for r in self.records if r.completed]
+        cols = self._columns
+        mask = self._completed_mask
+        finish = cols["finish"][mask]
+        arrival = cols["arrival"][mask]
+        output_lens = cols["output_len"][mask]
         return RunResult(
             system=self.system,
             makespan_s=self.makespan_s,
-            num_requests=len(done),
-            total_generated_tokens=sum(r.output_len for r in done),
-            latencies_s=tuple(r.latency_s for r in done),
-            completion_times_s=tuple(r.finish_s for r in done),
-            output_lengths=tuple(r.output_len for r in done),
+            num_requests=int(finish.size),
+            total_generated_tokens=int(output_lens.sum()),
+            latencies_s=tuple((finish - arrival).tolist()),
+            completion_times_s=tuple(finish.tolist()),
+            output_lengths=tuple(output_lens.tolist()),
             extra=dict(self.extra),
         )
 
@@ -243,11 +295,10 @@ class OnlineResult:
         """
         if not self.records:
             return 1.0
-        hits = sum(
-            1
-            for r in self.records
-            if r.completed and r.latency_s <= sla.bound_s
-        )
+        cols = self._columns
+        mask = self._completed_mask
+        latencies = cols["finish"][mask] - cols["arrival"][mask]
+        hits = int(np.count_nonzero(latencies <= sla.bound_s))
         return hits / len(self.records)
 
     def satisfies(self, sla: SLA, max_rejection_rate: float = 0.0) -> bool:
@@ -272,12 +323,12 @@ class OnlineResult:
 class OnlineServer:
     """Base class of the online serving drivers.
 
-    Owns the bounded admission queue and the arrival-driven event loop;
-    subclasses implement one engine iteration (admit, plan the iteration's
-    stage tasks through the shared :class:`ExecutionEngine`, advance request
-    states) and report the next iteration's start clock.  The engine's
-    deferred bookkeeping is resolved once, after the loop drains, into the
-    per-request records.
+    Owns the columnar request pool, the bounded admission queue and the
+    arrival-driven event loop; subclasses implement one engine iteration
+    (admit queued ids, plan the iteration's stage tasks through the shared
+    :class:`ExecutionEngine`, advance the pool) and report the next
+    iteration's start clock.  The engine's deferred bookkeeping is resolved
+    once, after the loop drains, into the per-request records.
 
     Args:
         name: System name used in results.
@@ -293,8 +344,8 @@ class OnlineServer:
 
     # -- subclass hooks ----------------------------------------------------------
 
-    def _reset(self, timeline: Timeline) -> None:
-        """Prepare per-run state (pool, KV cache, ...)."""
+    def _reset(self, timeline: Timeline, pool: RequestPool) -> None:
+        """Prepare per-run state (alive set, KV cache, engine, ...)."""
         raise NotImplementedError
 
     def _busy(self) -> bool:
@@ -317,33 +368,40 @@ class OnlineServer:
         """Serve an arrival-stamped trace and collect per-request records."""
         if len(trace) == 0:
             raise ValueError("trace must contain at least one request")
-        states = [RequestState(spec=spec) for spec in trace.requests]
+        pool = RequestPool.from_trace(trace)
+        self._pool = pool
         records = {
-            s.request_id: OnlineRequestRecord(
-                request_id=s.request_id,
-                input_len=s.input_len,
-                output_len=s.output_len,
-                arrival_s=s.spec.arrival_s,
+            rid: OnlineRequestRecord(
+                request_id=pool.request_id_of(rid),
+                input_len=pool.input_len_of(rid),
+                output_len=pool.output_len_of(rid),
+                arrival_s=pool.arrival_of(rid),
             )
-            for s in states
+            for rid in range(len(pool))
         }
         self._records = records
-        self._arrivals: deque[RequestState] = deque(
-            sorted(states, key=lambda s: (s.spec.arrival_s, s.request_id))
-        )
-        self._queue: deque[RequestState] = deque()
+        # Arrival order: (arrival_s, request_id), a pointer into one sorted
+        # id array rather than a deque of objects.
+        self._arrival_order = np.lexsort((pool.request_id, pool.arrival_s))
+        self._arrival_pos = 0
+        self._queue: deque[int] = deque()
         self._timeline = Timeline()
-        self._reset(self._timeline)
+        self._reset(self._timeline, pool)
 
         clock = 0.0
         iterations = 0
-        while self._arrivals or self._queue or self._busy():
+        while (
+            self._arrival_pos < self._arrival_order.size
+            or self._queue
+            or self._busy()
+        ):
             self._ingest(clock)
             if not self._queue and not self._busy():
-                if not self._arrivals:
+                if self._arrival_pos >= self._arrival_order.size:
                     break
                 # Event-driven idle skip to the next arrival.
-                clock = max(clock, self._arrivals[0].spec.arrival_s)
+                next_rid = int(self._arrival_order[self._arrival_pos])
+                clock = max(clock, pool.arrival_of(next_rid))
                 continue
             next_clock = self._iterate(clock)
             clock = max(next_clock, clock)
@@ -353,15 +411,17 @@ class OnlineServer:
 
         self._timeline.schedule_pending()
         bookkeeping = self._engine.bookkeeping
-        for event, request, when in bookkeeping.resolve_events(self._timeline):
-            record = records[request.request_id]
+        for event, ids, when in bookkeeping.resolve_events(self._timeline):
             if event == "admitted":
-                record.admitted_s = when
+                for rid in ids.tolist():
+                    records[rid].admitted_s = when
             elif event == "first_token":
-                record.first_token_s = when
+                for rid in ids.tolist():
+                    records[rid].first_token_s = when
             else:
-                record.finish_s = when
-        ordered = tuple(records[s.request_id] for s in states)
+                for rid in ids.tolist():
+                    records[rid].finish_s = when
+        ordered = tuple(records[rid] for rid in range(len(pool)))
         return OnlineResult(
             system=self.name,
             scenario=scenario,
@@ -379,12 +439,18 @@ class OnlineServer:
     def _ingest(self, clock: float) -> None:
         """Move arrivals with ``arrival_s <= clock`` into the admission queue,
         rejecting those that find the queue full."""
-        while self._arrivals and self._arrivals[0].spec.arrival_s <= clock:
-            state = self._arrivals.popleft()
+        order = self._arrival_order
+        arrival_s = self._pool.arrival_s
+        while (
+            self._arrival_pos < order.size
+            and arrival_s[order[self._arrival_pos]] <= clock
+        ):
+            rid = int(order[self._arrival_pos])
+            self._arrival_pos += 1
             if len(self._queue) >= self.max_queue:
-                self._records[state.request_id].rejected = True
+                self._records[rid].rejected = True
                 continue
-            self._queue.append(state)
+            self._queue.append(rid)
 
 
 # ---------------------------------------------------------------------------
@@ -425,36 +491,38 @@ class ContinuousBatchingOnlineServer(OnlineServer):
         self.batch_size = batch_size
         self.batched_pricing = batched_pricing
 
-    def _reset(self, timeline: Timeline) -> None:
-        self._pool: list[RequestState] = []
+    def _reset(self, timeline: Timeline, pool: RequestPool) -> None:
+        self._active = EMPTY_IDS
         self._cache = self.system._make_kv_cache()
         self._prev_last_task: TaskRef | None = None
         self._engine = self.system.make_engine(
-            timeline, batched_pricing=self.batched_pricing
+            timeline, pool, batched_pricing=self.batched_pricing
         )
 
     def _busy(self) -> bool:
-        return bool(self._pool)
+        return bool(self._active.size)
 
     def _iterate(self, clock: float) -> float:
         system = self.system
         stages = system.placement.stages
         engine = self._engine
+        pool = self._pool
 
-        admitted: list[RequestState] = []
+        admitted: list[int] = []
         while (
             self._queue
-            and len(self._pool) + len(admitted) < self.batch_size
+            and self._active.size + len(admitted) < self.batch_size
             and len(admitted) < system.max_prefills_per_iteration
         ):
             candidate = self._queue[0]
-            if not system._admit(self._cache, candidate):
+            if not system._admit(self._cache, pool, candidate):
                 break
             self._queue.popleft()
             admitted.append(candidate)
 
-        alive = [r for r in self._pool if not r.done]
-        if not alive and not admitted:
+        # The alive set is kept compacted between iterations.
+        alive = self._active
+        if not alive.size and not admitted:
             # KV cache full but nothing decoding would be a deadlock; the
             # pool is drained before this can happen, so only an impossible
             # single request reaches here.
@@ -462,18 +530,18 @@ class ContinuousBatchingOnlineServer(OnlineServer):
                 f"{self.name}: cannot admit any request; KV cache too small"
             )
 
+        admitted_ids = np.asarray(admitted, dtype=np.int64)
         plan = engine.plan()
         outcome = engine.mixed_iteration(
-            plan, stages, alive, admitted,
+            plan, stages, alive, admitted_ids,
             prev_last=self._prev_last_task, release_s=clock,
         )
         engine.commit(plan)
         self._prev_last_task = outcome.last
 
-        self._pool.extend(admitted)
-        for request in outcome.completed:
-            system._release(self._cache, request)
-        self._pool = [r for r in self._pool if not r.done]
+        for rid in outcome.completed.tolist():
+            system._release(self._cache, pool, rid)
+        self._active = pool.compact(np.concatenate([alive, admitted_ids]))
 
         return self._timeline.finish_time(outcome.last.task_id)
 
@@ -542,8 +610,8 @@ class ExeGPTOnlineServer(OnlineServer):
             enabled=self.dynamic_adjustment,
         )
 
-    def _reset(self, timeline: Timeline) -> None:
-        self._pool: list[RequestState] = []
+    def _reset(self, timeline: Timeline, pool: RequestPool) -> None:
+        self._active = EMPTY_IDS
         self._adjuster = self._make_adjuster()
         self._decode_target = max(int(round(self._adjuster.target_decode_batch)), 1)
         self._freed_last_cycle = 0
@@ -555,26 +623,38 @@ class ExeGPTOnlineServer(OnlineServer):
             timeline,
             self.profile,
             self.placement,
+            pool,
             decoder_only=self.decoder_only,
             batched_pricing=self.batched_pricing,
         )
 
     def _busy(self) -> bool:
-        return bool(self._pool) or bool(self._handover)
+        return bool(self._active.size) or bool(self._handover)
 
-    def _admit_from_queue(self) -> list[RequestState]:
-        admitted = self._adjuster.admit(
-            list(self._queue), len(self._pool), self._freed_last_cycle
+    def _admit_from_queue(self) -> np.ndarray:
+        adjuster = self._adjuster
+        head = np.fromiter(
+            islice(self._queue, adjuster.max_admit), dtype=np.int64
         )
-        for request in admitted:
+        count = adjuster.admit_count(
+            self._pool.input_lens(head), self._active.size, self._freed_last_cycle
+        )
+        admitted = head[:count]
+        for _ in range(count):
             self._queue.popleft()
-            request.admitted_cycle = self._cycles
+        self._pool.set_admitted_cycle(admitted, self._cycles)
         return admitted
 
     def _iterate(self, clock: float) -> float:
         if self.is_waa:
-            return self._iterate_waa(clock)
-        return self._iterate_rra(clock)
+            next_clock = self._iterate_waa(clock)
+        else:
+            next_clock = self._iterate_rra(clock)
+        # The single compaction point of a cycle: both policies shed the
+        # cycle's completed requests here, so the alive-set bookkeeping
+        # cannot diverge between the RRA and WAA paths.
+        self._active = self._pool.compact(self._active)
+        return next_clock
 
     # -- RRA: encode phase + N_D decode iterations per cycle ---------------------
 
@@ -588,16 +668,16 @@ class ExeGPTOnlineServer(OnlineServer):
 
         plan = engine.plan()
         encode_last_tasks: list[TaskRef] = []
-        if admitted:
-            groups = split_into_micro_batches(admitted, micro_batches)
+        if admitted.size:
+            groups = split_ids(admitted, micro_batches)
             encode_last_tasks = engine.encode_phase(
                 plan, stages, groups, release_s=clock
             )
-            self._pool.extend(admitted)
+            self._active = np.concatenate([self._active, admitted])
 
         self._freed_last_cycle = 0
-        if self._pool:
-            groups = split_into_micro_batches(self._pool, micro_batches)
+        if self._active.size:
+            groups = split_ids(self._active, micro_batches)
             prev_iter_last: dict[int, TaskRef] = {}
             for iteration in range(self.config.decode_iterations):
                 outcome = engine.decode_iteration(
@@ -611,7 +691,6 @@ class ExeGPTOnlineServer(OnlineServer):
                 self._freed_last_cycle += outcome.freed
                 if not outcome.any_alive:
                     break
-            self._pool = [r for r in self._pool if not r.done]
         engine.commit(plan)
 
         self._cycles += 1
@@ -630,8 +709,8 @@ class ExeGPTOnlineServer(OnlineServer):
 
         plan = engine.plan()
         transfer_task: TaskRef | None = None
-        admitted = self._admit_from_queue() if self._queue else []
-        if admitted:
+        admitted = self._admit_from_queue() if self._queue else EMPTY_IDS
+        if admitted.size:
             _, enc_last = engine.encode_chain(
                 plan,
                 encode_stages,
@@ -645,11 +724,13 @@ class ExeGPTOnlineServer(OnlineServer):
             )
 
         # Merge at most one previously encoded batch into the decode pool.
-        merge_deps = self._handover.merge_one(self._pool, transfer_task)
+        self._active, merge_deps = self._handover.merge_one(
+            self._active, transfer_task
+        )
 
         self._freed_last_cycle = 0
-        if self._pool:
-            groups = split_into_micro_batches(self._pool, self.config.micro_batches)
+        if self._active.size:
+            groups = split_ids(self._active, self.config.micro_batches)
             outcome = engine.decode_iteration(
                 plan,
                 decode_stages,
@@ -660,7 +741,6 @@ class ExeGPTOnlineServer(OnlineServer):
                 release_s=clock,
             )
             self._freed_last_cycle = outcome.freed
-            self._pool = [r for r in self._pool if not r.done]
         engine.commit(plan)
 
         self._cycles += 1

@@ -87,18 +87,26 @@ def _fresh_trace(trace):
 
 
 def _golden_cases():
-    """name -> callable producing a RunResult (built lazily, run fresh)."""
+    """name -> callable producing a RunResult (built lazily, run fresh).
+
+    Every case takes ``columnar``: the replays must be bit-identical on the
+    columnar :class:`~repro.engine.pool.RequestPool` *and* the per-object
+    :class:`~repro.engine.pool.ListPool` reference backend, which is what
+    licenses the perf harness's list-vs-columnar comparison.
+    """
     simulator, encdec_simulator, trace = _build_world()
 
-    def rra():
+    def rra(columnar=True):
         config = ScheduleConfig(SchedulePolicy.RRA, encode_batch=8, decode_iterations=8)
-        return XRunner(simulator, config).run(trace)
+        return XRunner(simulator, config, columnar=columnar).run(trace)
 
-    def rra_static():
+    def rra_static(columnar=True):
         config = ScheduleConfig(SchedulePolicy.RRA, encode_batch=8, decode_iterations=8)
-        return XRunner(simulator, config, dynamic_adjustment=False).run(trace)
+        return XRunner(
+            simulator, config, dynamic_adjustment=False, columnar=columnar
+        ).run(trace)
 
-    def rra_tp():
+    def rra_tp(columnar=True):
         from repro.core.config import TensorParallelConfig
 
         config = ScheduleConfig(
@@ -107,43 +115,43 @@ def _golden_cases():
             decode_iterations=4,
             tensor_parallel=TensorParallelConfig(degree=2, num_gpus=4),
         )
-        return XRunner(simulator, config).run(trace)
+        return XRunner(simulator, config, columnar=columnar).run(trace)
 
-    def waa_c():
+    def waa_c(columnar=True):
         config = ScheduleConfig(SchedulePolicy.WAA_C, encode_batch=2, micro_batches=2)
-        return XRunner(simulator, config).run(trace)
+        return XRunner(simulator, config, columnar=columnar).run(trace)
 
-    def waa_m():
+    def waa_m(columnar=True):
         config = ScheduleConfig(SchedulePolicy.WAA_M, encode_batch=2, micro_batches=1)
-        return XRunner(simulator, config).run(trace)
+        return XRunner(simulator, config, columnar=columnar).run(trace)
 
-    def waa_encdec():
+    def waa_encdec(columnar=True):
         config = ScheduleConfig(SchedulePolicy.WAA_C, encode_batch=2, micro_batches=1)
-        return XRunner(encdec_simulator, config).run(trace)
+        return XRunner(encdec_simulator, config, columnar=columnar).run(trace)
 
-    def orca():
+    def orca(columnar=True):
         system = Orca(
             profile=simulator.profile,
             input_distribution=simulator.input_distribution,
             output_distribution=simulator.output_distribution,
         )
-        return system.run(trace, batch_size=16)
+        return system.run(trace, batch_size=16, columnar=columnar)
 
-    def vllm():
+    def vllm(columnar=True):
         system = Vllm(
             profile=simulator.profile,
             input_distribution=simulator.input_distribution,
             output_distribution=simulator.output_distribution,
         )
-        return system.run(trace, batch_size=8)
+        return system.run(trace, batch_size=8, columnar=columnar)
 
-    def ft():
+    def ft(columnar=True):
         system = FasterTransformer(
             profile=simulator.profile,
             input_distribution=simulator.input_distribution,
             output_distribution=simulator.output_distribution,
         )
-        return system.run(trace, batch_size=16)
+        return system.run(trace, batch_size=16, columnar=columnar)
 
     return {
         "rra": rra,
@@ -194,20 +202,26 @@ def golden_cases():
     return _golden_cases()
 
 
+@pytest.mark.parametrize("columnar", [True, False], ids=["columnar", "list"])
 @pytest.mark.parametrize(
     "name",
     ["rra", "rra_static", "rra_tp", "waa_c", "waa_m", "waa_encdec",
      "orca", "vllm", "ft"],
 )
-def test_replay_matches_golden_fixture(golden_cases, name):
-    """Every replay path reproduces its pre-refactor output exactly."""
+def test_replay_matches_golden_fixture(golden_cases, name, columnar):
+    """Every replay path reproduces its pre-refactor output exactly.
+
+    Both request-pool backends are held to the same fixtures: the columnar
+    pool (production) and the per-object list reference backend the perf
+    harness benchmarks against.
+    """
     path = GOLDEN_DIR / f"{name}.json"
     assert path.exists(), (
         f"golden fixture {path} missing; regenerate with "
         "`PYTHONPATH=src python tests/core/test_runner_parity.py --regenerate`"
     )
     expected = json.loads(path.read_text())
-    actual = result_to_jsonable(golden_cases[name]())
+    actual = result_to_jsonable(golden_cases[name](columnar=columnar))
     assert actual.keys() == expected.keys()
     for key in expected:
         assert actual[key] == expected[key], f"{name}: field {key!r} diverged"

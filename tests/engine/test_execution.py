@@ -12,12 +12,13 @@ and pricing for every driver in the repo, so its invariants are load-bearing:
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import ScheduleConfig, SchedulePolicy
-from repro.engine.batching import split_into_micro_batches
+from repro.engine.batching import split_ids, split_into_micro_batches
 from repro.engine.execution import (
     DECODE,
     ENCODE,
@@ -25,6 +26,7 @@ from repro.engine.execution import (
     StageWork,
     price_work,
 )
+from repro.engine.pool import RequestPool
 from repro.engine.request import RequestState
 from repro.engine.timeline import Timeline
 from repro.workloads.trace import RequestSpec
@@ -35,6 +37,14 @@ def make_requests(output_lens, input_len=32):
         RequestState(spec=RequestSpec(i, input_len, out, 0.0))
         for i, out in enumerate(output_lens)
     ]
+
+
+def make_request_pool(output_lens, input_len=32) -> RequestPool:
+    pool = RequestPool()
+    pool.admit_specs(
+        RequestSpec(i, input_len, out, 0.0) for i, out in enumerate(output_lens)
+    )
+    return pool
 
 
 # ---------------------------------------------------------------------------
@@ -74,12 +84,12 @@ def _run_plan(simulator, output_lens, micro_batches, decode_iterations):
     config = ScheduleConfig(SchedulePolicy.RRA, encode_batch=4)
     placement = simulator.build_placement(config)
     timeline = Timeline()
+    pool = make_request_pool(output_lens)
     engine = ExecutionEngine(
-        timeline, simulator.profile, placement, decoder_only=True
+        timeline, simulator.profile, placement, pool, decoder_only=True
     )
-    requests = make_requests(output_lens)
     plan = engine.plan()
-    groups = split_into_micro_batches(requests, micro_batches)
+    groups = split_ids(pool.ids(), micro_batches)
     encode_last = engine.encode_phase(plan, placement.stages, groups)
     prev_last: dict[int, object] = {}
     for iteration in range(decode_iterations):
@@ -93,7 +103,7 @@ def _run_plan(simulator, output_lens, micro_batches, decode_iterations):
         if not outcome.any_alive:
             break
     engine.commit(plan)
-    return timeline, placement, engine, requests
+    return timeline, placement, engine, pool
 
 
 class TestGraphShape:
@@ -139,16 +149,17 @@ class TestGraphShape:
     def test_compaction_never_resurrects_finished_requests(
         self, tiny_simulator, output_lens, micro_batches
     ):
-        timeline, _, engine, requests = _run_plan(
+        timeline, _, engine, pool = _run_plan(
             tiny_simulator, output_lens, micro_batches, decode_iterations=64
         )
         # Every request generated exactly its output length: nothing kept
         # decoding after completion, nothing stopped short.
-        for request in requests:
-            assert request.generated == request.output_len
+        assert np.array_equal(pool.generated, pool.output_len)
         # Each request completes exactly once in the bookkeeping.
-        completed_ids = [r.request_id for r, _ in engine.bookkeeping.completions]
-        assert sorted(completed_ids) == sorted(r.request_id for r in requests)
+        completed_ids = np.concatenate(
+            [ids for ids, _ in engine.bookkeeping.completions]
+        )
+        assert sorted(completed_ids.tolist()) == pool.ids().tolist()
         # Compaction tasks always extend a decode chain, never precede one.
         tasks = timeline.tasks
         for task in tasks:
@@ -238,14 +249,14 @@ class TestPricingParity:
         config = ScheduleConfig(SchedulePolicy.RRA, encode_batch=4)
         placement = tiny_simulator.build_placement(config)
         timeline = Timeline()
+        pool = make_request_pool([4, 4, 3])
         engine = ExecutionEngine(
-            timeline, tiny_simulator.profile, placement,
+            timeline, tiny_simulator.profile, placement, pool,
             decoder_only=True, overhead_s=0.001,
         )
-        alive = make_requests([4, 4])
-        for request in alive:
-            request.advance()  # mid-generation pool
-        admitted = make_requests([3])
+        alive = pool.ids()[:2]
+        pool.advance(alive)  # mid-generation pool
+        admitted = pool.ids()[2:]
         plan = engine.plan()
         outcome = engine.mixed_iteration(plan, placement.stages, alive, admitted)
         engine.commit(plan)
@@ -257,7 +268,7 @@ class TestPricingParity:
                 placement.stages[0].tp_degree,
                 placement.stage_spans_nodes(placement.stages[0]),
                 2,
-                sum(r.context_length(True) for r in alive) / 2
+                pool.average_context(alive, True)
                 # context advanced by mixed_iteration itself:
                 - 1.0,
             ),
@@ -267,9 +278,9 @@ class TestPricingParity:
                 placement.stages[0].tp_degree,
                 placement.stage_spans_nodes(placement.stages[0]),
                 1.0,
-                admitted[0].input_len,
+                pool.input_len_of(int(admitted[0])),
             ),
         ]
         expected = price_work(tiny_simulator.profile, items, 0.001)
         assert task.duration_s == pytest.approx(float(expected.sum()), rel=1e-12)
-        assert outcome.completed == []
+        assert outcome.completed.size == 0

@@ -1,0 +1,259 @@
+"""Parity suite for the columnar request pool.
+
+:class:`~repro.engine.pool.ListPool` -- a list of per-request
+:class:`RequestState` objects driven with the historical per-object scans --
+is the executable specification; these tests drive it and the columnar
+:class:`~repro.engine.pool.RequestPool` through the same randomized
+admission/advance/compaction schedules and assert identical behaviour at
+every step:
+
+* grouped reductions (average input/context, context-token sums) agree,
+* advance returns the same first-token/completion id sets in the same
+  order, and over-advancing raises on both backends,
+* compaction filters the same ids in the same order, ids are *stable*
+  across compaction (a surviving id keeps denoting the same request), and
+  completed ids never resurrect,
+* alive/done counts agree (the columnar ones are O(1) counters),
+* timestamp stamping and final metric collection agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.pool import EMPTY_IDS, ListPool, RequestPool, RequestView, make_pool
+from repro.workloads.trace import RequestSpec
+
+REQUESTS = st.lists(
+    st.tuples(st.integers(1, 24), st.integers(1, 10)),
+    min_size=1,
+    max_size=32,
+)
+
+
+def _specs(lens):
+    return [
+        RequestSpec(100 + i, input_len, output_len, 0.0)
+        for i, (input_len, output_len) in enumerate(lens)
+    ]
+
+
+def _both(lens):
+    specs = _specs(lens)
+    columnar = RequestPool()
+    columnar.admit_specs(specs)
+    reference = ListPool()
+    reference.admit_specs(specs)
+    return columnar, reference
+
+
+class TestRandomScheduleParity:
+    @given(
+        lens=REQUESTS,
+        seed=st.integers(0, 2 ** 32 - 1),
+        decoder_only=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_admission_advance_compaction_match_reference(
+        self, lens, seed, decoder_only
+    ):
+        columnar, reference = _both(lens)
+        rng = np.random.default_rng(seed)
+        active = columnar.ids()
+        original_request_ids = {
+            int(rid): columnar.request_id_of(int(rid)) for rid in active
+        }
+        ever_done: set[int] = set()
+
+        for _ in range(64):
+            assert columnar.alive_count == reference.alive_count
+            assert columnar.done_count == reference.done_count
+            if active.size == 0:
+                break
+            # A random micro-batch of the standing pool advances one token.
+            mask = rng.random(active.size) < 0.7
+            group = active[mask]
+            group_alive_col = columnar.compact(group)
+            group_alive_ref = reference.compact(group)
+            assert np.array_equal(group_alive_col, group_alive_ref)
+
+            # Grouped reductions agree before the advance mutates state.
+            assert columnar.average_input(group_alive_col) == reference.average_input(
+                group_alive_ref
+            )
+            assert columnar.average_context(
+                group_alive_col, decoder_only
+            ) == reference.average_context(group_alive_ref, decoder_only)
+            assert columnar.context_token_sum(
+                group_alive_col, decoder_only
+            ) == reference.context_token_sum(group_alive_ref, decoder_only)
+            assert columnar.max_output_len(group_alive_col) == reference.max_output_len(
+                group_alive_ref
+            )
+
+            first_col, done_col = columnar.advance(group_alive_col)
+            first_ref, done_ref = reference.advance(group_alive_ref)
+            assert np.array_equal(first_col, first_ref)
+            assert np.array_equal(done_col, done_ref)
+
+            # No resurrection: completed ids stay completed forever.
+            ever_done.update(done_col.tolist())
+            active_col = columnar.compact(active)
+            active_ref = reference.compact(active)
+            assert np.array_equal(active_col, active_ref)
+            assert not ever_done.intersection(active_col.tolist())
+            active = active_col
+
+            # Id stability: surviving ids keep denoting the same requests.
+            for rid in active.tolist():
+                assert columnar.request_id_of(rid) == original_request_ids[rid]
+                assert reference.request_id_of(rid) == original_request_ids[rid]
+
+        assert np.array_equal(columnar.generated, np.asarray(
+            [s.generated for s in reference.states], dtype=np.int64
+        ))
+        assert np.array_equal(
+            columnar.done, np.asarray([s.done for s in reference.states])
+        )
+
+    @given(lens=REQUESTS, seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_stamping_and_collection_match_reference(self, lens, seed):
+        columnar, reference = _both(lens)
+        rng = np.random.default_rng(seed)
+        ids = columnar.ids()
+        # Drive every request to completion in random batches.
+        active = ids
+        while active.size:
+            mask = rng.random(active.size) < 0.8
+            batch = columnar.compact(active[mask])
+            columnar.advance(batch)
+            reference.advance(batch)
+            active = columnar.compact(active)
+        starts = rng.random(ids.size)
+        finishes = starts + 1.0 + rng.random(ids.size)
+        for rid, start, finish in zip(ids.tolist(), starts, finishes):
+            one = np.array([rid], dtype=np.int64)
+            columnar.stamp_encode_start(one, float(start))
+            columnar.stamp_finish(one, float(finish))
+            reference.stamp_encode_start(one, float(start))
+            reference.stamp_finish(one, float(finish))
+        col = columnar.completion_arrays(ids)
+        ref = reference.completion_arrays(ids)
+        assert np.array_equal(col[0], ref[0])  # latencies
+        assert np.array_equal(col[1], ref[1])  # completion times
+        assert np.array_equal(col[2], ref[2])  # output lengths
+        assert col[3] == ref[3]  # generated tokens
+
+
+class TestAdvanceGuards:
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_over_advance_raises(self, columnar):
+        pool = RequestPool() if columnar else ListPool()
+        ids = pool.admit_specs([RequestSpec(0, 4, 2, 0.0)])
+        pool.advance(ids, 2)
+        with pytest.raises(ValueError):
+            pool.advance(ids)
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_negative_advance_rejected(self, columnar):
+        pool = RequestPool() if columnar else ListPool()
+        ids = pool.admit_specs([RequestSpec(0, 4, 2, 0.0)])
+        with pytest.raises(ValueError):
+            pool.advance(ids, -1)
+
+    def test_unfinished_request_blocks_collection(self):
+        pool = RequestPool()
+        ids = pool.admit_specs([RequestSpec(7, 4, 2, 0.0)])
+        with pytest.raises(ValueError, match="did not complete"):
+            pool.completion_arrays(ids)
+
+
+class TestCountsAndIds:
+    def test_counts_are_incremental(self):
+        pool = RequestPool()
+        ids = pool.admit_specs(
+            [RequestSpec(i, 8, 1 + i % 3, 0.0) for i in range(9)]
+        )
+        assert pool.alive_count == 9
+        assert pool.done_count == 0
+        # Finish the output_len==1 third of the pool.
+        pool.advance(ids)
+        assert pool.done_count == 3
+        assert pool.alive_count == 6
+        assert pool.compact(ids).size == 6
+
+    def test_batch_admission_preserves_trace_order(self):
+        specs = [RequestSpec(50 - i, 4 + i, 2, 0.0) for i in range(5)]
+        pool = RequestPool()
+        ids = pool.admit_specs(specs)
+        assert ids.tolist() == [0, 1, 2, 3, 4]
+        assert [pool.request_id_of(i) for i in range(5)] == [50, 49, 48, 47, 46]
+        later = pool.admit_specs([RequestSpec(99, 3, 1, 2.5)])
+        assert later.tolist() == [5]  # append-only: earlier ids untouched
+        assert pool.input_len_of(0) == 4
+
+    def test_empty_compact_and_reductions(self):
+        pool = RequestPool()
+        pool.admit_specs([RequestSpec(0, 4, 2, 0.0)])
+        assert pool.compact(EMPTY_IDS).size == 0
+        assert pool.average_input(EMPTY_IDS) == 0.0
+        assert pool.average_context(EMPTY_IDS, True) == 0.0
+        assert pool.max_output_len(EMPTY_IDS) == 0
+
+    def test_make_pool_selects_backend(self):
+        from repro.core.distributions import SequenceDistribution
+        from repro.workloads.trace import WorkloadTrace
+
+        dist = SequenceDistribution.empirical([4, 5], name="d")
+        trace = WorkloadTrace(
+            "t", (RequestSpec(0, 4, 2, 0.0),), dist, dist
+        )
+        assert isinstance(make_pool(trace, columnar=True), RequestPool)
+        assert isinstance(make_pool(trace, columnar=False), ListPool)
+
+
+class TestRequestView:
+    def test_view_reads_and_writes_columns(self):
+        pool = RequestPool()
+        (rid,) = pool.admit_specs([RequestSpec(11, 6, 3, 0.25)]).tolist()
+        view = pool.view(rid)
+        assert isinstance(view, RequestView)
+        assert view.request_id == 11
+        assert view.input_len == 6
+        assert view.output_len == 3
+        assert view.arrival_s == 0.25
+        assert view.remaining == 3
+        assert not view.done
+        assert not view.started
+        assert view.latency_s == -1.0
+        assert view.context_length(decoder_only=True) == 6
+        assert view.context_length(decoder_only=False) == 1
+
+        view.advance(2)
+        assert pool.generated[rid] == 2
+        assert view.remaining == 1
+        assert view.context_length(decoder_only=True) == 8
+
+        view.encode_start_s = 1.0
+        view.admitted_cycle = 4
+        view.advance()
+        view.finish_s = 3.5
+        assert view.done
+        assert pool.done[rid]
+        assert pool.admitted_cycle[rid] == 4
+        assert view.latency_s == pytest.approx(2.5)
+        # The columns saw every write.
+        latencies, _, _, tokens = pool.completion_arrays(
+            np.array([rid], dtype=np.int64)
+        )
+        assert latencies[0] == pytest.approx(2.5)
+        assert tokens == 3
+
+    def test_list_pool_view_is_the_state(self):
+        pool = ListPool()
+        (rid,) = pool.admit_specs([RequestSpec(0, 4, 2, 0.0)]).tolist()
+        assert pool.view(rid) is pool.states[rid]

@@ -189,6 +189,57 @@ class TestSLAIntegration:
         assert result.attainment(generous) < 1.0
 
 
+class TestAggregateCaching:
+    """OnlineResult aggregates are computed once, not per property access.
+
+    Regression test for the O(n)-per-call aggregation: rate sweeps touch
+    ``completed``/``rejected``/percentiles many times per run, so the
+    summary must come from one cached pass over the records rather than a
+    fresh scan on every access.
+    """
+
+    def _result(self):
+        from repro.serving.online import OnlineRequestRecord
+
+        records = tuple(
+            OnlineRequestRecord(
+                request_id=i,
+                input_len=8,
+                output_len=4,
+                arrival_s=0.1 * i,
+                admitted_s=0.1 * i + 0.05,
+                first_token_s=0.1 * i + 0.2,
+                finish_s=0.1 * i + 1.0 if i % 3 else -1.0,
+                rejected=(i % 3 == 0),
+            )
+            for i in range(30)
+        )
+        return OnlineResult(
+            system="t", scenario="s", offered_rate_qps=1.0,
+            records=records, makespan_s=10.0,
+        )
+
+    def test_summary_matches_naive_recomputation(self):
+        result = self._result()
+        assert result.completed == sum(1 for r in result.records if r.completed)
+        assert result.rejected == sum(1 for r in result.records if r.rejected)
+        naive = sorted(
+            r.latency_s for r in result.records if r.completed and r.latency_s >= 0
+        )
+        assert result.latency_percentile(100.0) == pytest.approx(naive[-1])
+        assert result.mean_latency_s == pytest.approx(sum(naive) / len(naive))
+
+    def test_aggregates_scan_records_once(self):
+        result = self._result()
+        before = result.completed
+        assert "_columns" in result.__dict__  # summary pass ran and cached
+        # Mutating a record after the first access must not change the
+        # aggregates: they come from the cached columns, not a re-scan.
+        result.records[1].finish_s = -1.0
+        assert result.completed == before
+        assert result.to_run_result().num_requests == before
+
+
 class TestPagedCacheDriver:
     def test_vllm_driver_uses_paged_cache(
         self, tiny_profile, short_input_dist, short_output_dist, base_trace
