@@ -35,6 +35,7 @@ from repro.core.config import (
 )
 from repro.core.exegpt import ExeGPT
 from repro.core.scheduler import XScheduler
+from repro.serving.fleet import RoutingPolicy
 from repro.workloads.tasks import get_task
 from repro.workloads.synthetic import generate_task_trace
 
@@ -489,6 +490,147 @@ def bench_online_sweep(
     )
 
 
+@dataclass
+class FleetBench:
+    """Fleet rate sweep + routing-overhead scaling on the shared pool.
+
+    Two measurements back the fleet layer:
+
+    * **Capacity scaling** -- the maximum offered rate a single replica
+      sustains under the SLO versus a ``replicas``-wide JSQ fleet of the
+      same server, swept over one fleet-wide rate ladder.  The fleet must
+      sustain a strictly higher rate.
+    * **Routing-overhead scaling** -- per-routing-decision cost of the
+      least-outstanding-work policy (the one doing column reductions over
+      the shared pool) measured at two pool sizes.  Because a replica's
+      outstanding work reduces over its *own* id slices (queue + in-flight
+      batch), not the whole pool, the per-decision cost must stay
+      sub-linear in total pool size.
+
+    Attributes:
+        replicas: Fleet size of the capacity sweep.
+        routing: Routing policy of the capacity sweep.
+        rates: Offered-rate ladder (fleet-wide QPS).
+        slo_bound_s: p99 end-to-end SLO bound of the sweep.
+        single_qps: Highest sustained rate of one replica (0 if none).
+        fleet_qps: Highest sustained rate of the fleet (ladder-capped).
+        capacity_scaling: ``fleet_qps / single_qps``.
+        small_pool / large_pool: Request counts of the two overhead runs.
+        route_us_small / route_us_large: Mean per-routing-decision cost.
+        routing_overhead_ratio: ``route_us_large / route_us_small``.
+        pool_ratio: ``large_pool / small_pool``.
+    """
+
+    replicas: int
+    routing: str
+    rates: tuple[float, ...]
+    slo_bound_s: float
+    single_qps: float
+    fleet_qps: float
+    capacity_scaling: float
+    small_pool: int
+    large_pool: int
+    route_us_small: float
+    route_us_large: float
+    routing_overhead_ratio: float
+    pool_ratio: float
+
+
+class _TimedRouting(RoutingPolicy):
+    """Wraps a routing policy, accumulating wall time per select call."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.calls = 0
+        self.total_s = 0.0
+
+    def reset(self, fleet) -> None:
+        self.inner.reset(fleet)
+
+    def select(self, fleet, rid, clock):
+        start = time.perf_counter()
+        index = self.inner.select(fleet, rid, clock)
+        self.total_s += time.perf_counter() - start
+        self.calls += 1
+        return index
+
+    @property
+    def us_per_call(self) -> float:
+        if self.calls == 0:
+            return 0.0
+        return self.total_s / self.calls * 1e6
+
+
+def bench_fleet_sweep(
+    num_requests: int = 192,
+    replicas: int = 4,
+    rates: tuple[float, ...] = (4.0, 8.0, 16.0, 32.0, 64.0),
+    slo_bound_s: float = 10.0,
+    overhead_pools: tuple[int, int] = (256, 2048),
+) -> FleetBench:
+    """Sweep fleet-wide rates and measure routing-overhead scaling."""
+    from repro.serving.fleet import Fleet, LeastOutstandingWorkRouting
+    from repro.serving.online import ExeGPTOnlineServer
+    from repro.workloads.arrivals import PoissonProcess, attach_arrivals
+
+    engine = ExeGPT.for_task("OPT-13B", "S", max_encode_batch=32)
+    task = get_task("S")
+    config = REPLAY_CONFIG
+    trace = generate_task_trace(task, num_requests=num_requests, seed=0)
+    server = ExeGPTOnlineServer(engine.simulator, config)
+
+    def sustained(result) -> bool:
+        return (
+            result.completed == result.offered
+            and result.latency_percentile(99) <= slo_bound_s
+        )
+
+    # Warm the placement/context memos outside any comparison.
+    server.serve(attach_arrivals(trace, PoissonProcess(rates[0]), seed=1))
+
+    single_qps = 0.0
+    fleet_qps = 0.0
+    fleet = Fleet.homogeneous(server, replicas, routing="jsq")
+    for rate in rates:
+        online = attach_arrivals(trace, PoissonProcess(rate), seed=1)
+        if sustained(server.serve(online)):
+            single_qps = max(single_qps, rate)
+        if sustained(fleet.serve(online).fleet):
+            fleet_qps = max(fleet_qps, rate)
+
+    # Routing-overhead scaling: per-decision cost of the column-reducing
+    # policy at two pool sizes (same fleet size, same offered rate).
+    route_us: list[float] = []
+    for pool_size in overhead_pools:
+        big_trace = generate_task_trace(task, num_requests=pool_size, seed=0)
+        online = attach_arrivals(big_trace, PoissonProcess(rates[-1]), seed=1)
+        timed: RoutingPolicy = _TimedRouting(LeastOutstandingWorkRouting())
+        Fleet.homogeneous(server, replicas, routing=timed).serve(online)
+        route_us.append(timed.us_per_call)
+
+    pool_ratio = overhead_pools[1] / overhead_pools[0]
+    return FleetBench(
+        replicas=replicas,
+        routing="jsq",
+        rates=tuple(rates),
+        slo_bound_s=slo_bound_s,
+        single_qps=single_qps,
+        fleet_qps=fleet_qps,
+        capacity_scaling=(
+            fleet_qps / single_qps if single_qps > 0 else float("inf")
+        ),
+        small_pool=overhead_pools[0],
+        large_pool=overhead_pools[1],
+        route_us_small=route_us[0],
+        route_us_large=route_us[1],
+        routing_overhead_ratio=(
+            route_us[1] / route_us[0] if route_us[0] > 0 else float("inf")
+        ),
+        pool_ratio=pool_ratio,
+    )
+
+
 def make_record(
     estimate: EstimateBench,
     search: SearchBench,
@@ -496,6 +638,7 @@ def make_record(
     replay: ReplayBench | None = None,
     online: OnlineSweepBench | None = None,
     pool: PoolBench | None = None,
+    fleet: FleetBench | None = None,
 ) -> dict:
     """Assemble one machine-readable trajectory record."""
     record = {
@@ -524,6 +667,10 @@ def make_record(
         record["online_sweep"] = payload
     if pool is not None:
         record["replay_pool"] = dict(pool.__dict__)
+    if fleet is not None:
+        payload = dict(fleet.__dict__)
+        payload["rates"] = list(payload["rates"])
+        record["fleet_sweep"] = payload
     return record
 
 
@@ -534,13 +681,14 @@ def write_bench_record(
     replay: ReplayBench | None = None,
     online: OnlineSweepBench | None = None,
     pool: PoolBench | None = None,
+    fleet: FleetBench | None = None,
 ) -> dict:
     """Append one record to ``BENCH_search.json`` and return it.
 
     Only the harness CLI and the CI perf job (``BENCH_RECORD=1``) call this;
     plain test runs measure without touching the committed trajectory file.
     """
-    record = make_record(estimate, search, runner, replay, online, pool)
+    record = make_record(estimate, search, runner, replay, online, pool, fleet)
     doc = {
         "schema": 1,
         "benchmark": "search",
@@ -568,7 +716,8 @@ def main() -> None:
     replay = bench_replay()
     online = bench_online_sweep()
     pool = bench_pool_replay()
-    write_bench_record(estimate, search, runner, replay, online, pool)
+    fleet = bench_fleet_sweep()
+    write_bench_record(estimate, search, runner, replay, online, pool, fleet)
     print(f"estimate: {estimate.scalar_ms_per_point:.2f} ms/pt scalar, "
           f"{estimate.batch_us_per_point:.1f} us/pt batched "
           f"({estimate.speedup:.1f}x, worst rel err {estimate.worst_rel_err:.2e})")
@@ -589,6 +738,12 @@ def main() -> None:
           f"decode pool ~{pool.decode_pool_target}): "
           f"{pool.list_s:.3f} s list, {pool.columnar_s:.3f} s columnar "
           f"({pool.speedup:.1f}x, bit-identical={pool.bit_identical})")
+    print(f"fleet sweep ({fleet.replicas}x {fleet.routing}, "
+          f"p99 SLO {fleet.slo_bound_s:g} s): single {fleet.single_qps:g} qps, "
+          f"fleet {fleet.fleet_qps:g} qps ({fleet.capacity_scaling:.1f}x); "
+          f"routing {fleet.route_us_small:.1f} -> {fleet.route_us_large:.1f} "
+          f"us/decision over a {fleet.pool_ratio:.0f}x pool "
+          f"({fleet.routing_overhead_ratio:.2f}x)")
     print(f"wrote {BENCH_PATH}")
 
 

@@ -18,6 +18,7 @@ import pytest
 from harness import (
     BENCH_PATH,
     bench_estimate,
+    bench_fleet_sweep,
     bench_online_sweep,
     bench_pool_replay,
     bench_replay,
@@ -38,12 +39,15 @@ def bench_record():
     replay = bench_replay()
     online = bench_online_sweep()
     pool = bench_pool_replay()
+    fleet = bench_fleet_sweep()
     if os.environ.get("BENCH_RECORD") == "1":
         record = write_bench_record(
-            estimate, search, runner, replay, online, pool
+            estimate, search, runner, replay, online, pool, fleet
         )
     else:
-        record = make_record(estimate, search, runner, replay, online, pool)
+        record = make_record(
+            estimate, search, runner, replay, online, pool, fleet
+        )
     return {
         "estimate": estimate,
         "search": search,
@@ -51,6 +55,7 @@ def bench_record():
         "replay": replay,
         "online": online,
         "pool": pool,
+        "fleet": fleet,
         "record": record,
     }
 
@@ -119,12 +124,32 @@ def test_pool_replay_speedup_and_parity(bench_record):
     assert pool.speedup >= 1.3
 
 
+def test_fleet_capacity_scaling(bench_record):
+    fleet = bench_record["fleet"]
+    # A 4-replica JSQ fleet must sustain a strictly higher fleet-wide rate
+    # than one replica of the same server under the same SLO.
+    assert fleet.replicas >= 4
+    assert fleet.single_qps > 0
+    assert fleet.fleet_qps > fleet.single_qps
+
+
+def test_fleet_routing_overhead_sublinear(bench_record):
+    fleet = bench_record["fleet"]
+    # Routing prices outstanding work through column reductions over each
+    # replica's own id slices (queue + in-flight batch), never the whole
+    # pool, so the per-decision cost must stay sub-linear in pool size: an
+    # 8x pool may at most double it (in practice it stays ~flat).
+    assert fleet.pool_ratio >= 8.0
+    assert fleet.route_us_small > 0
+    assert fleet.routing_overhead_ratio < fleet.pool_ratio / 2.0
+
+
 def test_bench_record_complete(bench_record):
     record = bench_record["record"]
     assert record["search"]["space_points"] >= 65536
     assert set(record) >= {
         "timestamp", "host", "search_space", "estimate", "search", "runner",
-        "replay", "online_sweep", "replay_pool",
+        "replay", "online_sweep", "replay_pool", "fleet_sweep",
     }
     # The committed trajectory file exists; it is only appended to when
     # recording is explicitly enabled (BENCH_RECORD=1 or the harness CLI).

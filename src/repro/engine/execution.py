@@ -361,6 +361,17 @@ class KVHandover:
         self._incoming.pop(0)
         return np.concatenate([pool_ids, ids]), [transfer]
 
+    def pending_ids(self) -> np.ndarray:
+        """Ids of every queued batch (encoded, not yet merged), in order."""
+        if not self._incoming:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([ids for ids, _ in self._incoming])
+
+    @property
+    def pending_count(self) -> int:
+        """Total ids queued across batches (no concatenation)."""
+        return sum(ids.size for ids, _ in self._incoming)
+
     def __bool__(self) -> bool:
         return bool(self._incoming)
 

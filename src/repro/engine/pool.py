@@ -37,6 +37,19 @@ External callers that want one request's state use :meth:`RequestPool.view`,
 which returns a :class:`RequestView` -- a thin per-request window with the
 same attributes and properties :class:`RequestState` exposes, reading and
 writing the pool's columns.
+
+**Multi-owner discipline.**  Because ids are stable and every lifecycle
+operation touches only the ids it is given, one pool can safely back many
+*owners* at once -- e.g. a routing fleet (:mod:`repro.serving.fleet`) hands
+each replica a disjoint replica-local id slice of one shared pool.  Owners
+holding disjoint id arrays cannot observe each other's advances or
+compactions (no shared alive list exists to scan), a completed id dropped
+by one owner can never resurrect under another (the done mask is global and
+monotone), and fleet-wide aggregates (queue depth, throughput, outstanding
+work, SLO attainment) reduce over the shared columns -- O(1) counters or
+one gather per id slice -- with no per-replica bookkeeping.  The hypothesis
+suite pins this: interleaved schedules over disjoint slices of one shared
+pool match N independent pools exactly.
 """
 
 from __future__ import annotations
@@ -455,6 +468,29 @@ class RequestPool:
             return 0
         return int(self.output_len[ids].max())
 
+    def remaining_tokens(self, ids: np.ndarray) -> int:
+        """Total tokens the batch still owes (one gather-subtract-sum).
+
+        The outstanding-work column reduction behind least-outstanding-work
+        routing: finished members contribute zero, so an owner may pass its
+        whole (uncompacted) id slice.
+        """
+        if ids.size == 0:
+            return 0
+        return int(
+            np.maximum(self.output_len[ids] - self.generated[ids], 0).sum()
+        )
+
+    def done_count_of(self, ids: np.ndarray) -> int:
+        """Finished requests among ``ids`` (one mask reduction)."""
+        if ids.size == 0:
+            return 0
+        return int(np.count_nonzero(self.done[ids]))
+
+    def alive_count_of(self, ids: np.ndarray) -> int:
+        """Unfinished requests among ``ids`` (one mask reduction)."""
+        return int(ids.size) - self.done_count_of(ids)
+
     def input_lens_range(self, start: int, stop: int) -> np.ndarray:
         """Input-length window of admission-ordered ids ``[start, stop)``.
 
@@ -687,6 +723,15 @@ class ListPool:
         if ids.size == 0:
             return 0
         return max(self.states[rid].output_len for rid in ids.tolist())
+
+    def remaining_tokens(self, ids: np.ndarray) -> int:
+        return sum(self.states[rid].remaining for rid in ids.tolist())
+
+    def done_count_of(self, ids: np.ndarray) -> int:
+        return sum(1 for rid in ids.tolist() if self.states[rid].done)
+
+    def alive_count_of(self, ids: np.ndarray) -> int:
+        return sum(1 for rid in ids.tolist() if not self.states[rid].done)
 
     def input_lens_range(self, start: int, stop: int) -> np.ndarray:
         return np.array(

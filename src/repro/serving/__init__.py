@@ -3,10 +3,21 @@
 from repro.serving.evaluation import (
     ScenarioEvaluation,
     SystemMeasurement,
+    build_online_server,
     default_baselines,
     measure_baseline,
     measure_exegpt,
     speedup_over,
+)
+from repro.serving.fleet import (
+    Fleet,
+    FleetResult,
+    JoinShortestQueueRouting,
+    LeastOutstandingWorkRouting,
+    RoundRobinRouting,
+    RoutingPolicy,
+    known_routings,
+    make_routing,
 )
 from repro.serving.latency_bounds import (
     LatencyBoundSet,
@@ -21,25 +32,36 @@ from repro.serving.online import (
     OnlineResult,
     OnlineServer,
     RatePoint,
+    ServingLoop,
 )
 from repro.serving.sla import SLA, SLAKind
 
 __all__ = [
     "ContinuousBatchingOnlineServer",
     "ExeGPTOnlineServer",
+    "Fleet",
+    "FleetResult",
+    "JoinShortestQueueRouting",
     "LatencyBoundSet",
+    "LeastOutstandingWorkRouting",
     "OnlineEvaluator",
     "OnlineRequestRecord",
     "OnlineResult",
     "OnlineServer",
     "RatePoint",
+    "RoundRobinRouting",
+    "RoutingPolicy",
     "SLA",
     "SLAKind",
     "ScenarioEvaluation",
+    "ServingLoop",
     "SystemMeasurement",
+    "build_online_server",
     "default_baselines",
     "derive_latency_bounds",
     "ft_latency_range",
+    "known_routings",
+    "make_routing",
     "measure_baseline",
     "measure_exegpt",
     "speedup_over",

@@ -124,6 +124,65 @@ def measure_exegpt(
     )
 
 
+def build_online_server(
+    engine: ExeGPT,
+    system: str,
+    slo_bound_s: float,
+    max_queue: int = 512,
+    schedule_headroom: float = 0.7,
+):
+    """Configure one system's online server for an end-to-end SLO bound.
+
+    The single construction path behind :class:`~repro.serving.online.
+    OnlineEvaluator` and fleet builders: ``"exegpt"`` searches RRA/WAA
+    schedules under the headroom-scaled bound (retrying at the full bound
+    when the scaled one is infeasible), ``"orca"`` / ``"vllm"`` pick the
+    baseline's largest batch size whose worst case meets the scaled bound.
+    ``schedule_headroom`` is the fraction of the SLO given to the schedule
+    search / batch configuration; the remainder absorbs queueing.
+    """
+    from repro.serving.online import (
+        ContinuousBatchingOnlineServer,
+        ExeGPTOnlineServer,
+        OnlineServer,
+    )
+
+    if not 0 < schedule_headroom <= 1:
+        raise ValueError("schedule_headroom must be in (0, 1]")
+    key = system.lower()
+    bound = slo_bound_s * schedule_headroom
+    target_length = max(int(engine.output_distribution.percentile(99)), 1)
+    if key == "exegpt":
+        constraint = LatencyConstraint(bound_s=bound, target_length=target_length)
+        search = engine.schedule(constraint)
+        if search.best is None:
+            search = engine.schedule(
+                LatencyConstraint(bound_s=slo_bound_s, target_length=target_length)
+            )
+        if search.best is None:
+            raise ValueError(
+                f"no ExeGPT schedule satisfies the SLO bound {slo_bound_s:g}s"
+            )
+        server: OnlineServer = ExeGPTOnlineServer(
+            simulator=engine.simulator,
+            config=search.best.config,
+            max_queue=max_queue,
+        )
+    elif key in ("orca", "vllm"):
+        (baseline,) = default_baselines(engine, (key,))
+        batch = baseline.configure_for_bound(bound)
+        server = ContinuousBatchingOnlineServer(
+            system=baseline,
+            batch_size=batch,
+            max_queue=max_queue,
+        )
+    else:
+        raise KeyError(
+            f"unknown online system {system!r}; known: exegpt, orca, vllm"
+        )
+    return server
+
+
 def default_baselines(
     engine: ExeGPT, systems: tuple[str, ...] = ("ft",)
 ) -> list[BaselineSystem]:

@@ -1,0 +1,440 @@
+"""Multi-replica serving: a routing fleet over ONE shared request pool.
+
+The online drivers of :mod:`repro.serving.online` simulate one server; this
+module scales them out.  A :class:`Fleet` owns
+
+* **one shared** :class:`~repro.engine.pool.RequestPool` loaded from the
+  trace (the single source of request lifecycle state),
+* the **bounded admission queue**, realized as per-replica slices: each
+  replica's local queue holds at most its ``max_queue`` ids, and an arrival
+  is rejected at the *routing boundary* -- exactly when no routable replica
+  has queue space -- so fleet and single-server rejection accounting agree
+  by construction, and
+* **N steppable replicas** -- any :class:`~repro.serving.online.OnlineServer`
+  subclasses, homogeneous clones or per-replica schedules/placements --
+  each bound to the shared pool and its own
+  :class:`~repro.engine.timeline.Timeline`.
+
+Admission is an **id handoff**: the routing policy picks a replica and the
+request's id moves into that replica's local queue; the pool's columns are
+never copied or partitioned.  Because every pool operation touches only the
+ids it is given (see the multi-owner notes in :mod:`repro.engine.pool`),
+replicas operating on disjoint id slices cannot interfere, and fleet-wide
+aggregates -- queue depth, in-flight requests, outstanding work, completed
+counts -- are O(1) counters or single column reductions over the shared
+pool.
+
+Routing policies:
+
+* :class:`RoundRobinRouting` -- cyclic assignment, skipping full queues.
+* :class:`JoinShortestQueueRouting` -- fewest queued + in-flight requests;
+  ties break on the lower replica index (deterministic).
+* :class:`LeastOutstandingWorkRouting` -- smallest estimated drain time:
+  the replica's outstanding tokens (queued prefill + all remaining
+  generation, one column reduction per id slice) divided by its
+  cost-model service rate (:meth:`OnlineServer.service_rate`), so
+  heterogeneous replicas are compared in *time*, not tokens.
+
+The event loop is the same :class:`~repro.serving.online.ServingLoop` the
+single server runs, which is why a 1-replica fleet reproduces
+``OnlineServer.serve`` bit-identically -- the parity gate of the fleet test
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.pool import RequestPool
+from repro.engine.timeline import Timeline
+from repro.serving.online import (
+    OnlineResult,
+    OnlineServer,
+    ServingLoop,
+    make_records,
+)
+from repro.serving.sla import SLA
+from repro.workloads.trace import WorkloadTrace
+
+
+# ---------------------------------------------------------------------------
+# Routing policies
+# ---------------------------------------------------------------------------
+
+
+class RoutingPolicy:
+    """Base class of fleet routing policies.
+
+    A policy sees the fleet mid-run and picks the replica whose admission
+    queue receives an arrived request id.  It must only pick replicas with
+    queue space (``queue_depth < max_queue``) and return ``None`` when
+    every replica is full -- the fleet then rejects the arrival, which is
+    the only place a fleet rejects.  Selection must be deterministic.
+    """
+
+    #: Registry name of the policy.
+    name = "routing"
+
+    def reset(self, fleet: "Fleet") -> None:
+        """Clear per-run state before a serve."""
+
+    def select(self, fleet: "Fleet", rid: int, clock: float) -> int | None:
+        """Replica index to hand ``rid`` to, or ``None`` when all are full."""
+        raise NotImplementedError
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Cyclic assignment, skipping replicas whose queue is full."""
+
+    name = "round-robin"
+
+    def reset(self, fleet: "Fleet") -> None:
+        self._next = 0
+
+    def select(self, fleet: "Fleet", rid: int, clock: float) -> int | None:
+        replicas = fleet.replicas
+        n = len(replicas)
+        for offset in range(n):
+            i = (self._next + offset) % n
+            if replicas[i].queue_depth < replicas[i].max_queue:
+                self._next = (i + 1) % n
+                return i
+        return None
+
+
+class JoinShortestQueueRouting(RoutingPolicy):
+    """Fewest outstanding *requests* (queued + in flight).
+
+    Both terms are O(1) per replica; ties break on the lower replica
+    index, so routing is deterministic.
+    """
+
+    name = "jsq"
+
+    def select(self, fleet: "Fleet", rid: int, clock: float) -> int | None:
+        best: int | None = None
+        best_load = -1
+        for i, replica in enumerate(fleet.replicas):
+            if replica.queue_depth >= replica.max_queue:
+                continue
+            load = replica.queue_depth + replica.in_flight
+            if best is None or load < best_load:
+                best, best_load = i, load
+        return best
+
+
+class LeastOutstandingWorkRouting(RoutingPolicy):
+    """Smallest estimated drain time, priced via the cost model.
+
+    Each replica's outstanding tokens (one column reduction over its
+    replica-local id slices of the shared pool) are divided by its
+    service rate (:meth:`OnlineServer.service_rate`, tokens/s from the
+    replica's cost model, computed once per serve), so replicas with
+    different schedules or placements are compared in estimated *time*.
+    Ties break on the lower replica index.
+    """
+
+    name = "least-outstanding-work"
+
+    def reset(self, fleet: "Fleet") -> None:
+        self._rates = tuple(
+            max(replica.service_rate(), 1e-12) for replica in fleet.replicas
+        )
+
+    def select(self, fleet: "Fleet", rid: int, clock: float) -> int | None:
+        best: int | None = None
+        best_cost = float("inf")
+        for i, replica in enumerate(fleet.replicas):
+            if replica.queue_depth >= replica.max_queue:
+                continue
+            cost = replica.outstanding_tokens() / self._rates[i]
+            if best is None or cost < best_cost:
+                best, best_cost = i, cost
+        return best
+
+
+ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
+    "round-robin": RoundRobinRouting,
+    "rr": RoundRobinRouting,
+    "jsq": JoinShortestQueueRouting,
+    "join-shortest-queue": JoinShortestQueueRouting,
+    "low": LeastOutstandingWorkRouting,
+    "least-outstanding-work": LeastOutstandingWorkRouting,
+}
+
+
+def known_routings() -> tuple[str, ...]:
+    """Names of the registered routing policies (aliases included)."""
+    return tuple(sorted(ROUTING_POLICIES))
+
+
+def make_routing(policy: str | RoutingPolicy) -> RoutingPolicy:
+    """Instantiate a routing policy from its registry name.
+
+    A :class:`RoutingPolicy` instance passes through unchanged (so a fleet
+    can be handed a pre-configured policy object).
+    """
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    key = policy.lower()
+    if key not in ROUTING_POLICIES:
+        known = ", ".join(known_routings())
+        raise KeyError(f"unknown routing policy {policy!r}; known: {known}")
+    return ROUTING_POLICIES[key]()
+
+
+# ---------------------------------------------------------------------------
+# Fleet result
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of serving one arrival-stamped trace through a fleet.
+
+    Attributes:
+        fleet: Fleet-wide :class:`OnlineResult` over every offered request
+            (the result rate sweeps and SLOs are checked against).
+        replicas: Per-replica :class:`OnlineResult`\\ s over the requests
+            each replica served, in replica order (rejected requests
+            belong to no replica).
+        assignments: Replica index per pool id (-1 for rejected arrivals).
+        routing: Name of the routing policy that produced the assignment.
+    """
+
+    fleet: OnlineResult
+    replicas: tuple[OnlineResult, ...]
+    assignments: np.ndarray
+    routing: str
+
+    @property
+    def num_replicas(self) -> int:
+        """Deployment size."""
+        return len(self.replicas)
+
+    @property
+    def offered(self) -> int:
+        """Requests that arrived (fleet-wide)."""
+        return self.fleet.offered
+
+    @property
+    def completed(self) -> int:
+        """Requests that finished generation (fleet-wide)."""
+        return self.fleet.completed
+
+    @property
+    def rejected(self) -> int:
+        """Arrivals rejected at the routing boundary."""
+        return self.fleet.rejected
+
+    @property
+    def makespan_s(self) -> float:
+        """Fleet makespan: the slowest replica's timeline."""
+        return self.fleet.makespan_s
+
+    def attainment(self, sla: SLA) -> float:
+        """Fleet-wide SLO attainment over offered requests."""
+        return self.fleet.attainment(sla)
+
+    def satisfies(self, sla: SLA, max_rejection_rate: float = 0.0) -> bool:
+        """Whether the fleet-wide run sustains the SLO."""
+        return self.fleet.satisfies(sla, max_rejection_rate)
+
+    def routed_counts(self) -> np.ndarray:
+        """Requests routed to each replica (one bincount)."""
+        placed = self.assignments[self.assignments >= 0]
+        return np.bincount(placed, minlength=len(self.replicas))
+
+
+# ---------------------------------------------------------------------------
+# The fleet
+# ---------------------------------------------------------------------------
+
+
+class Fleet:
+    """N steppable replicas behind a routing policy, over one shared pool.
+
+    Args:
+        replicas: The replica servers (any :class:`OnlineServer`
+            subclasses; schedules/placements may differ per replica).
+            Each is reset against the shared pool at every serve.
+        routing: Routing policy (name or instance); see
+            :data:`ROUTING_POLICIES`.
+        name: Fleet name used in fleet-wide results; defaults to
+            ``"<first replica>x<N>-<policy>"``.
+    """
+
+    def __init__(
+        self,
+        replicas,
+        routing: str | RoutingPolicy = "jsq",
+        name: str | None = None,
+    ) -> None:
+        self.replicas: list[OnlineServer] = list(replicas)
+        if not self.replicas:
+            raise ValueError("a fleet needs at least one replica")
+        if len({id(replica) for replica in self.replicas}) != len(self.replicas):
+            raise ValueError(
+                "fleet replicas must be distinct server objects (one engine "
+                "cannot be stepped as two replicas); clone() the server or "
+                "use Fleet.homogeneous"
+            )
+        self.routing = make_routing(routing)
+        self.name = name or (
+            f"{self.replicas[0].name}x{len(self.replicas)}-{self.routing.name}"
+        )
+        self._pool: RequestPool | None = None
+
+    @classmethod
+    def homogeneous(
+        cls,
+        server: OnlineServer,
+        replicas: int,
+        routing: str | RoutingPolicy = "jsq",
+        name: str | None = None,
+    ) -> "Fleet":
+        """A fleet of ``replicas`` clones of one server.
+
+        The prototype itself is left untouched (it keeps working as a
+        single server); clones share its configuration objects but carry
+        independent per-run state.
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        clones = [
+            server.clone(name=f"{server.name}#{i}") for i in range(replicas)
+        ]
+        fleet_name = name or (
+            f"{server.name}x{replicas}-{make_routing(routing).name}"
+        )
+        return cls(clones, routing=routing, name=fleet_name)
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    # -- fleet-wide mid-run reductions ---------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Ids queued across every replica (O(replicas))."""
+        return sum(replica.queue_depth for replica in self.replicas)
+
+    @property
+    def in_flight(self) -> int:
+        """Ids admitted into engines and unfinished (O(replicas))."""
+        return sum(replica.in_flight for replica in self.replicas)
+
+    @property
+    def completed_count(self) -> int:
+        """Requests finished fleet-wide: the shared pool's O(1) counter."""
+        if self._pool is None:
+            return 0
+        return self._pool.done_count
+
+    def outstanding_tokens(self) -> int:
+        """Tokens owed fleet-wide (one column reduction per id slice)."""
+        return sum(replica.outstanding_tokens() for replica in self.replicas)
+
+    # -- serving --------------------------------------------------------------------
+
+    def serve(
+        self,
+        trace: WorkloadTrace,
+        scenario: str = "",
+        offered_rate_qps: float = 0.0,
+    ) -> FleetResult:
+        """Serve an arrival-stamped trace through the fleet.
+
+        Loads the trace into ONE shared :class:`RequestPool`, resets every
+        replica against it (each on its own timeline), and drives the
+        shared :class:`ServingLoop`: every arrival is routed -- an id
+        handoff into the selected replica's bounded local queue -- or
+        rejected when the policy finds every queue full.  After the loop
+        drains, each replica resolves its engine bookkeeping into the
+        shared records.
+        """
+        if len(trace) == 0:
+            raise ValueError("trace must contain at least one request")
+        pool = RequestPool.from_trace(trace)
+        self._pool = pool
+        records = make_records(pool)
+        assignments = np.full(len(pool), -1, dtype=np.int64)
+        for replica in self.replicas:
+            replica.reset(Timeline(), pool)
+        self.routing.reset(self)
+
+        def route(rid: int, clock: float) -> bool:
+            index = self.routing.select(self, rid, clock)
+            if index is None:
+                return False
+            if not self.replicas[index].enqueue(rid):
+                raise RuntimeError(
+                    f"routing policy {self.routing.name} selected replica "
+                    f"{index} with a full queue"
+                )
+            assignments[rid] = index
+            return True
+
+        def reject(rid: int) -> None:
+            records[rid].rejected = True
+
+        loop = ServingLoop(
+            pool, self.replicas, route=route, on_reject=reject, name=self.name
+        )
+        iterations = loop.run()
+        for replica in self.replicas:
+            replica.resolve_records(records)
+
+        # Rejection accounting, asserted at the fleet boundary: the ids
+        # with no assignment are exactly the rejected records (rejection
+        # happens at routing and nowhere else), so fleet rejection_rate is
+        # the single-server semantics by construction.
+        rejected_ids = set(np.flatnonzero(assignments < 0).tolist())
+        rejected_records = {
+            rid for rid, record in records.items() if record.rejected
+        }
+        if rejected_ids != rejected_records:
+            raise RuntimeError(
+                f"fleet {self.name}: rejection accounting diverged "
+                f"({len(rejected_ids)} unassigned vs "
+                f"{len(rejected_records)} rejected records)"
+            )
+
+        ordered = tuple(records[rid] for rid in range(len(pool)))
+        makespans = [replica._timeline.makespan_s for replica in self.replicas]
+        fleet_result = OnlineResult(
+            system=self.name,
+            scenario=scenario,
+            offered_rate_qps=offered_rate_qps,
+            records=ordered,
+            makespan_s=max(makespans),
+            extra={
+                "iterations": float(iterations),
+                "replicas": float(len(self.replicas)),
+            },
+        )
+        per_replica = []
+        counts = loop.iteration_counts
+        for i, replica in enumerate(self.replicas):
+            mine = tuple(
+                records[rid]
+                for rid in np.flatnonzero(assignments == i).tolist()
+            )
+            per_replica.append(
+                OnlineResult(
+                    system=replica.name,
+                    scenario=scenario,
+                    offered_rate_qps=0.0,
+                    records=mine,
+                    makespan_s=makespans[i],
+                    extra=replica._extra(counts[i]),
+                )
+            )
+        return FleetResult(
+            fleet=fleet_result,
+            replicas=tuple(per_replica),
+            assignments=assignments,
+            routing=self.routing.name,
+        )

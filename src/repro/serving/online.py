@@ -41,10 +41,21 @@ baselines, so the online and offline simulators share one implementation of
 execution semantics, and each iteration's stage durations are resolved
 through batched profile lookups rather than per-task scalar calls.
 
+Every server is a **steppable replica**: the arrival-ingest / clock /
+termination loop lives in :class:`ServingLoop`, not in the server, and the
+server exposes ``reset(timeline, pool)`` / ``enqueue(rid)`` / ``busy`` /
+``iterate(clock) -> next_time`` over replica-local id arrays into a request
+pool it does not own.  ``OnlineServer.serve`` is simply the 1-replica
+instantiation of that loop; :class:`~repro.serving.fleet.Fleet` runs N
+replicas behind a routing policy over ONE shared pool through the *same*
+loop, which is why a 1-replica fleet reproduces the single server
+bit-identically.
+
 :class:`OnlineEvaluator` sweeps offered request rates per traffic scenario
 and reports the maximum sustainable QPS: the highest offered rate at which a
 system completes every request (no admission-queue overflow) while meeting
-the latency SLO.
+the latency SLO -- for a single server or, with ``replicas=N``, for an
+N-replica fleet deployment.
 """
 
 from __future__ import annotations
@@ -57,7 +68,7 @@ from itertools import islice
 import numpy as np
 
 from repro.baselines.base import BaselineSystem
-from repro.core.config import LatencyConstraint, ScheduleConfig
+from repro.core.config import ScheduleConfig
 from repro.core.dynamic import DynamicWorkloadAdjuster
 from repro.core.simulator import XSimulator
 from repro.engine.batching import split_ids
@@ -316,19 +327,163 @@ class OnlineResult:
 
 
 # ---------------------------------------------------------------------------
-# Server base: admission queue + arrival-driven loop
+# The shared event loop: arrival ingest, clock, termination
+# ---------------------------------------------------------------------------
+
+
+def make_records(pool: RequestPool) -> dict[int, OnlineRequestRecord]:
+    """Blank per-request records for every id of a pool, keyed by id."""
+    return {
+        rid: OnlineRequestRecord(
+            request_id=pool.request_id_of(rid),
+            input_len=pool.input_len_of(rid),
+            output_len=pool.output_len_of(rid),
+            arrival_s=pool.arrival_of(rid),
+        )
+        for rid in range(len(pool))
+    }
+
+
+class ServingLoop:
+    """The arrival-ingest / clock / termination loop of online serving.
+
+    One implementation drives both the single server
+    (:meth:`OnlineServer.serve` runs it over ``[self]``) and the routing
+    fleet (:meth:`repro.serving.fleet.Fleet.serve` runs it over N
+    replicas); a 1-replica fleet therefore reproduces the single server's
+    decisions bit for bit.
+
+    The loop is event-driven over two event kinds: *arrivals*, read off
+    the pool's ``arrival_s`` column in (arrival time, request id) order,
+    and *replica readiness*, the next-start clock each ``iterate`` call
+    returns.  Invariants:
+
+    * Every arrival with ``arrival_s <= clock`` is offered to ``route``
+      (an id handoff into some replica's bounded admission queue) before
+      any replica iterates at ``clock``; when ``route`` cannot place the
+      id, the arrival is rejected -- permanently -- via ``on_reject``.
+    * Among replicas with pending work (a queued id or engine work), the
+      one with the earliest next-ready clock acts; ties break on the
+      lower replica index, so interleaving is deterministic.
+    * When no replica has work, the clock skips to the next arrival.
+
+    Args:
+        pool: The (shared) request pool whose arrival column feeds the loop.
+        replicas: Steppable replicas (:class:`OnlineServer` instances,
+            already ``reset`` against ``pool``).
+        route: ``route(rid, clock) -> bool`` -- hand an arrived id to some
+            replica's queue; ``False`` means every eligible queue was full.
+        on_reject: Called once for each arrival that could not be placed.
+        max_iterations: Convergence guard over total ``iterate`` calls.
+        name: Label used in the convergence error.
+    """
+
+    def __init__(
+        self,
+        pool: RequestPool,
+        replicas,
+        route,
+        on_reject,
+        max_iterations: int = _MAX_ITERATIONS,
+        name: str = "online",
+    ) -> None:
+        self.pool = pool
+        self.replicas = list(replicas)
+        if not self.replicas:
+            raise ValueError("ServingLoop needs at least one replica")
+        self.route = route
+        self.on_reject = on_reject
+        self.max_iterations = max_iterations
+        self.name = name
+        #: Per-replica ``iterate`` call counts of the last :meth:`run`.
+        self.iteration_counts: list[int] = [0] * len(self.replicas)
+
+    def run(self) -> int:
+        """Drive until arrivals, queues and engines drain; returns the
+        total number of ``iterate`` calls across all replicas."""
+        pool = self.pool
+        replicas = self.replicas
+        # Arrival order: (arrival_s, request_id), a pointer into one sorted
+        # id array rather than a deque of objects.
+        order = np.lexsort((pool.request_id, pool.arrival_s))
+        arrival_s = pool.arrival_s
+        pos = 0
+        clock = 0.0
+        next_ready = [0.0] * len(replicas)
+        iterations = 0
+        self.iteration_counts = [0] * len(replicas)
+        while True:
+            # Ingest: offer every arrival with arrival_s <= clock to the
+            # router; un-placeable arrivals are rejected on the spot.
+            while pos < order.size and arrival_s[order[pos]] <= clock:
+                rid = int(order[pos])
+                pos += 1
+                if not self.route(rid, clock):
+                    self.on_reject(rid)
+            pending = [
+                i for i, r in enumerate(replicas) if r.queue_depth or r.busy
+            ]
+            if not pending:
+                if pos >= order.size:
+                    break
+                # Event-driven idle skip to the next arrival.
+                clock = max(clock, float(arrival_s[order[pos]]))
+                continue
+            index = min(pending, key=lambda i: (next_ready[i], i))
+            if next_ready[index] > clock:
+                # Advance the clock toward the replica's ready time, but
+                # never past the next arrival: arrivals in between must be
+                # routed (and rejections accounted) the moment they land --
+                # an idle replica picks them up at their arrival time, not
+                # when some busy replica frees up.
+                target = next_ready[index]
+                if pos < order.size:
+                    target = min(target, float(arrival_s[order[pos]]))
+                clock = target
+                continue
+            next_ready[index] = max(replicas[index].iterate(clock), clock)
+            self.iteration_counts[index] += 1
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise RuntimeError(
+                    f"online serving loop {self.name} did not converge"
+                )
+        return iterations
+
+
+# ---------------------------------------------------------------------------
+# Server base: a steppable replica with a bounded admission queue
 # ---------------------------------------------------------------------------
 
 
 class OnlineServer:
-    """Base class of the online serving drivers.
+    """Base class of the online serving drivers -- a *steppable replica*.
 
-    Owns the columnar request pool, the bounded admission queue and the
-    arrival-driven event loop; subclasses implement one engine iteration
-    (admit queued ids, plan the iteration's stage tasks through the shared
-    :class:`ExecutionEngine`, advance the pool) and report the next
-    iteration's start clock.  The engine's deferred bookkeeping is resolved
-    once, after the loop drains, into the per-request records.
+    A server owns its scheduling policy and per-run engine state, but
+    neither the request pool nor the event loop: :meth:`reset` binds it to
+    a timeline and a (possibly shared) pool, after which a driver -- its
+    own :meth:`serve` in the single-server case, a
+    :class:`~repro.serving.fleet.Fleet` for N replicas behind a router --
+    hands it request ids (:meth:`enqueue`) and steps it (:meth:`iterate`)
+    through the shared :class:`ServingLoop`.  The server only ever touches
+    the replica-local ids routed to it, so any number of replicas can
+    operate on disjoint id slices of one shared pool.
+
+    Subclasses implement one engine iteration (admit queued ids, plan the
+    iteration's stage tasks through the shared :class:`ExecutionEngine`,
+    advance the pool) and report the next iteration's start clock; the
+    engine's deferred bookkeeping is resolved once, after the loop drains,
+    by :meth:`resolve_records`.
+
+    **Admission-queue bound.**  ``max_queue`` is the capacity of the
+    replica-local admission queue, enforced at the instant of handoff:
+    :meth:`enqueue` refuses (returns ``False``) exactly when
+    ``queue_depth == max_queue``, and a refused arrival is *rejected* --
+    dropped permanently, never retried.  Draining the queue into the
+    engine is the subclass's scheduling policy and never rejects.  A fleet
+    applies the same per-replica bound at its routing boundary (an arrival
+    is rejected only when every routable replica's queue is full), so
+    single-server and fleet rejection accounting agree by construction.
 
     Args:
         name: System name used in results.
@@ -341,6 +496,8 @@ class OnlineServer:
         self.name = name
         self.max_queue = max_queue
         self._engine: ExecutionEngine | None = None
+        self._pool: RequestPool | None = None
+        self._queue: deque[int] = deque()
 
     # -- subclass hooks ----------------------------------------------------------
 
@@ -357,58 +514,93 @@ class OnlineServer:
         iteration's start clock (must make progress whenever work was done)."""
         raise NotImplementedError
 
-    # -- the serving loop ---------------------------------------------------------
+    def _in_flight_ids(self) -> np.ndarray:
+        """Ids admitted into the engine and not yet shed by compaction."""
+        return self._active
 
-    def serve(
-        self,
-        trace: WorkloadTrace,
-        scenario: str = "",
-        offered_rate_qps: float = 0.0,
-    ) -> OnlineResult:
-        """Serve an arrival-stamped trace and collect per-request records."""
-        if len(trace) == 0:
-            raise ValueError("trace must contain at least one request")
-        pool = RequestPool.from_trace(trace)
+    # -- steppable replica API ----------------------------------------------------
+
+    def reset(self, timeline: Timeline, pool: RequestPool) -> None:
+        """Bind the replica to a run: a fresh timeline and a (possibly
+        shared) request pool it does not own.  Clears the admission queue
+        and all per-run engine state."""
+        self._timeline = timeline
         self._pool = pool
-        records = {
-            rid: OnlineRequestRecord(
-                request_id=pool.request_id_of(rid),
-                input_len=pool.input_len_of(rid),
-                output_len=pool.output_len_of(rid),
-                arrival_s=pool.arrival_of(rid),
-            )
-            for rid in range(len(pool))
-        }
-        self._records = records
-        # Arrival order: (arrival_s, request_id), a pointer into one sorted
-        # id array rather than a deque of objects.
-        self._arrival_order = np.lexsort((pool.request_id, pool.arrival_s))
-        self._arrival_pos = 0
-        self._queue: deque[int] = deque()
-        self._timeline = Timeline()
-        self._reset(self._timeline, pool)
+        self._queue = deque()
+        self._reset(timeline, pool)
 
-        clock = 0.0
-        iterations = 0
-        while (
-            self._arrival_pos < self._arrival_order.size
-            or self._queue
-            or self._busy()
-        ):
-            self._ingest(clock)
-            if not self._queue and not self._busy():
-                if self._arrival_pos >= self._arrival_order.size:
-                    break
-                # Event-driven idle skip to the next arrival.
-                next_rid = int(self._arrival_order[self._arrival_pos])
-                clock = max(clock, pool.arrival_of(next_rid))
-                continue
-            next_clock = self._iterate(clock)
-            clock = max(next_clock, clock)
-            iterations += 1
-            if iterations > _MAX_ITERATIONS:
-                raise RuntimeError(f"online server {self.name} did not converge")
+    @property
+    def busy(self) -> bool:
+        """Whether admitted-but-unfinished work remains in the engine."""
+        return self._busy()
 
+    @property
+    def queue_depth(self) -> int:
+        """Ids waiting in the replica-local admission queue (O(1))."""
+        return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Ids admitted into the engine and not yet finished (O(1)).
+
+        Routing policies read this per replica per decision, so it must
+        count without materializing the id arrays (subclasses with extra
+        in-flight stashes override the *count*, not :meth:`_in_flight_ids`,
+        for this path).
+        """
+        return int(self._active.size)
+
+    def enqueue(self, rid: int) -> bool:
+        """Id handoff into the local admission queue.
+
+        Returns ``False`` -- without side effects -- when the queue is at
+        ``max_queue``; the caller must then reject the arrival (it is
+        never retried).
+        """
+        if len(self._queue) >= self.max_queue:
+            return False
+        self._queue.append(rid)
+        return True
+
+    def iterate(self, clock: float) -> float:
+        """Run one engine iteration starting at ``clock``; returns the
+        next iteration's start clock."""
+        return self._iterate(clock)
+
+    def outstanding_tokens(self) -> int:
+        """Tokens owed by everything routed to this replica.
+
+        Queued ids owe their prefill (input tokens) and full generation;
+        in-flight ids owe their remaining generation.  One column
+        reduction per id slice over the shared pool -- O(queue + batch),
+        independent of the pool's total size.
+        """
+        pool = self._pool
+        queued = np.fromiter(
+            self._queue, dtype=np.int64, count=len(self._queue)
+        )
+        return (
+            pool.total_input(queued)
+            + pool.remaining_tokens(queued)
+            + pool.remaining_tokens(self._in_flight_ids())
+        )
+
+    def service_rate(self) -> float:
+        """Cost-model estimate of the replica's token throughput (tokens/s).
+
+        Least-outstanding-work routing divides each replica's
+        :meth:`outstanding_tokens` by this rate, so replicas -- including
+        heterogeneous ones -- are compared in estimated drain *time*.
+        """
+        raise NotImplementedError
+
+    def clone(self, name: str | None = None) -> "OnlineServer":
+        """A fresh, identically configured server (a fleet replica)."""
+        raise NotImplementedError
+
+    def resolve_records(self, records: dict[int, OnlineRequestRecord]) -> None:
+        """Resolve the engine's deferred bookkeeping into the records of
+        the ids this replica served."""
         self._timeline.schedule_pending()
         bookkeeping = self._engine.bookkeeping
         for event, ids, when in bookkeeping.resolve_events(self._timeline):
@@ -421,6 +613,39 @@ class OnlineServer:
             else:
                 for rid in ids.tolist():
                     records[rid].finish_s = when
+
+    # -- the single-replica serving entry point -----------------------------------
+
+    def serve(
+        self,
+        trace: WorkloadTrace,
+        scenario: str = "",
+        offered_rate_qps: float = 0.0,
+    ) -> OnlineResult:
+        """Serve an arrival-stamped trace and collect per-request records.
+
+        The 1-replica instantiation of :class:`ServingLoop`: this server
+        is the only replica, routing is a direct :meth:`enqueue`, and an
+        arrival that finds the queue at ``max_queue`` is rejected.
+        """
+        if len(trace) == 0:
+            raise ValueError("trace must contain at least one request")
+        pool = RequestPool.from_trace(trace)
+        records = make_records(pool)
+        self.reset(Timeline(), pool)
+
+        def reject(rid: int) -> None:
+            records[rid].rejected = True
+
+        loop = ServingLoop(
+            pool,
+            [self],
+            route=lambda rid, clock: self.enqueue(rid),
+            on_reject=reject,
+            name=self.name,
+        )
+        iterations = loop.run()
+        self.resolve_records(records)
         ordered = tuple(records[rid] for rid in range(len(pool)))
         return OnlineResult(
             system=self.name,
@@ -433,24 +658,6 @@ class OnlineServer:
 
     def _extra(self, iterations: int) -> dict[str, float]:
         return {"iterations": float(iterations)}
-
-    # -- shared helpers -------------------------------------------------------------
-
-    def _ingest(self, clock: float) -> None:
-        """Move arrivals with ``arrival_s <= clock`` into the admission queue,
-        rejecting those that find the queue full."""
-        order = self._arrival_order
-        arrival_s = self._pool.arrival_s
-        while (
-            self._arrival_pos < order.size
-            and arrival_s[order[self._arrival_pos]] <= clock
-        ):
-            rid = int(order[self._arrival_pos])
-            self._arrival_pos += 1
-            if len(self._queue) >= self.max_queue:
-                self._records[rid].rejected = True
-                continue
-            self._queue.append(rid)
 
 
 # ---------------------------------------------------------------------------
@@ -490,6 +697,29 @@ class ContinuousBatchingOnlineServer(OnlineServer):
         self.system = system
         self.batch_size = batch_size
         self.batched_pricing = batched_pricing
+
+    def clone(self, name: str | None = None) -> "ContinuousBatchingOnlineServer":
+        return ContinuousBatchingOnlineServer(
+            system=self.system,
+            batch_size=self.batch_size,
+            max_queue=self.max_queue,
+            name=name or self.name,
+            batched_pricing=self.batched_pricing,
+        )
+
+    def service_rate(self) -> float:
+        """Token throughput of a full decode batch at the workload's mean
+        context, priced through the baseline's profiled stage times."""
+        system = self.system
+        context = (
+            system.input_distribution.mean + system.output_distribution.mean / 2.0
+        )
+        step_s = sum(
+            system.decode_times(system.placement.stages, self.batch_size, context)
+        )
+        if step_s <= 0:
+            return float("inf")
+        return self.batch_size / step_s
 
     def _reset(self, timeline: Timeline, pool: RequestPool) -> None:
         self._active = EMPTY_IDS
@@ -600,6 +830,30 @@ class ExeGPTOnlineServer(OnlineServer):
         self.batched_pricing = batched_pricing
         self.decoder_only = not self.model.is_encoder_decoder
         self.is_waa = config.policy.is_waa
+
+    def clone(self, name: str | None = None) -> "ExeGPTOnlineServer":
+        return ExeGPTOnlineServer(
+            simulator=self.simulator,
+            config=self.config,
+            max_queue=self.max_queue,
+            dynamic_adjustment=self.dynamic_adjustment,
+            name=name or self.name,
+            batched_pricing=self.batched_pricing,
+        )
+
+    def service_rate(self) -> float:
+        """The simulator's steady-state token throughput of the schedule."""
+        return self.simulator.estimate(self.config).throughput_tokens_per_s
+
+    @property
+    def in_flight(self) -> int:
+        """Decode pool plus batches waiting in the KV handover (O(1))."""
+        return int(self._active.size) + self._handover.pending_count
+
+    def _in_flight_ids(self) -> np.ndarray:
+        if not self._handover:
+            return self._active
+        return np.concatenate([self._active, self._handover.pending_ids()])
 
     def _make_adjuster(self) -> DynamicWorkloadAdjuster:
         decode_batch = self.simulator.derived_decode_batch(self.config)
@@ -798,6 +1052,17 @@ class OnlineEvaluator:
     checks the SLO; the *maximum sustainable QPS* is the highest offered rate
     whose run completes every request within the SLO.
 
+    Sweeps are fleet-aware: every measurement method accepts ``replicas``
+    (deployment size) and ``routing`` (policy name or
+    :class:`~repro.serving.fleet.RoutingPolicy`).  With ``replicas=1``
+    (default) the system's single server serves the trace; with
+    ``replicas=N`` an N-replica :class:`~repro.serving.fleet.Fleet` of
+    cloned servers serves it over one shared pool, the offered rate is the
+    *fleet-wide* rate, and the SLO is checked on the fleet-wide result
+    (per-replica results stay available via :meth:`fleet`).  Fleets are
+    cached per (system, replicas, policy) just like servers, so the
+    schedule search still runs once per system.
+
     The SLO is an :class:`~repro.serving.sla.SLA` evaluated against
     end-to-end latency (queueing included); ``max_rejection_rate`` relaxes
     the no-drops requirement.
@@ -844,77 +1109,89 @@ class OnlineEvaluator:
         self.max_rejection_rate = max_rejection_rate
         self.seed = seed
         self._servers: dict[str, OnlineServer] = {}
+        self._fleets: dict[tuple[str, int, str], object] = {}
         # Force the simulator's lazily built memoized context now and pin it
         # for the evaluator's lifetime (see the class docstring).
         self.context = engine.simulator.context
 
-    # -- server construction -------------------------------------------------------
-
-    def _target_length(self) -> int:
-        return max(int(self.engine.output_distribution.percentile(99)), 1)
+    # -- server / fleet construction -----------------------------------------------
 
     def server(self, system: str) -> OnlineServer:
         """Build (and cache) the online server for a system name.
 
-        ``"exegpt"`` searches RRA/WAA schedules under the headroom-scaled SLO
-        bound; ``"orca"`` / ``"vllm"`` configure the baseline's batch size
-        for the same bound.
+        Construction lives in
+        :func:`repro.serving.evaluation.build_online_server`: ``"exegpt"``
+        searches RRA/WAA schedules under the headroom-scaled SLO bound;
+        ``"orca"`` / ``"vllm"`` configure the baseline's batch size for the
+        same bound.
         """
+        from repro.serving.evaluation import build_online_server
+
         key = system.lower()
         if key in self._servers:
             return self._servers[key]
-        bound = self.slo.bound_s * self.schedule_headroom
-        if key == "exegpt":
-            constraint = LatencyConstraint(
-                bound_s=bound, target_length=self._target_length()
-            )
-            search = self.engine.schedule(constraint)
-            if search.best is None:
-                search = self.engine.schedule(
-                    LatencyConstraint(
-                        bound_s=self.slo.bound_s,
-                        target_length=self._target_length(),
-                    )
-                )
-            if search.best is None:
-                raise ValueError(
-                    "no ExeGPT schedule satisfies the SLO bound "
-                    f"{self.slo.bound_s:g}s"
-                )
-            server: OnlineServer = ExeGPTOnlineServer(
-                simulator=self.engine.simulator,
-                config=search.best.config,
-                max_queue=self.max_queue,
-            )
-        elif key in ("orca", "vllm"):
-            from repro.serving.evaluation import default_baselines
-
-            (baseline,) = default_baselines(self.engine, (key,))
-            batch = baseline.configure_for_bound(bound)
-            server = ContinuousBatchingOnlineServer(
-                system=baseline,
-                batch_size=batch,
-                max_queue=self.max_queue,
-            )
-        else:
-            raise KeyError(
-                f"unknown online system {system!r}; known: exegpt, orca, vllm"
-            )
+        server = build_online_server(
+            self.engine,
+            key,
+            self.slo.bound_s,
+            max_queue=self.max_queue,
+            schedule_headroom=self.schedule_headroom,
+        )
         self._servers[key] = server
         return server
+
+    def fleet(self, system: str, replicas: int, routing="jsq"):
+        """Build (and cache) an N-replica fleet of a system's server.
+
+        The fleet's replicas are clones of the cached single server, so the
+        schedule search / batch configuration runs once per system no
+        matter how many deployment sizes are swept.  Fleets are cached per
+        (system, replicas, policy *name*) for string routings; a
+        :class:`~repro.serving.fleet.RoutingPolicy` *instance* is the
+        caller's own (possibly stateful or instrumented) object, so it
+        always gets a fresh, uncached fleet built around exactly that
+        instance.
+        """
+        from repro.serving.fleet import Fleet, RoutingPolicy, make_routing
+
+        if isinstance(routing, RoutingPolicy):
+            return Fleet.homogeneous(self.server(system), replicas, routing=routing)
+        key = (system.lower(), replicas, make_routing(routing).name)
+        if key in self._fleets:
+            return self._fleets[key]
+        fleet = Fleet.homogeneous(self.server(system), replicas, routing=routing)
+        self._fleets[key] = fleet
+        return fleet
 
     # -- sweeping --------------------------------------------------------------------
 
     def measure(
-        self, system: str, process: ArrivalProcess, scenario: str = ""
+        self,
+        system: str,
+        process: ArrivalProcess,
+        scenario: str = "",
+        replicas: int = 1,
+        routing="jsq",
     ) -> RatePoint:
-        """Serve the trace under one arrival process and check the SLO."""
+        """Serve the trace under one arrival process and check the SLO.
+
+        With ``replicas > 1`` the trace is served by an N-replica fleet;
+        ``process.rate_qps`` is then the fleet-wide offered rate and the
+        returned point's result is the fleet-wide :class:`OnlineResult`.
+        """
         online_trace = attach_arrivals(self.trace, process, seed=self.seed)
-        result = self.server(system).serve(
-            online_trace,
-            scenario=scenario or process.name,
-            offered_rate_qps=process.rate_qps,
-        )
+        if replicas <= 1:
+            result = self.server(system).serve(
+                online_trace,
+                scenario=scenario or process.name,
+                offered_rate_qps=process.rate_qps,
+            )
+        else:
+            result = self.fleet(system, replicas, routing).serve(
+                online_trace,
+                scenario=scenario or process.name,
+                offered_rate_qps=process.rate_qps,
+            ).fleet
         return RatePoint(
             system=result.system,
             scenario=result.scenario,
@@ -929,6 +1206,8 @@ class OnlineEvaluator:
         scenario: str,
         rates: list[float] | tuple[float, ...],
         stop_after_failure: bool = True,
+        replicas: int = 1,
+        routing="jsq",
     ) -> list[RatePoint]:
         """Measure one system over increasing offered rates of a scenario.
 
@@ -939,7 +1218,10 @@ class OnlineEvaluator:
         points: list[RatePoint] = []
         for rate in sorted(rates):
             process = make_scenario(scenario, rate)
-            point = self.measure(system, process, scenario=scenario)
+            point = self.measure(
+                system, process, scenario=scenario,
+                replicas=replicas, routing=routing,
+            )
             points.append(point)
             if stop_after_failure and not point.sustainable:
                 break
@@ -950,10 +1232,17 @@ class OnlineEvaluator:
         system: str,
         scenario: str,
         rates: list[float] | tuple[float, ...],
+        replicas: int = 1,
+        routing="jsq",
     ) -> float:
-        """Highest offered rate of ``rates`` the system sustains (0 if none)."""
+        """Highest offered rate of ``rates`` the deployment sustains (0 if
+        none).  ``replicas``/``routing`` select an N-replica fleet; rates
+        are fleet-wide, so an N-replica sweep is typically handed a rate
+        grid scaled by N (see ``ArrivalProcess.scaled``)."""
         best = 0.0
-        for point in self.sweep(system, scenario, rates):
+        for point in self.sweep(
+            system, scenario, rates, replicas=replicas, routing=routing
+        ):
             if point.sustainable:
                 best = max(best, point.rate_qps)
         return best
@@ -963,12 +1252,14 @@ class OnlineEvaluator:
         systems: tuple[str, ...] = ("exegpt", "orca", "vllm"),
         scenarios: tuple[str, ...] = ("steady", "bursty", "diurnal"),
         rates: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0),
+        replicas: int = 1,
+        routing="jsq",
     ) -> dict[tuple[str, str], float]:
         """Max sustainable QPS for every (system, scenario) pair."""
         table: dict[tuple[str, str], float] = {}
         for system in systems:
             for scenario in scenarios:
                 table[(system, scenario)] = self.max_sustainable_qps(
-                    system, scenario, rates
+                    system, scenario, rates, replicas=replicas, routing=routing
                 )
         return table

@@ -67,6 +67,17 @@ class ArrivalProcess:
         """A copy of the process re-targeted to a new mean rate."""
         return replace(self, rate_qps=rate_qps)
 
+    def scaled(self, factor: float) -> "ArrivalProcess":
+        """The process with its mean rate scaled by ``factor``.
+
+        The fleet-sweep helper: an N-replica deployment is offered N times
+        the per-replica rate, with the scenario's burst/ramp *shape*
+        unchanged (only the intensity scales).
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return self.with_rate(self.rate_qps * factor)
+
     def arrival_times(
         self, num_requests: int, seed: int | np.random.Generator = 0
     ) -> np.ndarray:
@@ -233,6 +244,35 @@ def make_scenario(name: str, rate_qps: float, **kwargs) -> ArrivalProcess:
         known = ", ".join(known_scenarios())
         raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")
     return SCENARIOS[key](rate_qps=rate_qps, **kwargs)
+
+
+def make_fleet_scenario(
+    name: str, per_replica_qps: float, replicas: int, **kwargs
+) -> ArrivalProcess:
+    """A registered scenario offered to an N-replica fleet.
+
+    The fleet-wide mean rate is ``per_replica_qps * replicas`` -- the load
+    N single servers would each see at ``per_replica_qps`` -- so capacity
+    comparisons across deployment sizes hold the per-replica load fixed.
+
+    Args:
+        name: One of :func:`known_scenarios`.
+        per_replica_qps: Per-replica time-averaged arrival rate.
+        replicas: Deployment size.
+        **kwargs: Scenario-specific parameters (e.g. ``burst_factor``).
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    return make_scenario(name, per_replica_qps, **kwargs).scaled(replicas)
+
+
+def fleet_rates(
+    rates, replicas: int
+) -> tuple[float, ...]:
+    """Scale a per-replica rate grid to fleet-wide offered rates."""
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    return tuple(float(rate) * replicas for rate in rates)
 
 
 def attach_arrivals(

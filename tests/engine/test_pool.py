@@ -81,6 +81,11 @@ class TestRandomScheduleParity:
             assert np.array_equal(group_alive_col, group_alive_ref)
 
             # Grouped reductions agree before the advance mutates state.
+            assert columnar.remaining_tokens(group) == reference.remaining_tokens(
+                group
+            )
+            assert columnar.done_count_of(group) == reference.done_count_of(group)
+            assert columnar.alive_count_of(group) == reference.alive_count_of(group)
             assert columnar.average_input(group_alive_col) == reference.average_input(
                 group_alive_ref
             )
@@ -147,6 +152,103 @@ class TestRandomScheduleParity:
         assert np.array_equal(col[1], ref[1])  # completion times
         assert np.array_equal(col[2], ref[2])  # output lengths
         assert col[3] == ref[3]  # generated tokens
+
+
+class TestMultiOwnerSlices:
+    """One shared pool behind disjoint replica-local id slices.
+
+    The fleet invariant: N replicas holding disjoint id slices of ONE
+    shared :class:`RequestPool` must behave exactly like N replicas each
+    owning an independent pool.  Interleaved advance/compact schedules over
+    the slices are compared against N independent :class:`ListPool`\\ s
+    (the executable reference), asserting per-slice parity, id stability,
+    no cross-replica resurrection, and that the shared pool's O(1)
+    fleet-wide counts equal the sum of the independent pools'.
+    """
+
+    @given(
+        lens=st.lists(
+            st.tuples(st.integers(1, 24), st.integers(1, 10)),
+            min_size=3,
+            max_size=32,
+        ),
+        seed=st.integers(0, 2 ** 32 - 1),
+        replicas=st.integers(2, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_disjoint_slices_match_independent_pools(self, lens, seed, replicas):
+        specs = _specs(lens)
+        shared = RequestPool()
+        ids = shared.admit_specs(specs)
+        # Round-robin partition into replica-local slices (the id handoff).
+        slices = [ids[r::replicas] for r in range(replicas)]
+        independent: list[ListPool] = []
+        to_local: list[dict[int, int]] = []
+        for sl in slices:
+            pool = ListPool()
+            pool.admit_specs([specs[g] for g in sl.tolist()])
+            independent.append(pool)
+            to_local.append({int(g): k for k, g in enumerate(sl.tolist())})
+
+        def localize(r: int, globals_: np.ndarray) -> np.ndarray:
+            return np.array(
+                [to_local[r][int(g)] for g in globals_.tolist()], dtype=np.int64
+            )
+
+        rng = np.random.default_rng(seed)
+        active = [shared.compact(sl) for sl in slices]
+        ever_done: set[int] = set()
+        for _ in range(64):
+            if all(a.size == 0 for a in active):
+                break
+            r = int(rng.integers(replicas))
+            acts = active[r]
+            if acts.size == 0:
+                continue
+            mask = rng.random(acts.size) < 0.7
+            group = acts[mask]
+            local_group = localize(r, group)
+
+            # Reductions over the slice agree with the independent pool.
+            assert shared.remaining_tokens(group) == independent[
+                r
+            ].remaining_tokens(local_group)
+            assert shared.done_count_of(acts) == independent[r].done_count_of(
+                localize(r, acts)
+            )
+            assert shared.average_input(group) == independent[r].average_input(
+                local_group
+            )
+
+            first_shared, done_shared = shared.advance(group)
+            first_ref, done_ref = independent[r].advance(local_group)
+            assert np.array_equal(localize(r, first_shared), first_ref)
+            assert np.array_equal(localize(r, done_shared), done_ref)
+            ever_done.update(done_shared.tolist())
+
+            # Per-slice compaction matches the independent pool's.
+            active[r] = shared.compact(acts)
+            ref_active = independent[r].compact(localize(r, acts))
+            assert np.array_equal(localize(r, active[r]), ref_active)
+
+            # No cross-replica interference: every other slice's alive set
+            # is untouched by this replica's advance/compaction, and no
+            # completed id resurrects under ANY owner.
+            for other in range(replicas):
+                assert not ever_done.intersection(active[other].tolist())
+                if other != r:
+                    assert np.array_equal(
+                        active[other], shared.compact(slices[other])
+                    )
+
+        # Fleet-wide O(1) counts reduce over the shared pool exactly as the
+        # sum of the independent pools'.
+        assert shared.alive_count == sum(p.alive_count for p in independent)
+        assert shared.done_count == sum(p.done_count for p in independent)
+        for r, sl in enumerate(slices):
+            assert shared.remaining_tokens(sl) == independent[r].remaining_tokens(
+                independent[r].ids()
+            )
 
 
 class TestAdvanceGuards:

@@ -1,0 +1,375 @@
+"""Tests for the multi-replica routing fleet (`repro.serving.fleet`).
+
+The parity gate: because `Fleet.serve` drives the same `ServingLoop` over
+the same steppable-replica API as `OnlineServer.serve`, a 1-replica fleet
+must reproduce the single server's per-request records *bit-identically*
+for every driver (ORCA / vLLM continuous batching, ExeGPT RRA and WAA) and
+every routing policy.  On top of that: routing quality (JSQ beats
+round-robin on a skewed bursty workload), pinned deterministic
+tie-breaking, rejection accounting at the fleet boundary, and the
+capacity acceptance bar (a 4-replica JSQ fleet sustains strictly more
+fleet-wide QPS than one replica).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.orca import Orca
+from repro.baselines.vllm import Vllm
+from repro.core.config import ScheduleConfig, SchedulePolicy
+from repro.serving.fleet import (
+    Fleet,
+    FleetResult,
+    JoinShortestQueueRouting,
+    LeastOutstandingWorkRouting,
+    RoundRobinRouting,
+    make_routing,
+)
+from repro.serving.online import (
+    ContinuousBatchingOnlineServer,
+    ExeGPTOnlineServer,
+    OnlineEvaluator,
+)
+from repro.serving.sla import SLA, SLAKind
+from repro.workloads.arrivals import BurstyProcess, PoissonProcess, attach_arrivals
+from repro.workloads.synthetic import generate_trace_from_distributions
+from repro.workloads.trace import RequestSpec, WorkloadTrace
+
+
+@pytest.fixture(scope="module")
+def base_trace(short_input_dist, short_output_dist):
+    return generate_trace_from_distributions(
+        short_input_dist, short_output_dist, num_requests=64, seed=9, name="fleet"
+    )
+
+
+def _server(kind, profile, in_dist, out_dist, simulator, **kwargs):
+    """One of the four online drivers, by name."""
+    if kind in ("orca", "vllm"):
+        cls = Orca if kind == "orca" else Vllm
+        system = cls(
+            profile=profile,
+            input_distribution=in_dist,
+            output_distribution=out_dist,
+        )
+        return ContinuousBatchingOnlineServer(
+            system=system, batch_size=kwargs.get("batch_size", 8),
+            max_queue=kwargs.get("max_queue", 512),
+        )
+    if kind == "rra":
+        config = ScheduleConfig(
+            policy=SchedulePolicy.RRA, encode_batch=8, decode_iterations=4
+        )
+    else:  # waa
+        config = ScheduleConfig(
+            policy=SchedulePolicy.WAA_C, encode_batch=8, micro_batches=2
+        )
+    return ExeGPTOnlineServer(
+        simulator, config, max_queue=kwargs.get("max_queue", 512)
+    )
+
+
+class TestSingleReplicaParity:
+    """A 1-replica fleet IS the single server: records bit for bit."""
+
+    @pytest.mark.parametrize("kind", ["orca", "vllm", "rra", "waa"])
+    @pytest.mark.parametrize("routing", ["round-robin", "jsq", "least-outstanding-work"])
+    def test_one_replica_fleet_matches_server(
+        self, kind, routing, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            kind, tiny_profile, short_input_dist, short_output_dist, tiny_simulator
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(20.0), seed=5)
+        single = server.serve(online, scenario="steady", offered_rate_qps=20.0)
+        fleet = Fleet.homogeneous(server, 1, routing=routing)
+        result = fleet.serve(online, scenario="steady", offered_rate_qps=20.0)
+        # Bit-identical per-request records: every timestamp, every flag.
+        assert result.fleet.records == single.records
+        assert result.fleet.makespan_s == single.makespan_s
+        assert result.offered == single.offered
+        assert result.completed == single.completed
+        # The one replica served everything that was not rejected.
+        assert np.array_equal(
+            result.assignments >= 0,
+            np.array([not r.rejected for r in single.records]),
+        )
+
+    def test_one_replica_fleet_matches_server_under_rejections(
+        self, tiny_profile, short_input_dist, short_output_dist, tiny_simulator,
+        base_trace,
+    ):
+        """Fleet and single-server rejection accounting agree by construction."""
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=4, max_queue=4,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(2000.0), seed=3)
+        single = server.serve(online)
+        result = Fleet.homogeneous(server, 1, routing="jsq").serve(online)
+        assert single.rejected > 0
+        assert result.fleet.records == single.records
+        assert result.rejected == single.rejected
+        assert result.fleet.rejection_rate == single.rejection_rate
+
+
+class TestRoutingPolicies:
+    def test_make_routing_registry(self):
+        assert isinstance(make_routing("rr"), RoundRobinRouting)
+        assert isinstance(make_routing("jsq"), JoinShortestQueueRouting)
+        assert isinstance(make_routing("low"), LeastOutstandingWorkRouting)
+        policy = JoinShortestQueueRouting()
+        assert make_routing(policy) is policy
+        with pytest.raises(KeyError):
+            make_routing("random")
+
+    def test_deterministic_tie_breaking_pinned(
+        self, tiny_profile, short_input_dist, short_output_dist, tiny_simulator,
+    ):
+        """Equal-state replicas are tied; the lower index must win, and the
+        resulting assignment of a simultaneous burst is pinned exactly."""
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        specs = [RequestSpec(i, 48, 4, 0.0) for i in range(9)]
+        trace = WorkloadTrace("burst", specs, short_input_dist, short_output_dist)
+        for routing in ("round-robin", "jsq", "least-outstanding-work"):
+            result = Fleet.homogeneous(server, 3, routing=routing).serve(trace)
+            # All nine arrive at t=0 with all replicas idle and equal:
+            # every policy must deal them out cyclically from replica 0.
+            assert result.assignments.tolist() == [0, 1, 2] * 3, routing
+
+    def test_jsq_beats_round_robin_on_skewed_bursty(
+        self, tiny_profile, short_input_dist, short_output_dist, tiny_simulator,
+    ):
+        """Round-robin deals by count, so the alternating heavy requests all
+        pile onto the same replica; JSQ sees the imbalance and spreads them."""
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=4,
+        )
+        specs = [
+            RequestSpec(i, 48, 36 if i % 2 == 0 else 2, 0.0) for i in range(64)
+        ]
+        trace = WorkloadTrace("skew", specs, short_input_dist, short_output_dist)
+        online = attach_arrivals(
+            trace,
+            BurstyProcess(200.0, burst_factor=8.0, burst_fraction=0.1),
+            seed=7,
+        )
+        results = {
+            routing: Fleet.homogeneous(server, 2, routing=routing).serve(online)
+            for routing in ("round-robin", "jsq")
+        }
+        assert results["jsq"].completed == results["jsq"].offered
+        assert (
+            results["jsq"].fleet.mean_latency_s
+            < results["round-robin"].fleet.mean_latency_s
+        )
+        assert (
+            results["jsq"].fleet.latency_percentile(99)
+            < results["round-robin"].fleet.latency_percentile(99)
+        )
+
+    def test_least_outstanding_work_prices_replicas(
+        self, tiny_profile, short_input_dist, short_output_dist, tiny_simulator,
+        base_trace,
+    ):
+        """LOW routes by drain time and completes everything; the service
+        rates come from the replicas' cost models (positive, finite)."""
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        assert 0 < server.service_rate() < float("inf")
+        online = attach_arrivals(base_trace, PoissonProcess(100.0), seed=5)
+        result = Fleet.homogeneous(server, 3, routing="low").serve(online)
+        assert result.completed == result.offered
+        counts = result.routed_counts()
+        assert counts.sum() == result.offered
+        assert (counts > 0).all()  # work was actually spread
+
+
+class TestEventLoopFidelity:
+    def test_idle_replica_picks_up_arrival_immediately(
+        self, tiny_profile, short_input_dist, short_output_dist, tiny_simulator,
+    ):
+        """Regression: while one replica grinds through a long request, an
+        arrival must be routed to an idle replica at its *arrival* time --
+        the loop may not fast-forward the clock to the busy replica's next
+        ready time before ingesting."""
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=2,
+        )
+        head = WorkloadTrace(
+            "head",
+            [RequestSpec(0, 48, 40, 0.0)],
+            short_input_dist,
+            short_output_dist,
+        )
+        head_run = server.serve(head)
+        mid = head_run.makespan_s / 2
+        trace = WorkloadTrace(
+            "late",
+            [RequestSpec(0, 48, 40, 0.0), RequestSpec(1, 48, 2, mid)],
+            short_input_dist,
+            short_output_dist,
+        )
+        result = Fleet.homogeneous(server, 2, routing="jsq").serve(trace)
+        late = result.fleet.records[1]
+        # JSQ sends the straggler to the idle replica 1, which admits it
+        # the moment it arrives -- zero queueing delay.
+        assert result.assignments.tolist() == [0, 1]
+        assert late.admitted_s == pytest.approx(late.arrival_s, abs=1e-9)
+
+    def test_in_flight_counts_handover(self, tiny_simulator):
+        """WAA's in-flight count includes batches parked in the KV handover."""
+        from repro.engine.pool import RequestPool
+        from repro.engine.timeline import Timeline
+        from repro.workloads.trace import RequestSpec, WorkloadTrace
+
+        config = ScheduleConfig(
+            policy=SchedulePolicy.WAA_C, encode_batch=4, micro_batches=2
+        )
+        server = ExeGPTOnlineServer(tiny_simulator, config)
+        in_dist = tiny_simulator.input_distribution
+        out_dist = tiny_simulator.output_distribution
+        trace = WorkloadTrace(
+            "t", [RequestSpec(i, 48, 8, 0.0) for i in range(4)], in_dist, out_dist
+        )
+        server.reset(Timeline(), RequestPool.from_trace(trace))
+        for rid in range(4):
+            assert server.enqueue(rid)
+        server.iterate(0.0)
+        # The first WAA cycle encodes the batch into the handover (or merges
+        # it straight into the decode pool); either way all four ids are in
+        # flight and the O(1) count agrees with the materialized ids.
+        assert server.in_flight == server._in_flight_ids().size == 4
+        assert server.busy
+
+
+class TestFleetBoundary:
+    def test_rejections_only_at_routing_boundary(
+        self, tiny_profile, short_input_dist, short_output_dist, tiny_simulator,
+        base_trace,
+    ):
+        """An arrival is rejected iff every replica's queue is full; rejected
+        ids belong to no replica and are never served."""
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=2, max_queue=2,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(5000.0), seed=3)
+        result = Fleet.homogeneous(server, 2, routing="jsq").serve(online)
+        assert result.rejected > 0
+        assert result.completed + result.rejected == result.offered
+        for rid, record in enumerate(result.fleet.records):
+            if record.rejected:
+                assert result.assignments[rid] == -1
+                assert record.admitted_s < 0
+                assert not record.completed
+            else:
+                assert result.assignments[rid] >= 0
+                assert record.completed
+        # Per-replica results partition the served requests.
+        assert sum(r.offered for r in result.replicas) == (
+            result.offered - result.rejected
+        )
+        assert sum(r.completed for r in result.replicas) == result.completed
+
+    def test_fleet_result_delegates(self, tiny_profile, short_input_dist,
+                                    short_output_dist, tiny_simulator, base_trace):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(10.0), seed=5)
+        result = Fleet.homogeneous(server, 2, routing="jsq").serve(online)
+        assert isinstance(result, FleetResult)
+        assert result.num_replicas == 2
+        assert result.makespan_s == result.fleet.makespan_s
+        assert result.fleet.extra["replicas"] == 2.0
+        generous = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=1000.0)
+        assert result.satisfies(generous)
+        assert result.attainment(generous) == 1.0
+        # Replica iteration counts are recorded per replica and sum to the
+        # fleet-wide total.
+        total = sum(r.extra["iterations"] for r in result.replicas)
+        assert total == result.fleet.extra["iterations"]
+
+    def test_empty_trace_rejected(self, tiny_profile, short_input_dist,
+                                  short_output_dist, tiny_simulator):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        fleet = Fleet.homogeneous(server, 2)
+        empty = WorkloadTrace("empty", (), short_input_dist, short_output_dist)
+        with pytest.raises(ValueError):
+            fleet.serve(empty)
+
+    def test_duplicate_replica_objects_rejected(
+        self, tiny_profile, short_input_dist, short_output_dist, tiny_simulator
+    ):
+        """One server object cannot be stepped as two replicas."""
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        with pytest.raises(ValueError, match="distinct"):
+            Fleet([server, server], routing="jsq")
+
+    def test_clone_leaves_prototype_untouched(
+        self, tiny_profile, short_input_dist, short_output_dist, tiny_simulator,
+        base_trace,
+    ):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(20.0), seed=5)
+        before = server.serve(online)
+        fleet = Fleet.homogeneous(server, 3, routing="jsq")
+        assert all(clone is not server for clone in fleet.replicas)
+        fleet.serve(online)
+        after = server.serve(online)
+        assert before.records == after.records
+
+
+class TestFleetCapacity:
+    """Acceptance: a >=4-replica JSQ fleet sustains strictly higher
+    fleet-wide QPS than a single replica on the same scenario."""
+
+    @pytest.fixture(scope="class")
+    def evaluator(self, tiny_engine, base_trace):
+        slo = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=2.0, percentile=99.0)
+        return OnlineEvaluator(tiny_engine, base_trace, slo, max_queue=16, seed=3)
+
+    def test_four_replica_jsq_beats_one(self, evaluator):
+        rates = (25.0, 50.0, 100.0, 200.0, 400.0, 800.0)
+        single = evaluator.max_sustainable_qps("orca", "steady", rates)
+        fleet = evaluator.max_sustainable_qps(
+            "orca", "steady", rates, replicas=4, routing="jsq"
+        )
+        assert single > 0
+        assert fleet > single
+
+    def test_fleet_measure_returns_fleet_result(self, evaluator):
+        point = evaluator.measure(
+            "orca", PoissonProcess(50.0), scenario="steady",
+            replicas=4, routing="jsq",
+        )
+        assert point.result.extra["replicas"] == 4.0
+        assert point.result.offered == point.result.completed + point.result.rejected
+
+    def test_fleets_are_cached(self, evaluator):
+        first = evaluator.fleet("orca", 2, "jsq")
+        assert evaluator.fleet("orca", 2, "jsq") is first
+        assert evaluator.fleet("orca", 3, "jsq") is not first
+        assert evaluator.fleet("orca", 2, "rr") is not first
+        # Fleet replicas are clones of the one cached server (one schedule
+        # search / batch configuration per system).
+        assert evaluator.server("orca") is evaluator.server("orca")

@@ -240,6 +240,61 @@ class TestAggregateCaching:
         assert result.to_run_result().num_requests == before
 
 
+class TestQueueBoundSemantics:
+    """`max_queue` is the replica-local admission-queue capacity, enforced
+    at handoff: `enqueue` refuses exactly at capacity, a refused arrival is
+    rejected permanently, and rejection accounting is the single place
+    requests can drop -- the semantics the fleet boundary relies on."""
+
+    def test_enqueue_refuses_exactly_at_capacity(
+        self, tiny_profile, short_input_dist, short_output_dist
+    ):
+        from repro.engine.pool import RequestPool
+        from repro.engine.timeline import Timeline
+        from repro.workloads.trace import RequestSpec, WorkloadTrace
+
+        server = make_orca_server(
+            tiny_profile, short_input_dist, short_output_dist, max_queue=2
+        )
+        trace = WorkloadTrace(
+            "t",
+            [RequestSpec(i, 8, 2, 0.0) for i in range(4)],
+            short_input_dist,
+            short_output_dist,
+        )
+        server.reset(Timeline(), RequestPool.from_trace(trace))
+        assert server.queue_depth == 0
+        assert server.enqueue(0)
+        assert server.enqueue(1)
+        assert server.queue_depth == 2
+        # At capacity: refused, no side effects, never retried by contract.
+        assert not server.enqueue(2)
+        assert server.queue_depth == 2
+
+    def test_rejected_arrivals_never_served(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace
+    ):
+        server = make_orca_server(
+            tiny_profile, short_input_dist, short_output_dist,
+            batch_size=4, max_queue=4,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(5000.0), seed=3)
+        result = server.serve(online)
+        assert result.rejected > 0
+        assert result.completed + result.rejected == result.offered
+        for record in result.records:
+            if record.rejected:
+                assert record.admitted_s < 0
+                assert record.first_token_s < 0
+                assert not record.completed
+
+    def test_max_queue_validated(self):
+        from repro.serving.online import OnlineServer
+
+        with pytest.raises(ValueError):
+            OnlineServer(name="bad", max_queue=0)
+
+
 class TestPagedCacheDriver:
     def test_vllm_driver_uses_paged_cache(
         self, tiny_profile, short_input_dist, short_output_dist, base_trace
