@@ -32,6 +32,7 @@ from repro.core.config import (
     LatencyConstraint,
     ScheduleConfig,
     SchedulePolicy,
+    TensorParallelConfig,
 )
 from repro.core.exegpt import ExeGPT
 from repro.core.scheduler import XScheduler
@@ -631,6 +632,223 @@ def bench_fleet_sweep(
     )
 
 
+@dataclass
+class EventCoreBench:
+    """The batched discrete-event serving core vs the stepped reference.
+
+    Three measurements back the event core:
+
+    * **Parity** -- every (driver, routing) pair serves the same small
+      arrival-stamped trace through a 2-replica fleet under both cores;
+      the per-request records and replica assignments must agree bit for
+      bit (``bit_identical``).
+    * **Loop overhead** -- a probe-replica fleet (trivial constant-time
+      replicas) isolates the loop itself: wall time of ingest + event
+      pick + routing for ``loop_requests`` arrivals over
+      ``loop_replicas`` replicas, stepped vs event.
+    * **Million-request sweep** -- a ``sweep_requests``-request pool built
+      straight from arrays is served by a ``sweep_replicas``-wide ExeGPT
+      RRA fleet under JSQ routing through the event core; the wall time
+      is the headline number (seconds, not minutes).
+
+    Attributes:
+        parity_cases: (driver, routing) pairs compared.
+        bit_identical: Every pair's records and assignments matched.
+        loop_requests / loop_replicas: Size of the loop-overhead run.
+        stepped_loop_s / event_loop_s: Loop-overhead wall times.
+        loop_speedup: Stepped over event loop time.
+        sweep_requests / sweep_replicas / sweep_routing: Sweep shape.
+        sweep_rate_qps: Offered fleet-wide arrival rate.
+        sweep_s: Wall time of the event-core sweep.
+        sweep_completed / sweep_rejected: Request outcomes of the sweep.
+        sweep_makespan_s: Simulated makespan of the sweep.
+    """
+
+    parity_cases: int
+    bit_identical: bool
+    loop_requests: int
+    loop_replicas: int
+    stepped_loop_s: float
+    event_loop_s: float
+    loop_speedup: float
+    sweep_requests: int
+    sweep_replicas: int
+    sweep_routing: str
+    sweep_rate_qps: float
+    sweep_s: float
+    sweep_completed: int
+    sweep_rejected: int
+    sweep_makespan_s: float
+
+
+def bench_event_core(
+    parity_requests: int = 48,
+    loop_requests: int = 200_000,
+    loop_replicas: int = 16,
+    sweep_requests: int = 1_000_000,
+    sweep_replicas: int = 16,
+) -> EventCoreBench:
+    """Parity, loop overhead and the million-request sweep of the event core."""
+    from repro.baselines.orca import Orca
+    from repro.baselines.vllm import Vllm
+    from repro.engine.pool import EMPTY_IDS, RequestPool
+    from repro.serving.fleet import Fleet
+    from repro.serving.online import ExeGPTOnlineServer, OnlineServer
+    from repro.serving.online import ContinuousBatchingOnlineServer
+    from repro.workloads.arrivals import PoissonProcess, attach_arrivals
+    from repro.workloads.synthetic import sample_correlated_lengths
+
+    engine = ExeGPT.for_task("OPT-13B", "S", max_encode_batch=128)
+    task = get_task("S")
+
+    # -- parity: every driver x routing, stepped vs event, bit for bit ----------
+    def drivers():
+        for kind in ("orca", "vllm"):
+            cls = Orca if kind == "orca" else Vllm
+            system = cls(
+                profile=engine.profile,
+                input_distribution=engine.input_distribution,
+                output_distribution=engine.output_distribution,
+            )
+            yield ContinuousBatchingOnlineServer(system=system, batch_size=8)
+        yield ExeGPTOnlineServer(
+            engine.simulator,
+            ScheduleConfig(
+                policy=SchedulePolicy.RRA, encode_batch=8, decode_iterations=4
+            ),
+        )
+        yield ExeGPTOnlineServer(
+            engine.simulator,
+            ScheduleConfig(
+                policy=SchedulePolicy.WAA_C, encode_batch=8, micro_batches=2
+            ),
+        )
+
+    parity_trace = attach_arrivals(
+        generate_task_trace(task, num_requests=parity_requests, seed=0),
+        PoissonProcess(8.0),
+        seed=1,
+    )
+    cases = 0
+    bit_identical = True
+    for server in drivers():
+        for routing in ("round-robin", "jsq", "least-outstanding-work"):
+            fleet = Fleet.homogeneous(server, 2, routing=routing)
+            stepped = fleet.serve(parity_trace, core="stepped")
+            event = fleet.serve(parity_trace, core="event")
+            cases += 1
+            bit_identical = bit_identical and (
+                event.fleet.records == stepped.fleet.records
+                and np.array_equal(event.assignments, stepped.assignments)
+            )
+
+    # -- loop overhead: probe replicas isolate ingest/event-pick/routing -------
+    class _ProbeReplica(OnlineServer):
+        """Batch-serving replica with trivial per-iterate cost, so the loop
+        itself (ingest, event pick, routing) dominates the measurement."""
+
+        def __init__(self, service_s: float, batch: int, name="probe"):
+            super().__init__(name=name, max_queue=1 << 30)
+            self.service_s = service_s
+            self.batch = batch
+
+        def clone(self, name=None):
+            return _ProbeReplica(self.service_s, self.batch, name or self.name)
+
+        def service_rate(self) -> float:
+            return self.batch / self.service_s
+
+        def _reset(self, timeline, pool) -> None:
+            self._active = EMPTY_IDS
+
+        def _busy(self) -> bool:
+            return False
+
+        def _iterate(self, clock: float) -> float:
+            for _ in range(min(self.batch, len(self._queue))):
+                self._queue.popleft()
+            return clock + self.service_s
+
+        def resolve_records(self, records) -> None:
+            pass
+
+    loop_rate = 1000.0
+    probe_batch = 256
+    # Offered at 2x the probe fleet's service capacity, so arrivals pile up
+    # into large ingest batches while every replica stays busy.
+    probe_service_s = 2.0 * loop_replicas * probe_batch / loop_rate
+    loop_arrivals = PoissonProcess(loop_rate).arrival_times(loop_requests, seed=2)
+    ones = np.ones(loop_requests, dtype=np.int64)
+    loop_times = {}
+    for core in ("stepped", "event"):
+        probe = _ProbeReplica(probe_service_s, probe_batch)
+        fleet = Fleet.homogeneous(probe, loop_replicas, routing="round-robin")
+        pool = RequestPool.from_arrays(ones * 8, ones * 4, loop_arrivals)
+        start = time.perf_counter()
+        fleet.serve_pool(pool, core=core)
+        loop_times[core] = time.perf_counter() - start
+
+    # -- the million-request sweep ----------------------------------------------
+    rng = np.random.default_rng(7)
+    inputs, outputs = sample_correlated_lengths(
+        engine.input_distribution,
+        engine.output_distribution,
+        sweep_requests,
+        0.0,
+        rng,
+    )
+    # A TP-maximized single-stage RRA schedule: one pipeline stage means a
+    # handful of engine tasks per cycle, so the sweep's wall time measures
+    # the serving loop and pool management, not pipeline task emission.
+    # The large encode batch / decode run amortize the fixed per-cycle cost
+    # (pricing, commit, adjuster) over thousands of requests per cycle.
+    sweep_config = ScheduleConfig(
+        policy=SchedulePolicy.RRA,
+        encode_batch=2048,
+        decode_iterations=128,
+        tensor_parallel=TensorParallelConfig(degree=4, num_gpus=4),
+    )
+    per_replica_qps = engine.simulator.estimate(
+        sweep_config
+    ).throughput_seq_per_s
+    # Offer just under the fleet's aggregate capacity: queues stay populated
+    # (large ingest windows) without tripping the 4096-deep rejection bound.
+    sweep_rate = 0.95 * per_replica_qps * sweep_replicas
+    sweep_arrivals = PoissonProcess(sweep_rate).arrival_times(
+        sweep_requests, seed=3
+    )
+    sweep_pool = RequestPool.from_arrays(inputs, outputs, sweep_arrivals)
+    server = ExeGPTOnlineServer(
+        engine.simulator, sweep_config, max_queue=4096
+    )
+    sweep_fleet = Fleet.homogeneous(server, sweep_replicas, routing="jsq")
+    start = time.perf_counter()
+    result = sweep_fleet.serve_pool(sweep_pool, core="event")
+    sweep_s = time.perf_counter() - start
+
+    return EventCoreBench(
+        parity_cases=cases,
+        bit_identical=bit_identical,
+        loop_requests=loop_requests,
+        loop_replicas=loop_replicas,
+        stepped_loop_s=loop_times["stepped"],
+        event_loop_s=loop_times["event"],
+        loop_speedup=(
+            loop_times["stepped"] / loop_times["event"]
+            if loop_times["event"] > 0
+            else float("inf")
+        ),
+        sweep_requests=sweep_requests,
+        sweep_replicas=sweep_replicas,
+        sweep_routing="jsq",
+        sweep_rate_qps=sweep_rate,
+        sweep_s=sweep_s,
+        sweep_completed=result.completed,
+        sweep_rejected=result.rejected,
+        sweep_makespan_s=result.makespan_s,
+    )
+
+
 def make_record(
     estimate: EstimateBench,
     search: SearchBench,
@@ -639,6 +857,7 @@ def make_record(
     online: OnlineSweepBench | None = None,
     pool: PoolBench | None = None,
     fleet: FleetBench | None = None,
+    event_core: EventCoreBench | None = None,
 ) -> dict:
     """Assemble one machine-readable trajectory record."""
     record = {
@@ -671,6 +890,8 @@ def make_record(
         payload = dict(fleet.__dict__)
         payload["rates"] = list(payload["rates"])
         record["fleet_sweep"] = payload
+    if event_core is not None:
+        record["event_core"] = dict(event_core.__dict__)
     return record
 
 
@@ -682,13 +903,16 @@ def write_bench_record(
     online: OnlineSweepBench | None = None,
     pool: PoolBench | None = None,
     fleet: FleetBench | None = None,
+    event_core: EventCoreBench | None = None,
 ) -> dict:
     """Append one record to ``BENCH_search.json`` and return it.
 
     Only the harness CLI and the CI perf job (``BENCH_RECORD=1``) call this;
     plain test runs measure without touching the committed trajectory file.
     """
-    record = make_record(estimate, search, runner, replay, online, pool, fleet)
+    record = make_record(
+        estimate, search, runner, replay, online, pool, fleet, event_core
+    )
     doc = {
         "schema": 1,
         "benchmark": "search",
@@ -717,7 +941,10 @@ def main() -> None:
     online = bench_online_sweep()
     pool = bench_pool_replay()
     fleet = bench_fleet_sweep()
-    write_bench_record(estimate, search, runner, replay, online, pool, fleet)
+    event_core = bench_event_core()
+    write_bench_record(
+        estimate, search, runner, replay, online, pool, fleet, event_core
+    )
     print(f"estimate: {estimate.scalar_ms_per_point:.2f} ms/pt scalar, "
           f"{estimate.batch_us_per_point:.1f} us/pt batched "
           f"({estimate.speedup:.1f}x, worst rel err {estimate.worst_rel_err:.2e})")
@@ -744,6 +971,18 @@ def main() -> None:
           f"routing {fleet.route_us_small:.1f} -> {fleet.route_us_large:.1f} "
           f"us/decision over a {fleet.pool_ratio:.0f}x pool "
           f"({fleet.routing_overhead_ratio:.2f}x)")
+    print(f"event core: parity {event_core.parity_cases} cases "
+          f"bit-identical={event_core.bit_identical}; loop "
+          f"{event_core.stepped_loop_s:.2f} s stepped -> "
+          f"{event_core.event_loop_s:.2f} s event "
+          f"({event_core.loop_speedup:.1f}x, {event_core.loop_requests} reqs "
+          f"x {event_core.loop_replicas} replicas); "
+          f"{event_core.sweep_requests}-request {event_core.sweep_replicas}"
+          f"-replica {event_core.sweep_routing} sweep in "
+          f"{event_core.sweep_s:.1f} s "
+          f"({event_core.sweep_completed} completed, "
+          f"{event_core.sweep_rejected} rejected, makespan "
+          f"{event_core.sweep_makespan_s:.0f} s)")
     print(f"wrote {BENCH_PATH}")
 
 

@@ -255,6 +255,56 @@ class RequestPool:
         pool.admit_specs(trace.requests)
         return pool
 
+    @classmethod
+    def from_arrays(
+        cls,
+        input_len: np.ndarray,
+        output_len: np.ndarray,
+        arrival_s: np.ndarray | None = None,
+        request_id: np.ndarray | None = None,
+    ) -> "RequestPool":
+        """Batch admission straight from length/arrival columns.
+
+        The million-request construction path: no per-request
+        :class:`RequestSpec` objects are built.  ``request_id`` defaults
+        to the row index (trace order), ``arrival_s`` to all-zero
+        (already queued).  Validation matches :class:`RequestSpec`:
+        lengths >= 1, arrivals >= 0.
+        """
+        input_len = np.asarray(input_len, dtype=np.int64)
+        output_len = np.asarray(output_len, dtype=np.int64)
+        n = input_len.shape[0]
+        if output_len.shape[0] != n:
+            raise ValueError("input_len and output_len must have equal length")
+        if n and (input_len.min() < 1 or output_len.min() < 1):
+            raise ValueError("input_len and output_len must be >= 1")
+        if arrival_s is None:
+            arrival_s = np.zeros(n, dtype=float)
+        else:
+            arrival_s = np.asarray(arrival_s, dtype=float)
+            if arrival_s.shape[0] != n:
+                raise ValueError("arrival_s must match the length columns")
+            if n and arrival_s.min() < 0:
+                raise ValueError("arrival_s must be non-negative")
+        if request_id is None:
+            request_id = np.arange(n, dtype=np.int64)
+        else:
+            request_id = np.asarray(request_id, dtype=np.int64)
+            if request_id.shape[0] != n:
+                raise ValueError("request_id must match the length columns")
+        pool = cls()
+        pool.request_id = request_id.copy()
+        pool.input_len = input_len.copy()
+        pool.output_len = output_len.copy()
+        pool.arrival_s = arrival_s.copy()
+        pool.generated = np.zeros(n, dtype=np.int64)
+        pool.encode_start_s = np.full(n, -1.0)
+        pool.encode_finish_s = np.full(n, -1.0)
+        pool.finish_s = np.full(n, -1.0)
+        pool.admitted_cycle = np.full(n, -1, dtype=np.int64)
+        pool.done = np.zeros(n, dtype=bool)
+        return pool
+
     def admit_specs(self, specs) -> np.ndarray:
         """Append a batch of :class:`RequestSpec`; returns the new ids."""
         specs = list(specs)
@@ -315,6 +365,14 @@ class RequestPool:
     def ids(self) -> np.ndarray:
         """All ids, in admission (trace) order."""
         return np.arange(self.size, dtype=np.int64)
+
+    def arrival_order(self) -> np.ndarray:
+        """All ids in ``(arrival_s, request_id)`` lexicographic order.
+
+        The serving loop's ingest order: one lexsort up front replaces any
+        per-arrival queue of request objects.
+        """
+        return np.lexsort((self.request_id, self.arrival_s))
 
     def compact(self, ids: np.ndarray) -> np.ndarray:
         """Ids of ``ids`` that are still alive, order preserved.
@@ -419,6 +477,23 @@ class RequestPool:
             int(members.size), avg_context, context_tokens, first, completed
         )
 
+    def reset_progress(self) -> None:
+        """Reset every request to the just-admitted state.
+
+        Clears generation progress, timestamps and admission cycles while
+        keeping the static columns (lengths, arrivals, trace ids) intact.
+        Serving entry points call this so one pool can be served repeatedly
+        -- e.g. the same million-request pool through several fleets or
+        cores -- without a stale ``done`` mask silently emptying the run.
+        """
+        self.generated[:] = 0
+        self.encode_start_s[:] = -1.0
+        self.encode_finish_s[:] = -1.0
+        self.finish_s[:] = -1.0
+        self.admitted_cycle[:] = -1
+        self.done[:] = False
+        self._done_count = 0
+
     def set_admitted_cycle(self, ids: np.ndarray, cycle: int) -> None:
         """Record the admission cycle of a batch."""
         if ids.size:
@@ -480,6 +555,16 @@ class RequestPool:
         return int(
             np.maximum(self.output_len[ids] - self.generated[ids], 0).sum()
         )
+
+    def total_tokens(self, ids: np.ndarray) -> np.ndarray:
+        """Per-request total (input + output) tokens of a batch (one gather).
+
+        Batched routing's incremental-load column: the whole-request work
+        an arrival adds to the replica that admits it.
+        """
+        if ids.size == 0:
+            return EMPTY_IDS
+        return self.input_len[ids] + self.output_len[ids]
 
     def done_count_of(self, ids: np.ndarray) -> int:
         """Finished requests among ``ids`` (one mask reduction)."""
@@ -589,6 +674,47 @@ class ListPool:
         pool.admit_specs(trace.requests)
         return pool
 
+    @classmethod
+    def from_arrays(
+        cls,
+        input_len: np.ndarray,
+        output_len: np.ndarray,
+        arrival_s: np.ndarray | None = None,
+        request_id: np.ndarray | None = None,
+    ) -> "ListPool":
+        # The reference path boxes each row back into a RequestSpec, whose
+        # validation the columnar fast path must reproduce.
+        input_len = np.asarray(input_len, dtype=np.int64)
+        output_len = np.asarray(output_len, dtype=np.int64)
+        n = input_len.shape[0]
+        if output_len.shape[0] != n:
+            raise ValueError("input_len and output_len must have equal length")
+        if arrival_s is None:
+            arrival_s = np.zeros(n, dtype=float)
+        else:
+            arrival_s = np.asarray(arrival_s, dtype=float)
+            if arrival_s.shape[0] != n:
+                raise ValueError("arrival_s must match the length columns")
+        if request_id is None:
+            request_id = np.arange(n, dtype=np.int64)
+        else:
+            request_id = np.asarray(request_id, dtype=np.int64)
+            if request_id.shape[0] != n:
+                raise ValueError("request_id must match the length columns")
+        pool = cls()
+        pool.admit_specs(
+            RequestSpec(
+                request_id=int(rid),
+                input_len=int(inp),
+                output_len=int(out),
+                arrival_s=float(arr),
+            )
+            for rid, inp, out, arr in zip(
+                request_id, input_len, output_len, arrival_s
+            )
+        )
+        return pool
+
     def admit_specs(self, specs) -> np.ndarray:
         start = len(self.states)
         self.states.extend(RequestState(spec=spec) for spec in specs)
@@ -615,6 +741,17 @@ class ListPool:
 
     def ids(self) -> np.ndarray:
         return np.arange(len(self.states), dtype=np.int64)
+
+    def arrival_order(self) -> np.ndarray:
+        # The historical idiom: sort request objects by (arrival, id).
+        ranked = sorted(
+            range(len(self.states)),
+            key=lambda rid: (
+                self.states[rid].spec.arrival_s,
+                self.states[rid].request_id,
+            ),
+        )
+        return np.array(ranked, dtype=np.int64)
 
     def compact(self, ids: np.ndarray) -> np.ndarray:
         # The historical per-object scan: `[r for r in pool if not r.done]`.
@@ -684,6 +821,14 @@ class ListPool:
             np.array(completed, dtype=np.int64),
         )
 
+    def reset_progress(self) -> None:
+        for state in self.states:
+            state.generated = 0
+            state.encode_start_s = -1.0
+            state.encode_finish_s = -1.0
+            state.finish_s = -1.0
+            state.admitted_cycle = -1
+
     def set_admitted_cycle(self, ids: np.ndarray, cycle: int) -> None:
         for rid in ids.tolist():
             self.states[rid].admitted_cycle = cycle
@@ -726,6 +871,15 @@ class ListPool:
 
     def remaining_tokens(self, ids: np.ndarray) -> int:
         return sum(self.states[rid].remaining for rid in ids.tolist())
+
+    def total_tokens(self, ids: np.ndarray) -> np.ndarray:
+        return np.array(
+            [
+                self.states[rid].input_len + self.states[rid].output_len
+                for rid in ids.tolist()
+            ],
+            dtype=np.int64,
+        )
 
     def done_count_of(self, ids: np.ndarray) -> int:
         return sum(1 for rid in ids.tolist() if self.states[rid].done)

@@ -183,6 +183,35 @@ def build_online_server(
     return server
 
 
+def build_online_fleet(
+    engine: ExeGPT,
+    system: str,
+    slo_bound_s: float,
+    replicas: int,
+    routing="jsq",
+    max_queue: int = 512,
+    schedule_headroom: float = 0.7,
+):
+    """Configure an N-replica online fleet of one system for an SLO bound.
+
+    The single-server construction (:func:`build_online_server`) runs once;
+    the fleet is ``replicas`` clones of that server behind ``routing``.
+    This is the entry point large sweeps combine with
+    :meth:`~repro.serving.fleet.Fleet.serve_pool` to serve million-request
+    pools without trace materialization.
+    """
+    from repro.serving.fleet import Fleet
+
+    server = build_online_server(
+        engine,
+        system,
+        slo_bound_s,
+        max_queue=max_queue,
+        schedule_headroom=schedule_headroom,
+    )
+    return Fleet.homogeneous(server, replicas, routing=routing)
+
+
 def default_baselines(
     engine: ExeGPT, systems: tuple[str, ...] = ("ft",)
 ) -> list[BaselineSystem]:

@@ -50,10 +50,11 @@ import numpy as np
 from repro.engine.pool import RequestPool
 from repro.engine.timeline import Timeline
 from repro.serving.online import (
+    DEFAULT_CORE,
     OnlineResult,
     OnlineServer,
+    RecordColumns,
     ServingLoop,
-    make_records,
 )
 from repro.serving.sla import SLA
 from repro.workloads.trace import WorkloadTrace
@@ -84,6 +85,21 @@ class RoutingPolicy:
         """Replica index to hand ``rid`` to, or ``None`` when all are full."""
         raise NotImplementedError
 
+    def select_batch(
+        self, fleet: "Fleet", rids: np.ndarray, clock: float
+    ) -> np.ndarray | None:
+        """Vectorized routing of one arrival batch, or ``None``.
+
+        Returns the replica index per id of ``rids`` (in order, -1 for
+        arrivals no replica can take), deciding **exactly** as sequential
+        :meth:`select` + enqueue calls would -- the event core's bit-parity
+        contract.  ``None`` means the policy has no batch path (or its
+        preconditions fail, e.g. queue bounds interact mid-batch); the
+        fleet then falls back to per-id selection.  The base class always
+        falls back, so custom policies stay correct unmodified.
+        """
+        return None
+
 
 class RoundRobinRouting(RoutingPolicy):
     """Cyclic assignment, skipping replicas whose queue is full."""
@@ -102,6 +118,24 @@ class RoundRobinRouting(RoutingPolicy):
                 self._next = (i + 1) % n
                 return i
         return None
+
+    def select_batch(
+        self, fleet: "Fleet", rids: np.ndarray, clock: float
+    ) -> np.ndarray | None:
+        replicas = fleet.replicas
+        n = len(replicas)
+        k = int(rids.size)
+        space = np.array(
+            [r.max_queue - r.queue_depth for r in replicas], dtype=np.int64
+        )
+        # A pure cyclic deal hands each replica at most ceil(k/n) ids; it
+        # equals sequential skip-the-full selection only when no queue can
+        # fill mid-batch, so bound interaction falls back to per-id calls.
+        if int(space.min()) < -(-k // n):
+            return None
+        assigned = (self._next + np.arange(k, dtype=np.int64)) % n
+        self._next = int((self._next + k) % n)
+        return assigned
 
 
 class JoinShortestQueueRouting(RoutingPolicy):
@@ -123,6 +157,39 @@ class JoinShortestQueueRouting(RoutingPolicy):
             if best is None or load < best_load:
                 best, best_load = i, load
         return best
+
+    def select_batch(
+        self, fleet: "Fleet", rids: np.ndarray, clock: float
+    ) -> np.ndarray:
+        """One k-way merge instead of k greedy scans.
+
+        Sequential JSQ over a batch is "assign to argmin load, then that
+        load += 1": replica ``i`` receives its assignments at loads
+        ``load_i, load_i + 1, ...`` up to its queue space.  The j-th
+        sequential pick is therefore the j-th element of the merged
+        ``(load, replica)``-sorted union of those per-replica streams --
+        lexsort's stable (value, index) order reproduces the lower-index
+        tie-break exactly.
+        """
+        replicas = fleet.replicas
+        n = len(replicas)
+        k = int(rids.size)
+        loads = np.array(
+            [r.queue_depth + r.in_flight for r in replicas], dtype=np.int64
+        )
+        space = np.array(
+            [r.max_queue - r.queue_depth for r in replicas], dtype=np.int64
+        )
+        take = np.clip(space, 0, k)
+        total = int(take.sum())
+        offsets = np.arange(total) - np.repeat(np.cumsum(take) - take, take)
+        vals = np.repeat(loads, take) + offsets
+        idxs = np.repeat(np.arange(n, dtype=np.int64), take)
+        merge = np.lexsort((idxs, vals))
+        assigned = np.full(k, -1, dtype=np.int64)
+        m = min(k, total)
+        assigned[:m] = idxs[merge[:m]]
+        return assigned
 
 
 class LeastOutstandingWorkRouting(RoutingPolicy):
@@ -153,6 +220,44 @@ class LeastOutstandingWorkRouting(RoutingPolicy):
             if best is None or cost < best_cost:
                 best, best_cost = i, cost
         return best
+
+    def select_batch(
+        self, fleet: "Fleet", rids: np.ndarray, clock: float
+    ) -> np.ndarray:
+        """Outstanding tokens reduced once per replica, not once per id.
+
+        During an ingest batch no replica iterates, so each replica's
+        outstanding tokens change only by the whole requests this batch
+        assigns to it: an integer ``+= input + output`` per assignment.
+        The running integer totals divided by the cached rates are
+        bit-identical to the per-id reductions of sequential
+        :meth:`select` calls, lower-index ties included (strict ``<``
+        there, first-occurrence argmin here).
+        """
+        replicas = fleet.replicas
+        n = len(replicas)
+        tokens = np.array(
+            [r.outstanding_tokens() for r in replicas], dtype=np.int64
+        )
+        rates = np.asarray(self._rates, dtype=float)
+        space = np.array(
+            [r.max_queue - r.queue_depth for r in replicas], dtype=np.int64
+        )
+        added = fleet._pool.total_tokens(rids)
+        costs = tokens / rates
+        assigned = np.full(rids.size, -1, dtype=np.int64)
+        open_mask = space > 0
+        for j in range(int(rids.size)):
+            if not open_mask.any():
+                break
+            index = int(np.argmin(np.where(open_mask, costs, np.inf)))
+            assigned[j] = index
+            tokens[index] += added[j]
+            costs[index] = tokens[index] / rates[index]
+            space[index] -= 1
+            if space[index] <= 0:
+                open_mask[index] = False
+        return assigned
 
 
 ROUTING_POLICIES: dict[str, type[RoutingPolicy]] = {
@@ -344,22 +449,49 @@ class Fleet:
         trace: WorkloadTrace,
         scenario: str = "",
         offered_rate_qps: float = 0.0,
+        core: str = DEFAULT_CORE,
     ) -> FleetResult:
         """Serve an arrival-stamped trace through the fleet.
 
-        Loads the trace into ONE shared :class:`RequestPool`, resets every
-        replica against it (each on its own timeline), and drives the
-        shared :class:`ServingLoop`: every arrival is routed -- an id
-        handoff into the selected replica's bounded local queue -- or
-        rejected when the policy finds every queue full.  After the loop
-        drains, each replica resolves its engine bookkeeping into the
-        shared records.
+        Loads the trace into ONE shared :class:`RequestPool` and hands it
+        to :meth:`serve_pool`.
         """
         if len(trace) == 0:
             raise ValueError("trace must contain at least one request")
-        pool = RequestPool.from_trace(trace)
+        return self.serve_pool(
+            RequestPool.from_trace(trace),
+            scenario=scenario,
+            offered_rate_qps=offered_rate_qps,
+            core=core,
+        )
+
+    def serve_pool(
+        self,
+        pool: RequestPool,
+        scenario: str = "",
+        offered_rate_qps: float = 0.0,
+        core: str = DEFAULT_CORE,
+    ) -> FleetResult:
+        """Serve an arrival-stamped request pool through the fleet.
+
+        Resets every replica against the shared pool (each on its own
+        timeline) and drives the shared :class:`ServingLoop`: every
+        arrival is routed -- an id handoff into the selected replica's
+        bounded local queue -- or rejected when the policy finds every
+        queue full.  Arrival batches go through the policy's
+        :meth:`~RoutingPolicy.select_batch` when it has one, falling back
+        to per-id :meth:`~RoutingPolicy.select` otherwise (and whenever
+        the batch path's preconditions fail).  After the loop drains,
+        each replica resolves its engine bookkeeping into the shared
+        record columns.  The pool's generation progress is reset first,
+        so one pool can be served through several fleets or cores in
+        turn (a stale ``done`` mask would otherwise empty the run).
+        """
+        if len(pool) == 0:
+            raise ValueError("pool must contain at least one request")
+        pool.reset_progress()
         self._pool = pool
-        records = make_records(pool)
+        records = RecordColumns(pool)
         assignments = np.full(len(pool), -1, dtype=np.int64)
         for replica in self.replicas:
             replica.reset(Timeline(), pool)
@@ -377,11 +509,35 @@ class Fleet:
             assignments[rid] = index
             return True
 
-        def reject(rid: int) -> None:
-            records[rid].rejected = True
+        def route_batch(rids: np.ndarray, clock: float) -> np.ndarray:
+            batch_assigned = self.routing.select_batch(self, rids, clock)
+            if batch_assigned is None:
+                # Per-id fallback: sequential select + enqueue, the path
+                # arbitrary (custom/stateful) policies always take.
+                batch_assigned = np.full(rids.size, -1, dtype=np.int64)
+                for j, rid in enumerate(rids.tolist()):
+                    if route(rid, clock):
+                        batch_assigned[j] = assignments[rid]
+                return batch_assigned
+            for index in np.unique(batch_assigned[batch_assigned >= 0]):
+                mine = rids[batch_assigned == index]
+                if self.replicas[index].enqueue_batch(mine) != mine.size:
+                    raise RuntimeError(
+                        f"routing policy {self.routing.name} batch-selected "
+                        f"replica {index} beyond its queue space"
+                    )
+            assignments[rids] = batch_assigned
+            return batch_assigned
 
         loop = ServingLoop(
-            pool, self.replicas, route=route, on_reject=reject, name=self.name
+            pool,
+            self.replicas,
+            route=route,
+            on_reject=records.reject,
+            route_batch=route_batch,
+            on_reject_batch=records.reject_batch,
+            name=self.name,
+            core=core,
         )
         iterations = loop.run()
         for replica in self.replicas:
@@ -391,37 +547,32 @@ class Fleet:
         # with no assignment are exactly the rejected records (rejection
         # happens at routing and nowhere else), so fleet rejection_rate is
         # the single-server semantics by construction.
-        rejected_ids = set(np.flatnonzero(assignments < 0).tolist())
-        rejected_records = {
-            rid for rid, record in records.items() if record.rejected
-        }
-        if rejected_ids != rejected_records:
+        if not np.array_equal(assignments < 0, records.rejected):
             raise RuntimeError(
                 f"fleet {self.name}: rejection accounting diverged "
-                f"({len(rejected_ids)} unassigned vs "
-                f"{len(rejected_records)} rejected records)"
+                f"({int(np.count_nonzero(assignments < 0))} unassigned vs "
+                f"{int(np.count_nonzero(records.rejected))} rejected records)"
             )
 
-        ordered = tuple(records[rid] for rid in range(len(pool)))
         makespans = [replica._timeline.makespan_s for replica in self.replicas]
-        fleet_result = OnlineResult(
+        fleet_result = OnlineResult.from_columns(
             system=self.name,
             scenario=scenario,
             offered_rate_qps=offered_rate_qps,
-            records=ordered,
+            columns=records,
             makespan_s=max(makespans),
             extra={
                 "iterations": float(iterations),
                 "replicas": float(len(self.replicas)),
             },
         )
+        ordered = fleet_result.records
         per_replica = []
         counts = loop.iteration_counts
         for i, replica in enumerate(self.replicas):
-            mine = tuple(
-                records[rid]
-                for rid in np.flatnonzero(assignments == i).tolist()
-            )
+            # An id-array gather on the columnar records: each replica's
+            # result shares the fleet columns, no records are boxed.
+            mine = ordered[np.flatnonzero(assignments == i)]
             per_replica.append(
                 OnlineResult(
                     system=replica.name,

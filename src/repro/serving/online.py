@@ -82,6 +82,28 @@ from repro.workloads.trace import WorkloadTrace
 
 _MAX_ITERATIONS = 500000
 
+#: Serving-loop implementations (see :class:`ServingLoop`): the batched
+#: discrete-event core is the default; the stepped core is the historical
+#: per-event reference the event core must match bit for bit.
+SERVING_CORES = ("event", "stepped")
+DEFAULT_CORE = "event"
+
+
+def default_max_iterations(pool, replicas: int = 1) -> int:
+    """Convergence-guard default scaled to the workload.
+
+    The historical fixed 500k cap tripped on any trace with >= 500k
+    arrivals even while the loop was making progress.  The scaled default
+    bounds honest progress instead: every request costs at most a few
+    ``iterate`` calls of admission overhead plus its decode iterations
+    (one generated token per iterate is the slowest possible pace), and
+    each replica may burn a few idle iterations draining.  The explicit
+    ``max_iterations`` override still wins when a caller wants a tighter
+    guard.
+    """
+    remaining = int(pool.remaining_tokens(pool.ids()))
+    return max(_MAX_ITERATIONS, 8 * len(pool) + remaining + 64 * replicas)
+
 
 # ---------------------------------------------------------------------------
 # Per-request records and aggregate result
@@ -137,6 +159,107 @@ class OnlineRequestRecord:
         return self.finish_s - self.arrival_s
 
 
+class RecordSequence:
+    """Immutable record sequence materialized on demand from columns.
+
+    Behaves like a tuple of :class:`OnlineRequestRecord` -- length,
+    indexing, slicing, iteration, equality (including against real record
+    tuples) -- but stores only the eight backing arrays.  A million-request
+    serve therefore allocates **no** per-request Python objects unless a
+    caller actually touches individual records; building the boxed record
+    tuple eagerly cost seconds of allocation plus a superlinear garbage-
+    collector term (millions of tracked objects) that dominated large
+    sweeps.  Indexing with an id array gathers a new sequence (the fleet's
+    per-replica record split), so even result slicing stays columnar.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(
+        self,
+        request_id: np.ndarray,
+        input_len: np.ndarray,
+        output_len: np.ndarray,
+        arrival_s: np.ndarray,
+        admitted_s: np.ndarray,
+        first_token_s: np.ndarray,
+        finish_s: np.ndarray,
+        rejected: np.ndarray,
+    ) -> None:
+        self._arrays = (
+            request_id, input_len, output_len, arrival_s,
+            admitted_s, first_token_s, finish_s, rejected,
+        )
+
+    def __len__(self) -> int:
+        return int(self._arrays[0].shape[0])
+
+    def _record(self, row: int) -> OnlineRequestRecord:
+        (
+            request_id, input_len, output_len, arrival_s,
+            admitted_s, first_token_s, finish_s, rejected,
+        ) = self._arrays
+        return OnlineRequestRecord(
+            request_id=int(request_id[row]),
+            input_len=int(input_len[row]),
+            output_len=int(output_len[row]),
+            arrival_s=float(arrival_s[row]),
+            admitted_s=float(admitted_s[row]),
+            first_token_s=float(first_token_s[row]),
+            finish_s=float(finish_s[row]),
+            rejected=bool(rejected[row]),
+        )
+
+    def __getitem__(self, index):
+        if isinstance(index, (int, np.integer)):
+            row = int(index)
+            if row < 0:
+                row += len(self)
+            if not 0 <= row < len(self):
+                raise IndexError("record index out of range")
+            return self._record(row)
+        # Slices and id arrays gather columns, never boxing a record.
+        return RecordSequence(*(a[index] for a in self._arrays))
+
+    def __iter__(self):
+        for values in zip(*(a.tolist() for a in self._arrays)):
+            yield OnlineRequestRecord(*values)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RecordSequence):
+            return all(
+                np.array_equal(a, b)
+                for a, b in zip(self._arrays, other._arrays)
+            )
+        if isinstance(other, (tuple, list)):
+            return len(self) == len(other) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # mutable-record elements; same as a list
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The aggregate columns :class:`OnlineResult` caches."""
+        return {
+            "arrival": self._arrays[3],
+            "admitted": self._arrays[4],
+            "first_token": self._arrays[5],
+            "finish": self._arrays[6],
+            "rejected": self._arrays[7],
+            "output_len": self._arrays[2],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordSequence(len={len(self)})"
+
+
 @dataclass(frozen=True)
 class OnlineResult:
     """Aggregate outcome of serving one arrival-stamped trace.
@@ -150,7 +273,9 @@ class OnlineResult:
     cached -- rate sweeps touch ``completed``/``rejected``/percentiles many
     times per run, and the historical per-access record scans were O(n)
     each.  The records are snapshotted by that first access; they are not
-    meant to change after construction.
+    meant to change after construction.  Results built by a serve carry a
+    :class:`RecordSequence` (records boxed on demand from columns); a plain
+    tuple of records is still accepted and scanned as before.
 
     Attributes:
         system: Serving system name.
@@ -164,7 +289,7 @@ class OnlineResult:
     system: str
     scenario: str
     offered_rate_qps: float
-    records: tuple[OnlineRequestRecord, ...]
+    records: "tuple[OnlineRequestRecord, ...] | RecordSequence"
     makespan_s: float
     extra: dict[str, float] = field(default_factory=dict)
 
@@ -174,6 +299,8 @@ class OnlineResult:
     def _columns(self) -> dict[str, np.ndarray]:
         """One pass over the records; every aggregate derives from these."""
         records = self.records
+        if isinstance(records, RecordSequence):
+            return records.columns()
         return {
             "arrival": np.array([r.arrival_s for r in records], dtype=float),
             "admitted": np.array([r.admitted_s for r in records], dtype=float),
@@ -325,23 +452,84 @@ class OnlineResult:
             return False
         return sla.satisfied(self.to_run_result())
 
+    @classmethod
+    def from_columns(
+        cls,
+        system: str,
+        scenario: str,
+        offered_rate_qps: float,
+        columns: "RecordColumns",
+        makespan_s: float,
+        extra: dict[str, float],
+    ) -> "OnlineResult":
+        """Build a result straight from a serve's columnar record store.
+
+        The records stay columnar: a :class:`RecordSequence` snapshots the
+        pool's static columns next to the serve's outcome columns, boxing
+        individual :class:`OnlineRequestRecord` objects only when a caller
+        indexes or iterates.  The :attr:`_columns` aggregate cache is
+        seeded with the same arrays -- a million-request result never
+        scans (or even allocates) per-request records to compute counts or
+        percentiles.
+        """
+        pool = columns.pool
+        records = RecordSequence(
+            pool.request_id.astype(np.int64, copy=True),
+            pool.input_len.astype(np.int64, copy=True),
+            pool.output_len.astype(np.int64, copy=True),
+            pool.arrival_s.astype(float, copy=True),
+            columns.admitted_s,
+            columns.first_token_s,
+            columns.finish_s,
+            columns.rejected,
+        )
+        result = cls(
+            system=system,
+            scenario=scenario,
+            offered_rate_qps=offered_rate_qps,
+            records=records,
+            makespan_s=makespan_s,
+            extra=extra,
+        )
+        # cached_property writes land in the instance __dict__, so seeding
+        # the cache here short-circuits even the first-access column pick.
+        result.__dict__["_columns"] = records.columns()
+        return result
+
 
 # ---------------------------------------------------------------------------
 # The shared event loop: arrival ingest, clock, termination
 # ---------------------------------------------------------------------------
 
 
-def make_records(pool: RequestPool) -> dict[int, OnlineRequestRecord]:
-    """Blank per-request records for every id of a pool, keyed by id."""
-    return {
-        rid: OnlineRequestRecord(
-            request_id=pool.request_id_of(rid),
-            input_len=pool.input_len_of(rid),
-            output_len=pool.output_len_of(rid),
-            arrival_s=pool.arrival_of(rid),
-        )
-        for rid in range(len(pool))
-    }
+class RecordColumns:
+    """Columnar per-request outcome store of one serve.
+
+    The record side of the serving loop at million-request scale: outcome
+    timestamps land as vectorized scatters (``column[ids] = when``) and
+    rejection flags as mask writes, so no per-request record object exists
+    until the final :class:`OnlineResult` is built
+    (:meth:`OnlineResult.from_columns`).  Requires an array-backed
+    :class:`RequestPool` (the only pool online serving runs on).
+    """
+
+    __slots__ = ("pool", "admitted_s", "first_token_s", "finish_s", "rejected")
+
+    def __init__(self, pool: RequestPool) -> None:
+        n = len(pool)
+        self.pool = pool
+        self.admitted_s = np.full(n, -1.0)
+        self.first_token_s = np.full(n, -1.0)
+        self.finish_s = np.full(n, -1.0)
+        self.rejected = np.zeros(n, dtype=bool)
+
+    def reject(self, rid: int) -> None:
+        """Flag one arrival as rejected (the stepped core's callback)."""
+        self.rejected[rid] = True
+
+    def reject_batch(self, ids: np.ndarray) -> None:
+        """Flag a batch of arrivals as rejected (one mask write)."""
+        self.rejected[ids] = True
 
 
 class ServingLoop:
@@ -358,14 +546,34 @@ class ServingLoop:
     and *replica readiness*, the next-start clock each ``iterate`` call
     returns.  Invariants:
 
-    * Every arrival with ``arrival_s <= clock`` is offered to ``route``
+    * Every arrival with ``arrival_s <= clock`` is offered to the router
       (an id handoff into some replica's bounded admission queue) before
-      any replica iterates at ``clock``; when ``route`` cannot place the
-      id, the arrival is rejected -- permanently -- via ``on_reject``.
+      any replica iterates at ``clock`` -- an arrival landing at *exactly*
+      a replica-ready clock is routed first, then the replica iterates.
+      When no eligible queue has space, the arrival is rejected --
+      permanently.
     * Among replicas with pending work (a queued id or engine work), the
       one with the earliest next-ready clock acts; ties break on the
       lower replica index, so interleaving is deterministic.
     * When no replica has work, the clock skips to the next arrival.
+
+    Two cores implement those invariants:
+
+    * ``"event"`` (default) -- the batched discrete-event core.  Arrivals
+      up to the clock are drained as one ``searchsorted`` slice of the
+      sorted arrival array and routed through ``route_batch`` (vectorized
+      when the policy supports it), per-replica ready times live in a
+      numpy array with a masked-argmin event pick, and rejections land as
+      one mask write per batch.  While every replica is pending, the clock
+      jumps straight to the next ready time and the whole arrival window
+      drains as one batch (routing cannot wake anyone or reorder iterates
+      then); with an idle replica in the mix the advance is clamped to the
+      next arrival so wake-ups happen at arrival clocks, exactly as in the
+      stepped core.
+    * ``"stepped"`` -- the historical per-event loop: one ``route`` call
+      per arrival, a Python list scan per event pick.  It is the
+      executable reference the event core must match bit for bit (the
+      parity gate of the serving test suite and perf harness).
 
     Args:
         pool: The (shared) request pool whose arrival column feeds the loop.
@@ -374,8 +582,16 @@ class ServingLoop:
         route: ``route(rid, clock) -> bool`` -- hand an arrived id to some
             replica's queue; ``False`` means every eligible queue was full.
         on_reject: Called once for each arrival that could not be placed.
-        max_iterations: Convergence guard over total ``iterate`` calls.
+        route_batch: Optional ``route_batch(rids, clock) -> assignments``
+            -- route a whole arrival batch (ids in arrival order), returning
+            the replica index per id with -1 for rejected arrivals.  Must
+            decide exactly as sequential ``route`` calls would.  Without
+            it the event core falls back to per-id ``route`` calls.
+        on_reject_batch: Optional batch form of ``on_reject``.
+        max_iterations: Convergence guard over total ``iterate`` calls;
+            defaults to :func:`default_max_iterations` of the pool.
         name: Label used in the convergence error.
+        core: ``"event"`` or ``"stepped"`` (see above).
     """
 
     def __init__(
@@ -384,28 +600,63 @@ class ServingLoop:
         replicas,
         route,
         on_reject,
-        max_iterations: int = _MAX_ITERATIONS,
+        route_batch=None,
+        on_reject_batch=None,
+        max_iterations: int | None = None,
         name: str = "online",
+        core: str = DEFAULT_CORE,
     ) -> None:
         self.pool = pool
         self.replicas = list(replicas)
         if not self.replicas:
             raise ValueError("ServingLoop needs at least one replica")
+        if core not in SERVING_CORES:
+            raise ValueError(
+                f"unknown serving core {core!r}; known: {', '.join(SERVING_CORES)}"
+            )
         self.route = route
         self.on_reject = on_reject
+        self.route_batch = route_batch
+        self.on_reject_batch = on_reject_batch
+        if max_iterations is None:
+            max_iterations = default_max_iterations(pool, len(self.replicas))
         self.max_iterations = max_iterations
         self.name = name
+        self.core = core
         #: Per-replica ``iterate`` call counts of the last :meth:`run`.
         self.iteration_counts: list[int] = [0] * len(self.replicas)
 
     def run(self) -> int:
         """Drive until arrivals, queues and engines drain; returns the
         total number of ``iterate`` calls across all replicas."""
+        if self.core == "event":
+            return self._run_event()
+        return self._run_stepped()
+
+    def _convergence_error(
+        self, clock: float, ingested: int, total: int
+    ) -> RuntimeError:
+        """The convergence failure, carrying enough loop state to debug a
+        real non-convergence from the message alone."""
+        depths = [r.queue_depth for r in self.replicas]
+        in_flight = [r.in_flight for r in self.replicas]
+        return RuntimeError(
+            f"online serving loop {self.name} did not converge: "
+            f"exceeded max_iterations={self.max_iterations} at "
+            f"clock={clock:.6f}s with arrivals ingested={ingested}/{total} "
+            f"(remaining={total - ingested}), per-replica "
+            f"iterations={self.iteration_counts}, queue depths={depths}, "
+            f"in flight={in_flight}"
+        )
+
+    # -- the stepped reference core ------------------------------------------------
+
+    def _run_stepped(self) -> int:
         pool = self.pool
         replicas = self.replicas
         # Arrival order: (arrival_s, request_id), a pointer into one sorted
         # id array rather than a deque of objects.
-        order = np.lexsort((pool.request_id, pool.arrival_s))
+        order = pool.arrival_order()
         arrival_s = pool.arrival_s
         pos = 0
         clock = 0.0
@@ -445,9 +696,102 @@ class ServingLoop:
             self.iteration_counts[index] += 1
             iterations += 1
             if iterations > self.max_iterations:
-                raise RuntimeError(
-                    f"online serving loop {self.name} did not converge"
+                raise self._convergence_error(clock, pos, order.size)
+        return iterations
+
+    # -- the batched discrete-event core ---------------------------------------------
+
+    def _ingest_batch(
+        self, batch: np.ndarray, times: np.ndarray, clock: float, pending
+    ) -> None:
+        """Route one arrival batch (ids in arrival order, ``times`` their
+        arrival timestamps) drained at ``clock``.
+
+        With a ``route_batch`` the whole batch is one routing call and one
+        rejection mask write, and only the replicas that received ids have
+        their pending flags raised; without one, the per-id ``route``
+        fallback keeps arbitrary policies correct -- each id is offered at
+        its own arrival time, exactly as the stepped core would -- and the
+        pending flags are recomputed from the replicas afterwards.
+        """
+        if self.route_batch is not None:
+            assigned = self.route_batch(batch, clock)
+            rejected = batch[assigned < 0]
+            if rejected.size:
+                if self.on_reject_batch is not None:
+                    self.on_reject_batch(rejected)
+                else:
+                    for rid in rejected.tolist():
+                        self.on_reject(rid)
+            placed = assigned[assigned >= 0]
+            if placed.size:
+                pending[np.unique(placed)] = True
+        else:
+            for rid, when in zip(batch.tolist(), times.tolist()):
+                if not self.route(rid, when):
+                    self.on_reject(rid)
+            for i, replica in enumerate(self.replicas):
+                if not pending[i]:
+                    pending[i] = bool(replica.queue_depth or replica.busy)
+
+    def _run_event(self) -> int:
+        replicas = self.replicas
+        n = len(replicas)
+        order = self.pool.arrival_order()
+        # One contiguous sorted-arrival array: the ingest slice per event
+        # is a searchsorted on it, not a per-arrival comparison loop.
+        arrival_sorted = np.ascontiguousarray(self.pool.arrival_s[order])
+        total = order.size
+        pos = 0
+        clock = 0.0
+        next_ready = np.zeros(n, dtype=np.float64)
+        pending = np.zeros(n, dtype=bool)
+        iterations = 0
+        self.iteration_counts = [0] * n
+        while True:
+            # Batched ingest: every arrival with arrival_s <= clock, as one
+            # slice of the sorted order ('right' side == the stepped <=).
+            if pos < total and arrival_sorted[pos] <= clock:
+                stop = pos + int(
+                    np.searchsorted(arrival_sorted[pos:], clock, side="right")
                 )
+                batch = order[pos:stop]
+                times = arrival_sorted[pos:stop]
+                pos = stop
+                self._ingest_batch(batch, times, clock, pending)
+            if not pending.any():
+                if pos >= total:
+                    break
+                clock = max(clock, float(arrival_sorted[pos]))
+                continue
+            # Masked argmin == min over (next_ready, index): numpy argmin
+            # returns the first occurrence, i.e. the lowest replica index
+            # among ties, matching the stepped core's deterministic pick.
+            ready = np.where(pending, next_ready, np.inf)
+            index = int(np.argmin(ready))
+            ready_at = float(ready[index])
+            if ready_at > clock:
+                # With every replica pending, routing cannot change which
+                # replica iterates next or when (next-ready times move only
+                # in iterate, pending flags cannot rise further), so ALL
+                # arrivals up to the ready time drain as one batch at the
+                # loop top -- the million-request fast path.  With an idle
+                # replica in the mix an arrival may wake it mid-window, and
+                # it must iterate at that arrival's clock, so the advance
+                # is clamped to the next arrival (the stepped semantics).
+                if pos < total and not pending.all():
+                    ready_at = min(ready_at, float(arrival_sorted[pos]))
+                clock = ready_at
+                continue
+            replica = replicas[index]
+            next_ready[index] = max(replica.iterate(clock), clock)
+            # Only the iterated replica's pending state can change here:
+            # routing is the sole other writer, and it raises flags itself.
+            pending[index] = bool(replica.queue_depth or replica.busy)
+            self.iteration_counts[index] += 1
+            iterations += 1
+            if iterations > self.max_iterations:
+                raise self._convergence_error(clock, pos, total)
         return iterations
 
 
@@ -562,6 +906,20 @@ class OnlineServer:
         self._queue.append(rid)
         return True
 
+    def enqueue_batch(self, rids: np.ndarray) -> int:
+        """Admit the longest possible prefix of ``rids`` into the queue.
+
+        Returns the count accepted -- exactly what per-id :meth:`enqueue`
+        calls in the same order would accept, since the queue only grows
+        during an ingest batch.  The caller rejects the rest.
+        """
+        space = self.max_queue - len(self._queue)
+        if space <= 0:
+            return 0
+        accepted = min(space, int(rids.size))
+        self._queue.extend(rids[:accepted].tolist())
+        return accepted
+
     def iterate(self, clock: float) -> float:
         """Run one engine iteration starting at ``clock``; returns the
         next iteration's start clock."""
@@ -598,21 +956,19 @@ class OnlineServer:
         """A fresh, identically configured server (a fleet replica)."""
         raise NotImplementedError
 
-    def resolve_records(self, records: dict[int, OnlineRequestRecord]) -> None:
-        """Resolve the engine's deferred bookkeeping into the records of
-        the ids this replica served."""
+    def resolve_records(self, records: RecordColumns) -> None:
+        """Resolve the engine's deferred bookkeeping into the record
+        columns of the ids this replica served -- one scatter per event
+        batch."""
         self._timeline.schedule_pending()
         bookkeeping = self._engine.bookkeeping
         for event, ids, when in bookkeeping.resolve_events(self._timeline):
             if event == "admitted":
-                for rid in ids.tolist():
-                    records[rid].admitted_s = when
+                records.admitted_s[ids] = when
             elif event == "first_token":
-                for rid in ids.tolist():
-                    records[rid].first_token_s = when
+                records.first_token_s[ids] = when
             else:
-                for rid in ids.tolist():
-                    records[rid].finish_s = when
+                records.finish_s[ids] = when
 
     # -- the single-replica serving entry point -----------------------------------
 
@@ -621,6 +977,7 @@ class OnlineServer:
         trace: WorkloadTrace,
         scenario: str = "",
         offered_rate_qps: float = 0.0,
+        core: str = DEFAULT_CORE,
     ) -> OnlineResult:
         """Serve an arrival-stamped trace and collect per-request records.
 
@@ -630,28 +987,59 @@ class OnlineServer:
         """
         if len(trace) == 0:
             raise ValueError("trace must contain at least one request")
-        pool = RequestPool.from_trace(trace)
-        records = make_records(pool)
+        return self.serve_pool(
+            RequestPool.from_trace(trace),
+            scenario=scenario,
+            offered_rate_qps=offered_rate_qps,
+            core=core,
+        )
+
+    def serve_pool(
+        self,
+        pool: RequestPool,
+        scenario: str = "",
+        offered_rate_qps: float = 0.0,
+        core: str = DEFAULT_CORE,
+    ) -> OnlineResult:
+        """Serve an arrival-stamped request pool directly.
+
+        The trace-free entry point for large sweeps: a million-request
+        pool built from arrays (:meth:`RequestPool.from_arrays`) is served
+        without ever materializing per-request spec or record objects on
+        the hot path.  The pool's generation progress is reset first, so
+        the same pool can be served repeatedly (across cores, configs or
+        fleets); without the reset a second serve would see every request
+        already ``done`` and silently complete nothing.
+        """
+        if len(pool) == 0:
+            raise ValueError("pool must contain at least one request")
+        pool.reset_progress()
+        records = RecordColumns(pool)
         self.reset(Timeline(), pool)
 
-        def reject(rid: int) -> None:
-            records[rid].rejected = True
+        def route_batch(rids: np.ndarray, clock: float) -> np.ndarray:
+            accepted = self.enqueue_batch(rids)
+            assigned = np.zeros(rids.size, dtype=np.int64)
+            assigned[accepted:] = -1
+            return assigned
 
         loop = ServingLoop(
             pool,
             [self],
             route=lambda rid, clock: self.enqueue(rid),
-            on_reject=reject,
+            on_reject=records.reject,
+            route_batch=route_batch,
+            on_reject_batch=records.reject_batch,
             name=self.name,
+            core=core,
         )
         iterations = loop.run()
         self.resolve_records(records)
-        ordered = tuple(records[rid] for rid in range(len(pool)))
-        return OnlineResult(
+        return OnlineResult.from_columns(
             system=self.name,
             scenario=scenario,
             offered_rate_qps=offered_rate_qps,
-            records=ordered,
+            columns=records,
             makespan_s=self._timeline.makespan_s,
             extra=self._extra(iterations),
         )

@@ -359,3 +359,148 @@ class TestRequestView:
         pool = ListPool()
         (rid,) = pool.admit_specs([RequestSpec(0, 4, 2, 0.0)]).tolist()
         assert pool.view(rid) is pool.states[rid]
+
+
+class TestEventCoreReductionsParity:
+    """ListPool parity for the reductions the event serving core added."""
+
+    @given(
+        lens=REQUESTS,
+        seed=st.integers(0, 2 ** 32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arrival_order_and_total_tokens_match_reference(self, lens, seed):
+        rng = np.random.default_rng(seed)
+        # Coarse arrival grid so exact ties are common: the order must
+        # fall back to request id deterministically on both backends.
+        arrivals = rng.choice([0.0, 0.25, 0.25, 0.5, 1.0], size=len(lens))
+        specs = [
+            RequestSpec(100 + i, input_len, output_len, float(arrival))
+            for i, ((input_len, output_len), arrival) in enumerate(
+                zip(lens, arrivals)
+            )
+        ]
+        columnar = RequestPool()
+        columnar.admit_specs(specs)
+        reference = ListPool()
+        reference.admit_specs(specs)
+
+        np.testing.assert_array_equal(
+            columnar.arrival_order(), reference.arrival_order()
+        )
+        ids = columnar.ids()
+        subset = ids[rng.random(ids.size) < 0.5]
+        np.testing.assert_array_equal(
+            columnar.total_tokens(subset), reference.total_tokens(subset)
+        )
+        np.testing.assert_array_equal(
+            columnar.total_tokens(EMPTY_IDS), reference.total_tokens(EMPTY_IDS)
+        )
+
+    @given(lens=REQUESTS, seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_from_arrays_matches_spec_admission(self, lens, seed):
+        rng = np.random.default_rng(seed)
+        inputs = np.array([i for i, _ in lens], dtype=np.int64)
+        outputs = np.array([o for _, o in lens], dtype=np.int64)
+        arrivals = np.round(rng.random(len(lens)) * 4, 2)
+        request_ids = np.arange(len(lens), dtype=np.int64) + 100
+
+        from_arrays = RequestPool.from_arrays(
+            inputs, outputs, arrivals, request_ids
+        )
+        specs = [
+            RequestSpec(100 + i, int(inp), int(out), float(arr))
+            for i, (inp, out, arr) in enumerate(zip(inputs, outputs, arrivals))
+        ]
+        from_specs = RequestPool()
+        from_specs.admit_specs(specs)
+        for column in (
+            "request_id", "input_len", "output_len", "arrival_s",
+            "generated", "encode_start_s", "encode_finish_s", "finish_s",
+            "admitted_cycle", "done",
+        ):
+            np.testing.assert_array_equal(
+                getattr(from_arrays, column), getattr(from_specs, column)
+            )
+
+        reference = ListPool.from_arrays(inputs, outputs, arrivals, request_ids)
+        assert reference.size == from_arrays.size
+        np.testing.assert_array_equal(
+            reference.input_lens(reference.ids()),
+            from_arrays.input_lens(from_arrays.ids()),
+        )
+        np.testing.assert_array_equal(
+            reference.arrival_order(), from_arrays.arrival_order()
+        )
+
+    def test_from_arrays_defaults_and_validation(self):
+        pool = RequestPool.from_arrays(
+            np.array([3, 5], dtype=np.int64), np.array([2, 4], dtype=np.int64)
+        )
+        np.testing.assert_array_equal(pool.request_id, [0, 1])
+        np.testing.assert_array_equal(pool.arrival_s, [0.0, 0.0])
+
+        ones = np.ones(2, dtype=np.int64)
+        with pytest.raises(ValueError):
+            RequestPool.from_arrays(ones, np.ones(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            RequestPool.from_arrays(np.zeros(2, dtype=np.int64), ones)
+        with pytest.raises(ValueError):
+            RequestPool.from_arrays(ones, ones, np.array([-0.5, 0.0]))
+        with pytest.raises(ValueError):
+            RequestPool.from_arrays(ones, ones, np.zeros(3))
+        with pytest.raises(ValueError):
+            RequestPool.from_arrays(ones, ones, None, np.arange(3))
+
+    def test_from_arrays_copies_inputs(self):
+        inputs = np.array([3, 5], dtype=np.int64)
+        outputs = np.array([2, 4], dtype=np.int64)
+        arrivals = np.array([0.0, 1.0])
+        pool = RequestPool.from_arrays(inputs, outputs, arrivals)
+        inputs[0] = 99
+        arrivals[0] = 99.0
+        assert pool.input_len[0] == 3
+        assert pool.arrival_s[0] == 0.0
+
+    @given(lens=REQUESTS, seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_reset_progress_matches_reference(self, lens, seed):
+        """`reset_progress` returns a consumed pool to the just-admitted
+        state on both backends (static columns intact, progress cleared)."""
+        rng = np.random.default_rng(seed)
+        specs = [
+            RequestSpec(100 + i, input_len, output_len, 0.0)
+            for i, (input_len, output_len) in enumerate(lens)
+        ]
+        pools = []
+        for backend in (RequestPool, ListPool):
+            pool = backend()
+            ids = pool.admit_specs(specs)
+            # Consume the pool partway: stamp, advance some to completion.
+            pool.set_admitted_cycle(ids, 3)
+            pool.stamp_encode_start(ids, 1.0)
+            subset = ids[rng.random(ids.size) < 0.7]
+            for rid in subset.tolist():
+                one = np.array([rid], dtype=np.int64)
+                pool.advance(one, pool.output_len_of(rid))
+                pool.stamp_finish(one, 2.0)
+            pool.reset_progress()
+            pools.append(pool)
+
+        columnar, reference = pools
+        assert columnar.done_count == reference.done_count == 0
+        assert columnar.alive_count == len(specs)
+        ids = columnar.ids()
+        np.testing.assert_array_equal(
+            columnar.done_mask(ids), reference.done_mask(ids)
+        )
+        np.testing.assert_array_equal(columnar.compact(ids), ids)
+        assert columnar.remaining_tokens(ids) == reference.remaining_tokens(ids)
+        for rid in ids.tolist():
+            assert columnar.view(rid).generated == 0
+            assert reference.view(rid).generated == 0
+            assert columnar.view(rid).encode_start_s == -1.0
+            assert columnar.view(rid).finish_s == -1.0
+            assert columnar.view(rid).admitted_cycle == -1
+            assert columnar.input_len_of(rid) == reference.input_len_of(rid)

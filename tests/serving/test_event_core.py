@@ -1,0 +1,486 @@
+"""Tests for the batched discrete-event serving core (`ServingLoop`).
+
+The contract under test: the ``"event"`` core reproduces the historical
+``"stepped"`` core **bit for bit** -- same per-request records, same replica
+assignments, same (request id, clock) iterate interleaving -- for every
+driver, every routing policy, single server and fleet, including rejection
+accounting at exact-tie timestamps.  On top of the parity gate: the pinned
+exact-tie semantics (an arrival landing at precisely a replica-ready clock
+is routed before the replica iterates), the workload-scaled
+``max_iterations`` default that replaces the fixed 500k cap, and the
+diagnostic payload of the convergence error.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.orca import Orca
+from repro.baselines.vllm import Vllm
+from repro.core.config import ScheduleConfig, SchedulePolicy
+from repro.engine.pool import EMPTY_IDS, RequestPool
+from repro.serving.fleet import Fleet
+from repro.serving.online import (
+    DEFAULT_CORE,
+    SERVING_CORES,
+    ContinuousBatchingOnlineServer,
+    ExeGPTOnlineServer,
+    OnlineRequestRecord,
+    OnlineServer,
+    RecordColumns,
+    RecordSequence,
+    ServingLoop,
+    default_max_iterations,
+)
+from repro.workloads.arrivals import PoissonProcess, attach_arrivals
+from repro.workloads.synthetic import generate_trace_from_distributions
+
+
+def _server(kind, profile, in_dist, out_dist, simulator, **kwargs):
+    """One of the four online drivers, by name (the fleet-test idiom)."""
+    if kind in ("orca", "vllm"):
+        cls = Orca if kind == "orca" else Vllm
+        system = cls(
+            profile=profile,
+            input_distribution=in_dist,
+            output_distribution=out_dist,
+        )
+        return ContinuousBatchingOnlineServer(
+            system=system, batch_size=kwargs.get("batch_size", 8),
+            max_queue=kwargs.get("max_queue", 512),
+        )
+    if kind == "rra":
+        config = ScheduleConfig(
+            policy=SchedulePolicy.RRA, encode_batch=8, decode_iterations=4
+        )
+    else:  # waa
+        config = ScheduleConfig(
+            policy=SchedulePolicy.WAA_C, encode_batch=8, micro_batches=2
+        )
+    return ExeGPTOnlineServer(
+        simulator, config, max_queue=kwargs.get("max_queue", 512)
+    )
+
+
+# ---------------------------------------------------------------------------
+# A deterministic stub replica: serves one queued id per iterate
+# ---------------------------------------------------------------------------
+
+
+class StubReplica(OnlineServer):
+    """Fixed-service-time replica exposing the full steppable API.
+
+    Each ``iterate`` pops one queued id and completes it ``service_s``
+    later; the (rid, clock) interleaving is logged so tests can assert the
+    two cores made identical decisions in identical order.
+    """
+
+    def __init__(self, service_s: float, max_queue: int = 512, name="stub"):
+        super().__init__(name=name, max_queue=max_queue)
+        self.service_s = service_s
+        self.log: list[tuple[int, float]] = []
+
+    def clone(self, name=None):
+        return StubReplica(self.service_s, self.max_queue, name or self.name)
+
+    def service_rate(self) -> float:
+        return 1.0 / self.service_s
+
+    def _reset(self, timeline, pool) -> None:
+        self._active = EMPTY_IDS
+        self.log = []
+
+    def _busy(self) -> bool:
+        return False
+
+    def _iterate(self, clock: float) -> float:
+        rid = self._queue.popleft()
+        self.log.append((rid, clock))
+        return clock + self.service_s
+
+    def resolve_records(self, records: RecordColumns) -> None:
+        for rid, start in self.log:
+            records.admitted_s[rid] = start
+            records.first_token_s[rid] = start
+            records.finish_s[rid] = start + self.service_s
+
+
+def _stub_pool(arrivals) -> RequestPool:
+    arrivals = np.asarray(arrivals, dtype=float)
+    ones = np.ones(arrivals.size, dtype=np.int64)
+    return RequestPool.from_arrays(ones * 4, ones * 2, arrivals)
+
+
+def _serve_stub_fleet(arrivals, services, max_queue, routing, core):
+    """One fresh stub fleet served over ``arrivals``; returns the evidence
+    the parity assertions compare."""
+    replicas = [
+        StubReplica(s, max_queue=max_queue, name=f"stub#{i}")
+        for i, s in enumerate(services)
+    ]
+    fleet = Fleet(replicas, routing=routing, name="stub-fleet")
+    result = fleet.serve_pool(_stub_pool(arrivals), core=core)
+    return result, [r.log for r in replicas]
+
+
+# ---------------------------------------------------------------------------
+# Stepped vs event parity: randomized stub fleets
+# ---------------------------------------------------------------------------
+
+
+class TestStubParity:
+    @given(
+        arrivals=st.lists(
+            st.sampled_from([0.0, 0.0, 0.1, 0.25, 0.25, 0.5, 0.75, 1.0, 2.0]),
+            min_size=1,
+            max_size=40,
+        ),
+        services=st.lists(
+            st.sampled_from([0.05, 0.1, 0.25, 0.5]), min_size=1, max_size=4
+        ),
+        max_queue=st.integers(1, 4),
+        routing=st.sampled_from(
+            ["round-robin", "jsq", "least-outstanding-work"]
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_event_core_matches_stepped_core(
+        self, arrivals, services, max_queue, routing
+    ):
+        """Records, assignments and iterate interleavings are identical --
+        arrival ties, queue-bound rejections and all."""
+        stepped, stepped_logs = _serve_stub_fleet(
+            arrivals, services, max_queue, routing, core="stepped"
+        )
+        event, event_logs = _serve_stub_fleet(
+            arrivals, services, max_queue, routing, core="event"
+        )
+        assert event.fleet.records == stepped.fleet.records
+        np.testing.assert_array_equal(event.assignments, stepped.assignments)
+        assert event_logs == stepped_logs
+        for ev, st_ in zip(event.replicas, stepped.replicas):
+            assert ev.records == st_.records
+
+    def test_single_server_cores_agree(self):
+        arrivals = [0.0, 0.0, 0.3, 0.3, 0.6, 2.0, 2.0, 2.0]
+        results = {}
+        for core in SERVING_CORES:
+            server = StubReplica(0.2, max_queue=2)
+            results[core] = server.serve_pool(_stub_pool(arrivals), core=core)
+        assert results["event"].records == results["stepped"].records
+        assert results["event"].rejected == results["stepped"].rejected
+
+    def test_unknown_core_rejected(self):
+        server = StubReplica(0.1)
+        with pytest.raises(ValueError, match="unknown serving core"):
+            server.serve_pool(_stub_pool([0.0]), core="warp")
+        assert DEFAULT_CORE in SERVING_CORES
+
+
+# ---------------------------------------------------------------------------
+# Pinned exact-tie semantics
+# ---------------------------------------------------------------------------
+
+
+class TestExactTieSemantics:
+    """An arrival at *precisely* a replica-ready clock is routed before the
+    replica iterates -- in both cores, bit-equal timestamps included."""
+
+    @pytest.mark.parametrize("core", SERVING_CORES)
+    def test_tie_arrival_rejected_while_queue_still_full(self, core):
+        # service 0.5, max_queue 1: rid0 starts at 0.0 and frees the queue
+        # only by iterating at 0.5; rid1 occupies the queue from 0.25.  The
+        # arrival at exactly 0.5 must be offered BEFORE the iterate drains
+        # the queue, so it finds it full and is rejected.
+        server = StubReplica(0.5, max_queue=1)
+        result = server.serve_pool(_stub_pool([0.0, 0.25, 0.5]), core=core)
+        assert [r.rejected for r in result.records] == [False, False, True]
+        assert result.records[1].admitted_s == 0.5
+
+    @pytest.mark.parametrize("core", SERVING_CORES)
+    def test_tie_arrival_admitted_when_queue_has_space(self, core):
+        # Same timestamps, queue bound 2: the tie arrival is queued at its
+        # arrival instant and served after rid1.
+        server = StubReplica(0.5, max_queue=2)
+        result = server.serve_pool(_stub_pool([0.0, 0.25, 0.5]), core=core)
+        assert [r.rejected for r in result.records] == [False, False, False]
+        assert result.records[1].admitted_s == 0.5
+        assert result.records[2].admitted_s == 1.0
+
+    @pytest.mark.parametrize("core", SERVING_CORES)
+    def test_tie_arrivals_in_fleet_route_before_iterates(self, core):
+        # Two replicas, both ready at exactly 0.4 when three ids land at
+        # 0.4: round-robin deals them deterministically, and the lower
+        # replica index iterates first at the tied ready time.
+        result, logs = _serve_stub_fleet(
+            arrivals=[0.0, 0.0, 0.4, 0.4, 0.4],
+            services=[0.4, 0.4],
+            max_queue=8,
+            routing="round-robin",
+            core=core,
+        )
+        assert result.rejected == 0
+        np.testing.assert_array_equal(
+            result.assignments, [0, 1, 0, 1, 0]
+        )
+        assert logs[0] == [(0, 0.0), (2, 0.4), (4, 0.8)]
+        assert logs[1] == [(1, 0.0), (3, 0.4)]
+
+
+# ---------------------------------------------------------------------------
+# Real drivers: stepped vs event across systems and routings
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def parity_trace(short_input_dist, short_output_dist):
+    trace = generate_trace_from_distributions(
+        short_input_dist, short_output_dist, num_requests=48, seed=21,
+        name="event-core",
+    )
+    return attach_arrivals(trace, PoissonProcess(25.0), seed=11)
+
+
+class TestDriverParity:
+    @pytest.mark.parametrize("kind", ["orca", "vllm", "rra", "waa"])
+    def test_single_server_event_matches_stepped(
+        self, kind, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, parity_trace,
+    ):
+        server = _server(
+            kind, tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        stepped = server.serve(parity_trace, core="stepped")
+        event = server.serve(parity_trace, core="event")
+        assert event.records == stepped.records
+        assert event.makespan_s == stepped.makespan_s
+        assert event.extra == stepped.extra
+
+    @pytest.mark.parametrize("kind", ["orca", "vllm", "rra", "waa"])
+    @pytest.mark.parametrize(
+        "routing", ["round-robin", "jsq", "least-outstanding-work"]
+    )
+    def test_fleet_event_matches_stepped(
+        self, kind, routing, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, parity_trace,
+    ):
+        server = _server(
+            kind, tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        fleet = Fleet.homogeneous(server, 3, routing=routing)
+        stepped = fleet.serve(parity_trace, core="stepped")
+        event = fleet.serve(parity_trace, core="event")
+        assert event.fleet.records == stepped.fleet.records
+        np.testing.assert_array_equal(event.assignments, stepped.assignments)
+        for ev, st_ in zip(event.replicas, stepped.replicas):
+            assert ev.records == st_.records
+            assert ev.makespan_s == st_.makespan_s
+
+    def test_fleet_rejection_parity_under_overload(
+        self, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator,
+    ):
+        trace = generate_trace_from_distributions(
+            short_input_dist, short_output_dist, num_requests=64, seed=9,
+            name="overload",
+        )
+        online = attach_arrivals(trace, PoissonProcess(2000.0), seed=3)
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=4, max_queue=4,
+        )
+        fleet = Fleet.homogeneous(server, 2, routing="jsq")
+        stepped = fleet.serve(online, core="stepped")
+        event = fleet.serve(online, core="event")
+        assert stepped.rejected > 0
+        assert event.fleet.records == stepped.fleet.records
+        np.testing.assert_array_equal(event.assignments, stepped.assignments)
+
+
+# ---------------------------------------------------------------------------
+# max_iterations scaling and convergence diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestMaxIterations:
+    def test_default_scales_with_pool(self):
+        small = _stub_pool(np.zeros(10))
+        assert default_max_iterations(small) == 500_000
+        big = _stub_pool(np.zeros(100_000))
+        # 8 per request + one per remaining output token + replica slack.
+        expected = 8 * 100_000 + 2 * 100_000 + 64 * 4
+        assert default_max_iterations(big, replicas=4) == max(500_000, expected)
+
+    def test_explicit_override_still_wins(self):
+        pool = _stub_pool([0.0, 0.0, 0.0])
+        loop = ServingLoop(
+            pool, [StubReplica(0.1)], route=lambda rid, clock: True,
+            on_reject=lambda rid: None, max_iterations=7,
+        )
+        assert loop.max_iterations == 7
+
+    @pytest.mark.slow
+    def test_trace_larger_than_historical_cap_completes(self):
+        """>500k arrivals used to trip the fixed `_MAX_ITERATIONS` even
+        while the loop was draining honestly; the scaled default must not.
+        """
+        n = 500_001
+        pool = _stub_pool(np.zeros(n))
+        server = StubReplica(1e-6, max_queue=n)
+        result = server.serve_pool(pool)
+        assert result.completed == n
+        assert result.rejected == 0
+        # The old fixed cap would have raised before draining.
+        assert float(result.extra["iterations"]) == n
+
+    @pytest.mark.parametrize("core", SERVING_CORES)
+    def test_convergence_error_carries_diagnostics(self, core):
+        class StuckReplica(StubReplica):
+            def _busy(self) -> bool:
+                return True  # never drains
+
+            def _iterate(self, clock: float) -> float:
+                return clock  # no progress either
+
+        pool = _stub_pool([0.0, 0.0, 5.0])
+        replica = StuckReplica(0.1, name="stuck")
+        replica.reset(None, pool)
+        loop = ServingLoop(
+            pool, [replica],
+            route=lambda rid, clock: replica.enqueue(rid),
+            on_reject=lambda rid: None,
+            max_iterations=10, name="diagnose", core=core,
+        )
+        with pytest.raises(RuntimeError) as err:
+            loop.run()
+        message = str(err.value)
+        assert "diagnose" in message
+        assert "max_iterations=10" in message
+        assert "clock=0.000000s" in message
+        assert "ingested=2/3" in message
+        assert "remaining=1" in message
+        assert "iterations=[11]" in message
+        assert "queue depths=" in message
+        assert "in flight=" in message
+
+
+# ---------------------------------------------------------------------------
+# Pool-direct serving (`serve_pool` / `from_arrays`)
+# ---------------------------------------------------------------------------
+
+
+class TestServePool:
+    def test_serve_pool_matches_serve_from_trace(
+        self, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, parity_trace,
+    ):
+        """Building the pool from raw arrays is the trace path without the
+        per-request spec boxing -- same records, bit for bit."""
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        from_trace = server.serve(parity_trace)
+        pool = RequestPool.from_arrays(
+            np.array([r.input_len for r in parity_trace.requests]),
+            np.array([r.output_len for r in parity_trace.requests]),
+            np.array([r.arrival_s for r in parity_trace.requests]),
+            np.array([r.request_id for r in parity_trace.requests]),
+        )
+        from_arrays = server.serve_pool(pool)
+        assert from_arrays.records == from_trace.records
+        assert from_arrays.makespan_s == from_trace.makespan_s
+
+    def test_result_columns_are_preseeded(self):
+        """`from_columns` results never re-scan their records: aggregates
+        come straight from the serve's columnar store."""
+        server = StubReplica(0.1, max_queue=1)
+        result = server.serve_pool(_stub_pool([0.0, 0.0, 0.0, 1.0]))
+        assert "_columns" in result.__dict__
+        assert result.offered == 4
+        assert result.completed + result.rejected == 4
+        np.testing.assert_array_equal(
+            result.__dict__["_columns"]["rejected"],
+            [r.rejected for r in result.records],
+        )
+
+    def test_empty_pool_rejected(self):
+        server = StubReplica(0.1)
+        with pytest.raises(ValueError, match="at least one request"):
+            server.serve_pool(RequestPool())
+
+    def test_same_pool_can_be_served_repeatedly(self):
+        """Serving resets the pool's generation progress first.
+
+        The latent bug this flushes out: a pool is consumed as it is
+        served (``generated`` / ``done`` columns advance), so a second
+        serve of the same pool used to see every request already done and
+        silently complete **nothing** -- no error, a zero-request result.
+        """
+        pool = _stub_pool([0.0, 0.25, 0.5, 1.0])
+        first = StubReplica(0.1, max_queue=8).serve_pool(pool)
+        again = StubReplica(0.1, max_queue=8).serve_pool(pool)
+        assert first.completed == 4
+        assert again.completed == 4
+        assert again.records == first.records
+        assert again.makespan_s == first.makespan_s
+
+    def test_same_pool_across_fleets_and_cores(self):
+        """One pool serves through several fleets/cores in sequence."""
+        arrivals = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+        pool = _stub_pool(arrivals)
+        results = []
+        for core in SERVING_CORES:
+            fleet = Fleet(
+                replicas=[StubReplica(0.2, max_queue=4) for _ in range(2)],
+                routing="round-robin",
+                name="stub-fleet",
+            )
+            results.append(fleet.serve_pool(pool, core=core))
+        assert all(r.fleet.completed == len(arrivals) for r in results)
+        assert results[0].fleet.records == results[1].fleet.records
+
+
+class TestRecordSequence:
+    """The columnar record sequence must be indistinguishable from the
+    boxed record tuple it replaces (length, indexing, slicing, iteration,
+    equality) while boxing records only on access."""
+
+    def _result(self):
+        server = StubReplica(0.1, max_queue=2)
+        return server.serve_pool(_stub_pool([0.0, 0.0, 0.1, 0.25, 4.0]))
+
+    def test_is_columnar_not_boxed(self):
+        result = self._result()
+        assert isinstance(result.records, RecordSequence)
+        assert len(result.records) == 5
+
+    def test_indexing_slicing_and_gather_match_iteration(self):
+        records = self._result().records
+        boxed = list(records)
+        assert all(isinstance(r, OnlineRequestRecord) for r in boxed)
+        assert records[2] == boxed[2]
+        assert records[-1] == boxed[-1]
+        assert list(records[1:4]) == boxed[1:4]
+        gathered = records[np.array([3, 0], dtype=np.int64)]
+        assert isinstance(gathered, RecordSequence)
+        assert list(gathered) == [boxed[3], boxed[0]]
+        with pytest.raises(IndexError):
+            records[5]
+
+    def test_equality_against_tuples_both_ways(self):
+        records = self._result().records
+        boxed = tuple(records)
+        assert records == boxed
+        assert boxed == records  # reflected comparison
+        assert records == self._result().records
+        mutated = boxed[:-1] + (
+            OnlineRequestRecord(
+                request_id=99, input_len=1, output_len=1, arrival_s=0.0
+            ),
+        )
+        assert records != mutated
+        assert records != boxed[:-1]
