@@ -849,6 +849,146 @@ def bench_event_core(
     )
 
 
+@dataclass
+class ChaosBench:
+    """Fault-injection overhead on the large-pool fleet probe.
+
+    Three serves of the same arrival-stamped pool through the same ExeGPT
+    RRA fleet:
+
+    * **fault-free** -- no fault plane at all (the reference wall time),
+    * **zero-fault** -- a fault plane installed but scheduling nothing
+      (must be bit-identical to fault-free: same records, same
+      assignments; its wall-time ratio is the cost of merely carrying the
+      plane),
+    * **chaos** -- a seeded ``FaultSchedule.flap`` crash/restart process
+      sized from the fault-free makespan, exercising reclaim + requeue +
+      reroute at scale.
+
+    Conservation (offered == completed + rejected + shed) is checked on
+    the chaos run and recorded.
+
+    Attributes:
+        requests / replicas / routing: Probe shape.
+        fault_free_s / zero_fault_s / chaos_s: Wall times of the serves.
+        zero_fault_overhead: ``zero_fault_s / fault_free_s`` (the parity
+            path's tax; must stay near 1.0).
+        chaos_overhead: ``chaos_s / fault_free_s``.
+        zero_fault_bit_identical: Zero-fault run matched fault-free bit
+            for bit.
+        crashes / requeued: Fault-plane totals of the chaos run.
+        completed / rejected / shed: Outcomes of the chaos run.
+        conserved: Conservation held on the chaos run.
+    """
+
+    requests: int
+    replicas: int
+    routing: str
+    fault_free_s: float
+    zero_fault_s: float
+    chaos_s: float
+    zero_fault_overhead: float
+    chaos_overhead: float
+    zero_fault_bit_identical: bool
+    crashes: int
+    requeued: int
+    completed: int
+    rejected: int
+    shed: int
+    conserved: bool
+
+
+def bench_chaos_sweep(
+    requests: int = 200_000, replicas: int = 16
+) -> ChaosBench:
+    """Time the fleet probe fault-free, with an inert fault plane, and
+    under a seeded crash/restart flap."""
+    from repro.engine.pool import RequestPool
+    from repro.serving.faults import FaultSchedule
+    from repro.serving.fleet import Fleet
+    from repro.serving.online import ExeGPTOnlineServer
+    from repro.workloads.arrivals import PoissonProcess
+    from repro.workloads.synthetic import sample_correlated_lengths
+
+    engine = ExeGPT.for_task("OPT-13B", "S", max_encode_batch=128)
+    rng = np.random.default_rng(11)
+    inputs, outputs = sample_correlated_lengths(
+        engine.input_distribution,
+        engine.output_distribution,
+        requests,
+        0.0,
+        rng,
+    )
+    # The same TP-maximized single-stage RRA shape as the event-core sweep:
+    # per-cycle costs amortized, wall time dominated by the serving loop --
+    # exactly where the fault plane's clamps and checks live.
+    config = ScheduleConfig(
+        policy=SchedulePolicy.RRA,
+        encode_batch=2048,
+        decode_iterations=128,
+        tensor_parallel=TensorParallelConfig(degree=4, num_gpus=4),
+    )
+    rate = 0.95 * engine.simulator.estimate(config).throughput_seq_per_s * replicas
+    arrivals = PoissonProcess(rate).arrival_times(requests, seed=5)
+    pool = RequestPool.from_arrays(inputs, outputs, arrivals)
+    server = ExeGPTOnlineServer(engine.simulator, config, max_queue=4096)
+
+    def timed(fleet):
+        start = time.perf_counter()
+        result = fleet.serve_pool(pool, core="event")
+        return time.perf_counter() - start, result
+
+    fault_free_s, plain = timed(
+        Fleet.homogeneous(server, replicas, routing="jsq")
+    )
+    zero_fault_s, zero = timed(
+        Fleet.homogeneous(
+            server, replicas, routing="jsq", faults=FaultSchedule()
+        )
+    )
+    bit_identical = (
+        zero.fleet.records == plain.fleet.records
+        and np.array_equal(zero.assignments, plain.assignments)
+    )
+
+    # Flap sized from the measured fault-free makespan: each replica
+    # crashes ~4 times, is down ~10% of a between-crash interval, and
+    # warms briefly on restart.
+    makespan = plain.makespan_s
+    faults = FaultSchedule.flap(
+        replicas,
+        mtbf_s=makespan / 4.0,
+        mttr_s=makespan / 40.0,
+        horizon_s=makespan,
+        seed=13,
+        warmup_s=makespan / 100.0,
+    )
+    chaos_s, chaos = timed(
+        Fleet.homogeneous(server, replicas, routing="jsq", faults=faults)
+    )
+    return ChaosBench(
+        requests=requests,
+        replicas=replicas,
+        routing="jsq",
+        fault_free_s=fault_free_s,
+        zero_fault_s=zero_fault_s,
+        chaos_s=chaos_s,
+        zero_fault_overhead=(
+            zero_fault_s / fault_free_s if fault_free_s > 0 else float("inf")
+        ),
+        chaos_overhead=(
+            chaos_s / fault_free_s if fault_free_s > 0 else float("inf")
+        ),
+        zero_fault_bit_identical=bit_identical,
+        crashes=int(chaos.crashes.sum()),
+        requeued=int(chaos.requeued.sum()),
+        completed=chaos.completed,
+        rejected=chaos.rejected,
+        shed=chaos.shed,
+        conserved=chaos.fleet.conserved,
+    )
+
+
 def make_record(
     estimate: EstimateBench,
     search: SearchBench,
@@ -858,6 +998,7 @@ def make_record(
     pool: PoolBench | None = None,
     fleet: FleetBench | None = None,
     event_core: EventCoreBench | None = None,
+    chaos: ChaosBench | None = None,
 ) -> dict:
     """Assemble one machine-readable trajectory record."""
     record = {
@@ -892,6 +1033,8 @@ def make_record(
         record["fleet_sweep"] = payload
     if event_core is not None:
         record["event_core"] = dict(event_core.__dict__)
+    if chaos is not None:
+        record["chaos_sweep"] = dict(chaos.__dict__)
     return record
 
 
@@ -904,6 +1047,7 @@ def write_bench_record(
     pool: PoolBench | None = None,
     fleet: FleetBench | None = None,
     event_core: EventCoreBench | None = None,
+    chaos: ChaosBench | None = None,
 ) -> dict:
     """Append one record to ``BENCH_search.json`` and return it.
 
@@ -911,7 +1055,8 @@ def write_bench_record(
     plain test runs measure without touching the committed trajectory file.
     """
     record = make_record(
-        estimate, search, runner, replay, online, pool, fleet, event_core
+        estimate, search, runner, replay, online, pool, fleet, event_core,
+        chaos,
     )
     doc = {
         "schema": 1,
@@ -942,8 +1087,10 @@ def main() -> None:
     pool = bench_pool_replay()
     fleet = bench_fleet_sweep()
     event_core = bench_event_core()
+    chaos = bench_chaos_sweep()
     write_bench_record(
-        estimate, search, runner, replay, online, pool, fleet, event_core
+        estimate, search, runner, replay, online, pool, fleet, event_core,
+        chaos,
     )
     print(f"estimate: {estimate.scalar_ms_per_point:.2f} ms/pt scalar, "
           f"{estimate.batch_us_per_point:.1f} us/pt batched "
@@ -983,6 +1130,14 @@ def main() -> None:
           f"({event_core.sweep_completed} completed, "
           f"{event_core.sweep_rejected} rejected, makespan "
           f"{event_core.sweep_makespan_s:.0f} s)")
+    print(f"chaos sweep ({chaos.requests} reqs x {chaos.replicas} replicas): "
+          f"{chaos.fault_free_s:.1f} s fault-free, "
+          f"{chaos.zero_fault_s:.1f} s zero-fault "
+          f"({chaos.zero_fault_overhead:.2f}x, "
+          f"bit-identical={chaos.zero_fault_bit_identical}), "
+          f"{chaos.chaos_s:.1f} s under {chaos.crashes} crashes "
+          f"({chaos.chaos_overhead:.2f}x, {chaos.requeued} requeued, "
+          f"conserved={chaos.conserved})")
     print(f"wrote {BENCH_PATH}")
 
 

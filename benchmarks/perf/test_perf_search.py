@@ -17,6 +17,7 @@ import pytest
 
 from harness import (
     BENCH_PATH,
+    bench_chaos_sweep,
     bench_estimate,
     bench_event_core,
     bench_fleet_sweep,
@@ -42,13 +43,16 @@ def bench_record():
     pool = bench_pool_replay()
     fleet = bench_fleet_sweep()
     event_core = bench_event_core()
+    chaos = bench_chaos_sweep()
     if os.environ.get("BENCH_RECORD") == "1":
         record = write_bench_record(
-            estimate, search, runner, replay, online, pool, fleet, event_core
+            estimate, search, runner, replay, online, pool, fleet, event_core,
+            chaos,
         )
     else:
         record = make_record(
-            estimate, search, runner, replay, online, pool, fleet, event_core
+            estimate, search, runner, replay, online, pool, fleet, event_core,
+            chaos,
         )
     return {
         "estimate": estimate,
@@ -59,6 +63,7 @@ def bench_record():
         "pool": pool,
         "fleet": fleet,
         "event_core": event_core,
+        "chaos": chaos,
         "record": record,
     }
 
@@ -166,12 +171,33 @@ def test_event_core_parity_and_throughput(bench_record):
     assert event_core.sweep_s < 60.0
 
 
+def test_chaos_sweep_parity_and_overhead(bench_record):
+    chaos = bench_record["chaos"]
+    # The fault plane must be free when it schedules nothing: an installed
+    # but empty FaultSchedule reproduces the fault-free run bit for bit,
+    # and its wall-time tax on the 200k x 16-replica probe stays small
+    # (~1.0x measured; 1.5x is the regression bar).
+    assert chaos.zero_fault_bit_identical
+    assert chaos.zero_fault_overhead < 1.5
+    # Under the seeded flap the run actually exercised reclaim + reroute,
+    # conserved every request, and stayed within sane overhead.  The flap
+    # requeues ~25% of the pool and serves every fault-window arrival
+    # through the per-id routing fallback, so wall time grows with the
+    # injected damage (~9x measured); 15x is the runaway bar.
+    assert chaos.crashes > 0
+    assert chaos.requeued > 0
+    assert chaos.conserved
+    assert chaos.completed + chaos.rejected + chaos.shed == chaos.requests
+    assert chaos.chaos_overhead < 15.0
+
+
 def test_bench_record_complete(bench_record):
     record = bench_record["record"]
     assert record["search"]["space_points"] >= 65536
     assert set(record) >= {
         "timestamp", "host", "search_space", "estimate", "search", "runner",
         "replay", "online_sweep", "replay_pool", "fleet_sweep", "event_core",
+        "chaos_sweep",
     }
     # The committed trajectory file exists; it is only appended to when
     # recording is explicitly enabled (BENCH_RECORD=1 or the harness CLI).

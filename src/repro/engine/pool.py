@@ -499,6 +499,36 @@ class RequestPool:
         if ids.size:
             self.admitted_cycle[ids] = cycle
 
+    def requeue(self, ids: np.ndarray) -> None:
+        """Rewind a batch of *unfinished* requests to the just-admitted state.
+
+        The fault-injection primitive: when a replica crashes (or a decode
+        is preempted back to the queue), its queued and in-flight ids are
+        reclaimed through the shared pool -- generation progress, pool
+        timestamps and admission cycles reset in one vectorized column
+        pass -- and re-routed as if freshly arrived.  Ids keep their
+        identity (rows never move), so bookkeeping and routing state
+        referencing them stay valid.
+
+        Raises:
+            ValueError: if any id is already done.  The done mask is
+                monotone; a completed request can never be requeued, which
+                is what makes resurrection across a crash impossible.
+        """
+        if ids.size == 0:
+            return
+        done = self.done[ids]
+        if done.any():
+            culprit = int(self.request_id[ids[done][0]])
+            raise ValueError(
+                f"request {culprit} already completed; cannot requeue"
+            )
+        self.generated[ids] = 0
+        self.encode_start_s[ids] = -1.0
+        self.encode_finish_s[ids] = -1.0
+        self.finish_s[ids] = -1.0
+        self.admitted_cycle[ids] = -1
+
     def stamp_encode_start(self, ids: np.ndarray, when: float) -> None:
         """Stamp encode-start timestamps of a batch."""
         if ids.size:
@@ -832,6 +862,23 @@ class ListPool:
     def set_admitted_cycle(self, ids: np.ndarray, cycle: int) -> None:
         for rid in ids.tolist():
             self.states[rid].admitted_cycle = cycle
+
+    def requeue(self, ids: np.ndarray) -> None:
+        # Two passes, like the columnar path: validate every id first so a
+        # mixed batch with a done member mutates nothing.
+        for rid in ids.tolist():
+            if self.states[rid].done:
+                raise ValueError(
+                    f"request {self.states[rid].request_id} already "
+                    "completed; cannot requeue"
+                )
+        for rid in ids.tolist():
+            state = self.states[rid]
+            state.generated = 0
+            state.encode_start_s = -1.0
+            state.encode_finish_s = -1.0
+            state.finish_s = -1.0
+            state.admitted_cycle = -1
 
     def stamp_encode_start(self, ids: np.ndarray, when: float) -> None:
         for rid in ids.tolist():

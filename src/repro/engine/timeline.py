@@ -59,9 +59,21 @@ class StageTask:
 
 
 class Timeline:
-    """Collects stage tasks and computes their start/finish times."""
+    """Collects stage tasks and computes their start/finish times.
 
-    def __init__(self) -> None:
+    Args:
+        time_scale: Multiplier applied to every task duration as it is
+            added.  The fleet layer uses this to model *straggler* replicas:
+            a slowdown factor of 2.0 makes every iteration on that replica's
+            timeline take twice as long, which the routing policies then
+            observe through queue depth / outstanding work.  The default of
+            1.0 leaves durations bit-identical (no multiply is performed).
+    """
+
+    def __init__(self, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self._time_scale = time_scale
         self._tasks: list[StageTask] = []
         self._stage_free_at: dict[object, float] = {}
         self._stage_busy: dict[object, float] = {}
@@ -90,6 +102,8 @@ class Timeline:
             raise ValueError("duration_s must be non-negative")
         if earliest_start_s < 0:
             raise ValueError("earliest_start_s must be non-negative")
+        if self._time_scale != 1.0:
+            duration_s = duration_s * self._time_scale
         task_id = len(self._tasks)
         dep_tuple = tuple(int(d) for d in deps)
         for dep in dep_tuple:

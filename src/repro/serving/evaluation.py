@@ -191,6 +191,8 @@ def build_online_fleet(
     routing="jsq",
     max_queue: int = 512,
     schedule_headroom: float = 0.7,
+    admission=None,
+    faults=None,
 ):
     """Configure an N-replica online fleet of one system for an SLO bound.
 
@@ -198,7 +200,9 @@ def build_online_fleet(
     the fleet is ``replicas`` clones of that server behind ``routing``.
     This is the entry point large sweeps combine with
     :meth:`~repro.serving.fleet.Fleet.serve_pool` to serve million-request
-    pools without trace materialization.
+    pools without trace materialization.  ``admission`` and ``faults``
+    pass through to the fleet (see :mod:`repro.serving.faults`) to measure
+    the same deployment under load shedding or injected chaos.
     """
     from repro.serving.fleet import Fleet
 
@@ -209,7 +213,8 @@ def build_online_fleet(
         max_queue=max_queue,
         schedule_headroom=schedule_headroom,
     )
-    return Fleet.homogeneous(server, replicas, routing=routing)
+    return Fleet.homogeneous(server, replicas, routing=routing,
+                             admission=admission, faults=faults)
 
 
 def default_baselines(

@@ -1,0 +1,472 @@
+"""Fault injection and admission control for the serving fleet.
+
+A production fleet loses replicas, limps along on degraded hardware, and
+sheds load under pressure; this module lets the simulator do the same while
+keeping every run seeded and deterministic.  Three orthogonal planes:
+
+* **Crash/restart** -- a :class:`FaultSchedule` lists ``(replica, t_down,
+  t_up)`` windows (explicit, or drawn from a seeded exponential
+  :meth:`FaultSchedule.flap` process).  When a replica goes down its queued
+  and in-flight ids are reclaimed through the shared
+  :meth:`~repro.engine.pool.RequestPool.requeue` and re-routed by the live
+  routing policy; after ``t_up`` the replica warms for ``warmup_s`` before
+  accepting work again.
+* **Stragglers** -- per-replica ``slowdowns`` factors stretch every task
+  duration on that replica's :class:`~repro.engine.timeline.Timeline`, so
+  queue-aware routing policies visibly route around the slow replica.
+* **Admission control** -- an :class:`AdmissionPolicy` on the fleet decides,
+  before routing, whether an arrival is *shed* (distinct from *rejected*,
+  which means every routable queue was full).  Policies here implement
+  predicted-cost load shedding, per-tenant quotas, and priority classes
+  with preemption of low-priority decodes.
+
+The headline correctness gate is **conservation**: at all times
+``offered == completed + rejected + shed``; a completed request can never
+be resurrected by a crash (enforced by ``requeue`` raising on done ids).
+
+Everything is bit-parity safe: a fault plane with an empty schedule and an
+:class:`AcceptAll` policy reproduce the fault-free run exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultPlane",
+    "AdmissionPolicy",
+    "AcceptAll",
+    "LoadSheddingPolicy",
+    "TenantQuotaPolicy",
+    "PriorityAdmissionPolicy",
+]
+
+
+# ---------------------------------------------------------------------------
+# Fault schedules (static description) and the fault plane (runtime state)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One crash window: replica ``replica`` is down on ``[down_s, up_s)``.
+
+    ``up_s`` may be ``inf`` for a permanent failure.  After ``up_s`` the
+    replica spends the schedule's ``warmup_s`` warming before it accepts
+    work again.
+    """
+
+    replica: int
+    down_s: float
+    up_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise ValueError("replica index must be non-negative")
+        if self.down_s < 0:
+            raise ValueError("down_s must be non-negative")
+        if not self.up_s > self.down_s:
+            raise ValueError("up_s must be strictly after down_s")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Deterministic description of crashes and stragglers for one serve.
+
+    Attributes:
+        events: Crash windows.  Windows of the same replica must not
+            overlap (including the restart warm-up).
+        slowdowns: Per-replica duration multipliers, indexed by replica;
+            replicas beyond the tuple run at 1.0.  A factor of 4.0 makes
+            every iteration on that replica take 4x as long.
+        warmup_s: Delay after each ``up_s`` before the replica accepts
+            work again.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    slowdowns: tuple[float, ...] = ()
+    warmup_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        object.__setattr__(self, "slowdowns", tuple(self.slowdowns))
+        if self.warmup_s < 0:
+            raise ValueError("warmup_s must be non-negative")
+        for factor in self.slowdowns:
+            if factor <= 0:
+                raise ValueError("slowdown factors must be positive")
+        per_replica: dict[int, list[FaultEvent]] = {}
+        for event in self.events:
+            per_replica.setdefault(event.replica, []).append(event)
+        for replica, windows in per_replica.items():
+            windows.sort(key=lambda e: e.down_s)
+            for prev, nxt in zip(windows, windows[1:]):
+                if nxt.down_s < prev.up_s + self.warmup_s:
+                    raise ValueError(
+                        f"replica {replica} fault windows overlap: "
+                        f"[{prev.down_s}, {prev.up_s}) + warmup and "
+                        f"[{nxt.down_s}, {nxt.up_s})"
+                    )
+
+    @classmethod
+    def flap(
+        cls,
+        replicas: int,
+        mtbf_s: float,
+        mttr_s: float,
+        horizon_s: float,
+        seed: int = 0,
+        warmup_s: float = 0.0,
+        slowdowns: tuple[float, ...] = (),
+    ) -> "FaultSchedule":
+        """Seeded exponential up/down alternation for every replica.
+
+        Each replica alternates exponentially distributed up-times (mean
+        ``mtbf_s``) and down-times (mean ``mttr_s``) until ``horizon_s``.
+        One generator is consumed replica by replica, so the schedule is a
+        pure function of its arguments.
+        """
+        if mtbf_s <= 0 or mttr_s <= 0:
+            raise ValueError("mtbf_s and mttr_s must be positive")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for replica in range(replicas):
+            clock = float(rng.exponential(mtbf_s))
+            while clock < horizon_s:
+                down = clock
+                up = down + float(rng.exponential(mttr_s))
+                events.append(FaultEvent(replica=replica, down_s=down, up_s=up))
+                clock = up + warmup_s + float(rng.exponential(mtbf_s))
+        return cls(events=tuple(events), slowdowns=tuple(slowdowns),
+                   warmup_s=warmup_s)
+
+    def slowdown_for(self, replica: int) -> float:
+        """Duration multiplier for a replica (1.0 when not listed)."""
+        if replica < len(self.slowdowns):
+            return float(self.slowdowns[replica])
+        return 1.0
+
+    def events_for(self, replica: int) -> tuple[FaultEvent, ...]:
+        """Crash windows of one replica, ordered by down time."""
+        return tuple(sorted(
+            (e for e in self.events if e.replica == replica),
+            key=lambda e: e.down_s,
+        ))
+
+
+class FaultPlane:
+    """Runtime state of a :class:`FaultSchedule` during one serve.
+
+    Expands the schedule into a time-ordered list of transitions --
+    ``"down"`` at each ``down_s``, ``"warming"`` at ``up_s`` (state label
+    only, emitted when the schedule has a warm-up), ``"ready"`` at
+    ``up_s + warmup_s`` -- and tracks which replicas currently accept
+    work.  The serving loop pops due transitions at the top of every
+    iteration; routing policies consult :attr:`accepting`.
+
+    With an empty schedule ``next_time`` is ``inf`` and ``accepting`` is
+    all-True, so every clamp and mask in the loop is a no-op and the run
+    is bit-identical to the fault-free path.
+    """
+
+    def __init__(self, schedule: FaultSchedule, replicas: int) -> None:
+        for event in schedule.events:
+            if event.replica >= replicas:
+                raise ValueError(
+                    f"fault event targets replica {event.replica} but the "
+                    f"fleet has {replicas} replicas"
+                )
+        self.schedule = schedule
+        self.accepting = np.ones(replicas, dtype=bool)
+        self.crashes = np.zeros(replicas, dtype=np.int64)
+        self.requeued = np.zeros(replicas, dtype=np.int64)
+        self._state = ["up"] * replicas
+        transitions: list[tuple[float, int, str]] = []
+        for event in schedule.events:
+            transitions.append((event.down_s, event.replica, "down"))
+            if math.isfinite(event.up_s):
+                if schedule.warmup_s > 0:
+                    transitions.append((event.up_s, event.replica, "warming"))
+                transitions.append(
+                    (event.up_s + schedule.warmup_s, event.replica, "ready")
+                )
+        transitions.sort(key=lambda t: (t[0], t[1]))
+        self._transitions = transitions
+        self._cursor = 0
+
+    @property
+    def has_downtime(self) -> bool:
+        """Whether any crash window is scheduled."""
+        return bool(self.schedule.events)
+
+    @property
+    def next_time(self) -> float:
+        """Time of the next un-applied transition (``inf`` when exhausted)."""
+        if self._cursor >= len(self._transitions):
+            return math.inf
+        return self._transitions[self._cursor][0]
+
+    def pop_due(self, clock: float) -> list[tuple[float, int, str]]:
+        """Apply and return all transitions with time <= ``clock``.
+
+        Returned in time order (ties broken by replica index).  State --
+        :attr:`accepting` and the per-replica labels -- is updated here;
+        the caller handles the crash side effects (reclaim + reroute).
+        """
+        due: list[tuple[float, int, str]] = []
+        while (self._cursor < len(self._transitions)
+               and self._transitions[self._cursor][0] <= clock):
+            when, replica, kind = self._transitions[self._cursor]
+            self._cursor += 1
+            if kind == "down":
+                self.accepting[replica] = False
+                self._state[replica] = "down"
+                self.crashes[replica] += 1
+            elif kind == "warming":
+                self._state[replica] = "warming"
+            else:  # ready
+                self.accepting[replica] = True
+                self._state[replica] = "up"
+            due.append((when, replica, kind))
+        return due
+
+    def state(self, replica: int) -> str:
+        """Current label of one replica: ``up`` / ``down`` / ``warming``."""
+        return self._state[replica]
+
+    def states(self) -> list[str]:
+        """Current labels of every replica."""
+        return list(self._state)
+
+
+# ---------------------------------------------------------------------------
+# Admission policies
+# ---------------------------------------------------------------------------
+
+
+def _stable_ids(pool) -> np.ndarray:
+    """Stable request ids of every pool row (columnar fast path)."""
+    column = getattr(pool, "request_id", None)
+    if column is not None:
+        return np.asarray(column)
+    return np.array(
+        [pool.request_id_of(rid) for rid in range(len(pool))], dtype=np.int64
+    )
+
+
+class AdmissionPolicy:
+    """Decides, before routing, whether an arrival enters the fleet.
+
+    ``admit`` returning ``False`` *sheds* the request: it is accounted
+    separately from *rejected* (all routable queues full) so results stay
+    honest about why work was dropped.  ``make_room`` runs only after
+    routing failed and may evict queued work to place the arrival.
+    ``note_placed`` observes successful placements.
+
+    The default implementations accept everything and never evict, so a
+    subclass overrides only the hooks it needs.
+    """
+
+    name = "admission"
+
+    def reset(self, fleet) -> None:
+        """Called at serve start, after replicas reset."""
+
+    def admit(self, fleet, rid: int, clock: float) -> bool:
+        """Whether to admit the arrival (``False`` sheds it)."""
+        return True
+
+    def note_placed(self, fleet, rid: int, replica: int) -> None:
+        """Observe a successful placement."""
+
+    def make_room(self, fleet, rid: int, clock: float) -> int | None:
+        """Last chance after routing failed: evict and return a replica."""
+        return None
+
+
+class AcceptAll(AdmissionPolicy):
+    """The no-op policy: admit everything, never evict (parity reference)."""
+
+    name = "accept_all"
+
+
+class LoadSheddingPolicy(AdmissionPolicy):
+    """Shed arrivals whose predicted wait exceeds ``max_wait_s``.
+
+    The predicted wait of a replica is its outstanding decode work (the
+    pool's O(1) ``outstanding_tokens`` reduction over queued + in-flight
+    ids) divided by its effective token service rate, which comes from the
+    replica's batched cost model (``estimate``/``estimate_batch``-backed
+    ``service_rate``) corrected for any straggler slowdown.  If the *best*
+    routable replica is still predicted to take longer than ``max_wait_s``
+    the arrival is shed instead of queued behind work it cannot meet an
+    SLO with.
+    """
+
+    name = "load_shedding"
+
+    def __init__(self, max_wait_s: float) -> None:
+        if max_wait_s <= 0:
+            raise ValueError("max_wait_s must be positive")
+        self.max_wait_s = max_wait_s
+        self._rates: tuple[float, ...] = ()
+
+    def reset(self, fleet) -> None:
+        self._rates = tuple(
+            max(replica.effective_service_rate(), 1e-12)
+            for replica in fleet.replicas
+        )
+
+    def admit(self, fleet, rid: int, clock: float) -> bool:
+        best = math.inf
+        for index, replica in enumerate(fleet.replicas):
+            if not fleet.routable(index):
+                continue
+            if replica.queue_depth >= replica.max_queue:
+                continue
+            wait = replica.outstanding_tokens() / self._rates[index]
+            if wait < best:
+                best = wait
+        if math.isinf(best):
+            # No routable replica with space: let routing reject instead.
+            return True
+        return best <= self.max_wait_s
+
+
+class TenantQuotaPolicy(AdmissionPolicy):
+    """Per-tenant fairness: cap each tenant's in-system requests.
+
+    The tenant of a request defaults to ``request_id % tenants`` (a
+    deterministic round-robin assignment over the trace); pass
+    ``tenant_of`` to derive it differently.  An arrival whose tenant
+    already has ``quota`` live requests (placed, not yet finished) is
+    shed, so one tenant's flash crowd cannot starve the rest.
+    """
+
+    name = "tenant_quota"
+
+    def __init__(self, tenants: int, quota: int,
+                 tenant_of=None) -> None:
+        if tenants <= 0:
+            raise ValueError("tenants must be positive")
+        if quota <= 0:
+            raise ValueError("quota must be positive")
+        self.tenants = tenants
+        self.quota = quota
+        self._tenant_of = tenant_of
+        self._tenant: np.ndarray | None = None
+        self._live: list[list[int]] = []
+
+    def reset(self, fleet) -> None:
+        pool = fleet._pool
+        if self._tenant_of is None:
+            self._tenant = _stable_ids(pool) % self.tenants
+        else:
+            self._tenant = np.array(
+                [self._tenant_of(pool, rid) for rid in range(len(pool))],
+                dtype=np.int64,
+            )
+        self._live = [[] for _ in range(self.tenants)]
+
+    def _compact(self, fleet, tenant: int) -> list[int]:
+        ids = np.asarray(self._live[tenant], dtype=np.int64)
+        if ids.size == 0:
+            return []
+        done = fleet._pool.done_mask(ids)
+        records = fleet._records
+        live = [
+            rid for rid, fin in zip(ids.tolist(), done.tolist())
+            if not (fin or records.rejected[rid] or records.shed[rid])
+        ]
+        self._live[tenant] = live
+        return live
+
+    def admit(self, fleet, rid: int, clock: float) -> bool:
+        tenant = int(self._tenant[rid])
+        return len(self._compact(fleet, tenant)) < self.quota
+
+    def note_placed(self, fleet, rid: int, replica: int) -> None:
+        self._live[int(self._tenant[rid])].append(rid)
+
+
+class PriorityAdmissionPolicy(AdmissionPolicy):
+    """Priority classes with eviction and preemption of low-priority work.
+
+    Priority defaults to ``request_id % levels`` with 0 the *highest*
+    class; pass ``priority_of`` to derive it differently.  Two mechanisms
+    favor high-priority arrivals:
+
+    * **Eviction** (``make_room``): when routing finds every queue full,
+      a strictly lower-priority *queued* request is shed from the back of
+      the first routable queue holding one, and the arrival takes its
+      slot.
+    * **Preemption** (``note_placed``): when a top-priority arrival lands
+      on a replica whose running batch contains a low-priority decode,
+      that decode is preempted back to the replica's queue -- removed
+      from the batch, its generation progress rewound through
+      ``RequestPool.requeue``, re-enqueued at the tail.  This is
+      deliberately aggressive (a preempted decode restarts from its first
+      token); cap it with ``max_preemptions``.
+    """
+
+    name = "priority"
+
+    def __init__(self, levels: int = 2, priority_of=None,
+                 preempt_decodes: bool = True,
+                 max_preemptions: int | None = None) -> None:
+        if levels < 2:
+            raise ValueError("need at least two priority levels")
+        self.levels = levels
+        self.preempt_decodes = preempt_decodes
+        self.max_preemptions = max_preemptions
+        self._priority_of = priority_of
+        self._priority: np.ndarray | None = None
+        self.preemptions = 0
+        self.evictions = 0
+
+    def reset(self, fleet) -> None:
+        pool = fleet._pool
+        if self._priority_of is None:
+            self._priority = _stable_ids(pool) % self.levels
+        else:
+            self._priority = np.array(
+                [self._priority_of(pool, rid) for rid in range(len(pool))],
+                dtype=np.int64,
+            )
+        self.preemptions = 0
+        self.evictions = 0
+
+    def make_room(self, fleet, rid: int, clock: float) -> int | None:
+        mine = int(self._priority[rid])
+        for index, replica in enumerate(fleet.replicas):
+            if not fleet.routable(index):
+                continue
+            for victim in reversed(replica.queued_ids()):
+                if int(self._priority[victim]) > mine:
+                    fleet.shed_queued(index, victim)
+                    self.evictions += 1
+                    return index
+        return None
+
+    def note_placed(self, fleet, rid: int, replica: int) -> None:
+        if not self.preempt_decodes or int(self._priority[rid]) != 0:
+            return
+        if (self.max_preemptions is not None
+                and self.preemptions >= self.max_preemptions):
+            return
+        server = fleet.replicas[replica]
+        if server.queue_depth >= server.max_queue:
+            return  # no queue slot to preempt into
+        in_flight = server.preemptible_ids()
+        if in_flight.size == 0:
+            return
+        low = in_flight[self._priority[in_flight] > 0]
+        if low.size == 0:
+            return
+        fleet.preempt_to_queue(replica, int(low[0]))
+        self.preemptions += 1

@@ -39,6 +39,17 @@ The event loop is the same :class:`~repro.serving.online.ServingLoop` the
 single server runs, which is why a 1-replica fleet reproduces
 ``OnlineServer.serve`` bit-identically -- the parity gate of the fleet test
 suite.
+
+Operational realism plugs in at two fleet-level seams (see
+:mod:`repro.serving.faults`): a ``faults`` schedule injects replica
+crash/restart (queued + in-flight ids reclaimed through the shared pool's
+``requeue`` and re-routed by the live policy) and per-replica straggler
+slowdowns (timeline ``time_scale``); an ``admission`` policy may *shed*
+arrivals before routing or preempt low-priority decodes.  Both are
+parity-gated: with an empty schedule and no admission policy, the serve is
+bit-identical to a fault-free fleet, and under injected chaos the
+conservation invariant ``offered == completed + rejected + shed`` is
+asserted at the end of every serve.
 """
 
 from __future__ import annotations
@@ -49,6 +60,7 @@ import numpy as np
 
 from repro.engine.pool import RequestPool
 from repro.engine.timeline import Timeline
+from repro.serving.faults import AdmissionPolicy, FaultPlane, FaultSchedule
 from repro.serving.online import (
     DEFAULT_CORE,
     OnlineResult,
@@ -69,10 +81,16 @@ class RoutingPolicy:
     """Base class of fleet routing policies.
 
     A policy sees the fleet mid-run and picks the replica whose admission
-    queue receives an arrived request id.  It must only pick replicas with
-    queue space (``queue_depth < max_queue``) and return ``None`` when
-    every replica is full -- the fleet then rejects the arrival, which is
-    the only place a fleet rejects.  Selection must be deterministic.
+    queue receives an arrived request id.  It must only pick replicas that
+    are *routable* (``fleet.routable(i)`` -- not down or warming under a
+    fault plane; always true without one) and have queue space
+    (``queue_depth < max_queue``), and return ``None`` when no such
+    replica exists -- the fleet then rejects the arrival, which is the
+    only place a fleet rejects.  Selection must be deterministic.
+
+    The vectorized :meth:`select_batch` paths never run while a replica
+    is unroutable or an admission policy is installed (the fleet gates
+    them), so they may assume every replica accepts work.
     """
 
     #: Registry name of the policy.
@@ -114,6 +132,8 @@ class RoundRobinRouting(RoutingPolicy):
         n = len(replicas)
         for offset in range(n):
             i = (self._next + offset) % n
+            if not fleet.routable(i):
+                continue
             if replicas[i].queue_depth < replicas[i].max_queue:
                 self._next = (i + 1) % n
                 return i
@@ -151,6 +171,8 @@ class JoinShortestQueueRouting(RoutingPolicy):
         best: int | None = None
         best_load = -1
         for i, replica in enumerate(fleet.replicas):
+            if not fleet.routable(i):
+                continue
             if replica.queue_depth >= replica.max_queue:
                 continue
             load = replica.queue_depth + replica.in_flight
@@ -206,14 +228,20 @@ class LeastOutstandingWorkRouting(RoutingPolicy):
     name = "least-outstanding-work"
 
     def reset(self, fleet: "Fleet") -> None:
+        # Effective rates: the cost-model rate corrected for straggler
+        # slowdown (untouched at slowdown 1.0), so a slow replica's drain
+        # time is honestly longer and the policy routes around it.
         self._rates = tuple(
-            max(replica.service_rate(), 1e-12) for replica in fleet.replicas
+            max(replica.effective_service_rate(), 1e-12)
+            for replica in fleet.replicas
         )
 
     def select(self, fleet: "Fleet", rid: int, clock: float) -> int | None:
         best: int | None = None
         best_cost = float("inf")
         for i, replica in enumerate(fleet.replicas):
+            if not fleet.routable(i):
+                continue
             if replica.queue_depth >= replica.max_queue:
                 continue
             cost = replica.outstanding_tokens() / self._rates[i]
@@ -305,14 +333,20 @@ class FleetResult:
         replicas: Per-replica :class:`OnlineResult`\\ s over the requests
             each replica served, in replica order (rejected requests
             belong to no replica).
-        assignments: Replica index per pool id (-1 for rejected arrivals).
+        assignments: Replica index per pool id (-1 for rejected arrivals,
+            -2 for arrivals shed by the admission policy).
         routing: Name of the routing policy that produced the assignment.
+        crashes: Per-replica crash counts (None without a fault plane).
+        requeued: Per-replica counts of ids reclaimed and requeued when
+            that replica crashed (None without a fault plane).
     """
 
     fleet: OnlineResult
     replicas: tuple[OnlineResult, ...]
     assignments: np.ndarray
     routing: str
+    crashes: np.ndarray | None = None
+    requeued: np.ndarray | None = None
 
     @property
     def num_replicas(self) -> int:
@@ -333,6 +367,16 @@ class FleetResult:
     def rejected(self) -> int:
         """Arrivals rejected at the routing boundary."""
         return self.fleet.rejected
+
+    @property
+    def shed(self) -> int:
+        """Arrivals dropped by the admission policy (fleet-wide)."""
+        return self.fleet.shed
+
+    @property
+    def preempted(self) -> int:
+        """Decode preemptions across the fleet."""
+        return self.fleet.preempted
 
     @property
     def makespan_s(self) -> float:
@@ -369,6 +413,15 @@ class Fleet:
             :data:`ROUTING_POLICIES`.
         name: Fleet name used in fleet-wide results; defaults to
             ``"<first replica>x<N>-<policy>"``.
+        admission: Optional :class:`~repro.serving.faults.AdmissionPolicy`
+            consulted before routing -- arrivals it refuses are *shed*
+            (assignment -2), and it may evict queued or preempt in-flight
+            low-priority work.  ``None`` (and :class:`AcceptAll`) keeps
+            the serve bit-identical to the admission-free path.
+        faults: Optional :class:`~repro.serving.faults.FaultSchedule`
+            injecting replica crash/restart windows and per-replica
+            straggler slowdowns into every serve.  An empty schedule is
+            bit-identical to running without one.
     """
 
     def __init__(
@@ -376,6 +429,8 @@ class Fleet:
         replicas,
         routing: str | RoutingPolicy = "jsq",
         name: str | None = None,
+        admission: AdmissionPolicy | None = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
         self.replicas: list[OnlineServer] = list(replicas)
         if not self.replicas:
@@ -387,10 +442,15 @@ class Fleet:
                 "use Fleet.homogeneous"
             )
         self.routing = make_routing(routing)
+        self.admission = admission
+        self.faults = faults
         self.name = name or (
             f"{self.replicas[0].name}x{len(self.replicas)}-{self.routing.name}"
         )
         self._pool: RequestPool | None = None
+        self._plane: FaultPlane | None = None
+        self._records: RecordColumns | None = None
+        self._assignments: np.ndarray | None = None
 
     @classmethod
     def homogeneous(
@@ -399,6 +459,8 @@ class Fleet:
         replicas: int,
         routing: str | RoutingPolicy = "jsq",
         name: str | None = None,
+        admission: AdmissionPolicy | None = None,
+        faults: FaultSchedule | None = None,
     ) -> "Fleet":
         """A fleet of ``replicas`` clones of one server.
 
@@ -414,7 +476,8 @@ class Fleet:
         fleet_name = name or (
             f"{server.name}x{replicas}-{make_routing(routing).name}"
         )
-        return cls(clones, routing=routing, name=fleet_name)
+        return cls(clones, routing=routing, name=fleet_name,
+                   admission=admission, faults=faults)
 
     def __len__(self) -> int:
         return len(self.replicas)
@@ -441,6 +504,43 @@ class Fleet:
     def outstanding_tokens(self) -> int:
         """Tokens owed fleet-wide (one column reduction per id slice)."""
         return sum(replica.outstanding_tokens() for replica in self.replicas)
+
+    def routable(self, index: int) -> bool:
+        """Whether routing may place work on a replica right now.
+
+        False exactly while the fault plane holds the replica down or
+        warming after a restart; always True without a fault plane.
+        """
+        plane = self._plane
+        return plane is None or bool(plane.accepting[index])
+
+    # -- admission-policy seams ------------------------------------------------------
+
+    def shed_queued(self, index: int, rid: int) -> None:
+        """Evict one queued id on an admission policy's order: it is shed
+        (assignment -2) and its queue slot freed."""
+        self.replicas[index].remove_queued(rid)
+        self._records.mark_shed(rid)
+        self._assignments[rid] = -2
+
+    def preempt_to_queue(self, index: int, rid: int) -> None:
+        """Preempt one in-flight id back to its replica's queue tail.
+
+        The id leaves the running batch (KV freed where the driver tracks
+        it), its generation progress rewinds through the shared pool's
+        ``requeue``, and it re-enters the same replica's admission queue;
+        its ``preempted`` record count increments.  The caller must have
+        checked the queue has a slot.
+        """
+        replica = self.replicas[index]
+        replica.preempt(rid)
+        self._pool.requeue(np.asarray([rid], dtype=np.int64))
+        if not replica.enqueue(rid):
+            raise RuntimeError(
+                f"fleet {self.name}: preempted request {rid} found replica "
+                f"{index}'s queue full; the policy must check queue space"
+            )
+        self._records.preempted[rid] += 1
 
     # -- serving --------------------------------------------------------------------
 
@@ -493,12 +593,27 @@ class Fleet:
         self._pool = pool
         records = RecordColumns(pool)
         assignments = np.full(len(pool), -1, dtype=np.int64)
-        for replica in self.replicas:
-            replica.reset(Timeline(), pool)
+        plane = (
+            FaultPlane(self.faults, len(self.replicas))
+            if self.faults is not None else None
+        )
+        self._plane = plane
+        self._records = records
+        self._assignments = assignments
+        for i, replica in enumerate(self.replicas):
+            slowdown = (
+                self.faults.slowdown_for(i) if self.faults is not None else 1.0
+            )
+            replica.slowdown = slowdown
+            replica.reset(Timeline(time_scale=slowdown), pool)
         self.routing.reset(self)
+        if self.admission is not None:
+            self.admission.reset(self)
 
-        def route(rid: int, clock: float) -> bool:
+        def place(rid: int, clock: float) -> bool:
             index = self.routing.select(self, rid, clock)
+            if index is None and self.admission is not None:
+                index = self.admission.make_room(self, rid, clock)
             if index is None:
                 return False
             if not self.replicas[index].enqueue(rid):
@@ -507,10 +622,29 @@ class Fleet:
                     f"{index} with a full queue"
                 )
             assignments[rid] = index
+            if self.admission is not None:
+                self.admission.note_placed(self, rid, index)
             return True
 
+        def route(rid: int, clock: float) -> bool:
+            if (self.admission is not None
+                    and not self.admission.admit(self, rid, clock)):
+                # Shed: consumed by the admission policy, not rejected.
+                records.mark_shed(rid)
+                assignments[rid] = -2
+                return True
+            return place(rid, clock)
+
         def route_batch(rids: np.ndarray, clock: float) -> np.ndarray:
-            batch_assigned = self.routing.select_batch(self, rids, clock)
+            batch_assigned = None
+            if self.admission is None and (
+                plane is None or bool(plane.accepting.all())
+            ):
+                # The vectorized paths assume every replica accepts work
+                # and no per-id admission decision interleaves; outside
+                # that (fault windows, any admission policy) the per-id
+                # fallback below is the semantics.
+                batch_assigned = self.routing.select_batch(self, rids, clock)
             if batch_assigned is None:
                 # Per-id fallback: sequential select + enqueue, the path
                 # arbitrary (custom/stateful) policies always take.
@@ -529,6 +663,30 @@ class Fleet:
             assignments[rids] = batch_assigned
             return batch_assigned
 
+        def on_crash(index: int, when: float) -> None:
+            # Reclaim the dead replica's work through the shared pool and
+            # re-route it by the live policy.  pop_due has already marked
+            # the replica non-accepting, so nothing lands back on it.
+            replica = self.replicas[index]
+            queued = np.fromiter(
+                replica._queue, dtype=np.int64, count=replica.queue_depth
+            )
+            in_flight = np.asarray(replica._in_flight_ids(), dtype=np.int64)
+            replica._queue.clear()
+            replica.crash()
+            if in_flight.size:
+                # Rewind generation progress and stamps; raises if any id
+                # is already done (resurrection), which cannot happen
+                # because drivers compact completed ids out of the running
+                # batch at the end of every iterate.
+                pool.requeue(in_flight)
+            plane.requeued[index] += queued.size + in_flight.size
+            for rid in queued.tolist() + in_flight.tolist():
+                rid = int(rid)
+                if not place(rid, when):
+                    records.reject(rid)
+                    assignments[rid] = -1
+
         loop = ServingLoop(
             pool,
             self.replicas,
@@ -538,33 +696,77 @@ class Fleet:
             on_reject_batch=records.reject_batch,
             name=self.name,
             core=core,
+            faults=plane,
+            on_crash=on_crash if plane is not None else None,
         )
         iterations = loop.run()
-        for replica in self.replicas:
-            replica.resolve_records(records)
+        # Under crashes or an admission policy, an id's bookkeeping may be
+        # spread over replicas it visited before landing; each replica then
+        # resolves only the ids whose *final* assignment it holds, so a
+        # stale stamp can never overwrite a survivor's real one.
+        chaotic = (
+            (plane is not None and plane.has_downtime)
+            or self.admission is not None
+        )
+        for i, replica in enumerate(self.replicas):
+            if chaotic:
+                replica.resolve_records(records, assignments=assignments,
+                                        index=i)
+            else:
+                replica.resolve_records(records)
 
-        # Rejection accounting, asserted at the fleet boundary: the ids
-        # with no assignment are exactly the rejected records (rejection
-        # happens at routing and nowhere else), so fleet rejection_rate is
-        # the single-server semantics by construction.
-        if not np.array_equal(assignments < 0, records.rejected):
+        # Accounting, asserted at the fleet boundary: unassigned ids (-1)
+        # are exactly the rejected records and shed ids (-2) exactly the
+        # shed records, so fleet drop accounting is the single-server
+        # semantics by construction.
+        if not np.array_equal(assignments == -1, records.rejected):
             raise RuntimeError(
                 f"fleet {self.name}: rejection accounting diverged "
-                f"({int(np.count_nonzero(assignments < 0))} unassigned vs "
+                f"({int(np.count_nonzero(assignments == -1))} unassigned vs "
                 f"{int(np.count_nonzero(records.rejected))} rejected records)"
             )
+        if not np.array_equal(assignments == -2, records.shed):
+            raise RuntimeError(
+                f"fleet {self.name}: shed accounting diverged "
+                f"({int(np.count_nonzero(assignments == -2))} consumed vs "
+                f"{int(np.count_nonzero(records.shed))} shed records)"
+            )
+        if chaotic:
+            # The headline chaos invariant: every offered request has
+            # exactly one outcome -- completed, rejected or shed.  In
+            # particular every id a crashed replica requeued completed
+            # somewhere (or was rejected at reroute), and no id was lost
+            # or double-counted.
+            outcomes = (
+                (records.finish_s >= 0.0).astype(np.int64)
+                + records.rejected.astype(np.int64)
+                + records.shed.astype(np.int64)
+            )
+            if not bool(np.all(outcomes == 1)):
+                bad = int(np.count_nonzero(outcomes != 1))
+                raise RuntimeError(
+                    f"fleet {self.name}: conservation violated for {bad} "
+                    "requests (offered != completed + rejected + shed)"
+                )
 
         makespans = [replica._timeline.makespan_s for replica in self.replicas]
+        extra = {
+            "iterations": float(iterations),
+            "replicas": float(len(self.replicas)),
+        }
+        if plane is not None:
+            extra["crashes"] = float(plane.crashes.sum())
+            extra["requeued"] = float(plane.requeued.sum())
+        if self.admission is not None:
+            extra["shed"] = float(np.count_nonzero(records.shed))
+            extra["preempted"] = float(records.preempted.sum())
         fleet_result = OnlineResult.from_columns(
             system=self.name,
             scenario=scenario,
             offered_rate_qps=offered_rate_qps,
             columns=records,
             makespan_s=max(makespans),
-            extra={
-                "iterations": float(iterations),
-                "replicas": float(len(self.replicas)),
-            },
+            extra=extra,
         )
         ordered = fleet_result.records
         per_replica = []
@@ -588,4 +790,6 @@ class Fleet:
             replicas=tuple(per_replica),
             assignments=assignments,
             routing=self.routing.name,
+            crashes=plane.crashes.copy() if plane is not None else None,
+            requeued=plane.requeued.copy() if plane is not None else None,
         )

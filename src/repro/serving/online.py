@@ -121,6 +121,11 @@ class OnlineRequestRecord:
         first_token_s: When its first output token finished (-1 if none).
         finish_s: When its last token finished (-1 if unfinished).
         rejected: True when the admission queue overflowed at arrival.
+        shed: True when an admission policy dropped the request (load
+            shedding, tenant quota, priority eviction) -- accounted
+            separately from ``rejected`` so drops stay attributable.
+        preempted: How many times the request's decode was preempted back
+            to an admission queue by a priority policy.
     """
 
     request_id: int
@@ -131,6 +136,8 @@ class OnlineRequestRecord:
     first_token_s: float = -1.0
     finish_s: float = -1.0
     rejected: bool = False
+    shed: bool = False
+    preempted: int = 0
 
     @property
     def completed(self) -> bool:
@@ -164,7 +171,7 @@ class RecordSequence:
 
     Behaves like a tuple of :class:`OnlineRequestRecord` -- length,
     indexing, slicing, iteration, equality (including against real record
-    tuples) -- but stores only the eight backing arrays.  A million-request
+    tuples) -- but stores only the ten backing arrays.  A million-request
     serve therefore allocates **no** per-request Python objects unless a
     caller actually touches individual records; building the boxed record
     tuple eagerly cost seconds of allocation plus a superlinear garbage-
@@ -185,10 +192,17 @@ class RecordSequence:
         first_token_s: np.ndarray,
         finish_s: np.ndarray,
         rejected: np.ndarray,
+        shed: np.ndarray | None = None,
+        preempted: np.ndarray | None = None,
     ) -> None:
+        if shed is None:
+            shed = np.zeros(rejected.shape[0], dtype=bool)
+        if preempted is None:
+            preempted = np.zeros(rejected.shape[0], dtype=np.int64)
         self._arrays = (
             request_id, input_len, output_len, arrival_s,
             admitted_s, first_token_s, finish_s, rejected,
+            shed, preempted,
         )
 
     def __len__(self) -> int:
@@ -198,6 +212,7 @@ class RecordSequence:
         (
             request_id, input_len, output_len, arrival_s,
             admitted_s, first_token_s, finish_s, rejected,
+            shed, preempted,
         ) = self._arrays
         return OnlineRequestRecord(
             request_id=int(request_id[row]),
@@ -208,6 +223,8 @@ class RecordSequence:
             first_token_s=float(first_token_s[row]),
             finish_s=float(finish_s[row]),
             rejected=bool(rejected[row]),
+            shed=bool(shed[row]),
+            preempted=int(preempted[row]),
         )
 
     def __getitem__(self, index):
@@ -253,6 +270,8 @@ class RecordSequence:
             "first_token": self._arrays[5],
             "finish": self._arrays[6],
             "rejected": self._arrays[7],
+            "shed": self._arrays[8],
+            "preempted": self._arrays[9],
             "output_len": self._arrays[2],
         }
 
@@ -265,8 +284,11 @@ class OnlineResult:
     """Aggregate outcome of serving one arrival-stamped trace.
 
     Conservation holds by construction: every offered request is either
-    completed or rejected (``offered == completed + rejected``), because the
-    serving loop drains the queue and pool before returning.
+    completed, rejected or shed (``offered == completed + rejected + shed``),
+    because the serving loop drains the queue and pool before returning and
+    a crashed replica's requeued ids are re-routed, never lost
+    (:meth:`~repro.engine.pool.RequestPool.requeue` refuses done ids, so no
+    request is ever resurrected either).
 
     Aggregates (counts, latency arrays) are computed **once**, on first
     access, from a single pass over the records (:attr:`_columns`) and
@@ -309,6 +331,12 @@ class OnlineResult:
             ),
             "finish": np.array([r.finish_s for r in records], dtype=float),
             "rejected": np.array([r.rejected for r in records], dtype=bool),
+            "shed": np.array(
+                [getattr(r, "shed", False) for r in records], dtype=bool
+            ),
+            "preempted": np.array(
+                [getattr(r, "preempted", 0) for r in records], dtype=np.int64
+            ),
             "output_len": np.array(
                 [r.output_len for r in records], dtype=np.int64
             ),
@@ -353,11 +381,47 @@ class OnlineResult:
         return int(np.count_nonzero(self._columns["rejected"]))
 
     @property
+    def shed(self) -> int:
+        """Requests dropped by an admission policy (load shedding, tenant
+        quota, priority eviction) -- zero without one."""
+        return int(np.count_nonzero(self._columns["shed"]))
+
+    @property
+    def preempted(self) -> int:
+        """Total decode preemptions across all requests (a request
+        preempted twice counts twice)."""
+        return int(self._columns["preempted"].sum())
+
+    @property
+    def dropped(self) -> int:
+        """Requests that never completed by decision: rejected + shed."""
+        return self.rejected + self.shed
+
+    @property
     def rejection_rate(self) -> float:
         """Fraction of offered requests rejected."""
         if not self.records:
             return 0.0
         return self.rejected / len(self.records)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered requests dropped (rejected or shed)."""
+        if not self.records:
+            return 0.0
+        return self.dropped / len(self.records)
+
+    @property
+    def conserved(self) -> bool:
+        """The conservation invariant: offered == completed + rejected +
+        shed, with the three outcomes mutually exclusive."""
+        cols = self._columns
+        outcomes = (
+            self._completed_mask.astype(np.int64)
+            + cols["rejected"].astype(np.int64)
+            + cols["shed"].astype(np.int64)
+        )
+        return bool(np.all(outcomes == 1))
 
     @property
     def achieved_qps(self) -> float:
@@ -443,12 +507,13 @@ class OnlineResult:
         """Whether the run sustains the SLO.
 
         Requires the SLA to hold on the completed requests' end-to-end
-        latencies *and* the rejection rate to stay within
-        ``max_rejection_rate``.
+        latencies *and* the total drop rate -- rejected plus shed, so an
+        admission policy cannot launder overload into "sustainable" by
+        shedding -- to stay within ``max_rejection_rate``.
         """
         if self.completed == 0:
             return False
-        if self.rejection_rate > max_rejection_rate:
+        if self.drop_rate > max_rejection_rate:
             return False
         return sla.satisfied(self.to_run_result())
 
@@ -482,6 +547,8 @@ class OnlineResult:
             columns.first_token_s,
             columns.finish_s,
             columns.rejected,
+            columns.shed,
+            columns.preempted,
         )
         result = cls(
             system=system,
@@ -513,7 +580,10 @@ class RecordColumns:
     :class:`RequestPool` (the only pool online serving runs on).
     """
 
-    __slots__ = ("pool", "admitted_s", "first_token_s", "finish_s", "rejected")
+    __slots__ = (
+        "pool", "admitted_s", "first_token_s", "finish_s", "rejected",
+        "shed", "preempted",
+    )
 
     def __init__(self, pool: RequestPool) -> None:
         n = len(pool)
@@ -522,6 +592,8 @@ class RecordColumns:
         self.first_token_s = np.full(n, -1.0)
         self.finish_s = np.full(n, -1.0)
         self.rejected = np.zeros(n, dtype=bool)
+        self.shed = np.zeros(n, dtype=bool)
+        self.preempted = np.zeros(n, dtype=np.int64)
 
     def reject(self, rid: int) -> None:
         """Flag one arrival as rejected (the stepped core's callback)."""
@@ -530,6 +602,10 @@ class RecordColumns:
     def reject_batch(self, ids: np.ndarray) -> None:
         """Flag a batch of arrivals as rejected (one mask write)."""
         self.rejected[ids] = True
+
+    def mark_shed(self, rid: int) -> None:
+        """Flag one arrival as dropped by an admission policy."""
+        self.shed[rid] = True
 
 
 class ServingLoop:
@@ -592,6 +668,19 @@ class ServingLoop:
             defaults to :func:`default_max_iterations` of the pool.
         name: Label used in the convergence error.
         core: ``"event"`` or ``"stepped"`` (see above).
+        faults: Optional :class:`~repro.serving.faults.FaultPlane`.  At the
+            top of every loop iteration, due fault transitions are applied
+            *before* arrival ingest (a crash at an arrival's clock lands
+            first, so the arrival routes around the dead replica), and
+            every clock advance is clamped to the next fault transition so
+            no event window spans one.  A plane with an empty schedule has
+            ``next_time == inf`` and the loop is bit-identical to running
+            without one.
+        on_crash: ``on_crash(replica_index, when)`` -- invoked when a
+            ``down`` transition fires, before the replica's ready time is
+            reset.  The owner (the fleet) reclaims the replica's queued +
+            in-flight ids and re-routes them.  Required when ``faults``
+            schedules any downtime.
     """
 
     def __init__(
@@ -605,6 +694,8 @@ class ServingLoop:
         max_iterations: int | None = None,
         name: str = "online",
         core: str = DEFAULT_CORE,
+        faults=None,
+        on_crash=None,
     ) -> None:
         self.pool = pool
         self.replicas = list(replicas)
@@ -623,6 +714,12 @@ class ServingLoop:
         self.max_iterations = max_iterations
         self.name = name
         self.core = core
+        if faults is not None and faults.has_downtime and on_crash is None:
+            raise ValueError(
+                "a fault plane scheduling downtime needs an on_crash handler"
+            )
+        self.faults = faults
+        self.on_crash = on_crash
         #: Per-replica ``iterate`` call counts of the last :meth:`run`.
         self.iteration_counts: list[int] = [0] * len(self.replicas)
 
@@ -640,7 +737,7 @@ class ServingLoop:
         real non-convergence from the message alone."""
         depths = [r.queue_depth for r in self.replicas]
         in_flight = [r.in_flight for r in self.replicas]
-        return RuntimeError(
+        message = (
             f"online serving loop {self.name} did not converge: "
             f"exceeded max_iterations={self.max_iterations} at "
             f"clock={clock:.6f}s with arrivals ingested={ingested}/{total} "
@@ -648,6 +745,36 @@ class ServingLoop:
             f"iterations={self.iteration_counts}, queue depths={depths}, "
             f"in flight={in_flight}"
         )
+        if self.faults is not None:
+            slowdowns = [
+                getattr(r, "slowdown", 1.0) for r in self.replicas
+            ]
+            message += (
+                f", fault states={self.faults.states()}, "
+                f"crashes={self.faults.crashes.tolist()}, "
+                f"requeued={self.faults.requeued.tolist()}, "
+                f"slowdowns={slowdowns}, "
+                f"next fault transition={self.faults.next_time}"
+            )
+        return RuntimeError(message)
+
+    def _apply_faults(self, clock: float, next_ready) -> bool:
+        """Apply every fault transition due at ``clock``; True if any was.
+
+        Transitions are applied in time order before arrival ingest.  A
+        ``down`` transition first hands the replica to ``on_crash`` (which
+        reclaims and re-routes its work), then rewinds the replica's ready
+        time to the crash instant so a restarted replica wakes as an idle
+        one would.  ``warming``/``ready`` only flip plane state, which
+        routing observes through the plane's accepting mask.
+        """
+        due = self.faults.pop_due(clock)
+        for when, index, kind in due:
+            if kind == "down":
+                if self.on_crash is not None:
+                    self.on_crash(index, when)
+                next_ready[index] = when
+        return bool(due)
 
     # -- the stepped reference core ------------------------------------------------
 
@@ -663,7 +790,10 @@ class ServingLoop:
         next_ready = [0.0] * len(replicas)
         iterations = 0
         self.iteration_counts = [0] * len(replicas)
+        faults = self.faults
         while True:
+            if faults is not None:
+                self._apply_faults(clock, next_ready)
             # Ingest: offer every arrival with arrival_s <= clock to the
             # router; un-placeable arrivals are rejected on the spot.
             while pos < order.size and arrival_s[order[pos]] <= clock:
@@ -677,8 +807,12 @@ class ServingLoop:
             if not pending:
                 if pos >= order.size:
                     break
-                # Event-driven idle skip to the next arrival.
-                clock = max(clock, float(arrival_s[order[pos]]))
+                # Event-driven idle skip to the next arrival (or the next
+                # fault transition, whose side effects may matter first).
+                target = float(arrival_s[order[pos]])
+                if faults is not None:
+                    target = min(target, faults.next_time)
+                clock = max(clock, target)
                 continue
             index = min(pending, key=lambda i: (next_ready[i], i))
             if next_ready[index] > clock:
@@ -686,10 +820,14 @@ class ServingLoop:
                 # never past the next arrival: arrivals in between must be
                 # routed (and rejections accounted) the moment they land --
                 # an idle replica picks them up at their arrival time, not
-                # when some busy replica frees up.
+                # when some busy replica frees up.  Fault transitions clamp
+                # unconditionally: a crash between now and the ready time
+                # changes who iterates next.
                 target = next_ready[index]
                 if pos < order.size:
                     target = min(target, float(arrival_s[order[pos]]))
+                if faults is not None:
+                    target = min(target, faults.next_time)
                 clock = target
                 continue
             next_ready[index] = max(replicas[index].iterate(clock), clock)
@@ -716,7 +854,9 @@ class ServingLoop:
         """
         if self.route_batch is not None:
             assigned = self.route_batch(batch, clock)
-            rejected = batch[assigned < 0]
+            # -1 is rejected; -2 means the router consumed the id itself
+            # (an admission policy shed it) and accounted for it already.
+            rejected = batch[assigned == -1]
             if rejected.size:
                 if self.on_reject_batch is not None:
                     self.on_reject_batch(rejected)
@@ -748,7 +888,13 @@ class ServingLoop:
         pending = np.zeros(n, dtype=bool)
         iterations = 0
         self.iteration_counts = [0] * n
+        faults = self.faults
         while True:
+            if faults is not None and self._apply_faults(clock, next_ready):
+                # A transition (crash reclaim/reroute, restart) may change
+                # any replica's work; recompute all pending flags.
+                for i, replica in enumerate(replicas):
+                    pending[i] = bool(replica.queue_depth or replica.busy)
             # Batched ingest: every arrival with arrival_s <= clock, as one
             # slice of the sorted order ('right' side == the stepped <=).
             if pos < total and arrival_sorted[pos] <= clock:
@@ -762,7 +908,10 @@ class ServingLoop:
             if not pending.any():
                 if pos >= total:
                     break
-                clock = max(clock, float(arrival_sorted[pos]))
+                target = float(arrival_sorted[pos])
+                if faults is not None:
+                    target = min(target, faults.next_time)
+                clock = max(clock, target)
                 continue
             # Masked argmin == min over (next_ready, index): numpy argmin
             # returns the first occurrence, i.e. the lowest replica index
@@ -781,6 +930,10 @@ class ServingLoop:
                 # is clamped to the next arrival (the stepped semantics).
                 if pos < total and not pending.all():
                     ready_at = min(ready_at, float(arrival_sorted[pos]))
+                if faults is not None:
+                    # Unconditional: a fault transition inside the window
+                    # invalidates the "nothing can change" reasoning above.
+                    ready_at = min(ready_at, faults.next_time)
                 clock = ready_at
                 continue
             replica = replicas[index]
@@ -839,6 +992,9 @@ class OnlineServer:
             raise ValueError("max_queue must be >= 1")
         self.name = name
         self.max_queue = max_queue
+        #: Straggler factor (durations multiply by it); the fleet sets it
+        #: per serve from the fault schedule.  1.0 = healthy.
+        self.slowdown = 1.0
         self._engine: ExecutionEngine | None = None
         self._pool: RequestPool | None = None
         self._queue: deque[int] = deque()
@@ -861,6 +1017,10 @@ class OnlineServer:
     def _in_flight_ids(self) -> np.ndarray:
         """Ids admitted into the engine and not yet shed by compaction."""
         return self._active
+
+    def _crash(self) -> None:
+        """Drop all engine scheduling state (subclass hook)."""
+        raise NotImplementedError
 
     # -- steppable replica API ----------------------------------------------------
 
@@ -920,6 +1080,53 @@ class OnlineServer:
         self._queue.extend(rids[:accepted].tolist())
         return accepted
 
+    def queued_ids(self) -> list[int]:
+        """The admission queue's ids, head first (admission-policy view)."""
+        return list(self._queue)
+
+    def remove_queued(self, rid: int) -> None:
+        """Drop one id from the admission queue (priority eviction).
+
+        Raises:
+            ValueError: if the id is not queued here.
+        """
+        self._queue.remove(rid)
+
+    def preemptible_ids(self) -> np.ndarray:
+        """In-flight ids a priority policy may preempt (the running batch;
+        ids parked in a KV handover are not preemptible)."""
+        return self._active
+
+    def preempt(self, rid: int) -> None:
+        """Evict one id from the running batch (priority preemption).
+
+        The caller owns the rest of the preemption protocol: rewinding the
+        id's progress through ``pool.requeue`` and re-enqueueing it.
+
+        Raises:
+            ValueError: if the id is not in the running batch.
+        """
+        remaining = self._active[self._active != rid]
+        if remaining.size == self._active.size:
+            raise ValueError(f"request {rid} is not in the running batch")
+        self._active = remaining
+        self._release_preempted(rid)
+
+    def _release_preempted(self, rid: int) -> None:
+        """Free per-request engine resources of a preempted id (hook)."""
+
+    def crash(self) -> None:
+        """Lose all engine scheduling state mid-serve (replica failure).
+
+        The caller (the fleet's crash handler) drains the admission queue
+        and requeues the in-flight ids first; this call then forgets the
+        running batch, KV state and iteration chaining.  The timeline and
+        deferred bookkeeping survive: work the replica already executed
+        stays priced, and stale events of ids that finish elsewhere are
+        filtered out at record resolution by final assignment.
+        """
+        self._crash()
+
     def iterate(self, clock: float) -> float:
         """Run one engine iteration starting at ``clock``; returns the
         next iteration's start clock."""
@@ -952,17 +1159,48 @@ class OnlineServer:
         """
         raise NotImplementedError
 
+    def effective_service_rate(self) -> float:
+        """:meth:`service_rate` corrected for the straggler slowdown.
+
+        Routing and load shedding compare replicas through this, so a 4x
+        straggler looks (and is) 4x slower.  At the default slowdown of
+        1.0 the rate is returned untouched, bit for bit.
+        """
+        rate = self.service_rate()
+        if self.slowdown == 1.0:
+            return rate
+        return rate / self.slowdown
+
     def clone(self, name: str | None = None) -> "OnlineServer":
         """A fresh, identically configured server (a fleet replica)."""
         raise NotImplementedError
 
-    def resolve_records(self, records: RecordColumns) -> None:
+    def resolve_records(
+        self,
+        records: RecordColumns,
+        assignments: np.ndarray | None = None,
+        index: int = 0,
+    ) -> None:
         """Resolve the engine's deferred bookkeeping into the record
         columns of the ids this replica served -- one scatter per event
-        batch."""
+        batch.
+
+        With ``assignments`` (the fleet's final id->replica map), each
+        event batch is filtered to the ids whose *final* assignment is
+        this replica: a crashed or preempting replica's bookkeeping holds
+        stale events for ids that finished elsewhere, and without the
+        filter a lower-indexed replica's stale stamps would overwrite a
+        survivor's real ones.  Within one replica, later events of a
+        requeued id overwrite its earlier partial stamps (per-category
+        insertion order), which is the correct final state.
+        """
         self._timeline.schedule_pending()
         bookkeeping = self._engine.bookkeeping
         for event, ids, when in bookkeeping.resolve_events(self._timeline):
+            if assignments is not None:
+                ids = ids[assignments[ids] == index]
+                if not ids.size:
+                    continue
             if event == "admitted":
                 records.admitted_s[ids] = when
             elif event == "first_token":
@@ -1117,6 +1355,16 @@ class ContinuousBatchingOnlineServer(OnlineServer):
             timeline, pool, batched_pricing=self.batched_pricing
         )
 
+    def _crash(self) -> None:
+        # The running batch and its KV state die with the replica; the
+        # iteration chain is cut so the restarted replica plans afresh.
+        self._active = EMPTY_IDS
+        self._cache = self.system._make_kv_cache()
+        self._prev_last_task = None
+
+    def _release_preempted(self, rid: int) -> None:
+        self.system._release(self._cache, self._pool, rid)
+
     def _busy(self) -> bool:
         return bool(self._active.size)
 
@@ -1269,6 +1517,15 @@ class ExeGPTOnlineServer(OnlineServer):
             decoder_only=self.decoder_only,
             batched_pricing=self.batched_pricing,
         )
+
+    def _crash(self) -> None:
+        # Decode pool, handover stash and the adjuster's admission memory
+        # die with the replica; the cycle counter and timeline survive.
+        self._active = EMPTY_IDS
+        self._adjuster = self._make_adjuster()
+        self._freed_last_cycle = 0
+        self._prev_iter_last = {}
+        self._handover = KVHandover()
 
     def _busy(self) -> bool:
         return bool(self._active.size) or bool(self._handover)

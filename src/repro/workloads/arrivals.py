@@ -311,6 +311,114 @@ def make_fleet_scenario(
     return make_scenario(name, per_replica_qps, **kwargs).scaled(replicas)
 
 
+# -- chaos scenarios: arrivals + faults + admission, as one named bundle ------
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named operational-realism scenario for a fleet serve.
+
+    Bundles the three planes a chaos run configures: the arrival process
+    (offered load), the fault schedule (crashes / stragglers) and the
+    admission policy (shedding).  ``faults`` / ``admission`` are ``None``
+    when the scenario does not exercise that plane -- a fault-free bundle
+    serves bit-identically to a plain fleet run.
+    """
+
+    name: str
+    process: ArrivalProcess
+    faults: object | None = None
+    admission: object | None = None
+
+
+def _chaos_replica_flap(rate_qps, replicas, seed, *, mtbf_s=40.0,
+                        mttr_s=5.0, horizon_s=120.0, warmup_s=1.0):
+    """Steady traffic while replicas flap: seeded exponential up/down
+    alternation per replica, with a restart warm-up."""
+    from repro.serving.faults import FaultSchedule
+
+    return ChaosScenario(
+        name="replica_flap",
+        process=PoissonProcess(rate_qps=rate_qps),
+        faults=FaultSchedule.flap(
+            replicas, mtbf_s=mtbf_s, mttr_s=mttr_s, horizon_s=horizon_s,
+            seed=seed, warmup_s=warmup_s,
+        ),
+    )
+
+
+def _chaos_straggler(rate_qps, replicas, seed, *, slowdown=4.0):
+    """Steady traffic with replica 0 a straggler: every iteration on it
+    takes ``slowdown`` times as long, so queue-aware routing must route
+    around it."""
+    from repro.serving.faults import FaultSchedule
+
+    return ChaosScenario(
+        name="straggler",
+        process=PoissonProcess(rate_qps=rate_qps),
+        faults=FaultSchedule(slowdowns=(float(slowdown),)),
+    )
+
+
+def _chaos_flash_crowd_shed(rate_qps, replicas, seed, *, burst_factor=8.0,
+                            burst_fraction=0.5, max_wait_s=30.0):
+    """A flash crowd against predicted-cost load shedding: bursty arrivals
+    overload the fleet and the admission policy sheds what it cannot
+    serve within ``max_wait_s`` of predicted queueing."""
+    from repro.serving.faults import LoadSheddingPolicy
+
+    return ChaosScenario(
+        name="flash_crowd_shed",
+        process=BurstyProcess(
+            rate_qps=rate_qps,
+            burst_factor=burst_factor,
+            burst_fraction=burst_fraction,
+        ),
+        admission=LoadSheddingPolicy(max_wait_s=max_wait_s),
+    )
+
+
+#: Chaos-scenario factories: ``f(rate_qps, replicas, seed, **kwargs)``.
+#: The serving-layer imports happen inside the factories (the serving
+#: modules import this module at load time).
+CHAOS_SCENARIOS = {
+    "replica_flap": _chaos_replica_flap,
+    "straggler": _chaos_straggler,
+    "flash_crowd_shed": _chaos_flash_crowd_shed,
+}
+
+
+def known_chaos_scenarios() -> tuple[str, ...]:
+    """Names of the registered chaos scenarios."""
+    return tuple(sorted(CHAOS_SCENARIOS))
+
+
+def make_chaos_scenario(
+    name: str, rate_qps: float, replicas: int, seed: int = 0, **kwargs
+) -> ChaosScenario:
+    """Instantiate a registered chaos scenario.
+
+    Args:
+        name: One of :func:`known_chaos_scenarios`.
+        rate_qps: Fleet-wide time-averaged arrival rate.
+        replicas: Deployment size the fault schedule targets.
+        seed: Seed of the fault process (arrival sampling is seeded
+            separately, at :func:`attach_arrivals` time).
+        **kwargs: Scenario-specific parameters (e.g. ``mtbf_s``,
+            ``slowdown``, ``max_wait_s``).
+    """
+    key = name.lower()
+    if key not in CHAOS_SCENARIOS:
+        known = ", ".join(known_chaos_scenarios())
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; known scenarios: {known}"
+        )
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    return CHAOS_SCENARIOS[key](float(rate_qps), int(replicas), int(seed),
+                                **kwargs)
+
+
 def fleet_rates(
     rates, replicas: int
 ) -> tuple[float, ...]:

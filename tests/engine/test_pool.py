@@ -250,6 +250,173 @@ class TestMultiOwnerSlices:
                 independent[r].ids()
             )
 
+    @given(
+        lens=st.lists(
+            st.tuples(st.integers(1, 24), st.integers(1, 10)),
+            min_size=3,
+            max_size=32,
+        ),
+        seed=st.integers(0, 2 ** 32 - 1),
+        replicas=st.integers(2, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_crash_requeue_schedules(self, lens, seed, replicas):
+        """Random crash/requeue events interleave with the advance schedule.
+
+        A "crash" of replica ``r`` requeues its entire alive slice through
+        the shared pool (and the independent reference pool).  The fleet
+        invariants must survive arbitrarily interleaved crashes: ids stay
+        stable, no completed id resurrects under any owner, alive/done
+        counts are conserved (a requeue rewinds progress, never outcomes),
+        and the slices stay in lockstep with the independent pools.
+        """
+        specs = _specs(lens)
+        shared = RequestPool()
+        ids = shared.admit_specs(specs)
+        slices = [ids[r::replicas] for r in range(replicas)]
+        independent: list[ListPool] = []
+        to_local: list[dict[int, int]] = []
+        for sl in slices:
+            pool = ListPool()
+            pool.admit_specs([specs[g] for g in sl.tolist()])
+            independent.append(pool)
+            to_local.append({int(g): k for k, g in enumerate(sl.tolist())})
+
+        def localize(r: int, globals_: np.ndarray) -> np.ndarray:
+            return np.array(
+                [to_local[r][int(g)] for g in globals_.tolist()], dtype=np.int64
+            )
+
+        original_request_ids = {
+            int(g): shared.request_id_of(int(g)) for g in ids.tolist()
+        }
+        rng = np.random.default_rng(seed)
+        active = [shared.compact(sl) for sl in slices]
+        ever_done: set[int] = set()
+        for _ in range(64):
+            if all(a.size == 0 for a in active):
+                break
+            r = int(rng.integers(replicas))
+            acts = active[r]
+            if acts.size == 0:
+                continue
+
+            if rng.random() < 0.25:
+                # Crash: the whole alive slice rewinds on both backends.
+                shared.requeue(acts)
+                independent[r].requeue(localize(r, acts))
+                assert np.all(shared.generated[acts] == 0)
+                # Conservation: a requeue changes progress, never outcomes.
+                assert shared.alive_count == sum(
+                    p.alive_count for p in independent
+                )
+                assert shared.done_count == sum(
+                    p.done_count for p in independent
+                )
+                for other in range(replicas):
+                    assert not ever_done.intersection(
+                        shared.compact(slices[other]).tolist()
+                    )
+                continue
+
+            mask = rng.random(acts.size) < 0.7
+            group = acts[mask]
+            first_shared, done_shared = shared.advance(group)
+            first_ref, done_ref = independent[r].advance(localize(r, group))
+            assert np.array_equal(localize(r, first_shared), first_ref)
+            assert np.array_equal(localize(r, done_shared), done_ref)
+            ever_done.update(done_shared.tolist())
+
+            active[r] = shared.compact(acts)
+            assert np.array_equal(
+                localize(r, active[r]),
+                independent[r].compact(localize(r, acts)),
+            )
+            # Id stability across crashes: surviving ids keep denoting the
+            # same requests, no matter how often they were requeued.
+            for g in active[r].tolist():
+                assert shared.request_id_of(g) == original_request_ids[g]
+
+        # A completed id can never be requeued, under ANY owner's slice.
+        done_ids = np.asarray(sorted(ever_done), dtype=np.int64)
+        if done_ids.size:
+            with pytest.raises(ValueError, match="cannot requeue"):
+                shared.requeue(done_ids[:1])
+        for r, sl in enumerate(slices):
+            assert shared.remaining_tokens(sl) == independent[r].remaining_tokens(
+                independent[r].ids()
+            )
+
+
+class TestRequeue:
+    """``requeue`` -- the crash/preemption rewind -- in parity on both
+    backends: vectorized column rewind (:class:`RequestPool`) against the
+    per-object reference (:class:`ListPool`)."""
+
+    @given(lens=REQUESTS, seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_requeue_matches_reference(self, lens, seed):
+        columnar, reference = _both(lens)
+        rng = np.random.default_rng(seed)
+        active = columnar.ids()
+        for _ in range(32):
+            if active.size == 0:
+                break
+            mask = rng.random(active.size) < 0.7
+            batch = columnar.compact(active[mask])
+            if batch.size:
+                columnar.stamp_encode_start(batch, 1.0)
+                reference.stamp_encode_start(batch, 1.0)
+                columnar.advance(batch)
+                reference.advance(batch)
+            # A random crash reclaims a subset of the still-alive ids.
+            alive = columnar.compact(active)
+            crashed = alive[rng.random(alive.size) < 0.3]
+            columnar.requeue(crashed)
+            reference.requeue(crashed)
+            assert columnar.remaining_tokens(crashed) == reference.remaining_tokens(
+                crashed
+            )
+            if crashed.size:
+                assert np.all(columnar.generated[crashed] == 0)
+            active = alive
+        assert np.array_equal(columnar.generated, np.asarray(
+            [s.generated for s in reference.states], dtype=np.int64
+        ))
+        assert np.array_equal(
+            columnar.done, np.asarray([s.done for s in reference.states])
+        )
+        assert np.array_equal(columnar.encode_start_s, np.asarray(
+            [s.encode_start_s for s in reference.states]
+        ))
+        assert np.array_equal(columnar.finish_s, np.asarray(
+            [s.finish_s for s in reference.states]
+        ))
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_requeue_done_id_raises_and_mutates_nothing(self, columnar):
+        pool = RequestPool() if columnar else ListPool()
+        ids = pool.admit_specs(
+            [RequestSpec(0, 4, 2, 0.0), RequestSpec(1, 4, 3, 0.0)]
+        )
+        pool.advance(ids, 2)  # request 0 (output_len 2) completes
+        with pytest.raises(ValueError, match="cannot requeue"):
+            pool.requeue(ids)  # mixed batch with a done member
+        # Atomicity: the failed mixed batch touched neither id.
+        assert pool.remaining_tokens(ids[1:]) == 1
+        with pytest.raises(ValueError, match="cannot requeue"):
+            pool.requeue(ids[:1])
+        # A live-only requeue rewinds generation to zero.
+        pool.requeue(ids[1:])
+        assert pool.remaining_tokens(ids[1:]) == 3
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_requeue_empty_is_a_noop(self, columnar):
+        pool = RequestPool() if columnar else ListPool()
+        pool.admit_specs([RequestSpec(0, 4, 2, 0.0)])
+        pool.requeue(EMPTY_IDS)
+        assert pool.alive_count == 1
+
 
 class TestAdvanceGuards:
     @pytest.mark.parametrize("columnar", [True, False])

@@ -1,0 +1,539 @@
+"""Tests for fault injection and admission control (`repro.serving.faults`).
+
+The two headline gates from the issue:
+
+* **Parity** -- a fleet with fault injection *enabled but scheduling zero
+  faults* (empty :class:`FaultSchedule` + :class:`AcceptAll`) reproduces
+  the fault-free run bit-identically (records AND assignments) on both
+  serving cores.
+* **Conservation** -- under injected crashes every offered request is
+  accounted for (``offered == completed + rejected + shed``) and a crashed
+  replica's requeued ids complete on surviving replicas; no id is ever
+  resurrected.
+
+Plus: straggler route-around, load shedding, tenant quotas, priority
+eviction/preemption, the fault-plane state machine, schedule validation,
+chaos scenario registry, and fault-state convergence diagnostics.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.orca import Orca
+from repro.core.config import ScheduleConfig, SchedulePolicy
+from repro.engine.timeline import Timeline
+from repro.serving.faults import (
+    AcceptAll,
+    FaultEvent,
+    FaultPlane,
+    FaultSchedule,
+    LoadSheddingPolicy,
+    PriorityAdmissionPolicy,
+    TenantQuotaPolicy,
+)
+from repro.serving.fleet import Fleet
+from repro.serving.online import (
+    ContinuousBatchingOnlineServer,
+    ExeGPTOnlineServer,
+    ServingLoop,
+)
+from repro.workloads.arrivals import (
+    ChaosScenario,
+    PoissonProcess,
+    attach_arrivals,
+    known_chaos_scenarios,
+    make_chaos_scenario,
+)
+from repro.workloads.synthetic import generate_trace_from_distributions
+
+
+@pytest.fixture(scope="module")
+def base_trace(short_input_dist, short_output_dist):
+    return generate_trace_from_distributions(
+        short_input_dist, short_output_dist, num_requests=64, seed=9, name="chaos"
+    )
+
+
+def _server(kind, profile, in_dist, out_dist, simulator, **kwargs):
+    if kind == "orca":
+        system = Orca(
+            profile=profile,
+            input_distribution=in_dist,
+            output_distribution=out_dist,
+        )
+        return ContinuousBatchingOnlineServer(
+            system=system,
+            batch_size=kwargs.get("batch_size", 8),
+            max_queue=kwargs.get("max_queue", 512),
+        )
+    config = ScheduleConfig(
+        policy=SchedulePolicy.RRA, encode_batch=8, decode_iterations=4
+    )
+    return ExeGPTOnlineServer(
+        simulator, config, max_queue=kwargs.get("max_queue", 512)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schedules and the fault plane
+# ---------------------------------------------------------------------------
+
+
+class TestFaultSchedule:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(replica=-1, down_s=0.0, up_s=1.0)
+        with pytest.raises(ValueError):
+            FaultEvent(replica=0, down_s=-1.0, up_s=1.0)
+        with pytest.raises(ValueError):
+            FaultEvent(replica=0, down_s=2.0, up_s=2.0)
+        # Permanent failure is legal.
+        assert math.isinf(FaultEvent(replica=0, down_s=2.0).up_s)
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(warmup_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultSchedule(slowdowns=(0.0,))
+        # Same-replica windows must not overlap, warm-up included.
+        with pytest.raises(ValueError):
+            FaultSchedule(events=(
+                FaultEvent(0, 1.0, 3.0), FaultEvent(0, 2.0, 4.0),
+            ))
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                events=(FaultEvent(0, 1.0, 3.0), FaultEvent(0, 3.5, 5.0)),
+                warmup_s=1.0,
+            )
+        # Distinct replicas may overlap freely.
+        FaultSchedule(events=(FaultEvent(0, 1.0, 3.0), FaultEvent(1, 2.0, 4.0)))
+
+    def test_flap_is_deterministic_and_bounded(self):
+        a = FaultSchedule.flap(4, mtbf_s=10.0, mttr_s=2.0, horizon_s=50.0, seed=3)
+        b = FaultSchedule.flap(4, mtbf_s=10.0, mttr_s=2.0, horizon_s=50.0, seed=3)
+        c = FaultSchedule.flap(4, mtbf_s=10.0, mttr_s=2.0, horizon_s=50.0, seed=4)
+        assert a.events == b.events
+        assert a.events != c.events
+        assert a.events  # mtbf well under the horizon: flaps happen
+        assert all(e.down_s < 50.0 for e in a.events)
+        assert all(e.up_s > e.down_s for e in a.events)
+
+    def test_slowdown_and_events_lookup(self):
+        schedule = FaultSchedule(
+            events=(FaultEvent(1, 5.0, 6.0), FaultEvent(1, 1.0, 2.0)),
+            slowdowns=(2.0,),
+        )
+        assert schedule.slowdown_for(0) == 2.0
+        assert schedule.slowdown_for(7) == 1.0
+        downs = [e.down_s for e in schedule.events_for(1)]
+        assert downs == [1.0, 5.0]
+        assert schedule.events_for(0) == ()
+
+
+class TestFaultPlane:
+    def test_transition_state_machine(self):
+        schedule = FaultSchedule(
+            events=(FaultEvent(0, 1.0, 2.0),), warmup_s=0.5
+        )
+        plane = FaultPlane(schedule, 2)
+        assert plane.has_downtime
+        assert plane.next_time == 1.0
+        assert plane.pop_due(0.5) == []
+        assert plane.accepting.all()
+
+        due = plane.pop_due(1.0)
+        assert [(t, r, k) for t, r, k in due] == [(1.0, 0, "down")]
+        assert not plane.accepting[0] and plane.accepting[1]
+        assert plane.state(0) == "down"
+        assert plane.crashes.tolist() == [1, 0]
+        assert plane.next_time == 2.0
+
+        plane.pop_due(2.0)
+        assert plane.state(0) == "warming"
+        assert not plane.accepting[0]  # still unroutable while warming
+
+        plane.pop_due(2.5)
+        assert plane.state(0) == "up"
+        assert plane.accepting.all()
+        assert plane.next_time == math.inf
+
+    def test_empty_schedule_is_inert(self):
+        plane = FaultPlane(FaultSchedule(), 3)
+        assert not plane.has_downtime
+        assert plane.next_time == math.inf
+        assert plane.pop_due(1e9) == []
+        assert plane.accepting.all()
+        assert plane.states() == ["up", "up", "up"]
+
+    def test_rejects_out_of_range_replica(self):
+        schedule = FaultSchedule(events=(FaultEvent(5, 1.0, 2.0),))
+        with pytest.raises(ValueError):
+            FaultPlane(schedule, 2)
+
+
+# ---------------------------------------------------------------------------
+# The parity gate: zero scheduled faults == no fault plane, bit for bit
+# ---------------------------------------------------------------------------
+
+
+class TestZeroFaultParity:
+    @pytest.mark.parametrize("kind", ["orca", "rra"])
+    @pytest.mark.parametrize("core", ["event", "stepped"])
+    def test_empty_schedule_and_accept_all_are_bit_identical(
+        self, kind, core, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            kind, tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(30.0), seed=5)
+        plain = Fleet.homogeneous(server, 3, routing="jsq").serve(
+            online, core=core
+        )
+        chaos = Fleet.homogeneous(
+            server, 3, routing="jsq",
+            faults=FaultSchedule(), admission=AcceptAll(),
+        ).serve(online, core=core)
+        assert chaos.fleet.records == plain.fleet.records
+        assert np.array_equal(chaos.assignments, plain.assignments)
+        assert chaos.fleet.makespan_s == plain.fleet.makespan_s
+        assert chaos.crashes.tolist() == [0, 0, 0]
+        assert chaos.requeued.tolist() == [0, 0, 0]
+        assert plain.crashes is None and plain.requeued is None
+
+    def test_unit_slowdowns_are_bit_identical(
+        self, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(30.0), seed=5)
+        plain = Fleet.homogeneous(server, 2, routing="jsq").serve(online)
+        chaos = Fleet.homogeneous(
+            server, 2, routing="jsq",
+            faults=FaultSchedule(slowdowns=(1.0, 1.0)),
+        ).serve(online)
+        assert chaos.fleet.records == plain.fleet.records
+        assert np.array_equal(chaos.assignments, plain.assignments)
+
+
+# ---------------------------------------------------------------------------
+# Crashes: conservation and rerouting
+# ---------------------------------------------------------------------------
+
+
+class TestCrashes:
+    @pytest.mark.parametrize("core", ["event", "stepped"])
+    def test_permanent_crash_conserves_and_reroutes(
+        self, core, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=4,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(40.0), seed=7)
+        baseline = Fleet.homogeneous(server, 2, routing="jsq").serve(
+            online, core=core
+        )
+        # Kill replica 0 a third of the way through the fault-free run,
+        # permanently: everything it held must drain to replica 1.
+        t_down = baseline.fleet.makespan_s / 3.0
+        faults = FaultSchedule(events=(FaultEvent(0, t_down),))
+        result = Fleet.homogeneous(
+            server, 2, routing="jsq", faults=faults
+        ).serve(online, core=core)
+
+        assert result.crashes.tolist() == [1, 0]
+        assert result.requeued[0] > 0  # it held work when it died
+        assert result.fleet.conserved
+        assert (result.completed + result.rejected
+                + result.fleet.shed) == result.offered
+        cols = result.fleet.records.columns()
+        # Requeued ids were re-assigned: every id whose FINAL assignment is
+        # the dead replica completed (before or at the crash drain).
+        assert bool(np.all(cols["finish"][result.assignments == 0] >= 0.0))
+        # The survivor finished real work after the crash.
+        survivor = cols["finish"][result.assignments == 1]
+        assert np.count_nonzero(survivor > t_down) > 0
+        # The run degraded but nothing vanished.
+        assert result.completed + result.rejected == result.offered
+
+    def test_crash_restart_flap_conserves(
+        self, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            "rra", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(40.0), seed=11)
+        baseline = Fleet.homogeneous(server, 3, routing="jsq").serve(online)
+        horizon = baseline.fleet.makespan_s
+        faults = FaultSchedule.flap(
+            3, mtbf_s=horizon / 4.0, mttr_s=horizon / 20.0,
+            horizon_s=horizon, seed=2, warmup_s=horizon / 50.0,
+        )
+        assert faults.events, "flap parameters must actually schedule crashes"
+        result = Fleet.homogeneous(
+            server, 3, routing="jsq", faults=faults
+        ).serve(online)
+        assert result.crashes.sum() == len(faults.events)
+        assert result.fleet.conserved
+        assert result.completed + result.rejected == result.offered
+        assert result.completed > 0
+
+    @pytest.mark.parametrize("core", ["event", "stepped"])
+    def test_cores_agree_on_chaos_aggregates(
+        self, core, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        """Both cores apply the same fault schedule at the same times."""
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(40.0), seed=7)
+        baseline = Fleet.homogeneous(server, 2, routing="jsq").serve(online)
+        faults = FaultSchedule(
+            events=(FaultEvent(0, baseline.fleet.makespan_s / 3.0),)
+        )
+        results = {
+            c: Fleet.homogeneous(server, 2, routing="jsq", faults=faults).serve(
+                online, core=c
+            )
+            for c in ("event", "stepped")
+        }
+        event, stepped = results["event"], results["stepped"]
+        assert event.fleet.records == stepped.fleet.records
+        assert np.array_equal(event.assignments, stepped.assignments)
+        assert event.requeued.tolist() == stepped.requeued.tolist()
+
+
+# ---------------------------------------------------------------------------
+# Stragglers
+# ---------------------------------------------------------------------------
+
+
+class TestStragglers:
+    def test_timeline_time_scale(self):
+        plain = Timeline()
+        slow = Timeline(time_scale=4.0)
+        t0 = plain.add_task("stage", 1.0)
+        t1 = slow.add_task("stage", 1.0)
+        assert slow.finish_time(t1) == pytest.approx(4.0 * plain.finish_time(t0))
+        with pytest.raises(ValueError):
+            Timeline(time_scale=0.0)
+
+    @pytest.mark.parametrize("routing", ["jsq", "least-outstanding-work"])
+    def test_queue_aware_routing_routes_around_straggler(
+        self, routing, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(40.0), seed=13)
+        result = Fleet.homogeneous(
+            server, 2, routing=routing,
+            faults=FaultSchedule(slowdowns=(8.0,)),
+        ).serve(online)
+        to_slow = int(np.count_nonzero(result.assignments == 0))
+        to_fast = int(np.count_nonzero(result.assignments == 1))
+        assert to_slow < to_fast
+        # Per-replica splits sum back to the fleet-wide count.
+        assert (result.replicas[0].completed + result.replicas[1].completed
+                == result.completed)
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_load_shedding_sheds_under_overload(
+        self, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=4,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(2000.0), seed=3)
+        result = Fleet.homogeneous(
+            server, 2, routing="jsq",
+            admission=LoadSheddingPolicy(max_wait_s=1e-3),
+        ).serve(online)
+        assert result.fleet.shed > 0
+        assert result.fleet.conserved
+        assert np.array_equal(
+            result.assignments == -2,
+            np.array([r.shed for r in result.fleet.records]),
+        )
+        # Shed requests count against the drop rate, so SLO math stays honest.
+        assert result.fleet.drop_rate == pytest.approx(
+            (result.fleet.rejected + result.fleet.shed) / result.offered
+        )
+
+    def test_load_shedding_validation(self):
+        with pytest.raises(ValueError):
+            LoadSheddingPolicy(max_wait_s=0.0)
+
+    def test_tenant_quota_caps_each_tenant(
+        self, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=4,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(2000.0), seed=3)
+        result = Fleet.homogeneous(
+            server, 2, routing="jsq",
+            admission=TenantQuotaPolicy(tenants=4, quota=2),
+        ).serve(online)
+        assert result.fleet.shed > 0
+        assert result.fleet.conserved
+        # Fairness: the quota leaves every tenant with completed work.
+        cols = result.fleet.records.columns()
+        completed = cols["finish"] >= 0.0
+        tenants = np.arange(result.offered) % 4
+        for tenant in range(4):
+            assert np.count_nonzero(completed[tenants == tenant]) > 0
+
+    def test_tenant_quota_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuotaPolicy(tenants=0, quota=1)
+        with pytest.raises(ValueError):
+            TenantQuotaPolicy(tenants=2, quota=0)
+
+    def test_priority_evicts_and_preempts_low_priority(
+        self, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=4, max_queue=8,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(2000.0), seed=3)
+        policy = PriorityAdmissionPolicy(levels=2, max_preemptions=4)
+        result = Fleet.homogeneous(
+            server, 2, routing="jsq", admission=policy
+        ).serve(online)
+        assert policy.evictions + policy.preemptions > 0
+        assert result.fleet.conserved
+        # Evicted-from-queue ids are the shed records; preemptions show up
+        # in the preempted counts (a preempted decode still completes).
+        assert result.fleet.shed == policy.evictions
+        assert result.fleet.preempted == policy.preemptions
+        if policy.evictions:
+            # Only low-priority (odd id) work is ever evicted.
+            shed_ids = np.flatnonzero(
+                np.array([r.shed for r in result.fleet.records])
+            )
+            assert bool(np.all(shed_ids % 2 == 1))
+
+    def test_priority_validation(self):
+        with pytest.raises(ValueError):
+            PriorityAdmissionPolicy(levels=1)
+
+
+# ---------------------------------------------------------------------------
+# Loop wiring: diagnostics and guards
+# ---------------------------------------------------------------------------
+
+
+class TestLoopWiring:
+    def _loop(self, server, pool, plane, **kwargs):
+        server.reset(Timeline(), pool)
+        return ServingLoop(
+            pool,
+            [server],
+            route=lambda rid, clock: True,
+            on_reject=lambda rid: None,
+            faults=plane,
+            **kwargs,
+        )
+
+    def test_downtime_without_crash_handler_is_an_error(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace,
+    ):
+        from repro.engine.pool import RequestPool
+
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist, None
+        )
+        pool = RequestPool.from_trace(
+            attach_arrivals(base_trace, PoissonProcess(30.0), seed=5)
+        )
+        plane = FaultPlane(FaultSchedule(events=(FaultEvent(0, 1.0, 2.0),)), 1)
+        with pytest.raises(ValueError, match="on_crash"):
+            self._loop(server, pool, plane)
+
+    def test_convergence_error_carries_fault_state(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace,
+    ):
+        from repro.engine.pool import RequestPool
+
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist, None
+        )
+        pool = RequestPool.from_trace(
+            attach_arrivals(base_trace, PoissonProcess(30.0), seed=5)
+        )
+        plane = FaultPlane(FaultSchedule(), 1)
+        loop = self._loop(server, pool, plane)
+        message = str(loop._convergence_error(1.0, 0, len(pool)))
+        assert "fault states=['up']" in message
+        assert "crashes=[0]" in message
+        assert "requeued=[0]" in message
+        assert "slowdowns=" in message
+        assert "next fault transition=inf" in message
+
+        plain = ServingLoop(
+            pool, [server], route=lambda rid, clock: True,
+            on_reject=lambda rid: None,
+        )
+        assert "fault states" not in str(plain._convergence_error(1.0, 0, 1))
+
+
+# ---------------------------------------------------------------------------
+# Chaos scenario registry
+# ---------------------------------------------------------------------------
+
+
+class TestChaosScenarios:
+    def test_known_chaos_scenarios(self):
+        names = known_chaos_scenarios()
+        assert set(names) == {"replica_flap", "straggler", "flash_crowd_shed"}
+
+    def test_replica_flap_scenario(self):
+        scenario = make_chaos_scenario("replica_flap", 20.0, 4, seed=1)
+        assert isinstance(scenario, ChaosScenario)
+        assert isinstance(scenario.faults, FaultSchedule)
+        assert scenario.faults.events
+        assert scenario.admission is None
+
+    def test_straggler_scenario(self):
+        scenario = make_chaos_scenario("straggler", 20.0, 4, slowdown=6.0)
+        assert scenario.faults.slowdown_for(0) == 6.0
+        assert scenario.faults.slowdown_for(1) == 1.0
+        assert not scenario.faults.events
+
+    def test_flash_crowd_shed_scenario(self):
+        scenario = make_chaos_scenario("flash_crowd_shed", 20.0, 4)
+        assert isinstance(scenario.admission, LoadSheddingPolicy)
+        assert scenario.faults is None
+
+    def test_unknown_scenario_and_bad_replicas(self):
+        with pytest.raises(KeyError):
+            make_chaos_scenario("nope", 20.0, 4)
+        with pytest.raises(ValueError):
+            make_chaos_scenario("replica_flap", 20.0, 0)
