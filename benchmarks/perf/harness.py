@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -989,6 +990,150 @@ def bench_chaos_sweep(
     )
 
 
+@dataclass
+class CampaignBench:
+    """Campaign fan-out: multiprocess speedup, bit parity, resume cost.
+
+    One >= 27-cell online campaign (OPT-13B/S: 3 scenarios x 3 fleet sizes
+    x 3 routing policies) runs three ways against fresh trace stores:
+    serially, with ``workers``-wide process fan-out, and -- after deleting
+    a third of the parallel store's trace files -- as a resume that may
+    only execute the missing cells.  A final warm run must be pure loads.
+
+    Attributes:
+        cells: Campaign size.
+        workers: Fan-out width of the parallel and resume runs.
+        serial_s: Single-process wall time (fresh store).
+        parallel_s: ``workers``-wide wall time (fresh store).
+        speedup: ``serial_s / parallel_s``.
+        bit_identical: Serial, parallel and resumed stores hold canonically
+            identical trace documents for every cell.
+        resume_deleted: Trace files deleted before the resume run.
+        resume_executed: Cells the resume run actually simulated.
+        resume_loaded: Cells the resume run satisfied from the store.
+        resume_only_missing: The resume executed exactly the deleted cells.
+        resume_s: Resume-run wall time.
+        warm_load_s: Wall time of the final all-cache-hit run (pure loads).
+    """
+
+    cells: int
+    workers: int
+    serial_s: float
+    parallel_s: float
+    speedup: float
+    bit_identical: bool
+    resume_deleted: int
+    resume_executed: int
+    resume_loaded: int
+    resume_only_missing: bool
+    resume_s: float
+    warm_load_s: float
+
+
+def campaign_fanout_grid():
+    """The 27-cell campaign the fan-out acceptance numbers refer to."""
+    from repro.campaign.spec import CampaignSpec
+
+    return CampaignSpec.online_grid(
+        "bench-fanout",
+        models=("OPT-13B",),
+        tasks=("S",),
+        systems=("exegpt",),
+        scenarios=("steady", "bursty", "diurnal"),
+        replicas=(1, 2, 4),
+        routings=("round-robin", "jsq", "least-outstanding-work"),
+        slo_p99_s=15.0,
+        per_replica_rates=(2.0, 4.0),
+        num_requests=96,
+        max_encode_batch=16,
+        max_queue=256,
+    )
+
+
+def bench_campaign_fanout(workers: int = 4) -> CampaignBench:
+    """Time the campaign serial vs fanned out, then resume and warm-load."""
+    import tempfile
+
+    from repro.campaign.runner import CampaignRunner, execute_cell
+    from repro.campaign.spec import canonical_json
+    from repro.campaign.store import TraceStore
+
+    spec = campaign_fanout_grid()
+
+    # Warm the per-process caches (engine profile sweep, schedule search)
+    # in the parent: forked workers inherit them, so neither timed run is
+    # charged for one-time costs the other skipped.
+    execute_cell(spec.cells[0])
+
+    def docs(result) -> dict[str, str]:
+        return {
+            cell.content_hash(): canonical_json(result.trace_of(cell))
+            for cell in spec
+        }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        serial = CampaignRunner(store=TraceStore(Path(tmp) / "ser")).run(spec)
+        serial_s = time.perf_counter() - start
+
+        parallel_store = TraceStore(Path(tmp) / "par")
+        start = time.perf_counter()
+        parallel = CampaignRunner(store=parallel_store, workers=workers).run(spec)
+        parallel_s = time.perf_counter() - start
+
+        victims = spec.hashes()[::3]
+        for cell_hash in victims:
+            parallel_store.delete(cell_hash)
+        resume_runner = CampaignRunner(store=parallel_store, workers=workers)
+        start = time.perf_counter()
+        resumed = resume_runner.run(spec)
+        resume_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = resume_runner.run(spec)
+        warm_load_s = time.perf_counter() - start
+
+        reference = docs(serial)
+        bit_identical = (
+            reference == docs(parallel)
+            and reference == docs(resumed)
+            and reference == docs(warm)
+        )
+        resume_only_missing = (
+            sorted(resumed.executed) == sorted(victims) and warm.executed == ()
+        )
+
+    return CampaignBench(
+        cells=len(spec),
+        workers=workers,
+        serial_s=serial_s,
+        parallel_s=parallel_s,
+        speedup=serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        bit_identical=bit_identical,
+        resume_deleted=len(victims),
+        resume_executed=len(resumed.executed),
+        resume_loaded=len(resumed.loaded),
+        resume_only_missing=resume_only_missing,
+        resume_s=resume_s,
+        warm_load_s=warm_load_s,
+    )
+
+
+def _git_sha() -> str:
+    """The repository HEAD commit stamped into trajectory records."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
 def make_record(
     estimate: EstimateBench,
     search: SearchBench,
@@ -999,10 +1144,12 @@ def make_record(
     fleet: FleetBench | None = None,
     event_core: EventCoreBench | None = None,
     chaos: ChaosBench | None = None,
+    campaign: CampaignBench | None = None,
 ) -> dict:
     """Assemble one machine-readable trajectory record."""
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": _git_sha(),
         "host": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -1035,6 +1182,8 @@ def make_record(
         record["event_core"] = dict(event_core.__dict__)
     if chaos is not None:
         record["chaos_sweep"] = dict(chaos.__dict__)
+    if campaign is not None:
+        record["campaign_fanout"] = dict(campaign.__dict__)
     return record
 
 
@@ -1048,6 +1197,7 @@ def write_bench_record(
     fleet: FleetBench | None = None,
     event_core: EventCoreBench | None = None,
     chaos: ChaosBench | None = None,
+    campaign: CampaignBench | None = None,
 ) -> dict:
     """Append one record to ``BENCH_search.json`` and return it.
 
@@ -1056,7 +1206,7 @@ def write_bench_record(
     """
     record = make_record(
         estimate, search, runner, replay, online, pool, fleet, event_core,
-        chaos,
+        chaos, campaign,
     )
     doc = {
         "schema": 1,
@@ -1088,9 +1238,10 @@ def main() -> None:
     fleet = bench_fleet_sweep()
     event_core = bench_event_core()
     chaos = bench_chaos_sweep()
+    campaign = bench_campaign_fanout()
     write_bench_record(
         estimate, search, runner, replay, online, pool, fleet, event_core,
-        chaos,
+        chaos, campaign,
     )
     print(f"estimate: {estimate.scalar_ms_per_point:.2f} ms/pt scalar, "
           f"{estimate.batch_us_per_point:.1f} us/pt batched "
@@ -1138,6 +1289,14 @@ def main() -> None:
           f"{chaos.chaos_s:.1f} s under {chaos.crashes} crashes "
           f"({chaos.chaos_overhead:.2f}x, {chaos.requeued} requeued, "
           f"conserved={chaos.conserved})")
+    print(f"campaign fan-out ({campaign.cells} cells): "
+          f"{campaign.serial_s:.2f} s serial, {campaign.parallel_s:.2f} s on "
+          f"{campaign.workers} workers ({campaign.speedup:.1f}x, "
+          f"bit-identical={campaign.bit_identical}); resume after deleting "
+          f"{campaign.resume_deleted} traces executed "
+          f"{campaign.resume_executed} cells in {campaign.resume_s:.2f} s "
+          f"(only-missing={campaign.resume_only_missing}); warm load "
+          f"{campaign.warm_load_s:.3f} s")
     print(f"wrote {BENCH_PATH}")
 
 

@@ -17,6 +17,7 @@ import pytest
 
 from harness import (
     BENCH_PATH,
+    bench_campaign_fanout,
     bench_chaos_sweep,
     bench_estimate,
     bench_event_core,
@@ -44,15 +45,16 @@ def bench_record():
     fleet = bench_fleet_sweep()
     event_core = bench_event_core()
     chaos = bench_chaos_sweep()
+    campaign = bench_campaign_fanout()
     if os.environ.get("BENCH_RECORD") == "1":
         record = write_bench_record(
             estimate, search, runner, replay, online, pool, fleet, event_core,
-            chaos,
+            chaos, campaign,
         )
     else:
         record = make_record(
             estimate, search, runner, replay, online, pool, fleet, event_core,
-            chaos,
+            chaos, campaign,
         )
     return {
         "estimate": estimate,
@@ -64,6 +66,7 @@ def bench_record():
         "fleet": fleet,
         "event_core": event_core,
         "chaos": chaos,
+        "campaign": campaign,
         "record": record,
     }
 
@@ -191,14 +194,44 @@ def test_chaos_sweep_parity_and_overhead(bench_record):
     assert chaos.chaos_overhead < 15.0
 
 
+def test_campaign_fanout_parity_and_resume(bench_record):
+    campaign = bench_record["campaign"]
+    # The campaign layer's correctness bars are machine-independent: the
+    # serial, fanned-out, resumed and warm-loaded runs of the 27-cell grid
+    # must hold canonically identical trace documents, and the resume (a
+    # third of the trace files deleted) must execute exactly the missing
+    # cells -- the final warm run being pure loads.
+    assert campaign.cells >= 27
+    assert campaign.bit_identical
+    assert campaign.resume_deleted == campaign.resume_executed
+    assert campaign.resume_loaded == campaign.cells - campaign.resume_deleted
+    assert campaign.resume_only_missing
+
+
+def test_campaign_fanout_speedup(bench_record):
+    if len(os.sched_getaffinity(0)) < 4:
+        pytest.skip(
+            "campaign fan-out speedup needs >= 4 usable CPUs; "
+            f"this machine exposes {len(os.sched_getaffinity(0))}"
+        )
+    campaign = bench_record["campaign"]
+    # Acceptance bar: 4-worker fan-out of the 27-cell campaign is >= 3x
+    # faster than the serial run (the cells are independent simulations;
+    # anything below 3x on 4 CPUs means pickling or cache rebuilds are
+    # eating the parallelism).
+    assert campaign.workers >= 4
+    assert campaign.speedup >= 3.0
+
+
 def test_bench_record_complete(bench_record):
     record = bench_record["record"]
     assert record["search"]["space_points"] >= 65536
     assert set(record) >= {
-        "timestamp", "host", "search_space", "estimate", "search", "runner",
-        "replay", "online_sweep", "replay_pool", "fleet_sweep", "event_core",
-        "chaos_sweep",
+        "timestamp", "git_sha", "host", "search_space", "estimate", "search",
+        "runner", "replay", "online_sweep", "replay_pool", "fleet_sweep",
+        "event_core", "chaos_sweep", "campaign_fanout",
     }
+    assert record["git_sha"] == "unknown" or len(record["git_sha"]) == 40
     # The committed trajectory file exists; it is only appended to when
     # recording is explicitly enabled (BENCH_RECORD=1 or the harness CLI).
     assert BENCH_PATH.exists()

@@ -1,0 +1,63 @@
+"""Parallel experiment-campaign orchestration with a resumable trace cache.
+
+The evaluation platform layer: declare a grid of independent simulation
+cells (:class:`CampaignSpec`), execute it with multiprocess fan-out and
+per-cell persistence (:class:`CampaignRunner` + :class:`TraceStore`), and
+regenerate tables/figures/scaling curves from the stored traces without
+re-simulating (:mod:`repro.campaign.analysis`).
+
+Quick start::
+
+    from repro.campaign import CampaignRunner, TraceStore, get_preset
+
+    spec = get_preset("fleet-scaling")
+    runner = CampaignRunner(store=TraceStore("traces/"), workers=4)
+    result = runner.run(spec)              # executes missing cells only
+    print(format_scaling_curves(result))   # pure analysis, no simulation
+
+Re-running after an interrupt (or after extending the grid) executes only
+the cells without a verified stored trace; everything else is a pure
+load, and the merged result is bit-identical to a single-shot serial run.
+"""
+
+from repro.campaign.analysis import (
+    capacity_rows,
+    format_capacity_table,
+    format_scaling_curves,
+    load_campaign,
+    measurements,
+    rate_rows,
+    scaling_curves,
+    scaling_efficiency,
+)
+from repro.campaign.presets import PRESETS, get_preset
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    default_workers,
+    execute_cell,
+)
+from repro.campaign.spec import CampaignSpec, CellSpec, EngineSpec, canonical_json
+from repro.campaign.store import TraceStore
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CellSpec",
+    "EngineSpec",
+    "PRESETS",
+    "TraceStore",
+    "canonical_json",
+    "capacity_rows",
+    "default_workers",
+    "execute_cell",
+    "format_capacity_table",
+    "format_scaling_curves",
+    "get_preset",
+    "load_campaign",
+    "measurements",
+    "rate_rows",
+    "scaling_curves",
+    "scaling_efficiency",
+]

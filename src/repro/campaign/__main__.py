@@ -1,0 +1,131 @@
+"""Campaign CLI: run, resume and analyze preset campaigns.
+
+Usage::
+
+    python -m repro.campaign run fleet-scaling --store traces/ --workers 4
+    python -m repro.campaign analyze fleet-scaling --store traces/
+    python -m repro.campaign smoke --store traces-smoke/ --workers 2
+
+``run`` executes only the cells missing from the store (resume is the
+default behavior); ``analyze`` touches no simulation at all.  ``smoke``
+runs the small nightly grid twice -- serial and fanned out -- and exits
+non-zero unless the merged traces are bit-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.campaign.analysis import (
+    format_capacity_table,
+    format_scaling_curves,
+    load_campaign,
+)
+from repro.campaign.presets import PRESETS, get_preset
+from repro.campaign.runner import CampaignRunner, default_workers
+from repro.campaign.spec import canonical_json
+from repro.campaign.store import TraceStore
+
+
+def _progress(cell, outcome: str) -> None:
+    print(f"  [{outcome:>8}] {cell.describe()}", flush=True)
+
+
+def _cmd_run(args) -> int:
+    spec = get_preset(args.preset)
+    store = TraceStore(args.store) if args.store else None
+    runner = CampaignRunner(store=store, workers=args.workers)
+    start = time.perf_counter()
+    result = runner.run(spec, force=args.force, progress=_progress)
+    elapsed = time.perf_counter() - start
+    print(
+        f"campaign {spec.name!r}: {len(spec)} cells, "
+        f"{len(result.executed)} executed, {len(result.loaded)} loaded "
+        f"in {elapsed:.1f} s with {args.workers} worker(s)"
+    )
+    print(format_capacity_table(result, title="\nCapacity by cell:"))
+    curves = format_scaling_curves(result, title="\nFleet-scaling curves:")
+    if curves.strip():
+        print(curves)
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    spec = get_preset(args.preset)
+    result = load_campaign(TraceStore(args.store), spec)
+    print(format_capacity_table(result, title=f"Campaign {spec.name!r}:"))
+    curves = format_scaling_curves(result, title="\nFleet-scaling curves:")
+    if curves.strip():
+        print(curves)
+    return 0
+
+
+def _cmd_smoke(args) -> int:
+    spec = get_preset("smoke")
+    store = TraceStore(args.store)
+    serial_store = TraceStore(store.root / "serial")
+    parallel_store = TraceStore(store.root / "parallel")
+
+    start = time.perf_counter()
+    serial = CampaignRunner(store=serial_store, workers=1).run(spec)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = CampaignRunner(store=parallel_store, workers=args.workers).run(spec)
+    parallel_s = time.perf_counter() - start
+
+    mismatches = [
+        cell.describe()
+        for cell in spec
+        if canonical_json(serial.trace_of(cell))
+        != canonical_json(parallel.trace_of(cell))
+    ]
+    print(
+        f"smoke: {len(spec)} cells, serial {serial_s:.1f} s, "
+        f"{args.workers}-worker {parallel_s:.1f} s, "
+        f"{len(mismatches)} mismatched cells"
+    )
+    if mismatches:
+        for description in mismatches:
+            print(f"  MISMATCH: {description}", file=sys.stderr)
+        return 1
+    print(format_capacity_table(parallel, title="\nSmoke capacities:"))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a preset campaign (resumes)")
+    run.add_argument("preset", choices=sorted(PRESETS))
+    run.add_argument("--store", default=None, help="trace directory")
+    run.add_argument("--workers", type=int, default=default_workers())
+    run.add_argument(
+        "--force", action="store_true", help="re-execute cached cells too"
+    )
+    run.set_defaults(func=_cmd_run)
+
+    analyze = sub.add_parser(
+        "analyze", help="regenerate tables from stored traces (no simulation)"
+    )
+    analyze.add_argument("preset", choices=sorted(PRESETS))
+    analyze.add_argument("--store", required=True)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    smoke = sub.add_parser(
+        "smoke", help="nightly grid, serial vs fanned out, bit-parity gate"
+    )
+    smoke.add_argument("--store", required=True)
+    smoke.add_argument("--workers", type=int, default=2)
+    smoke.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

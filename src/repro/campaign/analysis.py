@@ -1,0 +1,178 @@
+"""Regenerate tables, figures and scaling curves from stored traces.
+
+Everything in this module is a pure function of persisted trace payloads:
+no simulation runs here.  A finished (or partially finished) campaign can
+be re-analyzed, re-plotted and re-tabulated for free, and the paper-figure
+experiment modules rebuild their row lists from the same payloads the
+runner persisted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.campaign.runner import CampaignResult
+from repro.campaign.spec import CampaignSpec, CellSpec
+from repro.campaign.store import TraceStore
+
+
+def load_campaign(store: TraceStore, spec: CampaignSpec) -> CampaignResult:
+    """A :class:`CampaignResult` built purely from stored traces.
+
+    Raises ``KeyError`` naming the first cell whose trace is missing or
+    unverifiable -- run the campaign (or the missing subset) first.
+    """
+    traces: dict[str, dict] = {}
+    for cell in spec:
+        cell_hash = cell.content_hash()
+        document = store.load(cell_hash)
+        if document is None:
+            raise KeyError(
+                f"no verified trace for cell {cell.describe()} "
+                f"({cell_hash[:12]}...); run the campaign first"
+            )
+        traces[cell_hash] = document
+    return CampaignResult(
+        spec=spec, traces=traces, executed=(), loaded=spec.hashes()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Offline (paper figure/table) payloads
+# ---------------------------------------------------------------------------
+
+
+def measurement_of(payload: dict):
+    """Rebuild a :class:`~repro.serving.evaluation.SystemMeasurement`."""
+    from repro.serving.evaluation import SystemMeasurement
+
+    if payload.get("mode") != "offline":
+        raise ValueError("measurement_of expects an offline cell payload")
+    return SystemMeasurement(**payload["measurement"])
+
+
+def measurements(result: CampaignResult, tag_with_label: bool = False) -> list:
+    """Every offline cell's measurement, in spec order.
+
+    With ``tag_with_label`` the system name is prefixed with the cell's
+    ``"model/TASK"`` label, matching the historical figure-row tagging.
+    """
+    from repro.serving.evaluation import SystemMeasurement
+
+    rows = []
+    for cell, payload in result.payloads():
+        if payload.get("mode") != "offline":
+            continue
+        row = measurement_of(payload)
+        if tag_with_label:
+            row = SystemMeasurement(
+                **{**row.__dict__, "system": f"{cell.label}:{row.system}"}
+            )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Online (rate sweep) payloads
+# ---------------------------------------------------------------------------
+
+
+def rate_rows(result: CampaignResult) -> list[dict]:
+    """One flat dict per (online cell, rate point), in spec order."""
+    rows: list[dict] = []
+    for cell, payload in result.payloads():
+        if payload.get("mode") != "online":
+            continue
+        for point in payload["points"]:
+            rows.append(
+                {
+                    "model": cell.model,
+                    "task": cell.task.upper(),
+                    "system": cell.system,
+                    "scenario": cell.scenario,
+                    "replicas": cell.replicas,
+                    "routing": cell.routing,
+                    **point,
+                }
+            )
+    return rows
+
+
+def capacity_rows(result: CampaignResult) -> list[dict]:
+    """One dict per online cell with its max sustainable QPS, spec order."""
+    rows: list[dict] = []
+    for cell, payload in result.payloads():
+        if payload.get("mode") != "online":
+            continue
+        rows.append(
+            {
+                "model": cell.model,
+                "task": cell.task.upper(),
+                "system": cell.system,
+                "scenario": cell.scenario,
+                "replicas": cell.replicas,
+                "routing": cell.routing,
+                "slo_p99_s": payload["slo_p99_s"],
+                "max_qps": payload["max_sustainable_qps"],
+            }
+        )
+    return rows
+
+
+def scaling_curves(
+    result: CampaignResult,
+) -> dict[tuple[str, str, str, str, str], list[tuple[int, float]]]:
+    """Fleet-scaling curves: max QPS as a function of replica count.
+
+    Keyed by (model, task, system, scenario, routing); each value is the
+    (replicas, max_sustainable_qps) series sorted by replica count.  These
+    are the new fleet-scaling figures the paper does not have: how far a
+    deployment's SLO-bounded capacity scales with fleet size under each
+    routing policy.
+    """
+    curves: dict[tuple, list[tuple[int, float]]] = defaultdict(list)
+    for row in capacity_rows(result):
+        key = (
+            row["model"],
+            row["task"],
+            row["system"],
+            row["scenario"],
+            row["routing"],
+        )
+        curves[key].append((row["replicas"], row["max_qps"]))
+    return {key: sorted(points) for key, points in curves.items()}
+
+
+def scaling_efficiency(curve: list[tuple[int, float]]) -> dict[int, float]:
+    """Per-size scaling efficiency: ``qps(N) / (N * qps(1))``."""
+    base = next((qps for n, qps in curve if n == 1), 0.0)
+    if base <= 0:
+        return {}
+    return {n: qps / (n * base) for n, qps in curve}
+
+
+def format_capacity_table(result: CampaignResult, title: str = "") -> str:
+    """The campaign's capacity table as aligned text."""
+    from repro.experiments.common import format_table
+
+    rows = capacity_rows(result)
+    if not rows:
+        return title
+    columns = [
+        "model", "task", "system", "scenario", "replicas", "routing", "max_qps",
+    ]
+    return format_table(rows, columns, title=title)
+
+
+def format_scaling_curves(result: CampaignResult, title: str = "") -> str:
+    """The fleet-scaling curves as aligned text, with efficiencies."""
+    lines = [title] if title else []
+    for key, curve in sorted(scaling_curves(result).items()):
+        model, task, system, scenario, routing = key
+        eff = scaling_efficiency(curve)
+        series = "  ".join(
+            f"{n}x{qps:g}qps" + (f" ({eff[n]:.0%})" if n in eff else "")
+            for n, qps in curve
+        )
+        lines.append(f"{model}/{task} {system} {scenario} [{routing}]: {series}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Named campaign presets: the grids behind the repo's standard sweeps.
+
+Each preset returns a plain :class:`~repro.campaign.spec.CampaignSpec`;
+the CLI (``python -m repro.campaign``), the examples and the perf bench
+all build their grids here so "the fleet-scaling campaign" means the same
+cells everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import CampaignSpec
+
+
+def fleet_scaling(
+    model: str = "OPT-13B",
+    task: str = "S",
+    systems: tuple[str, ...] = ("exegpt", "orca"),
+    scenarios: tuple[str, ...] = ("steady", "bursty", "diurnal"),
+    replicas: tuple[int, ...] = (1, 2, 4),
+    routings: tuple[str, ...] = ("jsq",),
+    slo_p99_s: float = 10.0,
+    per_replica_rates: tuple[float, ...] = (2.0, 4.0, 8.0),
+    num_requests: int = 256,
+    max_encode_batch: int = 32,
+    max_queue: int = 512,
+) -> CampaignSpec:
+    """Fleet-scaling curves: capacity versus deployment size.
+
+    The default grid is 2 systems x 3 scenarios x 3 fleet sizes = 18
+    cells; each cell sweeps the per-replica rate ladder scaled to its
+    fleet size, so the analysis module can plot max-QPS-versus-replicas
+    curves and scaling efficiencies.
+    """
+    return CampaignSpec.online_grid(
+        name="fleet-scaling",
+        models=(model,),
+        tasks=(task,),
+        systems=systems,
+        scenarios=scenarios,
+        replicas=replicas,
+        routings=routings,
+        slo_p99_s=slo_p99_s,
+        per_replica_rates=per_replica_rates,
+        num_requests=num_requests,
+        max_encode_batch=max_encode_batch,
+        max_queue=max_queue,
+    )
+
+
+def routing_shootout(
+    model: str = "OPT-13B",
+    task: str = "S",
+    systems: tuple[str, ...] = ("exegpt", "orca"),
+    scenarios: tuple[str, ...] = ("steady", "bursty", "diurnal"),
+    replicas: int = 4,
+    routings: tuple[str, ...] = ("round-robin", "jsq", "least-outstanding-work"),
+    slo_p99_s: float = 10.0,
+    per_replica_rates: tuple[float, ...] = (2.0, 4.0, 8.0),
+    num_requests: int = 384,
+    max_encode_batch: int = 32,
+) -> CampaignSpec:
+    """Routing-policy comparison at a fixed fleet size (the PR 5 study)."""
+    return CampaignSpec.online_grid(
+        name="routing-shootout",
+        models=(model,),
+        tasks=(task,),
+        systems=systems,
+        scenarios=scenarios,
+        replicas=(replicas,),
+        routings=routings,
+        slo_p99_s=slo_p99_s,
+        per_replica_rates=per_replica_rates,
+        num_requests=num_requests,
+        max_encode_batch=max_encode_batch,
+    )
+
+
+def smoke(
+    num_requests: int = 48,
+    slo_p99_s: float = 20.0,
+    rate_qps: float = 4.0,
+) -> CampaignSpec:
+    """The nightly smoke grid: 2 systems x 2 scenarios x 2 fleet sizes.
+
+    Small enough to run in well under a minute, wide enough to cross every
+    campaign code path (schedule search, fleet cloning, both fleet sizes,
+    persistence).  CI runs it serial and 2-worker and asserts the merged
+    traces are bit-identical.
+    """
+    return CampaignSpec.online_grid(
+        name="smoke",
+        models=("OPT-13B",),
+        tasks=("S",),
+        systems=("exegpt", "orca"),
+        scenarios=("steady", "bursty"),
+        replicas=(1, 2),
+        routings=("jsq",),
+        slo_p99_s=slo_p99_s,
+        per_replica_rates=(rate_qps,),
+        num_requests=num_requests,
+        max_encode_batch=16,
+        max_queue=256,
+    )
+
+
+PRESETS = {
+    "fleet-scaling": fleet_scaling,
+    "routing-shootout": routing_shootout,
+    "smoke": smoke,
+}
+
+
+def get_preset(name: str, **kwargs) -> CampaignSpec:
+    """Build a preset campaign by name."""
+    key = name.lower()
+    if key not in PRESETS:
+        known = ", ".join(sorted(PRESETS))
+        raise KeyError(f"unknown campaign preset {name!r}; known: {known}")
+    return PRESETS[key](**kwargs)

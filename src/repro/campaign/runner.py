@@ -1,0 +1,358 @@
+"""Campaign execution: multiprocess fan-out with resumable persistence.
+
+Every cell is an independent simulation, so a campaign is embarrassingly
+parallel: the runner partitions the grid into *missing* cells (no verified
+trace in the store) and *hits* (pure loads -- no simulation), executes the
+missing ones either in-process or across a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and persists each result
+as it completes, so an interrupted campaign resumes from the store.
+
+**Nothing heavy crosses a process boundary.**  Workers receive only the
+picklable :class:`~repro.campaign.spec.CellSpec` and return only the
+JSON-safe result payload; engines, online servers and fleets are rebuilt
+*inside* the worker from the spec and memoized in module-level
+**per-process caches** (:data:`_ENGINES`, :data:`_EVALUATOR_CACHES`).  The
+caches hold exactly the state that must stay per-process -- the lazily
+profiled :class:`~repro.core.exegpt.ExeGPT` (and with it the simulator's
+memoized ``EstimateContext``), the per-system searched servers and the
+per-(system, N, policy) fleet cache -- and they are keyed only by content
+that determines results, so warm caches never change what a cell computes.
+
+Determinism contract: a cell's payload is a pure function of its spec.
+Its seed is derived from the spec's content hash
+(:meth:`~repro.campaign.spec.CellSpec.seed`), so results are independent
+of worker count, placement and execution order -- parallel, resumed and
+serial campaigns merge to bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+from repro.campaign.spec import CampaignSpec, CellSpec, EngineSpec
+from repro.campaign.store import TraceStore
+
+# ---------------------------------------------------------------------------
+# Per-process caches (worker-side state that must never be pickled)
+# ---------------------------------------------------------------------------
+
+#: Engines by spec: profile tables, simulators and their EstimateContext
+#: are built lazily on first use and belong to exactly this process.
+_ENGINES: dict[EngineSpec, object] = {}
+
+#: Derived paper latency bounds by engine spec (deterministic, so caching
+#: is a pure speedup).
+_BOUNDS: dict[EngineSpec, object] = {}
+
+#: Shared OnlineEvaluator server/fleet caches by (engine spec, SLO shape):
+#: the evaluator itself is rebuilt per cell (it binds the cell's trace and
+#: seed), but the searched servers and cloned fleets -- the expensive part
+#: -- are shared across every cell of the process with the same engine and
+#: SLO configuration.
+_EVALUATOR_CACHES: dict[tuple, tuple[dict, dict]] = {}
+
+
+def _engine(spec: EngineSpec):
+    """The process-local engine for a spec (profiled on first use)."""
+    if spec not in _ENGINES:
+        _ENGINES[spec] = spec.build()
+    return _ENGINES[spec]
+
+
+def clear_process_caches() -> None:
+    """Drop every per-process cache (tests use this to force cold paths)."""
+    _ENGINES.clear()
+    _BOUNDS.clear()
+    _EVALUATOR_CACHES.clear()
+
+
+# ---------------------------------------------------------------------------
+# Cell execution (runs inside the worker process)
+# ---------------------------------------------------------------------------
+
+
+def execute_cell(cell: CellSpec) -> dict:
+    """Run one cell and return its JSON-safe result payload.
+
+    This is the function shipped to pool workers; it must stay
+    module-level (picklable by reference) and must not capture live
+    simulation objects.
+    """
+    if cell.mode == "online":
+        return _execute_online(cell)
+    return _execute_offline(cell)
+
+
+def _trace(cell: CellSpec):
+    from repro.workloads.synthetic import generate_task_trace
+    from repro.workloads.tasks import get_task
+
+    return generate_task_trace(
+        get_task(cell.task), num_requests=cell.num_requests, seed=cell.trace_seed
+    )
+
+
+def _execute_online(cell: CellSpec) -> dict:
+    """Rate-sweep one fleet deployment; summarize every rate point."""
+    from repro.serving.online import OnlineEvaluator
+    from repro.serving.sla import SLA, SLAKind
+
+    engine = _engine(cell.engine_spec())
+    slo = SLA(
+        kind=SLAKind.QUERY_PERCENTILE, bound_s=cell.slo_p99_s, percentile=99.0
+    )
+    cache_key = (
+        cell.engine_spec(),
+        cell.slo_p99_s,
+        cell.max_queue,
+        cell.schedule_headroom,
+        cell.max_rejection_rate,
+    )
+    servers, fleets = _EVALUATOR_CACHES.setdefault(cache_key, ({}, {}))
+    evaluator = OnlineEvaluator(
+        engine,
+        _trace(cell),
+        slo,
+        max_queue=cell.max_queue,
+        schedule_headroom=cell.schedule_headroom,
+        max_rejection_rate=cell.max_rejection_rate,
+        seed=cell.seed(),
+        servers=servers,
+        fleets=fleets,
+    )
+    points = evaluator.sweep(
+        cell.system,
+        cell.scenario,
+        list(cell.rates),
+        stop_after_failure=True,
+        replicas=cell.replicas,
+        routing=cell.routing,
+    )
+    max_qps = max((p.rate_qps for p in points if p.sustainable), default=0.0)
+    rows = []
+    for point in points:
+        result = point.result
+        rows.append(
+            {
+                "rate_qps": point.rate_qps,
+                "sustainable": point.sustainable,
+                "offered": result.offered,
+                "completed": result.completed,
+                "rejected": result.rejected,
+                "shed": result.shed,
+                "p99_latency_s": result.latency_percentile(99.0),
+                "p99_ttft_s": result.ttft_percentile(99.0),
+                "p99_queue_delay_s": result.queue_delay_percentile(99.0),
+                "mean_latency_s": result.mean_latency_s,
+                "attainment": result.attainment(slo),
+                "makespan_s": result.makespan_s,
+            }
+        )
+    return {
+        "mode": "online",
+        "system": cell.system,
+        "scenario": cell.scenario,
+        "replicas": cell.replicas,
+        "routing": cell.routing,
+        "slo_p99_s": cell.slo_p99_s,
+        "points": rows,
+        "max_sustainable_qps": max_qps,
+    }
+
+
+def _offline_constraint(cell: CellSpec, engine):
+    """Resolve the cell's bound reference to a LatencyConstraint."""
+    from repro.core.config import LatencyConstraint
+    from repro.serving.evaluation import default_baselines
+    from repro.serving.latency_bounds import derive_latency_bounds
+    from repro.workloads.tasks import get_task
+
+    target_length = get_task(cell.task).output_p99
+    if cell.bound == "inf":
+        return LatencyConstraint(
+            bound_s=float("inf"), target_length=target_length, label="Inf"
+        )
+    if cell.bound in ("b0", "b1", "b2", "b3"):
+        spec = cell.engine_spec()
+        if spec not in _BOUNDS:
+            (ft,) = default_baselines(engine, ("ft",))
+            _BOUNDS[spec] = derive_latency_bounds(ft, target_length=target_length)
+        return _BOUNDS[spec].as_list()[int(cell.bound[1])]
+    return LatencyConstraint(bound_s=float(cell.bound), target_length=target_length)
+
+
+def _execute_offline(cell: CellSpec) -> dict:
+    """One paper-figure measurement: system x trace x latency bound."""
+    from repro.core.config import SchedulePolicy
+    from repro.serving.evaluation import (
+        default_baselines,
+        measure_baseline,
+        measure_exegpt,
+    )
+
+    engine = _engine(cell.engine_spec())
+    constraint = _offline_constraint(cell, engine)
+    trace = _trace(cell)
+    if cell.system.lower() == "exegpt":
+        measurement = measure_exegpt(
+            engine,
+            trace,
+            constraint,
+            policies=tuple(SchedulePolicy(p) for p in cell.policies),
+        )
+    else:
+        (baseline,) = default_baselines(engine, (cell.system.lower(),))
+        measurement = measure_baseline(baseline, trace, constraint)
+    return {"mode": "offline", "measurement": dict(measurement.__dict__)}
+
+
+# ---------------------------------------------------------------------------
+# The campaign runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """Merged outcome of one campaign run.
+
+    Attributes:
+        spec: The campaign that was run.
+        traces: Verified trace documents by cell hash (every cell present).
+        executed: Hashes of the cells simulated in this run.
+        loaded: Hashes of the cells satisfied from the store (pure loads).
+    """
+
+    spec: CampaignSpec
+    traces: dict[str, dict]
+    executed: tuple[str, ...]
+    loaded: tuple[str, ...]
+
+    def trace_of(self, cell: CellSpec) -> dict:
+        """The trace document of one cell."""
+        return self.traces[cell.content_hash()]
+
+    def payloads(self) -> list[tuple[CellSpec, dict]]:
+        """(cell, result payload) pairs in spec order."""
+        return [
+            (cell, self.traces[cell.content_hash()]["result"])
+            for cell in self.spec
+        ]
+
+
+def default_workers() -> int:
+    """Worker-count default: the CPUs this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+class CampaignRunner:
+    """Executes campaigns: fan-out, persistence, resume.
+
+    Args:
+        store: Trace store for persistence and resume (None = in-memory
+            only; nothing survives the run).
+        workers: Process fan-out width.  1 executes in-process (sharing
+            this process's caches); N > 1 uses a process pool.  Results
+            are identical either way -- see the module docstring.
+        mp_context: Multiprocessing start-method context for the pool
+            (default: "fork" where available, else the platform default --
+            forked workers inherit the parent's warm engine caches).
+    """
+
+    def __init__(
+        self,
+        store: TraceStore | None = None,
+        workers: int = 1,
+        mp_context=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = store
+        self.workers = workers
+        if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
+            mp_context = multiprocessing.get_context("fork")
+        self.mp_context = mp_context
+
+    def run(
+        self,
+        spec: CampaignSpec,
+        force: bool = False,
+        progress=None,
+    ) -> CampaignResult:
+        """Execute a campaign, loading stored cells and simulating the rest.
+
+        Args:
+            spec: The campaign grid.
+            force: Re-execute every cell even when a stored trace exists.
+            progress: Optional ``callback(cell, outcome)`` invoked with
+                ``"loaded"`` or ``"executed"`` as each cell completes.
+
+        Returns:
+            The merged result; with a store attached, every executed
+            cell's trace has already been persisted (as it completed, so
+            an interrupt loses at most in-flight cells).
+        """
+        traces: dict[str, dict] = {}
+        loaded: list[str] = []
+        pending: list[CellSpec] = []
+        for cell in spec:
+            cell_hash = cell.content_hash()
+            document = (
+                None if (force or self.store is None) else self.store.load(cell_hash)
+            )
+            if document is not None:
+                traces[cell_hash] = document
+                loaded.append(cell_hash)
+                if progress is not None:
+                    progress(cell, "loaded")
+            else:
+                pending.append(cell)
+
+        executed: list[str] = []
+        for cell, result in self._execute(pending):
+            cell_hash = cell.content_hash()
+            if self.store is not None:
+                self.store.save(cell, result)
+                document = self.store.load(cell_hash)
+            else:
+                document = {
+                    "schema": 1,
+                    "cell_hash": cell_hash,
+                    "spec": cell.to_dict(),
+                    "seed": cell.seed(),
+                    "result": result,
+                }
+            traces[cell_hash] = document
+            executed.append(cell_hash)
+            if progress is not None:
+                progress(cell, "executed")
+        return CampaignResult(
+            spec=spec,
+            traces=traces,
+            executed=tuple(executed),
+            loaded=tuple(loaded),
+        )
+
+    def _execute(self, cells: list[CellSpec]):
+        """Yield (cell, result) as cells finish, serial or fanned out."""
+        if not cells:
+            return
+        if self.workers == 1 or len(cells) == 1:
+            for cell in cells:
+                yield cell, execute_cell(cell)
+            return
+        workers = min(self.workers, len(cells))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=self.mp_context
+        ) as pool:
+            futures = {pool.submit(execute_cell, cell): cell for cell in cells}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()

@@ -1,0 +1,351 @@
+"""Declarative experiment-campaign specifications.
+
+A campaign is a named grid of **cells** -- each cell one independent
+simulation: a (model x hardware x scenario x fleet size x routing policy x
+SLO x seed) point.  Cells are plain frozen dataclasses of primitives, so
+they pickle cheaply across process boundaries; workers rebuild the heavy,
+unpicklable objects (:class:`~repro.core.exegpt.ExeGPT`, online servers,
+fleets) from the spec (see :mod:`repro.campaign.runner`).
+
+Every cell has a **content hash**: the SHA-256 of its canonical JSON
+encoding.  The hash keys the cell's persisted result trace in a
+:class:`~repro.campaign.store.TraceStore`, and the cell's random seed is
+*derived from it*, so a cell's result depends only on its content -- never
+on which worker executed it, in what order, or alongside which other
+cells.  That is what makes parallel, resumed and re-sharded campaigns
+bit-identical to a single-shot serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from itertools import product
+
+#: Version of the cell encoding hashed into every content hash.  Bump it
+#: when a field is added/renamed/re-interpreted: old persisted traces then
+#: miss on load and their cells re-execute instead of silently meaning
+#: something else.
+CELL_SCHEMA = 1
+
+MODES = ("online", "offline")
+ONLINE_SYSTEMS = ("exegpt", "orca", "vllm")
+OFFLINE_SYSTEMS = ("exegpt", "ft", "dsi", "orca", "vllm")
+
+#: Offline latency-bound references: the four paper bounds derived from the
+#: FT batch sweep, tightest first (see
+#: :func:`repro.serving.latency_bounds.derive_latency_bounds`).
+BOUND_REFS = ("b0", "b1", "b2", "b3")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding: sorted keys, no incidental whitespace.
+
+    ``allow_nan`` stays on (the Python default) so measured payloads may
+    carry ``inf``/``nan``; the encoding of those tokens is itself
+    deterministic, which is all hashing and bit-parity comparisons need.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Picklable recipe for one :class:`~repro.core.exegpt.ExeGPT` instance.
+
+    Attributes:
+        model: Catalog model key ("OPT-13B", ...).
+        task: Table 3 task id ("S", "T", ...) providing the length
+            distributions.
+        num_gpus: Override of the Table 2 deployment GPU count (None =
+            paper default).
+        max_encode_batch: Upper bound of the scheduler's ``B_E`` range.
+    """
+
+    model: str
+    task: str
+    num_gpus: int | None = None
+    max_encode_batch: int = 64
+
+    def build(self):
+        """Construct the engine (heavy: profile sweep on first use)."""
+        from repro.core.exegpt import ExeGPT
+
+        return ExeGPT.for_task(
+            self.model,
+            self.task,
+            num_gpus=self.num_gpus,
+            max_encode_batch=self.max_encode_batch,
+        )
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of a campaign grid: a single independent simulation.
+
+    Two modes share the dataclass:
+
+    * ``mode="online"`` -- an arrival-driven rate sweep: an N-replica fleet
+      of ``system`` servers (configured for ``slo_p99_s``) behind
+      ``routing`` serves the trace under the ``scenario`` arrival process
+      at each offered rate in ``rates``; the result records per-rate
+      outcomes and the maximum sustainable QPS.
+    * ``mode="offline"`` -- a paper-figure measurement: ``system`` replays
+      the trace under one latency ``bound`` ("b0".."b3" reference the four
+      derived paper bounds; a number string like "12.5" is explicit
+      seconds; "inf" is unbounded) and reports throughput/latency.
+
+    The trace *content* seed (``trace_seed``) is part of the cell's
+    identity -- cells differing only in routing compare like for like on
+    the same requests.  The cell's *execution* seed (arrival sampling) is
+    derived from the content hash via :meth:`seed`; ``salt`` exists to
+    mint independent repetitions of an otherwise identical cell.
+    """
+
+    mode: str
+    model: str
+    task: str
+    system: str
+    num_gpus: int | None = None
+    max_encode_batch: int = 64
+    num_requests: int = 256
+    trace_seed: int = 0
+    salt: int = 0
+    # -- online fields ------------------------------------------------------
+    scenario: str = "steady"
+    replicas: int = 1
+    routing: str = "jsq"
+    slo_p99_s: float | None = None
+    rates: tuple[float, ...] = ()
+    max_queue: int = 512
+    schedule_headroom: float = 0.7
+    max_rejection_rate: float = 0.0
+    # -- offline fields -----------------------------------------------------
+    bound: str = "b3"
+    policies: tuple[str, ...] = ("rra", "waa-c", "waa-m")
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        key = self.system.lower()
+        if self.mode == "online":
+            if key not in ONLINE_SYSTEMS:
+                raise ValueError(
+                    f"online system must be one of {ONLINE_SYSTEMS}, got {self.system!r}"
+                )
+            if self.slo_p99_s is None or self.slo_p99_s <= 0:
+                raise ValueError("online cells require a positive slo_p99_s")
+            if not self.rates or any(r <= 0 for r in self.rates):
+                raise ValueError("online cells require a non-empty positive rate grid")
+        else:
+            if key not in OFFLINE_SYSTEMS:
+                raise ValueError(
+                    f"offline system must be one of {OFFLINE_SYSTEMS}, got {self.system!r}"
+                )
+            if self.bound not in BOUND_REFS and self.bound != "inf":
+                try:
+                    float(self.bound)
+                except ValueError:
+                    raise ValueError(
+                        f"bound must be one of {BOUND_REFS}, 'inf', or a number "
+                        f"string, got {self.bound!r}"
+                    ) from None
+
+    # -- identity ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-primitive encoding (tuples become lists)."""
+        payload = asdict(self)
+        payload["rates"] = list(self.rates)
+        payload["policies"] = list(self.policies)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellSpec":
+        """Inverse of :meth:`to_dict` (lists back to tuples)."""
+        data = dict(payload)
+        data["rates"] = tuple(data.get("rates", ()))
+        data["policies"] = tuple(data.get("policies", ()))
+        return cls(**data)
+
+    def content_hash(self) -> str:
+        """SHA-256 hex digest of the cell's canonical encoding."""
+        doc = {"cell_schema": CELL_SCHEMA, **self.to_dict()}
+        return hashlib.sha256(canonical_json(doc).encode()).hexdigest()
+
+    def seed(self) -> int:
+        """The cell's execution seed, derived from the content hash.
+
+        Using the hash (not a caller-supplied counter) makes the seed a
+        pure function of the cell's content: the same cell gets the same
+        arrival streams no matter which worker runs it, in which order,
+        or whether the campaign was resumed.
+        """
+        digest = hashlib.sha256(self.content_hash().encode()).digest()
+        return int.from_bytes(digest[:8], "big") % (2**31 - 1)
+
+    def engine_spec(self) -> EngineSpec:
+        """The cell's engine recipe (the worker-side cache key)."""
+        return EngineSpec(
+            model=self.model,
+            task=self.task,
+            num_gpus=self.num_gpus,
+            max_encode_batch=self.max_encode_batch,
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human label, e.g. ``"OPT-13B/S"``."""
+        return f"{self.model}/{self.task.upper()}"
+
+    def describe(self) -> str:
+        """One-line description for progress output."""
+        if self.mode == "online":
+            return (
+                f"{self.label} {self.system} {self.scenario} "
+                f"x{self.replicas} {self.routing} slo={self.slo_p99_s:g}s"
+            )
+        return f"{self.label} {self.system} bound={self.bound}"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, ordered grid of cells.
+
+    Cell order is presentation order only -- execution order never affects
+    results (each cell is independent and self-seeded) -- but analysis
+    helpers report in spec order so regenerated tables are stable.
+    """
+
+    name: str
+    cells: tuple[CellSpec, ...]
+
+    def __post_init__(self) -> None:
+        seen: dict[str, CellSpec] = {}
+        for cell in self.cells:
+            h = cell.content_hash()
+            if h in seen:
+                raise ValueError(
+                    f"duplicate cell in campaign {self.name!r}: {cell.describe()}"
+                )
+            seen[h] = cell
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def hashes(self) -> tuple[str, ...]:
+        """Content hashes in spec order."""
+        return tuple(cell.content_hash() for cell in self.cells)
+
+    def subset(self, predicate) -> "CampaignSpec":
+        """A sub-campaign of the cells matching ``predicate``."""
+        return CampaignSpec(
+            name=self.name, cells=tuple(c for c in self.cells if predicate(c))
+        )
+
+    # -- grid builders -------------------------------------------------------
+
+    @classmethod
+    def online_grid(
+        cls,
+        name: str,
+        models: tuple[str, ...],
+        tasks: tuple[str, ...],
+        systems: tuple[str, ...],
+        scenarios: tuple[str, ...],
+        replicas: tuple[int, ...],
+        routings: tuple[str, ...],
+        slo_p99_s: float,
+        per_replica_rates: tuple[float, ...],
+        num_requests: int = 256,
+        num_gpus: int | None = None,
+        max_encode_batch: int = 64,
+        max_queue: int = 512,
+        schedule_headroom: float = 0.7,
+        max_rejection_rate: float = 0.0,
+        trace_seed: int = 0,
+        salt: int = 0,
+    ) -> "CampaignSpec":
+        """The full product grid of online rate-sweep cells.
+
+        ``per_replica_rates`` is scaled by each cell's replica count into
+        its fleet-wide rate ladder, so every deployment size is probed at
+        the same per-replica load and the resulting max-QPS points form a
+        scaling curve.
+        """
+        cells = [
+            CellSpec(
+                mode="online",
+                model=model,
+                task=task,
+                system=system,
+                scenario=scenario,
+                replicas=n,
+                routing=routing,
+                slo_p99_s=slo_p99_s,
+                rates=tuple(r * n for r in per_replica_rates),
+                num_requests=num_requests,
+                num_gpus=num_gpus,
+                max_encode_batch=max_encode_batch,
+                max_queue=max_queue,
+                schedule_headroom=schedule_headroom,
+                max_rejection_rate=max_rejection_rate,
+                trace_seed=trace_seed,
+                salt=salt,
+            )
+            for model, task, system, scenario, n, routing in product(
+                models, tasks, systems, scenarios, replicas, routings
+            )
+        ]
+        return cls(name=name, cells=tuple(cells))
+
+    @classmethod
+    def offline_grid(
+        cls,
+        name: str,
+        models: tuple[str, ...],
+        tasks: tuple[str, ...],
+        systems: tuple[str, ...],
+        bounds: tuple[str, ...] = BOUND_REFS,
+        num_requests: int = 512,
+        num_gpus: int | None = None,
+        max_encode_batch: int = 64,
+        policies: tuple[str, ...] = ("rra", "waa-c", "waa-m"),
+        trace_seed: int = 0,
+        salt: int = 0,
+    ) -> "CampaignSpec":
+        """The full product grid of offline figure-measurement cells.
+
+        Iteration order matches the historical experiment loops -- per
+        (model, task), then per bound, then per system -- so a ported
+        figure regenerates its rows in the same order.
+        """
+        cells = [
+            CellSpec(
+                mode="offline",
+                model=model,
+                task=task,
+                system=system,
+                bound=bound,
+                policies=policies,
+                num_requests=num_requests,
+                num_gpus=num_gpus,
+                max_encode_batch=max_encode_batch,
+                trace_seed=trace_seed,
+                salt=salt,
+            )
+            for model, task, bound, system in product(models, tasks, bounds, systems)
+        ]
+        return cls(name=name, cells=tuple(cells))
+
+
+def vary(cell: CellSpec, **changes) -> CellSpec:
+    """A copy of ``cell`` with fields replaced (validation re-runs)."""
+    return replace(cell, **changes)

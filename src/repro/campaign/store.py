@@ -1,0 +1,146 @@
+"""Resumable on-disk cache of per-cell campaign result traces.
+
+One file per cell, named by the cell's content hash, in a flat directory.
+A trace document carries the spec that produced it, the derived seed, the
+result payload and a checksum over the whole document:
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "cell_hash": "<sha256 of the cell spec>",
+      "spec": { ... },
+      "seed": 123456789,
+      "result": { ... },
+      "checksum": "<sha256 of the document minus this field>"
+    }
+
+Design points:
+
+* **Atomic writes.**  A trace is written to a unique temporary file in the
+  same directory and published with :func:`os.replace`, so readers (and
+  concurrent writers racing on the same cell) only ever observe either no
+  file or a complete document -- never a torn one.  Two workers writing
+  the same cell both succeed; the content is identical by determinism, so
+  last-replace-wins is harmless.
+* **Corruption is a miss, not an error.**  :meth:`TraceStore.load`
+  verifies JSON well-formedness, the schema, the checksum, and that the
+  embedded spec re-hashes to the file's key.  Any failure returns ``None``
+  -- the runner then re-executes the cell instead of propagating a broken
+  trace into analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from pathlib import Path
+
+from repro.campaign.spec import CampaignSpec, CellSpec, canonical_json
+
+STORE_SCHEMA = 1
+TRACE_SUFFIX = ".json"
+
+
+def _checksum(document: dict) -> str:
+    """Checksum over the canonical encoding of the checksum-less document."""
+    body = {k: v for k, v in document.items() if k != "checksum"}
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+class TraceStore:
+    """Directory-backed store of per-cell result traces, keyed by hash."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    @staticmethod
+    def _hash_of(key: CellSpec | str) -> str:
+        return key.content_hash() if isinstance(key, CellSpec) else key
+
+    def path_for(self, key: CellSpec | str) -> Path:
+        """The trace file path of a cell (or raw hash)."""
+        return self.root / f"{self._hash_of(key)}{TRACE_SUFFIX}"
+
+    # -- writing -------------------------------------------------------------
+
+    def save(self, cell: CellSpec, result: dict) -> Path:
+        """Persist one cell's result trace atomically; returns the path."""
+        cell_hash = cell.content_hash()
+        document = {
+            "schema": STORE_SCHEMA,
+            "cell_hash": cell_hash,
+            "spec": cell.to_dict(),
+            "seed": cell.seed(),
+            "result": result,
+        }
+        document["checksum"] = _checksum(document)
+        path = self.path_for(cell_hash)
+        tmp = self.root / f".{cell_hash}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        tmp.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self, key: CellSpec | str) -> dict | None:
+        """The verified trace document of a cell, or ``None`` on any miss.
+
+        Missing file, malformed JSON, wrong schema, checksum mismatch and
+        a spec that no longer hashes to the file's key all count as
+        misses: the cell is simply re-executed.
+        """
+        cell_hash = self._hash_of(key)
+        path = self.path_for(cell_hash)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        if document.get("schema") != STORE_SCHEMA:
+            return None
+        if document.get("cell_hash") != cell_hash:
+            return None
+        if document.get("checksum") != _checksum(document):
+            return None
+        try:
+            spec = CellSpec.from_dict(document["spec"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        if spec.content_hash() != cell_hash:
+            return None
+        return document
+
+    def has(self, key: CellSpec | str) -> bool:
+        """Whether a *verified* trace exists for the cell."""
+        return self.load(key) is not None
+
+    def missing(self, spec: CampaignSpec) -> tuple[CellSpec, ...]:
+        """The cells of a campaign without a verified stored trace."""
+        return tuple(cell for cell in spec if not self.has(cell))
+
+    # -- maintenance ---------------------------------------------------------
+
+    def hashes(self) -> tuple[str, ...]:
+        """Hashes of every trace file present (verified or not), sorted."""
+        return tuple(
+            sorted(p.stem for p in self.root.glob(f"*{TRACE_SUFFIX}"))
+        )
+
+    def __len__(self) -> int:
+        return len(self.hashes())
+
+    def delete(self, key: CellSpec | str) -> bool:
+        """Remove one cell's trace; returns whether a file was deleted."""
+        path = self.path_for(key)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False

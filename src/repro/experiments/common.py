@@ -93,6 +93,28 @@ class Scenario:
         return derive_latency_bounds(ft, target_length=self.task.output_p99)
 
 
+def run_offline_campaign(
+    spec, workers: int = 1, store=None
+) -> list[SystemMeasurement]:
+    """Execute a figure/table campaign and return its tagged measurements.
+
+    The shared execution path of the ported experiment modules: the grid
+    runs through :class:`~repro.campaign.runner.CampaignRunner` (parallel
+    with ``workers > 1``, resumable when ``store`` -- a
+    :class:`~repro.campaign.store.TraceStore` or a directory path -- is
+    given), and the rows are rebuilt from the result traces in spec order
+    with the historical ``"model/TASK:system"`` tagging.
+    """
+    from repro.campaign.analysis import measurements
+    from repro.campaign.runner import CampaignRunner
+    from repro.campaign.store import TraceStore
+
+    if store is not None and not isinstance(store, TraceStore):
+        store = TraceStore(store)
+    result = CampaignRunner(store=store, workers=workers).run(spec)
+    return measurements(result, tag_with_label=True)
+
+
 def format_measurements(rows: list[SystemMeasurement], title: str = "") -> str:
     """Render measurements as an aligned text table."""
     lines = []

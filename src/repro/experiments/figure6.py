@@ -9,17 +9,35 @@ bar is the faster of its RRA and WAA schedules.
 
 from __future__ import annotations
 
-from repro.core.config import SchedulePolicy
-from repro.experiments.common import Scenario, format_measurements
-from repro.serving.evaluation import (
-    SystemMeasurement,
-    default_baselines,
-    measure_baseline,
-    measure_exegpt,
-)
+from repro.campaign.spec import BOUND_REFS, CampaignSpec
+from repro.experiments.common import format_measurements, run_offline_campaign
+from repro.serving.evaluation import SystemMeasurement
 
 SMALL_MID_MODELS = ("T5-11B", "OPT-13B", "GPT3-39B", "GPT3-101B")
 SMALL_MID_TASKS = ("S", "T", "C1")
+
+
+def figure6_campaign(
+    models: tuple[str, ...] = SMALL_MID_MODELS,
+    tasks: tuple[str, ...] = SMALL_MID_TASKS,
+    num_requests: int = 512,
+    bounds_subset: tuple[int, ...] | None = None,
+) -> CampaignSpec:
+    """The Figure 6 grid as a campaign: (model x task x bound) x {exe, ft}."""
+    bounds = (
+        BOUND_REFS
+        if bounds_subset is None
+        else tuple(BOUND_REFS[i] for i in bounds_subset)
+    )
+    return CampaignSpec.offline_grid(
+        name="figure6",
+        models=models,
+        tasks=tasks,
+        systems=("exegpt", "ft"),
+        bounds=bounds,
+        num_requests=num_requests,
+        policies=("rra", "waa-c", "waa-m"),
+    )
 
 
 def run_figure6(
@@ -27,46 +45,38 @@ def run_figure6(
     tasks: tuple[str, ...] = SMALL_MID_TASKS,
     num_requests: int = 512,
     bounds_subset: tuple[int, ...] | None = None,
+    workers: int = 1,
+    store=None,
 ) -> list[SystemMeasurement]:
-    """Regenerate the Figure 6 series.
+    """Regenerate the Figure 6 series (through the campaign runner).
 
     Args:
         models: Model subset (the full figure uses all four small/mid LLMs).
         tasks: Task subset (the full figure uses S, T and C1).
         num_requests: Requests per measured trace.
         bounds_subset: Indices of the four bounds to evaluate (None = all).
+        workers: Campaign fan-out width (cells are independent).
+        store: Optional trace store (path or ``TraceStore``): reruns load
+            finished cells instead of re-simulating them.
 
     Returns:
         One measurement per (model, task, bound, system) with ExeGPT
-        (best of RRA/WAA-C/WAA-M) and FT.
+        (best of RRA/WAA-C/WAA-M) and FT, in the historical row order.
     """
-    measurements: list[SystemMeasurement] = []
-    for model_name in models:
-        for task_id in tasks:
-            scenario = Scenario.create(model_name, task_id, num_requests=num_requests)
-            (ft,) = default_baselines(scenario.engine, ("ft",))
-            bounds = scenario.latency_bounds().as_list()
-            if bounds_subset is not None:
-                bounds = [bounds[i] for i in bounds_subset]
-            for constraint in bounds:
-                exe = measure_exegpt(
-                    scenario.engine,
-                    scenario.trace,
-                    constraint,
-                    policies=(
-                        SchedulePolicy.RRA,
-                        SchedulePolicy.WAA_C,
-                        SchedulePolicy.WAA_M,
-                    ),
-                )
-                ft_row = measure_baseline(ft, scenario.trace, constraint)
-                exe = _tag(exe, scenario.label)
-                ft_row = _tag(ft_row, scenario.label)
-                measurements.extend([exe, ft_row])
-    return measurements
+    return run_offline_campaign(
+        figure6_campaign(models, tasks, num_requests, bounds_subset),
+        workers=workers,
+        store=store,
+    )
 
 
 def _tag(row: SystemMeasurement, label: str) -> SystemMeasurement:
+    """Prefix a measurement's system with its scenario label.
+
+    Kept for the experiment modules (Figures 8 and 10) that assemble rows
+    outside the campaign path; campaign-built rows are tagged identically
+    by :func:`repro.campaign.analysis.measurements`.
+    """
     return SystemMeasurement(
         system=f"{label}:{row.system}",
         bound_label=row.bound_label,

@@ -8,45 +8,52 @@ compliance), which motivates using FT as the main baseline elsewhere.
 
 from __future__ import annotations
 
-from repro.experiments.common import Scenario, format_measurements
-from repro.serving.evaluation import (
-    SystemMeasurement,
-    default_baselines,
-    measure_baseline,
-)
+from repro.campaign.spec import BOUND_REFS, CampaignSpec
+from repro.experiments.common import format_measurements, run_offline_campaign
+from repro.serving.evaluation import SystemMeasurement
 
 FIGURE7_SYSTEMS = ("ft", "dsi", "orca", "vllm")
+
+
+def figure7_campaign(
+    tasks: tuple[str, ...] = ("S", "T", "C1"),
+    num_requests: int = 512,
+    bounds_subset: tuple[int, ...] | None = None,
+) -> CampaignSpec:
+    """The Figure 7 grid as a campaign: OPT-13B x task x bound x baseline."""
+    bounds = (
+        BOUND_REFS
+        if bounds_subset is None
+        else tuple(BOUND_REFS[i] for i in bounds_subset)
+    )
+    return CampaignSpec.offline_grid(
+        name="figure7",
+        models=("OPT-13B",),
+        tasks=tasks,
+        systems=FIGURE7_SYSTEMS,
+        bounds=bounds,
+        num_requests=num_requests,
+    )
 
 
 def run_figure7(
     tasks: tuple[str, ...] = ("S", "T", "C1"),
     num_requests: int = 512,
     bounds_subset: tuple[int, ...] | None = None,
+    workers: int = 1,
+    store=None,
 ) -> list[SystemMeasurement]:
-    """Regenerate the Figure 7 series (existing systems on OPT-13B)."""
-    measurements: list[SystemMeasurement] = []
-    for task_id in tasks:
-        scenario = Scenario.create("OPT-13B", task_id, num_requests=num_requests)
-        systems = default_baselines(scenario.engine, FIGURE7_SYSTEMS)
-        bounds = scenario.latency_bounds().as_list()
-        if bounds_subset is not None:
-            bounds = [bounds[i] for i in bounds_subset]
-        for constraint in bounds:
-            for system in systems:
-                row = measure_baseline(system, scenario.trace, constraint)
-                measurements.append(
-                    SystemMeasurement(
-                        system=f"{scenario.label}:{row.system}",
-                        bound_label=row.bound_label,
-                        bound_s=row.bound_s,
-                        throughput_seq_per_s=row.throughput_seq_per_s,
-                        p99_latency_s=row.p99_latency_s,
-                        max_latency_s=row.max_latency_s,
-                        satisfied=row.satisfied,
-                        config_description=row.config_description,
-                    )
-                )
-    return measurements
+    """Regenerate the Figure 7 series (existing systems on OPT-13B).
+
+    Runs through the campaign layer: ``workers`` fans the independent
+    (task, bound, system) cells out across processes, ``store`` makes the
+    run resumable.
+    """
+    return run_offline_campaign(
+        figure7_campaign(tasks, num_requests, bounds_subset),
+        workers=workers,
+        store=store,
+    )
 
 
 def ft_wins(measurements: list[SystemMeasurement]) -> bool:

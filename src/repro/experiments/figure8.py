@@ -9,18 +9,37 @@ unbounded constraint).
 
 from __future__ import annotations
 
+from repro.campaign.spec import BOUND_REFS, CampaignSpec
 from repro.core.config import SchedulePolicy
-from repro.experiments.common import Scenario, format_measurements
-from repro.experiments.figure6 import _tag, figure6_speedups
-from repro.serving.evaluation import (
-    SystemMeasurement,
-    default_baselines,
-    measure_baseline,
-    measure_exegpt,
-)
+from repro.experiments.common import Scenario, format_measurements, run_offline_campaign
+from repro.experiments.figure6 import figure6_speedups
+from repro.serving.evaluation import SystemMeasurement
 
 LARGE_MODELS = ("GPT3-101B", "GPT3-175B", "GPT3-341B")
 LARGE_TASKS = ("G", "C1", "C2")
+
+
+def figure8_campaign(
+    models: tuple[str, ...] = LARGE_MODELS,
+    tasks: tuple[str, ...] = LARGE_TASKS,
+    num_requests: int = 384,
+    bounds_subset: tuple[int, ...] | None = None,
+) -> CampaignSpec:
+    """The Figure 8 grid as a campaign (ExeGPT restricted to RRA)."""
+    bounds = (
+        BOUND_REFS
+        if bounds_subset is None
+        else tuple(BOUND_REFS[i] for i in bounds_subset)
+    )
+    return CampaignSpec.offline_grid(
+        name="figure8",
+        models=models,
+        tasks=tasks,
+        systems=("exegpt", "ft"),
+        bounds=bounds,
+        num_requests=num_requests,
+        policies=("rra",),
+    )
 
 
 def run_figure8(
@@ -28,27 +47,16 @@ def run_figure8(
     tasks: tuple[str, ...] = LARGE_TASKS,
     num_requests: int = 384,
     bounds_subset: tuple[int, ...] | None = None,
+    workers: int = 1,
+    store=None,
 ) -> list[SystemMeasurement]:
-    """Regenerate the Figure 8 series (large LLMs, RRA only)."""
-    measurements: list[SystemMeasurement] = []
-    for model_name in models:
-        for task_id in tasks:
-            scenario = Scenario.create(model_name, task_id, num_requests=num_requests)
-            (ft,) = default_baselines(scenario.engine, ("ft",))
-            bounds = scenario.latency_bounds().as_list()
-            if bounds_subset is not None:
-                bounds = [bounds[i] for i in bounds_subset]
-            for constraint in bounds:
-                exe = measure_exegpt(
-                    scenario.engine,
-                    scenario.trace,
-                    constraint,
-                    policies=(SchedulePolicy.RRA,),
-                )
-                ft_row = measure_baseline(ft, scenario.trace, constraint)
-                measurements.append(_tag(exe, scenario.label))
-                measurements.append(_tag(ft_row, scenario.label))
-    return measurements
+    """Regenerate the Figure 8 series (large LLMs, RRA only) through the
+    campaign runner; ``workers``/``store`` enable fan-out and resume."""
+    return run_offline_campaign(
+        figure8_campaign(models, tasks, num_requests, bounds_subset),
+        workers=workers,
+        store=store,
+    )
 
 
 def waa_is_infeasible(model_name: str, task_id: str) -> bool:

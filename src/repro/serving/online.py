@@ -1732,6 +1732,16 @@ class OnlineEvaluator:
             search / batch configuration; the remainder absorbs queueing.
         max_rejection_rate: Tolerated fraction of dropped requests.
         seed: Seed for arrival sampling (one fixed stream per sweep point).
+        servers / fleets: Optional externally owned server/fleet caches.
+            Evaluators are cheap to construct but the schedule search
+            behind :meth:`server` is not; callers that rebuild an
+            evaluator per measurement from picklable specs -- the campaign
+            workers in :mod:`repro.campaign.runner` -- pass shared dicts
+            here so every evaluator of one process reuses the same
+            searched servers and cloned fleets.  The caches are keyed by
+            system / (system, replicas, policy) only, so share them
+            exclusively between evaluators with identical engine, SLO,
+            ``max_queue`` and ``schedule_headroom``.
     """
 
     def __init__(
@@ -1743,6 +1753,8 @@ class OnlineEvaluator:
         schedule_headroom: float = 0.7,
         max_rejection_rate: float = 0.0,
         seed: int = 0,
+        servers: dict | None = None,
+        fleets: dict | None = None,
     ) -> None:
         if not 0 < schedule_headroom <= 1:
             raise ValueError("schedule_headroom must be in (0, 1]")
@@ -1753,8 +1765,12 @@ class OnlineEvaluator:
         self.schedule_headroom = schedule_headroom
         self.max_rejection_rate = max_rejection_rate
         self.seed = seed
-        self._servers: dict[str, OnlineServer] = {}
-        self._fleets: dict[tuple[str, int, str], object] = {}
+        self._servers: dict[str, OnlineServer] = (
+            servers if servers is not None else {}
+        )
+        self._fleets: dict[tuple[str, int, str], object] = (
+            fleets if fleets is not None else {}
+        )
         # Force the simulator's lazily built memoized context now and pin it
         # for the evaluator's lifetime (see the class docstring).
         self.context = engine.simulator.context

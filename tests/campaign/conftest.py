@@ -1,0 +1,63 @@
+"""Fixtures for the campaign-layer tests.
+
+The simulation cells here are deliberately tiny (short traces, one offered
+rate, small encoder batches) so that tests exercising the real execution
+path -- runner fan-out, resume, store round-trips -- stay fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, CellSpec
+
+
+def make_online_cell(**overrides) -> CellSpec:
+    """A small, fast online cell; fields overridable per test."""
+    base = dict(
+        mode="online",
+        model="OPT-13B",
+        task="S",
+        system="exegpt",
+        scenario="steady",
+        replicas=1,
+        routing="jsq",
+        slo_p99_s=20.0,
+        rates=(2.0,),
+        num_requests=32,
+        max_encode_batch=16,
+        max_queue=128,
+    )
+    base.update(overrides)
+    return CellSpec(**base)
+
+
+def make_offline_cell(**overrides) -> CellSpec:
+    """A small, fast offline (figure-measurement) cell."""
+    base = dict(
+        mode="offline",
+        model="OPT-13B",
+        task="S",
+        system="ft",
+        bound="inf",
+        num_requests=32,
+        max_encode_batch=16,
+    )
+    base.update(overrides)
+    return CellSpec(**base)
+
+
+@pytest.fixture
+def online_cell() -> CellSpec:
+    return make_online_cell()
+
+
+@pytest.fixture
+def tiny_campaign() -> CampaignSpec:
+    """Four small online cells: 2 systems x 2 scenarios."""
+    cells = tuple(
+        make_online_cell(system=system, scenario=scenario)
+        for system in ("exegpt", "orca")
+        for scenario in ("steady", "bursty")
+    )
+    return CampaignSpec(name="tiny", cells=cells)

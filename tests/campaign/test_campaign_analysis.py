@@ -1,0 +1,161 @@
+"""Analysis module: pure-function reconstruction from stored traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.analysis import (
+    capacity_rows,
+    format_capacity_table,
+    format_scaling_curves,
+    load_campaign,
+    measurements,
+    rate_rows,
+    scaling_curves,
+    scaling_efficiency,
+)
+from repro.campaign.runner import CampaignResult, CampaignRunner
+from repro.campaign.spec import CampaignSpec, canonical_json
+from repro.campaign.store import TraceStore
+from tests.campaign.conftest import make_online_cell
+
+
+def _synthetic_result() -> CampaignResult:
+    """A hand-built two-cell online result (no simulation)."""
+    cells = tuple(
+        make_online_cell(replicas=n, rates=(2.0 * n,)) for n in (1, 2)
+    )
+    spec = CampaignSpec(name="synthetic", cells=cells)
+    traces = {}
+    for cell in cells:
+        point = {
+            "rate_qps": cell.rates[0],
+            "sustainable": True,
+            "offered": cell.num_requests,
+            "completed": cell.num_requests,
+            "p99_latency_s": 1.0,
+        }
+        traces[cell.content_hash()] = {
+            "result": {
+                "mode": "online",
+                "system": cell.system,
+                "scenario": cell.scenario,
+                "replicas": cell.replicas,
+                "routing": cell.routing,
+                "slo_p99_s": cell.slo_p99_s,
+                "points": [point],
+                "max_sustainable_qps": 3.0 * cell.replicas,
+            }
+        }
+    return CampaignResult(spec=spec, traces=traces, executed=(), loaded=spec.hashes())
+
+
+class TestOnlineViews:
+    def test_capacity_rows_in_spec_order(self):
+        rows = capacity_rows(_synthetic_result())
+        assert [r["replicas"] for r in rows] == [1, 2]
+        assert rows[0] == {
+            "model": "OPT-13B",
+            "task": "S",
+            "system": "exegpt",
+            "scenario": "steady",
+            "replicas": 1,
+            "routing": "jsq",
+            "slo_p99_s": 20.0,
+            "max_qps": 3.0,
+        }
+
+    def test_rate_rows_flatten_points(self):
+        rows = rate_rows(_synthetic_result())
+        assert len(rows) == 2
+        assert rows[0]["rate_qps"] == 2.0
+        assert rows[0]["task"] == "S"
+        assert rows[1]["sustainable"] is True
+
+    def test_scaling_curves_and_efficiency(self):
+        curves = scaling_curves(_synthetic_result())
+        key = ("OPT-13B", "S", "exegpt", "steady", "jsq")
+        assert curves == {key: [(1, 3.0), (2, 6.0)]}
+        eff = scaling_efficiency(curves[key])
+        assert eff == {1: 1.0, 2: 1.0}
+
+    def test_scaling_efficiency_without_singleton_base(self):
+        assert scaling_efficiency([(2, 6.0), (4, 10.0)]) == {}
+
+    def test_formatters_render(self):
+        result = _synthetic_result()
+        table = format_capacity_table(result, title="caps")
+        assert table.startswith("caps")
+        assert "max_qps" in table and "exegpt" in table
+        curves = format_scaling_curves(result, title="scaling")
+        assert "OPT-13B/S exegpt steady [jsq]" in curves
+        assert "(100%)" in curves
+
+
+class TestLoadCampaign:
+    def test_raises_on_missing_trace(self, tmp_path, online_cell):
+        store = TraceStore(tmp_path)
+        spec = CampaignSpec(name="one", cells=(online_cell,))
+        with pytest.raises(KeyError, match="no verified trace"):
+            load_campaign(store, spec)
+
+    def test_pure_load_matches_run(self, tmp_path, tiny_campaign):
+        store = TraceStore(tmp_path)
+        ran = CampaignRunner(store=store).run(tiny_campaign)
+        loaded = load_campaign(store, tiny_campaign)
+        assert loaded.executed == ()
+        assert len(loaded.loaded) == len(tiny_campaign)
+        assert {h: canonical_json(d) for h, d in ran.traces.items()} == {
+            h: canonical_json(d) for h, d in loaded.traces.items()
+        }
+
+
+@pytest.mark.slow
+class TestFigurePortParity:
+    def test_figure6_port_matches_inline_loop(self, tmp_path):
+        """The campaign-ported figure6 reproduces the historical inline
+        loop's rows exactly (same order, same numbers)."""
+        from repro.core.config import SchedulePolicy
+        from repro.experiments.common import Scenario
+        from repro.experiments.figure6 import _tag, run_figure6
+        from repro.serving.evaluation import (
+            default_baselines,
+            measure_baseline,
+            measure_exegpt,
+        )
+
+        models, tasks, n = ("OPT-13B",), ("S",), 64
+        bounds_subset = (0, 3)
+
+        # The pre-campaign implementation, verbatim.
+        inline = []
+        for model in models:
+            for task in tasks:
+                scenario = Scenario.create(model, task, num_requests=n)
+                bounds = scenario.latency_bounds().as_list()
+                picked = [bounds[i] for i in bounds_subset]
+                (ft,) = default_baselines(scenario.engine, ("ft",))
+                for bound in picked:
+                    exe = measure_exegpt(
+                        scenario.engine,
+                        scenario.trace,
+                        bound,
+                        policies=(
+                            SchedulePolicy.RRA,
+                            SchedulePolicy.WAA_C,
+                            SchedulePolicy.WAA_M,
+                        ),
+                    )
+                    inline.append(_tag(exe, scenario.label))
+                    inline.append(
+                        _tag(measure_baseline(ft, scenario.trace, bound), scenario.label)
+                    )
+
+        ported = run_figure6(
+            models=models,
+            tasks=tasks,
+            num_requests=n,
+            bounds_subset=bounds_subset,
+            store=tmp_path / "figure6",
+        )
+        assert [r.__dict__ for r in ported] == [r.__dict__ for r in inline]

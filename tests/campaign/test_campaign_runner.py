@@ -1,0 +1,157 @@
+"""CampaignRunner: execution, resume parity, fan-out determinism, caches."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.runner import (
+    _ENGINES,
+    CampaignRunner,
+    clear_process_caches,
+    execute_cell,
+)
+from repro.campaign.spec import CampaignSpec, canonical_json, vary
+from repro.campaign.store import TraceStore
+from tests.campaign.conftest import make_offline_cell, make_online_cell
+
+
+@pytest.fixture
+def store(tmp_path) -> TraceStore:
+    return TraceStore(tmp_path / "traces")
+
+
+def _docs(result) -> dict[str, str]:
+    """Canonical encoding of every trace document, by cell hash."""
+    return {h: canonical_json(doc) for h, doc in result.traces.items()}
+
+
+class TestExecuteCell:
+    def test_online_payload_shape(self, online_cell):
+        payload = execute_cell(online_cell)
+        assert payload["mode"] == "online"
+        assert payload["replicas"] == 1
+        assert len(payload["points"]) == len(online_cell.rates)
+        point = payload["points"][0]
+        assert point["offered"] == online_cell.num_requests
+        assert payload["max_sustainable_qps"] >= 0.0
+
+    def test_offline_payload_shape(self):
+        payload = execute_cell(make_offline_cell())
+        assert payload["mode"] == "offline"
+        measurement = payload["measurement"]
+        assert measurement["system"] == "ft"
+        assert measurement["throughput_seq_per_s"] > 0
+
+    def test_deterministic_rerun(self, online_cell):
+        first = execute_cell(online_cell)
+        clear_process_caches()
+        second = execute_cell(online_cell)
+        assert canonical_json(first) == canonical_json(second)
+
+    def test_engine_cache_populated_and_clearable(self, online_cell):
+        clear_process_caches()
+        assert online_cell.engine_spec() not in _ENGINES
+        execute_cell(online_cell)
+        assert online_cell.engine_spec() in _ENGINES
+        clear_process_caches()
+        assert not _ENGINES
+
+
+class TestRun:
+    def test_executes_all_then_loads_all(self, store, tiny_campaign):
+        runner = CampaignRunner(store=store)
+        first = runner.run(tiny_campaign)
+        assert len(first.executed) == len(tiny_campaign)
+        assert first.loaded == ()
+        second = runner.run(tiny_campaign)
+        assert second.executed == ()
+        assert len(second.loaded) == len(tiny_campaign)
+        assert _docs(first) == _docs(second)
+
+    def test_force_reexecutes(self, store, tiny_campaign):
+        runner = CampaignRunner(store=store)
+        runner.run(tiny_campaign)
+        forced = runner.run(tiny_campaign, force=True)
+        assert len(forced.executed) == len(tiny_campaign)
+
+    def test_memory_only_runner(self, tiny_campaign):
+        result = CampaignRunner(store=None).run(tiny_campaign)
+        assert len(result.executed) == len(tiny_campaign)
+        assert set(result.traces) == set(tiny_campaign.hashes())
+
+    def test_progress_callback(self, store, online_cell):
+        spec = CampaignSpec(name="one", cells=(online_cell,))
+        events = []
+        runner = CampaignRunner(store=store)
+        runner.run(spec, progress=lambda cell, outcome: events.append(outcome))
+        runner.run(spec, progress=lambda cell, outcome: events.append(outcome))
+        assert events == ["executed", "loaded"]
+
+    def test_corrupt_trace_reexecuted(self, store, online_cell):
+        spec = CampaignSpec(name="one", cells=(online_cell,))
+        runner = CampaignRunner(store=store)
+        runner.run(spec)
+        path = store.path_for(online_cell)
+        path.write_text(path.read_text()[:40])
+        again = runner.run(spec)
+        assert len(again.executed) == 1
+        assert store.has(online_cell)
+
+
+class TestResumeParity:
+    """Satellite regression: resumed == single-shot serial, bit for bit."""
+
+    def test_resumed_merge_is_bit_identical(self, store, tmp_path, tiny_campaign):
+        single_shot = CampaignRunner(store=store).run(tiny_campaign)
+
+        other = TraceStore(tmp_path / "resumed")
+        runner = CampaignRunner(store=other)
+        runner.run(tiny_campaign)
+        # Lose a third of the traces (rounded up): resume must execute
+        # exactly those cells and nothing else.
+        victims = tiny_campaign.hashes()[:: 3]
+        for cell_hash in victims:
+            assert other.delete(cell_hash)
+        resumed = runner.run(tiny_campaign)
+        assert sorted(resumed.executed) == sorted(victims)
+        assert len(resumed.loaded) == len(tiny_campaign) - len(victims)
+        assert _docs(resumed) == _docs(single_shot)
+
+    def test_on_disk_bytes_identical(self, store, tmp_path, tiny_campaign):
+        CampaignRunner(store=store).run(tiny_campaign)
+        other = TraceStore(tmp_path / "b")
+        CampaignRunner(store=other).run(tiny_campaign)
+        for cell_hash in tiny_campaign.hashes():
+            assert (
+                store.path_for(cell_hash).read_text()
+                == other.path_for(cell_hash).read_text()
+            )
+
+
+class TestFanOut:
+    def test_parallel_matches_serial(self, store, tmp_path, tiny_campaign):
+        """Worker count never changes results (content-hash seeding)."""
+        serial = CampaignRunner(store=store, workers=1).run(tiny_campaign)
+        parallel = CampaignRunner(
+            store=TraceStore(tmp_path / "par"), workers=2
+        ).run(tiny_campaign)
+        assert len(parallel.executed) == len(tiny_campaign)
+        assert _docs(serial) == _docs(parallel)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(workers=0)
+
+
+class TestTraceDocument:
+    def test_document_records_spec_and_derived_seed(self, store, online_cell):
+        spec = CampaignSpec(name="one", cells=(online_cell,))
+        result = CampaignRunner(store=store).run(spec)
+        document = result.trace_of(online_cell)
+        assert document["seed"] == online_cell.seed()
+        assert document["spec"] == online_cell.to_dict()
+        # And it is valid JSON on disk with the same content.
+        on_disk = json.loads(store.path_for(online_cell).read_text())
+        assert canonical_json(on_disk) == canonical_json(document)

@@ -1,0 +1,162 @@
+"""TraceStore: round-trips, corruption-as-miss, concurrent writers."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, vary
+from repro.campaign.store import TraceStore
+from tests.campaign.conftest import make_online_cell
+
+RESULT = {"mode": "online", "points": [], "max_sustainable_qps": 3.5}
+
+
+@pytest.fixture
+def store(tmp_path) -> TraceStore:
+    return TraceStore(tmp_path / "traces")
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, store, online_cell):
+        path = store.save(online_cell, RESULT)
+        assert path.exists()
+        document = store.load(online_cell)
+        assert document["result"] == RESULT
+        assert document["cell_hash"] == online_cell.content_hash()
+        assert document["seed"] == online_cell.seed()
+        assert document["spec"] == online_cell.to_dict()
+
+    def test_load_by_raw_hash(self, store, online_cell):
+        store.save(online_cell, RESULT)
+        assert store.load(online_cell.content_hash())["result"] == RESULT
+
+    def test_has_missing_len(self, store, online_cell):
+        other = vary(online_cell, salt=1)
+        spec = CampaignSpec(name="s", cells=(online_cell, other))
+        assert store.missing(spec) == (online_cell, other)
+        store.save(online_cell, RESULT)
+        assert store.has(online_cell)
+        assert not store.has(other)
+        assert store.missing(spec) == (other,)
+        assert len(store) == 1
+
+    def test_delete(self, store, online_cell):
+        store.save(online_cell, RESULT)
+        assert store.delete(online_cell)
+        assert not store.has(online_cell)
+        assert not store.delete(online_cell)
+
+    def test_overwrite_is_atomic_replace(self, store, online_cell):
+        store.save(online_cell, RESULT)
+        store.save(online_cell, RESULT)
+        assert len(store) == 1
+        assert not list(store.root.glob("*.tmp"))
+
+
+class TestCorruptionIsAMiss:
+    """Every broken-file shape loads as None (the cell just re-executes)."""
+
+    def test_missing_file(self, store, online_cell):
+        assert store.load(online_cell) is None
+
+    def test_truncated_file(self, store, online_cell):
+        path = store.save(online_cell, RESULT)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.load(online_cell) is None
+
+    def test_garbage_bytes(self, store, online_cell):
+        store.save(online_cell, RESULT).write_bytes(b"\x00\xffnot json")
+        assert store.load(online_cell) is None
+
+    def test_non_dict_json(self, store, online_cell):
+        store.save(online_cell, RESULT).write_text('["a", "list"]')
+        assert store.load(online_cell) is None
+
+    def test_flipped_checksum(self, store, online_cell):
+        path = store.save(online_cell, RESULT)
+        document = json.loads(path.read_text())
+        document["checksum"] = "0" * 64
+        path.write_text(json.dumps(document))
+        assert store.load(online_cell) is None
+
+    def test_tampered_result(self, store, online_cell):
+        # Checksum catches edits to the payload body.
+        path = store.save(online_cell, RESULT)
+        document = json.loads(path.read_text())
+        document["result"]["max_sustainable_qps"] = 99.0
+        path.write_text(json.dumps(document))
+        assert store.load(online_cell) is None
+
+    def test_wrong_schema(self, store, online_cell):
+        path = store.save(online_cell, RESULT)
+        document = json.loads(path.read_text())
+        document["schema"] = 0
+        path.write_text(json.dumps(document))
+        assert store.load(online_cell) is None
+
+    def test_trace_filed_under_wrong_hash(self, store, online_cell):
+        # A renamed/copied trace never masquerades as a different cell.
+        other = vary(online_cell, salt=1)
+        path = store.save(online_cell, RESULT)
+        path.rename(store.path_for(other))
+        assert store.load(other) is None
+
+    def test_spec_that_no_longer_hashes(self, store, online_cell):
+        path = store.save(online_cell, RESULT)
+        document = json.loads(path.read_text())
+        from repro.campaign.store import _checksum
+
+        document["spec"]["num_requests"] = 9999
+        document["checksum"] = _checksum(document)
+        path.write_text(json.dumps(document))
+        assert store.load(online_cell) is None
+
+
+def _hammer(root: str, cell_dict: dict, writes: int) -> None:
+    """Worker: repeatedly save the same cell into the store."""
+    from repro.campaign.spec import CellSpec
+
+    store = TraceStore(root)
+    cell = CellSpec.from_dict(cell_dict)
+    for _ in range(writes):
+        store.save(cell, RESULT)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_never_clobber(self, store, online_cell):
+        """Two workers racing on the same cell always leave a verified trace.
+
+        By determinism both write identical documents; atomic tmp+replace
+        means a reader never observes a torn file and no tmp litter stays
+        behind.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        writers = [
+            ctx.Process(
+                target=_hammer, args=(str(store.root), online_cell.to_dict(), 40)
+            )
+            for _ in range(2)
+        ]
+        for p in writers:
+            p.start()
+        # Read while the writers race: every observed state is either
+        # "no file yet" or a fully verified document.
+        saw_document = False
+        for _ in range(200):
+            document = store.load(online_cell)
+            if document is not None:
+                saw_document = True
+                assert document["result"] == RESULT
+        for p in writers:
+            p.join()
+            assert p.exitcode == 0
+        assert saw_document or store.load(online_cell) is not None
+        final = store.load(online_cell)
+        assert final["result"] == RESULT
+        assert len(store) == 1
+        assert not list(store.root.glob("*.tmp"))
