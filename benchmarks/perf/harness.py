@@ -1119,6 +1119,176 @@ def bench_campaign_fanout(workers: int = 4) -> CampaignBench:
     )
 
 
+@dataclass
+class CyclePricingBench:
+    """Columnar plan construction + memoized pricing on the serving hot loop.
+
+    Two measurements back the cycle-pricing stack:
+
+    * **Crossover micro-bench** -- ``price_columns`` is timed through the
+      scalar loop and the batched grouped lookups over mixed encode/decode
+      plans of ``crossover_sizes`` items; ``measured_crossover`` is the
+      smallest size where the batched path wins, the empirical basis of
+      :data:`repro.engine.execution.SMALL_PLAN_ITEMS`.
+    * **200k x 16-replica probe** -- the event-core ExeGPT RRA JSQ sweep
+      (the :class:`EventCoreBench` headline shape at 200k requests) served
+      twice: with the historical plan-per-cycle path (``plan_templates``
+      and ``pricing_cache`` off) and with the columnar fast paths (the
+      defaults).  Records and replica assignments must agree bit for bit;
+      the wall-time ratio and the engines' pricing-cache hit rate are the
+      tracked numbers (>= 1.3x is the regression floor).
+
+    Attributes:
+        crossover_sizes: Plan sizes the micro-bench timed.
+        crossover_scalar_us / crossover_batched_us: Per-size pricing cost.
+        measured_crossover: Smallest size where batched pricing won.
+        configured_small_plan_items: The shipped crossover constant.
+        requests / replicas / routing: Probe shape.
+        baseline_s / fast_s: Wall times without / with the fast paths.
+        baseline_us_per_request / fast_us_per_request: Same, per request.
+        speedup: ``baseline_s / fast_s``.
+        bit_identical: Fast-path records + assignments match the baseline.
+        cache_hits / cache_misses: Pricing-cache counters summed over the
+            fast run's replica engines.
+        cache_hit_rate: Hits over probes.
+    """
+
+    crossover_sizes: list[int]
+    crossover_scalar_us: list[float]
+    crossover_batched_us: list[float]
+    measured_crossover: int
+    configured_small_plan_items: int
+    requests: int
+    replicas: int
+    routing: str
+    baseline_s: float
+    fast_s: float
+    baseline_us_per_request: float
+    fast_us_per_request: float
+    speedup: float
+    bit_identical: bool
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+
+
+def bench_cycle_pricing(
+    requests: int = 200_000,
+    replicas: int = 16,
+    crossover_reps: int = 2000,
+) -> CyclePricingBench:
+    """The crossover micro-bench plus the 200k-request fast-path probe."""
+    from repro.engine.execution import (
+        KIND_DECODE,
+        KIND_ENCODE,
+        SMALL_PLAN_ITEMS,
+        PlanColumns,
+        price_columns,
+    )
+    from repro.engine.pool import RequestPool
+    from repro.serving.fleet import Fleet
+    from repro.serving.online import ExeGPTOnlineServer
+    from repro.workloads.arrivals import PoissonProcess
+    from repro.workloads.synthetic import sample_correlated_lengths
+
+    engine = ExeGPT.for_task("OPT-13B", "S", max_encode_batch=128)
+    profile = engine.simulator.profile
+
+    # -- scalar/batched crossover over mixed encode/decode plans ---------------
+    rng = np.random.default_rng(0)
+    sizes = [1, 2, 3, 4, 6, 8, 12, 16, 24, 32]
+    scalar_us: list[float] = []
+    batched_us: list[float] = []
+    for n in sizes:
+        cols = PlanColumns(n)
+        for i in range(n):
+            cols.push(
+                KIND_DECODE if i % 2 else KIND_ENCODE,
+                40, 4, False,
+                float(rng.integers(1, 64)),
+                float(rng.integers(8, 512)),
+            )
+        timed = {}
+        # Forcing the crossover to 0 / beyond-n pins each pricing mode.
+        for mode, small in (("batched", 0), ("scalar", n + 1)):
+            start = time.perf_counter()
+            for _ in range(crossover_reps):
+                price_columns(
+                    profile, cols, 0.0, batched=True, cache=None,
+                    small_plan_items=small,
+                )
+            timed[mode] = (time.perf_counter() - start) / crossover_reps * 1e6
+        scalar_us.append(timed["scalar"])
+        batched_us.append(timed["batched"])
+    measured = next(
+        (n for n, s, b in zip(sizes, scalar_us, batched_us) if b <= s),
+        sizes[-1],
+    )
+
+    # -- the 200k x 16-replica probe, fast paths off vs on ----------------------
+    rng = np.random.default_rng(7)
+    inputs, outputs = sample_correlated_lengths(
+        engine.input_distribution, engine.output_distribution, requests, 0.0, rng
+    )
+    config = ScheduleConfig(
+        policy=SchedulePolicy.RRA,
+        encode_batch=2048,
+        decode_iterations=128,
+        tensor_parallel=TensorParallelConfig(degree=4, num_gpus=4),
+    )
+    rate = 0.95 * engine.simulator.estimate(config).throughput_seq_per_s * replicas
+    arrivals = PoissonProcess(rate).arrival_times(requests, seed=3)
+    pool = RequestPool.from_arrays(inputs, outputs, arrivals)
+
+    def serve(plan_templates: bool, pricing_cache: bool):
+        server = ExeGPTOnlineServer(
+            engine.simulator,
+            config,
+            max_queue=4096,
+            plan_templates=plan_templates,
+            pricing_cache=pricing_cache,
+        )
+        fleet = Fleet.homogeneous(server, replicas, routing="jsq")
+        start = time.perf_counter()
+        result = fleet.serve_pool(pool, core="event")
+        elapsed = time.perf_counter() - start
+        return fleet, result, elapsed
+
+    _, base_result, baseline_s = serve(plan_templates=False, pricing_cache=False)
+    fast_fleet, fast_result, fast_s = serve(plan_templates=True, pricing_cache=True)
+
+    bit_identical = bool(
+        fast_result.fleet.records == base_result.fleet.records
+        and np.array_equal(fast_result.assignments, base_result.assignments)
+    )
+    hits = misses = 0
+    for replica in fast_fleet.replicas:
+        stats = replica._engine.pricing_cache_stats()
+        if stats is not None:
+            hits += int(stats["hits"])
+            misses += int(stats["misses"])
+
+    return CyclePricingBench(
+        crossover_sizes=sizes,
+        crossover_scalar_us=scalar_us,
+        crossover_batched_us=batched_us,
+        measured_crossover=measured,
+        configured_small_plan_items=SMALL_PLAN_ITEMS,
+        requests=requests,
+        replicas=replicas,
+        routing="jsq",
+        baseline_s=baseline_s,
+        fast_s=fast_s,
+        baseline_us_per_request=1e6 * baseline_s / requests,
+        fast_us_per_request=1e6 * fast_s / requests,
+        speedup=baseline_s / fast_s if fast_s > 0 else float("inf"),
+        bit_identical=bit_identical,
+        cache_hits=hits,
+        cache_misses=misses,
+        cache_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+    )
+
+
 def _git_sha() -> str:
     """The repository HEAD commit stamped into trajectory records."""
     try:
@@ -1145,6 +1315,7 @@ def make_record(
     event_core: EventCoreBench | None = None,
     chaos: ChaosBench | None = None,
     campaign: CampaignBench | None = None,
+    cycle_pricing: CyclePricingBench | None = None,
 ) -> dict:
     """Assemble one machine-readable trajectory record."""
     record = {
@@ -1184,6 +1355,12 @@ def make_record(
         record["chaos_sweep"] = dict(chaos.__dict__)
     if campaign is not None:
         record["campaign_fanout"] = dict(campaign.__dict__)
+    if cycle_pricing is not None:
+        payload = dict(cycle_pricing.__dict__)
+        payload["crossover_sizes"] = list(payload["crossover_sizes"])
+        payload["crossover_scalar_us"] = list(payload["crossover_scalar_us"])
+        payload["crossover_batched_us"] = list(payload["crossover_batched_us"])
+        record["cycle_pricing"] = payload
     return record
 
 
@@ -1198,6 +1375,7 @@ def write_bench_record(
     event_core: EventCoreBench | None = None,
     chaos: ChaosBench | None = None,
     campaign: CampaignBench | None = None,
+    cycle_pricing: CyclePricingBench | None = None,
 ) -> dict:
     """Append one record to ``BENCH_search.json`` and return it.
 
@@ -1206,7 +1384,7 @@ def write_bench_record(
     """
     record = make_record(
         estimate, search, runner, replay, online, pool, fleet, event_core,
-        chaos, campaign,
+        chaos, campaign, cycle_pricing,
     )
     doc = {
         "schema": 1,
@@ -1239,9 +1417,10 @@ def main() -> None:
     event_core = bench_event_core()
     chaos = bench_chaos_sweep()
     campaign = bench_campaign_fanout()
+    cycle_pricing = bench_cycle_pricing()
     write_bench_record(
         estimate, search, runner, replay, online, pool, fleet, event_core,
-        chaos, campaign,
+        chaos, campaign, cycle_pricing,
     )
     print(f"estimate: {estimate.scalar_ms_per_point:.2f} ms/pt scalar, "
           f"{estimate.batch_us_per_point:.1f} us/pt batched "
@@ -1297,6 +1476,14 @@ def main() -> None:
           f"{campaign.resume_executed} cells in {campaign.resume_s:.2f} s "
           f"(only-missing={campaign.resume_only_missing}); warm load "
           f"{campaign.warm_load_s:.3f} s")
+    print(f"cycle pricing: crossover at {cycle_pricing.measured_crossover} "
+          f"items (configured {cycle_pricing.configured_small_plan_items}); "
+          f"{cycle_pricing.requests} reqs x {cycle_pricing.replicas} replicas "
+          f"{cycle_pricing.baseline_us_per_request:.2f} -> "
+          f"{cycle_pricing.fast_us_per_request:.2f} us/request "
+          f"({cycle_pricing.speedup:.2f}x, "
+          f"bit-identical={cycle_pricing.bit_identical}, cache hit rate "
+          f"{cycle_pricing.cache_hit_rate:.1%})")
     print(f"wrote {BENCH_PATH}")
 
 

@@ -19,6 +19,7 @@ from harness import (
     BENCH_PATH,
     bench_campaign_fanout,
     bench_chaos_sweep,
+    bench_cycle_pricing,
     bench_estimate,
     bench_event_core,
     bench_fleet_sweep,
@@ -46,15 +47,16 @@ def bench_record():
     event_core = bench_event_core()
     chaos = bench_chaos_sweep()
     campaign = bench_campaign_fanout()
+    cycle_pricing = bench_cycle_pricing()
     if os.environ.get("BENCH_RECORD") == "1":
         record = write_bench_record(
             estimate, search, runner, replay, online, pool, fleet, event_core,
-            chaos, campaign,
+            chaos, campaign, cycle_pricing,
         )
     else:
         record = make_record(
             estimate, search, runner, replay, online, pool, fleet, event_core,
-            chaos, campaign,
+            chaos, campaign, cycle_pricing,
         )
     return {
         "estimate": estimate,
@@ -67,6 +69,7 @@ def bench_record():
         "event_core": event_core,
         "chaos": chaos,
         "campaign": campaign,
+        "cycle_pricing": cycle_pricing,
         "record": record,
     }
 
@@ -186,12 +189,15 @@ def test_chaos_sweep_parity_and_overhead(bench_record):
     # conserved every request, and stayed within sane overhead.  The flap
     # requeues ~25% of the pool and serves every fault-window arrival
     # through the per-id routing fallback, so wall time grows with the
-    # injected damage (~9x measured); 15x is the runaway bar.
+    # injected damage.  The bar is on the *ratio* to the fault-free run,
+    # whose denominator the columnar-pricing fast paths cut ~1.8x while
+    # the chaos run stays dominated by the per-id fallback (~17x measured
+    # post-speedup, was ~9x); 30x is the runaway bar.
     assert chaos.crashes > 0
     assert chaos.requeued > 0
     assert chaos.conserved
     assert chaos.completed + chaos.rejected + chaos.shed == chaos.requests
-    assert chaos.chaos_overhead < 15.0
+    assert chaos.chaos_overhead < 30.0
 
 
 def test_campaign_fanout_parity_and_resume(bench_record):
@@ -223,13 +229,31 @@ def test_campaign_fanout_speedup(bench_record):
     assert campaign.speedup >= 3.0
 
 
+def test_cycle_pricing_parity_and_speedup(bench_record):
+    pricing = bench_record["cycle_pricing"]
+    # The crossover micro-bench must actually bracket the shipped constant:
+    # tiny plans stay scalar, large plans go batched, and the measured
+    # crossover lands within the swept sizes.
+    assert pricing.crossover_scalar_us[0] < pricing.crossover_batched_us[0]
+    assert pricing.crossover_batched_us[-1] < pricing.crossover_scalar_us[-1]
+    assert pricing.measured_crossover in pricing.crossover_sizes
+    # The columnar fast paths (plan templates + pricing cache) must be a
+    # free lunch: bit-identical records and assignments on the 200k-request
+    # 16-replica probe, with >= 1.3x wall-time improvement (1.87x measured)
+    # and a warm pricing cache doing real work.
+    assert pricing.bit_identical
+    assert pricing.speedup >= 1.3
+    assert pricing.cache_hits > 0
+    assert 0.0 < pricing.cache_hit_rate <= 1.0
+
+
 def test_bench_record_complete(bench_record):
     record = bench_record["record"]
     assert record["search"]["space_points"] >= 65536
     assert set(record) >= {
         "timestamp", "git_sha", "host", "search_space", "estimate", "search",
         "runner", "replay", "online_sweep", "replay_pool", "fleet_sweep",
-        "event_core", "chaos_sweep", "campaign_fanout",
+        "event_core", "chaos_sweep", "campaign_fanout", "cycle_pricing",
     }
     assert record["git_sha"] == "unknown" or len(record["git_sha"]) == 40
     # The committed trajectory file exists; it is only appended to when

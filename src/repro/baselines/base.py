@@ -141,7 +141,12 @@ class BaselineSystem:
         )
 
     def make_engine(
-        self, timeline: Timeline, pool, batched_pricing: bool = True
+        self,
+        timeline: Timeline,
+        pool,
+        batched_pricing: bool = True,
+        pricing_cache: bool = True,
+        small_plan_items: int | None = None,
     ) -> ExecutionEngine:
         """The shared iteration-graph engine, carrying this system's overhead."""
         return ExecutionEngine(
@@ -152,6 +157,8 @@ class BaselineSystem:
             decoder_only=self.decoder_only,
             overhead_s=self.iteration_overhead_s,
             batched_pricing=batched_pricing,
+            pricing_cache=pricing_cache,
+            small_plan_items=small_plan_items,
         )
 
     # -- parameter selection --------------------------------------------------------

@@ -136,8 +136,7 @@ class Orca(BaselineSystem):
             )
             prev_iteration_last = outcome.last
 
-            for rid in outcome.completed.tolist():
-                self._release(cache, pool, rid)
+            self._release_batch(cache, pool, outcome.completed)
             active = pool.compact(np.concatenate([active, admitted_ids]))
             iterations += 1
             if iterations > 500000:
@@ -166,3 +165,13 @@ class Orca(BaselineSystem):
 
     def _release(self, cache, pool, rid: int) -> None:
         cache.release(pool.request_id_of(rid))
+
+    def _release_batch(self, cache, pool, ids: np.ndarray) -> None:
+        """Free the KV state of every id in one batched epilogue call.
+
+        One trace-id gather plus one ``release_many`` replaces the historical
+        per-id ``_release`` loop; both cache flavours pop from a dict keyed
+        by trace id, so the batch form covers ORCA and vLLM alike.
+        """
+        if ids.size:
+            cache.release_many(pool.request_ids_of(ids).tolist())

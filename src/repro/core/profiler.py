@@ -13,6 +13,7 @@ interpolates, so the scheduler never calls the kernel model directly.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 
@@ -32,6 +33,12 @@ def _log_grid(max_value: int, points: int) -> np.ndarray:
         np.round(np.geomspace(1, max_value, num=min(points, max_value))).astype(int)
     )
     return grid
+
+
+# Monotonic identity counter for ProfileTable instances.  Pricing caches key
+# on this token so that two profiles with coincidentally equal work keys can
+# never serve each other's cached prices.
+_PRICING_TOKENS = itertools.count()
 
 
 @dataclass
@@ -142,9 +149,13 @@ class ProfileTable:
     encode_grids: dict[int, MeasurementGrid]
     decode_grids: dict[int, MeasurementGrid]
     _collectives: CollectiveModel = field(init=False, repr=False)
+    _kernel: KernelModel = field(init=False, repr=False)
+    pricing_token: int = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._collectives = CollectiveModel(self.cluster)
+        self._kernel = KernelModel(self.cluster.gpu)
+        self.pricing_token = next(_PRICING_TOKENS)
 
     # -- layer compute times ---------------------------------------------------
 
@@ -289,14 +300,34 @@ class ProfileTable:
         """Device-local copy time to compact KV entries after early termination."""
         if batch <= 0 or tokens_per_seq <= 0 or num_layers <= 0:
             return 0.0
-        kernel = KernelModel(self.cluster.gpu)
         num_bytes = (
             batch
             * tokens_per_seq
             * num_layers
             * self.model.kv_bytes_per_token_per_layer()
         )
-        return kernel.memcpy(num_bytes).total_s
+        return self._kernel.memcpy(num_bytes).total_s
+
+    def kv_compaction_time_batch(
+        self, batch: np.ndarray, tokens_per_seq: np.ndarray, num_layers: int
+    ) -> np.ndarray:
+        """Array version of :meth:`kv_compaction_time` (element-wise identical)."""
+        batch = np.asarray(batch, dtype=float)
+        tokens_per_seq = np.asarray(tokens_per_seq, dtype=float)
+        shape = np.broadcast_shapes(batch.shape, tokens_per_seq.shape)
+        if num_layers <= 0:
+            return np.zeros(shape)
+        num_bytes = (
+            batch
+            * tokens_per_seq
+            * num_layers
+            * self.model.kv_bytes_per_token_per_layer()
+        )
+        # Mirrors KernelModel.memcpy().total_s: roofline memory term plus the
+        # fixed launch overhead, zero for empty copies.
+        gpu = self.cluster.gpu
+        times = 2.0 * num_bytes / gpu.memory_bandwidth_bytes_per_s + gpu.kernel_launch_us * 1e-6
+        return np.where((batch > 0) & (tokens_per_seq > 0), times, 0.0)
 
 
 class XProfiler:

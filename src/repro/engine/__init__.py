@@ -9,16 +9,20 @@ from repro.engine.batching import (
     total_input_tokens,
 )
 from repro.engine.execution import (
+    SMALL_PLAN_ITEMS,
     Bookkeeping,
     DecodeOutcome,
     ExecutionEngine,
     IterationPlan,
     KVHandover,
     MixedOutcome,
+    PlanColumns,
+    PricingCache,
     StageWork,
     TaskRef,
     decode_chain_times,
     encode_chain_times,
+    price_columns,
     price_work,
 )
 from repro.engine.kv_manager import (
@@ -29,6 +33,7 @@ from repro.engine.kv_manager import (
 from repro.engine.metrics import RunResult, collect_pool_result, collect_result
 from repro.engine.pool import (
     EMPTY_IDS,
+    DecodeRunSteps,
     ListPool,
     RequestPool,
     RequestView,
@@ -41,6 +46,7 @@ __all__ = [
     "Bookkeeping",
     "ContiguousKVCache",
     "DecodeOutcome",
+    "DecodeRunSteps",
     "EMPTY_IDS",
     "ExecutionEngine",
     "IterationPlan",
@@ -49,10 +55,13 @@ __all__ = [
     "ListPool",
     "MixedOutcome",
     "PagedKVCache",
+    "PlanColumns",
+    "PricingCache",
     "RequestPool",
     "RequestState",
     "RequestView",
     "RunResult",
+    "SMALL_PLAN_ITEMS",
     "StageTask",
     "StageWork",
     "TaskRef",
@@ -65,6 +74,7 @@ __all__ = [
     "decode_chain_times",
     "encode_chain_times",
     "make_pool",
+    "price_columns",
     "price_work",
     "split_ids",
     "split_into_micro_batches",

@@ -89,58 +89,226 @@ class StageWork:
     length: float
 
 
-# Below this many work items a vectorized lookup costs more than it saves
-# (array construction and the wider lookup_batch kernel dominate), so tiny
-# plans -- e.g. single-stage online cycles -- price through the scalar path.
-# Both paths are element-wise bit-identical, so the choice is invisible in
-# the results.
-_SMALL_PLAN_ITEMS = 8
+# Integer kind codes of the columnar work buffer (kind column, int8).
+KIND_ENCODE = 0
+KIND_DECODE = 1
+
+# Scalar/batched pricing crossover.  Below this many work items a vectorized
+# lookup costs more than it saves: packing the query arrays and the wider
+# ``lookup_batch`` kernel carry a fixed overhead worth a handful of scalar
+# lookups.  The value is *measured*, not guessed: the ``pricing_crossover``
+# micro-bench in ``benchmarks/perf/harness.py`` times both paths over plan
+# sizes 1..64 and records the crossover point into the ``cycle_pricing``
+# series of ``BENCH_search.json`` on every nightly run.  On the CI-class
+# hosts tracked there the scalar loop still wins at 8 items (~311 us vs
+# ~466 us per 3000 pricings) and the batched path has clearly overtaken it
+# by 12 (~476 us vs ~396 us), so 10 is the default;
+# ``ExecutionEngine(small_plan_items=...)`` overrides it per engine.  Both
+# paths are element-wise bit-identical, so the choice is invisible in the
+# results.
+SMALL_PLAN_ITEMS = 10
+
+# Plans larger than this bypass the pricing cache: probing a dict once per
+# item only pays off for small steady-state cycles, while offline mega-plans
+# (one plan for a whole replay) are already dominated by a handful of large
+# vectorized lookups and would flood the cache with one-shot keys.
+_PRICING_CACHE_MAX_PLAN_ITEMS = 4096
 
 
-def price_work(
-    profile: ProfileTable,
-    items: list[StageWork],
-    overhead_s: float = 0.0,
-    batched: bool = True,
-) -> np.ndarray:
-    """Durations of ``items``, one vectorized lookup per (kind, TP) group.
+class PricingCache:
+    """Bounded exact-key memo of priced work items.
 
-    Replicates the scalar :func:`~repro.core.analytical.encode_stage_time` /
-    :func:`~repro.core.analytical.decode_stage_time` arithmetic exactly:
-    ``layers * (per_layer + sync)``, plus ``overhead_s`` on components with a
-    positive base time (the baselines' per-iteration engine overhead).  With
-    ``batched=False`` every item is priced through the scalar profile
-    lookups instead -- the historical reference path, kept measurable by the
-    perf harness.
+    Keys are the exact ``(kind, tp_degree, spans_nodes, batch, length,
+    layers, overhead_s, profile_token)`` tuples of a work item -- no
+    rounding or quantisation -- so a hit returns the bit-identical duration
+    the profile lookups would have produced; caching is therefore invisible
+    in the results by construction.  ``profile_token`` is the owning
+    :class:`~repro.core.profiler.ProfileTable`'s identity counter, which
+    keeps entries from ever leaking between engines that share a cache but
+    price against different profiles.  Eviction is FIFO (dict insertion
+    order) once ``max_entries`` is exceeded; ``hits``/``misses`` counters
+    feed :meth:`ExecutionEngine.pricing_cache_stats`.
     """
-    out = np.zeros(len(items))
-    if not items:
-        return out
-    if not batched or len(items) < _SMALL_PLAN_ITEMS:
-        for pos, item in enumerate(items):
-            if item.batch <= 0 or item.layers == 0:
-                continue
-            if item.kind == ENCODE:
-                per = profile.encode_layer_time(item.tp_degree, item.batch, item.length)
-                sync = profile.encode_sync_time(
-                    item.tp_degree, item.batch, item.length, item.spans_nodes
-                )
-            else:
-                per = profile.decode_layer_time(item.tp_degree, item.batch, item.length)
-                sync = profile.decode_sync_time(
-                    item.tp_degree, item.batch, item.spans_nodes
-                )
-            base = item.layers * (per + sync)
-            out[pos] = base + (overhead_s if base > 0 else 0.0)
-        return out
-    groups: dict[tuple[str, int, bool], list[int]] = {}
-    for pos, item in enumerate(items):
-        groups.setdefault((item.kind, item.tp_degree, item.spans_nodes), []).append(pos)
-    for (kind, tp, spans), positions in groups.items():
-        batch = np.array([items[p].batch for p in positions], dtype=float)
-        length = np.array([items[p].length for p in positions], dtype=float)
-        layers = np.array([items[p].layers for p in positions], dtype=float)
-        if kind == ENCODE:
+
+    __slots__ = ("max_entries", "hits", "misses", "entries")
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.entries: dict[tuple, float] = {}
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss counters plus occupancy, for perf reporting."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "size": len(self.entries),
+            "max_entries": self.max_entries,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self.entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class PlanColumns:
+    """Preallocated columnar (structure-of-arrays) buffer of work items.
+
+    One slot per :class:`StageWork`-shaped item: ``kind`` (int8 code),
+    ``layers``/``tp`` (int64), ``spans`` (bool), ``batch``/``length``
+    (float64).  The buffer grows by doubling and is *reset*, never
+    reallocated, between cycles -- the engine hands the same buffer to
+    every plan it builds, so steady-state serving performs zero per-cycle
+    allocation for plan storage.
+    """
+
+    __slots__ = ("kind", "layers", "tp", "spans", "batch", "length", "count")
+
+    def __init__(self, capacity: int = 64) -> None:
+        capacity = max(int(capacity), 1)
+        self.kind = np.zeros(capacity, dtype=np.int8)
+        self.layers = np.zeros(capacity, dtype=np.int64)
+        self.tp = np.zeros(capacity, dtype=np.int64)
+        self.spans = np.zeros(capacity, dtype=bool)
+        self.batch = np.zeros(capacity, dtype=np.float64)
+        self.length = np.zeros(capacity, dtype=np.float64)
+        self.count = 0
+
+    def reset(self) -> None:
+        """Empty the buffer without releasing its capacity."""
+        self.count = 0
+
+    def _ensure(self, extra: int) -> None:
+        need = self.count + extra
+        cap = self.batch.size
+        if need <= cap:
+            return
+        new_cap = max(cap * 2, need)
+        for name in self.__slots__[:-1]:
+            old = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=old.dtype)
+            grown[: self.count] = old[: self.count]
+            setattr(self, name, grown)
+
+    def push(
+        self,
+        kind: int,
+        layers: int,
+        tp: int,
+        spans: bool,
+        batch: float,
+        length: float,
+    ) -> int:
+        """Append one item; returns its slot index."""
+        i = self.count
+        if i >= self.batch.size:
+            self._ensure(1)
+        self.kind[i] = kind
+        self.layers[i] = layers
+        self.tp[i] = tp
+        self.spans[i] = spans
+        self.batch[i] = batch
+        self.length[i] = length
+        self.count = i + 1
+        return i
+
+    def extend(
+        self,
+        kind: int,
+        layers: int,
+        tp: int,
+        spans: bool,
+        batch: np.ndarray,
+        length: np.ndarray,
+    ) -> int:
+        """Bulk-append items sharing scalar kind/layers/tp/spans; returns start."""
+        m = len(batch)
+        start = self.count
+        self._ensure(m)
+        sl = slice(start, start + m)
+        self.kind[sl] = kind
+        self.layers[sl] = layers
+        self.tp[sl] = tp
+        self.spans[sl] = spans
+        self.batch[sl] = batch
+        self.length[sl] = length
+        self.count = start + m
+        return start
+
+
+def _price_positions_scalar(
+    profile: ProfileTable,
+    cols: PlanColumns,
+    positions,
+    overhead_s: float,
+    out: np.ndarray,
+) -> None:
+    """Price ``positions`` of ``cols`` through the scalar profile lookups."""
+    kind = cols.kind
+    layers = cols.layers
+    tp_col = cols.tp
+    spans_col = cols.spans
+    batch_col = cols.batch
+    length_col = cols.length
+    for pos in positions:
+        batch = float(batch_col[pos])
+        lay = int(layers[pos])
+        if batch <= 0 or lay == 0:
+            continue
+        tp = int(tp_col[pos])
+        spans = bool(spans_col[pos])
+        length = float(length_col[pos])
+        if kind[pos] == KIND_ENCODE:
+            per = profile.encode_layer_time(tp, batch, length)
+            sync = profile.encode_sync_time(tp, batch, length, spans)
+        else:
+            per = profile.decode_layer_time(tp, batch, length)
+            sync = profile.decode_sync_time(tp, batch, spans)
+        base = lay * (per + sync)
+        out[pos] = base + (overhead_s if base > 0 else 0.0)
+
+
+def _price_positions_batched(
+    profile: ProfileTable,
+    cols: PlanColumns,
+    positions: np.ndarray,
+    overhead_s: float,
+    out: np.ndarray,
+) -> None:
+    """Price ``positions`` of ``cols``, one vectorized lookup per group.
+
+    Group-by is an argsort over a composite ``(kind, tp, spans)`` key code
+    instead of a ``dict.setdefault`` loop; element-wise results are
+    independent of the grouping, so this matches the scalar path bit for
+    bit (see :meth:`MeasurementGrid.lookup_batch`).
+    """
+    code = (
+        (cols.kind[positions].astype(np.int64) << 33)
+        | (cols.tp[positions] << 1)
+        | cols.spans[positions]
+    )
+    order = np.argsort(code, kind="stable")
+    sorted_pos = positions[order]
+    sorted_code = code[order]
+    boundaries = np.flatnonzero(np.diff(sorted_code)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [sorted_code.size]))
+    for s, e in zip(starts, ends):
+        grp = sorted_pos[s:e]
+        first = grp[0]
+        tp = int(cols.tp[first])
+        spans = bool(cols.spans[first])
+        batch = cols.batch[grp]
+        length = cols.length[grp]
+        layers = cols.layers[grp].astype(float)
+        if cols.kind[first] == KIND_ENCODE:
             per = profile.encode_layer_time_batch(tp, batch, length)
             sync = profile.encode_sync_time_batch(tp, batch, length, spans)
         else:
@@ -149,8 +317,104 @@ def price_work(
         base = layers * (per + sync)
         if overhead_s:
             base = np.where(base > 0, base + overhead_s, base)
-        out[positions] = base
+        out[grp] = base
+
+
+def price_columns(
+    profile: ProfileTable,
+    cols: PlanColumns,
+    overhead_s: float = 0.0,
+    batched: bool = True,
+    cache: PricingCache | None = None,
+    small_plan_items: int = SMALL_PLAN_ITEMS,
+) -> np.ndarray:
+    """Durations of a columnar work buffer.
+
+    Replicates the scalar :func:`~repro.core.analytical.encode_stage_time` /
+    :func:`~repro.core.analytical.decode_stage_time` arithmetic exactly:
+    ``layers * (per_layer + sync)``, plus ``overhead_s`` on components with
+    a positive base time (the baselines' per-iteration engine overhead).
+    With ``batched=False`` every item is priced through the scalar profile
+    lookups instead -- the historical reference path, kept measurable by
+    the perf harness.  When ``cache`` is given (batched mode only), every
+    item is first probed against the exact-key :class:`PricingCache`;
+    misses are priced through the scalar-or-batched lookups as usual and
+    inserted, so cache-on and cache-off runs are bit-identical.
+    """
+    n = cols.count
+    out = np.zeros(n)
+    if n == 0:
+        return out
+    if not batched or n < small_plan_items:
+        _price_positions_scalar(profile, cols, range(n), overhead_s, out)
+        return out
+    if cache is None:
+        _price_positions_batched(profile, cols, np.arange(n), overhead_s, out)
+        return out
+    token = profile.pricing_token
+    entries = cache.entries
+    kinds = cols.kind[:n].tolist()
+    layers = cols.layers[:n].tolist()
+    tps = cols.tp[:n].tolist()
+    spans = cols.spans[:n].tolist()
+    batches = cols.batch[:n].tolist()
+    lengths = cols.length[:n].tolist()
+    keys = [
+        (kinds[i], tps[i], spans[i], batches[i], lengths[i], layers[i], overhead_s, token)
+        for i in range(n)
+    ]
+    misses = []
+    hits = 0
+    for i, key_i in enumerate(keys):
+        value = entries.get(key_i)
+        if value is None:
+            misses.append(i)
+        else:
+            out[i] = value
+            hits += 1
+    cache.hits += hits
+    cache.misses += len(misses)
+    if misses:
+        if len(misses) < small_plan_items:
+            _price_positions_scalar(profile, cols, misses, overhead_s, out)
+        else:
+            _price_positions_batched(
+                profile, cols, np.asarray(misses, dtype=np.int64), overhead_s, out
+            )
+        for i in misses:
+            entries[keys[i]] = float(out[i])
+        max_entries = cache.max_entries
+        while len(entries) > max_entries:
+            del entries[next(iter(entries))]
     return out
+
+
+def price_work(
+    profile: ProfileTable,
+    items: list[StageWork],
+    overhead_s: float = 0.0,
+    batched: bool = True,
+    cache: PricingCache | None = None,
+    small_plan_items: int = SMALL_PLAN_ITEMS,
+) -> np.ndarray:
+    """Durations of ``items`` -- object-list front-end of :func:`price_columns`.
+
+    Kept as the public pricing entry point for callers that hold
+    :class:`StageWork` lists (chain helpers, tests); plans built through
+    the engine price their columnar buffers directly without materialising
+    item objects.
+    """
+    cols = PlanColumns(max(len(items), 1))
+    for item in items:
+        cols.push(
+            KIND_ENCODE if item.kind == ENCODE else KIND_DECODE,
+            item.layers,
+            item.tp_degree,
+            item.spans_nodes,
+            item.batch,
+            item.length,
+        )
+    return price_columns(profile, cols, overhead_s, batched, cache, small_plan_items)
 
 
 def encode_chain_times(
@@ -212,10 +476,16 @@ class TaskRef:
 
 @dataclass(slots=True)
 class _PlannedTask:
-    """One task of an iteration plan, before pricing/emission."""
+    """One task of an iteration plan, before pricing/emission.
+
+    ``work_start``/``work_count`` index the owning plan's columnar work
+    buffer -- the per-item ``StageWork`` objects of the historical design
+    survive only at the public :meth:`IterationPlan.add_task` boundary.
+    """
 
     stage: object
-    work: list[StageWork]
+    work_start: int
+    work_count: int
     fixed_s: float
     deps: list[object]
     tag: str
@@ -228,14 +498,18 @@ class IterationPlan:
     """Declarative description of one scheduling cycle's task graph.
 
     Tasks are appended through the engine's chain/iteration helpers (or
-    :meth:`add_task` directly) and hold :class:`TaskRef` placeholders;
-    :meth:`ExecutionEngine.commit` prices every collected
-    :class:`StageWork` item in batched profile lookups and emits the tasks
-    onto the timeline in plan order.
+    :meth:`add_task` directly) and hold :class:`TaskRef` placeholders.
+    Work items live in a columnar :class:`PlanColumns` buffer -- engine
+    helpers push scalars straight into the columns and register the span
+    with :meth:`add_span_task`, so steady-state cycles build no per-item
+    objects at all.  :meth:`ExecutionEngine.commit` prices the whole
+    buffer in batched profile lookups and emits the tasks onto the
+    timeline in plan order.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, columns: PlanColumns | None = None) -> None:
         self.tasks: list[_PlannedTask] = []
+        self.columns = columns if columns is not None else PlanColumns()
         self.committed = False
 
     def add_task(
@@ -251,9 +525,51 @@ class IterationPlan:
         """Append one planned task; ``deps`` may mix TaskRefs and task ids."""
         if self.committed:
             raise RuntimeError("cannot add tasks to a committed plan")
+        cols = self.columns
+        start = cols.count
+        for item in work:
+            cols.push(
+                KIND_ENCODE if item.kind == ENCODE else KIND_DECODE,
+                item.layers,
+                item.tp_degree,
+                item.spans_nodes,
+                item.batch,
+                item.length,
+            )
         task = _PlannedTask(
             stage=stage,
-            work=list(work),
+            work_start=start,
+            work_count=cols.count - start,
+            fixed_s=fixed_s,
+            deps=list(deps),
+            tag=tag,
+            bucket=bucket,
+            release_s=release_s,
+        )
+        self.tasks.append(task)
+        return task.ref
+
+    def add_span_task(
+        self,
+        stage: object,
+        work_start: int,
+        fixed_s: float = 0.0,
+        deps: list[object] | tuple[object, ...] = (),
+        tag: str = "",
+        bucket: str | None = None,
+        release_s: float = 0.0,
+    ) -> TaskRef:
+        """Append a task whose work is ``columns[work_start:count]``.
+
+        The caller has already pushed the task's items onto
+        :attr:`columns`; this just records the span boundary.
+        """
+        if self.committed:
+            raise RuntimeError("cannot add tasks to a committed plan")
+        task = _PlannedTask(
+            stage=stage,
+            work_start=work_start,
+            work_count=self.columns.count - work_start,
             fixed_s=fixed_s,
             deps=list(deps),
             tag=tag,
@@ -436,8 +752,17 @@ class ExecutionEngine:
         decoder_only: Whether attention contexts include the prompt.
         overhead_s: Fixed per-component engine overhead (baselines).
         batched_pricing: Price plans through the vectorized profile lookups
-            (default); ``False`` forces the scalar reference path, kept for
-            the perf-regression harness.
+            (default); ``False`` forces the scalar reference path (which
+            also disables the pricing cache), kept for the perf-regression
+            harness.
+        pricing_cache: ``True`` (default) gives the engine its own
+            :class:`PricingCache`, reused across every cycle it commits;
+            ``False`` disables memoization; an explicit cache instance is
+            shared as-is.  Only consulted in batched mode and for plans of
+            at most ``_PRICING_CACHE_MAX_PLAN_ITEMS`` items; hits are
+            bit-identical to fresh lookups by construction.
+        small_plan_items: Scalar/batched pricing crossover; defaults to the
+            measured module constant :data:`SMALL_PLAN_ITEMS`.
     """
 
     def __init__(
@@ -449,6 +774,8 @@ class ExecutionEngine:
         decoder_only: bool,
         overhead_s: float = 0.0,
         batched_pricing: bool = True,
+        pricing_cache: bool | PricingCache = True,
+        small_plan_items: int | None = None,
     ) -> None:
         self.timeline = timeline
         self.profile = profile
@@ -457,6 +784,15 @@ class ExecutionEngine:
         self.decoder_only = decoder_only
         self.overhead_s = overhead_s
         self.batched_pricing = batched_pricing
+        self.small_plan_items = (
+            SMALL_PLAN_ITEMS if small_plan_items is None else int(small_plan_items)
+        )
+        if isinstance(pricing_cache, PricingCache):
+            self.pricing_cache: PricingCache | None = pricing_cache
+        elif pricing_cache and batched_pricing:
+            self.pricing_cache = PricingCache()
+        else:
+            self.pricing_cache = None
         self.bookkeeping = Bookkeeping(pool)
         self.stage_times: dict[str, list[float]] = {"encode": [], "decode": []}
         self.peak_kv_tokens: dict[int, float] = {
@@ -466,6 +802,12 @@ class ExecutionEngine:
         # stage's TP group crosses a node boundary is too -- cache it
         # instead of re-deriving it for every planned task.
         self._spans_nodes: dict[StagePlan, bool] = {}
+        # Reusable columnar buffers: one for the plan under construction,
+        # one scratch buffer for the direct-emission fast paths
+        # (decode_run / mixed_decode_template).  Reset, not reallocated.
+        self._plan_columns = PlanColumns(128)
+        self._columns_owner: IterationPlan | None = None
+        self._scratch_columns = PlanColumns(256)
 
     def _stage_spans_nodes(self, stage: StagePlan) -> bool:
         spans = self._spans_nodes.get(stage)
@@ -474,17 +816,44 @@ class ExecutionEngine:
             self._spans_nodes[stage] = spans
         return spans
 
+    def _cache_for(self, num_items: int) -> PricingCache | None:
+        if (
+            self.pricing_cache is not None
+            and self.batched_pricing
+            and num_items <= _PRICING_CACHE_MAX_PLAN_ITEMS
+        ):
+            return self.pricing_cache
+        return None
+
+    def pricing_cache_stats(self) -> dict[str, float] | None:
+        """Hit/miss statistics of the engine's pricing cache (None if off)."""
+        if self.pricing_cache is None:
+            return None
+        return self.pricing_cache.stats()
+
     # -- plan lifecycle ---------------------------------------------------------
 
     def plan(self) -> IterationPlan:
-        """Start a new (empty) iteration plan."""
+        """Start a new (empty) iteration plan.
+
+        The engine's reusable columnar buffer backs the plan whenever the
+        previous plan built on it has been committed; otherwise (two plans
+        in flight -- unusual, but legal) the new plan gets its own buffer.
+        """
+        owner = self._columns_owner
+        if owner is None or owner.committed:
+            self._plan_columns.reset()
+            plan = IterationPlan(self._plan_columns)
+            self._columns_owner = plan
+            return plan
         return IterationPlan()
 
     def commit(self, plan: IterationPlan) -> None:
         """Price the plan's work in batched lookups and emit its tasks.
 
-        Durations are resolved with one vectorized grid interpolation per
-        (phase, TP-signature) group over *all* of the cycle's work items;
+        Durations are resolved straight from the plan's columnar buffer --
+        a pricing-cache probe per item, then one vectorized grid
+        interpolation per (phase, TP-signature) group over the misses;
         tasks are then added to the timeline in plan order (preserving the
         per-stage FIFO semantics of the scalar construction), their
         :class:`TaskRef` handles are filled in, and per-phase stage times
@@ -492,16 +861,20 @@ class ExecutionEngine:
         """
         if plan.committed:
             raise RuntimeError("plan was already committed")
-        items = [work for task in plan.tasks for work in task.work]
-        priced = price_work(
-            self.profile, items, self.overhead_s, self.batched_pricing
+        cols = plan.columns
+        priced = price_columns(
+            self.profile,
+            cols,
+            self.overhead_s,
+            self.batched_pricing,
+            self._cache_for(cols.count),
+            self.small_plan_items,
         )
-        pos = 0
         for task in plan.tasks:
             duration = task.fixed_s
-            for _ in task.work:
+            end = task.work_start + task.work_count
+            for pos in range(task.work_start, end):
                 duration += float(priced[pos])
-                pos += 1
             self._emit(task, duration)
         plan.committed = True
 
@@ -538,21 +911,21 @@ class ExecutionEngine:
             raise ValueError("encode_chain needs a non-empty group")
         key = stage_key or _identity_key
         avg_input = self.pool.average_input(group)
+        cols = plan.columns
         prev: TaskRef | None = None
         first: TaskRef | None = None
         for stage in stages:
-            ref = plan.add_task(
+            start = cols.push(
+                KIND_ENCODE,
+                stage.encoder_layers,
+                stage.tp_degree,
+                self._stage_spans_nodes(stage),
+                group.size,
+                avg_input,
+            )
+            ref = plan.add_span_task(
                 key(stage),
-                work=[
-                    StageWork(
-                        ENCODE,
-                        stage.encoder_layers,
-                        stage.tp_degree,
-                        self._stage_spans_nodes(stage),
-                        group.size,
-                        avg_input,
-                    )
-                ],
+                start,
                 deps=[prev] if prev is not None else [],
                 tag="encode",
                 bucket="encode",
@@ -649,6 +1022,7 @@ class ExecutionEngine:
         freed = 0
         any_alive = False
         completed_all: list[np.ndarray] = []
+        cols = plan.columns
         for g_index, group in enumerate(groups):
             # One fused pool pass per group: alive filtering, context sums
             # and the one-token advance with first/completion detection.
@@ -664,18 +1038,17 @@ class ExecutionEngine:
                 deps_first.append(prev_last[g_index])
             prev: TaskRef | None = None
             for stage in stages:
-                ref = plan.add_task(
+                start = cols.push(
+                    KIND_DECODE,
+                    stage.decoder_layers,
+                    stage.tp_degree,
+                    self._stage_spans_nodes(stage),
+                    step.batch,
+                    avg_ctx,
+                )
+                ref = plan.add_span_task(
                     key(stage),
-                    work=[
-                        StageWork(
-                            DECODE,
-                            stage.decoder_layers,
-                            stage.tp_degree,
-                            self._stage_spans_nodes(stage),
-                            step.batch,
-                            avg_ctx,
-                        )
-                    ],
+                    start,
                     deps=[prev] if prev is not None else deps_first,
                     tag="decode",
                     bucket="decode",
@@ -719,6 +1092,149 @@ class ExecutionEngine:
             ),
         )
 
+    def decode_run(
+        self,
+        stages: tuple[StagePlan, ...],
+        groups: list[np.ndarray],
+        iterations: int,
+        first_deps: list[object] = (),
+        prev_last: dict[int, object] | None = None,
+        stage_key=None,
+        release_s: float = 0.0,
+        track_peak: bool = False,
+    ) -> DecodeOutcome:
+        """Plan-free bulk equivalent of a :meth:`decode_iteration` loop.
+
+        Emits up to ``iterations`` early-terminating decode iterations over
+        ``groups`` directly onto the timeline -- the steady-state template
+        fast path of the online servers.  Per-iteration batch sizes,
+        context sums, first tokens, completions and compaction loads come
+        from one vectorized :meth:`~repro.engine.pool.RequestPool.decode_run`
+        pass per group instead of one ``decode_step`` per iteration, and
+        durations are priced straight from the engine's scratch columns
+        (pricing-cache probe, then grouped batched lookups).  Task order,
+        dependencies, release stamps, bookkeeping and ``prev_last`` updates
+        replicate the loop
+
+        ``for i in range(iterations): decode_iteration(..., first_deps if
+        i == 0 else [], prev_last, ...)``
+
+        bit-for-bit (pinned by the template-parity serving tests).  Any
+        plan whose tasks feed ``first_deps`` must be committed first, since
+        emission is immediate.  ``prev_last`` is updated in place with
+        committed task ids, interoperable with later plans and runs.
+        """
+        key = stage_key or _identity_key
+        pool = self.pool
+        timeline = self.timeline
+        if prev_last is None:
+            prev_last = {}
+        n_stages = len(stages)
+        runs = [pool.decode_run(g, self.decoder_only, iterations) for g in groups]
+        if all(r is None for r in runs):
+            return DecodeOutcome(any_alive=False, freed=0, completed=EMPTY_IDS)
+        stage_meta = [
+            (key(s), s.decoder_layers, s.tp_degree, self._stage_spans_nodes(s))
+            for s in stages
+        ]
+        tail_layers = stages[-1].decoder_layers
+        cols = self._scratch_columns
+        cols.reset()
+        offsets: list[int] = []
+        comp_durations: list[np.ndarray | None] = []
+        for r in runs:
+            if r is None:
+                offsets.append(0)
+                comp_durations.append(None)
+                continue
+            offsets.append(cols.count)
+            batch_f = r.batches.astype(np.float64)
+            # int64/int64 division is the same correctly-rounded float64 the
+            # scalar path's ``context_tokens / members.size`` produces.
+            avg = r.context_tokens / r.batches
+            for _, lay, tp, spans in stage_meta:
+                cols.extend(KIND_DECODE, lay, tp, spans, batch_f, avg)
+            comp = np.zeros(r.batches.size)
+            mask = r.completed_counts > 0
+            if mask.any():
+                comp[mask] = self.profile.kv_compaction_time_batch(
+                    r.completed_counts[mask].astype(np.float64),
+                    r.completed_context[mask] / r.completed_counts[mask],
+                    tail_layers,
+                )
+            comp_durations.append(comp)
+        priced = price_columns(
+            self.profile,
+            cols,
+            self.overhead_s,
+            self.batched_pricing,
+            self._cache_for(cols.count),
+            self.small_plan_items,
+        )
+        first_dep_ids = tuple(_dep_id(d) for d in first_deps)
+        stage_times_decode = self.stage_times["decode"]
+        bookkeeping = self.bookkeeping
+        peak = self.peak_kv_tokens if track_peak else None
+        t_max = max(r.batches.size for r in runs if r is not None)
+        freed = 0
+        completed_all: list[np.ndarray] = []
+        for i in range(t_max):
+            base_deps = first_dep_ids if i == 0 else ()
+            for g_index, r in enumerate(runs):
+                if r is None or i >= r.batches.size:
+                    continue
+                prev_tail = prev_last.get(g_index)
+                if prev_tail is not None:
+                    head_deps = base_deps + (_dep_id(prev_tail),)
+                else:
+                    head_deps = base_deps
+                off = offsets[g_index]
+                t_g = r.batches.size
+                last_tid = -1
+                for s_index in range(n_stages):
+                    duration = float(priced[off + s_index * t_g + i])
+                    last_tid = timeline.add_task(
+                        stage_meta[s_index][0],
+                        duration,
+                        head_deps if s_index == 0 else (last_tid,),
+                        tag="decode",
+                        earliest_start_s=release_s if s_index == 0 else 0.0,
+                    )
+                    stage_times_decode.append(duration)
+                if peak is not None:
+                    kv_tokens = float(r.context_tokens[i])
+                    for stage in stages:
+                        if kv_tokens > peak.get(stage.stage_id, 0.0):
+                            peak[stage.stage_id] = kv_tokens
+                tail = last_tid
+                last_ref: TaskRef | None = None
+                if i == 0 and r.first_ids.size:
+                    last_ref = TaskRef(last_tid)
+                    bookkeeping.first_tokens.append((r.first_ids, last_ref))
+                comp_ids = r.completed[i]
+                if comp_ids.size:
+                    if last_ref is None:
+                        last_ref = TaskRef(last_tid)
+                    bookkeeping.completions.append((comp_ids, last_ref))
+                    freed += int(comp_ids.size)
+                    completed_all.append(comp_ids)
+                    compaction = float(comp_durations[g_index][i])
+                    if compaction > 0:
+                        tail = timeline.add_task(
+                            stage_meta[-1][0],
+                            compaction,
+                            (last_tid,),
+                            tag="compaction",
+                        )
+                prev_last[g_index] = tail
+        return DecodeOutcome(
+            any_alive=True,
+            freed=freed,
+            completed=(
+                np.concatenate(completed_all) if completed_all else EMPTY_IDS
+            ),
+        )
+
     # -- continuous batching ----------------------------------------------------------
 
     def mixed_iteration(
@@ -747,34 +1263,33 @@ class ExecutionEngine:
         avg_ctx = (
             pool.average_context(alive, self.decoder_only) if alive.size else 0.0
         )
-        prefill_lens = pool.input_lens(admitted) if admitted.size else ()
+        prefill_lens = (
+            pool.input_lens(admitted).tolist() if admitted.size else ()
+        )
+        cols = plan.columns
         prev: TaskRef | None = None
         first: TaskRef | None = None
         for stage in stages:
-            work: list[StageWork] = []
             spans = self._stage_spans_nodes(stage)
+            start = cols.count
             if alive.size:
-                work.append(
-                    StageWork(
-                        DECODE, stage.decoder_layers, stage.tp_degree,
-                        spans, alive.size, avg_ctx,
-                    )
+                cols.push(
+                    KIND_DECODE, stage.decoder_layers, stage.tp_degree,
+                    spans, alive.size, avg_ctx,
                 )
             for input_len in prefill_lens:
-                work.append(
-                    StageWork(
-                        ENCODE, stage.encoder_layers, stage.tp_degree,
-                        spans, 1.0, input_len,
-                    )
+                cols.push(
+                    KIND_ENCODE, stage.encoder_layers, stage.tp_degree,
+                    spans, 1.0, input_len,
                 )
             deps: list[object] = []
             if prev is not None:
                 deps.append(prev)
             elif prev_last is not None:
                 deps.append(prev_last)
-            ref = plan.add_task(
+            ref = plan.add_span_task(
                 key(stage),
-                work=work,
+                start,
                 deps=deps,
                 tag="iteration",
                 bucket="decode" if alive.size else "encode",
@@ -791,3 +1306,74 @@ class ExecutionEngine:
         if completed.size:
             self.bookkeeping.completions.append((completed, prev))
         return MixedOutcome(first=first, last=prev, completed=completed)
+
+    def mixed_decode_template(
+        self,
+        stages: tuple[StagePlan, ...],
+        alive: np.ndarray,
+        prev_last: object | None = None,
+        release_s: float = 0.0,
+    ) -> MixedOutcome:
+        """Plan-free :meth:`mixed_iteration` for decode-only cycles.
+
+        When a continuous-batching cycle admits nothing, the plan structure
+        is fixed -- one decode component per stage -- so the servers skip
+        plan construction entirely: durations are rebuilt from the pricing
+        cache (missing keys fall back to the usual lookups) and the tasks
+        are re-stamped straight onto the timeline.  Task graph, pricing,
+        bookkeeping and the returned refs are bit-identical to
+        ``mixed_iteration(plan, stages, alive, admitted=EMPTY_IDS, ...)``
+        followed by ``commit`` (pinned by the template-parity serving
+        tests).  ``alive`` must be non-empty; ``prev_last`` must be
+        committed.
+        """
+        pool = self.pool
+        timeline = self.timeline
+        avg_ctx = pool.average_context(alive, self.decoder_only)
+        cols = self._scratch_columns
+        cols.reset()
+        for stage in stages:
+            cols.push(
+                KIND_DECODE,
+                stage.decoder_layers,
+                stage.tp_degree,
+                self._stage_spans_nodes(stage),
+                alive.size,
+                avg_ctx,
+            )
+        priced = price_columns(
+            self.profile,
+            cols,
+            self.overhead_s,
+            self.batched_pricing,
+            self._cache_for(cols.count),
+            self.small_plan_items,
+        )
+        stage_times_decode = self.stage_times["decode"]
+        first_tid = -1
+        prev_tid = -1
+        for s_index, stage in enumerate(stages):
+            if s_index == 0:
+                deps = (_dep_id(prev_last),) if prev_last is not None else ()
+            else:
+                deps = (prev_tid,)
+            duration = float(priced[s_index])
+            prev_tid = timeline.add_task(
+                stage.stage_id,
+                duration,
+                deps,
+                tag="iteration",
+                earliest_start_s=release_s if s_index == 0 else 0.0,
+            )
+            stage_times_decode.append(duration)
+            if s_index == 0:
+                first_tid = prev_tid
+        first_ids, completed = pool.advance(alive)
+        last_ref = TaskRef(prev_tid)
+        if first_ids.size:
+            self.bookkeeping.first_tokens.append((first_ids, last_ref))
+        if completed.size:
+            self.bookkeeping.completions.append((completed, last_ref))
+        return MixedOutcome(
+            first=TaskRef(first_tid), last=last_ref, completed=completed
+        )

@@ -92,6 +92,22 @@ class ContiguousKVCache:
             raise KVCacheError(f"request {request_id} has no reservation")
         return self._reservations.pop(request_id)
 
+    def release_many(self, request_ids) -> float:
+        """Release a batch of slots in order; returns total freed bytes.
+
+        Equivalent to one :meth:`release` per id -- the batched epilogue of
+        the iteration-level drivers, which free every request completing in
+        an iteration at once.
+        """
+        pop = self._reservations.pop
+        freed = 0.0
+        for request_id in request_ids:
+            slot = pop(request_id, None)
+            if slot is None:
+                raise KVCacheError(f"request {request_id} has no reservation")
+            freed += slot
+        return freed
+
     def compaction_bytes(self) -> float:
         """Bytes that must be copied to compact the cache after releases.
 
@@ -191,6 +207,17 @@ class PagedKVCache:
         if request_id not in self._blocks_per_request:
             raise KVCacheError(f"request {request_id} has no allocation")
         return self._blocks_per_request.pop(request_id)
+
+    def release_many(self, request_ids) -> int:
+        """Free the blocks of a batch of completed requests at once."""
+        pop = self._blocks_per_request.pop
+        freed = 0
+        for request_id in request_ids:
+            blocks = pop(request_id, None)
+            if blocks is None:
+                raise KVCacheError(f"request {request_id} has no allocation")
+            freed += blocks
+        return freed
 
     def can_admit(self, tokens: int) -> bool:
         """Whether a new request needing ``tokens`` tokens can be admitted."""

@@ -84,6 +84,33 @@ class DecodeStep(NamedTuple):
     completed_ids: np.ndarray
 
 
+class DecodeRunSteps(NamedTuple):
+    """Per-iteration summary of a bulk decode run (see ``decode_run``).
+
+    Arrays are indexed by executed iteration ``i`` (0-based); the run
+    executes ``len(batches)`` iterations -- the requested count, or fewer
+    when the group drains first.  Values are exactly what ``iterations``
+    successive early-terminating ``decode_step`` calls would have produced.
+
+    Attributes:
+        batches: Members computed over at iteration ``i``.
+        context_tokens: Their total attention-context tokens (pre-advance).
+        first_ids: Members producing their first token (iteration 0 only,
+            member order preserved).
+        completed: Per-iteration completed ids (member order preserved).
+        completed_counts: ``completed[i].size`` as one array.
+        completed_context: Total post-advance context tokens of the
+            iteration's completers (the compaction workload).
+    """
+
+    batches: np.ndarray
+    context_tokens: np.ndarray
+    first_ids: np.ndarray
+    completed: tuple[np.ndarray, ...]
+    completed_counts: np.ndarray
+    completed_context: np.ndarray
+
+
 class RequestView:
     """Thin per-request view over one :class:`RequestPool` row.
 
@@ -477,6 +504,85 @@ class RequestPool:
             int(members.size), avg_context, context_tokens, first, completed
         )
 
+    def decode_run(
+        self, group: np.ndarray, decoder_only: bool, iterations: int
+    ) -> DecodeRunSteps | None:
+        """Bulk equivalent of ``iterations`` early-terminating decode steps.
+
+        One vectorized pass replaces the per-iteration ``decode_step``
+        loop of the serving hot path: per-iteration batch sizes and
+        context sums fall out of a remaining-tokens histogram
+        (``bincount`` over ``output_len - generated`` clipped at the run
+        length), completions are grouped by a single stable argsort, and
+        the pool advances every member to its final state in one column
+        assignment.  Results and side effects are bit-identical to the
+        step-by-step loop (the ``ListPool`` implementation *is* that loop;
+        the hypothesis parity suite pins the two).  Returns ``None`` when
+        the group has no live members.
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if group.size == 0:
+            return None
+        done = self.done[group]
+        members = group[~done] if done.any() else group
+        if members.size == 0:
+            return None
+        gen0 = self.generated[members]
+        outl = self.output_len[members]
+        rem = outl - gen0
+        t = int(min(iterations, int(rem.max())))
+        # Histogram of remaining tokens, clipped at t+1: bin i+1 holds the
+        # members completing at iteration i, bin t+1 the survivors.
+        remc = np.minimum(rem, t + 1)
+        counts = np.bincount(remc, minlength=t + 2)
+        cum = np.cumsum(counts)
+        n = members.size
+        batches = n - cum[:t]
+        if decoder_only:
+            base = self.input_len[members] + gen0
+        else:
+            base = gen0
+        wsum = np.bincount(remc, weights=base, minlength=t + 2)
+        wcum = np.cumsum(wsum)
+        # Sum over still-live members of (base + i); integer-valued float64
+        # stays exact far below 2**53, so the int64 cast is lossless.
+        still = base.sum() - wcum[:t]
+        context_tokens = (
+            still + batches * np.arange(t, dtype=np.int64)
+        ).astype(np.int64)
+        if not decoder_only:
+            # Iteration 0 contexts clamp max(generated, 1); generated is
+            # >= 1 from iteration 1 on.
+            context_tokens[0] += int(np.count_nonzero(gen0 == 0))
+        first_ids = members[gen0 == 0]
+        order = np.argsort(remc, kind="stable")
+        sorted_members = members[order]
+        bounds = np.searchsorted(remc[order], np.arange(1, t + 2))
+        completed = tuple(
+            sorted_members[bounds[i] : bounds[i + 1]] for i in range(t)
+        )
+        if decoder_only:
+            ctx_done = self.input_len[members] + outl
+        else:
+            ctx_done = outl
+        completed_context = (
+            np.bincount(remc, weights=ctx_done, minlength=t + 2)[1 : t + 1]
+        ).astype(np.int64)
+        self.generated[members] = gen0 + np.minimum(rem, t)
+        newly_done = members[rem <= t]
+        if newly_done.size:
+            self.done[newly_done] = True
+            self._done_count += int(newly_done.size)
+        return DecodeRunSteps(
+            batches=batches,
+            context_tokens=context_tokens,
+            first_ids=first_ids,
+            completed=completed,
+            completed_counts=counts[1 : t + 1],
+            completed_context=completed_context,
+        )
+
     def reset_progress(self) -> None:
         """Reset every request to the just-admitted state.
 
@@ -617,6 +723,10 @@ class RequestPool:
     def input_lens(self, ids: np.ndarray) -> np.ndarray:
         """Input lengths of an id batch (one gather)."""
         return self.input_len[ids]
+
+    def request_ids_of(self, ids: np.ndarray) -> np.ndarray:
+        """Trace ids of an id batch (one gather)."""
+        return self.request_id[ids]
 
     # -- scalar accessors ---------------------------------------------------------------
 
@@ -851,6 +961,46 @@ class ListPool:
             np.array(completed, dtype=np.int64),
         )
 
+    def decode_run(
+        self, group: np.ndarray, decoder_only: bool, iterations: int
+    ) -> DecodeRunSteps | None:
+        # The reference implementation IS the historical loop: one
+        # early-terminating decode_step per iteration until the group
+        # drains, collecting the per-iteration summaries the columnar
+        # fast path computes in one pass.
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        batches: list[int] = []
+        context_tokens: list[int] = []
+        completed: list[np.ndarray] = []
+        counts: list[int] = []
+        completed_context: list[int] = []
+        first_ids = EMPTY_IDS
+        for i in range(iterations):
+            step = self.decode_step(group, decoder_only, True)
+            if step is None:
+                break
+            batches.append(step.batch)
+            context_tokens.append(step.context_tokens)
+            if i == 0:
+                first_ids = step.first_ids
+            comp = step.completed_ids
+            completed.append(comp)
+            counts.append(int(comp.size))
+            completed_context.append(
+                self.context_token_sum(comp, decoder_only) if comp.size else 0
+            )
+        if not batches:
+            return None
+        return DecodeRunSteps(
+            batches=np.array(batches, dtype=np.int64),
+            context_tokens=np.array(context_tokens, dtype=np.int64),
+            first_ids=first_ids,
+            completed=tuple(completed),
+            completed_counts=np.array(counts, dtype=np.int64),
+            completed_context=np.array(completed_context, dtype=np.int64),
+        )
+
     def reset_progress(self) -> None:
         for state in self.states:
             state.generated = 0
@@ -942,6 +1092,11 @@ class ListPool:
     def input_lens(self, ids: np.ndarray) -> np.ndarray:
         return np.array(
             [self.states[rid].input_len for rid in ids.tolist()], dtype=np.int64
+        )
+
+    def request_ids_of(self, ids: np.ndarray) -> np.ndarray:
+        return np.array(
+            [self.states[rid].request_id for rid in ids.tolist()], dtype=np.int64
         )
 
     # -- scalar accessors ---------------------------------------------------------------

@@ -1307,6 +1307,13 @@ class ContinuousBatchingOnlineServer(OnlineServer):
         batched_pricing: Resolve stage durations through the vectorized
             profile lookups (default); ``False`` keeps the scalar reference
             path for the perf-regression harness.
+        plan_templates: Use the plan-free steady-state fast path for
+            decode-only cycles (default); ``False`` keeps the historical
+            per-cycle plan construction, which the template path must match
+            bit for bit (the template-parity serving tests).  Only active
+            with ``batched_pricing``.
+        pricing_cache: Give the engine a memoized pricing cache (default);
+            ``False`` prices every cycle through fresh lookups.
     """
 
     def __init__(
@@ -1316,6 +1323,8 @@ class ContinuousBatchingOnlineServer(OnlineServer):
         max_queue: int = 512,
         name: str | None = None,
         batched_pricing: bool = True,
+        plan_templates: bool = True,
+        pricing_cache: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -1323,6 +1332,8 @@ class ContinuousBatchingOnlineServer(OnlineServer):
         self.system = system
         self.batch_size = batch_size
         self.batched_pricing = batched_pricing
+        self.plan_templates = plan_templates
+        self.pricing_cache = pricing_cache
 
     def clone(self, name: str | None = None) -> "ContinuousBatchingOnlineServer":
         return ContinuousBatchingOnlineServer(
@@ -1331,6 +1342,8 @@ class ContinuousBatchingOnlineServer(OnlineServer):
             max_queue=self.max_queue,
             name=name or self.name,
             batched_pricing=self.batched_pricing,
+            plan_templates=self.plan_templates,
+            pricing_cache=self.pricing_cache,
         )
 
     def service_rate(self) -> float:
@@ -1352,7 +1365,10 @@ class ContinuousBatchingOnlineServer(OnlineServer):
         self._cache = self.system._make_kv_cache()
         self._prev_last_task: TaskRef | None = None
         self._engine = self.system.make_engine(
-            timeline, pool, batched_pricing=self.batched_pricing
+            timeline,
+            pool,
+            batched_pricing=self.batched_pricing,
+            pricing_cache=self.pricing_cache,
         )
 
     def _crash(self) -> None:
@@ -1397,16 +1413,23 @@ class ContinuousBatchingOnlineServer(OnlineServer):
             )
 
         admitted_ids = np.asarray(admitted, dtype=np.int64)
-        plan = engine.plan()
-        outcome = engine.mixed_iteration(
-            plan, stages, alive, admitted_ids,
-            prev_last=self._prev_last_task, release_s=clock,
-        )
-        engine.commit(plan)
+        if not admitted and self.plan_templates and self.batched_pricing:
+            # Decode-only cycle: the plan structure is one decode component
+            # per stage, so skip plan construction and emit straight from
+            # cached prices (bit-identical to the plan path below).
+            outcome = engine.mixed_decode_template(
+                stages, alive, prev_last=self._prev_last_task, release_s=clock,
+            )
+        else:
+            plan = engine.plan()
+            outcome = engine.mixed_iteration(
+                plan, stages, alive, admitted_ids,
+                prev_last=self._prev_last_task, release_s=clock,
+            )
+            engine.commit(plan)
         self._prev_last_task = outcome.last
 
-        for rid in outcome.completed.tolist():
-            system._release(self._cache, pool, rid)
+        system._release_batch(self._cache, pool, outcome.completed)
         self._active = pool.compact(np.concatenate([alive, admitted_ids]))
 
         return self._timeline.finish_time(outcome.last.task_id)
@@ -1443,6 +1466,14 @@ class ExeGPTOnlineServer(OnlineServer):
         batched_pricing: Resolve stage durations through the vectorized
             profile lookups (default); ``False`` keeps the scalar reference
             path for the perf-regression harness.
+        plan_templates: Emit each cycle's decode iterations through the
+            bulk :meth:`~repro.engine.execution.ExecutionEngine.decode_run`
+            fast path (default); ``False`` keeps the historical
+            plan-per-cycle loop, which the bulk path must match bit for
+            bit (the template-parity serving tests).  Only active with
+            ``batched_pricing``.
+        pricing_cache: Give the engine a memoized pricing cache (default);
+            ``False`` prices every cycle through fresh lookups.
     """
 
     def __init__(
@@ -1453,6 +1484,8 @@ class ExeGPTOnlineServer(OnlineServer):
         dynamic_adjustment: bool = True,
         name: str | None = None,
         batched_pricing: bool = True,
+        plan_templates: bool = True,
+        pricing_cache: bool = True,
     ) -> None:
         super().__init__(
             name=name or f"exegpt-{config.policy.value}-online", max_queue=max_queue
@@ -1464,6 +1497,8 @@ class ExeGPTOnlineServer(OnlineServer):
         self.placement = simulator.build_placement(config)
         self.dynamic_adjustment = dynamic_adjustment
         self.batched_pricing = batched_pricing
+        self.plan_templates = plan_templates
+        self.pricing_cache = pricing_cache
         self.decoder_only = not self.model.is_encoder_decoder
         self.is_waa = config.policy.is_waa
 
@@ -1475,6 +1510,8 @@ class ExeGPTOnlineServer(OnlineServer):
             dynamic_adjustment=self.dynamic_adjustment,
             name=name or self.name,
             batched_pricing=self.batched_pricing,
+            plan_templates=self.plan_templates,
+            pricing_cache=self.pricing_cache,
         )
 
     def service_rate(self) -> float:
@@ -1505,7 +1542,9 @@ class ExeGPTOnlineServer(OnlineServer):
         self._adjuster = self._make_adjuster()
         self._decode_target = max(int(round(self._adjuster.target_decode_batch)), 1)
         self._freed_last_cycle = 0
-        self._prev_iter_last: dict[int, TaskRef] = {}
+        # Maps group index -> previous iteration's tail (a TaskRef from the
+        # plan path, a committed task id from the decode_run fast path).
+        self._prev_iter_last: dict[int, object] = {}
         self._cycles = 0
         # WAA: batches encoded but not yet merged into the decode pool.
         self._handover = KVHandover()
@@ -1516,6 +1555,7 @@ class ExeGPTOnlineServer(OnlineServer):
             pool,
             decoder_only=self.decoder_only,
             batched_pricing=self.batched_pricing,
+            pricing_cache=self.pricing_cache,
         )
 
     def _crash(self) -> None:
@@ -1575,22 +1615,39 @@ class ExeGPTOnlineServer(OnlineServer):
             self._active = np.concatenate([self._active, admitted])
 
         self._freed_last_cycle = 0
-        if self._active.size:
-            groups = split_ids(self._active, micro_batches)
-            prev_iter_last: dict[int, TaskRef] = {}
-            for iteration in range(self.config.decode_iterations):
-                outcome = engine.decode_iteration(
-                    plan,
+        if self.plan_templates and self.batched_pricing:
+            # Bulk fast path: commit the encode phase, then emit the whole
+            # decode run of the cycle straight onto the timeline from one
+            # vectorized pool pass per micro-batch -- same task order as
+            # the plan loop below, bit for bit.
+            engine.commit(plan)
+            if self._active.size:
+                groups = split_ids(self._active, micro_batches)
+                outcome = engine.decode_run(
                     stages,
                     groups,
-                    first_deps=encode_last_tasks if iteration == 0 else [],
-                    prev_last=prev_iter_last,
+                    self.config.decode_iterations,
+                    first_deps=encode_last_tasks,
                     release_s=clock,
                 )
-                self._freed_last_cycle += outcome.freed
-                if not outcome.any_alive:
-                    break
-        engine.commit(plan)
+                self._freed_last_cycle = outcome.freed
+        else:
+            if self._active.size:
+                groups = split_ids(self._active, micro_batches)
+                prev_iter_last: dict[int, TaskRef] = {}
+                for iteration in range(self.config.decode_iterations):
+                    outcome = engine.decode_iteration(
+                        plan,
+                        stages,
+                        groups,
+                        first_deps=encode_last_tasks if iteration == 0 else [],
+                        prev_last=prev_iter_last,
+                        release_s=clock,
+                    )
+                    self._freed_last_cycle += outcome.freed
+                    if not outcome.any_alive:
+                        break
+            engine.commit(plan)
 
         self._cycles += 1
         # The next cycle's encode can begin once the first stage drains.
@@ -1628,19 +1685,36 @@ class ExeGPTOnlineServer(OnlineServer):
         )
 
         self._freed_last_cycle = 0
-        if self._active.size:
-            groups = split_ids(self._active, self.config.micro_batches)
-            outcome = engine.decode_iteration(
-                plan,
-                decode_stages,
-                groups,
-                first_deps=merge_deps,
-                prev_last=self._prev_iter_last,
-                stage_key=lambda s: ("dec", s.stage_id),
-                release_s=clock,
-            )
-            self._freed_last_cycle = outcome.freed
-        engine.commit(plan)
+        if self.plan_templates and self.batched_pricing:
+            # Commit the encode/transfer plan first, then emit the decode
+            # iteration plan-free (same task order as the plan path below).
+            engine.commit(plan)
+            if self._active.size:
+                groups = split_ids(self._active, self.config.micro_batches)
+                outcome = engine.decode_run(
+                    decode_stages,
+                    groups,
+                    1,
+                    first_deps=merge_deps,
+                    prev_last=self._prev_iter_last,
+                    stage_key=lambda s: ("dec", s.stage_id),
+                    release_s=clock,
+                )
+                self._freed_last_cycle = outcome.freed
+        else:
+            if self._active.size:
+                groups = split_ids(self._active, self.config.micro_batches)
+                outcome = engine.decode_iteration(
+                    plan,
+                    decode_stages,
+                    groups,
+                    first_deps=merge_deps,
+                    prev_last=self._prev_iter_last,
+                    stage_key=lambda s: ("dec", s.stage_id),
+                    release_s=clock,
+                )
+                self._freed_last_cycle = outcome.freed
+            engine.commit(plan)
 
         self._cycles += 1
         # Advance to the next time an admission decision can change: the
@@ -1895,17 +1969,44 @@ class OnlineEvaluator:
         rates: list[float] | tuple[float, ...],
         replicas: int = 1,
         routing="jsq",
+        refine_steps: int = 0,
     ) -> float:
         """Highest offered rate of ``rates`` the deployment sustains (0 if
         none).  ``replicas``/``routing`` select an N-replica fleet; rates
         are fleet-wide, so an N-replica sweep is typically handed a rate
-        grid scaled by N (see ``ArrivalProcess.scaled``)."""
+        grid scaled by N (see ``ArrivalProcess.scaled``).
+
+        ``refine_steps`` adds a bisection stage after the coarse ladder:
+        when the ladder brackets the capacity (a sustainable rate directly
+        below an unsustainable one), each step serves the midpoint rate
+        and halves the bracket, so a sweep resolves capacity to
+        ``gap / 2**refine_steps`` with ``refine_steps`` extra serves
+        instead of a finer ladder's full grid.  SLO semantics are exactly
+        the ladder's (:meth:`measure` per point); at the default of 0 the
+        result is the ladder-only reference, bit for bit.
+        """
         best = 0.0
+        failed = 0.0
         for point in self.sweep(
             system, scenario, rates, replicas=replicas, routing=routing
         ):
             if point.sustainable:
                 best = max(best, point.rate_qps)
+            else:
+                failed = point.rate_qps
+        if refine_steps > 0 and best > 0.0 and failed > best:
+            lo, hi = best, failed
+            for _ in range(refine_steps):
+                mid = (lo + hi) / 2.0
+                point = self.measure(
+                    system, make_scenario(scenario, mid), scenario=scenario,
+                    replicas=replicas, routing=routing,
+                )
+                if point.sustainable:
+                    lo = mid
+                else:
+                    hi = mid
+            best = lo
         return best
 
     def evaluate(

@@ -671,3 +671,124 @@ class TestEventCoreReductionsParity:
             assert columnar.view(rid).finish_s == -1.0
             assert columnar.view(rid).admitted_cycle == -1
             assert columnar.input_len_of(rid) == reference.input_len_of(rid)
+
+
+class TestDecodeRunParity:
+    """Bulk ``decode_run`` against its step-by-step reference.
+
+    ``RequestPool.decode_run`` vectorizes ``iterations`` early-terminating
+    decode steps into one histogram/argsort pass; ``ListPool.decode_run``
+    *is* the historical per-iteration loop.  The serving fast paths lean on
+    the two being indistinguishable -- per-iteration summaries, side
+    effects on the pool, everything.
+    """
+
+    @given(
+        lens=REQUESTS,
+        seed=st.integers(0, 2 ** 32 - 1),
+        decoder_only=st.booleans(),
+        iterations=st.integers(1, 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_decode_run_matches_stepwise_reference(
+        self, lens, seed, decoder_only, iterations
+    ):
+        columnar, reference = _both(lens)
+        rng = np.random.default_rng(seed)
+        ids = columnar.ids()
+        # Pre-advance a random subset so runs start mid-generation (some
+        # members may already be done and must be compacted away).
+        for rid in ids[rng.random(ids.size) < 0.5].tolist():
+            steps = int(rng.integers(1, columnar.output_len_of(rid) + 1))
+            one = np.array([rid], dtype=np.int64)
+            columnar.advance(one, steps)
+            reference.advance(one, steps)
+        group = ids[rng.random(ids.size) < 0.8]
+
+        run_col = columnar.decode_run(group, decoder_only, iterations)
+        run_ref = reference.decode_run(group, decoder_only, iterations)
+
+        if run_ref is None:
+            assert run_col is None
+        else:
+            assert run_col is not None
+            np.testing.assert_array_equal(run_col.batches, run_ref.batches)
+            np.testing.assert_array_equal(
+                run_col.context_tokens, run_ref.context_tokens
+            )
+            np.testing.assert_array_equal(run_col.first_ids, run_ref.first_ids)
+            assert len(run_col.completed) == len(run_ref.completed)
+            for comp_col, comp_ref in zip(run_col.completed, run_ref.completed):
+                np.testing.assert_array_equal(comp_col, comp_ref)
+            np.testing.assert_array_equal(
+                run_col.completed_counts, run_ref.completed_counts
+            )
+            np.testing.assert_array_equal(
+                run_col.completed_context, run_ref.completed_context
+            )
+
+        # The pools ended the run in the same state.
+        np.testing.assert_array_equal(
+            columnar.generated,
+            np.asarray([s.generated for s in reference.states], dtype=np.int64),
+        )
+        np.testing.assert_array_equal(
+            columnar.done, np.asarray([s.done for s in reference.states])
+        )
+        assert columnar.done_count == reference.done_count
+
+    @given(lens=REQUESTS, seed=st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_decode_run_equals_iterated_decode_steps(self, lens, seed):
+        """One bulk run == the same pool stepped one iteration at a time."""
+        rng = np.random.default_rng(seed)
+        iterations = int(rng.integers(1, 12))
+        bulk, stepped = _both(lens)
+        # ListPool here plays the role of "same backend, stepped": drive a
+        # second RequestPool through decode_step instead.
+        stepped = RequestPool()
+        stepped.admit_specs(_specs(lens))
+        group = bulk.ids()
+
+        run = bulk.decode_run(group, True, iterations)
+        steps = []
+        for _ in range(iterations):
+            step = stepped.decode_step(group, True, True)
+            if step is None:
+                break
+            steps.append(step)
+
+        if run is None:
+            assert not steps
+            return
+        assert len(steps) == len(run.batches)
+        np.testing.assert_array_equal(
+            run.batches, [s.batch for s in steps]
+        )
+        np.testing.assert_array_equal(
+            run.context_tokens, [s.context_tokens for s in steps]
+        )
+        np.testing.assert_array_equal(
+            run.first_ids, steps[0].first_ids
+        )
+        for comp_run, step in zip(run.completed, steps):
+            np.testing.assert_array_equal(comp_run, step.completed_ids)
+        np.testing.assert_array_equal(bulk.generated, stepped.generated)
+        np.testing.assert_array_equal(bulk.done, stepped.done)
+
+    @pytest.mark.parametrize("backend", [RequestPool, ListPool])
+    def test_decode_run_guards(self, backend):
+        pool = backend()
+        pool.admit_specs(_specs([(4, 3)]))
+        with pytest.raises(ValueError):
+            pool.decode_run(pool.ids(), True, 0)
+        assert pool.decode_run(EMPTY_IDS, True, 4) is None
+
+    @pytest.mark.parametrize("backend", [RequestPool, ListPool])
+    def test_request_ids_of_gathers_trace_ids(self, backend):
+        pool = backend()
+        ids = pool.admit_specs(_specs([(4, 3), (2, 5), (8, 1)]))
+        np.testing.assert_array_equal(
+            pool.request_ids_of(ids[::-1]), [102, 101, 100]
+        )
+        assert pool.request_ids_of(ids).dtype == np.int64

@@ -1,0 +1,209 @@
+"""Property tests for the memoized pricing cache.
+
+The serving hot loop re-prices near-identical work items every cycle, so the
+exact-key :class:`PricingCache` sits directly on the bit-parity critical path.
+Its contract, pinned here:
+
+* cache-on, cache-off and ``batched=False`` pricing are bit-identical across
+  arbitrary plans (a hit returns exactly the float a fresh lookup would),
+* repeat pricing of the same plan is served entirely from the cache, still
+  bit-identically,
+* one cache shared by engines over *different* :class:`ProfileTable`s never
+  leaks prices across them (keys carry the profile's identity token), and
+* the cache stays bounded and its counters stay consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiler import XProfiler
+from repro.engine.execution import (
+    _PRICING_CACHE_MAX_PLAN_ITEMS,
+    DECODE,
+    ENCODE,
+    PricingCache,
+    StageWork,
+    price_work,
+)
+from repro.hardware.cluster import a40_cluster
+
+
+work_items = st.lists(
+    st.tuples(
+        st.sampled_from([ENCODE, DECODE]),
+        st.integers(min_value=0, max_value=8),     # layers
+        st.sampled_from([1, 2, 4]),                # tp degree
+        st.booleans(),                             # spans nodes
+        st.floats(min_value=0.0, max_value=128.0),  # batch
+        st.floats(min_value=1.0, max_value=512.0),  # length
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def to_work(items):
+    return [StageWork(*item) for item in items]
+
+
+class TestCacheParity:
+    """Memoized pricing must never drift from the reference paths."""
+
+    @given(items=work_items, overhead=st.sampled_from([0.0, 0.0015]))
+    @settings(max_examples=60, deadline=None)
+    def test_cache_on_off_and_scalar_bit_identical(
+        self, tiny_profile, items, overhead
+    ):
+        work = to_work(items)
+        scalar = price_work(tiny_profile, work, overhead, batched=False)
+        batched = price_work(tiny_profile, work, overhead, batched=True)
+        cached = price_work(
+            tiny_profile, work, overhead, batched=True, cache=PricingCache()
+        )
+        np.testing.assert_array_equal(scalar, batched)
+        np.testing.assert_array_equal(scalar, cached)
+
+    @given(
+        items=work_items,
+        overhead=st.sampled_from([0.0, 0.0015]),
+        small=st.sampled_from([0, 4, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_warm_cache_replays_bit_identically(
+        self, tiny_profile, items, overhead, small
+    ):
+        """A fully warm cache serves the same plan from hits alone.
+
+        Swept across ``small_plan_items`` so both the scalar and the batched
+        miss-fill paths are exercised.
+        """
+        work = to_work(items)
+        cache = PricingCache()
+        cold = price_work(
+            tiny_profile, work, overhead, cache=cache, small_plan_items=small
+        )
+        misses_after_cold = cache.misses
+        warm = price_work(
+            tiny_profile, work, overhead, cache=cache, small_plan_items=small
+        )
+        np.testing.assert_array_equal(cold, warm)
+        if len(work) >= small:
+            # The replay added no misses: every item was an exact-key hit.
+            assert cache.misses == misses_after_cold
+            assert cache.hits >= len(work)
+        else:
+            # Sub-crossover plans take the scalar path and skip the cache.
+            assert cache.hits == 0 and cache.misses == 0
+
+    @given(items=work_items)
+    @settings(max_examples=30, deadline=None)
+    def test_duplicate_items_price_identically_within_one_plan(
+        self, tiny_profile, items
+    ):
+        """Repeating a plan's items in-place must repeat their prices."""
+        work = to_work(items) * 2
+        priced = price_work(tiny_profile, work, 0.001, cache=PricingCache())
+        half = len(work) // 2
+        np.testing.assert_array_equal(priced[:half], priced[half:])
+
+
+class TestCacheIsolation:
+    """A shared cache must key on profile identity, never leak across tables."""
+
+    @pytest.fixture(scope="class")
+    def other_profile(self, tiny_model):
+        """Same model on a bigger cluster: same keys, different prices."""
+        return XProfiler(
+            tiny_model,
+            a40_cluster(8),
+            max_batch=64,
+            max_seq_len=256,
+            batch_points=6,
+            length_points=6,
+        ).profile()
+
+    def test_pricing_tokens_are_distinct(self, tiny_profile, other_profile):
+        assert tiny_profile.pricing_token != other_profile.pricing_token
+
+    @given(items=work_items, overhead=st.sampled_from([0.0, 0.0015]))
+    @settings(max_examples=40, deadline=None)
+    def test_shared_cache_never_crosses_profiles(
+        self, tiny_profile, other_profile, items, overhead
+    ):
+        """Warm the cache on one table, price through the other: no bleed."""
+        work = to_work(items)
+        shared = PricingCache()
+        via_a = price_work(tiny_profile, work, overhead, cache=shared)
+        via_b = price_work(other_profile, work, overhead, cache=shared)
+        np.testing.assert_array_equal(
+            via_a, price_work(tiny_profile, work, overhead, batched=False)
+        )
+        np.testing.assert_array_equal(
+            via_b, price_work(other_profile, work, overhead, batched=False)
+        )
+        # Replays through the shared cache stay pinned to their own table.
+        np.testing.assert_array_equal(
+            via_a, price_work(tiny_profile, work, overhead, cache=shared)
+        )
+        np.testing.assert_array_equal(
+            via_b, price_work(other_profile, work, overhead, cache=shared)
+        )
+
+    def test_overhead_is_part_of_the_key(self, tiny_profile):
+        """Different engine overheads must never share cache entries."""
+        work = [StageWork(DECODE, 8, 4, False, 16.0, 128.0)] * 16
+        shared = PricingCache()
+        plain = price_work(tiny_profile, work, 0.0, cache=shared)
+        taxed = price_work(tiny_profile, work, 0.002, cache=shared)
+        np.testing.assert_array_equal(
+            plain, price_work(tiny_profile, work, 0.0, batched=False)
+        )
+        np.testing.assert_array_equal(
+            taxed, price_work(tiny_profile, work, 0.002, batched=False)
+        )
+
+
+class TestCacheMechanics:
+    """Bounded size, honest counters, sane guard rails."""
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            PricingCache(max_entries=0)
+
+    def test_eviction_keeps_cache_bounded(self, tiny_profile):
+        cache = PricingCache(max_entries=4)
+        work = [
+            StageWork(DECODE, 8, 4, False, float(b), 128.0) for b in range(1, 33)
+        ]
+        priced = price_work(tiny_profile, work, 0.0, cache=cache)
+        assert len(cache.entries) <= 4
+        # Eviction is a capacity policy only -- results stay bit-identical.
+        np.testing.assert_array_equal(
+            priced, price_work(tiny_profile, work, 0.0, batched=False)
+        )
+
+    def test_stats_counters_are_consistent(self, tiny_profile):
+        cache = PricingCache()
+        work = [
+            StageWork(ENCODE, 8, 4, False, float(b), 64.0) for b in range(1, 21)
+        ]
+        price_work(tiny_profile, work, 0.0, cache=cache)
+        price_work(tiny_profile, work, 0.0, cache=cache)
+        stats = cache.stats()
+        assert stats["misses"] == 20
+        assert stats["hits"] == 20
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["size"] == 20
+        cache.clear()
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 0
+        assert cache.stats()["size"] == 0
+
+    def test_oversized_plan_guard_constant_is_sane(self):
+        # The engine bypasses the cache for pathologically wide plans; the
+        # guard must stay far above any real cycle's item count.
+        assert _PRICING_CACHE_MAX_PLAN_ITEMS >= 1024

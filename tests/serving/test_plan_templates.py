@@ -1,0 +1,217 @@
+"""Parity tests for the serving hot-loop fast paths.
+
+The online servers ship three stacked optimisations -- columnar plan
+buffers, the memoized pricing cache, and the plan-free steady-state
+templates (``mixed_decode_template`` / ``decode_run``) -- all of which are
+required to be *invisible* in the results: every record a server produces
+with the fast paths on must be bit-identical to the legacy plan-per-cycle
+path and to the full scalar pricing reference.  These tests pin that
+contract for every server family (continuous batching over Orca and vLLM,
+ExeGPT RRA and WAA), plus the bisection refinement of
+``OnlineEvaluator.max_sustainable_qps`` against its ladder-only reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.orca import Orca
+from repro.baselines.vllm import Vllm
+from repro.core.config import ScheduleConfig, SchedulePolicy
+from repro.serving.online import (
+    ContinuousBatchingOnlineServer,
+    ExeGPTOnlineServer,
+    OnlineEvaluator,
+)
+from repro.serving.sla import SLA, SLAKind
+from repro.workloads.arrivals import PoissonProcess, attach_arrivals
+from repro.workloads.synthetic import generate_trace_from_distributions
+
+# Fast paths fully on (the shipping default), the legacy batched plan path,
+# and the scalar pricing reference.  ``plan_templates=True`` with scalar
+# pricing must also fall back to the legacy path (templates require the
+# batched pricer), so it rides along as a fourth mode.
+MODES = {
+    "fast": dict(plan_templates=True, pricing_cache=True, batched_pricing=True),
+    "plans": dict(plan_templates=False, pricing_cache=False, batched_pricing=True),
+    "scalar": dict(plan_templates=False, pricing_cache=False, batched_pricing=False),
+    "templates-scalar": dict(
+        plan_templates=True, pricing_cache=True, batched_pricing=False
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def parity_trace(short_input_dist, short_output_dist):
+    return generate_trace_from_distributions(
+        short_input_dist, short_output_dist, num_requests=96, seed=17,
+        name="templates",
+    )
+
+
+def assert_all_modes_identical(results):
+    reference = results["scalar"]
+    assert reference.completed > 0
+    for mode, result in results.items():
+        assert result.records == reference.records, mode
+        assert result.completed == reference.completed, mode
+        assert result.rejected == reference.rejected, mode
+        assert result.makespan_s == reference.makespan_s, mode
+
+
+class TestContinuousBatchingTemplateParity:
+    @pytest.mark.parametrize("system_cls", [Orca, Vllm])
+    @pytest.mark.parametrize("rate", [20.0, 200.0])
+    def test_all_modes_bit_identical(
+        self, tiny_profile, short_input_dist, short_output_dist, parity_trace,
+        system_cls, rate,
+    ):
+        online = attach_arrivals(parity_trace, PoissonProcess(rate), seed=11)
+        results = {}
+        for mode, flags in MODES.items():
+            system = system_cls(
+                profile=tiny_profile,
+                input_distribution=short_input_dist,
+                output_distribution=short_output_dist,
+            )
+            server = ContinuousBatchingOnlineServer(
+                system=system, batch_size=16, max_queue=64, **flags
+            )
+            results[mode] = server.serve(
+                online, scenario="steady", offered_rate_qps=rate
+            )
+        assert_all_modes_identical(results)
+
+    def test_fast_path_engine_reports_cache_stats(
+        self, tiny_profile, short_input_dist, short_output_dist, parity_trace
+    ):
+        system = Orca(
+            profile=tiny_profile,
+            input_distribution=short_input_dist,
+            output_distribution=short_output_dist,
+        )
+        server = ContinuousBatchingOnlineServer(system=system, batch_size=16)
+        online = attach_arrivals(parity_trace, PoissonProcess(50.0), seed=11)
+        server.serve(online)
+        stats = server._engine.pricing_cache_stats()
+        # Tiny single-stage plans sit below the scalar/batched crossover, so
+        # the counters may stay zero here -- cache *activity* is asserted by
+        # the perf bench at paper scale; this pins that the engine owns a
+        # live cache and reports well-formed stats.
+        assert stats is not None
+        assert set(stats) >= {"hits", "misses", "hit_rate", "size", "max_entries"}
+        scalar = ContinuousBatchingOnlineServer(
+            system=system, batch_size=16, batched_pricing=False
+        )
+        scalar.serve(online)
+        assert scalar._engine.pricing_cache_stats() is None
+
+    def test_clone_preserves_fast_path_flags(
+        self, tiny_profile, short_input_dist, short_output_dist
+    ):
+        system = Orca(
+            profile=tiny_profile,
+            input_distribution=short_input_dist,
+            output_distribution=short_output_dist,
+        )
+        server = ContinuousBatchingOnlineServer(
+            system=system, batch_size=16, plan_templates=False,
+            pricing_cache=False, batched_pricing=False,
+        )
+        clone = server.clone("copy")
+        assert clone.plan_templates is False
+        assert clone.pricing_cache is False
+        assert clone.batched_pricing is False
+
+
+class TestExeGPTTemplateParity:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            ScheduleConfig(
+                policy=SchedulePolicy.RRA, encode_batch=8, decode_iterations=4
+            ),
+            ScheduleConfig(
+                policy=SchedulePolicy.RRA, encode_batch=16, decode_iterations=12
+            ),
+            ScheduleConfig(
+                policy=SchedulePolicy.WAA_C, encode_batch=8, micro_batches=2
+            ),
+        ],
+        ids=["rra-short", "rra-long", "waa"],
+    )
+    @pytest.mark.parametrize("rate", [10.0, 120.0])
+    def test_all_modes_bit_identical(
+        self, tiny_simulator, parity_trace, config, rate
+    ):
+        online = attach_arrivals(parity_trace, PoissonProcess(rate), seed=13)
+        results = {}
+        for mode, flags in MODES.items():
+            server = ExeGPTOnlineServer(tiny_simulator, config, **flags)
+            results[mode] = server.serve(
+                online, scenario="steady", offered_rate_qps=rate
+            )
+        assert_all_modes_identical(results)
+
+    def test_clone_preserves_fast_path_flags(self, tiny_simulator):
+        config = ScheduleConfig(
+            policy=SchedulePolicy.RRA, encode_batch=8, decode_iterations=4
+        )
+        server = ExeGPTOnlineServer(
+            tiny_simulator, config, plan_templates=False, pricing_cache=False
+        )
+        clone = server.clone("copy")
+        assert clone.plan_templates is False
+        assert clone.pricing_cache is False
+
+
+class TestBisectionRefinement:
+    @pytest.fixture(scope="class")
+    def evaluator(self, tiny_engine, short_input_dist, short_output_dist):
+        trace = generate_trace_from_distributions(
+            short_input_dist, short_output_dist, num_requests=48, seed=21,
+            name="bisect",
+        )
+        slo = SLA(kind=SLAKind.QUERY_PERCENTILE, bound_s=2.0, percentile=99.0)
+        return OnlineEvaluator(tiny_engine, trace, slo, max_queue=16, seed=3)
+
+    def test_refine_zero_is_the_ladder_reference(self, evaluator):
+        rates = (1.0, 1e6)
+        ladder = evaluator.max_sustainable_qps("orca", "steady", rates)
+        explicit = evaluator.max_sustainable_qps(
+            "orca", "steady", rates, refine_steps=0
+        )
+        assert ladder == explicit == 1.0
+
+    def test_refinement_tightens_the_bracket(self, evaluator):
+        rates = (1.0, 1e6)
+        coarse = evaluator.max_sustainable_qps("orca", "steady", rates)
+        refined = evaluator.max_sustainable_qps(
+            "orca", "steady", rates, refine_steps=4
+        )
+        # Refinement only ever moves the estimate up, inside the bracket,
+        # and each step halves it: after 4 steps at least a 16x tighter
+        # bound than the raw ladder gap.
+        assert coarse <= refined < 1e6
+        assert refined >= coarse
+        gap = 1e6 - coarse
+        assert refined <= coarse + gap  # stays inside the bracket
+        # The refined rate itself must be sustainable under the SLO.
+        from repro.serving.online import make_scenario
+
+        point = evaluator.measure(
+            "orca", make_scenario("steady", refined), scenario="steady"
+        )
+        assert point.sustainable
+
+    def test_no_bracket_means_no_refinement(self, evaluator):
+        # All rates sustainable: nothing to bisect, ladder result returned.
+        sustainable_only = evaluator.max_sustainable_qps(
+            "orca", "steady", (0.5, 1.0), refine_steps=3
+        )
+        assert sustainable_only == 1.0
+        # No rate sustainable: capacity is 0 and refinement stays silent.
+        hopeless = evaluator.max_sustainable_qps(
+            "orca", "steady", (1e6,), refine_steps=3
+        )
+        assert hopeless == 0.0
