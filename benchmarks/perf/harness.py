@@ -863,20 +863,31 @@ class ChaosBench:
       assignments; its wall-time ratio is the cost of merely carrying the
       plane),
     * **chaos** -- a seeded ``FaultSchedule.flap`` crash/restart process
-      sized from the fault-free makespan, exercising reclaim + requeue +
-      reroute at scale.
+      sized from the fault-free makespan plus a ``LoadSheddingPolicy``,
+      exercising admit + reclaim + requeue + reroute at scale.  Served
+      twice: once on the batched chaos path (``admit_batch`` window
+      decisions, fault-masked ``select_batch``, batched crash epilogue)
+      and once with ``batched_admission=False`` (the historical per-id
+      fallback), which must agree bit for bit.
 
     Conservation (offered == completed + rejected + shed) is checked on
     the chaos run and recorded.
 
     Attributes:
         requests / replicas / routing: Probe shape.
-        fault_free_s / zero_fault_s / chaos_s: Wall times of the serves.
+        fault_free_s / zero_fault_s / chaos_s: Wall times of the serves
+            (``chaos_s`` is the batched chaos path).
+        chaos_fallback_s: Wall time of the same chaos serve on the per-id
+            fallback path.
         zero_fault_overhead: ``zero_fault_s / fault_free_s`` (the parity
             path's tax; must stay near 1.0).
-        chaos_overhead: ``chaos_s / fault_free_s``.
+        chaos_overhead: ``chaos_s / fault_free_s`` (the batched chaos
+            path's tax over fault-free; was ~17x on the per-id path).
+        batched_speedup: ``chaos_fallback_s / chaos_s``.
         zero_fault_bit_identical: Zero-fault run matched fault-free bit
             for bit.
+        batched_bit_identical: Batched chaos run matched the per-id
+            fallback bit for bit (records and assignments).
         crashes / requeued: Fault-plane totals of the chaos run.
         completed / rejected / shed: Outcomes of the chaos run.
         conserved: Conservation held on the chaos run.
@@ -888,9 +899,12 @@ class ChaosBench:
     fault_free_s: float
     zero_fault_s: float
     chaos_s: float
+    chaos_fallback_s: float
     zero_fault_overhead: float
     chaos_overhead: float
+    batched_speedup: float
     zero_fault_bit_identical: bool
+    batched_bit_identical: bool
     crashes: int
     requeued: int
     completed: int
@@ -903,9 +917,10 @@ def bench_chaos_sweep(
     requests: int = 200_000, replicas: int = 16
 ) -> ChaosBench:
     """Time the fleet probe fault-free, with an inert fault plane, and
-    under a seeded crash/restart flap."""
+    under a seeded crash/restart flap with load shedding -- the last on
+    both the batched chaos path and the per-id fallback."""
     from repro.engine.pool import RequestPool
-    from repro.serving.faults import FaultSchedule
+    from repro.serving.faults import FaultSchedule, LoadSheddingPolicy
     from repro.serving.fleet import Fleet
     from repro.serving.online import ExeGPTOnlineServer
     from repro.workloads.arrivals import PoissonProcess
@@ -929,7 +944,8 @@ def bench_chaos_sweep(
         decode_iterations=128,
         tensor_parallel=TensorParallelConfig(degree=4, num_gpus=4),
     )
-    rate = 0.95 * engine.simulator.estimate(config).throughput_seq_per_s * replicas
+    per_replica_seq_per_s = engine.simulator.estimate(config).throughput_seq_per_s
+    rate = 0.95 * per_replica_seq_per_s * replicas
     arrivals = PoissonProcess(rate).arrival_times(requests, seed=5)
     pool = RequestPool.from_arrays(inputs, outputs, arrivals)
     server = ExeGPTOnlineServer(engine.simulator, config, max_queue=4096)
@@ -964,8 +980,27 @@ def bench_chaos_sweep(
         seed=13,
         warmup_s=makespan / 100.0,
     )
+    # Shed arrivals predicted to wait longer than the drain time of two
+    # full admission queues -- deep enough that steady state admits,
+    # shallow enough that crash-window backlogs shed a low single-digit
+    # fraction of the offered load.
+    max_wait_s = 8192.0 / per_replica_seq_per_s
     chaos_s, chaos = timed(
-        Fleet.homogeneous(server, replicas, routing="jsq", faults=faults)
+        Fleet.homogeneous(
+            server, replicas, routing="jsq", faults=faults,
+            admission=LoadSheddingPolicy(max_wait_s=max_wait_s),
+        )
+    )
+    chaos_fallback_s, chaos_fallback = timed(
+        Fleet.homogeneous(
+            server, replicas, routing="jsq", faults=faults,
+            admission=LoadSheddingPolicy(max_wait_s=max_wait_s),
+            batched_admission=False,
+        )
+    )
+    batched_bit_identical = (
+        chaos.fleet.records == chaos_fallback.fleet.records
+        and np.array_equal(chaos.assignments, chaos_fallback.assignments)
     )
     return ChaosBench(
         requests=requests,
@@ -974,13 +1009,18 @@ def bench_chaos_sweep(
         fault_free_s=fault_free_s,
         zero_fault_s=zero_fault_s,
         chaos_s=chaos_s,
+        chaos_fallback_s=chaos_fallback_s,
         zero_fault_overhead=(
             zero_fault_s / fault_free_s if fault_free_s > 0 else float("inf")
         ),
         chaos_overhead=(
             chaos_s / fault_free_s if fault_free_s > 0 else float("inf")
         ),
+        batched_speedup=(
+            chaos_fallback_s / chaos_s if chaos_s > 0 else float("inf")
+        ),
         zero_fault_bit_identical=bit_identical,
+        batched_bit_identical=batched_bit_identical,
         crashes=int(chaos.crashes.sum()),
         requeued=int(chaos.requeued.sum()),
         completed=chaos.completed,

@@ -420,6 +420,15 @@ class RequestPool:
         """Boolean done flags of ``ids``."""
         return self.done[ids]
 
+    def alive_mask(self, ids: np.ndarray) -> np.ndarray:
+        """Boolean not-done flags of ``ids`` (one mask gather).
+
+        The column reduction behind batched admission bookkeeping: a
+        policy holding an id array asks in one call which of them are
+        still in the system instead of testing ids one by one.
+        """
+        return ~self.done[ids]
+
     # -- vectorized lifecycle operations -------------------------------------------------
 
     def advance(
@@ -904,6 +913,11 @@ class ListPool:
 
     def done_mask(self, ids: np.ndarray) -> np.ndarray:
         return np.array([self.states[rid].done for rid in ids.tolist()], dtype=bool)
+
+    def alive_mask(self, ids: np.ndarray) -> np.ndarray:
+        return np.array(
+            [not self.states[rid].done for rid in ids.tolist()], dtype=bool
+        )
 
     # -- lifecycle operations ------------------------------------------------------------
 

@@ -18,7 +18,10 @@ keeping every run seeded and deterministic.  Three orthogonal planes:
   before routing, whether an arrival is *shed* (distinct from *rejected*,
   which means every routable queue was full).  Policies here implement
   predicted-cost load shedding, per-tenant quotas, and priority classes
-  with preemption of low-priority decodes.
+  with preemption of low-priority decodes.  All three ship a vectorized
+  :meth:`AdmissionPolicy.admit_batch` window path (bit-identical to the
+  per-id hooks by construction) so chaos-enabled serving stays on the
+  event core's batched ingest instead of dropping to per-id routing.
 
 The headline correctness gate is **conservation**: at all times
 ``offered == completed + rejected + shed``; a completed request can never
@@ -270,6 +273,22 @@ class AdmissionPolicy:
 
     The default implementations accept everything and never evict, so a
     subclass overrides only the hooks it needs.
+
+    **The batched window path.**  The event core offers whole arrival
+    windows at once; :meth:`admit_batch` is the vectorized form of
+    :meth:`admit` over one window.  The base class returns ``None`` --
+    "no batch path" -- which keeps arbitrary stateful subclasses on the
+    per-id fallback unmodified.  A policy that implements it must return
+    decisions **bit-identical** to sequential :meth:`admit` calls
+    interleaved with the placements of the admitted ids, and must stay
+    *pure*: the fleet may discard the mask (e.g. when routing then
+    declines the batch) and re-run the per-id path, so the only state
+    change allowed is semantics-neutral compaction of internal
+    bookkeeping.  The fleet only consults it when its window
+    preconditions hold -- every replica the fault plane leaves routable
+    has, in total, queue space for the whole window (so every admitted
+    id is guaranteed to place and ``make_room`` is never reached) and
+    :meth:`batch_placement_safe` approved the window.
     """
 
     name = "admission"
@@ -281,18 +300,65 @@ class AdmissionPolicy:
         """Whether to admit the arrival (``False`` sheds it)."""
         return True
 
+    def admit_batch(self, fleet, rids: np.ndarray,
+                    clock: float) -> np.ndarray | None:
+        """Vectorized :meth:`admit` over one arrival window, or ``None``.
+
+        Returns a boolean mask over ``rids`` (``True`` admits, ``False``
+        sheds), deciding exactly as sequential :meth:`admit` calls would;
+        ``None`` routes the whole window through the per-id fallback.
+        Must be pure -- see the class docstring.
+        """
+        return None
+
     def note_placed(self, fleet, rid: int, replica: int) -> None:
         """Observe a successful placement."""
+
+    def note_placed_batch(self, fleet, rids: np.ndarray,
+                          replicas: np.ndarray) -> None:
+        """Observe a window of successful placements at once.
+
+        The default delegates to :meth:`note_placed` per id (skipped
+        entirely when the hook is not overridden), so a policy only
+        implements this when it can fold the whole window into its
+        bookkeeping in one shot.
+        """
+        if type(self).note_placed is AdmissionPolicy.note_placed:
+            return
+        for rid, index in zip(rids.tolist(), replicas.tolist()):
+            self.note_placed(fleet, int(rid), int(index))
 
     def make_room(self, fleet, rid: int, clock: float) -> int | None:
         """Last chance after routing failed: evict and return a replica."""
         return None
+
+    def batch_placement_safe(self, fleet, rids: np.ndarray) -> bool:
+        """Whether batched placement may commit this window.
+
+        The fleet's batched chaos path places every admitted id through
+        ``select_batch`` + ``enqueue_batch`` and reports them through
+        :meth:`note_placed_batch`; eviction (:meth:`make_room`) is
+        unreachable because the fleet pre-checks queue space for the
+        whole window.  That is only equivalent to the sequential path
+        when the per-placement hooks have no order-sensitive side
+        effects, so the base implementation approves exactly the
+        policies that override neither hook; stateful subclasses either
+        stay on the per-id fallback or override this with a sharper
+        window test (as the shipped policies do).
+        """
+        cls = type(self)
+        return (cls.note_placed is AdmissionPolicy.note_placed
+                and cls.make_room is AdmissionPolicy.make_room)
 
 
 class AcceptAll(AdmissionPolicy):
     """The no-op policy: admit everything, never evict (parity reference)."""
 
     name = "accept_all"
+
+    def admit_batch(self, fleet, rids: np.ndarray,
+                    clock: float) -> np.ndarray:
+        return np.ones(rids.size, dtype=bool)
 
 
 class LoadSheddingPolicy(AdmissionPolicy):
@@ -315,27 +381,149 @@ class LoadSheddingPolicy(AdmissionPolicy):
             raise ValueError("max_wait_s must be positive")
         self.max_wait_s = max_wait_s
         self._rates: tuple[float, ...] = ()
+        # All-admit slack (tokens): after a full window evaluation finds
+        # an anchor candidate whose queue space and token headroom cover
+        # the whole window, the leftover headroom admits later windows by
+        # one O(window) token sum, no re-snapshot.  Placements consume it
+        # (note_placed_batch); any fault transition, per-id decision, or
+        # out-of-band placement invalidates it.
+        self._slack = -1.0
+        self._slack_anchor = 0
+        self._slack_cursor = -1
+        # All-shed memo: a shed window changes no replica state, so while
+        # every replica's load version and the fault cursor are unchanged
+        # the previous all-shed verdict replays exactly.
+        self._shed_key: tuple[int, int] | None = None
 
     def reset(self, fleet) -> None:
         self._rates = tuple(
             max(replica.effective_service_rate(), 1e-12)
             for replica in fleet.replicas
         )
+        self._slack = -1.0
+        self._shed_key = None
+
+    @staticmethod
+    def _fault_cursor(fleet) -> int:
+        plane = fleet._plane
+        return plane._cursor if plane is not None else -1
+
+    @staticmethod
+    def _state_version(fleet) -> int:
+        return sum(r._load_version for r in fleet.replicas)
 
     def admit(self, fleet, rid: int, clock: float) -> bool:
+        # Per-id decisions interleave placements the batched slack cannot
+        # see; drop it so the next window re-evaluates from scratch.
+        self._slack = -1.0
+        _, space, routable = fleet.load_snapshot()
+        replicas = fleet.replicas
+        rates = self._rates
         best = math.inf
-        for index, replica in enumerate(fleet.replicas):
-            if not fleet.routable(index):
-                continue
-            if replica.queue_depth >= replica.max_queue:
-                continue
-            wait = replica.outstanding_tokens() / self._rates[index]
-            if wait < best:
-                best = wait
+        for index, open_ in enumerate(routable):
+            if open_ and space[index] > 0:
+                wait = replicas[index].outstanding_tokens() / rates[index]
+                if wait < best:
+                    best = wait
         if math.isinf(best):
             # No routable replica with space: let routing reject instead.
             return True
         return best <= self.max_wait_s
+
+    def note_placed(self, fleet, rid: int, index: int) -> None:
+        # Out-of-band placement (crash epilogue fallback): invalidate.
+        self._slack = -1.0
+
+    def note_placed_batch(self, fleet, rids, replicas) -> None:
+        if self._slack >= 0:
+            self._slack -= float(fleet._pool.total_tokens(rids).sum())
+
+    def batch_placement_safe(self, fleet, rids) -> bool:
+        # The placement hooks above are slack bookkeeping only: they are
+        # order-insensitive and never move ids, so batching stays exact.
+        return True
+
+    def admit_batch(self, fleet, rids: np.ndarray,
+                    clock: float) -> np.ndarray | None:
+        """One O(replicas) snapshot decides uniform windows; mixed ones
+        fall back.
+
+        Shedding is state-free and admitted ids only *add* outstanding
+        tokens, so within one window the best predicted wait is
+        nondecreasing.  Two uniform cases follow from a single
+        outstanding-tokens/rate snapshot taken once per window (the per-id
+        path re-reduces every replica per arrival):
+
+        * the best candidate already exceeds ``max_wait_s`` -- every id
+          sheds (sheds change nothing, so the first decision repeats);
+        * some **anchor** candidate has queue space for the whole window
+          *and* token headroom for the whole window's tokens -- every id
+          admits, because at every sequential step the anchor is still a
+          candidate (placements on it are bounded by the window) whose
+          wait stays within the bound, and per-id admit takes the *best*
+          candidate, which can only be better;
+        * fallback of the anchor test: even the worst initial candidate
+          loaded with the entire window's tokens stays within the bound
+          (covers windows larger than any single queue's space).
+
+        Anything between is genuinely order-dependent and returns
+        ``None`` for the per-id fallback.
+
+        Two cross-window caches make the uniform verdicts O(window):
+
+        * **all-admit slack** -- the anchor's headroom admits later
+          windows while their cumulative placed tokens fit inside it and
+          the anchor still has queue space for the incoming window
+          (placements anywhere are charged against it, drains only
+          reduce the anchor's own load);
+        * **all-shed memo** -- shed windows mutate nothing, so the
+          verdict replays while every replica's load version and the
+          fault cursor are unchanged.
+        """
+        replicas = fleet.replicas
+        cursor = self._fault_cursor(fleet)
+        _, space_l, routable_l = fleet.load_snapshot()
+        k = int(rids.size)
+        if self._slack >= 0 and cursor == self._slack_cursor:
+            window_tokens = float(fleet._pool.total_tokens(rids).sum())
+            if (window_tokens <= self._slack
+                    and space_l[self._slack_anchor] >= k):
+                return np.ones(k, dtype=bool)
+        version = self._state_version(fleet)
+        if self._shed_key == (cursor, version):
+            return np.zeros(k, dtype=bool)
+        routable = np.asarray(routable_l)
+        space = np.asarray(space_l, dtype=np.int64)
+        candidates = routable & (space > 0)
+        if not candidates.any():
+            # Sequential admit lets routing reject when nothing is open.
+            return np.ones(k, dtype=bool)
+        tokens = np.array(
+            [r.outstanding_tokens() for r in replicas], dtype=np.int64
+        )
+        rates = np.asarray(self._rates, dtype=float)
+        waits = np.where(candidates, tokens / rates, math.inf)
+        if float(waits.min()) > self.max_wait_s:
+            self._shed_key = (cursor, version)
+            return np.zeros(k, dtype=bool)
+        window_tokens = int(fleet._pool.total_tokens(rids).sum())
+        eligible = candidates & (space >= k)
+        if eligible.any():
+            headroom = np.where(
+                eligible, self.max_wait_s * rates - tokens, -math.inf
+            )
+            anchor = int(np.argmax(headroom))
+            if float(headroom[anchor]) >= window_tokens:
+                self._slack = float(headroom[anchor])
+                self._slack_anchor = anchor
+                self._slack_cursor = cursor
+                return np.ones(k, dtype=bool)
+        loaded = np.where(
+            candidates, (tokens + window_tokens) / rates, -math.inf
+        )
+        if float(loaded.max()) <= self.max_wait_s:
+            return np.ones(k, dtype=bool)
+        return None
 
 
 class TenantQuotaPolicy(AdmissionPolicy):
@@ -360,7 +548,7 @@ class TenantQuotaPolicy(AdmissionPolicy):
         self.quota = quota
         self._tenant_of = tenant_of
         self._tenant: np.ndarray | None = None
-        self._live: list[list[int]] = []
+        self._live: list[int] = []
 
     def reset(self, fleet) -> None:
         pool = fleet._pool
@@ -371,27 +559,82 @@ class TenantQuotaPolicy(AdmissionPolicy):
                 [self._tenant_of(pool, rid) for rid in range(len(pool))],
                 dtype=np.int64,
             )
-        self._live = [[] for _ in range(self.tenants)]
+        self._live = []
 
-    def _compact(self, fleet, tenant: int) -> list[int]:
-        ids = np.asarray(self._live[tenant], dtype=np.int64)
-        if ids.size == 0:
-            return []
-        done = fleet._pool.done_mask(ids)
-        records = fleet._records
-        live = [
-            rid for rid, fin in zip(ids.tolist(), done.tolist())
-            if not (fin or records.rejected[rid] or records.shed[rid])
-        ]
-        self._live[tenant] = live
-        return live
+    def _compact(self, fleet) -> np.ndarray:
+        """Drop finished/dropped ids from the live list; tenant counts.
+
+        One pass over the flat placement list -- the pool's ``alive_mask``
+        column gather plus the record masks -- then a single ``bincount``
+        by tenant.  An id a crash requeued and re-placed appears twice
+        (matching the per-id bookkeeping, where ``note_placed`` fires
+        again), so its tenant honestly counts the duplicate until one
+        copy finishes.
+        """
+        ids = np.asarray(self._live, dtype=np.int64)
+        if ids.size:
+            records = fleet._records
+            keep = (
+                fleet._pool.alive_mask(ids)
+                & ~records.rejected[ids]
+                & ~records.shed[ids]
+            )
+            if not keep.all():
+                ids = ids[keep]
+                self._live = ids.tolist()
+        return np.bincount(
+            self._tenant[ids] if ids.size else np.empty(0, dtype=np.int64),
+            minlength=self.tenants,
+        )
 
     def admit(self, fleet, rid: int, clock: float) -> bool:
-        tenant = int(self._tenant[rid])
-        return len(self._compact(fleet, tenant)) < self.quota
+        counts = self._compact(fleet)
+        return int(counts[self._tenant[rid]]) < self.quota
+
+    def admit_batch(self, fleet, rids: np.ndarray,
+                    clock: float) -> np.ndarray:
+        """One compaction pass and one rank computation per window.
+
+        During an ingest window the live set changes only by this
+        window's own placements (the pool cannot finish anything
+        mid-ingest and the fleet's space guard places every admitted id),
+        so sequential admission degenerates per tenant to "admit the
+        first ``quota - live`` ids, shed the rest".  The mask is the
+        within-window occurrence rank of each id's tenant compared
+        against that headroom -- computed with one stable argsort, no
+        Python per id.
+        """
+        counts = self._compact(fleet)
+        tenants_w = self._tenant[rids]
+        headroom = self.quota - counts[tenants_w]
+        order = np.argsort(tenants_w, kind="stable")
+        sorted_t = tenants_w[order]
+        boundaries = np.empty(sorted_t.size, dtype=bool)
+        if sorted_t.size:
+            boundaries[0] = True
+            boundaries[1:] = sorted_t[1:] != sorted_t[:-1]
+        starts = np.flatnonzero(boundaries)
+        lengths = np.diff(np.concatenate((starts, [sorted_t.size])))
+        rank_sorted = (
+            np.arange(sorted_t.size, dtype=np.int64)
+            - np.repeat(starts, lengths)
+        )
+        rank = np.empty_like(rank_sorted)
+        rank[order] = rank_sorted
+        return rank < headroom
 
     def note_placed(self, fleet, rid: int, replica: int) -> None:
-        self._live[int(self._tenant[rid])].append(rid)
+        self._live.append(rid)
+
+    def note_placed_batch(self, fleet, rids: np.ndarray,
+                          replicas: np.ndarray) -> None:
+        self._live.extend(rids.tolist())
+
+    def batch_placement_safe(self, fleet, rids: np.ndarray) -> bool:
+        # note_placed only appends to the live list (order-insensitive
+        # within a window) and there is no make_room, so batched
+        # placement is always equivalent.
+        return True
 
 
 class PriorityAdmissionPolicy(AdmissionPolicy):
@@ -440,6 +683,35 @@ class PriorityAdmissionPolicy(AdmissionPolicy):
             )
         self.preemptions = 0
         self.evictions = 0
+
+    def admit_batch(self, fleet, rids: np.ndarray,
+                    clock: float) -> np.ndarray:
+        # Priority never sheds at admission (it evicts/preempts after
+        # routing); the whole window admits in one gather-free mask.
+        return np.ones(rids.size, dtype=bool)
+
+    def batch_placement_safe(self, fleet, rids: np.ndarray) -> bool:
+        """One gather classifies the window: batched unless preemption
+        can fire.
+
+        Eviction needs a routing failure, which the fleet's space guard
+        rules out, so the only order-sensitive hook left is decode
+        preemption -- possible exactly when it is enabled, under budget,
+        and the window holds a top-priority arrival.  Such windows (the
+        rare tail) take the per-id fallback; everything else batches.
+        """
+        if not self.preempt_decodes:
+            return True
+        if (self.max_preemptions is not None
+                and self.preemptions >= self.max_preemptions):
+            return True
+        return not bool(np.any(self._priority[rids] == 0))
+
+    def note_placed_batch(self, fleet, rids: np.ndarray,
+                          replicas: np.ndarray) -> None:
+        # Only reachable when batch_placement_safe approved the window,
+        # i.e. every per-id note_placed would be a no-op.
+        return
 
     def make_room(self, fleet, rid: int, clock: float) -> int | None:
         mine = int(self._priority[rid])

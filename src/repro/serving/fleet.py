@@ -50,6 +50,16 @@ parity-gated: with an empty schedule and no admission policy, the serve is
 bit-identical to a fault-free fleet, and under injected chaos the
 conservation invariant ``offered == completed + rejected + shed`` is
 asserted at the end of every serve.
+
+The chaos path itself is batched (``batched_admission=True``, the
+default): an arrival window under an open fault window or an admission
+policy runs admit-mask -> mark-shed batch -> routable-masked
+``select_batch`` -> ``enqueue_batch``, and a crash epilogue re-places the
+reclaimed ids as one batched selection with batched reject accounting.
+Every batched decision is bit-identical to the per-id fallback (forced
+via ``batched_admission=False``), which any gate -- a policy without a
+batch path, a window the policy classifies as order-dependent, tight
+queue space -- still drops to per id.
 """
 
 from __future__ import annotations
@@ -88,9 +98,12 @@ class RoutingPolicy:
     replica exists -- the fleet then rejects the arrival, which is the
     only place a fleet rejects.  Selection must be deterministic.
 
-    The vectorized :meth:`select_batch` paths never run while a replica
-    is unroutable or an admission policy is installed (the fleet gates
-    them), so they may assume every replica accepts work.
+    The vectorized :meth:`select_batch` paths run under open fault
+    windows too: a policy implementing one must mask its candidates with
+    :meth:`Fleet.routable_mask` (all-True without a fault plane) instead
+    of assuming every replica accepts work.  Admission decisions never
+    interleave with batch selection -- the fleet sheds the window's
+    refused ids first and batch-routes only the admitted rest.
     """
 
     #: Registry name of the policy.
@@ -145,16 +158,30 @@ class RoundRobinRouting(RoutingPolicy):
         replicas = fleet.replicas
         n = len(replicas)
         k = int(rids.size)
+        open_idx = np.flatnonzero(fleet.routable_mask())
+        if open_idx.size == 0:
+            # Nothing routable: sequential selection rejects every id.
+            return np.full(k, -1, dtype=np.int64)
         space = np.array(
-            [r.max_queue - r.queue_depth for r in replicas], dtype=np.int64
+            [replicas[i].max_queue - replicas[i].queue_depth
+             for i in open_idx.tolist()],
+            dtype=np.int64,
         )
-        # A pure cyclic deal hands each replica at most ceil(k/n) ids; it
-        # equals sequential skip-the-full selection only when no queue can
-        # fill mid-batch, so bound interaction falls back to per-id calls.
-        if int(space.min()) < -(-k // n):
+        # A pure cyclic deal over the routable subset hands each routable
+        # replica at most ceil(k/|routable|) ids; it equals sequential
+        # skip-the-full selection only when no routable queue can fill
+        # mid-batch, so bound interaction falls back to per-id calls.
+        if int(space.min()) < -(-k // int(open_idx.size)):
             return None
-        assigned = (self._next + np.arange(k, dtype=np.int64)) % n
-        self._next = int((self._next + k) % n)
+        # Sequential selection starts at the first routable index >=
+        # self._next in cyclic order, then deals routable indices in turn.
+        start = int(np.searchsorted(open_idx, self._next))
+        if start == open_idx.size:
+            start = 0
+        assigned = open_idx[
+            (start + np.arange(k, dtype=np.int64)) % open_idx.size
+        ]
+        self._next = int((int(assigned[-1]) + 1) % n)
         return assigned
 
 
@@ -168,16 +195,13 @@ class JoinShortestQueueRouting(RoutingPolicy):
     name = "jsq"
 
     def select(self, fleet: "Fleet", rid: int, clock: float) -> int | None:
+        loads, space, routable = fleet.load_snapshot()
         best: int | None = None
         best_load = -1
-        for i, replica in enumerate(fleet.replicas):
-            if not fleet.routable(i):
-                continue
-            if replica.queue_depth >= replica.max_queue:
-                continue
-            load = replica.queue_depth + replica.in_flight
-            if best is None or load < best_load:
-                best, best_load = i, load
+        for i, load in enumerate(loads):
+            if routable[i] and space[i] > 0:
+                if best is None or load < best_load:
+                    best, best_load = i, load
         return best
 
     def select_batch(
@@ -196,6 +220,29 @@ class JoinShortestQueueRouting(RoutingPolicy):
         replicas = fleet.replicas
         n = len(replicas)
         k = int(rids.size)
+        if k <= 8:
+            # Small windows (the chaos steady state: one ingest per loop
+            # pass) pay more for the merge's array setup than the merge
+            # saves; run the sequential greedy directly -- identical
+            # decisions by the merge equivalence above.
+            loads_live, space_live, routable = fleet.load_snapshot()
+            loads = list(loads_live)
+            space = list(space_live)
+            assigned = np.full(k, -1, dtype=np.int64)
+            for j in range(k):
+                best = -1
+                best_load = -1
+                for i in range(n):
+                    if routable[i] and space[i] > 0:
+                        load = loads[i]
+                        if best < 0 or load < best_load:
+                            best, best_load = i, load
+                if best < 0:
+                    break
+                assigned[j] = best
+                loads[best] += 1
+                space[best] -= 1
+            return assigned
         loads = np.array(
             [r.queue_depth + r.in_flight for r in replicas], dtype=np.int64
         )
@@ -203,6 +250,9 @@ class JoinShortestQueueRouting(RoutingPolicy):
             [r.max_queue - r.queue_depth for r in replicas], dtype=np.int64
         )
         take = np.clip(space, 0, k)
+        # An open fault window excludes the non-accepting replicas' load
+        # streams from the merge, exactly as sequential select skips them.
+        take[~fleet.routable_mask()] = 0
         total = int(take.sum())
         offsets = np.arange(total) - np.repeat(np.cumsum(take) - take, take)
         vals = np.repeat(loads, take) + offsets
@@ -274,7 +324,7 @@ class LeastOutstandingWorkRouting(RoutingPolicy):
         added = fleet._pool.total_tokens(rids)
         costs = tokens / rates
         assigned = np.full(rids.size, -1, dtype=np.int64)
-        open_mask = space > 0
+        open_mask = (space > 0) & fleet.routable_mask()
         for j in range(int(rids.size)):
             if not open_mask.any():
                 break
@@ -422,6 +472,15 @@ class Fleet:
             injecting replica crash/restart windows and per-replica
             straggler slowdowns into every serve.  An empty schedule is
             bit-identical to running without one.
+        batched_admission: Whether the chaos path may batch (default).
+            When True, arrival windows under open fault windows route
+            through the routable-masked ``select_batch``, admission
+            policies are consulted through ``admit_batch`` (falling back
+            per id whenever a policy or window declines), and crash
+            epilogues re-place reclaimed ids as one batch.  ``False``
+            forces the historical per-id fallback everywhere -- the
+            bit-parity reference the batched path is measured and tested
+            against.
     """
 
     def __init__(
@@ -431,6 +490,7 @@ class Fleet:
         name: str | None = None,
         admission: AdmissionPolicy | None = None,
         faults: FaultSchedule | None = None,
+        batched_admission: bool = True,
     ) -> None:
         self.replicas: list[OnlineServer] = list(replicas)
         if not self.replicas:
@@ -444,6 +504,7 @@ class Fleet:
         self.routing = make_routing(routing)
         self.admission = admission
         self.faults = faults
+        self.batched_admission = batched_admission
         self.name = name or (
             f"{self.replicas[0].name}x{len(self.replicas)}-{self.routing.name}"
         )
@@ -451,6 +512,45 @@ class Fleet:
         self._plane: FaultPlane | None = None
         self._records: RecordColumns | None = None
         self._assignments: np.ndarray | None = None
+        self._all_routable = np.ones(len(self.replicas), dtype=bool)
+        self._evicted = np.zeros(len(self.replicas), dtype=np.int64)
+        self._snap_reset()
+
+    def _snap_reset(self) -> None:
+        n = len(self.replicas)
+        self._snap_versions = [-1] * n
+        self._snap_loads = [0] * n
+        self._snap_space = [0] * n
+        self._snap_routable = [True] * n
+        self._snap_cursor = -2
+
+    def load_snapshot(self) -> tuple[list[int], list[int], list[bool]]:
+        """Per-replica ``(loads, space, routable)`` lists, cached.
+
+        ``loads[i]`` is queued + in-flight requests, ``space[i]`` the free
+        queue slots, ``routable[i]`` the fault plane's accepting flag.
+        Each replica's entries refresh only when its load version moved
+        (every queue/engine mutation bumps it), and the routable flags
+        only when the fault cursor moved, so the steady-state window
+        touches the one replica that changed instead of re-reading every
+        property of every replica.  The lists are live caches: callers
+        must copy before mutating.
+        """
+        versions = self._snap_versions
+        loads = self._snap_loads
+        space = self._snap_space
+        for i, replica in enumerate(self.replicas):
+            version = replica._load_version
+            if version != versions[i]:
+                versions[i] = version
+                depth = replica.queue_depth
+                loads[i] = depth + replica.in_flight
+                space[i] = replica.max_queue - depth
+        plane = self._plane
+        if plane is not None and plane._cursor != self._snap_cursor:
+            self._snap_cursor = plane._cursor
+            self._snap_routable = plane.accepting.tolist()
+        return loads, space, self._snap_routable
 
     @classmethod
     def homogeneous(
@@ -461,6 +561,7 @@ class Fleet:
         name: str | None = None,
         admission: AdmissionPolicy | None = None,
         faults: FaultSchedule | None = None,
+        batched_admission: bool = True,
     ) -> "Fleet":
         """A fleet of ``replicas`` clones of one server.
 
@@ -477,7 +578,8 @@ class Fleet:
             f"{server.name}x{replicas}-{make_routing(routing).name}"
         )
         return cls(clones, routing=routing, name=fleet_name,
-                   admission=admission, faults=faults)
+                   admission=admission, faults=faults,
+                   batched_admission=batched_admission)
 
     def __len__(self) -> int:
         return len(self.replicas)
@@ -514,6 +616,19 @@ class Fleet:
         plane = self._plane
         return plane is None or bool(plane.accepting[index])
 
+    def routable_mask(self) -> np.ndarray:
+        """Boolean per-replica routable flags (read-only, do not mutate).
+
+        The batch form of :meth:`routable`: the fault plane's live
+        ``accepting`` array, or a cached all-True array without a plane,
+        so masked ``select_batch``/``admit_batch`` paths pay no per-call
+        allocation in the fault-free case.
+        """
+        plane = self._plane
+        if plane is None:
+            return self._all_routable
+        return plane.accepting
+
     # -- admission-policy seams ------------------------------------------------------
 
     def shed_queued(self, index: int, rid: int) -> None:
@@ -522,6 +637,7 @@ class Fleet:
         self.replicas[index].remove_queued(rid)
         self._records.mark_shed(rid)
         self._assignments[rid] = -2
+        self._evicted[index] += 1
 
     def preempt_to_queue(self, index: int, rid: int) -> None:
         """Preempt one in-flight id back to its replica's queue tail.
@@ -600,12 +716,14 @@ class Fleet:
         self._plane = plane
         self._records = records
         self._assignments = assignments
+        self._evicted = np.zeros(len(self.replicas), dtype=np.int64)
         for i, replica in enumerate(self.replicas):
             slowdown = (
                 self.faults.slowdown_for(i) if self.faults is not None else 1.0
             )
             replica.slowdown = slowdown
             replica.reset(Timeline(time_scale=slowdown), pool)
+        self._snap_reset()
         self.routing.reset(self)
         if self.admission is not None:
             self.admission.reset(self)
@@ -635,24 +753,21 @@ class Fleet:
                 return True
             return place(rid, clock)
 
-        def route_batch(rids: np.ndarray, clock: float) -> np.ndarray:
-            batch_assigned = None
-            if self.admission is None and (
-                plane is None or bool(plane.accepting.all())
-            ):
-                # The vectorized paths assume every replica accepts work
-                # and no per-id admission decision interleaves; outside
-                # that (fault windows, any admission policy) the per-id
-                # fallback below is the semantics.
-                batch_assigned = self.routing.select_batch(self, rids, clock)
-            if batch_assigned is None:
-                # Per-id fallback: sequential select + enqueue, the path
-                # arbitrary (custom/stateful) policies always take.
-                batch_assigned = np.full(rids.size, -1, dtype=np.int64)
-                for j, rid in enumerate(rids.tolist()):
-                    if route(rid, clock):
-                        batch_assigned[j] = assignments[rid]
-                return batch_assigned
+        def enqueue_assigned(rids: np.ndarray, batch_assigned: np.ndarray) -> None:
+            # Commit one batch selection: per-replica enqueue_batch calls
+            # plus a single assignments scatter (-1 entries included, so
+            # reclaimed ids losing their replica are honestly unassigned).
+            if rids.size <= 8:
+                # Small windows: per-id appends beat the group-by setup.
+                for rid, index in zip(rids.tolist(), batch_assigned.tolist()):
+                    if index >= 0 and not self.replicas[index].enqueue(rid):
+                        raise RuntimeError(
+                            f"routing policy {self.routing.name} "
+                            f"batch-selected replica {index} with a full "
+                            f"queue"
+                        )
+                assignments[rids] = batch_assigned
+                return
             for index in np.unique(batch_assigned[batch_assigned >= 0]):
                 mine = rids[batch_assigned == index]
                 if self.replicas[index].enqueue_batch(mine) != mine.size:
@@ -661,18 +776,161 @@ class Fleet:
                         f"replica {index} beyond its queue space"
                     )
             assignments[rids] = batch_assigned
+
+        def window_space(rids: np.ndarray) -> bool:
+            # The batched-chaos space guard: the routable replicas must
+            # jointly have queue space for the whole window.  Then every
+            # admitted id is guaranteed a slot -- make_room stays
+            # unreachable and note_placed fires for every admitted id,
+            # exactly as the sequential path -- which is what lets the
+            # shipped policies batch their windows exactly.
+            need = int(rids.size)
+            _, space, routable = self.load_snapshot()
+            total = 0
+            for i, open_ in enumerate(routable):
+                if open_:
+                    total += space[i]
+                    if total >= need:
+                        return True
+            return need == 0
+
+        def route_window_batched(
+            rids: np.ndarray, clock: float
+        ) -> np.ndarray | None:
+            # The batched admission composition: admit-mask -> mark-shed
+            # batch -> masked select_batch -> enqueue_batch.  Any gate
+            # declining (no space guard, unsafe placement hooks, no
+            # admit_batch, no routing batch path) returns None BEFORE any
+            # state changes, so the per-id fallback re-decides cleanly.
+            admission = self.admission
+            if not window_space(rids):
+                return None
+            if not admission.batch_placement_safe(self, rids):
+                return None
+            mask = admission.admit_batch(self, rids, clock)
+            if mask is None:
+                return None
+            if mask.all():
+                # All-admit window (the chaos steady state): skip the
+                # boolean gathers/scatters entirely.
+                assigned_sub = self.routing.select_batch(self, rids, clock)
+                if assigned_sub is None:
+                    return None
+                enqueue_assigned(rids, assigned_sub)
+                placed_mask = assigned_sub >= 0
+                if placed_mask.any():
+                    admission.note_placed_batch(
+                        self, rids[placed_mask], assigned_sub[placed_mask]
+                    )
+                return assigned_sub
+            admitted = rids[mask]
+            if admitted.size:
+                assigned_sub = self.routing.select_batch(self, admitted, clock)
+                if assigned_sub is None:
+                    return None
+            else:
+                assigned_sub = np.empty(0, dtype=np.int64)
+            shed = rids[~mask]
+            if shed.size:
+                records.mark_shed_batch(shed)
+                assignments[shed] = -2
+            enqueue_assigned(admitted, assigned_sub)
+            placed_mask = assigned_sub >= 0
+            if placed_mask.any():
+                admission.note_placed_batch(
+                    self, admitted[placed_mask], assigned_sub[placed_mask]
+                )
+            batch_assigned = np.full(rids.size, -2, dtype=np.int64)
+            batch_assigned[mask] = assigned_sub
             return batch_assigned
+
+        def route_window_galloped(
+            rids: np.ndarray, clock: float
+        ) -> np.ndarray:
+            # Mixed windows (any batched gate declining) are consumed in
+            # galloping chunks: uniform runs go through the batched path,
+            # and each genuinely order-dependent decision boundary is
+            # crossed per-id.  A declined chunk costs one snapshot and
+            # changes no state, so halving retries for free; the chunk
+            # doubles again after every batched success, making a uniform
+            # run of length m cost O(m + replicas * log m).
+            n = int(rids.size)
+            out = np.empty(n, dtype=np.int64)
+            start = 0
+            chunk = n
+            while start < n:
+                end = min(start + chunk, n)
+                sub = rids[start:end]
+                batch_assigned = route_window_batched(sub, clock)
+                if batch_assigned is not None:
+                    out[start:end] = batch_assigned
+                    start = end
+                    chunk = min(chunk * 2, n)
+                    continue
+                if sub.size > 8:
+                    chunk = sub.size // 2
+                    continue
+                for j, rid in enumerate(sub.tolist(), start):
+                    out[j] = assignments[rid] if route(rid, clock) else -1
+                start = end
+                chunk = 16
+            return out
+
+        def route_batch(rids: np.ndarray, clock: float) -> np.ndarray:
+            if self.admission is not None:
+                if self.batched_admission:
+                    return route_window_galloped(rids, clock)
+            elif (plane is None or self.batched_admission
+                  or bool(plane.accepting.all())):
+                # select_batch honors the routable mask, so an open fault
+                # window masks out the non-accepting replicas instead of
+                # disqualifying the whole batched path (unless the
+                # per-id reference is forced via batched_admission=False).
+                batch_assigned = self.routing.select_batch(self, rids, clock)
+                if batch_assigned is not None:
+                    enqueue_assigned(rids, batch_assigned)
+                    return batch_assigned
+            # Per-id fallback: sequential admit + select + enqueue, the
+            # path arbitrary (custom/stateful) policies always take.
+            batch_assigned = np.full(rids.size, -1, dtype=np.int64)
+            for j, rid in enumerate(rids.tolist()):
+                if route(rid, clock):
+                    batch_assigned[j] = assignments[rid]
+            return batch_assigned
+
+        def place_batch(rids: np.ndarray, when: float) -> bool:
+            # The batched crash epilogue.  Crash re-placement skips
+            # admission (exactly as per-id place()), so the gates are the
+            # routing batch path and -- with an admission policy installed
+            # -- the space guard + placement-hook safety that keep
+            # make_room unreachable and note_placed order-insensitive.
+            admission = self.admission
+            if admission is not None and not (
+                window_space(rids)
+                and admission.batch_placement_safe(self, rids)
+            ):
+                return False
+            assigned = self.routing.select_batch(self, rids, when)
+            if assigned is None:
+                return False
+            enqueue_assigned(rids, assigned)
+            rejected = rids[assigned == -1]
+            if rejected.size:
+                records.reject_batch(rejected)
+            placed_mask = assigned >= 0
+            if admission is not None and placed_mask.any():
+                admission.note_placed_batch(
+                    self, rids[placed_mask], assigned[placed_mask]
+                )
+            return True
 
         def on_crash(index: int, when: float) -> None:
             # Reclaim the dead replica's work through the shared pool and
             # re-route it by the live policy.  pop_due has already marked
             # the replica non-accepting, so nothing lands back on it.
             replica = self.replicas[index]
-            queued = np.fromiter(
-                replica._queue, dtype=np.int64, count=replica.queue_depth
-            )
+            queued = replica.drain_queue()
             in_flight = np.asarray(replica._in_flight_ids(), dtype=np.int64)
-            replica._queue.clear()
             replica.crash()
             if in_flight.size:
                 # Rewind generation progress and stamps; raises if any id
@@ -681,11 +939,28 @@ class Fleet:
                 # batch at the end of every iterate.
                 pool.requeue(in_flight)
             plane.requeued[index] += queued.size + in_flight.size
-            for rid in queued.tolist() + in_flight.tolist():
+            reclaimed = np.concatenate((queued, in_flight))
+            if reclaimed.size == 0:
+                return
+            if self.batched_admission and place_batch(reclaimed, when):
+                return
+            for rid in reclaimed.tolist():
                 rid = int(rid)
                 if not place(rid, when):
                     records.reject(rid)
                     assignments[rid] = -1
+
+        def diagnostics() -> str:
+            # Convergence-failure forensics: where the router put work and
+            # what admission control did with the rest.
+            placed = assignments[assignments >= 0]
+            admitted = np.bincount(placed, minlength=len(self.replicas))
+            return (
+                f"per-replica admitted={admitted.tolist()}, "
+                f"evicted={self._evicted.tolist()}, "
+                f"shed={int(np.count_nonzero(records.shed))}, "
+                f"rejected={int(np.count_nonzero(records.rejected))}"
+            )
 
         loop = ServingLoop(
             pool,
@@ -698,6 +973,7 @@ class Fleet:
             core=core,
             faults=plane,
             on_crash=on_crash if plane is not None else None,
+            diagnostics=diagnostics,
         )
         iterations = loop.run()
         # Under crashes or an admission policy, an id's bookkeeping may be

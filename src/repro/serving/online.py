@@ -60,10 +60,8 @@ N-replica fleet deployment.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from functools import cached_property
-from itertools import islice
 
 import numpy as np
 
@@ -607,6 +605,15 @@ class RecordColumns:
         """Flag one arrival as dropped by an admission policy."""
         self.shed[rid] = True
 
+    def mark_shed_batch(self, ids: np.ndarray) -> None:
+        """Flag a batch of arrivals as shed (one mask write).
+
+        The batched-admission mirror of :meth:`reject_batch`: shedding a
+        whole arrival window is a single scatter, not a per-id loop.  The
+        caller (the fleet) writes the matching ``-2`` assignments.
+        """
+        self.shed[ids] = True
+
 
 class ServingLoop:
     """The arrival-ingest / clock / termination loop of online serving.
@@ -681,6 +688,10 @@ class ServingLoop:
             reset.  The owner (the fleet) reclaims the replica's queued +
             in-flight ids and re-routes them.  Required when ``faults``
             schedules any downtime.
+        diagnostics: Optional ``diagnostics() -> str`` hook appended to
+            the convergence error -- the owner surfaces state the loop
+            cannot see (the fleet reports per-replica admit/shed counts),
+            so a real non-convergence is debuggable from the message.
     """
 
     def __init__(
@@ -696,6 +707,7 @@ class ServingLoop:
         core: str = DEFAULT_CORE,
         faults=None,
         on_crash=None,
+        diagnostics=None,
     ) -> None:
         self.pool = pool
         self.replicas = list(replicas)
@@ -720,6 +732,7 @@ class ServingLoop:
             )
         self.faults = faults
         self.on_crash = on_crash
+        self.diagnostics = diagnostics
         #: Per-replica ``iterate`` call counts of the last :meth:`run`.
         self.iteration_counts: list[int] = [0] * len(self.replicas)
 
@@ -756,6 +769,8 @@ class ServingLoop:
                 f"slowdowns={slowdowns}, "
                 f"next fault transition={self.faults.next_time}"
             )
+        if self.diagnostics is not None:
+            message += f", {self.diagnostics()}"
         return RuntimeError(message)
 
     def _apply_faults(self, clock: float, next_ready) -> bool:
@@ -865,7 +880,9 @@ class ServingLoop:
                         self.on_reject(rid)
             placed = assigned[assigned >= 0]
             if placed.size:
-                pending[np.unique(placed)] = True
+                # Duplicate indices are fine for a boolean scatter; skip
+                # the sort np.unique would pay per window.
+                pending[placed] = True
         else:
             for rid, when in zip(batch.tolist(), times.tolist()):
                 if not self.route(rid, when):
@@ -929,11 +946,41 @@ class ServingLoop:
                 # it must iterate at that arrival's clock, so the advance
                 # is clamped to the next arrival (the stepped semantics).
                 if pos < total and not pending.all():
-                    ready_at = min(ready_at, float(arrival_sorted[pos]))
+                    # Only an *accepting* idle replica can be woken by a
+                    # routed arrival; a down or warming replica never
+                    # receives work (routing masks it out), so it does not
+                    # force per-arrival stepping.  Restart transitions are
+                    # fault transitions, which clamp below.
+                    if faults is None or bool(
+                        np.any(~pending & faults.accepting)
+                    ):
+                        ready_at = min(ready_at, float(arrival_sorted[pos]))
                 if faults is not None:
                     # Unconditional: a fault transition inside the window
                     # invalidates the "nothing can change" reasoning above.
                     ready_at = min(ready_at, faults.next_time)
+                    if (
+                        faults.next_time <= ready_at
+                        and pos < total
+                        and arrival_sorted[pos] < ready_at
+                    ):
+                        # Arrivals strictly before the transition must be
+                        # routed against the pre-transition fault state, as
+                        # the stepped core does; jumping straight to the
+                        # transition would drain them at the loop top AFTER
+                        # pop_due flips the accepting mask.  Reaching here
+                        # means the wake clamp above did not fire (an idle
+                        # accepting replica would have pulled ready_at
+                        # under the transition), so nothing can change
+                        # between these arrivals -- ingest every one of
+                        # them as a single batch at the LAST pre-transition
+                        # arrival, not one window per arrival.
+                        stop = pos + int(
+                            np.searchsorted(
+                                arrival_sorted[pos:], ready_at, side="left"
+                            )
+                        )
+                        ready_at = float(arrival_sorted[stop - 1])
                 clock = ready_at
                 continue
             replica = replicas[index]
@@ -951,6 +998,94 @@ class ServingLoop:
 # ---------------------------------------------------------------------------
 # Server base: a steppable replica with a bounded admission queue
 # ---------------------------------------------------------------------------
+
+
+class IdQueue:
+    """Bounded FIFO of request ids on a preallocated numpy ring buffer.
+
+    The replica-local admission queue.  Same ordering semantics as a
+    ``deque`` (append/extend at the tail, pop at the head, ``remove``
+    drops the first occurrence), but the bulk views the hot paths need --
+    :meth:`as_array` for load snapshots and crash reclaim,
+    :meth:`head_array` for engine admission -- are ring-buffer slices
+    instead of per-element Python iteration.
+    """
+
+    __slots__ = ("_buf", "_head", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        self._buf = np.empty(max(1, capacity), dtype=np.int64)
+        self._head = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def head(self) -> int:
+        """Peek the id at the front (the next :meth:`popleft`)."""
+        return int(self._buf[self._head])
+
+    def append(self, rid: int) -> None:
+        buf = self._buf
+        buf[(self._head + self._size) % buf.size] = rid
+        self._size += 1
+
+    def extend(self, rids: np.ndarray) -> None:
+        buf = self._buf
+        n = buf.size
+        start = (self._head + self._size) % n
+        count = int(rids.size)
+        first = min(count, n - start)
+        buf[start : start + first] = rids[:first]
+        if first < count:
+            buf[: count - first] = rids[first:]
+        self._size += count
+
+    def popleft(self) -> int:
+        rid = int(self._buf[self._head])
+        self._head = (self._head + 1) % self._buf.size
+        self._size -= 1
+        return rid
+
+    def pop_many(self, count: int) -> None:
+        """Drop the first ``count`` ids (already read via head_array)."""
+        self._head = (self._head + count) % self._buf.size
+        self._size -= count
+
+    def head_array(self, count: int) -> np.ndarray:
+        """The first ``min(count, len)`` ids, head first, as a copy."""
+        count = min(count, self._size)
+        buf, head = self._buf, self._head
+        end = head + count
+        if end <= buf.size:
+            return buf[head:end].copy()
+        return np.concatenate((buf[head:], buf[: end - buf.size]))
+
+    def as_array(self) -> np.ndarray:
+        """Every queued id, head first, as a copy."""
+        return self.head_array(self._size)
+
+    def clear(self) -> None:
+        self._head = 0
+        self._size = 0
+
+    def remove(self, rid: int) -> None:
+        """Drop the first occurrence of ``rid`` (priority eviction).
+
+        Raises:
+            ValueError: if the id is not queued here.
+        """
+        ids = self.as_array()
+        hits = np.flatnonzero(ids == rid)
+        if hits.size == 0:
+            raise ValueError(f"request {rid} is not queued")
+        kept = np.delete(ids, hits[0])
+        self._head = 0
+        self._size = int(kept.size)
+        self._buf[: kept.size] = kept
 
 
 class OnlineServer:
@@ -997,7 +1132,12 @@ class OnlineServer:
         self.slowdown = 1.0
         self._engine: ExecutionEngine | None = None
         self._pool: RequestPool | None = None
-        self._queue: deque[int] = deque()
+        self._queue = IdQueue(max_queue)
+        # Load-snapshot cache: bumped on every mutation that can change
+        # outstanding_tokens, so admission/routing reads between mutations
+        # are O(1) instead of a queue + batch column reduction each.
+        self._load_version = 0
+        self._load_cached: tuple[int, int] = (-1, 0)
 
     # -- subclass hooks ----------------------------------------------------------
 
@@ -1030,7 +1170,9 @@ class OnlineServer:
         and all per-run engine state."""
         self._timeline = timeline
         self._pool = pool
-        self._queue = deque()
+        self._queue = IdQueue(self.max_queue)
+        self._load_version = 0
+        self._load_cached = (-1, 0)
         self._reset(timeline, pool)
 
     @property
@@ -1064,6 +1206,7 @@ class OnlineServer:
         if len(self._queue) >= self.max_queue:
             return False
         self._queue.append(rid)
+        self._load_version += 1
         return True
 
     def enqueue_batch(self, rids: np.ndarray) -> int:
@@ -1077,12 +1220,24 @@ class OnlineServer:
         if space <= 0:
             return 0
         accepted = min(space, int(rids.size))
-        self._queue.extend(rids[:accepted].tolist())
+        self._queue.extend(rids[:accepted])
+        self._load_version += 1
         return accepted
 
     def queued_ids(self) -> list[int]:
         """The admission queue's ids, head first (admission-policy view)."""
-        return list(self._queue)
+        return self._queue.as_array().tolist()
+
+    def drain_queue(self) -> np.ndarray:
+        """Empty the admission queue, returning its ids head first.
+
+        The crash-reclaim primitive: one ring-buffer slice and one clear,
+        so the fleet's crash handler never walks the queue itself.
+        """
+        ids = self._queue.as_array()
+        self._queue.clear()
+        self._load_version += 1
+        return ids
 
     def remove_queued(self, rid: int) -> None:
         """Drop one id from the admission queue (priority eviction).
@@ -1091,6 +1246,7 @@ class OnlineServer:
             ValueError: if the id is not queued here.
         """
         self._queue.remove(rid)
+        self._load_version += 1
 
     def preemptible_ids(self) -> np.ndarray:
         """In-flight ids a priority policy may preempt (the running batch;
@@ -1110,6 +1266,7 @@ class OnlineServer:
         if remaining.size == self._active.size:
             raise ValueError(f"request {rid} is not in the running batch")
         self._active = remaining
+        self._load_version += 1
         self._release_preempted(rid)
 
     def _release_preempted(self, rid: int) -> None:
@@ -1125,30 +1282,38 @@ class OnlineServer:
         stays priced, and stale events of ids that finish elsewhere are
         filtered out at record resolution by final assignment.
         """
+        self._load_version += 1
         self._crash()
 
     def iterate(self, clock: float) -> float:
         """Run one engine iteration starting at ``clock``; returns the
         next iteration's start clock."""
+        self._load_version += 1
         return self._iterate(clock)
 
     def outstanding_tokens(self) -> int:
         """Tokens owed by everything routed to this replica.
 
         Queued ids owe their prefill (input tokens) and full generation;
-        in-flight ids owe their remaining generation.  One column
-        reduction per id slice over the shared pool -- O(queue + batch),
-        independent of the pool's total size.
+        in-flight ids owe their remaining generation.  The column
+        reduction -- O(queue + batch), independent of the pool's total
+        size -- runs only when the replica mutated since the last read;
+        admission and routing policies polling every replica per decision
+        hit the cached value (O(1)), which is exact because every
+        mutation point bumps ``_load_version``.
         """
+        version, value = self._load_cached
+        if version == self._load_version:
+            return value
         pool = self._pool
-        queued = np.fromiter(
-            self._queue, dtype=np.int64, count=len(self._queue)
-        )
-        return (
+        queued = self._queue.as_array()
+        value = (
             pool.total_input(queued)
             + pool.remaining_tokens(queued)
             + pool.remaining_tokens(self._in_flight_ids())
         )
+        self._load_cached = (self._load_version, value)
+        return value
 
     def service_rate(self) -> float:
         """Cost-model estimate of the replica's token throughput (tokens/s).
@@ -1396,7 +1561,7 @@ class ContinuousBatchingOnlineServer(OnlineServer):
             and self._active.size + len(admitted) < self.batch_size
             and len(admitted) < system.max_prefills_per_iteration
         ):
-            candidate = self._queue[0]
+            candidate = self._queue.head()
             if not system._admit(self._cache, pool, candidate):
                 break
             self._queue.popleft()
@@ -1572,15 +1737,12 @@ class ExeGPTOnlineServer(OnlineServer):
 
     def _admit_from_queue(self) -> np.ndarray:
         adjuster = self._adjuster
-        head = np.fromiter(
-            islice(self._queue, adjuster.max_admit), dtype=np.int64
-        )
+        head = self._queue.head_array(adjuster.max_admit)
         count = adjuster.admit_count(
             self._pool.input_lens(head), self._active.size, self._freed_last_cycle
         )
         admitted = head[:count]
-        for _ in range(count):
-            self._queue.popleft()
+        self._queue.pop_many(count)
         self._pool.set_admitted_cycle(admitted, self._cycles)
         return admitted
 

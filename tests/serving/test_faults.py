@@ -20,6 +20,8 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.baselines.orca import Orca
 from repro.core.config import ScheduleConfig, SchedulePolicy
@@ -444,6 +446,107 @@ class TestAdmissionControl:
         with pytest.raises(ValueError):
             PriorityAdmissionPolicy(levels=1)
 
+    def test_eviction_counts_surface_per_replica(
+        self, tiny_profile, short_input_dist, short_output_dist,
+        tiny_simulator, base_trace,
+    ):
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist,
+            tiny_simulator, batch_size=4, max_queue=8,
+        )
+        online = attach_arrivals(base_trace, PoissonProcess(2000.0), seed=3)
+        policy = PriorityAdmissionPolicy(levels=2, max_preemptions=4)
+        fleet = Fleet.homogeneous(server, 2, routing="jsq", admission=policy)
+        fleet.serve(online)
+        # The per-replica eviction counters the convergence diagnostics
+        # report must reconcile with the policy's own total.
+        assert int(fleet._evicted.sum()) == policy.evictions
+
+
+# ---------------------------------------------------------------------------
+# The batched chaos path: bit parity against the per-id fallback
+# ---------------------------------------------------------------------------
+
+
+def _policy(name):
+    if name == "none":
+        return None
+    if name == "accept_all":
+        return AcceptAll()
+    if name == "shed_tight":
+        return LoadSheddingPolicy(max_wait_s=1e-3)
+    if name == "shed_mid":
+        return LoadSheddingPolicy(max_wait_s=0.05)
+    if name == "shed_loose":
+        return LoadSheddingPolicy(max_wait_s=1e6)
+    if name == "tenant_quota":
+        return TenantQuotaPolicy(tenants=3, quota=2)
+    return PriorityAdmissionPolicy(levels=2, max_preemptions=3)
+
+
+class TestBatchedChaosParity:
+    """`admit_batch` on == per-id fallback == stepped core, bit for bit.
+
+    The property the whole batched chaos path hangs on: for every shipped
+    admission policy x routing policy x both cores, under random seeded
+    fault schedules and offered rates from idle to overload, the batched
+    window path (`batched_admission=True`, the default) must reproduce
+    the per-id fallback's records AND assignments exactly -- and both
+    must match the stepped reference core, which never batches anything.
+    """
+
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    @given(
+        kind=st.sampled_from(["orca", "rra"]),
+        routing=st.sampled_from(["rr", "jsq", "low"]),
+        policy_name=st.sampled_from([
+            "none", "accept_all", "shed_tight", "shed_mid", "shed_loose",
+            "tenant_quota", "priority",
+        ]),
+        rate=st.sampled_from([40.0, 300.0, 2000.0]),
+        fault_seed=st.integers(min_value=0, max_value=10**6),
+        with_faults=st.booleans(),
+    )
+    def test_batched_equals_fallback_equals_stepped(
+        self, kind, routing, policy_name, rate, fault_seed, with_faults,
+        tiny_profile, short_input_dist, short_output_dist, tiny_simulator,
+        base_trace,
+    ):
+        online = attach_arrivals(base_trace, PoissonProcess(rate), seed=5)
+        horizon = 2.0 * len(base_trace) / rate + 0.5
+        faults = (
+            FaultSchedule.flap(
+                3, mtbf_s=horizon / 4.0, mttr_s=horizon / 12.0,
+                horizon_s=horizon, seed=fault_seed, warmup_s=horizon / 50.0,
+            )
+            if with_faults else None
+        )
+
+        def run(batched, core):
+            server = _server(
+                kind, tiny_profile, short_input_dist, short_output_dist,
+                tiny_simulator, batch_size=4, max_queue=16,
+            )
+            policy = _policy(policy_name)
+            result = Fleet.homogeneous(
+                server, 3, routing=routing, admission=policy, faults=faults,
+                batched_admission=batched,
+            ).serve(online, core=core)
+            return result, policy
+
+        batched, batched_policy = run(True, "event")
+        fallback, fallback_policy = run(False, "event")
+        stepped, stepped_policy = run(True, "stepped")
+        for other in (fallback, stepped):
+            assert batched.fleet.records == other.fleet.records
+            assert np.array_equal(batched.assignments, other.assignments)
+            if faults is not None:
+                assert batched.requeued.tolist() == other.requeued.tolist()
+        if policy_name == "priority":
+            for other in (fallback_policy, stepped_policy):
+                assert batched_policy.evictions == other.evictions
+                assert batched_policy.preemptions == other.preemptions
+
 
 # ---------------------------------------------------------------------------
 # Loop wiring: diagnostics and guards
@@ -502,6 +605,63 @@ class TestLoopWiring:
             on_reject=lambda rid: None,
         )
         assert "fault states" not in str(plain._convergence_error(1.0, 0, 1))
+
+    def test_convergence_error_appends_diagnostics(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace,
+    ):
+        from repro.engine.pool import RequestPool
+
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist, None
+        )
+        pool = RequestPool.from_trace(
+            attach_arrivals(base_trace, PoissonProcess(30.0), seed=5)
+        )
+        plane = FaultPlane(FaultSchedule(), 1)
+        loop = self._loop(
+            server, pool, plane,
+            diagnostics=lambda: "per-replica admitted=[7], shed=3",
+        )
+        assert "per-replica admitted=[7], shed=3" in str(
+            loop._convergence_error(1.0, 0, len(pool))
+        )
+
+    def test_mark_shed_batch_matches_per_id(
+        self, short_input_dist, short_output_dist, base_trace,
+    ):
+        from repro.engine.pool import RequestPool
+        from repro.serving.online import RecordColumns
+
+        pool = RequestPool.from_trace(
+            attach_arrivals(base_trace, PoissonProcess(30.0), seed=5)
+        )
+        batched = RecordColumns(pool)
+        batched.mark_shed_batch(np.array([1, 5, 9], dtype=np.int64))
+        per_id = RecordColumns(pool)
+        for rid in (1, 5, 9):
+            per_id.mark_shed(rid)
+        assert np.array_equal(batched.shed, per_id.shed)
+        assert batched.shed.sum() == 3
+
+    def test_drain_queue(
+        self, tiny_profile, short_input_dist, short_output_dist, base_trace,
+    ):
+        from repro.engine.pool import RequestPool
+
+        server = _server(
+            "orca", tiny_profile, short_input_dist, short_output_dist, None
+        )
+        pool = RequestPool.from_trace(
+            attach_arrivals(base_trace, PoissonProcess(30.0), seed=5)
+        )
+        server.reset(Timeline(), pool)
+        for rid in (3, 1, 4):
+            assert server.enqueue(rid)
+        drained = server.drain_queue()
+        assert drained.tolist() == [3, 1, 4]
+        assert drained.dtype == np.int64
+        assert server.queue_depth == 0
+        assert server.drain_queue().size == 0
 
 
 # ---------------------------------------------------------------------------
